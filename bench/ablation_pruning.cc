@@ -1,0 +1,106 @@
+// Ablation bench: isolates the contribution of each goal-driven design
+// choice called out in DESIGN.md — the two pruning strategies (alone and
+// combined), Equation 1's minimum-selection enforcement, and the
+// availability-verdict cache. The paper only reports none-vs-both
+// (Table 1); this bench fills in the matrix.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/goal_generator.h"
+#include "data/brandeis_cs.h"
+
+namespace coursenav {
+namespace {
+
+struct Variant {
+  const char* name;
+  GoalDrivenConfig config;
+};
+
+void Run(const bench::BenchArgs& args) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  Term end = data::EvaluationEndTerm();
+  const int span = args.full ? 5 : 4;
+  EnrollmentStatus start{data::StartTermForSpan(span),
+                         dataset.catalog.NewCourseSet()};
+
+  std::printf("Ablation: goal-driven pruning variants "
+              "(%d-semester period, CS major, m = 3)\n\n",
+              span);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"none", {}};
+    v.config.enable_time_pruning = false;
+    v.config.enable_availability_pruning = false;
+    v.config.enforce_min_selection = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"time only", {}};
+    v.config.enable_availability_pruning = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"availability only", {}};
+    v.config.enable_time_pruning = false;
+    v.config.enforce_min_selection = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"time, no min-selection", {}};
+    v.config.enable_availability_pruning = false;
+    v.config.enforce_min_selection = false;
+    variants.push_back(v);
+  }
+  variants.push_back({"both (paper default)", {}});
+  {
+    Variant v{"both, no availability cache", {}};
+    v.config.cache_availability_checks = false;
+    variants.push_back(v);
+  }
+
+  bench::TextTable table({"variant", "paths", "nodes", "pruned (time)",
+                          "pruned (avail)", "seconds"});
+  for (const Variant& variant : variants) {
+    ExplorationOptions options;
+    options.limits.max_nodes = 10'000'000;
+    options.limits.max_memory_bytes = 2ull << 30;
+    auto result = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                          start, end, *dataset.cs_major,
+                                          options, variant.config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::string paths = bench::WithCommas(
+        static_cast<uint64_t>(result->stats.terminal_paths));
+    if (!result->termination.ok()) paths = "> " + paths + " (budget)";
+    table.AddRow({variant.name, paths,
+                  bench::WithCommas(
+                      static_cast<uint64_t>(result->stats.nodes_created)),
+                  bench::WithCommas(
+                      static_cast<uint64_t>(result->stats.pruned_time)),
+                  bench::WithCommas(static_cast<uint64_t>(
+                      result->stats.pruned_availability)),
+                  bench::Seconds(result->stats.runtime_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: each strategy alone already removes most doomed subtrees;\n"
+      "combined they reproduce Table 1's >99%% path reduction. The cache\n"
+      "and min-selection rows isolate pure-speed optimizations (identical\n"
+      "path counts by construction).\n");
+}
+
+}  // namespace
+}  // namespace coursenav
+
+int main(int argc, char** argv) {
+  coursenav::bench::BenchArgs args =
+      coursenav::bench::BenchArgs::Parse(argc, argv);
+  coursenav::Run(args);
+  return 0;
+}

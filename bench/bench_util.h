@@ -1,0 +1,95 @@
+#ifndef COURSENAV_BENCH_BENCH_UTIL_H_
+#define COURSENAV_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace coursenav::bench {
+
+/// Tiny flag reader shared by the reproduction harnesses.
+/// Supported forms: `--full` (raise budgets to reach the paper's largest
+/// configurations) and `--spans=4,5` style overrides, parsed by callers.
+struct BenchArgs {
+  bool full = false;
+  std::vector<std::string> raw;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--full") {
+        args.full = true;
+      } else {
+        args.raw.push_back(arg);
+      }
+    }
+    return args;
+  }
+};
+
+/// Fixed-width text table, printed in the paper's row/column layout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::string line = "|";
+      for (size_t c = 0; c < widths.size(); ++c) {
+        std::string cell = c < cells.size() ? cells[c] : "";
+        line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+      }
+      std::printf("%s\n", line.c_str());
+    };
+    std::string rule = "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-') + "+";
+    }
+    std::printf("%s\n", rule.c_str());
+    print_row(headers_);
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+    std::printf("%s\n", rule.c_str());
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats big counts with thousands separators, as the paper prints them.
+inline std::string WithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.insert(out.begin(), ',');
+    out.insert(out.begin(), *it);
+    ++counter;
+  }
+  return out;
+}
+
+inline std::string Seconds(double s) { return StrFormat("%.3f", s); }
+
+}  // namespace coursenav::bench
+
+#endif  // COURSENAV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,156 @@
+// Google-benchmark microbenches for the hot-path primitives: course-set
+// algebra, prerequisite evaluation, option-set computation, selection
+// enumeration, and requirement credit allocation (counting fast path vs.
+// the two max-flow solvers).
+
+#include <benchmark/benchmark.h>
+
+#include "core/combinations.h"
+#include "core/enrollment.h"
+#include "data/brandeis_cs.h"
+#include "requirements/degree_requirement.h"
+#include "util/random.h"
+
+namespace coursenav {
+namespace {
+
+const data::BrandeisDataset& Dataset() {
+  static const data::BrandeisDataset& dataset =
+      *new data::BrandeisDataset(data::BuildBrandeisDataset());
+  return dataset;
+}
+
+DynamicBitset RandomSet(const Catalog& catalog, Random& rng, double density) {
+  DynamicBitset out = catalog.NewCourseSet();
+  for (int i = 0; i < catalog.size(); ++i) {
+    if (rng.Bernoulli(density)) out.set(i);
+  }
+  return out;
+}
+
+void BM_BitsetUnion(benchmark::State& state) {
+  Random rng(1);
+  const Catalog& catalog = Dataset().catalog;
+  DynamicBitset a = RandomSet(catalog, rng, 0.3);
+  DynamicBitset b = RandomSet(catalog, rng, 0.3);
+  for (auto _ : state) {
+    DynamicBitset c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BitsetUnion);
+
+void BM_BitsetSubsetTest(benchmark::State& state) {
+  Random rng(2);
+  const Catalog& catalog = Dataset().catalog;
+  DynamicBitset a = RandomSet(catalog, rng, 0.2);
+  DynamicBitset b = RandomSet(catalog, rng, 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IsSubsetOf(b));
+  }
+}
+BENCHMARK(BM_BitsetSubsetTest);
+
+void BM_BitsetHash(benchmark::State& state) {
+  Random rng(3);
+  DynamicBitset a = RandomSet(Dataset().catalog, rng, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+  }
+}
+BENCHMARK(BM_BitsetHash);
+
+void BM_CompiledPrereqEval(benchmark::State& state) {
+  Random rng(4);
+  const data::BrandeisDataset& dataset = Dataset();
+  DynamicBitset completed = RandomSet(dataset.catalog, rng, 0.3);
+  // A course with a two-term conjunctive prerequisite.
+  CourseId course = *dataset.catalog.FindByCode("COSI30A");
+  const expr::CompiledExpr& prereq = dataset.catalog.compiled_prereq(course);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prereq.Eval(completed));
+  }
+}
+BENCHMARK(BM_CompiledPrereqEval);
+
+void BM_ComputeOptions(benchmark::State& state) {
+  Random rng(5);
+  const data::BrandeisDataset& dataset = Dataset();
+  ExplorationOptions options;
+  DynamicBitset completed = RandomSet(dataset.catalog, rng, 0.25);
+  Term term(Season::kFall, 2013);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeOptions(dataset.catalog, dataset.schedule,
+                                            completed, term, options));
+  }
+}
+BENCHMARK(BM_ComputeOptions);
+
+void BM_SelectionEnumeration(benchmark::State& state) {
+  const int option_count = static_cast<int>(state.range(0));
+  std::vector<int> ids;
+  for (int i = 0; i < option_count; ++i) ids.push_back(i);
+  DynamicBitset options = DynamicBitset::FromIndices(38, ids);
+  for (auto _ : state) {
+    int subsets = 0;
+    ForEachSelection(options, 1, 3, [&](const DynamicBitset&) {
+      ++subsets;
+      return true;
+    });
+    benchmark::DoNotOptimize(subsets);
+  }
+}
+BENCHMARK(BM_SelectionEnumeration)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_CreditedSlotsDisjointFastPath(benchmark::State& state) {
+  Random rng(6);
+  const data::BrandeisDataset& dataset = Dataset();
+  DynamicBitset completed = RandomSet(dataset.catalog, rng, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataset.cs_major->CreditedSlots(completed));
+  }
+}
+BENCHMARK(BM_CreditedSlotsDisjointFastPath);
+
+std::shared_ptr<const DegreeRequirement> OverlappingRequirement(
+    FlowAlgorithm algorithm) {
+  const data::BrandeisDataset& dataset = Dataset();
+  // Overlapping groups force the max-flow allocation path: systems-flavored
+  // electives count toward either bucket but credit only one.
+  std::vector<std::string> systems = {"COSI21B", "COSI35A", "COSI108A",
+                                      "COSI117A", "COSI118A", "COSI123A"};
+  std::vector<std::string> breadth = {"COSI108A", "COSI117A", "COSI118A",
+                                      "COSI123A", "COSI101A", "COSI107A",
+                                      "COSI122A"};
+  auto req = DegreeRequirement::Builder(&dataset.catalog)
+                 .AddGroup("systems", systems, 3)
+                 .AddGroup("breadth", breadth, 4)
+                 .Build(algorithm);
+  return *req;
+}
+
+void BM_CreditedSlotsFordFulkerson(benchmark::State& state) {
+  Random rng(7);
+  auto req = OverlappingRequirement(FlowAlgorithm::kFordFulkerson);
+  DynamicBitset completed = RandomSet(Dataset().catalog, rng, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(req->CreditedSlots(completed));
+  }
+}
+BENCHMARK(BM_CreditedSlotsFordFulkerson);
+
+void BM_CreditedSlotsDinic(benchmark::State& state) {
+  Random rng(7);
+  auto req = OverlappingRequirement(FlowAlgorithm::kDinic);
+  DynamicBitset completed = RandomSet(Dataset().catalog, rng, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(req->CreditedSlots(completed));
+  }
+}
+BENCHMARK(BM_CreditedSlotsDinic);
+
+}  // namespace
+}  // namespace coursenav
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Reproduces the paper's Table 2: deadline-driven vs. goal-driven learning
+// path generation across academic periods of 4-7 semesters (deadline fixed
+// at Fall 2015, fresh student, m = 3).
+//
+// Paper numbers: deadline-driven 740,677 paths / 17.9 s (4 sem) and
+// 971,128 / 20.1 s (5 sem), N/A at >= 6 (graph exceeds memory);
+// goal-driven 1,979 (4), 3,791 (5), 41,556,657 (6), 50,960,005 (7).
+//
+// We reproduce the shape: goal-driven output is orders of magnitude
+// smaller than deadline-driven for the same period; materialization hits
+// the memory budget for long periods (the "N/A" cells); and the goal-path
+// population explodes into the tens/hundreds of millions for 6+ semesters.
+// Cells the materializer cannot hold are *counted* instead with the
+// DAG-memoized counter (an extension the paper did not have), under a time
+// budget. `--full` raises every budget.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/counting.h"
+#include "core/deadline_generator.h"
+#include "core/goal_generator.h"
+#include "data/brandeis_cs.h"
+
+namespace coursenav {
+namespace {
+
+std::string MaterializedCell(const Result<GenerationResult>& result) {
+  if (!result.ok()) return "error";
+  if (!result->termination.ok()) return "N/A (memory budget)";
+  return bench::WithCommas(
+      static_cast<uint64_t>(result->stats.terminal_paths));
+}
+
+std::string MaterializedTime(const Result<GenerationResult>& result) {
+  if (!result.ok() || !result->termination.ok()) return "-";
+  return bench::Seconds(result->stats.runtime_seconds);
+}
+
+std::string CountCell(const Result<CountingResult>& result) {
+  if (!result.ok()) return "> budget";
+  return bench::WithCommas(result->total_paths);
+}
+
+void Run(const bench::BenchArgs& args) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  Term end = data::EvaluationEndTerm();
+
+  std::printf("Table 2: deadline-driven vs. goal-driven scalability\n");
+  std::printf("(fresh student, m = 3, deadline %s; DAG count column is an\n"
+              " extension for cells whose graph exceeds the memory budget)\n\n",
+              end.ToString().c_str());
+
+  bench::TextTable table({"semesters", "deadline: paths", "deadline: sec",
+                          "deadline: DAG count", "goal: paths", "goal: sec",
+                          "goal: DAG count"});
+
+  for (int span : {4, 5, 6, 7}) {
+    EnrollmentStatus start{data::StartTermForSpan(span),
+                           dataset.catalog.NewCourseSet()};
+
+    // Materialization budget: the deliberate analogue of the paper's
+    // "could not store the graph in memory".
+    ExplorationOptions materialize;
+    materialize.limits.max_nodes = args.full ? 20'000'000 : 3'000'000;
+    materialize.limits.max_memory_bytes =
+        args.full ? (8ull << 30) : (1ull << 30);
+
+    auto deadline = GenerateDeadlineDrivenPaths(
+        dataset.catalog, dataset.schedule, start, end, materialize);
+    auto goal = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                        start, end, *dataset.cs_major,
+                                        materialize);
+
+    // Counting budgets grow with the span; the biggest configurations are
+    // only attempted under --full (the paper's 6-semester goal run took
+    // 1,845 s on their hardware; ours is bounded instead). Deadline counts
+    // beyond 5 semesters are known-hopeless and get a short budget; the
+    // 6-semester *goal* count is the paper's headline 41M cell and gets a
+    // generous one.
+    ExplorationOptions deadline_count_options;
+    deadline_count_options.limits.max_seconds =
+        args.full ? 900.0 : (span <= 5 ? 45.0 : 20.0);
+    ExplorationOptions goal_count_options;
+    goal_count_options.limits.max_seconds =
+        args.full ? 900.0 : (span <= 5 ? 45.0 : span == 6 ? 240.0 : 60.0);
+    auto deadline_count = CountDeadlineDrivenPaths(
+        dataset.catalog, dataset.schedule, start, end,
+        deadline_count_options);
+    auto goal_count = CountGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                           start, end, *dataset.cs_major,
+                                           goal_count_options);
+
+    table.AddRow({std::to_string(span), MaterializedCell(deadline),
+                  MaterializedTime(deadline), CountCell(deadline_count),
+                  MaterializedCell(goal), MaterializedTime(goal),
+                  CountCell(goal_count)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape check: goal-driven output is orders of magnitude\n"
+      "smaller than deadline-driven per period; materialization hits the\n"
+      "memory budget on long periods (paper's N/A cells); goal-path counts\n"
+      "explode beyond visualizable sizes at 6+ semesters.\n");
+}
+
+}  // namespace
+}  // namespace coursenav
+
+int main(int argc, char** argv) {
+  coursenav::bench::BenchArgs args =
+      coursenav::bench::BenchArgs::Parse(argc, argv);
+  coursenav::Run(args);
+  return 0;
+}

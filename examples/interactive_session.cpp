@@ -1,0 +1,98 @@
+// Interactive session: scripted replay of the conversational loop the
+// paper's front end drives — commit a semester, see how the remaining
+// option space reacts, undo a regretted choice, tighten constraints,
+// re-plan. Demonstrates ExplorationSession, selection-impact ranking, and
+// top-k re-planning mid-degree.
+//
+// Run: ./build/examples/interactive_session
+
+#include <cstdio>
+
+#include "data/brandeis_cs.h"
+#include "service/session.h"
+#include "service/visualizer.h"
+
+namespace {
+
+void ShowState(coursenav::ExplorationSession& session,
+               const coursenav::Catalog& catalog) {
+  using namespace coursenav;
+  Result<uint64_t> remaining = session.RemainingGoalPaths();
+  std::printf("  now %s | completed %s\n",
+              session.status().term.ToString().c_str(),
+              catalog.CourseSetToString(session.status().completed).c_str());
+  std::printf("  paths to the major: %llu\n",
+              remaining.ok()
+                  ? static_cast<unsigned long long>(*remaining)
+                  : 0ull);
+}
+
+}  // namespace
+
+int main() {
+  using namespace coursenav;
+
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  EnrollmentStatus start{Term(Season::kFall, 2013),
+                         dataset.catalog.NewCourseSet()};
+  ExplorationSession session(&dataset.catalog, &dataset.schedule,
+                             dataset.cs_major, start,
+                             data::EvaluationEndTerm());
+
+  std::printf("== session start ==\n");
+  ShowState(session, dataset.catalog);
+
+  // Ask before committing: which Fall 2013 selections keep the most
+  // futures open?
+  auto impacts = session.EvaluateSelections(/*max_candidates=*/64);
+  if (impacts.ok() && !impacts->empty()) {
+    std::printf("\nbest Fall 2013 selections by surviving paths:\n");
+    for (size_t i = 0; i < impacts->size() && i < 5; ++i) {
+      std::printf("  %-28s %llu paths\n",
+                  dataset.catalog
+                      .CourseSetToString((*impacts)[i].selection)
+                      .c_str(),
+                  static_cast<unsigned long long>(
+                      (*impacts)[i].surviving_goal_paths));
+    }
+  }
+
+  // The student ignores the advice and takes fun electives.
+  std::printf("\n== commit Fall 2013: {COSI2A, COSI65A, COSI125A} ==\n");
+  Status s = session.Commit({"COSI2A", "COSI65A", "COSI125A"});
+  if (!s.ok()) std::printf("  rejected: %s\n", s.ToString().c_str());
+  ShowState(session, dataset.catalog);
+
+  std::printf("\n== regret; undo and take the advised core ==\n");
+  (void)session.Undo();
+  s = session.Commit({"COSI11A", "COSI29A", "COSI2A"});
+  if (!s.ok()) std::printf("  rejected: %s\n", s.ToString().c_str());
+  ShowState(session, dataset.catalog);
+
+  std::printf("\n== commit Spring 2014: {COSI12B, COSI21A, COSI33B} ==\n");
+  (void)session.Commit({"COSI12B", "COSI21A", "COSI33B"});
+  ShowState(session, dataset.catalog);
+
+  // Mid-degree constraint change: the student refuses COSI45A and drops
+  // to 3 courses max (already the default; tighten to show the API).
+  std::printf("\n== constraint change: avoid COSI45A ==\n");
+  (void)session.Avoid("COSI45A");
+  ShowState(session, dataset.catalog);
+
+  // Re-plan: best remaining schedules.
+  TimeRanking ranking;
+  auto plan = session.TopK(ranking, 2);
+  if (plan.ok()) {
+    std::printf("\nbest remaining plans:\n%s",
+                RenderPaths(plan->paths, dataset.catalog).c_str());
+  }
+
+  // Fast-forward along the best plan.
+  std::printf("== commit Fall 2014: {COSI21B, COSI30A, COSI100A} ==\n");
+  (void)session.Commit({"COSI21B", "COSI30A", "COSI100A"});
+  std::printf("== commit Spring 2015: {COSI35A, COSI105A, COSI116A} ==\n");
+  (void)session.Commit({"COSI35A", "COSI105A", "COSI116A"});
+  ShowState(session, dataset.catalog);
+  std::printf("\ngoal reached: %s\n", session.GoalReached() ? "yes" : "no");
+  return 0;
+}

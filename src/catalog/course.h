@@ -1,0 +1,38 @@
+#ifndef COURSENAV_CATALOG_COURSE_H_
+#define COURSENAV_CATALOG_COURSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "expr/expr.h"
+
+namespace coursenav {
+
+/// Dense identifier a `Catalog` assigns to each interned course. Ids are
+/// contiguous in `[0, catalog.size())`, which lets every course set in the
+/// system be a bitset.
+using CourseId = int32_t;
+
+inline constexpr CourseId kInvalidCourseId = -1;
+
+/// Registrar-provided description of one course `c_i ∈ C`.
+///
+/// `prerequisites` is the paper's condition `Q_i`, a boolean expression over
+/// course codes; `workload_hours` is `w(c_i)`, the estimated weekly study
+/// hours used by workload-based ranking. The offering schedule `S_i` lives
+/// separately in `OfferingSchedule` (see schedule.h), mirroring the paper's
+/// split between course info and class schedule.
+struct Course {
+  /// Registrar code, unique within a catalog, e.g. "COSI11A".
+  std::string code;
+  /// Human-readable title.
+  std::string title;
+  /// Estimated weekly study hours, `w(c_i)`. Must be >= 0.
+  double workload_hours = 0.0;
+  /// Prerequisite condition `Q_i`. Defaults to `true` (no prerequisites).
+  expr::Expr prerequisites;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CATALOG_COURSE_H_

@@ -1,0 +1,88 @@
+#include "catalog/schedule.h"
+
+#include <cassert>
+
+namespace coursenav {
+
+OfferingSchedule::OfferingSchedule(int num_courses)
+    : num_courses_(num_courses), empty_set_(num_courses) {
+  assert(num_courses >= 0);
+}
+
+OfferingSchedule OfferingSchedule::Clone() const {
+  OfferingSchedule copy(num_courses_);
+  copy.by_term_ = by_term_;
+  return copy;
+}
+
+void OfferingSchedule::RemoveOffering(CourseId course, Term term) {
+  auto it = by_term_.find(term.index());
+  if (it == by_term_.end()) return;
+  it->second.reset(course);
+  if (it->second.empty()) by_term_.erase(it);
+}
+
+Status OfferingSchedule::AddOffering(CourseId course, Term term) {
+  if (course < 0 || course >= num_courses_) {
+    return Status::InvalidArgument("course id out of range");
+  }
+  auto [it, inserted] =
+      by_term_.try_emplace(term.index(), num_courses_);
+  it->second.set(course);
+  return Status::OK();
+}
+
+Status OfferingSchedule::AddRecurring(CourseId course, Season season,
+                                      Term from, Term to) {
+  if (from > to) {
+    return Status::InvalidArgument("recurring range is reversed");
+  }
+  for (Term t = from; t <= to; t = t.Next()) {
+    if (t.season() == season) {
+      COURSENAV_RETURN_IF_ERROR(AddOffering(course, t));
+    }
+  }
+  return Status::OK();
+}
+
+bool OfferingSchedule::IsOffered(CourseId course, Term term) const {
+  auto it = by_term_.find(term.index());
+  if (it == by_term_.end()) return false;
+  return it->second.test(course);
+}
+
+const DynamicBitset& OfferingSchedule::OfferedIn(Term term) const {
+  auto it = by_term_.find(term.index());
+  if (it == by_term_.end()) return empty_set_;
+  return it->second;
+}
+
+DynamicBitset OfferingSchedule::OfferedInRange(Term first, Term last) const {
+  DynamicBitset out(num_courses_);
+  if (first > last) return out;
+  for (auto it = by_term_.lower_bound(first.index());
+       it != by_term_.end() && it->first <= last.index(); ++it) {
+    out |= it->second;
+  }
+  return out;
+}
+
+std::vector<Term> OfferingSchedule::OfferingTerms(CourseId course) const {
+  std::vector<Term> out;
+  for (const auto& [term_index, offered] : by_term_) {
+    if (offered.test(course)) out.push_back(Term::FromIndex(term_index));
+  }
+  return out;
+}
+
+Term OfferingSchedule::first_term() const {
+  assert(!by_term_.empty());
+  return Term::FromIndex(by_term_.begin()->first);
+}
+
+Term OfferingSchedule::last_term() const {
+  assert(!by_term_.empty());
+  return Term::FromIndex(by_term_.rbegin()->first);
+}
+
+}  // namespace coursenav

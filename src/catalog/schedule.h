@@ -1,0 +1,83 @@
+#ifndef COURSENAV_CATALOG_SCHEDULE_H_
+#define COURSENAV_CATALOG_SCHEDULE_H_
+
+#include <map>
+#include <vector>
+
+#include "catalog/course.h"
+#include "catalog/term.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// The class schedule: for each course `c_i`, the set `S_i` of semesters in
+/// which it is offered.
+///
+/// Offerings are stored per term as course bitsets, so the generators' two
+/// schedule queries — "which courses run in semester s" and "which courses
+/// run at all in semesters [a, b]" — are O(1) lookups / O(terms) unions.
+///
+/// The schedule covers a bounded horizon (universities release schedules a
+/// couple of semesters ahead; the paper's evaluation uses a fixed window
+/// ending in Fall '15). Queries outside any recorded term return the empty
+/// set.
+class OfferingSchedule {
+ public:
+  /// A schedule over a catalog of `num_courses` interned courses.
+  explicit OfferingSchedule(int num_courses);
+
+  // Move-only by default (schedules are shared by reference); explicit
+  // deep copies for what-if perturbation go through Clone().
+  OfferingSchedule(const OfferingSchedule&) = delete;
+  OfferingSchedule& operator=(const OfferingSchedule&) = delete;
+  OfferingSchedule(OfferingSchedule&&) = default;
+  OfferingSchedule& operator=(OfferingSchedule&&) = default;
+
+  /// Deep copy, for perturbation analyses ("what if this offering is
+  /// cancelled?").
+  OfferingSchedule Clone() const;
+
+  /// Removes one offering; no-op if it was not recorded.
+  void RemoveOffering(CourseId course, Term term);
+
+  int num_courses() const { return num_courses_; }
+
+  /// Records that `course` is offered in `term`.
+  Status AddOffering(CourseId course, Term term);
+
+  /// Records `course` as offered every `season` semester in `[from, to]`.
+  Status AddRecurring(CourseId course, Season season, Term from, Term to);
+
+  /// True if `course` is offered in `term` (`term ∈ S_course`).
+  bool IsOffered(CourseId course, Term term) const;
+
+  /// The set of courses offered in `term` (empty set if none recorded).
+  const DynamicBitset& OfferedIn(Term term) const;
+
+  /// Union of offerings over the inclusive term range `[first, last]` —
+  /// the `C_offered` set of the course-availability pruning strategy.
+  DynamicBitset OfferedInRange(Term first, Term last) const;
+
+  /// All terms in which `course` is offered, ascending.
+  std::vector<Term> OfferingTerms(CourseId course) const;
+
+  /// True if no offering has been recorded.
+  bool empty() const { return by_term_.empty(); }
+
+  /// Earliest / latest term with any recorded offering. Only meaningful when
+  /// `!empty()`.
+  Term first_term() const;
+  Term last_term() const;
+
+ private:
+  int num_courses_;
+  DynamicBitset empty_set_;
+  /// term index -> offered course set. std::map keeps terms ordered for
+  /// range queries and deterministic iteration.
+  std::map<int, DynamicBitset> by_term_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CATALOG_SCHEDULE_H_

@@ -1,0 +1,43 @@
+#include "catalog/schedule_history.h"
+
+namespace coursenav {
+
+void ScheduleHistory::AddRecord(CourseId course, Term term) {
+  years_.insert(term.year());
+  offered_years_[{course, term.season()}].insert(term.year());
+}
+
+void ScheduleHistory::ImportSchedule(const OfferingSchedule& schedule) {
+  for (CourseId c = 0; c < schedule.num_courses(); ++c) {
+    for (Term t : schedule.OfferingTerms(c)) AddRecord(c, t);
+  }
+}
+
+double ScheduleHistory::FrequencyInSeason(CourseId course, Season season,
+                                          double fallback) const {
+  if (years_.empty()) return fallback;
+  auto it = offered_years_.find({course, season});
+  int offered = it == offered_years_.end()
+                    ? 0
+                    : static_cast<int>(it->second.size());
+  return static_cast<double>(offered) / static_cast<double>(years_.size());
+}
+
+OfferingProbabilityModel::OfferingProbabilityModel(
+    const OfferingSchedule* schedule, Term release_end,
+    ScheduleHistory history, double default_prob)
+    : schedule_(schedule),
+      release_end_(release_end),
+      history_(std::move(history)),
+      default_prob_(default_prob) {}
+
+double OfferingProbabilityModel::Probability(CourseId course,
+                                             Term term) const {
+  if (term <= release_end_) {
+    return schedule_->IsOffered(course, term) ? 1.0 : 0.0;
+  }
+  if (history_.ObservedYears() == 0) return default_prob_;
+  return history_.FrequencyInSeason(course, term.season(), default_prob_);
+}
+
+}  // namespace coursenav

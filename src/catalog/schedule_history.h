@@ -1,0 +1,74 @@
+#ifndef COURSENAV_CATALOG_SCHEDULE_HISTORY_H_
+#define COURSENAV_CATALOG_SCHEDULE_HISTORY_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "catalog/course.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Historical offering records used to estimate `prob(c_i, s)`, the
+/// probability that course `c_i` is offered in semester `s` (Section 4.3.1,
+/// reliability-based ranking).
+///
+/// The estimator is the paper's: for a season (Fall/Spring), the fraction of
+/// observed academic years in which the course ran in that season.
+class ScheduleHistory {
+ public:
+  ScheduleHistory() = default;
+
+  /// Records that `course` ran in `term` in some past year.
+  void AddRecord(CourseId course, Term term);
+
+  /// Imports every offering of `schedule` as historical records.
+  void ImportSchedule(const OfferingSchedule& schedule);
+
+  /// Number of distinct calendar years observed (over all records).
+  int ObservedYears() const { return static_cast<int>(years_.size()); }
+
+  /// Fraction of observed years in which `course` ran in `season`.
+  /// Returns `fallback` when no year has been observed at all.
+  double FrequencyInSeason(CourseId course, Season season,
+                           double fallback = 0.0) const;
+
+ private:
+  std::set<int> years_;
+  /// (course, season) -> set of years offered.
+  std::map<std::pair<CourseId, Season>, std::set<int>> offered_years_;
+};
+
+/// The reliability model `prob(c_i, s)` combining a released schedule with
+/// historical frequencies.
+///
+/// Universities publish final schedules only one or two semesters ahead:
+/// within the release horizon the probability is exactly 1.0 (offered) or
+/// 0.0 (not offered); beyond it, the historical per-season frequency is
+/// used.
+class OfferingProbabilityModel {
+ public:
+  /// `schedule` must outlive the model. `release_end` is the last term whose
+  /// schedule is final. `default_prob` is used for courses with no history.
+  OfferingProbabilityModel(const OfferingSchedule* schedule, Term release_end,
+                           ScheduleHistory history,
+                           double default_prob = 0.5);
+
+  /// P[course offered in term].
+  double Probability(CourseId course, Term term) const;
+
+  Term release_end() const { return release_end_; }
+
+ private:
+  const OfferingSchedule* schedule_;
+  Term release_end_;
+  ScheduleHistory history_;
+  double default_prob_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CATALOG_SCHEDULE_HISTORY_H_

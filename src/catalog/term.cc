@@ -1,0 +1,79 @@
+#include "catalog/term.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace coursenav {
+
+std::string_view SeasonToString(Season season) {
+  return season == Season::kFall ? "Fall" : "Spring";
+}
+
+Term::Term(Season season, int year)
+    : index_(year * 2 + (season == Season::kFall ? 1 : 0)) {}
+
+Term Term::FromIndex(int index) { return Term(index); }
+
+namespace {
+
+Result<int> ParseYear(std::string_view digits) {
+  COURSENAV_ASSIGN_OR_RETURN(int64_t year, ParseInt(digits));
+  if (year < 0) return Status::ParseError("negative year");
+  // Two-digit years are interpreted as 20xx ("Fall '11" == Fall 2011).
+  if (year < 100) year += 2000;
+  if (year > 9999) return Status::ParseError("year out of range");
+  return static_cast<int>(year);
+}
+
+}  // namespace
+
+Result<Term> Term::Parse(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return Status::ParseError("empty term");
+
+  // Split into a leading alphabetic season part and a trailing year part,
+  // tolerating separators (space, apostrophe).
+  size_t pos = 0;
+  while (pos < trimmed.size() &&
+         std::isalpha(static_cast<unsigned char>(trimmed[pos]))) {
+    ++pos;
+  }
+  std::string_view season_text = trimmed.substr(0, pos);
+  std::string_view rest = trimmed.substr(pos);
+  while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\'')) {
+    rest.remove_prefix(1);
+  }
+
+  Season season;
+  if (EqualsIgnoreCase(season_text, "fall") ||
+      EqualsIgnoreCase(season_text, "f") ||
+      EqualsIgnoreCase(season_text, "autumn")) {
+    season = Season::kFall;
+  } else if (EqualsIgnoreCase(season_text, "spring") ||
+             EqualsIgnoreCase(season_text, "s")) {
+    season = Season::kSpring;
+  } else {
+    return Status::ParseError("unknown season in term '" + std::string(text) +
+                              "'");
+  }
+
+  Result<int> year = ParseYear(rest);
+  if (!year.ok()) {
+    return Status::ParseError("bad year in term '" + std::string(text) +
+                              "': " + year.status().message());
+  }
+  return Term(season, *year);
+}
+
+std::string Term::ToString() const {
+  return std::string(SeasonToString(season())) + " " + std::to_string(year());
+}
+
+std::string Term::ToShortString() const {
+  char season_char = season() == Season::kFall ? 'F' : 'S';
+  int yy = year() % 100;
+  return StrFormat("%c%02d", season_char, yy);
+}
+
+}  // namespace coursenav

@@ -1,0 +1,73 @@
+#ifndef COURSENAV_CATALOG_TERM_H_
+#define COURSENAV_CATALOG_TERM_H_
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Academic season of a term. The paper's calendar (and therefore ours) is a
+/// two-season Fall/Spring year: the successor of Fall Y is Spring Y+1 and
+/// the successor of Spring Y is Fall Y, matching the `s_{i+1} = s_i + 1`
+/// transition semantics of the learning graph.
+enum class Season { kSpring = 0, kFall = 1 };
+
+std::string_view SeasonToString(Season season);
+
+/// A semester, e.g. "Fall 2011", with integer arithmetic.
+///
+/// Internally a `Term` is a single linear index (`2*year + season offset`),
+/// so `term + k` advances k semesters and `b - a` counts semesters between
+/// two terms — the `(d - s_i - 1)` arithmetic of Equation 1.
+class Term {
+ public:
+  /// Default: Spring of year 0; a sentinel that compares before any real
+  /// term.
+  Term() : index_(0) {}
+
+  Term(Season season, int year);
+
+  /// Parses "Fall 2011", "Fall '11", "fall 11", "F11", "S2012",
+  /// "Fall2011". Two-digit years are 20xx.
+  static Result<Term> Parse(std::string_view text);
+
+  /// Builds a term directly from its linear index (inverse of `index()`).
+  static Term FromIndex(int index);
+
+  Season season() const {
+    return index_ % 2 == 0 ? Season::kSpring : Season::kFall;
+  }
+  /// Calendar year of the term.
+  int year() const { return index_ / 2; }
+
+  /// Linear semester index; consecutive semesters differ by 1.
+  int index() const { return index_; }
+
+  /// The term `k` semesters later (or earlier for negative `k`).
+  Term Plus(int k) const { return FromIndex(index_ + k); }
+  Term Next() const { return Plus(1); }
+  Term Prev() const { return Plus(-1); }
+
+  friend Term operator+(Term t, int k) { return t.Plus(k); }
+  /// Number of semesters from `b` to `a` (positive when `a` is later).
+  friend int operator-(Term a, Term b) { return a.index_ - b.index_; }
+
+  friend auto operator<=>(const Term&, const Term&) = default;
+
+  /// "Fall 2011".
+  std::string ToString() const;
+  /// "F11" (two-digit year).
+  std::string ToShortString() const;
+
+ private:
+  explicit Term(int index) : index_(index) {}
+
+  int index_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CATALOG_TERM_H_

@@ -1,0 +1,37 @@
+#include "core/combinations.h"
+
+#include <limits>
+
+namespace coursenav {
+
+namespace {
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+}  // namespace
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a > kMax - b ? kMax : a + b;
+}
+
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+uint64_t CountSelections(int n, int min_size, int max_size) {
+  if (min_size < 1) min_size = 1;
+  if (max_size > n) max_size = n;
+  uint64_t total = 0;
+  // Running binomial C(n, k), built multiplicatively with saturation.
+  uint64_t binom = 1;  // C(n, 0)
+  for (int k = 1; k <= max_size; ++k) {
+    // C(n, k) = C(n, k-1) * (n - k + 1) / k; the intermediate product always
+    // divides evenly.
+    binom = SaturatingMul(binom, static_cast<uint64_t>(n - k + 1));
+    if (binom != kMax) binom /= static_cast<uint64_t>(k);
+    if (k >= min_size) total = SaturatingAdd(total, binom);
+  }
+  return total;
+}
+
+}  // namespace coursenav

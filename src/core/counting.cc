@@ -1,0 +1,189 @@
+#include "core/counting.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "core/combinations.h"
+#include "core/engine.h"
+#include "util/stopwatch.h"
+
+namespace coursenav {
+
+namespace {
+
+/// Leaf counts below one status.
+struct Counts {
+  uint64_t total = 0;
+  uint64_t goal = 0;
+};
+
+/// Memoized recursive counter shared by the deadline and goal modes.
+class CountingRun {
+ public:
+  CountingRun(const Catalog& catalog, const OfferingSchedule& schedule,
+              const ExplorationOptions& options, Term start_term,
+              Term end_term, const Goal* goal,
+              const GoalDrivenConfig* config)
+      : catalog_(catalog),
+        schedule_(schedule),
+        options_(options),
+        end_term_(end_term),
+        goal_(goal),
+        engine_(catalog, schedule, options, start_term, end_term),
+        oracle_(goal == nullptr
+                    ? nullptr
+                    : std::make_unique<internal::PruningOracle>(
+                          *goal, engine_, options, *config)) {}
+
+  CountingRun(const CountingRun&) = delete;
+  CountingRun& operator=(const CountingRun&) = delete;
+
+  Result<CountingResult> Run(const EnrollmentStatus& start) {
+    Result<Counts> counts = CountFrom(start.term, start.completed);
+    if (!counts.ok()) return counts.status();
+    CountingResult result;
+    result.total_paths = counts->total;
+    result.goal_paths = counts->goal;
+    result.saturated = saturated_;
+    result.distinct_statuses = static_cast<int64_t>(memo_.size());
+    result.runtime_seconds = watch_.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  using MemoKey = std::pair<int, DynamicBitset>;
+
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& key) const {
+      return static_cast<size_t>(key.second.Hash() ^
+                                 (static_cast<uint64_t>(key.first) *
+                                  0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  Result<Counts> CountFrom(Term term, const DynamicBitset& completed) {
+    MemoKey key{term.index(), completed};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    COURSENAV_RETURN_IF_ERROR(CheckBudget());
+
+    Counts counts;
+    if (goal_ != nullptr && goal_->IsSatisfied(completed)) {
+      counts = {1, 1};
+    } else if (term == end_term_) {
+      counts = goal_ == nullptr ? Counts{1, 1} : Counts{1, 0};
+    } else {
+      DynamicBitset node_options =
+          ComputeOptions(catalog_, schedule_, completed, term, options_);
+      const Term child_term = term.Next();
+      const int left_parent =
+          oracle_ != nullptr ? oracle_->LeftAt(completed) : -1;
+
+      bool expanded = false;
+      Status child_error = Status::OK();
+      auto accumulate_child = [&](const DynamicBitset& selection) {
+        DynamicBitset next_completed = completed;
+        next_completed |= selection;
+        if (oracle_ != nullptr &&
+            oracle_->ClassifyChild(next_completed, selection.count(),
+                                   child_term, left_parent, &scratch_stats_) !=
+                internal::PruningOracle::Verdict::kKeep) {
+          return true;
+        }
+        Result<Counts> child = CountFrom(child_term, next_completed);
+        if (!child.ok()) {
+          child_error = child.status();
+          return false;
+        }
+        counts.total = SaturatingAdd(counts.total, child->total);
+        counts.goal = SaturatingAdd(counts.goal, child->goal);
+        if (counts.total == UINT64_MAX || counts.goal == UINT64_MAX) {
+          saturated_ = true;
+        }
+        expanded = true;
+        return true;
+      };
+
+      int min_selection =
+          oracle_ != nullptr ? oracle_->MinSelectionSize(left_parent, term)
+                             : 1;
+      if (!node_options.empty() && min_selection <= node_options.count()) {
+        ForEachSelection(node_options, min_selection,
+                         options_.max_courses_per_term, accumulate_child);
+      }
+      if (child_error.ok()) {
+        bool skip_edge = options_.allow_voluntary_skip ||
+                         (node_options.empty() &&
+                          engine_.FutureCourseExists(completed, term));
+        if (skip_edge) {
+          accumulate_child(DynamicBitset(catalog_.size()));
+        }
+      }
+      if (!child_error.ok()) return child_error;
+      if (!expanded) counts = {1, 0};  // dead-end leaf
+    }
+
+    memo_.emplace(std::move(key), counts);
+    return counts;
+  }
+
+  Status CheckBudget() const {
+    const ExplorationLimits& limits = options_.limits;
+    if (limits.max_nodes > 0 &&
+        static_cast<int64_t>(memo_.size()) >= limits.max_nodes) {
+      return Status::ResourceExhausted("status budget reached while counting");
+    }
+    if (limits.max_seconds > 0 &&
+        watch_.ElapsedSeconds() >= limits.max_seconds) {
+      return Status::DeadlineExceeded("time budget reached while counting");
+    }
+    return Status::OK();
+  }
+
+  const Catalog& catalog_;
+  const OfferingSchedule& schedule_;
+  const ExplorationOptions& options_;
+  Term end_term_;
+  const Goal* goal_;
+  internal::ExplorationEngine engine_;
+  std::unique_ptr<internal::PruningOracle> oracle_;
+  ExplorationStats scratch_stats_;
+  std::unordered_map<MemoKey, Counts, MemoKeyHash> memo_;
+  Stopwatch watch_;
+  bool saturated_ = false;
+};
+
+}  // namespace
+
+Result<CountingResult> CountDeadlineDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options) {
+  COURSENAV_RETURN_IF_ERROR(
+      ValidateExplorationInputs(catalog, schedule, start, options));
+  if (end_term <= start.term) {
+    return Status::InvalidArgument("end semester must be after the start");
+  }
+  CountingRun run(catalog, schedule, options, start.term, end_term,
+                  /*goal=*/nullptr, /*config=*/nullptr);
+  return run.Run(start);
+}
+
+Result<CountingResult> CountGoalDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config) {
+  COURSENAV_RETURN_IF_ERROR(
+      ValidateExplorationInputs(catalog, schedule, start, options));
+  if (end_term <= start.term) {
+    return Status::InvalidArgument("end semester must be after the start");
+  }
+  CountingRun run(catalog, schedule, options, start.term, end_term, &goal,
+                  &config);
+  return run.Run(start);
+}
+
+}  // namespace coursenav

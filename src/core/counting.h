@@ -1,0 +1,63 @@
+#ifndef COURSENAV_CORE_COUNTING_H_
+#define COURSENAV_CORE_COUNTING_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/enrollment.h"
+#include "core/options.h"
+#include "core/pruning.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Output of a DAG-memoized path count.
+struct CountingResult {
+  /// Total learning paths (graph leaves), saturating at UINT64_MAX.
+  uint64_t total_paths = 0;
+  /// Paths ending in a goal-satisfying status (for deadline-driven counts,
+  /// statuses at the end semester).
+  uint64_t goal_paths = 0;
+  /// True if either count overflowed uint64 and saturated.
+  bool saturated = false;
+  /// Distinct (semester, completed-set) statuses visited — the size of the
+  /// memo, i.e. of the collapsed status DAG.
+  int64_t distinct_statuses = 0;
+  double runtime_seconds = 0.0;
+};
+
+/// Counts deadline-driven learning paths without materializing the graph.
+///
+/// The expansion tree of Algorithm 1 revisits identical enrollment statuses
+/// exponentially often: two different selection orders reaching the same
+/// `(s_i, X_i)` root identical subtrees. Memoizing the per-status leaf
+/// count collapses the tree into a status DAG, which counts the paper's
+/// "41 million paths" configurations in seconds and bounded memory — this
+/// is how the benches report the Table 2 cells whose graphs the paper
+/// (and we, deliberately, under a memory budget) could not materialize.
+///
+/// The counted set is exactly the leaf set `GenerateDeadlineDrivenPaths`
+/// would materialize with the same inputs (the property tests assert
+/// equality).
+///
+/// `options.limits.max_nodes` bounds the number of distinct statuses;
+/// `max_seconds` bounds wall-clock. Exceeding either fails with the budget
+/// status (counts are not meaningful when partial).
+Result<CountingResult> CountDeadlineDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options);
+
+/// Counts goal-driven learning paths under the same pruning configuration
+/// as `GenerateGoalDrivenPaths`; the counted set matches its leaf set.
+Result<CountingResult> CountGoalDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config = {});
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_COUNTING_H_

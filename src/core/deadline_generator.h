@@ -1,0 +1,40 @@
+#ifndef COURSENAV_CORE_DEADLINE_GENERATOR_H_
+#define COURSENAV_CORE_DEADLINE_GENERATOR_H_
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/enrollment.h"
+#include "core/generation.h"
+#include "core/options.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Algorithm 1: deadline-driven learning paths.
+///
+/// Generates the learning graph of *all* course-selection paths from the
+/// student's enrollment status `start` up to the end semester `end_term`:
+/// every root-to-leaf path is one learning path. Leaves are statuses at
+/// `end_term` (marked as goal nodes) or dead ends where no option exists
+/// now or in any later semester of the horizon.
+///
+/// Selections are the non-empty subsets of the option set `Y_i` of size at
+/// most `options.max_courses_per_term`; an empty "skip" selection is added
+/// exactly when `Y_i` is empty but some not-yet-completed course is offered
+/// later in the horizon (matching the paper's Figure 3), or always when
+/// `options.allow_voluntary_skip` is set.
+///
+/// Fails fast on invalid inputs (unfinalized catalog, mismatched sizes,
+/// `end_term <= start.term`). Budget exhaustion is *not* an error: it is
+/// reported in the returned `GenerationResult::termination` together with
+/// the partial graph, because a too-big-to-materialize graph is an expected
+/// outcome (Table 2).
+Result<GenerationResult> GenerateDeadlineDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_DEADLINE_GENERATOR_H_

@@ -1,0 +1,66 @@
+#include "core/engine.h"
+
+#include "util/string_util.h"
+
+namespace coursenav::internal {
+
+ExplorationEngine::ExplorationEngine(const Catalog& catalog,
+                                     const OfferingSchedule& schedule,
+                                     const ExplorationOptions& options,
+                                     Term start, Term end)
+    : options_(options),
+      start_(start),
+      end_(end),
+      empty_set_(catalog.size()) {
+  int horizon = end - start;  // semesters in [start, end)
+  if (horizon < 0) horizon = 0;
+  available_from_.assign(static_cast<size_t>(horizon),
+                         DynamicBitset(catalog.size()));
+  // Suffix unions, last enrollable semester first.
+  for (int k = horizon - 1; k >= 0; --k) {
+    DynamicBitset acc = schedule.OfferedIn(start + k);
+    if (options.avoid_courses.has_value()) {
+      acc.Subtract(*options.avoid_courses);
+    }
+    if (k + 1 < horizon) acc |= available_from_[static_cast<size_t>(k + 1)];
+    available_from_[static_cast<size_t>(k)] = std::move(acc);
+  }
+}
+
+const DynamicBitset& ExplorationEngine::AvailableFrom(Term term) const {
+  int k = term - start_;
+  if (k < 0) k = 0;
+  if (k >= static_cast<int>(available_from_.size())) return empty_set_;
+  return available_from_[static_cast<size_t>(k)];
+}
+
+bool ExplorationEngine::FutureCourseExists(const DynamicBitset& completed,
+                                           Term term) const {
+  const DynamicBitset& later = AvailableFrom(term.Next());
+  DynamicBitset remaining = later;
+  remaining.Subtract(completed);
+  return !remaining.empty();
+}
+
+Status ExplorationEngine::CheckBudget(const LearningGraph& graph,
+                                      const Stopwatch& watch) const {
+  const ExplorationLimits& limits = options_.limits;
+  if (limits.max_nodes > 0 && graph.num_nodes() >= limits.max_nodes) {
+    return Status::ResourceExhausted(
+        StrFormat("node budget of %lld reached",
+                  static_cast<long long>(limits.max_nodes)));
+  }
+  if (limits.max_memory_bytes > 0 &&
+      graph.MemoryUsage() >= limits.max_memory_bytes) {
+    return Status::ResourceExhausted(
+        StrFormat("memory budget of %zu bytes reached",
+                  limits.max_memory_bytes));
+  }
+  if (limits.max_seconds > 0 && watch.ElapsedSeconds() >= limits.max_seconds) {
+    return Status::DeadlineExceeded(
+        StrFormat("time budget of %.3fs reached", limits.max_seconds));
+  }
+  return Status::OK();
+}
+
+}  // namespace coursenav::internal

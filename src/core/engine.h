@@ -1,0 +1,59 @@
+#ifndef COURSENAV_CORE_ENGINE_H_
+#define COURSENAV_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "graph/learning_graph.h"
+#include "util/bitset.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace coursenav::internal {
+
+/// Shared machinery of the three path generators: the availability suffix
+/// cache, the skip-edge rule, and budget enforcement. Internal — not part
+/// of the public API.
+class ExplorationEngine {
+ public:
+  /// `catalog`, `schedule`, and `options` must outlive the engine.
+  /// Precomputes, for every semester in `[start, end)`, the union of
+  /// offerings from that semester through `end - 1` (minus avoided
+  /// courses): one bitset lookup replaces a per-node schedule scan in both
+  /// the skip-edge rule and the availability pruning strategy.
+  ExplorationEngine(const Catalog& catalog, const OfferingSchedule& schedule,
+                    const ExplorationOptions& options, Term start, Term end);
+
+  /// Courses offered (and not avoided) in any semester of `[term, end-1]`.
+  /// Returns the empty set for terms at or beyond `end`.
+  const DynamicBitset& AvailableFrom(Term term) const;
+
+  /// The skip-edge rule (paper Figure 3): from a status at `term`, an empty
+  /// selection advances time only if some not-yet-completed course is still
+  /// offered in a *later* enrollable semester `[term+1, end-1]`.
+  bool FutureCourseExists(const DynamicBitset& completed, Term term) const;
+
+  /// OK while within budget; ResourceExhausted / DeadlineExceeded once a
+  /// limit in `options.limits` is hit.
+  Status CheckBudget(const LearningGraph& graph,
+                     const Stopwatch& watch) const;
+
+  Term start() const { return start_; }
+  Term end() const { return end_; }
+
+ private:
+  const ExplorationOptions& options_;
+  Term start_;
+  Term end_;
+  /// available_from_[k] = offerings in [start+k, end-1] minus avoid.
+  std::vector<DynamicBitset> available_from_;
+  DynamicBitset empty_set_;
+};
+
+}  // namespace coursenav::internal
+
+#endif  // COURSENAV_CORE_ENGINE_H_

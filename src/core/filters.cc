@@ -1,0 +1,95 @@
+#include "core/filters.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace coursenav {
+
+bool MaxTermWorkloadFilter::Keep(const LearningPath& path) const {
+  for (const PathStep& step : path.steps()) {
+    double hours = 0.0;
+    step.selection.ForEach([&](int id) {
+      hours += catalog_->course(static_cast<CourseId>(id)).workload_hours;
+    });
+    if (hours > max_hours_) return false;
+  }
+  return true;
+}
+
+std::string MaxTermWorkloadFilter::Describe() const {
+  return StrFormat("semester workload <= %.1f hours/week", max_hours_);
+}
+
+bool CourseByTermFilter::Keep(const LearningPath& path) const {
+  for (const PathStep& step : path.steps()) {
+    if (step.term > deadline_) break;
+    if (step.selection.test(course_)) return true;
+  }
+  // Already completed before the path started also counts.
+  return path.start_completed().test(course_);
+}
+
+std::string CourseByTermFilter::Describe() const {
+  return StrFormat("course #%d taken by %s", course_,
+                   deadline_.ToString().c_str());
+}
+
+bool MaxSkipsFilter::Keep(const LearningPath& path) const {
+  int skips = 0;
+  for (const PathStep& step : path.steps()) {
+    if (step.selection.empty()) ++skips;
+  }
+  return skips <= max_skips_;
+}
+
+std::string MaxSkipsFilter::Describe() const {
+  return StrFormat("at most %d skipped semester(s)", max_skips_);
+}
+
+bool BalancedLoadFilter::Keep(const LearningPath& path) const {
+  int lightest = std::numeric_limits<int>::max();
+  int heaviest = 0;
+  for (const PathStep& step : path.steps()) {
+    int load = step.selection.count();
+    if (load == 0) continue;  // skips don't count toward spread
+    lightest = std::min(lightest, load);
+    heaviest = std::max(heaviest, load);
+  }
+  if (heaviest == 0) return true;  // all-skip path is trivially balanced
+  return heaviest - lightest <= max_spread_;
+}
+
+std::string BalancedLoadFilter::Describe() const {
+  return StrFormat("load spread <= %d courses", max_spread_);
+}
+
+bool AllOfFilter::Keep(const LearningPath& path) const {
+  for (const auto& part : parts_) {
+    if (!part->Keep(path)) return false;
+  }
+  return true;
+}
+
+std::string AllOfFilter::Describe() const {
+  std::string out = "all of [";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) out += "; ";
+    out += parts_[i]->Describe();
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<LearningPath> FilterPaths(std::vector<LearningPath> paths,
+                                      const PathFilter& filter) {
+  std::vector<LearningPath> kept;
+  kept.reserve(paths.size());
+  for (LearningPath& path : paths) {
+    if (filter.Keep(path)) kept.push_back(std::move(path));
+  }
+  return kept;
+}
+
+}  // namespace coursenav

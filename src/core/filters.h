@@ -1,0 +1,110 @@
+#ifndef COURSENAV_CORE_FILTERS_H_
+#define COURSENAV_CORE_FILTERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/term.h"
+#include "graph/path.h"
+#include "util/bitset.h"
+
+namespace coursenav {
+
+/// A predicate over complete learning paths — the paper's future-work
+/// "customizable filters of the final learning paths" (Section 6), used to
+/// cut an overwhelming result set down to the paths a student would
+/// actually consider.
+///
+/// Filters are applied *after* generation: unlike the pruning strategies
+/// they need no soundness argument and may be arbitrary (non-monotone)
+/// conditions on the whole path.
+class PathFilter {
+ public:
+  virtual ~PathFilter() = default;
+
+  /// True if `path` should be kept.
+  virtual bool Keep(const LearningPath& path) const = 0;
+
+  /// Human-readable description for logs.
+  virtual std::string Describe() const = 0;
+};
+
+/// Keeps paths whose every semester's workload (sum of `w(c_i)` over the
+/// selection) stays at or below a ceiling.
+class MaxTermWorkloadFilter final : public PathFilter {
+ public:
+  /// `catalog` must outlive the filter.
+  MaxTermWorkloadFilter(const Catalog* catalog, double max_hours)
+      : catalog_(catalog), max_hours_(max_hours) {}
+
+  bool Keep(const LearningPath& path) const override;
+  std::string Describe() const override;
+
+ private:
+  const Catalog* catalog_;
+  double max_hours_;
+};
+
+/// Keeps paths that elect `course` no later than `deadline` — "I want the
+/// internship-relevant databases course before my junior Fall".
+class CourseByTermFilter final : public PathFilter {
+ public:
+  CourseByTermFilter(CourseId course, Term deadline)
+      : course_(course), deadline_(deadline) {}
+
+  bool Keep(const LearningPath& path) const override;
+  std::string Describe() const override;
+
+ private:
+  CourseId course_;
+  Term deadline_;
+};
+
+/// Keeps paths with at most `max_skips` empty semesters.
+class MaxSkipsFilter final : public PathFilter {
+ public:
+  explicit MaxSkipsFilter(int max_skips) : max_skips_(max_skips) {}
+
+  bool Keep(const LearningPath& path) const override;
+  std::string Describe() const override;
+
+ private:
+  int max_skips_;
+};
+
+/// Keeps paths whose per-semester load never varies by more than
+/// `max_spread` courses between the lightest and heaviest (non-skip)
+/// semester — students who prefer an even pace.
+class BalancedLoadFilter final : public PathFilter {
+ public:
+  explicit BalancedLoadFilter(int max_spread) : max_spread_(max_spread) {}
+
+  bool Keep(const LearningPath& path) const override;
+  std::string Describe() const override;
+
+ private:
+  int max_spread_;
+};
+
+/// Conjunction of filters: keeps a path only if every part keeps it.
+class AllOfFilter final : public PathFilter {
+ public:
+  explicit AllOfFilter(std::vector<std::shared_ptr<const PathFilter>> parts)
+      : parts_(std::move(parts)) {}
+
+  bool Keep(const LearningPath& path) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::shared_ptr<const PathFilter>> parts_;
+};
+
+/// Returns the subset of `paths` kept by `filter`, preserving order.
+std::vector<LearningPath> FilterPaths(std::vector<LearningPath> paths,
+                                      const PathFilter& filter);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_FILTERS_H_

@@ -1,0 +1,24 @@
+#ifndef COURSENAV_CORE_GENERATION_H_
+#define COURSENAV_CORE_GENERATION_H_
+
+#include "core/stats.h"
+#include "graph/learning_graph.h"
+#include "util/status.h"
+
+namespace coursenav {
+
+/// Output of a graph-materializing generator.
+///
+/// `termination` is OK when the exploration ran to completion. A
+/// ResourceExhausted or DeadlineExceeded termination means a budget in
+/// `ExplorationLimits` was hit: `graph` and `stats` then describe the
+/// partial exploration (nodes still on the worklist were never expanded).
+struct GenerationResult {
+  LearningGraph graph;
+  ExplorationStats stats;
+  Status termination;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_GENERATION_H_

@@ -1,0 +1,131 @@
+#include "core/goal_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/combinations.h"
+#include "core/engine.h"
+#include "util/stopwatch.h"
+
+namespace coursenav {
+
+Result<GenerationResult> GenerateGoalDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config) {
+  COURSENAV_RETURN_IF_ERROR(
+      ValidateExplorationInputs(catalog, schedule, start, options));
+  if (end_term <= start.term) {
+    return Status::InvalidArgument("end semester must be after the start");
+  }
+
+  Stopwatch watch;
+  internal::ExplorationEngine engine(catalog, schedule, options, start.term,
+                                     end_term);
+  internal::PruningOracle oracle(goal, engine, options, config);
+  using Verdict = internal::PruningOracle::Verdict;
+
+  GenerationResult result;
+  LearningGraph& graph = result.graph;
+  ExplorationStats& stats = result.stats;
+
+  DynamicBitset root_options =
+      ComputeOptions(catalog, schedule, start.completed, start.term, options);
+  NodeId root = graph.AddRoot(start.term, start.completed, root_options);
+  ++stats.nodes_created;
+
+  std::vector<NodeId> worklist{root};
+  while (!worklist.empty()) {
+    Status budget = engine.CheckBudget(graph, watch);
+    if (!budget.ok()) {
+      result.termination = budget;
+      break;
+    }
+    NodeId current = worklist.back();
+    worklist.pop_back();
+    ++stats.nodes_expanded;
+
+    const Term term = graph.node(current).term;
+    const DynamicBitset completed = graph.node(current).completed;
+    const DynamicBitset node_options = graph.node(current).options;
+
+    // Stop at goal nodes: the requirement already holds here (§4.2.3).
+    if (goal.IsSatisfied(completed)) {
+      graph.MarkGoal(current);
+      ++stats.terminal_paths;
+      ++stats.goal_paths;
+      continue;
+    }
+    // Stop at the end semester; this leaf misses the goal.
+    if (term == end_term) {
+      ++stats.terminal_paths;
+      ++stats.dead_end_paths;
+      continue;
+    }
+
+    const Term child_term = term.Next();
+    const int left_parent = oracle.LeftAt(completed);
+
+    bool expanded = false;
+    auto consider_child = [&](const DynamicBitset& selection) {
+      DynamicBitset next_completed = completed;
+      next_completed |= selection;
+      if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
+                               left_parent, &stats) != Verdict::kKeep) {
+        return;
+      }
+      DynamicBitset next_options = ComputeOptions(
+          catalog, schedule, next_completed, child_term, options);
+      NodeId child = graph.AddChild(current, selection,
+                                    std::move(next_completed),
+                                    std::move(next_options));
+      ++stats.nodes_created;
+      ++stats.edges_created;
+      worklist.push_back(child);
+      expanded = true;
+    };
+
+    // Selections below Equation 1's minimum size provably miss the
+    // deadline; skip enumerating them but account them as time-pruned.
+    int min_selection = oracle.MinSelectionSize(left_parent, term);
+    if (min_selection > 1) {
+      // Only sizes up to m were ever candidates.
+      int skipped_max =
+          std::min(min_selection - 1, options.max_courses_per_term);
+      stats.pruned_time += static_cast<int64_t>(
+          CountSelections(node_options.count(), 1, skipped_max));
+    }
+
+    if (!node_options.empty() && min_selection <= node_options.count()) {
+      bool completed_enumeration = ForEachSelection(
+          node_options, min_selection, options.max_courses_per_term,
+          [&](const DynamicBitset& selection) {
+            if (!engine.CheckBudget(graph, watch).ok()) return false;
+            consider_child(selection);
+            return true;
+          });
+      if (!completed_enumeration) {
+        result.termination = engine.CheckBudget(graph, watch);
+        break;
+      }
+    }
+
+    // Skip edge (empty selection), under the same pruning regime.
+    bool skip_edge =
+        options.allow_voluntary_skip ||
+        (node_options.empty() && engine.FutureCourseExists(completed, term));
+    if (skip_edge) {
+      consider_child(DynamicBitset(catalog.size()));
+    }
+
+    if (!expanded) {
+      ++stats.terminal_paths;
+      ++stats.dead_end_paths;
+    }
+  }
+
+  stats.runtime_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,36 @@
+#ifndef COURSENAV_CORE_GOAL_GENERATOR_H_
+#define COURSENAV_CORE_GOAL_GENERATOR_H_
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/enrollment.h"
+#include "core/generation.h"
+#include "core/options.h"
+#include "core/pruning.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Section 4.2: goal-driven learning paths.
+///
+/// Explores like Algorithm 1 but (a) stops expanding a node once the
+/// student's goal requirement is satisfied there (such nodes are the
+/// output's goal leaves) or once the end semester is reached, and (b)
+/// prunes, before materializing them, candidate children from which the
+/// goal is provably unreachable — using the time-based (Equation 1 /
+/// Lemma 1) and course-availability (Section 4.2.2) strategies configured
+/// in `config`. Both strategies are sound: every goal-reaching path of the
+/// deadline-driven graph survives.
+///
+/// `goal` must outlive the call. Budget exhaustion is reported via
+/// `GenerationResult::termination`, not as an error.
+Result<GenerationResult> GenerateGoalDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config = {});
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_GOAL_GENERATOR_H_

@@ -1,0 +1,45 @@
+#ifndef COURSENAV_CORE_OPTIONS_H_
+#define COURSENAV_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/bitset.h"
+
+namespace coursenav {
+
+/// Resource budgets for a generation run. Exceeding a budget stops the run
+/// with ResourceExhausted/DeadlineExceeded termination and a partial graph —
+/// the controlled version of the paper's Table 2 "could not store the graph
+/// in memory" cells.
+struct ExplorationLimits {
+  /// Maximum nodes materialized (0 = unlimited).
+  int64_t max_nodes = 0;
+  /// Maximum approximate graph heap bytes (0 = unlimited).
+  size_t max_memory_bytes = 0;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double max_seconds = 0.0;
+};
+
+/// Student constraints shared by all three generators (Section 3's
+/// front-end parameters).
+struct ExplorationOptions {
+  /// `m`: maximum courses per semester. The paper's evaluation uses 3.
+  int max_courses_per_term = 3;
+
+  /// Courses the student refuses to take; never elected and never counted
+  /// as options. Empty optional = no exclusions.
+  std::optional<DynamicBitset> avoid_courses;
+
+  /// When true, an empty selection ("skip this semester") is offered even
+  /// when options exist. The paper's Figure 3 semantics — an empty edge
+  /// only when `Y_i` is empty but future courses remain — is the default.
+  bool allow_voluntary_skip = false;
+
+  ExplorationLimits limits;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_OPTIONS_H_

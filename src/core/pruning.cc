@@ -1,0 +1,75 @@
+#include "core/pruning.h"
+
+namespace coursenav::internal {
+
+PruningOracle::PruningOracle(const Goal& goal, const ExplorationEngine& engine,
+                             const ExplorationOptions& options,
+                             const GoalDrivenConfig& config)
+    : goal_(goal),
+      engine_(engine),
+      options_(options),
+      config_(config),
+      goal_is_monotone_(goal.IsMonotone()) {}
+
+int PruningOracle::LeftAt(const DynamicBitset& completed) const {
+  if (!config_.enable_time_pruning) return -1;
+  return goal_.MinCoursesRemaining(completed);
+}
+
+int PruningOracle::MinSelectionSize(int left_parent, Term parent_term) const {
+  if (!config_.enable_time_pruning || !config_.enforce_min_selection) {
+    return 1;
+  }
+  int min_i = left_parent - options_.max_courses_per_term *
+                                (engine_.end() - parent_term - 1);
+  return min_i > 1 ? min_i : 1;
+}
+
+PruningOracle::Verdict PruningOracle::ClassifyChild(
+    const DynamicBitset& child_completed, int selection_size, Term child_term,
+    int left_parent, ExplorationStats* stats) {
+  if (config_.enable_time_pruning) {
+    const int child_bound =
+        options_.max_courses_per_term * (engine_.end() - child_term);
+    // Fast certain-prune: one semester reduces `left` by at most |W|.
+    if (left_parent - selection_size > child_bound) {
+      ++stats->pruned_time;
+      return Verdict::kPrunedTime;
+    }
+    // Fast certain-keep for monotone goals: left(X ∪ W) <= left(X).
+    bool needs_exact = !(goal_is_monotone_ && left_parent <= child_bound);
+    if (needs_exact &&
+        goal_.MinCoursesRemaining(child_completed) > child_bound) {
+      ++stats->pruned_time;
+      return Verdict::kPrunedTime;
+    }
+  }
+  if (config_.enable_availability_pruning) {
+    const DynamicBitset& available = engine_.AvailableFrom(child_term);
+    bool achievable;
+    // The cache key is the reachable set, whose verdict is well-defined
+    // only for monotone goals (with negative literals achievability depends
+    // on the completed set itself, not just the union).
+    if (config_.cache_availability_checks && goal_is_monotone_) {
+      DynamicBitset reachable = child_completed;
+      reachable |= available;
+      auto& per_term = availability_cache_[child_term.index()];
+      auto it = per_term.find(reachable);
+      if (it != per_term.end()) {
+        achievable = it->second;
+      } else {
+        achievable = goal_.AchievableWith(child_completed, available);
+        per_term.emplace(std::move(reachable), achievable);
+      }
+    } else {
+      achievable = goal_.AchievableWith(child_completed, available);
+    }
+    if (!achievable) {
+      ++stats->pruned_availability;
+      return Verdict::kPrunedAvailability;
+    }
+  }
+  return Verdict::kKeep;
+}
+
+}  // namespace coursenav::internal

@@ -1,0 +1,89 @@
+#ifndef COURSENAV_CORE_PRUNING_H_
+#define COURSENAV_CORE_PRUNING_H_
+
+#include <unordered_map>
+
+#include "catalog/term.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "requirements/goal.h"
+#include "util/bitset.h"
+
+namespace coursenav {
+
+/// Tuning knobs of the goal-driven (and ranked) generators. The defaults
+/// are the paper's configuration; the all-off configuration is Table 1's
+/// "No Pruning" baseline.
+struct GoalDrivenConfig {
+  /// Equation 1 / Lemma 1: cut a candidate child when even taking the
+  /// maximum course load in every remaining semester cannot close the gap
+  /// to the goal.
+  bool enable_time_pruning = true;
+
+  /// Section 4.2.2: cut a candidate child when the goal is unsatisfiable
+  /// even after taking *every* course offered in the remaining semesters.
+  bool enable_availability_pruning = true;
+
+  /// "The student has to take at least min_i courses in semester s_i":
+  /// skip enumerating selections below the Equation 1 lower bound outright
+  /// instead of generating and pruning them one by one. Equivalent output,
+  /// faster; only active while time pruning is on.
+  bool enforce_min_selection = true;
+
+  /// Memoize availability-pruning verdicts per (semester, reachable-set)
+  /// key (effective for monotone goals only). Pure optimization; disable
+  /// for the ablation bench.
+  bool cache_availability_checks = true;
+};
+
+namespace internal {
+
+/// Implements the paper's two pruning strategies for one generation run,
+/// with instrumentation. Internal — used by the goal-driven and ranked
+/// generators.
+class PruningOracle {
+ public:
+  enum class Verdict { kKeep, kPrunedTime, kPrunedAvailability };
+
+  /// All references must outlive the oracle.
+  PruningOracle(const Goal& goal, const ExplorationEngine& engine,
+                const ExplorationOptions& options,
+                const GoalDrivenConfig& config);
+
+  /// `left_i` at a node about to be expanded, or -1 when time pruning is
+  /// disabled (the value is then never used).
+  int LeftAt(const DynamicBitset& completed) const;
+
+  /// Equation 1's per-semester minimum selection size at a node in
+  /// `parent_term` with remaining-course count `left_parent`; 1 when the
+  /// bound does not bind or min-selection enforcement is off. Selections
+  /// smaller than the returned size are provably time-pruned — callers may
+  /// skip enumerating them after accounting via `CountSelections`.
+  int MinSelectionSize(int left_parent, Term parent_term) const;
+
+  /// Applies time-based then course-availability pruning to a candidate
+  /// child (`child_completed` at `child_term`, reached by electing
+  /// `selection_size` courses). `left_parent` is `LeftAt` of the parent.
+  /// Increments the matching counter in `stats` when pruning.
+  Verdict ClassifyChild(const DynamicBitset& child_completed,
+                        int selection_size, Term child_term, int left_parent,
+                        ExplorationStats* stats);
+
+ private:
+  const Goal& goal_;
+  const ExplorationEngine& engine_;
+  const ExplorationOptions& options_;
+  const GoalDrivenConfig& config_;
+  bool goal_is_monotone_;
+
+  /// term index -> reachable-set -> achievability verdict.
+  std::unordered_map<
+      int, std::unordered_map<DynamicBitset, bool, DynamicBitsetHash>>
+      availability_cache_;
+};
+
+}  // namespace internal
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_PRUNING_H_

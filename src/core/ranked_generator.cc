@@ -1,0 +1,171 @@
+#include "core/ranked_generator.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/combinations.h"
+#include "core/engine.h"
+#include "graph/learning_graph.h"
+#include "util/stopwatch.h"
+
+namespace coursenav {
+
+namespace {
+
+/// Frontier entry ordered by f = g + h (accumulated cost plus the
+/// ranking's admissible cost-to-go bound), with insertion order as the
+/// deterministic tie-break. With a consistent heuristic, goal statuses
+/// still pop in non-decreasing true cost (f == g at goals), preserving
+/// Lemma 2's exact top-k.
+struct FrontierEntry {
+  double cost;  // f-value
+  int64_t sequence;
+  NodeId node;
+};
+
+struct FrontierCompare {
+  /// std::priority_queue is a max-heap; invert for a min-heap.
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.sequence > b.sequence;
+  }
+};
+
+}  // namespace
+
+Result<RankedResult> GenerateRankedPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const RankingFunction& ranking, int k, const ExplorationOptions& options,
+    const GoalDrivenConfig& config) {
+  COURSENAV_RETURN_IF_ERROR(
+      ValidateExplorationInputs(catalog, schedule, start, options));
+  if (end_term <= start.term) {
+    return Status::InvalidArgument("end semester must be after the start");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+
+  Stopwatch watch;
+  internal::ExplorationEngine engine(catalog, schedule, options, start.term,
+                                     end_term);
+  internal::PruningOracle oracle(goal, engine, options, config);
+  using Verdict = internal::PruningOracle::Verdict;
+
+  RankedResult result;
+  ExplorationStats& stats = result.stats;
+  LearningGraph graph;
+
+  DynamicBitset root_options =
+      ComputeOptions(catalog, schedule, start.completed, start.term, options);
+  NodeId root = graph.AddRoot(start.term, start.completed, root_options);
+  ++stats.nodes_created;
+
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                      FrontierCompare>
+      frontier;
+  int64_t sequence = 0;
+  const int m = options.max_courses_per_term;
+  frontier.push(
+      {ranking.RemainingCostLowerBound(start.completed, goal, m),
+       sequence++, root});
+
+  while (!frontier.empty() && static_cast<int>(result.paths.size()) < k) {
+    Status budget = engine.CheckBudget(graph, watch);
+    if (!budget.ok()) {
+      result.termination = budget;
+      break;
+    }
+    FrontierEntry entry = frontier.top();
+    frontier.pop();
+    NodeId current = entry.node;
+    ++stats.nodes_expanded;
+
+    const Term term = graph.node(current).term;
+    const DynamicBitset completed = graph.node(current).completed;
+    const DynamicBitset node_options = graph.node(current).options;
+
+    // Popping in cost order makes each goal hit the next-cheapest path.
+    if (goal.IsSatisfied(completed)) {
+      graph.MarkGoal(current);
+      ++stats.terminal_paths;
+      ++stats.goal_paths;
+      LearningPath path = LearningPath::FromGraph(graph, current);
+      result.paths.push_back(std::move(path));
+      continue;
+    }
+    if (term == end_term) {
+      ++stats.terminal_paths;
+      ++stats.dead_end_paths;
+      continue;
+    }
+
+    const Term child_term = term.Next();
+    const int left_parent = oracle.LeftAt(completed);
+
+    bool expanded = false;
+    auto consider_child = [&](const DynamicBitset& selection) {
+      DynamicBitset next_completed = completed;
+      next_completed |= selection;
+      if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
+                               left_parent, &stats) != Verdict::kKeep) {
+        return;
+      }
+      double edge_cost = ranking.EdgeCost(selection, term);
+      double child_cost =
+          ranking.Combine(graph.node(current).path_cost, edge_cost);
+      DynamicBitset next_options = ComputeOptions(
+          catalog, schedule, next_completed, child_term, options);
+      double cost_to_go =
+          ranking.RemainingCostLowerBound(next_completed, goal, m);
+      NodeId child = graph.AddChildWithPathCost(
+          current, selection, std::move(next_completed),
+          std::move(next_options), edge_cost, child_cost);
+      ++stats.nodes_created;
+      ++stats.edges_created;
+      frontier.push({child_cost + cost_to_go, sequence++, child});
+      expanded = true;
+    };
+
+    int min_selection = oracle.MinSelectionSize(left_parent, term);
+    if (min_selection > 1) {
+      int skipped_max =
+          std::min(min_selection - 1, options.max_courses_per_term);
+      stats.pruned_time += static_cast<int64_t>(
+          CountSelections(node_options.count(), 1, skipped_max));
+    }
+
+    if (!node_options.empty() && min_selection <= node_options.count()) {
+      bool completed_enumeration = ForEachSelection(
+          node_options, min_selection, options.max_courses_per_term,
+          [&](const DynamicBitset& selection) {
+            if (!engine.CheckBudget(graph, watch).ok()) return false;
+            consider_child(selection);
+            return true;
+          });
+      if (!completed_enumeration) {
+        result.termination = engine.CheckBudget(graph, watch);
+        break;
+      }
+    }
+
+    bool skip_edge =
+        options.allow_voluntary_skip ||
+        (node_options.empty() && engine.FutureCourseExists(completed, term));
+    if (skip_edge) {
+      consider_child(DynamicBitset(catalog.size()));
+    }
+
+    if (!expanded) {
+      ++stats.terminal_paths;
+      ++stats.dead_end_paths;
+    }
+  }
+
+  stats.runtime_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace coursenav

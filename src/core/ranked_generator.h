@@ -1,0 +1,51 @@
+#ifndef COURSENAV_CORE_RANKED_GENERATOR_H_
+#define COURSENAV_CORE_RANKED_GENERATOR_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/enrollment.h"
+#include "core/options.h"
+#include "core/pruning.h"
+#include "core/ranking.h"
+#include "core/stats.h"
+#include "graph/path.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Output of the ranked generator: up to k goal-reaching paths in
+/// non-decreasing cost order.
+struct RankedResult {
+  std::vector<LearningPath> paths;
+  ExplorationStats stats;
+  /// OK when the search ran to completion (k paths found or the whole goal
+  /// space exhausted); a budget status when it stopped early.
+  Status termination;
+};
+
+/// Section 4.3: ranked (top-k) goal-driven learning paths.
+///
+/// Best-first search over the learning graph: the frontier is ordered by
+/// accumulated path cost under `ranking`, and each time a goal-satisfying
+/// status is popped its root path is emitted. With non-negative edge costs
+/// this is uniform-cost search, so the k emitted paths are exactly the k
+/// cheapest goal paths (Lemma 2). The same pruning strategies as the
+/// goal-driven generator apply.
+///
+/// Ties are broken deterministically by insertion order. `goal` and
+/// `ranking` must outlive the call. Fewer than `k` paths may be returned
+/// when the goal space is smaller than k (termination stays OK) or when a
+/// budget is hit (termination carries the budget status).
+Result<RankedResult> GenerateRankedPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const RankingFunction& ranking, int k, const ExplorationOptions& options,
+    const GoalDrivenConfig& config = {});
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_RANKED_GENERATOR_H_

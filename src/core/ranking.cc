@@ -1,0 +1,65 @@
+#include "core/ranking.h"
+
+#include <cmath>
+#include <limits>
+
+namespace coursenav {
+
+double TimeRanking::EdgeCost(const DynamicBitset& selection,
+                             Term term) const {
+  (void)selection;
+  (void)term;
+  return 1.0;
+}
+
+double TimeRanking::RemainingCostLowerBound(const DynamicBitset& completed,
+                                            const Goal& goal,
+                                            int max_courses_per_term) const {
+  int left = goal.MinCoursesRemaining(completed);
+  if (left >= kGoalUnreachable) {
+    return static_cast<double>(kGoalUnreachable);
+  }
+  if (left <= 0) return 0.0;
+  return static_cast<double>((left + max_courses_per_term - 1) /
+                             max_courses_per_term);
+}
+
+double WorkloadRanking::EdgeCost(const DynamicBitset& selection,
+                                 Term term) const {
+  (void)term;
+  double total = 0.0;
+  selection.ForEach([&](int id) {
+    total += catalog_->course(static_cast<CourseId>(id)).workload_hours;
+  });
+  return total;
+}
+
+double BottleneckWorkloadRanking::EdgeCost(const DynamicBitset& selection,
+                                           Term term) const {
+  return WorkloadRanking(catalog_).EdgeCost(selection, term);
+}
+
+double BottleneckWorkloadRanking::Combine(double path_cost,
+                                          double edge_cost) const {
+  return path_cost > edge_cost ? path_cost : edge_cost;
+}
+
+double ReliabilityRanking::EdgeCost(const DynamicBitset& selection,
+                                    Term term) const {
+  double cost = 0.0;
+  selection.ForEach([&](int id) {
+    double p = model_->Probability(static_cast<CourseId>(id), term);
+    if (p <= 0.0) {
+      cost = std::numeric_limits<double>::infinity();
+    } else if (cost != std::numeric_limits<double>::infinity()) {
+      cost += -std::log(p);
+    }
+  });
+  return cost;
+}
+
+double ReliabilityRanking::CostToReliability(double cost) {
+  return std::exp(-cost);
+}
+
+}  // namespace coursenav

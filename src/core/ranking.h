@@ -1,0 +1,127 @@
+#ifndef COURSENAV_CORE_RANKING_H_
+#define COURSENAV_CORE_RANKING_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule_history.h"
+#include "catalog/term.h"
+#include "requirements/goal.h"
+#include "util/bitset.h"
+
+namespace coursenav {
+
+/// A customizable path-ranking function (Section 4.3.1).
+///
+/// A ranking assigns a cost to each edge — electing `selection` in `term` —
+/// and the cost of a path is the sum of its edge costs; lower is better.
+/// Costs must be non-negative: the ranked generator's best-first search
+/// (Lemma 2) relies on subpaths never costing more than their extensions.
+class RankingFunction {
+ public:
+  virtual ~RankingFunction() = default;
+
+  /// Cost of electing `selection` during semester `term`. Must be >= 0.
+  virtual double EdgeCost(const DynamicBitset& selection, Term term) const = 0;
+
+  /// Folds one edge into an accumulated path cost. The default is addition
+  /// (the paper's three rankings are all additive); overrides must keep
+  /// the fold *monotone* — `Combine(c, e) >= c` for every `e >= 0` — which
+  /// is the property Lemma 2's best-first argument needs. Bottleneck-style
+  /// rankings override this with `max`.
+  virtual double Combine(double path_cost, double edge_cost) const {
+    return path_cost + edge_cost;
+  }
+
+  /// An admissible lower bound on the remaining cost from a status with
+  /// completed set `completed` to any goal-satisfying status, taking at
+  /// most `max_courses_per_term` courses per semester. The ranked
+  /// generator runs A* with this as the heuristic; returning 0 (the
+  /// default) degrades gracefully to uniform-cost search. To keep Lemma 2
+  /// (exact top-k), implementations must be *consistent*: the bound may
+  /// drop by at most `EdgeCost(W, ·)` per transition.
+  virtual double RemainingCostLowerBound(const DynamicBitset& completed,
+                                         const Goal& goal,
+                                         int max_courses_per_term) const {
+    (void)completed;
+    (void)goal;
+    (void)max_courses_per_term;
+    return 0.0;
+  }
+
+  /// Identifier used in logs and bench output, e.g. "time".
+  virtual std::string name() const = 0;
+};
+
+/// Time-based ranking: every edge costs 1, so a path's cost is its length
+/// in semesters — top-k are the k shortest-in-time paths.
+class TimeRanking final : public RankingFunction {
+ public:
+  double EdgeCost(const DynamicBitset& selection, Term term) const override;
+  /// At least ceil(left / m) more semesters are needed when `left` courses
+  /// are still missing; consistent because one semester completes at most
+  /// m courses.
+  double RemainingCostLowerBound(const DynamicBitset& completed,
+                                 const Goal& goal,
+                                 int max_courses_per_term) const override;
+  std::string name() const override { return "time"; }
+};
+
+/// Workload-based ranking: an edge costs the sum of `w(c_i)` (weekly study
+/// hours) of its elected courses — top-k are the "easiest" paths.
+class WorkloadRanking final : public RankingFunction {
+ public:
+  /// `catalog` must outlive the ranking.
+  explicit WorkloadRanking(const Catalog* catalog) : catalog_(catalog) {}
+
+  double EdgeCost(const DynamicBitset& selection, Term term) const override;
+  std::string name() const override { return "workload"; }
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Bottleneck-workload ranking (extension beyond the paper's three): ranks
+/// by the *heaviest single semester* on the path, for students who care
+/// about their worst term rather than total effort. The fold is `max`
+/// instead of `+`; monotone, so top-k optimality is preserved.
+class BottleneckWorkloadRanking final : public RankingFunction {
+ public:
+  /// `catalog` must outlive the ranking.
+  explicit BottleneckWorkloadRanking(const Catalog* catalog)
+      : catalog_(catalog) {}
+
+  double EdgeCost(const DynamicBitset& selection, Term term) const override;
+  double Combine(double path_cost, double edge_cost) const override;
+  std::string name() const override { return "bottleneck-workload"; }
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Reliability-based ranking: the paper defines a path's reliability as the
+/// product over its courses of `prob(c_i, s)` — the probability the course
+/// is actually offered. Maximizing a product of probabilities is minimizing
+/// the sum of `-log prob`, which is this ranking's (non-negative) edge
+/// cost. A zero-probability offering yields +infinity: the path can never
+/// materialize.
+class ReliabilityRanking final : public RankingFunction {
+ public:
+  /// `model` must outlive the ranking.
+  explicit ReliabilityRanking(const OfferingProbabilityModel* model)
+      : model_(model) {}
+
+  double EdgeCost(const DynamicBitset& selection, Term term) const override;
+  std::string name() const override { return "reliability"; }
+
+  /// Converts an accumulated path cost back into the path's reliability
+  /// probability (`exp(-cost)`).
+  static double CostToReliability(double cost);
+
+ private:
+  const OfferingProbabilityModel* model_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_RANKING_H_

@@ -1,0 +1,21 @@
+#include "core/stats.h"
+
+#include "util/string_util.h"
+
+namespace coursenav {
+
+std::string ExplorationStats::ToString() const {
+  return StrFormat(
+      "nodes=%lld edges=%lld expanded=%lld paths=%lld (goal=%lld dead=%lld) "
+      "pruned_time=%lld pruned_avail=%lld runtime=%.3fs",
+      static_cast<long long>(nodes_created),
+      static_cast<long long>(edges_created),
+      static_cast<long long>(nodes_expanded),
+      static_cast<long long>(terminal_paths),
+      static_cast<long long>(goal_paths),
+      static_cast<long long>(dead_end_paths),
+      static_cast<long long>(pruned_time),
+      static_cast<long long>(pruned_availability), runtime_seconds);
+}
+
+}  // namespace coursenav

@@ -1,0 +1,43 @@
+#ifndef COURSENAV_CORE_STATS_H_
+#define COURSENAV_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace coursenav {
+
+/// Instrumentation emitted by every generator; the benchmark harnesses
+/// report these directly (Table 1's pruning breakdown, Table 2's path
+/// counts).
+struct ExplorationStats {
+  /// Nodes materialized into the learning graph.
+  int64_t nodes_created = 0;
+  /// Edges materialized.
+  int64_t edges_created = 0;
+  /// Nodes whose expansion was attempted (popped from the worklist).
+  int64_t nodes_expanded = 0;
+
+  /// Leaves of the generated graph == learning paths in the output.
+  int64_t terminal_paths = 0;
+  /// Leaves satisfying the exploration condition (deadline reached, or the
+  /// goal requirement holds).
+  int64_t goal_paths = 0;
+  /// Leaves that are dead ends (no options, no future offerings).
+  int64_t dead_end_paths = 0;
+
+  /// Candidate children rejected by the time-based strategy (Eq. 1).
+  int64_t pruned_time = 0;
+  /// Candidate children rejected by the course-availability strategy.
+  int64_t pruned_availability = 0;
+
+  double runtime_seconds = 0.0;
+
+  int64_t TotalPruned() const { return pruned_time + pruned_availability; }
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_CORE_STATS_H_

@@ -1,0 +1,199 @@
+#include "data/brandeis_cs.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "parsers/prereq_parser.h"
+#include "util/logging.h"
+
+namespace coursenav::data {
+
+namespace {
+
+/// Offering cadence over the Fall 2011 – Fall 2015 window.
+enum class Cadence {
+  kEveryTerm,
+  kEveryFall,
+  kEverySpring,
+  kFallOddYears,    // Fall 2011, 2013, 2015
+  kSpringEvenYears  // Spring 2012, 2014
+};
+
+struct CourseSpec {
+  const char* code;
+  const char* title;
+  double workload;
+  const char* prereq;  // ParsePrerequisiteText input; "" = none
+  Cadence cadence;
+  bool core;
+};
+
+/// 38 courses: 7 core + 31 electives. Prerequisite depth reaches 4
+/// (11A → 21A → 21B → 35A), so a from-scratch major is completable in 4
+/// semesters at m = 3 but only along tightly scheduled paths — the regime
+/// the paper's pruning numbers come from.
+constexpr CourseSpec kCourses[] = {
+    // --- Core (7) ---
+    {"COSI11A", "Programming in Java", 8, "", Cadence::kEveryTerm, true},
+    {"COSI12B", "Advanced Programming Techniques", 9, "COSI 11a",
+     Cadence::kEveryTerm, true},
+    {"COSI21A", "Data Structures and Algorithms", 10, "COSI 11a",
+     Cadence::kEveryTerm, true},
+    {"COSI21B", "Computer Systems", 10, "COSI 21a", Cadence::kEveryTerm,
+     true},
+    {"COSI29A", "Discrete Structures", 8, "", Cadence::kEveryTerm, true},
+    {"COSI30A", "Introduction to the Theory of Computation", 9,
+     "COSI 21a and COSI 29a", Cadence::kEveryFall, true},
+    {"COSI35A", "Operating Systems", 11, "COSI 21b", Cadence::kEverySpring,
+     true},
+    // --- Electives (31) ---
+    {"COSI2A", "How Computers Work", 5, "", Cadence::kEveryTerm, false},
+    {"COSI65A", "Introduction to 3-D Animation", 6, "", Cadence::kEveryFall,
+     false},
+    {"COSI33B", "Internet and Society", 6, "", Cadence::kEverySpring, false},
+    {"COSI45A", "Programming Languages", 9, "COSI 21a", Cadence::kFallOddYears,
+     false},
+    {"COSI100A", "Software Engineering", 9, "COSI 12b", Cadence::kEveryFall,
+     false},
+    {"COSI101A", "Artificial Intelligence", 10, "COSI 21a and COSI 29a",
+     Cadence::kEveryFall, false},
+    {"COSI102A", "Machine Learning", 10, "COSI 101a", Cadence::kSpringEvenYears,
+     false},
+    {"COSI103A", "Computer Vision", 9, "COSI 21a", Cadence::kSpringEvenYears,
+     false},
+    {"COSI104A", "Robotics", 8, "COSI 11a", Cadence::kFallOddYears, false},
+    {"COSI105A", "Computational Biology", 8, "COSI 11a",
+     Cadence::kEverySpring, false},
+    {"COSI107A", "Database Systems", 9, "COSI 21a", Cadence::kFallOddYears,
+     false},
+    {"COSI108A", "Distributed Systems", 10, "COSI 21b",
+     Cadence::kSpringEvenYears, false},
+    {"COSI109A", "Computer Networks", 9, "COSI 12b", Cadence::kFallOddYears,
+     false},
+    {"COSI110A", "Compiler Design", 11, "COSI 21b and COSI 29a",
+     Cadence::kSpringEvenYears, false},
+    {"COSI111A", "Cryptography", 9, "COSI 29a", Cadence::kFallOddYears, false},
+    {"COSI112A", "Advanced Algorithms", 10, "COSI 21a and COSI 29a",
+     Cadence::kSpringEvenYears, false},
+    {"COSI113A", "Information Retrieval", 8, "COSI 21a", Cadence::kFallOddYears,
+     false},
+    {"COSI114A", "Natural Language Processing", 9, "COSI 101a",
+     Cadence::kSpringEvenYears, false},
+    {"COSI115A", "Computer Graphics", 9, "COSI 12b", Cadence::kEveryFall,
+     false},
+    {"COSI116A", "Human-Computer Interaction", 7, "COSI 11a",
+     Cadence::kEverySpring, false},
+    {"COSI117A", "Computer Security", 9, "COSI 21b", Cadence::kFallOddYears,
+     false},
+    {"COSI118A", "Parallel Computing", 10, "COSI 21b", Cadence::kSpringEvenYears,
+     false},
+    {"COSI119A", "Web Application Development", 7, "COSI 12b",
+     Cadence::kEveryTerm, false},
+    {"COSI120A", "Mobile Application Development", 7, "COSI 12b",
+     Cadence::kSpringEvenYears, false},
+    {"COSI121A", "Game Design", 7, "COSI 12b or COSI 2a", Cadence::kFallOddYears,
+     false},
+    {"COSI122A", "Data Mining", 9, "COSI 21a", Cadence::kSpringEvenYears, false},
+    {"COSI123A", "Embedded Systems", 10, "COSI 21b", Cadence::kFallOddYears,
+     false},
+    {"COSI124A", "Mathematical Logic", 8, "COSI 29a", Cadence::kSpringEvenYears,
+     false},
+    {"COSI125A", "Numerical Methods", 8, "COSI 11a", Cadence::kFallOddYears,
+     false},
+    {"COSI126A", "Quantum Computing", 11, "COSI 21a and COSI 29a",
+     Cadence::kSpringEvenYears, false},
+    {"COSI127A", "Bioinformatics Seminar", 8, "COSI 105a",
+     Cadence::kFallOddYears, false},
+};
+
+void AddOfferings(OfferingSchedule* schedule, CourseId id, Cadence cadence,
+                  Term first, Term last) {
+  for (Term t = first; t <= last; t = t.Next()) {
+    bool offered = false;
+    switch (cadence) {
+      case Cadence::kEveryTerm:
+        offered = true;
+        break;
+      case Cadence::kEveryFall:
+        offered = t.season() == Season::kFall;
+        break;
+      case Cadence::kEverySpring:
+        offered = t.season() == Season::kSpring;
+        break;
+      case Cadence::kFallOddYears:
+        offered = t.season() == Season::kFall && t.year() % 2 == 1;
+        break;
+      case Cadence::kSpringEvenYears:
+        offered = t.season() == Season::kSpring && t.year() % 2 == 0;
+        break;
+    }
+    if (offered) {
+      Status status = schedule->AddOffering(id, t);
+      assert(status.ok());
+      (void)status;
+    }
+  }
+}
+
+/// Aborts on construction failure: the table is static data and any error
+/// in it is a bug, not a runtime condition.
+void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    COURSENAV_LOG(kError) << "Brandeis dataset construction failed: "
+                          << status.ToString();
+    std::abort();
+  }
+}
+
+}  // namespace
+
+BrandeisDataset BuildBrandeisDataset() {
+  BrandeisDataset data;
+  data.first_term = Term(Season::kFall, 2011);
+  data.last_term = Term(Season::kFall, 2015);
+
+  for (const CourseSpec& spec : kCourses) {
+    Course course;
+    course.code = spec.code;
+    course.title = spec.title;
+    course.workload_hours = spec.workload;
+    Result<expr::Expr> prereq = ParsePrerequisiteText(spec.prereq);
+    CheckOk(prereq.status());
+    course.prerequisites = std::move(prereq).value();
+    Result<CourseId> id = data.catalog.AddCourse(std::move(course));
+    CheckOk(id.status());
+    (spec.core ? data.core_codes : data.elective_codes)
+        .push_back(spec.code);
+  }
+  CheckOk(data.catalog.Finalize());
+
+  data.schedule = OfferingSchedule(data.catalog.size());
+  for (const CourseSpec& spec : kCourses) {
+    Result<CourseId> id = data.catalog.FindByCode(spec.code);
+    CheckOk(id.status());
+    AddOfferings(&data.schedule, *id, spec.cadence, data.first_term,
+                 data.last_term);
+  }
+
+  // The CS major: all 7 core courses plus any 5 electives.
+  Result<std::shared_ptr<const DegreeRequirement>> major =
+      DegreeRequirement::Builder(&data.catalog)
+          .AddGroup("core", data.core_codes, 7)
+          .AddGroup("electives", data.elective_codes, 5)
+          .Build();
+  CheckOk(major.status());
+  data.cs_major = std::move(major).value();
+  return data;
+}
+
+Term StartTermForSpan(int num_semesters) {
+  assert(num_semesters >= 1);
+  // A span of n semesters means n enrollment semesters before the end
+  // deadline: the paper's "Fall '12 to Fall '15" period is the 6-semester
+  // row (enrollments in F12, S13, F13, S14, F14, S15; deadline F15).
+  return EvaluationEndTerm().Plus(-num_semesters);
+}
+
+Term EvaluationEndTerm() { return Term(Season::kFall, 2015); }
+
+}  // namespace coursenav::data

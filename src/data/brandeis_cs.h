@@ -1,0 +1,54 @@
+#ifndef COURSENAV_DATA_BRANDEIS_CS_H_
+#define COURSENAV_DATA_BRANDEIS_CS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "requirements/degree_requirement.h"
+
+namespace coursenav::data {
+
+/// The evaluation dataset: a deterministic synthetic stand-in for the 38
+/// Brandeis Computer Science courses and class schedules (academic window
+/// Fall 2011 – Fall 2015) used in the paper's Section 5.
+///
+/// The real registrar data is not public; this catalog mirrors its
+/// structural properties — 38 courses, a 7-core / 31-elective split,
+/// realistic prerequisite chains (depth up to 4), intro courses offered
+/// every semester and upper-level courses on yearly Fall/Spring patterns —
+/// which are what drive the branching factors and pruning rates the
+/// evaluation measures.
+struct BrandeisDataset {
+  Catalog catalog;
+  OfferingSchedule schedule;
+  /// The CS-major goal: 7 core courses plus 5 electives (credit allocation
+  /// via max-flow; a course counts toward one group).
+  std::shared_ptr<const DegreeRequirement> cs_major;
+  std::vector<std::string> core_codes;
+  std::vector<std::string> elective_codes;
+  /// First and last term covered by the schedule.
+  Term first_term;
+  Term last_term;
+
+  BrandeisDataset() : schedule(0) {}
+};
+
+/// Builds the dataset. Infallible by construction (the table is validated
+/// by unit tests); aborts on internal inconsistency.
+BrandeisDataset BuildBrandeisDataset();
+
+/// The paper's start semester for an exploration spanning `num_semesters`
+/// enrollment semesters with the deadline fixed at Fall 2015: e.g.
+/// 6 -> Fall 2012 (the paper's "Fall '12 to Fall '15" period).
+Term StartTermForSpan(int num_semesters);
+
+/// The fixed end semester of the evaluation window (Fall 2015).
+Term EvaluationEndTerm();
+
+}  // namespace coursenav::data
+
+#endif  // COURSENAV_DATA_BRANDEIS_CS_H_

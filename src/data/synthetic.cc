@@ -1,0 +1,101 @@
+#include "data/synthetic.h"
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace coursenav::data {
+
+Result<CatalogBundle> BuildSyntheticCatalog(const SyntheticConfig& config) {
+  if (config.num_courses < 1) {
+    return Status::InvalidArgument("num_courses must be >= 1");
+  }
+  if (config.num_intro_courses < 1 ||
+      config.num_intro_courses > config.num_courses) {
+    return Status::InvalidArgument(
+        "num_intro_courses must be in [1, num_courses]");
+  }
+  if (config.num_layers < 1) {
+    return Status::InvalidArgument("num_layers must be >= 1");
+  }
+  if (config.max_prereq_terms < 1) {
+    return Status::InvalidArgument("max_prereq_terms must be >= 1");
+  }
+  if (config.first_term > config.last_term) {
+    return Status::InvalidArgument("schedule window is reversed");
+  }
+
+  Random rng(config.seed);
+  CatalogBundle bundle;
+
+  // Assign courses to layers: intro courses form layer 0, the rest spread
+  // round-robin over layers 1..num_layers-1 (or stay in layer 0 when there
+  // is only one layer).
+  std::vector<int> layer_of(static_cast<size_t>(config.num_courses));
+  std::vector<std::vector<int>> by_layer(
+      static_cast<size_t>(config.num_layers));
+  for (int i = 0; i < config.num_courses; ++i) {
+    int layer = 0;
+    if (i >= config.num_intro_courses && config.num_layers > 1) {
+      layer = 1 + (i - config.num_intro_courses) % (config.num_layers - 1);
+    }
+    layer_of[static_cast<size_t>(i)] = layer;
+    by_layer[static_cast<size_t>(layer)].push_back(i);
+  }
+
+  auto code_of = [](int i) { return StrFormat("SYN%03d", i); };
+
+  for (int i = 0; i < config.num_courses; ++i) {
+    Course course;
+    course.code = code_of(i);
+    course.title = StrFormat("Synthetic Course %d", i);
+    course.workload_hours =
+        config.min_workload +
+        rng.UniformDouble() * (config.max_workload - config.min_workload);
+
+    int layer = layer_of[static_cast<size_t>(i)];
+    if (layer > 0) {
+      // Candidate prerequisites: every course in a strictly earlier layer.
+      std::vector<int> candidates;
+      for (int l = 0; l < layer; ++l) {
+        for (int c : by_layer[static_cast<size_t>(l)]) candidates.push_back(c);
+      }
+      int num_terms = rng.UniformInt(1, config.max_prereq_terms);
+      std::vector<expr::Expr> conjuncts;
+      for (int t = 0; t < num_terms && !candidates.empty(); ++t) {
+        int a = candidates[static_cast<size_t>(
+            rng.Uniform(candidates.size()))];
+        if (candidates.size() >= 2 && rng.Bernoulli(config.or_probability)) {
+          int b = a;
+          while (b == a) {
+            b = candidates[static_cast<size_t>(
+                rng.Uniform(candidates.size()))];
+          }
+          conjuncts.push_back(expr::Expr::Or(
+              {expr::Expr::Var(code_of(a)), expr::Expr::Var(code_of(b))}));
+        } else {
+          conjuncts.push_back(expr::Expr::Var(code_of(a)));
+        }
+      }
+      course.prerequisites = expr::Expr::And(std::move(conjuncts));
+    }
+    COURSENAV_RETURN_IF_ERROR(
+        bundle.catalog.AddCourse(std::move(course)).status());
+  }
+  COURSENAV_RETURN_IF_ERROR(bundle.catalog.Finalize());
+
+  bundle.schedule = OfferingSchedule(bundle.catalog.size());
+  for (int i = 0; i < config.num_courses; ++i) {
+    bool is_intro = layer_of[static_cast<size_t>(i)] == 0;
+    for (Term t = config.first_term; t <= config.last_term; t = t.Next()) {
+      if (is_intro || rng.Bernoulli(config.offering_probability)) {
+        COURSENAV_RETURN_IF_ERROR(
+            bundle.schedule.AddOffering(static_cast<CourseId>(i), t));
+      }
+    }
+  }
+  return bundle;
+}
+
+}  // namespace coursenav::data

@@ -1,0 +1,45 @@
+#ifndef COURSENAV_DATA_SYNTHETIC_H_
+#define COURSENAV_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "catalog/term.h"
+#include "parsers/catalog_loader.h"
+#include "util/result.h"
+
+namespace coursenav::data {
+
+/// Parameters of the random catalog generator used for scaling studies and
+/// property tests beyond the fixed 38-course evaluation dataset.
+struct SyntheticConfig {
+  /// Total courses; split into `num_layers` prerequisite layers.
+  int num_courses = 38;
+  /// Courses in layer 0 have no prerequisites.
+  int num_intro_courses = 5;
+  /// Prerequisite layers; a course in layer L draws prerequisites from
+  /// layers < L only, so the catalog is acyclic by construction.
+  int num_layers = 4;
+  /// Per non-intro course: number of conjunctive prerequisite terms
+  /// (1..max). Each term is a single course or a 2-way disjunction.
+  int max_prereq_terms = 2;
+  /// Probability a prerequisite term is a 2-way "or".
+  double or_probability = 0.3;
+  /// Probability a course is offered in any given semester (intro courses
+  /// are always offered every semester).
+  double offering_probability = 0.6;
+  /// Schedule window.
+  Term first_term = Term(Season::kFall, 2011);
+  Term last_term = Term(Season::kFall, 2015);
+  /// Workload hours are drawn uniformly from [min, max].
+  double min_workload = 5.0;
+  double max_workload = 12.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a random — but seed-deterministic — finalized catalog and
+/// schedule. Fails only on inconsistent configuration.
+Result<CatalogBundle> BuildSyntheticCatalog(const SyntheticConfig& config);
+
+}  // namespace coursenav::data
+
+#endif  // COURSENAV_DATA_SYNTHETIC_H_

@@ -1,0 +1,54 @@
+#ifndef COURSENAV_DATA_TRANSCRIPTS_H_
+#define COURSENAV_DATA_TRANSCRIPTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "core/enrollment.h"
+#include "core/options.h"
+#include "graph/path.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav::data {
+
+/// Parameters for the transcript simulator.
+struct TranscriptSimulationConfig {
+  /// How many student paths to produce (the paper used 83 real ones).
+  int num_students = 83;
+  /// Random-walk retries per student before giving up.
+  int max_attempts_per_student = 500;
+  /// Probability a student takes a full load (m courses) in a semester;
+  /// otherwise a uniform 1..m load is drawn.
+  double diligence = 0.85;
+  /// Probability a picked course is goal-advancing when one is available
+  /// (the rest of the time students wander into unrelated electives).
+  double focus = 0.9;
+  uint64_t seed = 7;
+};
+
+/// Simulates anonymized student transcripts as randomized goal-seeking
+/// walks through the enrollment-status space — the stand-in for the 83
+/// real Brandeis transcripts of the paper's §5.2 containment experiment.
+///
+/// Every returned path starts at `start`, follows the same feasibility
+/// rules as the generators (offered, prerequisites satisfied, at most `m`
+/// per semester, empty semesters only when nothing is electable), and
+/// reaches a status satisfying `goal` no later than `end_term`. By Lemma 1
+/// soundness every such path must appear in the goal-driven generator's
+/// output — which is exactly what the containment bench verifies.
+///
+/// Fails with ResourceExhausted if fewer than `config.num_students` walks
+/// reach the goal within the retry budget (a sign the scenario is
+/// over-constrained).
+Result<std::vector<LearningPath>> SimulateTranscripts(
+    const Catalog& catalog, const OfferingSchedule& schedule, const Goal& goal,
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options,
+    const TranscriptSimulationConfig& config);
+
+}  // namespace coursenav::data
+
+#endif  // COURSENAV_DATA_TRANSCRIPTS_H_

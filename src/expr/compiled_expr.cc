@@ -1,0 +1,124 @@
+#include "expr/compiled_expr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coursenav::expr {
+
+CompiledExpr::CompiledExpr() {
+  ops_.push_back({OpCode::kPushTrue, 0});
+}
+
+Status CompiledExpr::CompileNode(const Expr& node, const VarResolver& resolver,
+                                 std::vector<Op>* out) {
+  switch (node.kind()) {
+    case Expr::Kind::kConst:
+      out->push_back(
+          {node.const_value() ? OpCode::kPushTrue : OpCode::kPushFalse, 0});
+      return Status::OK();
+    case Expr::Kind::kVar: {
+      Result<int> id = resolver(node.var_name());
+      if (!id.ok()) return id.status();
+      out->push_back({OpCode::kPushVar, *id});
+      return Status::OK();
+    }
+    case Expr::Kind::kNot:
+      COURSENAV_RETURN_IF_ERROR(
+          CompileNode(node.operands()[0], resolver, out));
+      out->push_back({OpCode::kNot, 0});
+      return Status::OK();
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      for (const Expr& op : node.operands()) {
+        COURSENAV_RETURN_IF_ERROR(CompileNode(op, resolver, out));
+      }
+      out->push_back({node.kind() == Expr::Kind::kAnd ? OpCode::kAnd
+                                                      : OpCode::kOr,
+                      static_cast<int32_t>(node.operands().size())});
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown expression node kind");
+}
+
+Result<CompiledExpr> CompiledExpr::Compile(const Expr& source,
+                                           const VarResolver& resolver) {
+  CompiledExpr compiled;
+  compiled.ops_.clear();
+  COURSENAV_RETURN_IF_ERROR(
+      CompileNode(source, resolver, &compiled.ops_));
+  for (const Op& op : compiled.ops_) {
+    if (op.code == OpCode::kPushVar) {
+      compiled.referenced_ids_.push_back(op.arg);
+    }
+  }
+  std::sort(compiled.referenced_ids_.begin(), compiled.referenced_ids_.end());
+  compiled.referenced_ids_.erase(
+      std::unique(compiled.referenced_ids_.begin(),
+                  compiled.referenced_ids_.end()),
+      compiled.referenced_ids_.end());
+  return compiled;
+}
+
+bool CompiledExpr::Eval(const DynamicBitset& completed) const {
+  // Fixed-capacity stack covers all realistic prerequisite programs; a
+  // heap vector takes over for pathological depth.
+  constexpr int kInlineCapacity = 64;
+  bool inline_stack[kInlineCapacity] = {};
+  std::vector<bool> heap_stack;
+  const bool use_heap = ops_.size() > kInlineCapacity;
+  if (use_heap) heap_stack.resize(ops_.size());
+
+  int top = 0;  // next free slot
+  auto push = [&](bool v) {
+    if (use_heap) {
+      heap_stack[static_cast<size_t>(top++)] = v;
+    } else {
+      inline_stack[top++] = v;
+    }
+  };
+  auto at = [&](int idx) -> bool {
+    return use_heap ? static_cast<bool>(heap_stack[static_cast<size_t>(idx)])
+                    : inline_stack[idx];
+  };
+
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case OpCode::kPushTrue:
+        push(true);
+        break;
+      case OpCode::kPushFalse:
+        push(false);
+        break;
+      case OpCode::kPushVar:
+        push(completed.test(op.arg));
+        break;
+      case OpCode::kNot: {
+        bool v = at(top - 1);
+        top -= 1;
+        push(!v);
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        int n = op.arg;
+        bool acc = op.code == OpCode::kAnd;
+        for (int i = 0; i < n; ++i) {
+          bool v = at(top - n + i);
+          acc = op.code == OpCode::kAnd ? (acc && v) : (acc || v);
+        }
+        top -= n;
+        push(acc);
+        break;
+      }
+    }
+  }
+  assert(top == 1);
+  return at(0);
+}
+
+bool CompiledExpr::IsAlwaysTrue() const {
+  return ops_.size() == 1 && ops_[0].code == OpCode::kPushTrue;
+}
+
+}  // namespace coursenav::expr

@@ -1,0 +1,67 @@
+#ifndef COURSENAV_EXPR_COMPILED_EXPR_H_
+#define COURSENAV_EXPR_COMPILED_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/expr.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace coursenav::expr {
+
+/// Resolves a course code to its dense id within some catalog, or an error if
+/// the code is unknown.
+using VarResolver = std::function<Result<int>(std::string_view)>;
+
+/// A prerequisite expression compiled to a flat postfix program over dense
+/// course ids, evaluated against a completed-course bitset.
+///
+/// This is the representation used on the generator hot path: computing the
+/// option set `Y_i` evaluates every not-yet-completed course's prerequisite
+/// against `X_i`, millions of times per exploration. Evaluation is
+/// allocation-free (the value stack is a fixed-capacity local array for
+/// expressions up to depth 64, falling back to heap beyond that — in
+/// practice prerequisite expressions are tiny).
+class CompiledExpr {
+ public:
+  /// An always-true program (course with no prerequisites).
+  CompiledExpr();
+
+  /// Compiles `source`, resolving every variable via `resolver`.
+  static Result<CompiledExpr> Compile(const Expr& source,
+                                      const VarResolver& resolver);
+
+  /// Evaluates against the set of completed courses.
+  bool Eval(const DynamicBitset& completed) const;
+
+  /// Dense ids of all referenced courses, ascending and deduplicated.
+  const std::vector<int>& referenced_ids() const { return referenced_ids_; }
+
+  /// True if the program is the constant `true`.
+  bool IsAlwaysTrue() const;
+
+  /// Number of instructions (size metric).
+  int ProgramSize() const { return static_cast<int>(ops_.size()); }
+
+ private:
+  enum class OpCode : uint8_t { kPushTrue, kPushFalse, kPushVar, kNot, kAnd,
+                                kOr };
+  struct Op {
+    OpCode code;
+    int32_t arg;  // var id for kPushVar; operand count for kAnd/kOr
+  };
+
+  static Status CompileNode(const Expr& node, const VarResolver& resolver,
+                            std::vector<Op>* out);
+
+  std::vector<Op> ops_;
+  std::vector<int> referenced_ids_;
+};
+
+}  // namespace coursenav::expr
+
+#endif  // COURSENAV_EXPR_COMPILED_EXPR_H_

@@ -1,0 +1,219 @@
+#include "expr/dnf.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace coursenav::expr {
+
+namespace {
+
+/// Expression tree over resolved ids in negation normal form, the
+/// intermediate step of the DNF conversion.
+struct NnfNode {
+  enum class Kind { kTrue, kFalse, kLit, kAnd, kOr };
+  Kind kind;
+  int var_id = -1;
+  bool negated = false;
+  std::vector<NnfNode> children;
+};
+
+Result<NnfNode> ToNnf(const Expr& node, const VarResolver& resolver,
+                      bool negate) {
+  switch (node.kind()) {
+    case Expr::Kind::kConst: {
+      NnfNode out;
+      out.kind = (node.const_value() != negate) ? NnfNode::Kind::kTrue
+                                                : NnfNode::Kind::kFalse;
+      return out;
+    }
+    case Expr::Kind::kVar: {
+      Result<int> id = resolver(node.var_name());
+      if (!id.ok()) return id.status();
+      NnfNode out;
+      out.kind = NnfNode::Kind::kLit;
+      out.var_id = *id;
+      out.negated = negate;
+      return out;
+    }
+    case Expr::Kind::kNot:
+      return ToNnf(node.operands()[0], resolver, !negate);
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      bool is_and = (node.kind() == Expr::Kind::kAnd) != negate;
+      NnfNode out;
+      out.kind = is_and ? NnfNode::Kind::kAnd : NnfNode::Kind::kOr;
+      out.children.reserve(node.operands().size());
+      for (const Expr& op : node.operands()) {
+        COURSENAV_ASSIGN_OR_RETURN(NnfNode child,
+                                   ToNnf(op, resolver, negate));
+        out.children.push_back(std::move(child));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown expression node kind");
+}
+
+}  // namespace
+
+void Dnf::AddClause(DnfClause clause) {
+  // Contradictory clause (x and not x) is identically false.
+  if (clause.positive.Intersects(clause.negative)) return;
+  for (const DnfClause& existing : clauses_) {
+    // `existing` subsumes `clause` if its literal set is a subset: anything
+    // satisfying `clause` satisfies `existing` already.
+    if (existing.positive.IsSubsetOf(clause.positive) &&
+        existing.negative.IsSubsetOf(clause.negative)) {
+      return;
+    }
+  }
+  // Drop clauses the new one subsumes.
+  clauses_.erase(
+      std::remove_if(clauses_.begin(), clauses_.end(),
+                     [&clause](const DnfClause& existing) {
+                       return clause.positive.IsSubsetOf(existing.positive) &&
+                              clause.negative.IsSubsetOf(existing.negative);
+                     }),
+      clauses_.end());
+  clauses_.push_back(std::move(clause));
+}
+
+Result<Dnf> Dnf::FromExpr(const Expr& source, const VarResolver& resolver,
+                          int universe_size, int max_clauses) {
+  COURSENAV_ASSIGN_OR_RETURN(NnfNode root,
+                             ToNnf(source, resolver, /*negate=*/false));
+
+  // Recursively produce clause lists; And = pairwise union cross-product.
+  struct Converter {
+    int universe_size;
+    int max_clauses;
+
+    Result<std::vector<DnfClause>> Convert(const NnfNode& node) {
+      switch (node.kind) {
+        case NnfNode::Kind::kFalse:
+          return std::vector<DnfClause>{};
+        case NnfNode::Kind::kTrue: {
+          std::vector<DnfClause> out;
+          out.push_back({DynamicBitset(universe_size),
+                         DynamicBitset(universe_size)});
+          return out;
+        }
+        case NnfNode::Kind::kLit: {
+          DnfClause clause{DynamicBitset(universe_size),
+                           DynamicBitset(universe_size)};
+          if (node.negated) {
+            clause.negative.set(node.var_id);
+          } else {
+            clause.positive.set(node.var_id);
+          }
+          std::vector<DnfClause> out;
+          out.push_back(std::move(clause));
+          return out;
+        }
+        case NnfNode::Kind::kOr: {
+          std::vector<DnfClause> out;
+          for (const NnfNode& child : node.children) {
+            COURSENAV_ASSIGN_OR_RETURN(std::vector<DnfClause> sub,
+                                       Convert(child));
+            for (DnfClause& clause : sub) out.push_back(std::move(clause));
+            if (static_cast<int>(out.size()) > max_clauses) {
+              return Status::ResourceExhausted(
+                  "DNF conversion exceeded clause limit");
+            }
+          }
+          return out;
+        }
+        case NnfNode::Kind::kAnd: {
+          std::vector<DnfClause> acc;
+          acc.push_back({DynamicBitset(universe_size),
+                         DynamicBitset(universe_size)});
+          for (const NnfNode& child : node.children) {
+            COURSENAV_ASSIGN_OR_RETURN(std::vector<DnfClause> sub,
+                                       Convert(child));
+            std::vector<DnfClause> next;
+            next.reserve(acc.size() * sub.size());
+            for (const DnfClause& a : acc) {
+              for (const DnfClause& b : sub) {
+                DnfClause merged = a;
+                merged.positive |= b.positive;
+                merged.negative |= b.negative;
+                next.push_back(std::move(merged));
+                if (static_cast<int>(next.size()) > max_clauses) {
+                  return Status::ResourceExhausted(
+                      "DNF conversion exceeded clause limit");
+                }
+              }
+            }
+            acc = std::move(next);
+          }
+          return acc;
+        }
+      }
+      return Status::Internal("unknown NNF node kind");
+    }
+  };
+
+  Converter converter{universe_size, max_clauses};
+  COURSENAV_ASSIGN_OR_RETURN(std::vector<DnfClause> raw,
+                             converter.Convert(root));
+
+  Dnf dnf(universe_size);
+  for (DnfClause& clause : raw) dnf.AddClause(std::move(clause));
+  return dnf;
+}
+
+bool Dnf::Eval(const DynamicBitset& completed) const {
+  for (const DnfClause& clause : clauses_) {
+    if (clause.positive.IsSubsetOf(completed) &&
+        !clause.negative.Intersects(completed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Dnf::MinAdditionalCourses(const DynamicBitset& completed) const {
+  int best = kUnreachable;
+  for (const DnfClause& clause : clauses_) {
+    if (clause.negative.Intersects(completed)) continue;  // dead clause
+    DynamicBitset missing = clause.positive;
+    missing.Subtract(completed);
+    best = std::min(best, missing.count());
+  }
+  return best;
+}
+
+bool Dnf::AchievableWith(const DynamicBitset& completed,
+                         const DynamicBitset& available) const {
+  DynamicBitset reachable = completed;
+  reachable |= available;
+  for (const DnfClause& clause : clauses_) {
+    if (clause.negative.Intersects(completed)) continue;
+    if (clause.positive.IsSubsetOf(reachable)) return true;
+  }
+  return false;
+}
+
+bool Dnf::IsTrue() const {
+  for (const DnfClause& clause : clauses_) {
+    if (clause.positive.empty() && clause.negative.empty()) return true;
+  }
+  return false;
+}
+
+std::string Dnf::ToString() const {
+  if (clauses_.empty()) return "false";
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i != 0) out += " or ";
+    out += "(+" + clauses_[i].positive.ToString();
+    if (!clauses_[i].negative.empty()) {
+      out += " -" + clauses_[i].negative.ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace coursenav::expr

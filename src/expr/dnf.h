@@ -1,0 +1,87 @@
+#ifndef COURSENAV_EXPR_DNF_H_
+#define COURSENAV_EXPR_DNF_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/compiled_expr.h"
+#include "expr/expr.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace coursenav::expr {
+
+/// One conjunctive clause of a DNF: a set of positive literals (courses that
+/// must be completed) and negative literals (courses that must not be).
+struct DnfClause {
+  DynamicBitset positive;
+  DynamicBitset negative;
+};
+
+/// A disjunctive-normal-form view of a boolean expression over dense course
+/// ids.
+///
+/// The paper's expression-valued goals ("complete this set of programming
+/// courses", Q-style degree conditions) are pruned with two quantities that
+/// the DNF makes cheap:
+///
+///  * `MinAdditionalCourses(X)` — a lower bound on how many more courses a
+///    student with completed set `X` must take before the goal can hold;
+///    this is `left_i` in Equation 1 for expression goals.
+///  * `AchievableWith(X, available)` — whether the goal can still hold if
+///    the student additionally completes any subset of `available`; this is
+///    the course-availability pruning test.
+///
+/// Both are *sound* even with negative literals: completed courses are never
+/// un-completed, so a clause whose negative literal is already in `X` is
+/// dead, and future negative-literal violations can only shrink the set of
+/// viable clauses (the bound stays a lower bound, the achievability test
+/// stays an over-approximation).
+class Dnf {
+ public:
+  /// Converts `source` (resolved against `resolver` into a universe of
+  /// `universe_size` course ids) to DNF. Conversion is worst-case
+  /// exponential; it fails with ResourceExhausted once more than
+  /// `max_clauses` clauses would be produced.
+  static Result<Dnf> FromExpr(const Expr& source, const VarResolver& resolver,
+                              int universe_size, int max_clauses = 4096);
+
+  /// True if some clause is satisfied by `completed`.
+  bool Eval(const DynamicBitset& completed) const;
+
+  /// Lower bound on additional courses needed from `completed`;
+  /// `kUnreachable` if no clause can ever be satisfied.
+  int MinAdditionalCourses(const DynamicBitset& completed) const;
+
+  /// True if some clause could be satisfied by completing a subset of
+  /// `available` on top of `completed`.
+  bool AchievableWith(const DynamicBitset& completed,
+                      const DynamicBitset& available) const;
+
+  const std::vector<DnfClause>& clauses() const { return clauses_; }
+
+  /// True for the empty disjunction (constant false).
+  bool IsFalse() const { return clauses_.empty(); }
+
+  /// True if some clause has no literals (constant true).
+  bool IsTrue() const;
+
+  std::string ToString() const;
+
+  /// Sentinel for "no clause reachable".
+  static constexpr int kUnreachable = 1 << 29;
+
+ private:
+  explicit Dnf(int universe_size) : universe_size_(universe_size) {}
+
+  /// Appends `clause` unless subsumed; drops clauses it subsumes
+  /// (absorption).
+  void AddClause(DnfClause clause);
+
+  int universe_size_;
+  std::vector<DnfClause> clauses_;
+};
+
+}  // namespace coursenav::expr
+
+#endif  // COURSENAV_EXPR_DNF_H_

@@ -1,0 +1,187 @@
+#include "expr/expr.h"
+
+#include <cassert>
+
+namespace coursenav::expr {
+
+struct Expr::Node {
+  Kind kind;
+  bool const_value = false;
+  std::string var_name;
+  std::vector<Expr> operands;
+};
+
+Expr::Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Expr::Expr() : Expr(True()) {}
+
+Expr Expr::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConst;
+  node->const_value = true;
+  return Expr(std::move(node));
+}
+
+Expr Expr::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConst;
+  node->const_value = false;
+  return Expr(std::move(node));
+}
+
+Expr Expr::Var(std::string name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kVar;
+  node->var_name = std::move(name);
+  return Expr(std::move(node));
+}
+
+Expr Expr::Not(Expr operand) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->operands.push_back(std::move(operand));
+  return Expr(std::move(node));
+}
+
+Expr Expr::And(std::vector<Expr> operands) {
+  if (operands.empty()) return True();
+  if (operands.size() == 1) return std::move(operands[0]);
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->operands = std::move(operands);
+  return Expr(std::move(node));
+}
+
+Expr Expr::Or(std::vector<Expr> operands) {
+  if (operands.empty()) return False();
+  if (operands.size() == 1) return std::move(operands[0]);
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->operands = std::move(operands);
+  return Expr(std::move(node));
+}
+
+Expr::Kind Expr::kind() const { return node_->kind; }
+
+bool Expr::const_value() const {
+  assert(node_->kind == Kind::kConst);
+  return node_->const_value;
+}
+
+const std::string& Expr::var_name() const {
+  assert(node_->kind == Kind::kVar);
+  return node_->var_name;
+}
+
+const std::vector<Expr>& Expr::operands() const { return node_->operands; }
+
+bool Expr::Eval(const std::function<bool(std::string_view)>& is_true) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return node_->const_value;
+    case Kind::kVar:
+      return is_true(node_->var_name);
+    case Kind::kNot:
+      return !node_->operands[0].Eval(is_true);
+    case Kind::kAnd:
+      for (const Expr& op : node_->operands) {
+        if (!op.Eval(is_true)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Expr& op : node_->operands) {
+        if (op.Eval(is_true)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void Expr::CollectVars(std::set<std::string>* out) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      out->insert(node_->var_name);
+      return;
+    default:
+      for (const Expr& op : node_->operands) op.CollectVars(out);
+  }
+}
+
+int Expr::NodeCount() const {
+  int count = 1;
+  for (const Expr& op : node_->operands) count += op.NodeCount();
+  return count;
+}
+
+bool Expr::StructurallyEquals(const Expr& other) const {
+  if (node_ == other.node_) return true;
+  if (node_->kind != other.node_->kind) return false;
+  switch (node_->kind) {
+    case Kind::kConst:
+      return node_->const_value == other.node_->const_value;
+    case Kind::kVar:
+      return node_->var_name == other.node_->var_name;
+    default: {
+      if (node_->operands.size() != other.node_->operands.size()) return false;
+      for (size_t i = 0; i < node_->operands.size(); ++i) {
+        if (!(node_->operands[i] == other.node_->operands[i])) return false;
+      }
+      return true;
+    }
+  }
+}
+
+namespace {
+// Precedence: or < and < not < atoms. Parenthesize a child whose operator
+// binds less tightly than its context.
+int Precedence(Expr::Kind kind) {
+  switch (kind) {
+    case Expr::Kind::kOr:
+      return 1;
+    case Expr::Kind::kAnd:
+      return 2;
+    case Expr::Kind::kNot:
+      return 3;
+    default:
+      return 4;
+  }
+}
+}  // namespace
+
+void Expr::ToStringInternal(std::string& out, int parent_precedence) const {
+  int prec = Precedence(node_->kind);
+  bool need_parens = prec < parent_precedence;
+  if (need_parens) out += '(';
+  switch (node_->kind) {
+    case Kind::kConst:
+      out += node_->const_value ? "true" : "false";
+      break;
+    case Kind::kVar:
+      out += node_->var_name;
+      break;
+    case Kind::kNot:
+      out += "not ";
+      node_->operands[0].ToStringInternal(out, prec + 1);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = node_->kind == Kind::kAnd ? " and " : " or ";
+      for (size_t i = 0; i < node_->operands.size(); ++i) {
+        if (i != 0) out += sep;
+        node_->operands[i].ToStringInternal(out, prec);
+      }
+      break;
+    }
+  }
+  if (need_parens) out += ')';
+}
+
+std::string Expr::ToString() const {
+  std::string out;
+  ToStringInternal(out, 0);
+  return out;
+}
+
+}  // namespace coursenav::expr

@@ -1,0 +1,81 @@
+#ifndef COURSENAV_EXPR_EXPR_H_
+#define COURSENAV_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace coursenav::expr {
+
+/// A boolean expression over named course variables.
+///
+/// This is the paper's prerequisite condition
+/// `Q_i = (x_j ∧ ... ∧ x_k) ∨ ... ∨ (x_m ∧ ... ∧ x_n)` generalized to an
+/// arbitrary and/or/not tree. `Expr` is an immutable value type (cheap to
+/// copy: shared structure), built either programmatically via the factory
+/// functions or by `ParseBoolExpr()` (see parser.h).
+///
+/// Expressions reference courses by *name*. Before evaluation on the hot path
+/// they are compiled against a catalog's dense course-id space into a
+/// `CompiledExpr` (see compiled_expr.h), whose evaluation over a course
+/// bitset is allocation-free.
+class Expr {
+ public:
+  enum class Kind { kConst, kVar, kNot, kAnd, kOr };
+
+  /// Default-constructs the constant `true` (the prerequisite of a course
+  /// with no prerequisites).
+  Expr();
+
+  static Expr True();
+  static Expr False();
+  static Expr Var(std::string name);
+  static Expr Not(Expr operand);
+  /// N-ary conjunction/disjunction. Empty And() == True, empty Or() == False.
+  static Expr And(std::vector<Expr> operands);
+  static Expr Or(std::vector<Expr> operands);
+
+  Kind kind() const;
+
+  /// For kConst nodes: the constant value.
+  bool const_value() const;
+  /// For kVar nodes: the variable (course code) name.
+  const std::string& var_name() const;
+  /// For kNot/kAnd/kOr nodes: the operand list (exactly one for kNot).
+  const std::vector<Expr>& operands() const;
+
+  /// Evaluates with `is_true(name)` supplying each variable's value.
+  bool Eval(const std::function<bool(std::string_view)>& is_true) const;
+
+  /// Inserts every distinct variable name into `out`.
+  void CollectVars(std::set<std::string>* out) const;
+
+  /// Number of nodes in the tree (size metric used by tests/limits).
+  int NodeCount() const;
+
+  /// Renders with minimal parentheses, e.g. "A and (B or C)".
+  std::string ToString() const;
+
+  friend bool operator==(const Expr& a, const Expr& b) {
+    return a.StructurallyEquals(b);
+  }
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node);
+
+  bool StructurallyEquals(const Expr& other) const;
+  void ToStringInternal(std::string& out, int parent_precedence) const;
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace coursenav::expr
+
+#endif  // COURSENAV_EXPR_EXPR_H_

@@ -1,0 +1,187 @@
+#include "expr/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace coursenav::expr {
+
+namespace {
+
+enum class TokenKind { kIdent, kAnd, kOr, kNot, kTrue, kFalse, kLParen,
+                       kRParen, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespace();
+      size_t offset = pos_;
+      if (pos_ >= text_.size()) {
+        tokens.push_back({TokenKind::kEnd, "", offset});
+        return tokens;
+      }
+      char c = text_[pos_];
+      if (c == '(') {
+        ++pos_;
+        tokens.push_back({TokenKind::kLParen, "(", offset});
+      } else if (c == ')') {
+        ++pos_;
+        tokens.push_back({TokenKind::kRParen, ")", offset});
+      } else if (c == '&') {
+        pos_ += (pos_ + 1 < text_.size() && text_[pos_ + 1] == '&') ? 2 : 1;
+        tokens.push_back({TokenKind::kAnd, "&", offset});
+      } else if (c == '|') {
+        pos_ += (pos_ + 1 < text_.size() && text_[pos_ + 1] == '|') ? 2 : 1;
+        tokens.push_back({TokenKind::kOr, "|", offset});
+      } else if (c == '!') {
+        ++pos_;
+        tokens.push_back({TokenKind::kNot, "!", offset});
+      } else if (std::isalnum(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+        std::string word(text_.substr(start, pos_ - start));
+        if (EqualsIgnoreCase(word, "and")) {
+          tokens.push_back({TokenKind::kAnd, word, offset});
+        } else if (EqualsIgnoreCase(word, "or")) {
+          tokens.push_back({TokenKind::kOr, word, offset});
+        } else if (EqualsIgnoreCase(word, "not")) {
+          tokens.push_back({TokenKind::kNot, word, offset});
+        } else if (EqualsIgnoreCase(word, "true")) {
+          tokens.push_back({TokenKind::kTrue, word, offset});
+        } else if (EqualsIgnoreCase(word, "false")) {
+          tokens.push_back({TokenKind::kFalse, word, offset});
+        } else {
+          tokens.push_back({TokenKind::kIdent, word, offset});
+        }
+      } else {
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, offset));
+      }
+    }
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Expr> Parse() {
+    COURSENAV_ASSIGN_OR_RETURN(Expr root, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens after expression");
+    }
+    return root;
+  }
+
+ private:
+  Result<Expr> ParseOr() {
+    std::vector<Expr> operands;
+    COURSENAV_ASSIGN_OR_RETURN(Expr first, ParseAnd());
+    operands.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kOr) {
+      ++pos_;
+      COURSENAV_ASSIGN_OR_RETURN(Expr next, ParseAnd());
+      operands.push_back(std::move(next));
+    }
+    return Expr::Or(std::move(operands));
+  }
+
+  Result<Expr> ParseAnd() {
+    std::vector<Expr> operands;
+    COURSENAV_ASSIGN_OR_RETURN(Expr first, ParseUnary());
+    operands.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kAnd) {
+      ++pos_;
+      COURSENAV_ASSIGN_OR_RETURN(Expr next, ParseUnary());
+      operands.push_back(std::move(next));
+    }
+    return Expr::And(std::move(operands));
+  }
+
+  Result<Expr> ParseUnary() {
+    if (Peek().kind == TokenKind::kNot) {
+      ++pos_;
+      COURSENAV_ASSIGN_OR_RETURN(Expr operand, ParseUnary());
+      return Expr::Not(std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Expr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kIdent: {
+        Expr var = Expr::Var(tok.text);
+        ++pos_;
+        return var;
+      }
+      case TokenKind::kTrue:
+        ++pos_;
+        return Expr::True();
+      case TokenKind::kFalse:
+        ++pos_;
+        return Expr::False();
+      case TokenKind::kLParen: {
+        ++pos_;
+        COURSENAV_ASSIGN_OR_RETURN(Expr inner, ParseOr());
+        if (Peek().kind != TokenKind::kRParen) {
+          return Error("expected ')'");
+        }
+        ++pos_;
+        return inner;
+      }
+      default:
+        return Error("expected course code, constant, or '('");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(StrFormat("at offset %zu: %s",
+                                        Peek().offset, msg.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Expr> ParseBoolExpr(std::string_view text) {
+  if (TrimWhitespace(text).empty()) {
+    return Status::ParseError("empty boolean expression");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                             Lexer(text).Tokenize());
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace coursenav::expr

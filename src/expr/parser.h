@@ -1,0 +1,28 @@
+#ifndef COURSENAV_EXPR_PARSER_H_
+#define COURSENAV_EXPR_PARSER_H_
+
+#include <string_view>
+
+#include "expr/expr.h"
+#include "util/result.h"
+
+namespace coursenav::expr {
+
+/// Parses a boolean expression over course codes.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   or_expr   := and_expr (("or" | "|" | "||") and_expr)*
+///   and_expr  := unary (("and" | "&" | "&&") unary)*
+///   unary     := ("not" | "!") unary | primary
+///   primary   := IDENT | "true" | "false" | "(" or_expr ")"
+///   IDENT     := [A-Za-z0-9][A-Za-z0-9_-]*   (course codes may start with
+///                a digit, e.g. "11A")
+///
+/// Examples accepted: `"COSI11A and (COSI21A or COSI22B)"`,
+/// `"CS1 & !CS2"`, `"true"`.
+Result<Expr> ParseBoolExpr(std::string_view text);
+
+}  // namespace coursenav::expr
+
+#endif  // COURSENAV_EXPR_PARSER_H_

@@ -1,0 +1,102 @@
+#include "flow/bipartite.h"
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <limits>
+
+namespace coursenav::flow {
+
+namespace {
+constexpr int kUnmatched = -1;
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+BipartiteMatcher::BipartiteMatcher(int num_left, int num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      adjacency_(static_cast<size_t>(num_left)),
+      match_left_(static_cast<size_t>(num_left), kUnmatched),
+      match_right_(static_cast<size_t>(num_right), kUnmatched),
+      distance_(static_cast<size_t>(num_left)) {
+  assert(num_left >= 0 && num_right >= 0);
+}
+
+void BipartiteMatcher::AddEdge(int left, int right) {
+  assert(left >= 0 && left < num_left_);
+  assert(right >= 0 && right < num_right_);
+  adjacency_[static_cast<size_t>(left)].push_back(right);
+  solved_ = false;
+}
+
+bool BipartiteMatcher::Bfs() {
+  std::deque<int> queue;
+  for (int l = 0; l < num_left_; ++l) {
+    if (match_left_[static_cast<size_t>(l)] == kUnmatched) {
+      distance_[static_cast<size_t>(l)] = 0;
+      queue.push_back(l);
+    } else {
+      distance_[static_cast<size_t>(l)] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    int l = queue.front();
+    queue.pop_front();
+    for (int r : adjacency_[static_cast<size_t>(l)]) {
+      int next = match_right_[static_cast<size_t>(r)];
+      if (next == kUnmatched) {
+        found_augmenting = true;
+      } else if (distance_[static_cast<size_t>(next)] == kInf) {
+        distance_[static_cast<size_t>(next)] =
+            distance_[static_cast<size_t>(l)] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool BipartiteMatcher::Dfs(int left) {
+  for (int r : adjacency_[static_cast<size_t>(left)]) {
+    int next = match_right_[static_cast<size_t>(r)];
+    if (next == kUnmatched ||
+        (distance_[static_cast<size_t>(next)] ==
+             distance_[static_cast<size_t>(left)] + 1 &&
+         Dfs(next))) {
+      match_left_[static_cast<size_t>(left)] = r;
+      match_right_[static_cast<size_t>(r)] = left;
+      return true;
+    }
+  }
+  distance_[static_cast<size_t>(left)] = kInf;
+  return false;
+}
+
+int BipartiteMatcher::MaxMatching() {
+  if (solved_) return matching_size_;
+  std::fill(match_left_.begin(), match_left_.end(), kUnmatched);
+  std::fill(match_right_.begin(), match_right_.end(), kUnmatched);
+  matching_size_ = 0;
+  while (Bfs()) {
+    for (int l = 0; l < num_left_; ++l) {
+      if (match_left_[static_cast<size_t>(l)] == kUnmatched && Dfs(l)) {
+        ++matching_size_;
+      }
+    }
+  }
+  solved_ = true;
+  return matching_size_;
+}
+
+int BipartiteMatcher::MatchOfLeft(int left) const {
+  assert(solved_);
+  return match_left_[static_cast<size_t>(left)];
+}
+
+int BipartiteMatcher::MatchOfRight(int right) const {
+  assert(solved_);
+  return match_right_[static_cast<size_t>(right)];
+}
+
+}  // namespace coursenav::flow

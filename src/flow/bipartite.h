@@ -1,0 +1,46 @@
+#ifndef COURSENAV_FLOW_BIPARTITE_H_
+#define COURSENAV_FLOW_BIPARTITE_H_
+
+#include <vector>
+
+namespace coursenav::flow {
+
+/// Maximum bipartite matching via Hopcroft–Karp.
+///
+/// Used by the requirement engine's course→requirement-slot allocation when
+/// every slot has unit capacity; it is equivalent to (and faster than) the
+/// general max-flow formulation, and serves as its cross-check in the
+/// property tests.
+class BipartiteMatcher {
+ public:
+  /// A bipartite graph with `num_left` left and `num_right` right vertices.
+  BipartiteMatcher(int num_left, int num_right);
+
+  /// Adds an edge between left vertex `left` and right vertex `right`.
+  void AddEdge(int left, int right);
+
+  /// Computes and returns the maximum matching size. Idempotent.
+  int MaxMatching();
+
+  /// After MaxMatching(): the right vertex matched to `left`, or -1.
+  int MatchOfLeft(int left) const;
+  /// After MaxMatching(): the left vertex matched to `right`, or -1.
+  int MatchOfRight(int right) const;
+
+ private:
+  bool Bfs();
+  bool Dfs(int left);
+
+  int num_left_;
+  int num_right_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<int> match_left_;
+  std::vector<int> match_right_;
+  std::vector<int> distance_;
+  bool solved_ = false;
+  int matching_size_ = 0;
+};
+
+}  // namespace coursenav::flow
+
+#endif  // COURSENAV_FLOW_BIPARTITE_H_

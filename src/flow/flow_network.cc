@@ -1,0 +1,182 @@
+#include "flow/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace coursenav::flow {
+
+FlowNetwork::FlowNetwork(int num_nodes)
+    : adjacency_(static_cast<size_t>(num_nodes)) {
+  assert(num_nodes >= 0);
+}
+
+int FlowNetwork::AddEdge(int from, int to, int64_t capacity) {
+  assert(from >= 0 && from < num_nodes());
+  assert(to >= 0 && to < num_nodes());
+  assert(capacity >= 0);
+  int id = static_cast<int>(edges_.size());
+  edges_.push_back({to, capacity});
+  edges_.push_back({from, 0});
+  original_capacity_.push_back(capacity);
+  original_capacity_.push_back(0);
+  adjacency_[static_cast<size_t>(from)].push_back(id);
+  adjacency_[static_cast<size_t>(to)].push_back(id + 1);
+  return id;
+}
+
+int64_t FlowNetwork::FlowOn(int edge_id) const {
+  assert(edge_id >= 0 && edge_id % 2 == 0 &&
+         static_cast<size_t>(edge_id) < edges_.size());
+  // Flow pushed on a forward edge equals the residual capacity accumulated
+  // on its reverse.
+  return edges_[static_cast<size_t>(edge_id) + 1].capacity;
+}
+
+void FlowNetwork::ResetFlow() {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    edges_[i].capacity = original_capacity_[i];
+  }
+}
+
+namespace {
+constexpr int64_t kFlowInfinity = std::numeric_limits<int64_t>::max();
+}  // namespace
+
+/// Edmonds–Karp: BFS shortest augmenting paths. Friend of FlowNetwork.
+class EdmondsKarpSolver {
+ public:
+  EdmondsKarpSolver(FlowNetwork* network, int source, int sink)
+      : edges_(network->edges_),
+        adjacency_(network->adjacency_),
+        source_(source),
+        sink_(sink) {}
+
+  int64_t Run() {
+    int64_t total = 0;
+    std::vector<int> parent_edge(adjacency_.size());
+    while (true) {
+      std::fill(parent_edge.begin(), parent_edge.end(), -1);
+      std::deque<int> queue{source_};
+      parent_edge[static_cast<size_t>(source_)] = -2;  // visited marker
+      while (!queue.empty() && parent_edge[static_cast<size_t>(sink_)] == -1) {
+        int node = queue.front();
+        queue.pop_front();
+        for (int edge_id : adjacency_[static_cast<size_t>(node)]) {
+          const auto& edge = edges_[static_cast<size_t>(edge_id)];
+          if (edge.capacity > 0 &&
+              parent_edge[static_cast<size_t>(edge.to)] == -1) {
+            parent_edge[static_cast<size_t>(edge.to)] = edge_id;
+            queue.push_back(edge.to);
+          }
+        }
+      }
+      if (parent_edge[static_cast<size_t>(sink_)] == -1) break;
+
+      int64_t bottleneck = kFlowInfinity;
+      for (int node = sink_; node != source_;) {
+        int edge_id = parent_edge[static_cast<size_t>(node)];
+        bottleneck = std::min(bottleneck,
+                              edges_[static_cast<size_t>(edge_id)].capacity);
+        node = edges_[static_cast<size_t>(edge_id ^ 1)].to;
+      }
+      for (int node = sink_; node != source_;) {
+        int edge_id = parent_edge[static_cast<size_t>(node)];
+        edges_[static_cast<size_t>(edge_id)].capacity -= bottleneck;
+        edges_[static_cast<size_t>(edge_id ^ 1)].capacity += bottleneck;
+        node = edges_[static_cast<size_t>(edge_id ^ 1)].to;
+      }
+      total += bottleneck;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<FlowNetwork::Edge>& edges_;
+  const std::vector<std::vector<int>>& adjacency_;
+  int source_;
+  int sink_;
+};
+
+/// Dinic: level graph + blocking flows. Friend of FlowNetwork.
+class DinicSolver {
+ public:
+  DinicSolver(FlowNetwork* network, int source, int sink)
+      : edges_(network->edges_),
+        adjacency_(network->adjacency_),
+        source_(source),
+        sink_(sink),
+        level_(adjacency_.size()),
+        next_edge_(adjacency_.size()) {}
+
+  int64_t Run() {
+    int64_t total = 0;
+    while (BuildLevels()) {
+      std::fill(next_edge_.begin(), next_edge_.end(), 0);
+      while (int64_t pushed = Push(source_, kFlowInfinity)) total += pushed;
+    }
+    return total;
+  }
+
+ private:
+  bool BuildLevels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    level_[static_cast<size_t>(source_)] = 0;
+    std::deque<int> queue{source_};
+    while (!queue.empty()) {
+      int node = queue.front();
+      queue.pop_front();
+      for (int edge_id : adjacency_[static_cast<size_t>(node)]) {
+        const auto& edge = edges_[static_cast<size_t>(edge_id)];
+        if (edge.capacity > 0 && level_[static_cast<size_t>(edge.to)] < 0) {
+          level_[static_cast<size_t>(edge.to)] =
+              level_[static_cast<size_t>(node)] + 1;
+          queue.push_back(edge.to);
+        }
+      }
+    }
+    return level_[static_cast<size_t>(sink_)] >= 0;
+  }
+
+  int64_t Push(int node, int64_t limit) {
+    if (node == sink_ || limit == 0) return limit;
+    auto& cursor = next_edge_[static_cast<size_t>(node)];
+    const auto& out = adjacency_[static_cast<size_t>(node)];
+    for (; cursor < out.size(); ++cursor) {
+      int edge_id = out[cursor];
+      auto& edge = edges_[static_cast<size_t>(edge_id)];
+      if (edge.capacity <= 0 ||
+          level_[static_cast<size_t>(edge.to)] !=
+              level_[static_cast<size_t>(node)] + 1) {
+        continue;
+      }
+      int64_t pushed = Push(edge.to, std::min(limit, edge.capacity));
+      if (pushed > 0) {
+        edge.capacity -= pushed;
+        edges_[static_cast<size_t>(edge_id ^ 1)].capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<FlowNetwork::Edge>& edges_;
+  const std::vector<std::vector<int>>& adjacency_;
+  int source_;
+  int sink_;
+  std::vector<int> level_;
+  std::vector<size_t> next_edge_;
+};
+
+int64_t EdmondsKarpMaxFlow(FlowNetwork* network, int source, int sink) {
+  assert(source != sink);
+  return EdmondsKarpSolver(network, source, sink).Run();
+}
+
+int64_t DinicMaxFlow(FlowNetwork* network, int source, int sink) {
+  assert(source != sink);
+  return DinicSolver(network, source, sink).Run();
+}
+
+}  // namespace coursenav::flow

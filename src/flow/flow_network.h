@@ -1,0 +1,61 @@
+#ifndef COURSENAV_FLOW_FLOW_NETWORK_H_
+#define COURSENAV_FLOW_FLOW_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coursenav::flow {
+
+/// A capacitated directed graph in residual-edge representation.
+///
+/// Edges are stored in pairs: edge `2k` is the forward edge, `2k+1` its
+/// residual reverse. This is the substrate for the max-flow solvers used to
+/// compute `left_i` — the minimum number of courses still needed to satisfy
+/// a degree requirement (Equation 1 cites Ford–Fulkerson per Parameswaran
+/// et al., TOIS 2011).
+class FlowNetwork {
+ public:
+  /// A network with `num_nodes` nodes and no edges.
+  explicit FlowNetwork(int num_nodes);
+
+  /// Adds a directed edge with `capacity >= 0`; returns its edge id. The
+  /// paired residual edge has capacity 0.
+  int AddEdge(int from, int to, int64_t capacity);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
+
+  /// Flow currently assigned to forward edge `edge_id` (as returned by
+  /// AddEdge).
+  int64_t FlowOn(int edge_id) const;
+
+  /// Resets all flow to zero, keeping the topology.
+  void ResetFlow();
+
+ private:
+  friend class EdmondsKarpSolver;
+  friend class DinicSolver;
+
+  struct Edge {
+    int to;
+    int64_t capacity;  // residual capacity
+  };
+
+  std::vector<Edge> edges_;
+  std::vector<int64_t> original_capacity_;
+  std::vector<std::vector<int>> adjacency_;  // node -> edge ids
+};
+
+/// Computes max flow from `source` to `sink` using BFS augmenting paths
+/// (Edmonds–Karp, the classic Ford–Fulkerson instantiation). Mutates the
+/// network's flow assignment.
+int64_t EdmondsKarpMaxFlow(FlowNetwork* network, int source, int sink);
+
+/// Computes max flow with Dinic's algorithm (level graph + blocking flows).
+/// Same contract as EdmondsKarpMaxFlow; asymptotically faster on the dense
+/// requirement networks (ablation bench `ablation_flow`).
+int64_t DinicMaxFlow(FlowNetwork* network, int source, int sink);
+
+}  // namespace coursenav::flow
+
+#endif  // COURSENAV_FLOW_FLOW_NETWORK_H_

@@ -1,0 +1,63 @@
+#ifndef COURSENAV_GRAPH_ANALYTICS_H_
+#define COURSENAV_GRAPH_ANALYTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/term.h"
+#include "graph/learning_graph.h"
+
+namespace coursenav {
+
+/// Aggregate insight over a generated learning graph — the kind of summary
+/// a front end shows when the raw path set is too large to browse (the
+/// paper's motivation for ranking; analytics is the complementary
+/// aggregate view).
+///
+/// All statistics are computed over *goal paths* (root-to-goal-leaf), via
+/// one bottom-up pass that counts goal leaves under every node; no path is
+/// ever materialized.
+struct GraphAnalytics {
+  /// Total goal paths in the graph.
+  uint64_t goal_path_count = 0;
+
+  /// goal paths electing each course somewhere (index = course id). A
+  /// course with share ~1.0 is unavoidable; ~0.0 is dead weight.
+  std::vector<uint64_t> course_path_counts;
+
+  /// Histogram of goal-path lengths in semesters.
+  std::map<int, uint64_t> length_histogram;
+
+  /// Per-term average elected load over goal paths (term index ->
+  /// average selection size).
+  std::map<int, double> average_load_by_term;
+
+  /// Courses sorted by descending criticality (share of goal paths).
+  /// Ties broken by course id.
+  std::vector<CourseId> CoursesByCriticality() const;
+
+  /// Share of goal paths electing `course` (0 when there are no paths).
+  double CriticalityOf(CourseId course) const;
+
+  /// Multi-line human-readable report.
+  std::string ToString(const Catalog& catalog, int top_courses = 10) const;
+};
+
+/// Analyzes `graph` (as produced by the deadline-driven or goal-driven
+/// generator). Runs in O(nodes + edges).
+GraphAnalytics AnalyzeLearningGraph(const LearningGraph& graph,
+                                    const Catalog& catalog);
+
+/// Extracts the subgraph of `graph` containing exactly the nodes and edges
+/// on some root-to-goal path — what the Learning Path Visualizer should
+/// draw after a goal-driven run (dead-end branches stripped). Preserves
+/// relative order, costs, and goal marks. Returns an empty graph when
+/// there is no goal node.
+LearningGraph ExtractGoalSubgraph(const LearningGraph& graph);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_GRAPH_ANALYTICS_H_

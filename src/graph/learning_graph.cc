@@ -1,0 +1,91 @@
+#include "graph/learning_graph.h"
+
+#include <cassert>
+
+namespace coursenav {
+
+namespace {
+
+size_t NodeFootprint(const LearningNode& node) {
+  return sizeof(LearningNode) + node.completed.MemoryUsage() +
+         node.options.MemoryUsage() +
+         node.out_edges.capacity() * sizeof(EdgeId);
+}
+
+size_t EdgeFootprint(const LearningEdge& edge) {
+  return sizeof(LearningEdge) + edge.selection.MemoryUsage();
+}
+
+}  // namespace
+
+NodeId LearningGraph::AddRoot(Term term, DynamicBitset completed,
+                              DynamicBitset options) {
+  assert(nodes_.empty());
+  LearningNode node;
+  node.term = term;
+  node.completed = std::move(completed);
+  node.options = std::move(options);
+  memory_bytes_ += NodeFootprint(node);
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+NodeId LearningGraph::AddChild(NodeId parent, DynamicBitset selection,
+                               DynamicBitset completed, DynamicBitset options,
+                               double edge_cost) {
+  double path_cost =
+      nodes_[static_cast<size_t>(parent)].path_cost + edge_cost;
+  return AddChildWithPathCost(parent, std::move(selection),
+                              std::move(completed), std::move(options),
+                              edge_cost, path_cost);
+}
+
+NodeId LearningGraph::AddChildWithPathCost(NodeId parent,
+                                           DynamicBitset selection,
+                                           DynamicBitset completed,
+                                           DynamicBitset options,
+                                           double edge_cost,
+                                           double path_cost) {
+  assert(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+
+  NodeId child_id = static_cast<NodeId>(nodes_.size());
+  EdgeId edge_id = static_cast<EdgeId>(edges_.size());
+
+  LearningEdge edge;
+  edge.from = parent;
+  edge.to = child_id;
+  edge.selection = std::move(selection);
+  edge.cost = edge_cost;
+  memory_bytes_ += EdgeFootprint(edge);
+  edges_.push_back(std::move(edge));
+
+  LearningNode child;
+  child.term = nodes_[static_cast<size_t>(parent)].term.Next();
+  child.completed = std::move(completed);
+  child.options = std::move(options);
+  child.parent_edge = edge_id;
+  child.path_cost = path_cost;
+  memory_bytes_ += NodeFootprint(child);
+  nodes_.push_back(std::move(child));
+
+  nodes_[static_cast<size_t>(parent)].out_edges.push_back(edge_id);
+  return child_id;
+}
+
+std::vector<NodeId> LearningGraph::GoalNodes() const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_goal) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> LearningGraph::LeafNodes() const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].out_edges.empty()) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+}  // namespace coursenav

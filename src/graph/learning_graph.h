@@ -1,0 +1,109 @@
+#ifndef COURSENAV_GRAPH_LEARNING_GRAPH_H_
+#define COURSENAV_GRAPH_LEARNING_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/term.h"
+#include "util/bitset.h"
+
+namespace coursenav {
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+
+inline constexpr NodeId kInvalidNodeId = -1;
+inline constexpr EdgeId kInvalidEdgeId = -1;
+
+/// One enrollment status `n_i` (Section 2): the semester `s_i`, the courses
+/// completed by then `X_i`, and the course options `Y_i` available in `s_i`.
+struct LearningNode {
+  Term term;
+  DynamicBitset completed;  ///< X_i
+  DynamicBitset options;    ///< Y_i
+  EdgeId parent_edge = kInvalidEdgeId;
+  std::vector<EdgeId> out_edges;
+  /// Set when this node satisfies the exploration task's condition (for
+  /// deadline-driven paths: `s_i == d`; for goal-driven: the goal holds).
+  bool is_goal = false;
+  /// Accumulated path cost from the root under the active ranking function
+  /// (0 when no ranking is in effect).
+  double path_cost = 0.0;
+};
+
+/// One transition `e(n_i, n_{i+1})`: the course selection `W_{i,i+1}`
+/// elected in semester `s_i`.
+struct LearningEdge {
+  NodeId from = kInvalidNodeId;
+  NodeId to = kInvalidNodeId;
+  DynamicBitset selection;  ///< W_{i,i+1} ⊆ Y_i
+  double cost = 0.0;        ///< edge cost under the active ranking function
+};
+
+/// The learning graph `G(E, V)` produced by the generators.
+///
+/// Generators expand statuses forward in time, so the materialized graph is
+/// a rooted tree whose overlapping root-to-leaf paths are the learning
+/// paths (the paper's Figures 1 and 3). Nodes and edges live in flat
+/// arenas; ids are indices.
+///
+/// The graph tracks an approximate memory footprint so generators can
+/// enforce the caller's memory budget — reproducing, deliberately, the
+/// paper's "could not store the graph in memory" Table 2 cells.
+class LearningGraph {
+ public:
+  LearningGraph() = default;
+
+  LearningGraph(const LearningGraph&) = delete;
+  LearningGraph& operator=(const LearningGraph&) = delete;
+  LearningGraph(LearningGraph&&) = default;
+  LearningGraph& operator=(LearningGraph&&) = default;
+
+  /// Creates the start node `n_1`. Must be called exactly once, first.
+  NodeId AddRoot(Term term, DynamicBitset completed, DynamicBitset options);
+
+  /// Creates a node one semester after `parent` plus the edge electing
+  /// `selection` in the parent's semester. The child's path cost defaults
+  /// to `parent.path_cost + edge_cost` (additive rankings).
+  NodeId AddChild(NodeId parent, DynamicBitset selection,
+                  DynamicBitset completed, DynamicBitset options,
+                  double edge_cost = 0.0);
+
+  /// Like AddChild, but with an explicit accumulated path cost — for
+  /// rankings whose fold is not addition (see RankingFunction::Combine).
+  NodeId AddChildWithPathCost(NodeId parent, DynamicBitset selection,
+                              DynamicBitset completed, DynamicBitset options,
+                              double edge_cost, double path_cost);
+
+  void MarkGoal(NodeId id) { nodes_[static_cast<size_t>(id)].is_goal = true; }
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  const LearningNode& node(NodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const LearningEdge& edge(EdgeId id) const {
+    return edges_[static_cast<size_t>(id)];
+  }
+
+  NodeId root() const { return nodes_.empty() ? kInvalidNodeId : 0; }
+
+  /// Ids of all nodes flagged as goals, in creation order.
+  std::vector<NodeId> GoalNodes() const;
+
+  /// Ids of all nodes with no outgoing edges (path terminals).
+  std::vector<NodeId> LeafNodes() const;
+
+  /// Approximate heap bytes held by nodes, edges, and their bitsets.
+  size_t MemoryUsage() const { return memory_bytes_; }
+
+ private:
+  std::vector<LearningNode> nodes_;
+  std::vector<LearningEdge> edges_;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_GRAPH_LEARNING_GRAPH_H_

@@ -1,0 +1,71 @@
+#ifndef COURSENAV_GRAPH_PATH_H_
+#define COURSENAV_GRAPH_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "graph/learning_graph.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// One semester of a learning path: the selection `W` elected in `term`.
+struct PathStep {
+  Term term;
+  DynamicBitset selection;
+};
+
+/// A learning path `p_i`: a time-ordered sequence of selections starting
+/// from an initial enrollment status.
+class LearningPath {
+ public:
+  LearningPath(Term start_term, DynamicBitset start_completed)
+      : start_term_(start_term), start_completed_(std::move(start_completed)) {}
+
+  /// Reconstructs the root-to-`leaf` path of `graph`.
+  static LearningPath FromGraph(const LearningGraph& graph, NodeId leaf);
+
+  void AppendStep(Term term, DynamicBitset selection);
+
+  Term start_term() const { return start_term_; }
+  const DynamicBitset& start_completed() const { return start_completed_; }
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+  /// Number of semester transitions (the paper's time-based path cost).
+  int Length() const { return static_cast<int>(steps_.size()); }
+
+  /// Completed set after the final step.
+  DynamicBitset FinalCompleted() const;
+
+  /// Accumulated ranking cost, if one was assigned by a ranked generator.
+  double cost() const { return cost_; }
+  void set_cost(double cost) { cost_ = cost; }
+
+  /// Checks the path against the catalog's prerequisites and the schedule:
+  /// steps must be in consecutive semesters, every elected course must be
+  /// offered in its step's semester, not yet completed, and have its
+  /// prerequisite satisfied by the courses completed before that semester.
+  Status Validate(const Catalog& catalog,
+                  const OfferingSchedule& schedule) const;
+
+  /// Multi-line rendering: one "Fall 2012: {COSI11A, COSI29A}" row per step.
+  std::string ToString(const Catalog& catalog) const;
+
+  /// Paths are equal when they start identically and elect the same
+  /// selections in the same semesters.
+  friend bool operator==(const LearningPath& a, const LearningPath& b);
+
+ private:
+  Term start_term_;
+  DynamicBitset start_completed_;
+  std::vector<PathStep> steps_;
+  double cost_ = 0.0;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_GRAPH_PATH_H_

@@ -1,0 +1,114 @@
+#include "parsers/catalog_loader.h"
+
+#include <string>
+#include <vector>
+
+#include "parsers/prereq_parser.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+Result<CatalogBundle> LoadCatalogFromJson(std::string_view json_text) {
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(json_text));
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue courses, doc.Get("courses"));
+  if (!courses.is_array()) {
+    return Status::ParseError("'courses' must be an array");
+  }
+
+  CatalogBundle bundle;
+  // First pass: intern all courses so prerequisites may reference any
+  // course regardless of order; offerings are applied in a second pass
+  // once the catalog size is known.
+  struct PendingOfferings {
+    CourseId course;
+    std::vector<Term> terms;
+  };
+  std::vector<PendingOfferings> pending;
+
+  for (const JsonValue& entry : courses.array()) {
+    if (!entry.is_object()) {
+      return Status::ParseError("course entries must be objects");
+    }
+    Course course;
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue code, entry.Get("code"));
+    COURSENAV_ASSIGN_OR_RETURN(std::string code_text, code.GetString());
+    course.code = NormalizeCourseCode(code_text);
+
+    if (entry.Has("title")) {
+      COURSENAV_ASSIGN_OR_RETURN(JsonValue title, entry.Get("title"));
+      COURSENAV_ASSIGN_OR_RETURN(course.title, title.GetString());
+    }
+    if (entry.Has("workload")) {
+      COURSENAV_ASSIGN_OR_RETURN(JsonValue workload, entry.Get("workload"));
+      COURSENAV_ASSIGN_OR_RETURN(course.workload_hours, workload.GetNumber());
+    }
+    if (entry.Has("prerequisites")) {
+      COURSENAV_ASSIGN_OR_RETURN(JsonValue prereq, entry.Get("prerequisites"));
+      COURSENAV_ASSIGN_OR_RETURN(std::string prereq_text, prereq.GetString());
+      Result<expr::Expr> parsed = ParsePrerequisiteText(prereq_text);
+      if (!parsed.ok()) {
+        return Status::ParseError("course '" + course.code +
+                                  "': " + parsed.status().message());
+      }
+      course.prerequisites = std::move(parsed).value();
+    }
+
+    std::vector<Term> terms;
+    if (entry.Has("offered")) {
+      COURSENAV_ASSIGN_OR_RETURN(JsonValue offered, entry.Get("offered"));
+      if (!offered.is_array()) {
+        return Status::ParseError("course '" + course.code +
+                                  "': 'offered' must be an array");
+      }
+      for (const JsonValue& term_value : offered.array()) {
+        COURSENAV_ASSIGN_OR_RETURN(std::string term_text,
+                                   term_value.GetString());
+        Result<Term> term = Term::Parse(term_text);
+        if (!term.ok()) {
+          return Status::ParseError("course '" + course.code +
+                                    "': " + term.status().message());
+        }
+        terms.push_back(*term);
+      }
+    }
+
+    COURSENAV_ASSIGN_OR_RETURN(CourseId id,
+                               bundle.catalog.AddCourse(std::move(course)));
+    pending.push_back({id, std::move(terms)});
+  }
+
+  COURSENAV_RETURN_IF_ERROR(bundle.catalog.Finalize());
+
+  bundle.schedule = OfferingSchedule(bundle.catalog.size());
+  for (const PendingOfferings& entry : pending) {
+    for (Term term : entry.terms) {
+      COURSENAV_RETURN_IF_ERROR(
+          bundle.schedule.AddOffering(entry.course, term));
+    }
+  }
+  return bundle;
+}
+
+JsonValue CatalogToJson(const Catalog& catalog,
+                        const OfferingSchedule& schedule) {
+  JsonValue::Array courses;
+  for (CourseId id = 0; id < catalog.size(); ++id) {
+    const Course& course = catalog.course(id);
+    JsonValue::Object obj;
+    obj["code"] = JsonValue(course.code);
+    obj["title"] = JsonValue(course.title);
+    obj["workload"] = JsonValue(course.workload_hours);
+    obj["prerequisites"] = JsonValue(course.prerequisites.ToString());
+    JsonValue::Array offered;
+    for (Term term : schedule.OfferingTerms(id)) {
+      offered.emplace_back(term.ToString());
+    }
+    obj["offered"] = JsonValue(std::move(offered));
+    courses.emplace_back(std::move(obj));
+  }
+  JsonValue::Object doc;
+  doc["courses"] = JsonValue(std::move(courses));
+  return JsonValue(std::move(doc));
+}
+
+}  // namespace coursenav

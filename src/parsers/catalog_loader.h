@@ -1,0 +1,51 @@
+#ifndef COURSENAV_PARSERS_CATALOG_LOADER_H_
+#define COURSENAV_PARSERS_CATALOG_LOADER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// A catalog together with its class schedule — the registrar data bundle
+/// the back end (Figure 2) hands to the Learning Path Generator.
+struct CatalogBundle {
+  Catalog catalog;
+  OfferingSchedule schedule;
+
+  CatalogBundle() : schedule(0) {}
+};
+
+/// Loads a catalog + schedule from a JSON document of the form:
+///
+/// ```json
+/// {
+///   "courses": [
+///     {
+///       "code": "COSI11A",
+///       "title": "Programming in Java",
+///       "workload": 8.5,
+///       "prerequisites": "none",
+///       "offered": ["Fall 2011", "Fall 2012"]
+///     }
+///   ]
+/// }
+/// ```
+///
+/// `prerequisites` accepts anything `ParsePrerequisiteText` accepts and
+/// may be omitted (no prerequisites); `workload` defaults to 0; `offered`
+/// may be omitted (never offered — useful for retired courses referenced
+/// only as prerequisites). The returned catalog is finalized.
+Result<CatalogBundle> LoadCatalogFromJson(std::string_view json_text);
+
+/// Serializes a catalog + schedule back into the JSON schema accepted by
+/// `LoadCatalogFromJson` (round-trip stable).
+JsonValue CatalogToJson(const Catalog& catalog,
+                        const OfferingSchedule& schedule);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_PARSERS_CATALOG_LOADER_H_

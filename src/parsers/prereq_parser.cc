@@ -1,0 +1,154 @@
+#include "parsers/prereq_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "expr/parser.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+std::string NormalizeCourseCode(std::string_view code) {
+  std::string out;
+  out.reserve(code.size());
+  for (char c : code) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+namespace {
+
+/// Case-insensitively removes every occurrence of `phrase` from `text`.
+void RemovePhrase(std::string& text, std::string_view phrase) {
+  std::string lower = ToLowerAscii(text);
+  std::string lower_phrase = ToLowerAscii(phrase);
+  size_t pos = 0;
+  while ((pos = lower.find(lower_phrase, pos)) != std::string::npos) {
+    text.erase(pos, lower_phrase.size());
+    lower.erase(pos, lower_phrase.size());
+  }
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<expr::Expr> ParsePrerequisiteText(std::string_view text) {
+  std::string work(TrimWhitespace(text));
+
+  // Strip the leading label.
+  for (std::string_view label :
+       {"prerequisites:", "prerequisite:", "prereqs:", "prereq:"}) {
+    if (work.size() >= label.size() &&
+        EqualsIgnoreCase(std::string_view(work).substr(0, label.size()),
+                         label)) {
+      work.erase(0, label.size());
+      break;
+    }
+  }
+
+  // The prerequisite sentence ends at the first period or semicolon.
+  size_t terminator = work.find_first_of(".;");
+  if (terminator != std::string::npos) work.resize(terminator);
+
+  // Strict mode: drop instructor-permission escape hatches.
+  for (std::string_view phrase :
+       {"or permission of the instructor", "or consent of the instructor",
+        "or permission of instructor", "or consent of instructor",
+        "or instructor permission", "or instructor consent"}) {
+    RemovePhrase(work, phrase);
+  }
+
+  std::string_view trimmed = TrimWhitespace(work);
+  if (trimmed.empty() || EqualsIgnoreCase(trimmed, "none") ||
+      EqualsIgnoreCase(trimmed, "n/a")) {
+    return expr::Expr::True();
+  }
+
+  // Tokenize into words, parentheses, and commas.
+  struct RawToken {
+    std::string text;
+    bool is_word;
+  };
+  std::vector<RawToken> tokens;
+  size_t i = 0;
+  while (i < trimmed.size()) {
+    char c = trimmed[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '(' || c == ')' || c == ',') {
+      tokens.push_back({std::string(1, c), false});
+      ++i;
+    } else if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < trimmed.size() && IsWordChar(trimmed[i])) ++i;
+      tokens.push_back({std::string(trimmed.substr(start, i - start)), true});
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in prerequisite text");
+    }
+  }
+
+  // Rebuild a strict boolean expression:
+  //  * merge "DEPT 11a"-style spaced codes,
+  //  * turn commas into conjunction (", or"/"," and" collapse into the
+  //    following operator),
+  //  * normalize course-code case.
+  std::vector<std::string> parts;
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const RawToken& tok = tokens[t];
+    if (tok.text == ",") {
+      // A comma immediately followed by an operator is decoration.
+      bool next_is_operator =
+          t + 1 < tokens.size() && tokens[t + 1].is_word &&
+          (EqualsIgnoreCase(tokens[t + 1].text, "and") ||
+           EqualsIgnoreCase(tokens[t + 1].text, "or"));
+      if (!next_is_operator) parts.push_back("and");
+      continue;
+    }
+    if (!tok.is_word) {
+      parts.push_back(tok.text);  // parenthesis
+      continue;
+    }
+    if (EqualsIgnoreCase(tok.text, "and") || EqualsIgnoreCase(tok.text, "or") ||
+        EqualsIgnoreCase(tok.text, "not") ||
+        EqualsIgnoreCase(tok.text, "true") ||
+        EqualsIgnoreCase(tok.text, "false")) {
+      parts.push_back(ToLowerAscii(tok.text));
+      continue;
+    }
+    // A purely alphabetic word followed by a digit-leading word is a spaced
+    // course code ("COSI" + "11a").
+    bool alphabetic = true;
+    for (char c : tok.text) {
+      if (!std::isalpha(static_cast<unsigned char>(c))) {
+        alphabetic = false;
+        break;
+      }
+    }
+    if (alphabetic && t + 1 < tokens.size() && tokens[t + 1].is_word &&
+        std::isdigit(static_cast<unsigned char>(tokens[t + 1].text[0]))) {
+      parts.push_back(NormalizeCourseCode(tok.text + tokens[t + 1].text));
+      ++t;
+      continue;
+    }
+    parts.push_back(NormalizeCourseCode(tok.text));
+  }
+
+  std::string rebuilt = Join(parts, " ");
+  // The join above glues parentheses with spaces, which the boolean parser
+  // accepts as-is.
+  Result<expr::Expr> parsed = expr::ParseBoolExpr(rebuilt);
+  if (!parsed.ok()) {
+    return Status::ParseError("prerequisite text '" + std::string(text) +
+                              "' (normalized: '" + rebuilt +
+                              "'): " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,40 @@
+#ifndef COURSENAV_PARSERS_PREREQ_PARSER_H_
+#define COURSENAV_PARSERS_PREREQ_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "expr/expr.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// The paper's Prerequisite Parser (Figure 2): turns a registrar course
+/// description's prerequisite text into the boolean condition `Q_i`.
+///
+/// Accepted registrar idioms, beyond the strict boolean grammar of
+/// expr::ParseBoolExpr:
+///
+///  * A leading label: "Prerequisite:", "Prerequisites:", "Prereq:".
+///  * Spaced course codes: "COSI 11a" is normalized to "COSI11A"
+///    (uppercase, department glued to the number).
+///  * Comma-separated course lists mean conjunction: "COSI 11a, COSI 29a"
+///    == "COSI11A and COSI29A". A comma directly before "or"/"and" is
+///    ignored ("COSI 11a, or COSI 12b" == "COSI11A or COSI12B").
+///  * "none" / "n/a" / empty text parse to the constant true.
+///  * Instructor-permission escape hatches ("or permission of the
+///    instructor", "or consent of instructor") are stripped: the parser is
+///    *strict*, modeling the plannable requirement only. (A permission
+///    disjunct would make every prerequisite vacuously satisfiable.)
+///
+/// Periods and semicolons terminate the prerequisite sentence; anything
+/// after the first terminator is ignored.
+Result<expr::Expr> ParsePrerequisiteText(std::string_view text);
+
+/// Normalizes one course code: uppercases and removes internal whitespace,
+/// e.g. "cosi 11a" -> "COSI11A".
+std::string NormalizeCourseCode(std::string_view code);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_PARSERS_PREREQ_PARSER_H_

@@ -1,0 +1,43 @@
+#include "parsers/schedule_parser.h"
+
+#include "parsers/prereq_parser.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+Result<OfferingSchedule> ParseScheduleCsv(std::string_view text,
+                                          const Catalog& catalog) {
+  OfferingSchedule schedule(catalog.size());
+  int line_number = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    size_t comma = trimmed.find(',');
+    if (comma == std::string_view::npos) {
+      return Status::ParseError(
+          StrFormat("schedule line %d: expected 'CODE, terms...'",
+                    line_number));
+    }
+    std::string code = NormalizeCourseCode(trimmed.substr(0, comma));
+    Result<CourseId> course = catalog.FindByCode(code);
+    if (!course.ok()) {
+      return Status::ParseError(StrFormat("schedule line %d: %s", line_number,
+                                          course.status().message().c_str()));
+    }
+    for (std::string_view term_text :
+         SplitAndTrim(trimmed.substr(comma + 1), ';')) {
+      Result<Term> term = Term::Parse(term_text);
+      if (!term.ok()) {
+        return Status::ParseError(StrFormat("schedule line %d: %s",
+                                            line_number,
+                                            term.status().message().c_str()));
+      }
+      COURSENAV_RETURN_IF_ERROR(schedule.AddOffering(*course, *term));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,32 @@
+#ifndef COURSENAV_PARSERS_SCHEDULE_PARSER_H_
+#define COURSENAV_PARSERS_SCHEDULE_PARSER_H_
+
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// The paper's Schedule Parser (Figure 2): turns the registrar's class
+/// scheduling information into each course's offering set `S_i`.
+///
+/// Input is CSV-like text, one course per line:
+///
+/// ```
+/// # comment lines and blank lines are skipped
+/// COSI11A, Fall 2011; Fall 2012; Fall 2013
+/// COSI21A, Spring 2012
+/// ```
+///
+/// The first field is the (normalized) course code; the remainder of the
+/// line is a semicolon-separated list of terms in any `Term::Parse`
+/// format. Unknown course codes and malformed terms fail with the line
+/// number in the message.
+Result<OfferingSchedule> ParseScheduleCsv(std::string_view text,
+                                          const Catalog& catalog);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_PARSERS_SCHEDULE_PARSER_H_

@@ -1,0 +1,89 @@
+#include "parsers/transcript_parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "parsers/prereq_parser.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+Result<std::vector<Transcript>> ParseTranscriptsCsv(std::string_view text,
+                                                    const Catalog& catalog) {
+  // student -> term index -> courses. std::map keeps output deterministic.
+  std::map<std::string, std::map<int, std::vector<CourseId>>> grouped;
+  int line_number = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    std::vector<std::string_view> fields = SplitAndTrim(trimmed, ',');
+    if (fields.size() != 3) {
+      return Status::ParseError(StrFormat(
+          "transcript line %d: expected 'student, term, course'",
+          line_number));
+    }
+    Result<Term> term = Term::Parse(fields[1]);
+    if (!term.ok()) {
+      return Status::ParseError(StrFormat("transcript line %d: %s",
+                                          line_number,
+                                          term.status().message().c_str()));
+    }
+    Result<CourseId> course =
+        catalog.FindByCode(NormalizeCourseCode(fields[2]));
+    if (!course.ok()) {
+      return Status::ParseError(StrFormat("transcript line %d: %s",
+                                          line_number,
+                                          course.status().message().c_str()));
+    }
+    grouped[std::string(fields[0])][term->index()].push_back(*course);
+  }
+
+  std::vector<Transcript> out;
+  out.reserve(grouped.size());
+  for (auto& [student, by_term] : grouped) {
+    Transcript transcript;
+    transcript.student_id = student;
+    for (auto& [term_index, courses] : by_term) {
+      std::sort(courses.begin(), courses.end());
+      transcript.records.emplace_back(Term::FromIndex(term_index),
+                                      std::move(courses));
+    }
+    out.push_back(std::move(transcript));
+  }
+  return out;
+}
+
+Result<LearningPath> TranscriptToPath(const Transcript& transcript,
+                                      const Catalog& catalog, Term start_term,
+                                      Term end_term) {
+  if (end_term <= start_term) {
+    return Status::InvalidArgument("end term must be after the start term");
+  }
+  for (const auto& [term, courses] : transcript.records) {
+    (void)courses;
+    if (term < start_term || term >= end_term) {
+      return Status::InvalidArgument(
+          "transcript of '" + transcript.student_id + "' has a record at " +
+          term.ToString() + " outside the window");
+    }
+  }
+
+  LearningPath path(start_term, catalog.NewCourseSet());
+  size_t cursor = 0;
+  for (Term term = start_term; term < end_term; term = term.Next()) {
+    DynamicBitset selection = catalog.NewCourseSet();
+    if (cursor < transcript.records.size() &&
+        transcript.records[cursor].first == term) {
+      for (CourseId course : transcript.records[cursor].second) {
+        selection.set(course);
+      }
+      ++cursor;
+    }
+    path.AppendStep(term, std::move(selection));
+  }
+  return path;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,46 @@
+#ifndef COURSENAV_PARSERS_TRANSCRIPT_PARSER_H_
+#define COURSENAV_PARSERS_TRANSCRIPT_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/term.h"
+#include "graph/path.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// One (anonymized) student transcript: course completions per semester —
+/// the data behind the paper's §5.2 containment experiment.
+struct Transcript {
+  std::string student_id;
+  /// (term, courses completed that term), ascending by term.
+  std::vector<std::pair<Term, std::vector<CourseId>>> records;
+};
+
+/// Parses transcripts from CSV text with one enrollment per line:
+///
+/// ```
+/// # student_id, term, course_code
+/// s001, Fall 2012, COSI11A
+/// s001, Fall 2012, COSI29A
+/// s001, Spring 2013, COSI12B
+/// ```
+///
+/// Records are grouped per student and sorted by term; the order of lines
+/// does not matter. Unknown course codes fail with the line number.
+Result<std::vector<Transcript>> ParseTranscriptsCsv(std::string_view text,
+                                                    const Catalog& catalog);
+
+/// Converts a transcript to a LearningPath over `[start_term, end_term]`,
+/// starting from an empty completed set. Semesters inside the window
+/// without records become empty (skip) steps.
+Result<LearningPath> TranscriptToPath(const Transcript& transcript,
+                                      const Catalog& catalog, Term start_term,
+                                      Term end_term);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_PARSERS_TRANSCRIPT_PARSER_H_

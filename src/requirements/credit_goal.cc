@@ -1,0 +1,103 @@
+#include "requirements/credit_goal.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace coursenav {
+
+Result<std::shared_ptr<const CreditGoal>> CreditGoal::Create(
+    const Catalog& catalog, std::vector<double> credits,
+    DynamicBitset eligible, double required_credits) {
+  if (static_cast<int>(credits.size()) != catalog.size()) {
+    return Status::InvalidArgument(
+        "credit table size does not match the catalog");
+  }
+  if (eligible.universe_size() != catalog.size()) {
+    return Status::InvalidArgument(
+        "eligible set was built for a different catalog");
+  }
+  if (required_credits <= 0) {
+    return Status::InvalidArgument("required credits must be positive");
+  }
+  double supply = 0.0;
+  bool negative = false;
+  for (int i = 0; i < catalog.size(); ++i) {
+    if (credits[static_cast<size_t>(i)] < 0) negative = true;
+    if (eligible.test(i)) supply += credits[static_cast<size_t>(i)];
+  }
+  if (negative) {
+    return Status::InvalidArgument("credit values must be non-negative");
+  }
+  if (supply < required_credits) {
+    return Status::InvalidArgument(StrFormat(
+        "requirement of %.1f credits exceeds the %.1f available",
+        required_credits, supply));
+  }
+  return std::shared_ptr<const CreditGoal>(new CreditGoal(
+      std::move(credits), std::move(eligible), required_credits));
+}
+
+Result<std::shared_ptr<const CreditGoal>> CreditGoal::UniformCredits(
+    const Catalog& catalog, double credits_per_course, DynamicBitset eligible,
+    double required_credits) {
+  return Create(catalog,
+                std::vector<double>(static_cast<size_t>(catalog.size()),
+                                    credits_per_course),
+                std::move(eligible), required_credits);
+}
+
+CreditGoal::CreditGoal(std::vector<double> credits, DynamicBitset eligible,
+                       double required_credits)
+    : credits_(std::move(credits)),
+      eligible_(std::move(eligible)),
+      required_credits_(required_credits) {
+  eligible_.ForEach([this](int id) { by_credit_desc_.push_back(id); });
+  std::stable_sort(by_credit_desc_.begin(), by_credit_desc_.end(),
+                   [this](int a, int b) {
+                     return credits_[static_cast<size_t>(a)] >
+                            credits_[static_cast<size_t>(b)];
+                   });
+}
+
+double CreditGoal::EarnedCredits(const DynamicBitset& completed) const {
+  DynamicBitset counted = completed;
+  counted &= eligible_;
+  double earned = 0.0;
+  counted.ForEach(
+      [&](int id) { earned += credits_[static_cast<size_t>(id)]; });
+  return earned;
+}
+
+bool CreditGoal::IsSatisfied(const DynamicBitset& completed) const {
+  return EarnedCredits(completed) >= required_credits_;
+}
+
+int CreditGoal::MinCoursesRemaining(const DynamicBitset& completed) const {
+  double missing = required_credits_ - EarnedCredits(completed);
+  if (missing <= 0) return 0;
+  // Greedy: highest-credit not-yet-taken eligible courses close the gap in
+  // the fewest courses (exact for a simple sum threshold).
+  int needed = 0;
+  for (int id : by_credit_desc_) {
+    if (completed.test(id)) continue;
+    ++needed;
+    missing -= credits_[static_cast<size_t>(id)];
+    if (missing <= 0) return needed;
+  }
+  return kGoalUnreachable;
+}
+
+bool CreditGoal::AchievableWith(const DynamicBitset& completed,
+                                const DynamicBitset& available) const {
+  DynamicBitset reachable = completed;
+  reachable |= available;
+  return IsSatisfied(reachable);
+}
+
+std::string CreditGoal::Describe() const {
+  return StrFormat("earn %.1f credits from %d eligible courses",
+                   required_credits_, eligible_.count());
+}
+
+}  // namespace coursenav

@@ -1,0 +1,63 @@
+#ifndef COURSENAV_REQUIREMENTS_CREDIT_GOAL_H_
+#define COURSENAV_REQUIREMENTS_CREDIT_GOAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// A credit-accumulation goal: reach at least `required_credits` credits,
+/// counting only courses inside an eligible set — "complete 16 credits of
+/// upper-level CS". One of the higher-expressivity goal forms the paper's
+/// future work calls for (Section 6).
+///
+/// `MinCoursesRemaining` is exact: the fewest additional courses needed is
+/// found greedily by taking the highest-credit eligible courses first.
+/// The goal is monotone (credits only accumulate), so it composes with
+/// both pruning strategies and the monotone fast paths.
+class CreditGoal : public Goal {
+ public:
+  /// `credits[i]` is the credit value of course id `i`; must have one entry
+  /// per catalog course, all >= 0. `eligible` restricts which courses count
+  /// (pass a full set for "any course"). Fails on size mismatches, negative
+  /// credits, a non-positive requirement, or a requirement exceeding the
+  /// total eligible credit supply.
+  static Result<std::shared_ptr<const CreditGoal>> Create(
+      const Catalog& catalog, std::vector<double> credits,
+      DynamicBitset eligible, double required_credits);
+
+  /// Convenience: uniform `credits_per_course` for every catalog course.
+  static Result<std::shared_ptr<const CreditGoal>> UniformCredits(
+      const Catalog& catalog, double credits_per_course,
+      DynamicBitset eligible, double required_credits);
+
+  bool IsSatisfied(const DynamicBitset& completed) const override;
+  int MinCoursesRemaining(const DynamicBitset& completed) const override;
+  bool AchievableWith(const DynamicBitset& completed,
+                      const DynamicBitset& available) const override;
+  bool IsMonotone() const override { return true; }
+  std::string Describe() const override;
+
+  /// Credits earned from `completed` (eligible courses only).
+  double EarnedCredits(const DynamicBitset& completed) const;
+
+ private:
+  CreditGoal(std::vector<double> credits, DynamicBitset eligible,
+             double required_credits);
+
+  std::vector<double> credits_;
+  DynamicBitset eligible_;
+  double required_credits_;
+  /// Eligible course ids sorted by descending credit value, for the greedy
+  /// min-remaining computation.
+  std::vector<int> by_credit_desc_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_REQUIREMENTS_CREDIT_GOAL_H_

@@ -1,0 +1,136 @@
+#ifndef COURSENAV_REQUIREMENTS_DEGREE_REQUIREMENT_H_
+#define COURSENAV_REQUIREMENTS_DEGREE_REQUIREMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "requirements/goal.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Which max-flow algorithm the requirement engine uses for credit
+/// allocation. Ford–Fulkerson (Edmonds–Karp) is what the paper cites
+/// (Equation 1 / Parameswaran et al.); Dinic is the ablation alternative.
+enum class FlowAlgorithm { kFordFulkerson, kDinic };
+
+/// One k-of-n requirement group: at least `required_count` courses out of
+/// `courses` must be credited to this group.
+struct RequirementGroup {
+  std::string name;
+  DynamicBitset courses;
+  int required_count = 0;
+};
+
+/// Per-group progress line of a degree audit.
+struct GroupAudit {
+  std::string group_name;
+  /// Completed courses the optimal allocation credits to this group.
+  DynamicBitset credited;
+  int required_count = 0;
+  /// Not-yet-completed courses that could still fill this group's open
+  /// slots.
+  DynamicBitset remaining_candidates;
+
+  int credited_count() const { return credited.count(); }
+  int missing_count() const {
+    int missing = required_count - credited_count();
+    return missing > 0 ? missing : 0;
+  }
+};
+
+/// A degree audit: optimal credit assignment of the student's completed
+/// courses to requirement groups, plus what is still missing.
+struct DegreeAudit {
+  std::vector<GroupAudit> groups;
+  bool satisfied = false;
+  /// total slots - credited slots (== MinCoursesRemaining).
+  int courses_missing = 0;
+
+  /// "core: 5/7 (missing 2) ..." rendering.
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// A degree requirement: a conjunction of possibly-overlapping k-of-n
+/// groups where each completed course may be *credited to at most one*
+/// group — the paper's "CS major requires 7 core courses and 5 electives"
+/// with the complex-constraint semantics of Parameswaran et al. (TOIS 2011).
+///
+/// Credit allocation is a max-flow problem: source → course (capacity 1) →
+/// every group containing it → sink (capacity = group's required count).
+/// `CreditedSlots(X)` is that max flow; the requirement is satisfied when
+/// every slot is filled, and `left_i = total slots − credited slots` is the
+/// *exact* minimum number of additional courses needed when enough distinct
+/// courses exist (and a lower bound always), which is what Equation 1's
+/// time-based pruning requires.
+class DegreeRequirement : public Goal {
+ public:
+  /// Incrementally assembles a DegreeRequirement against one catalog.
+  class Builder {
+   public:
+    explicit Builder(const Catalog* catalog) : catalog_(catalog) {}
+
+    /// Adds a group requiring `required_count` of the courses in `codes`.
+    Builder& AddGroup(std::string name, const std::vector<std::string>& codes,
+                      int required_count);
+
+    /// Adds a group from an id set.
+    Builder& AddGroupFromIds(std::string name, DynamicBitset courses,
+                             int required_count);
+
+    /// Validates and builds. Fails if any group is empty, has a
+    /// non-positive count, a count larger than the group, or referenced an
+    /// unknown course code.
+    Result<std::shared_ptr<const DegreeRequirement>> Build(
+        FlowAlgorithm algorithm = FlowAlgorithm::kFordFulkerson);
+
+   private:
+    const Catalog* catalog_;
+    std::vector<RequirementGroup> groups_;
+    Status deferred_error_;
+  };
+
+  /// Max number of requirement slots creditable from `completed`.
+  int CreditedSlots(const DynamicBitset& completed) const;
+
+  /// Full per-group progress report for `completed`, using an optimal
+  /// credit allocation (ties broken deterministically by course id /
+  /// group order). The registrar-style "degree audit".
+  DegreeAudit Audit(const DynamicBitset& completed) const;
+
+  /// Sum of all groups' required counts.
+  int TotalSlots() const { return total_slots_; }
+
+  bool IsSatisfied(const DynamicBitset& completed) const override;
+  int MinCoursesRemaining(const DynamicBitset& completed) const override;
+  bool AchievableWith(const DynamicBitset& completed,
+                      const DynamicBitset& available) const override;
+  /// Credit allocation only grows with the completed set.
+  bool IsMonotone() const override { return true; }
+  std::string Describe() const override;
+
+  const std::vector<RequirementGroup>& groups() const { return groups_; }
+
+ private:
+  DegreeRequirement(std::vector<RequirementGroup> groups, int universe_size,
+                    FlowAlgorithm algorithm);
+
+  std::vector<RequirementGroup> groups_;
+  /// Union of all group course sets; courses outside it never affect credit.
+  DynamicBitset relevant_courses_;
+  int universe_size_;
+  int total_slots_;
+  FlowAlgorithm algorithm_;
+  /// True when no course appears in two groups. Credit allocation then
+  /// needs no flow: each group's credit is simply min(|X ∩ G|, k_G). This
+  /// covers the common core/electives split; overlapping groups (the
+  /// general Parameswaran-style constraints) take the max-flow path.
+  bool groups_disjoint_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_REQUIREMENTS_DEGREE_REQUIREMENT_H_

@@ -1,0 +1,48 @@
+#include "requirements/expr_goal.h"
+
+namespace coursenav {
+
+Result<std::shared_ptr<const ExprGoal>> ExprGoal::Create(
+    const expr::Expr& goal_expr, const Catalog& catalog, int max_clauses) {
+  COURSENAV_ASSIGN_OR_RETURN(
+      expr::Dnf dnf,
+      expr::Dnf::FromExpr(goal_expr, catalog.MakeResolver(), catalog.size(),
+                          max_clauses));
+  return std::shared_ptr<const ExprGoal>(
+      new ExprGoal(goal_expr, std::move(dnf)));
+}
+
+Result<std::shared_ptr<const ExprGoal>> ExprGoal::CompleteAll(
+    const std::vector<std::string>& codes, const Catalog& catalog) {
+  std::vector<expr::Expr> vars;
+  vars.reserve(codes.size());
+  for (const std::string& code : codes) vars.push_back(expr::Expr::Var(code));
+  return Create(expr::Expr::And(std::move(vars)), catalog);
+}
+
+bool ExprGoal::IsSatisfied(const DynamicBitset& completed) const {
+  return dnf_.Eval(completed);
+}
+
+int ExprGoal::MinCoursesRemaining(const DynamicBitset& completed) const {
+  int bound = dnf_.MinAdditionalCourses(completed);
+  return bound >= expr::Dnf::kUnreachable ? kGoalUnreachable : bound;
+}
+
+bool ExprGoal::AchievableWith(const DynamicBitset& completed,
+                              const DynamicBitset& available) const {
+  return dnf_.AchievableWith(completed, available);
+}
+
+bool ExprGoal::IsMonotone() const {
+  for (const expr::DnfClause& clause : dnf_.clauses()) {
+    if (!clause.negative.empty()) return false;
+  }
+  return true;
+}
+
+std::string ExprGoal::Describe() const {
+  return "satisfy '" + source_.ToString() + "'";
+}
+
+}  // namespace coursenav

@@ -1,0 +1,57 @@
+#ifndef COURSENAV_REQUIREMENTS_EXPR_GOAL_H_
+#define COURSENAV_REQUIREMENTS_EXPR_GOAL_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "expr/dnf.h"
+#include "expr/expr.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// A goal stated as a boolean expression over course codes — the paper's
+/// "goal requirement as a boolean expression on the student's enrollment
+/// status" (Section 4.2).
+///
+/// Internally the expression is compiled to DNF once; `MinCoursesRemaining`
+/// is then the fewest missing positive literals of any live clause, and
+/// `AchievableWith` checks whether any live clause fits inside
+/// `completed ∪ available`. Both are sound even with negation (see
+/// expr::Dnf).
+class ExprGoal : public Goal {
+ public:
+  /// Compiles `goal_expr` against `catalog` (which must outlive the goal).
+  /// Fails if the expression references unknown courses or its DNF exceeds
+  /// `max_clauses`.
+  static Result<std::shared_ptr<const ExprGoal>> Create(
+      const expr::Expr& goal_expr, const Catalog& catalog,
+      int max_clauses = 4096);
+
+  /// Convenience: the goal "complete every course in `codes`".
+  static Result<std::shared_ptr<const ExprGoal>> CompleteAll(
+      const std::vector<std::string>& codes, const Catalog& catalog);
+
+  bool IsSatisfied(const DynamicBitset& completed) const override;
+  int MinCoursesRemaining(const DynamicBitset& completed) const override;
+  bool AchievableWith(const DynamicBitset& completed,
+                      const DynamicBitset& available) const override;
+  /// Monotone exactly when the DNF has no negative literal.
+  bool IsMonotone() const override;
+  std::string Describe() const override;
+
+  const expr::Dnf& dnf() const { return dnf_; }
+
+ private:
+  ExprGoal(expr::Expr source, expr::Dnf dnf)
+      : source_(std::move(source)), dnf_(std::move(dnf)) {}
+
+  expr::Expr source_;
+  expr::Dnf dnf_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_REQUIREMENTS_EXPR_GOAL_H_

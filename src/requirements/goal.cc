@@ -1,0 +1,47 @@
+#include "requirements/goal.h"
+
+#include <algorithm>
+
+namespace coursenav {
+
+bool CompositeGoal::IsSatisfied(const DynamicBitset& completed) const {
+  for (const auto& part : parts_) {
+    if (!part->IsSatisfied(completed)) return false;
+  }
+  return true;
+}
+
+int CompositeGoal::MinCoursesRemaining(const DynamicBitset& completed) const {
+  int worst = 0;
+  for (const auto& part : parts_) {
+    worst = std::max(worst, part->MinCoursesRemaining(completed));
+  }
+  return worst;
+}
+
+bool CompositeGoal::AchievableWith(const DynamicBitset& completed,
+                                   const DynamicBitset& available) const {
+  for (const auto& part : parts_) {
+    if (!part->AchievableWith(completed, available)) return false;
+  }
+  return true;
+}
+
+bool CompositeGoal::IsMonotone() const {
+  for (const auto& part : parts_) {
+    if (!part->IsMonotone()) return false;
+  }
+  return true;
+}
+
+std::string CompositeGoal::Describe() const {
+  std::string out = "all of [";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) out += "; ";
+    out += parts_[i]->Describe();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace coursenav

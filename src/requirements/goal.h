@@ -1,0 +1,80 @@
+#ifndef COURSENAV_REQUIREMENTS_GOAL_H_
+#define COURSENAV_REQUIREMENTS_GOAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace coursenav {
+
+/// Sentinel returned by `Goal::MinCoursesRemaining` when no future
+/// enrollment status can satisfy the goal.
+inline constexpr int kGoalUnreachable = 1 << 29;
+
+/// A student's exploration goal: a condition on a future enrollment status
+/// (Section 2, "Exploration Tasks").
+///
+/// Beyond the satisfaction test itself, a `Goal` exposes the two quantities
+/// the goal-driven generator's pruning strategies need (Section 4.2):
+///
+///  * `MinCoursesRemaining(X)` — `left_i`, a lower bound on the number of
+///    additional courses a student with completed set `X` must take before
+///    the goal can hold. Feeds Equation 1 (time-based pruning). Soundness
+///    contract: the bound must never exceed the true minimum; otherwise
+///    Lemma 1 breaks and valid paths get pruned.
+///
+///  * `AchievableWith(X, available)` — whether the goal can hold after
+///    completing some subset of `available` on top of `X`
+///    (course-availability pruning). Soundness contract: must return true
+///    whenever such a subset exists (over-approximation is allowed, under-
+///    approximation is not).
+class Goal {
+ public:
+  virtual ~Goal() = default;
+
+  /// True if the goal condition holds for completed set `completed`.
+  virtual bool IsSatisfied(const DynamicBitset& completed) const = 0;
+
+  /// Lower bound on additional courses needed (see class comment).
+  virtual int MinCoursesRemaining(const DynamicBitset& completed) const = 0;
+
+  /// Sound achievability test (see class comment).
+  virtual bool AchievableWith(const DynamicBitset& completed,
+                              const DynamicBitset& available) const = 0;
+
+  /// True if the goal is monotone in the completed set: completing more
+  /// courses never hurts (`IsSatisfied(X) ⟹ IsSatisfied(X')` for `X ⊆ X'`,
+  /// and `MinCoursesRemaining` is non-increasing in `X`). Monotone goals
+  /// unlock a fast path in time-based pruning; returning false is always
+  /// safe.
+  virtual bool IsMonotone() const { return false; }
+
+  /// Human-readable description for logs and visualizers.
+  virtual std::string Describe() const = 0;
+};
+
+/// Conjunction of goals: satisfied when every part is.
+///
+/// `MinCoursesRemaining` is the max over parts — a valid lower bound even
+/// when parts share courses (summing would overcount shared credit).
+class CompositeGoal : public Goal {
+ public:
+  explicit CompositeGoal(std::vector<std::shared_ptr<const Goal>> parts)
+      : parts_(std::move(parts)) {}
+
+  bool IsSatisfied(const DynamicBitset& completed) const override;
+  int MinCoursesRemaining(const DynamicBitset& completed) const override;
+  bool AchievableWith(const DynamicBitset& completed,
+                      const DynamicBitset& available) const override;
+  bool IsMonotone() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::shared_ptr<const Goal>> parts_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_REQUIREMENTS_GOAL_H_

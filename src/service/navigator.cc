@@ -1,0 +1,84 @@
+#include "service/navigator.h"
+
+namespace coursenav {
+
+Result<ExplorationResponse> CourseNavigator::Explore(
+    const ExplorationRequest& request) const {
+  ExplorationResponse response;
+  switch (request.type) {
+    case TaskType::kDeadlineDriven: {
+      COURSENAV_ASSIGN_OR_RETURN(
+          GenerationResult generation,
+          ExploreDeadline(request.start, request.end_term, request.options));
+      response.generation = std::move(generation);
+      return response;
+    }
+    case TaskType::kGoalDriven: {
+      if (request.goal == nullptr) {
+        return Status::InvalidArgument(
+            "goal-driven exploration requires a goal");
+      }
+      COURSENAV_ASSIGN_OR_RETURN(
+          GenerationResult generation,
+          ExploreGoal(request.start, request.end_term, *request.goal,
+                      request.options, request.config));
+      response.generation = std::move(generation);
+      return response;
+    }
+    case TaskType::kRanked: {
+      if (request.goal == nullptr) {
+        return Status::InvalidArgument("ranked exploration requires a goal");
+      }
+      if (request.ranking == nullptr) {
+        return Status::InvalidArgument(
+            "ranked exploration requires a ranking function");
+      }
+      COURSENAV_ASSIGN_OR_RETURN(
+          RankedResult ranked,
+          ExploreTopK(request.start, request.end_term, *request.goal,
+                      *request.ranking, request.top_k, request.options,
+                      request.config));
+      response.ranked = std::move(ranked);
+      return response;
+    }
+  }
+  return Status::InvalidArgument("unknown exploration task type");
+}
+
+Result<GenerationResult> CourseNavigator::ExploreDeadline(
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options) const {
+  return GenerateDeadlineDrivenPaths(*catalog_, *schedule_, start, end_term,
+                                     options);
+}
+
+Result<GenerationResult> CourseNavigator::ExploreGoal(
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config) const {
+  return GenerateGoalDrivenPaths(*catalog_, *schedule_, start, end_term, goal,
+                                 options, config);
+}
+
+Result<RankedResult> CourseNavigator::ExploreTopK(
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const RankingFunction& ranking, int k, const ExplorationOptions& options,
+    const GoalDrivenConfig& config) const {
+  return GenerateRankedPaths(*catalog_, *schedule_, start, end_term, goal,
+                             ranking, k, options, config);
+}
+
+Result<CountingResult> CourseNavigator::CountDeadline(
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options) const {
+  return CountDeadlineDrivenPaths(*catalog_, *schedule_, start, end_term,
+                                  options);
+}
+
+Result<CountingResult> CourseNavigator::CountGoal(
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config) const {
+  return CountGoalDrivenPaths(*catalog_, *schedule_, start, end_term, goal,
+                              options, config);
+}
+
+}  // namespace coursenav

@@ -1,0 +1,81 @@
+#include "service/robustness.h"
+
+#include <algorithm>
+
+#include "core/counting.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+std::vector<OfferingDependency> PlanRobustness::SinglePointsOfFailure()
+    const {
+  std::vector<OfferingDependency> out;
+  for (const OfferingDependency& dep : dependencies) {
+    if (dep.alternative_paths == 0) out.push_back(dep);
+  }
+  return out;
+}
+
+std::string PlanRobustness::ToString(const Catalog& catalog) const {
+  std::string out = StrFormat(
+      "baseline: %llu goal path(s)\n",
+      static_cast<unsigned long long>(baseline_paths));
+  for (const OfferingDependency& dep : dependencies) {
+    out += StrFormat(
+        "  if %s is cancelled in %s: %llu alternative path(s)%s\n",
+        catalog.course(dep.course).code.c_str(),
+        dep.term.ToString().c_str(),
+        static_cast<unsigned long long>(dep.alternative_paths),
+        dep.alternative_paths == 0 ? "  << single point of failure" : "");
+  }
+  return out;
+}
+
+Result<PlanRobustness> AnalyzePlanRobustness(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const LearningPath& path, const Goal& goal, Term end_term,
+    const ExplorationOptions& options) {
+  COURSENAV_RETURN_IF_ERROR(path.Validate(catalog, schedule));
+  if (!goal.IsSatisfied(path.FinalCompleted())) {
+    return Status::InvalidArgument("the plan does not reach the goal");
+  }
+
+  EnrollmentStatus start{path.start_term(), path.start_completed()};
+  PlanRobustness report;
+  COURSENAV_ASSIGN_OR_RETURN(
+      CountingResult baseline,
+      CountGoalDrivenPaths(catalog, schedule, start, end_term, goal,
+                           options));
+  report.baseline_paths = baseline.goal_paths;
+
+  for (const PathStep& step : path.steps()) {
+    Status failure = Status::OK();
+    step.selection.ForEach([&](int id) {
+      if (!failure.ok()) return;
+      OfferingDependency dep;
+      dep.course = static_cast<CourseId>(id);
+      dep.term = step.term;
+
+      OfferingSchedule perturbed = schedule.Clone();
+      perturbed.RemoveOffering(dep.course, dep.term);
+      Result<CountingResult> counted = CountGoalDrivenPaths(
+          catalog, perturbed, start, end_term, goal, options);
+      if (!counted.ok()) {
+        failure = counted.status();
+        return;
+      }
+      dep.alternative_paths = counted->goal_paths;
+      report.dependencies.push_back(dep);
+    });
+    if (!failure.ok()) return failure;
+  }
+
+  std::stable_sort(report.dependencies.begin(), report.dependencies.end(),
+                   [](const OfferingDependency& a,
+                      const OfferingDependency& b) {
+                     return a.alternative_paths < b.alternative_paths;
+                   });
+  return report;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,62 @@
+#ifndef COURSENAV_SERVICE_ROBUSTNESS_H_
+#define COURSENAV_SERVICE_ROBUSTNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "core/enrollment.h"
+#include "core/options.h"
+#include "graph/path.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// One offering the plan depends on, and how the plan space reacts if the
+/// registrar cancels it.
+struct OfferingDependency {
+  CourseId course = kInvalidCourseId;
+  Term term;
+  /// True if the analyzed plan itself survives (the plan does not elect
+  /// this offering — always false here since only elected offerings are
+  /// analyzed).
+  bool plan_survives = false;
+  /// Goal paths that still exist (from the plan's start, under the same
+  /// constraints) if this single offering is cancelled.
+  uint64_t alternative_paths = 0;
+};
+
+/// Robustness report for a concrete plan.
+struct PlanRobustness {
+  /// Per elected offering, most fragile first (fewest alternatives).
+  std::vector<OfferingDependency> dependencies;
+  /// Goal paths with the schedule as published.
+  uint64_t baseline_paths = 0;
+
+  /// Offerings whose cancellation leaves no path at all.
+  std::vector<OfferingDependency> SinglePointsOfFailure() const;
+
+  /// Human-readable report.
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Quantifies how fragile a plan is to schedule changes — the operational
+/// side of the paper's reliability discussion (§4.3.1): beyond *ranking*
+/// by offering probability, a student wants to know *which* cancellation
+/// would strand them.
+///
+/// For every (course, semester) the plan elects, the offering is removed
+/// from a cloned schedule and the goal paths from `start` are re-counted
+/// under `options`. Counting budgets in `options.limits` apply per
+/// perturbation. `path` must be a valid plan reaching `goal` by
+/// `end_term`.
+Result<PlanRobustness> AnalyzePlanRobustness(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const LearningPath& path, const Goal& goal, Term end_term,
+    const ExplorationOptions& options);
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_SERVICE_ROBUSTNESS_H_

@@ -1,0 +1,166 @@
+#include "service/session.h"
+
+#include <algorithm>
+
+#include "core/combinations.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+ExplorationSession::ExplorationSession(const Catalog* catalog,
+                                       const OfferingSchedule* schedule,
+                                       std::shared_ptr<const Goal> goal,
+                                       EnrollmentStatus initial,
+                                       Term deadline,
+                                       ExplorationOptions options)
+    : catalog_(catalog),
+      schedule_(schedule),
+      goal_(std::move(goal)),
+      current_(std::move(initial)),
+      deadline_(deadline),
+      options_(std::move(options)) {}
+
+Status ExplorationSession::Commit(const std::vector<std::string>& codes) {
+  if (current_.term >= deadline_) {
+    return Status::FailedPrecondition("the deadline has been reached");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(DynamicBitset selection,
+                             catalog_->CourseSetFromCodes(codes));
+  if (selection.count() > options_.max_courses_per_term) {
+    return Status::InvalidArgument(StrFormat(
+        "selection of %d exceeds the %d-course limit", selection.count(),
+        options_.max_courses_per_term));
+  }
+  DynamicBitset electable = CurrentOptions();
+  if (!selection.IsSubsetOf(electable)) {
+    DynamicBitset bad = selection;
+    bad.Subtract(electable);
+    return Status::InvalidArgument(
+        "not electable this semester: " + catalog_->CourseSetToString(bad));
+  }
+  history_.push_back({current_.term, selection});
+  current_.completed |= selection;
+  current_.term = current_.term.Next();
+  InvalidateCache();
+  return Status::OK();
+}
+
+Status ExplorationSession::Undo() {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("nothing to undo");
+  }
+  const PathStep& last = history_.back();
+  current_.term = last.term;
+  current_.completed.Subtract(last.selection);
+  history_.pop_back();
+  InvalidateCache();
+  return Status::OK();
+}
+
+Status ExplorationSession::SetMaxLoad(int max_courses_per_term) {
+  if (max_courses_per_term < 1) {
+    return Status::InvalidArgument("load limit must be >= 1");
+  }
+  options_.max_courses_per_term = max_courses_per_term;
+  InvalidateCache();
+  return Status::OK();
+}
+
+Status ExplorationSession::Avoid(const std::string& code) {
+  COURSENAV_ASSIGN_OR_RETURN(CourseId id, catalog_->FindByCode(code));
+  if (current_.completed.test(id)) {
+    return Status::FailedPrecondition("'" + code + "' is already completed");
+  }
+  if (!options_.avoid_courses.has_value()) {
+    options_.avoid_courses = catalog_->NewCourseSet();
+  }
+  options_.avoid_courses->set(id);
+  InvalidateCache();
+  return Status::OK();
+}
+
+Status ExplorationSession::Unavoid(const std::string& code) {
+  COURSENAV_ASSIGN_OR_RETURN(CourseId id, catalog_->FindByCode(code));
+  if (options_.avoid_courses.has_value()) {
+    options_.avoid_courses->reset(id);
+  }
+  InvalidateCache();
+  return Status::OK();
+}
+
+Status ExplorationSession::SetDeadline(Term deadline) {
+  if (deadline <= current_.term) {
+    return Status::InvalidArgument(
+        "deadline must be after the current semester");
+  }
+  deadline_ = deadline;
+  InvalidateCache();
+  return Status::OK();
+}
+
+bool ExplorationSession::GoalReached() const {
+  return goal_->IsSatisfied(current_.completed);
+}
+
+DynamicBitset ExplorationSession::CurrentOptions() const {
+  return ComputeOptions(*catalog_, *schedule_, current_.completed,
+                        current_.term, options_);
+}
+
+Result<uint64_t> ExplorationSession::RemainingGoalPaths() {
+  if (GoalReached()) return uint64_t{1};
+  if (cached_goal_paths_.has_value()) return *cached_goal_paths_;
+  COURSENAV_ASSIGN_OR_RETURN(
+      CountingResult counted,
+      CountGoalDrivenPaths(*catalog_, *schedule_, current_, deadline_, *goal_,
+                           options_));
+  cached_goal_paths_ = counted.goal_paths;
+  return counted.goal_paths;
+}
+
+Result<RankedResult> ExplorationSession::TopK(const RankingFunction& ranking,
+                                              int k) const {
+  return GenerateRankedPaths(*catalog_, *schedule_, current_, deadline_,
+                             *goal_, ranking, k, options_);
+}
+
+Result<std::vector<SelectionImpact>> ExplorationSession::EvaluateSelections(
+    int max_candidates) {
+  if (current_.term >= deadline_) {
+    return Status::FailedPrecondition("the deadline has been reached");
+  }
+  DynamicBitset electable = CurrentOptions();
+  std::vector<DynamicBitset> candidates;
+  ForEachSelection(electable, 1, options_.max_courses_per_term,
+                   [&](const DynamicBitset& selection) {
+                     candidates.push_back(selection);
+                     return static_cast<int>(candidates.size()) <
+                            max_candidates;
+                   });
+
+  std::vector<SelectionImpact> impacts;
+  impacts.reserve(candidates.size());
+  for (DynamicBitset& selection : candidates) {
+    EnrollmentStatus next{current_.term.Next(), current_.completed};
+    next.completed |= selection;
+    SelectionImpact impact;
+    impact.selection = std::move(selection);
+    if (goal_->IsSatisfied(next.completed)) {
+      impact.surviving_goal_paths = 1;
+    } else if (next.term < deadline_) {
+      COURSENAV_ASSIGN_OR_RETURN(
+          CountingResult counted,
+          CountGoalDrivenPaths(*catalog_, *schedule_, next, deadline_, *goal_,
+                               options_));
+      impact.surviving_goal_paths = counted.goal_paths;
+    }
+    impacts.push_back(std::move(impact));
+  }
+  std::stable_sort(impacts.begin(), impacts.end(),
+                   [](const SelectionImpact& a, const SelectionImpact& b) {
+                     return a.surviving_goal_paths > b.surviving_goal_paths;
+                   });
+  return impacts;
+}
+
+}  // namespace coursenav

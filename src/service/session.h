@@ -1,0 +1,109 @@
+#ifndef COURSENAV_SERVICE_SESSION_H_
+#define COURSENAV_SERVICE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "core/counting.h"
+#include "core/enrollment.h"
+#include "core/options.h"
+#include "core/ranked_generator.h"
+#include "requirements/goal.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Path-count impact of electing one candidate selection next semester.
+struct SelectionImpact {
+  DynamicBitset selection;
+  /// Goal paths that remain if the student elects this selection now.
+  uint64_t surviving_goal_paths = 0;
+};
+
+/// A stateful interactive exploration — the conversational loop the
+/// paper's front end drives (Figure 2): the student commits or undoes
+/// semester selections, tweaks constraints, and re-asks "what are my
+/// options / how many futures remain / what are the best plans" after
+/// every move. Queries are answered from the same generators the batch
+/// API uses; goal-path counts are cached until the next mutation.
+///
+/// The catalog, schedule and goal must outlive the session.
+class ExplorationSession {
+ public:
+  ExplorationSession(const Catalog* catalog, const OfferingSchedule* schedule,
+                     std::shared_ptr<const Goal> goal,
+                     EnrollmentStatus initial, Term deadline,
+                     ExplorationOptions options = {});
+
+  // ------------------------------------------------------------- state
+
+  const EnrollmentStatus& status() const { return current_; }
+  Term deadline() const { return deadline_; }
+  const ExplorationOptions& options() const { return options_; }
+
+  /// Semesters already committed in this session, oldest first.
+  const std::vector<PathStep>& history() const { return history_; }
+
+  // --------------------------------------------------------- mutations
+
+  /// Commits a selection for the current semester and advances time.
+  /// The selection must be electable: offered now, prerequisites met, not
+  /// completed, within the load limit, not avoided. An empty list is a
+  /// skip.
+  Status Commit(const std::vector<std::string>& codes);
+
+  /// Reverts the most recent Commit. Fails when there is none.
+  Status Undo();
+
+  /// Adjusts the per-semester load limit (>= 1).
+  Status SetMaxLoad(int max_courses_per_term);
+
+  /// Adds / removes a course from the avoided set. Avoiding an
+  /// already-completed course fails.
+  Status Avoid(const std::string& code);
+  Status Unavoid(const std::string& code);
+
+  /// Moves the deadline; must stay after the current semester.
+  Status SetDeadline(Term deadline);
+
+  // ----------------------------------------------------------- queries
+
+  /// True if the goal already holds.
+  bool GoalReached() const;
+
+  /// The option set Y for the current status.
+  DynamicBitset CurrentOptions() const;
+
+  /// Number of goal paths from the current status (DAG-counted; cached).
+  Result<uint64_t> RemainingGoalPaths();
+
+  /// Best k plans from here under `ranking`.
+  Result<RankedResult> TopK(const RankingFunction& ranking, int k) const;
+
+  /// Ranks every electable selection for the current semester by how many
+  /// goal paths survive it, descending. Selections that kill the goal
+  /// entirely are included with zero. At most `max_candidates` selections
+  /// are evaluated (largest option sets first would explode otherwise).
+  Result<std::vector<SelectionImpact>> EvaluateSelections(
+      int max_candidates = 256);
+
+ private:
+  void InvalidateCache() { cached_goal_paths_.reset(); }
+
+  const Catalog* catalog_;
+  const OfferingSchedule* schedule_;
+  std::shared_ptr<const Goal> goal_;
+  EnrollmentStatus current_;
+  Term deadline_;
+  ExplorationOptions options_;
+  std::vector<PathStep> history_;
+  std::optional<uint64_t> cached_goal_paths_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_SERVICE_SESSION_H_

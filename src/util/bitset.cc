@@ -1,0 +1,111 @@
+#include "util/bitset.h"
+
+#include <cassert>
+
+namespace coursenav {
+
+DynamicBitset::DynamicBitset(int universe_size)
+    : num_bits_(universe_size),
+      words_((static_cast<size_t>(universe_size) + kBitsPerWord - 1) /
+             kBitsPerWord) {
+  assert(universe_size >= 0);
+}
+
+DynamicBitset DynamicBitset::FromIndices(int universe_size,
+                                         const std::vector<int>& indices) {
+  DynamicBitset out(universe_size);
+  for (int idx : indices) {
+    assert(idx >= 0 && idx < universe_size);
+    out.set(idx);
+  }
+  return out;
+}
+
+int DynamicBitset::count() const {
+  int total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += __builtin_popcountll(words_[i]);
+  }
+  return total;
+}
+
+bool DynamicBitset::empty() const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
+  }
+  return true;
+}
+
+void DynamicBitset::clear() {
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] = 0;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::Subtract(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<int> DynamicBitset::ToIndices() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(count()));
+  ForEach([&out](int idx) { out.push_back(idx); });
+  return out;
+}
+
+uint64_t DynamicBitset::Hash() const {
+  // FNV-style fold with a 64-bit avalanche finisher (splitmix64).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    h ^= words_[i];
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int idx) {
+    if (!first) out += ", ";
+    out += std::to_string(idx);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace coursenav

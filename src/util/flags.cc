@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace coursenav {
+
+FlagSet FlagSet::Parse(int argc, char** argv) {
+  FlagSet flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+Result<std::string> FlagSet::GetString(const std::string& name,
+                                       const std::string& default_value)
+    const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> FlagSet::GetInt(const std::string& name,
+                                int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  Result<int64_t> parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<double> FlagSet::GetDouble(const std::string& name,
+                                  double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  Result<double> parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("flag --" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return !EqualsIgnoreCase(it->second, "false") && it->second != "0";
+}
+
+Status FlagSet::CheckKnown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace coursenav

@@ -1,0 +1,47 @@
+#ifndef COURSENAV_UTIL_FLAGS_H_
+#define COURSENAV_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace coursenav {
+
+/// A minimal command-line parser for the CLI tool and bench harnesses.
+///
+/// Recognized forms: `--name=value`, `--name value`, and bare `--name`
+/// (boolean true). Everything that does not start with `--` is a
+/// positional argument, in order. A literal `--` ends flag parsing.
+class FlagSet {
+ public:
+  /// Parses argv (excluding argv[0]). Never fails: unknown flags are kept
+  /// and can be rejected by `CheckKnown`.
+  static FlagSet Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults; parse errors surface as Status.
+  Result<std::string> GetString(const std::string& name,
+                                const std::string& default_value) const;
+  Result<int64_t> GetInt(const std::string& name,
+                         int64_t default_value) const;
+  Result<double> GetDouble(const std::string& name,
+                           double default_value) const;
+  bool GetBool(const std::string& name, bool default_value = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Fails if any provided flag is not in `known` (catches typos).
+  Status CheckKnown(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_FLAGS_H_

@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace coursenav {
+
+namespace {
+// Plain int (trivially destructible) per the static-storage rules.
+int g_min_level = static_cast<int>(LogLevel::kWarning);
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_min_level), level_(level) {
+  if (enabled_) {
+    // Keep only the basename to avoid leaking build paths into logs.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace coursenav

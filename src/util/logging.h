@@ -1,0 +1,47 @@
+#ifndef COURSENAV_UTIL_LOGGING_H_
+#define COURSENAV_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace coursenav {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Not for direct use — see the
+/// COURSENAV_LOG macro below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace coursenav
+
+/// Usage: COURSENAV_LOG(kInfo) << "expanded " << n << " nodes";
+#define COURSENAV_LOG(severity)                                  \
+  ::coursenav::internal::LogMessage(                             \
+      ::coursenav::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // COURSENAV_UTIL_LOGGING_H_

@@ -1,0 +1,77 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coursenav {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Seed the 256-bit state from splitmix64 as the xoshiro authors recommend.
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Random::Next() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Random::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int>(
+                  Uniform(static_cast<uint64_t>(hi) - lo + 1));
+}
+
+double Random::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<int> Random::SampleWithoutReplacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  std::vector<int> pool(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<size_t>(i)] = i;
+  Shuffle(pool);
+  pool.resize(static_cast<size_t>(k));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,56 @@
+#ifndef COURSENAV_UTIL_RANDOM_H_
+#define COURSENAV_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coursenav {
+
+/// A small deterministic PRNG (xoshiro256**) used by the synthetic data
+/// generators and the transcript simulator.
+///
+/// Determinism matters here: the benchmark harnesses must regenerate the same
+/// catalogs and transcripts on every run so that the reported path counts are
+/// stable. std::mt19937 would also work, but its distributions are not
+/// cross-stdlib reproducible; this generator plus our own distribution code
+/// is fully deterministic everywhere.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64 bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct values from [0, n) without replacement.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_RANDOM_H_

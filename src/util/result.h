@@ -1,0 +1,94 @@
+#ifndef COURSENAV_UTIL_RESULT_H_
+#define COURSENAV_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace coursenav {
+
+/// A value-or-error holder, the library's factory-function return type.
+///
+/// `Result<T>` holds either a `T` or a non-OK `Status`. It mirrors
+/// `arrow::Result` / `absl::StatusOr`:
+///
+/// ```
+/// Result<Term> term = Term::Parse("Fall 2011");
+/// if (!term.ok()) return term.status();
+/// DoSomething(*term);
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Must not be called when `!ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace coursenav
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// status, otherwise assigns the unwrapped value to `lhs`.
+#define COURSENAV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define COURSENAV_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define COURSENAV_ASSIGN_OR_RETURN_NAME(x, y) \
+  COURSENAV_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define COURSENAV_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  COURSENAV_ASSIGN_OR_RETURN_IMPL(                                           \
+      COURSENAV_ASSIGN_OR_RETURN_NAME(_cn_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // COURSENAV_UTIL_RESULT_H_

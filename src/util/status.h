@@ -1,0 +1,131 @@
+#ifndef COURSENAV_UTIL_STATUS_H_
+#define COURSENAV_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace coursenav {
+
+/// Error categories used across the library.
+///
+/// CourseNavigator follows the RocksDB/Arrow convention: no exceptions cross
+/// public API boundaries. Every fallible operation returns a `Status` (or a
+/// `Result<T>`, see result.h) that the caller must inspect.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (bad course code, bad term
+  /// string, inconsistent options...).
+  kInvalidArgument = 1,
+  /// A referenced entity (course, term, file) does not exist.
+  kNotFound = 2,
+  /// An index or term fell outside the modeled range.
+  kOutOfRange = 3,
+  /// A generator hit its node/path/memory budget. Partial results may be
+  /// available; this is the paper's "cannot store the graph in memory" case.
+  kResourceExhausted = 4,
+  /// The caller-supplied deadline (wall-clock budget) expired.
+  kDeadlineExceeded = 5,
+  /// Input text could not be parsed (prerequisite text, schedule CSV, JSON).
+  kParseError = 6,
+  /// The operation is valid but the data violates an invariant (for example
+  /// a prerequisite cycle in a catalog).
+  kFailedPrecondition = 7,
+  /// An internal invariant was violated; always a library bug.
+  kInternal = 8,
+};
+
+/// Returns the canonical spelling of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// human-readable message otherwise. Typical use:
+///
+/// ```
+/// Status s = catalog.Validate();
+/// if (!s.ok()) return s;  // propagate
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace coursenav
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>`.
+#define COURSENAV_RETURN_IF_ERROR(expr)               \
+  do {                                                \
+    ::coursenav::Status _cn_status = (expr);          \
+    if (!_cn_status.ok()) return _cn_status;          \
+  } while (false)
+
+#endif  // COURSENAV_UTIL_STATUS_H_

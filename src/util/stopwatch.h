@@ -1,0 +1,35 @@
+#ifndef COURSENAV_UTIL_STOPWATCH_H_
+#define COURSENAV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace coursenav {
+
+/// Wall-clock stopwatch used for exploration deadlines and bench reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_STOPWATCH_H_

@@ -1,0 +1,47 @@
+#ifndef COURSENAV_UTIL_STRING_UTIL_H_
+#define COURSENAV_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace coursenav {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`. Empty fields are kept; "a,,b" -> {"a", "", "b"}.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Splits and trims each field, dropping fields that become empty.
+std::vector<std::string_view> SplitAndTrim(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII case transforms.
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict decimal integer parse of the whole string (optional leading '-').
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Strict floating-point parse of the whole string.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_STRING_UTIL_H_

@@ -1,0 +1,173 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace coursenav {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset b(40);
+  EXPECT_EQ(b.universe_size(), 40);
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.empty());
+  for (int i = 0; i < 40; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_EQ(b.count(), 4);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(DynamicBitsetTest, FromIndicesAndToIndicesRoundTrip) {
+  std::vector<int> ids = {3, 7, 21, 37};
+  DynamicBitset b = DynamicBitset::FromIndices(38, ids);
+  EXPECT_EQ(b.ToIndices(), ids);
+}
+
+TEST(DynamicBitsetTest, ClearEmptiesTheSet) {
+  DynamicBitset b = DynamicBitset::FromIndices(38, {1, 2, 3});
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.universe_size(), 38);
+}
+
+TEST(DynamicBitsetTest, UnionIntersectionSubtract) {
+  DynamicBitset a = DynamicBitset::FromIndices(10, {1, 2, 3});
+  DynamicBitset b = DynamicBitset::FromIndices(10, {3, 4});
+  EXPECT_EQ((a | b).ToIndices(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ((a & b).ToIndices(), (std::vector<int>{3}));
+  DynamicBitset c = a;
+  c.Subtract(b);
+  EXPECT_EQ(c.ToIndices(), (std::vector<int>{1, 2}));
+}
+
+TEST(DynamicBitsetTest, SubsetAndIntersects) {
+  DynamicBitset small = DynamicBitset::FromIndices(10, {1, 2});
+  DynamicBitset big = DynamicBitset::FromIndices(10, {1, 2, 3});
+  DynamicBitset other = DynamicBitset::FromIndices(10, {4});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(small.Intersects(big));
+  EXPECT_FALSE(small.Intersects(other));
+  DynamicBitset empty(10);
+  EXPECT_TRUE(empty.IsSubsetOf(small));
+  EXPECT_FALSE(empty.Intersects(small));
+}
+
+TEST(DynamicBitsetTest, EqualityRequiresSameUniverse) {
+  DynamicBitset a = DynamicBitset::FromIndices(10, {1});
+  DynamicBitset b = DynamicBitset::FromIndices(11, {1});
+  DynamicBitset c = DynamicBitset::FromIndices(10, {1});
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(DynamicBitsetTest, ForEachVisitsAscending) {
+  DynamicBitset b = DynamicBitset::FromIndices(130, {0, 64, 127, 129});
+  std::vector<int> seen;
+  b.ForEach([&](int id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 64, 127, 129}));
+}
+
+TEST(DynamicBitsetTest, HashDiffersForDifferentSets) {
+  DynamicBitset a = DynamicBitset::FromIndices(38, {1, 2});
+  DynamicBitset b = DynamicBitset::FromIndices(38, {1, 3});
+  DynamicBitset c = DynamicBitset::FromIndices(38, {1, 2});
+  EXPECT_EQ(a.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(DynamicBitsetTest, ToStringRendersSortedIds) {
+  DynamicBitset b = DynamicBitset::FromIndices(10, {7, 1});
+  EXPECT_EQ(b.ToString(), "{1, 7}");
+  EXPECT_EQ(DynamicBitset(5).ToString(), "{}");
+}
+
+TEST(DynamicBitsetTest, InlineStorageReportsNoHeap) {
+  // Up to 128 elements the words live inline.
+  EXPECT_EQ(DynamicBitset(38).MemoryUsage(), 0u);
+  EXPECT_EQ(DynamicBitset(128).MemoryUsage(), 0u);
+  EXPECT_GT(DynamicBitset(129).MemoryUsage(), 0u);
+}
+
+TEST(DynamicBitsetTest, MoveLeavesValueIntact) {
+  DynamicBitset a = DynamicBitset::FromIndices(200, {5, 150});
+  DynamicBitset b = std::move(a);
+  EXPECT_EQ(b.ToIndices(), (std::vector<int>{5, 150}));
+}
+
+/// Property sweep: set algebra agrees with std::set reference across
+/// universe sizes straddling the word and inline-storage boundaries.
+class BitsetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsetPropertyTest, MatchesReferenceSetSemantics) {
+  const int n = GetParam();
+  Random rng(static_cast<uint64_t>(n) * 977);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::set<int> ref_a, ref_b;
+    DynamicBitset a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        a.set(i);
+        ref_a.insert(i);
+      }
+      if (rng.Bernoulli(0.3)) {
+        b.set(i);
+        ref_b.insert(i);
+      }
+    }
+    // count / test
+    EXPECT_EQ(a.count(), static_cast<int>(ref_a.size()));
+    // union
+    std::set<int> ref_union = ref_a;
+    ref_union.insert(ref_b.begin(), ref_b.end());
+    EXPECT_EQ((a | b).ToIndices(),
+              std::vector<int>(ref_union.begin(), ref_union.end()));
+    // intersection
+    std::set<int> ref_inter;
+    for (int v : ref_a) {
+      if (ref_b.count(v)) ref_inter.insert(v);
+    }
+    EXPECT_EQ((a & b).ToIndices(),
+              std::vector<int>(ref_inter.begin(), ref_inter.end()));
+    // difference
+    DynamicBitset diff = a;
+    diff.Subtract(b);
+    std::set<int> ref_diff;
+    for (int v : ref_a) {
+      if (!ref_b.count(v)) ref_diff.insert(v);
+    }
+    EXPECT_EQ(diff.ToIndices(),
+              std::vector<int>(ref_diff.begin(), ref_diff.end()));
+    // subset / intersects
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(ref_b.begin(), ref_b.end(), ref_a.begin(),
+                            ref_a.end()));
+    EXPECT_EQ(a.Intersects(b), !ref_inter.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UniverseSizes, BitsetPropertyTest,
+                         ::testing::Values(1, 7, 38, 63, 64, 65, 127, 128,
+                                           129, 200));
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,164 @@
+#include "data/brandeis_cs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/goal_generator.h"
+#include "core/ranked_generator.h"
+#include "data/synthetic.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+using testing_util::GoalPaths;
+
+class BrandeisDatasetTest : public ::testing::Test {
+ protected:
+  data::BrandeisDataset dataset_ = data::BuildBrandeisDataset();
+};
+
+TEST_F(BrandeisDatasetTest, HasPaperDimensions) {
+  // 38 CS courses: 7 core + 31 electives, like the paper's evaluation set.
+  EXPECT_EQ(dataset_.catalog.size(), 38);
+  EXPECT_EQ(dataset_.core_codes.size(), 7u);
+  EXPECT_EQ(dataset_.elective_codes.size(), 31u);
+  EXPECT_TRUE(dataset_.catalog.finalized());
+  EXPECT_EQ(dataset_.cs_major->TotalSlots(), 12);  // 7 core + 5 electives
+  EXPECT_EQ(dataset_.first_term, Term(Season::kFall, 2011));
+  EXPECT_EQ(dataset_.last_term, Term(Season::kFall, 2015));
+}
+
+TEST_F(BrandeisDatasetTest, EveryCourseIsOfferedSomewhere) {
+  for (CourseId id = 0; id < dataset_.catalog.size(); ++id) {
+    EXPECT_FALSE(dataset_.schedule.OfferingTerms(id).empty())
+        << dataset_.catalog.course(id).code;
+  }
+}
+
+TEST_F(BrandeisDatasetTest, IntroCoursesRunEveryTerm) {
+  CourseId intro = *dataset_.catalog.FindByCode("COSI11A");
+  for (Term t = dataset_.first_term; t <= dataset_.last_term; t = t.Next()) {
+    EXPECT_TRUE(dataset_.schedule.IsOffered(intro, t)) << t.ToString();
+  }
+}
+
+TEST_F(BrandeisDatasetTest, StartTermForSpanMatchesPaperWindow) {
+  // The paper's Fall'12 -> Fall'15 period is the 6-semester row.
+  EXPECT_EQ(data::StartTermForSpan(6), Term(Season::kFall, 2012));
+  EXPECT_EQ(data::StartTermForSpan(4), Term(Season::kFall, 2013));
+  EXPECT_EQ(data::EvaluationEndTerm(), Term(Season::kFall, 2015));
+}
+
+TEST_F(BrandeisDatasetTest, MajorFeasibleInFourSemesters) {
+  // The tightest span of the paper's Table 1/2 must admit goal paths.
+  ExplorationOptions options;
+  EnrollmentStatus start{data::StartTermForSpan(4),
+                         dataset_.catalog.NewCourseSet()};
+  auto result = GenerateGoalDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                        start, data::EvaluationEndTerm(),
+                                        *dataset_.cs_major, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->termination.ok());
+  EXPECT_GT(result->stats.goal_paths, 0);
+  // Pruning must be doing real work on this dataset.
+  EXPECT_GT(result->stats.pruned_time, 0);
+  EXPECT_GT(result->stats.pruned_availability, 0);
+  // Spot-check path validity on a few goal paths.
+  std::vector<LearningPath> paths = GoalPaths(result->graph);
+  for (size_t i = 0; i < paths.size() && i < 25; ++i) {
+    EXPECT_TRUE(paths[i].Validate(dataset_.catalog, dataset_.schedule).ok());
+    EXPECT_TRUE(dataset_.cs_major->IsSatisfied(paths[i].FinalCompleted()));
+    EXPECT_EQ(paths[i].FinalCompleted().count(), 12);  // exactly fits 4x3
+  }
+}
+
+TEST_F(BrandeisDatasetTest, ShortestPathToMajorIsFourSemesters) {
+  ExplorationOptions options;
+  EnrollmentStatus start{data::StartTermForSpan(5),
+                         dataset_.catalog.NewCourseSet()};
+  TimeRanking ranking;
+  auto result = GenerateRankedPaths(dataset_.catalog, dataset_.schedule,
+                                    start, data::EvaluationEndTerm(),
+                                    *dataset_.cs_major, ranking, /*k=*/1,
+                                    options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->paths.size(), 1u);
+  // From a Spring start the 11A -> 21A -> 21B -> 35A chain cannot finish
+  // before Spring'15 (35A runs Spring only), so the optimum is 5 semesters
+  // even though 12 courses fit in 4 — exactly the kind of schedule
+  // constraint the paper's system surfaces.
+  EXPECT_EQ(result->paths[0].Length(), 5);
+}
+
+TEST_F(BrandeisDatasetTest, DeterministicConstruction) {
+  data::BrandeisDataset second = data::BuildBrandeisDataset();
+  EXPECT_EQ(second.catalog.size(), dataset_.catalog.size());
+  for (CourseId id = 0; id < dataset_.catalog.size(); ++id) {
+    EXPECT_EQ(second.catalog.course(id).code,
+              dataset_.catalog.course(id).code);
+    EXPECT_EQ(second.schedule.OfferingTerms(id),
+              dataset_.schedule.OfferingTerms(id));
+  }
+}
+
+// ------------------------------------------------------------ synthetic
+
+TEST(SyntheticCatalogTest, RespectsConfig) {
+  data::SyntheticConfig config;
+  config.num_courses = 20;
+  config.num_intro_courses = 4;
+  config.seed = 77;
+  auto bundle = data::BuildSyntheticCatalog(config);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle->catalog.size(), 20);
+  EXPECT_TRUE(bundle->catalog.finalized());
+  // Intro courses have no prerequisites and run every semester.
+  for (int i = 0; i < config.num_intro_courses; ++i) {
+    EXPECT_TRUE(bundle->catalog.compiled_prereq(i).IsAlwaysTrue());
+    for (Term t = config.first_term; t <= config.last_term; t = t.Next()) {
+      EXPECT_TRUE(bundle->schedule.IsOffered(i, t));
+    }
+  }
+}
+
+TEST(SyntheticCatalogTest, DeterministicPerSeed) {
+  data::SyntheticConfig config;
+  config.seed = 123;
+  auto a = data::BuildSyntheticCatalog(config);
+  auto b = data::BuildSyntheticCatalog(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (CourseId id = 0; id < a->catalog.size(); ++id) {
+    EXPECT_EQ(a->catalog.course(id).prerequisites.ToString(),
+              b->catalog.course(id).prerequisites.ToString());
+    EXPECT_EQ(a->schedule.OfferingTerms(id), b->schedule.OfferingTerms(id));
+  }
+  config.seed = 124;
+  auto c = data::BuildSyntheticCatalog(config);
+  ASSERT_TRUE(c.ok());
+  bool any_difference = false;
+  for (CourseId id = 0; id < a->catalog.size(); ++id) {
+    if (!(a->schedule.OfferingTerms(id) == c->schedule.OfferingTerms(id))) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticCatalogTest, ValidatesConfig) {
+  data::SyntheticConfig config;
+  config.num_courses = 0;
+  EXPECT_TRUE(
+      data::BuildSyntheticCatalog(config).status().IsInvalidArgument());
+  config = data::SyntheticConfig();
+  config.num_intro_courses = 99;
+  EXPECT_TRUE(
+      data::BuildSyntheticCatalog(config).status().IsInvalidArgument());
+  config = data::SyntheticConfig();
+  config.num_layers = 0;
+  EXPECT_TRUE(
+      data::BuildSyntheticCatalog(config).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace coursenav

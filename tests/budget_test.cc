@@ -1,0 +1,101 @@
+// Budget-behaviour tests: every generator must stop cleanly — partial
+// results plus the right termination status — on node, memory, and
+// wall-clock budgets (the machinery behind Table 2's N/A cells).
+
+#include <gtest/gtest.h>
+
+#include "core/counting.h"
+#include "core/deadline_generator.h"
+#include "core/goal_generator.h"
+#include "core/ranked_generator.h"
+#include "data/brandeis_cs.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+class BudgetTest : public ::testing::Test {
+ protected:
+  data::BrandeisDataset dataset_ = data::BuildBrandeisDataset();
+  Term end_ = data::EvaluationEndTerm();
+
+  EnrollmentStatus Start(int span) {
+    return {data::StartTermForSpan(span), dataset_.catalog.NewCourseSet()};
+  }
+};
+
+TEST_F(BudgetTest, DeadlineNodeBudget) {
+  ExplorationOptions options;
+  options.limits.max_nodes = 1000;
+  auto result = GenerateDeadlineDrivenPaths(dataset_.catalog,
+                                            dataset_.schedule, Start(5),
+                                            end_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.IsResourceExhausted());
+  EXPECT_LE(result->graph.num_nodes(), 1001);
+}
+
+TEST_F(BudgetTest, DeadlineMemoryBudget) {
+  ExplorationOptions options;
+  options.limits.max_memory_bytes = 64 * 1024;
+  auto result = GenerateDeadlineDrivenPaths(dataset_.catalog,
+                                            dataset_.schedule, Start(5),
+                                            end_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.IsResourceExhausted());
+  EXPECT_NE(result->termination.message().find("memory"),
+            std::string::npos);
+}
+
+TEST_F(BudgetTest, GoalTimeBudget) {
+  ExplorationOptions options;
+  options.limits.max_seconds = 1e-9;  // expires immediately
+  auto result = GenerateGoalDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                        Start(6), end_, *dataset_.cs_major,
+                                        options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.IsDeadlineExceeded());
+  // The graph is partial but structurally sound.
+  EXPECT_GE(result->graph.num_nodes(), 1);
+}
+
+TEST_F(BudgetTest, RankedNodeBudgetReturnsPartialPaths) {
+  ExplorationOptions options;
+  options.limits.max_nodes = 500;
+  TimeRanking ranking;
+  auto result = GenerateRankedPaths(dataset_.catalog, dataset_.schedule,
+                                    Start(6), end_, *dataset_.cs_major,
+                                    ranking, 1000, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.IsResourceExhausted());
+  EXPECT_LT(result->paths.size(), 1000u);
+}
+
+TEST_F(BudgetTest, CountingBudgetsAreErrors) {
+  // Counting cannot return partial counts meaningfully; budgets fail.
+  ExplorationOptions options;
+  options.limits.max_nodes = 100;
+  EXPECT_TRUE(CountGoalDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                   Start(6), end_, *dataset_.cs_major,
+                                   options)
+                  .status()
+                  .IsResourceExhausted());
+  ExplorationOptions timed;
+  timed.limits.max_seconds = 1e-9;
+  EXPECT_TRUE(CountDeadlineDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                       Start(5), end_, timed)
+                  .status()
+                  .IsDeadlineExceeded());
+}
+
+TEST_F(BudgetTest, UnlimitedBudgetsRunToCompletion) {
+  ExplorationOptions options;  // all limits zero = unlimited
+  auto result = GenerateGoalDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                        Start(4), end_, *dataset_.cs_major,
+                                        options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.ok());
+}
+
+}  // namespace
+}  // namespace coursenav

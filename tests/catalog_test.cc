@@ -1,0 +1,125 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+
+namespace coursenav {
+namespace {
+
+Course MakeCourse(std::string code, const char* prereq = nullptr,
+                  double workload = 5.0) {
+  Course c;
+  c.code = std::move(code);
+  c.title = "Title of " + c.code;
+  c.workload_hours = workload;
+  if (prereq != nullptr) {
+    auto parsed = expr::ParseBoolExpr(prereq);
+    EXPECT_TRUE(parsed.ok()) << prereq;
+    c.prerequisites = *parsed;
+  }
+  return c;
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  auto id = catalog.AddCourse(MakeCourse("CS1"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(catalog.size(), 1);
+  EXPECT_EQ(*catalog.FindByCode("CS1"), 0);
+  EXPECT_EQ(catalog.course(0).code, "CS1");
+  EXPECT_TRUE(catalog.FindByCode("CS2").status().IsNotFound());
+}
+
+TEST(CatalogTest, RejectsDuplicatesEmptyCodesNegativeWorkload) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("CS1")).ok());
+  EXPECT_TRUE(
+      catalog.AddCourse(MakeCourse("CS1")).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      catalog.AddCourse(MakeCourse("")).status().IsInvalidArgument());
+  EXPECT_TRUE(catalog.AddCourse(MakeCourse("CS2", nullptr, -1.0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CatalogTest, FinalizeCompilesPrereqs) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("CS1")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("CS2", "CS1")).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  EXPECT_TRUE(catalog.finalized());
+
+  DynamicBitset none = catalog.NewCourseSet();
+  DynamicBitset with_cs1 = catalog.NewCourseSet();
+  with_cs1.set(*catalog.FindByCode("CS1"));
+  EXPECT_TRUE(catalog.compiled_prereq(*catalog.FindByCode("CS1")).Eval(none));
+  EXPECT_FALSE(catalog.compiled_prereq(*catalog.FindByCode("CS2")).Eval(none));
+  EXPECT_TRUE(
+      catalog.compiled_prereq(*catalog.FindByCode("CS2")).Eval(with_cs1));
+}
+
+TEST(CatalogTest, FinalizeRejectsUnknownPrereqReference) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("CS2", "GHOST1")).ok());
+  Status status = catalog.Finalize();
+  EXPECT_TRUE(status.IsFailedPrecondition());
+  EXPECT_NE(status.message().find("CS2"), std::string::npos);
+}
+
+TEST(CatalogTest, FinalizeRejectsCycles) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("A", "B")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("B", "C")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("C", "A")).ok());
+  EXPECT_TRUE(catalog.Finalize().IsFailedPrecondition());
+}
+
+TEST(CatalogTest, SelfLoopIsACycle) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("A", "A")).ok());
+  EXPECT_TRUE(catalog.Finalize().IsFailedPrecondition());
+}
+
+TEST(CatalogTest, DiamondDependencyIsAcyclic) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("A")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("B", "A")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("C", "A")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("D", "B and C")).ok());
+  EXPECT_TRUE(catalog.Finalize().ok());
+}
+
+TEST(CatalogTest, NoAddAfterFinalize) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("A")).ok());
+  ASSERT_TRUE(catalog.Finalize().ok());
+  EXPECT_TRUE(
+      catalog.AddCourse(MakeCourse("B")).status().IsFailedPrecondition());
+  // Finalize is idempotent.
+  EXPECT_TRUE(catalog.Finalize().ok());
+}
+
+TEST(CatalogTest, CourseSetFromCodesAndToString) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("A")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("B")).ok());
+  auto set = catalog.CourseSetFromCodes({"B", "A"});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->count(), 2);
+  EXPECT_EQ(catalog.CourseSetToString(*set), "{A, B}");
+  EXPECT_TRUE(catalog.CourseSetFromCodes({"Z"}).status().IsNotFound());
+}
+
+TEST(CatalogTest, ResolverMapsCodesToIds) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("A")).ok());
+  ASSERT_TRUE(catalog.AddCourse(MakeCourse("B")).ok());
+  expr::VarResolver resolver = catalog.MakeResolver();
+  EXPECT_EQ(*resolver("B"), 1);
+  EXPECT_TRUE(resolver("Q").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace coursenav

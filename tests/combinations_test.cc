@@ -1,0 +1,117 @@
+#include "core/combinations.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace coursenav {
+namespace {
+
+std::vector<std::vector<int>> Collect(const DynamicBitset& options,
+                                      int min_size, int max_size) {
+  std::vector<std::vector<int>> out;
+  ForEachSelection(options, min_size, max_size,
+                   [&](const DynamicBitset& sel) {
+                     out.push_back(sel.ToIndices());
+                     return true;
+                   });
+  return out;
+}
+
+TEST(ForEachSelectionTest, EnumeratesAllSizes) {
+  DynamicBitset options = DynamicBitset::FromIndices(10, {1, 4, 7});
+  auto subsets = Collect(options, 1, 3);
+  // C(3,1) + C(3,2) + C(3,3) = 7.
+  ASSERT_EQ(subsets.size(), 7u);
+  std::set<std::vector<int>> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), 7u);
+  EXPECT_TRUE(unique.count({1}));
+  EXPECT_TRUE(unique.count({1, 4, 7}));
+}
+
+TEST(ForEachSelectionTest, RespectsMaxSize) {
+  DynamicBitset options = DynamicBitset::FromIndices(10, {0, 1, 2, 3});
+  auto subsets = Collect(options, 1, 2);
+  EXPECT_EQ(subsets.size(), 4u + 6u);
+  for (const auto& s : subsets) EXPECT_LE(s.size(), 2u);
+}
+
+TEST(ForEachSelectionTest, RespectsMinSize) {
+  DynamicBitset options = DynamicBitset::FromIndices(10, {0, 1, 2, 3});
+  auto subsets = Collect(options, 3, 4);
+  EXPECT_EQ(subsets.size(), 4u + 1u);
+  for (const auto& s : subsets) EXPECT_GE(s.size(), 3u);
+}
+
+TEST(ForEachSelectionTest, MinBelowOneClampedToOne) {
+  DynamicBitset options = DynamicBitset::FromIndices(5, {0, 1});
+  auto subsets = Collect(options, 0, 2);
+  EXPECT_EQ(subsets.size(), 3u);  // no empty set
+}
+
+TEST(ForEachSelectionTest, EmptyOptionsYieldNothing) {
+  DynamicBitset options(5);
+  EXPECT_TRUE(Collect(options, 1, 3).empty());
+}
+
+TEST(ForEachSelectionTest, MinAboveCountYieldsNothing) {
+  DynamicBitset options = DynamicBitset::FromIndices(5, {0, 1});
+  EXPECT_TRUE(Collect(options, 3, 5).empty());
+}
+
+TEST(ForEachSelectionTest, DeterministicOrder) {
+  DynamicBitset options = DynamicBitset::FromIndices(6, {0, 2, 5});
+  auto subsets = Collect(options, 1, 2);
+  std::vector<std::vector<int>> expected = {{0}, {2}, {5}, {0, 2},
+                                            {0, 5}, {2, 5}};
+  EXPECT_EQ(subsets, expected);
+}
+
+TEST(ForEachSelectionTest, EarlyStopReturnsFalse) {
+  DynamicBitset options = DynamicBitset::FromIndices(6, {0, 1, 2});
+  int seen = 0;
+  bool completed = ForEachSelection(options, 1, 3,
+                                    [&](const DynamicBitset&) {
+                                      return ++seen < 3;
+                                    });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(ForEachSelectionTest, CountMatchesEnumeration) {
+  for (int n : {0, 1, 3, 6}) {
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(i);
+    DynamicBitset options = DynamicBitset::FromIndices(8, ids);
+    for (int m = 1; m <= 4; ++m) {
+      EXPECT_EQ(static_cast<uint64_t>(Collect(options, 1, m).size()),
+                CountSelections(n, 1, m))
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(CountSelectionsTest, KnownValues) {
+  EXPECT_EQ(CountSelections(4, 1, 2), 10u);   // 4 + 6
+  EXPECT_EQ(CountSelections(38, 1, 3), 38u + 703u + 8436u);
+  EXPECT_EQ(CountSelections(5, 1, 10), 31u);  // all non-empty subsets
+  EXPECT_EQ(CountSelections(0, 1, 3), 0u);
+  EXPECT_EQ(CountSelections(5, 2, 2), 10u);
+}
+
+TEST(CountSelectionsTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(CountSelections(300, 1, 300), UINT64_MAX);
+}
+
+TEST(SaturatingMathTest, AddAndMul) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3u);
+  EXPECT_EQ(SaturatingAdd(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(SaturatingAdd(UINT64_MAX - 1, 1), UINT64_MAX);
+  EXPECT_EQ(SaturatingMul(3, 4), 12u);
+  EXPECT_EQ(SaturatingMul(UINT64_MAX, 2), UINT64_MAX);
+  EXPECT_EQ(SaturatingMul(UINT64_MAX, 0), 0u);
+}
+
+}  // namespace
+}  // namespace coursenav

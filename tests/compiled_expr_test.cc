@@ -1,0 +1,131 @@
+#include "expr/compiled_expr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "expr/parser.h"
+#include "util/random.h"
+
+namespace coursenav::expr {
+namespace {
+
+/// Resolver over a fixed name table A..H -> 0..7.
+VarResolver TableResolver() {
+  return [](std::string_view name) -> Result<int> {
+    if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'H') {
+      return name[0] - 'A';
+    }
+    return Status::NotFound("unknown var '" + std::string(name) + "'");
+  };
+}
+
+DynamicBitset Bits(std::initializer_list<int> ids) {
+  DynamicBitset b(8);
+  for (int id : ids) b.set(id);
+  return b;
+}
+
+TEST(CompiledExprTest, DefaultIsAlwaysTrue) {
+  CompiledExpr e;
+  EXPECT_TRUE(e.IsAlwaysTrue());
+  EXPECT_TRUE(e.Eval(DynamicBitset(8)));
+}
+
+TEST(CompiledExprTest, SimpleVar) {
+  auto e = CompiledExpr::Compile(Expr::Var("B"), TableResolver());
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->Eval(Bits({})));
+  EXPECT_TRUE(e->Eval(Bits({1})));
+  EXPECT_FALSE(e->IsAlwaysTrue());
+}
+
+TEST(CompiledExprTest, UnknownVarFailsCompilation) {
+  auto e = CompiledExpr::Compile(Expr::Var("Z"), TableResolver());
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsNotFound());
+}
+
+TEST(CompiledExprTest, ReferencedIdsSortedUnique) {
+  auto e = CompiledExpr::Compile(
+      *ParseBoolExpr("C and A or C and B"), TableResolver());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->referenced_ids(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CompiledExprTest, NestedExpression) {
+  auto e = CompiledExpr::Compile(*ParseBoolExpr("(A or B) and not C"),
+                                 TableResolver());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->Eval(Bits({0})));
+  EXPECT_TRUE(e->Eval(Bits({1})));
+  EXPECT_FALSE(e->Eval(Bits({0, 2})));
+  EXPECT_FALSE(e->Eval(Bits({})));
+}
+
+/// Property: compiled evaluation agrees with tree evaluation on random
+/// expressions and random assignments.
+class CompiledEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+Expr RandomExpr(Random& rng, int depth) {
+  if (depth == 0 || rng.Bernoulli(0.3)) {
+    return Expr::Var(std::string(1, static_cast<char>(
+                                        'A' + rng.UniformInt(0, 7))));
+  }
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {
+      std::vector<Expr> ops;
+      int n = rng.UniformInt(2, 3);
+      for (int i = 0; i < n; ++i) ops.push_back(RandomExpr(rng, depth - 1));
+      return Expr::And(std::move(ops));
+    }
+    case 1: {
+      std::vector<Expr> ops;
+      int n = rng.UniformInt(2, 3);
+      for (int i = 0; i < n; ++i) ops.push_back(RandomExpr(rng, depth - 1));
+      return Expr::Or(std::move(ops));
+    }
+    default:
+      return Expr::Not(RandomExpr(rng, depth - 1));
+  }
+}
+
+TEST_P(CompiledEquivalenceTest, AgreesWithTreeEval) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    Expr tree = RandomExpr(rng, 4);
+    auto compiled = CompiledExpr::Compile(tree, TableResolver());
+    ASSERT_TRUE(compiled.ok());
+    for (int assignment = 0; assignment < 256; ++assignment) {
+      DynamicBitset bits(8);
+      for (int i = 0; i < 8; ++i) {
+        if ((assignment >> i) & 1) bits.set(i);
+      }
+      bool expected = tree.Eval([&](std::string_view name) {
+        return bits.test(name[0] - 'A');
+      });
+      EXPECT_EQ(compiled->Eval(bits), expected)
+          << tree.ToString() << " @ " << bits.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CompiledExprTest, DeepExpressionUsesHeapStack) {
+  // Build a left-leaning chain deeper than the inline stack capacity.
+  Expr chain = Expr::Var("A");
+  for (int i = 0; i < 100; ++i) {
+    chain = Expr::And({chain, Expr::Var("B")});
+  }
+  auto compiled = CompiledExpr::Compile(chain, TableResolver());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GT(compiled->ProgramSize(), 64);
+  EXPECT_TRUE(compiled->Eval(Bits({0, 1})));
+  EXPECT_FALSE(compiled->Eval(Bits({0})));
+}
+
+}  // namespace
+}  // namespace coursenav::expr

@@ -1,0 +1,183 @@
+#include "core/counting.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deadline_generator.h"
+#include "core/goal_generator.h"
+#include "data/synthetic.h"
+#include "requirements/expr_goal.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+using testing_util::Figure3Fixture;
+
+TEST(CountingTest, Figure3DeadlineCountMatchesGraph) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  auto counted = CountDeadlineDrivenPaths(fix.catalog, fix.schedule,
+                                          fix.FreshStudent(), fix.spring13,
+                                          options);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->total_paths, 3u);
+  EXPECT_EQ(counted->goal_paths, 2u);  // paths reaching the end semester
+  EXPECT_FALSE(counted->saturated);
+  EXPECT_GT(counted->distinct_statuses, 0);
+}
+
+TEST(CountingTest, Figure3GoalCountMatchesGraph) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+  auto counted = CountGoalDrivenPaths(fix.catalog, fix.schedule,
+                                      fix.FreshStudent(),
+                                      Term(Season::kFall, 2012), **goal,
+                                      options);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->total_paths, 1u);
+  EXPECT_EQ(counted->goal_paths, 1u);
+}
+
+TEST(CountingTest, InputValidation) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  EXPECT_TRUE(CountDeadlineDrivenPaths(fix.catalog, fix.schedule,
+                                       fix.FreshStudent(), fix.fall11,
+                                       options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CountingTest, StatusBudgetFails) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  options.limits.max_nodes = 2;
+  auto counted = CountDeadlineDrivenPaths(fix.catalog, fix.schedule,
+                                          fix.FreshStudent(), fix.spring13,
+                                          options);
+  EXPECT_TRUE(counted.status().IsResourceExhausted());
+}
+
+
+TEST(CountingTest, VoluntarySkipSemanticsMatchGeneration) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  options.allow_voluntary_skip = true;
+  auto generated = GenerateDeadlineDrivenPaths(
+      fix.catalog, fix.schedule, fix.FreshStudent(), fix.spring13, options);
+  auto counted = CountDeadlineDrivenPaths(fix.catalog, fix.schedule,
+                                          fix.FreshStudent(), fix.spring13,
+                                          options);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(generated->termination.ok());
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->total_paths,
+            static_cast<uint64_t>(generated->stats.terminal_paths));
+}
+
+TEST(CountingTest, GoalSatisfiedAtRootCountsOnePath) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+  DynamicBitset done = fix.catalog.NewCourseSet();
+  done.set(fix.c11a);
+  EnrollmentStatus start{fix.fall11, done};
+  auto counted = CountGoalDrivenPaths(fix.catalog, fix.schedule, start,
+                                      fix.spring13, **goal, options);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->total_paths, 1u);
+  EXPECT_EQ(counted->goal_paths, 1u);
+  EXPECT_EQ(counted->distinct_statuses, 1);
+}
+
+/// Property: DAG-memoized counts equal materialized leaf counts, for both
+/// generators, across random catalogs and spans.
+struct CountCase {
+  uint64_t seed;
+  int num_courses;
+  int span;
+  int m;
+};
+
+class CountEquivalenceTest : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(CountEquivalenceTest, DeadlineCountMatchesMaterialization) {
+  const CountCase& param = GetParam();
+  data::SyntheticConfig config;
+  config.num_courses = param.num_courses;
+  config.num_intro_courses = 3;
+  config.seed = param.seed;
+  auto bundle = data::BuildSyntheticCatalog(config);
+  ASSERT_TRUE(bundle.ok());
+
+  ExplorationOptions options;
+  options.max_courses_per_term = param.m;
+  EnrollmentStatus start{config.first_term, bundle->catalog.NewCourseSet()};
+  Term end = config.first_term + param.span;
+
+  auto generated = GenerateDeadlineDrivenPaths(bundle->catalog,
+                                               bundle->schedule, start, end,
+                                               options);
+  auto counted = CountDeadlineDrivenPaths(bundle->catalog, bundle->schedule,
+                                          start, end, options);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(generated->termination.ok());
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->total_paths,
+            static_cast<uint64_t>(generated->stats.terminal_paths))
+      << "seed=" << param.seed;
+  EXPECT_EQ(counted->goal_paths,
+            static_cast<uint64_t>(generated->stats.goal_paths))
+      << "seed=" << param.seed;
+  // The DAG never has more statuses than the tree has nodes.
+  EXPECT_LE(counted->distinct_statuses, generated->stats.nodes_created);
+}
+
+TEST_P(CountEquivalenceTest, GoalCountMatchesMaterialization) {
+  const CountCase& param = GetParam();
+  data::SyntheticConfig config;
+  config.num_courses = param.num_courses;
+  config.num_intro_courses = 3;
+  config.seed = param.seed;
+  auto bundle = data::BuildSyntheticCatalog(config);
+  ASSERT_TRUE(bundle.ok());
+
+  std::vector<std::string> goal_codes;
+  for (int i = 0; i < 4; ++i) {
+    goal_codes.push_back(bundle->catalog.course(i).code);
+  }
+  auto goal = ExprGoal::CompleteAll(goal_codes, bundle->catalog);
+  ASSERT_TRUE(goal.ok());
+
+  ExplorationOptions options;
+  options.max_courses_per_term = param.m;
+  EnrollmentStatus start{config.first_term, bundle->catalog.NewCourseSet()};
+  Term end = config.first_term + param.span;
+
+  auto generated = GenerateGoalDrivenPaths(bundle->catalog, bundle->schedule,
+                                           start, end, **goal, options);
+  auto counted = CountGoalDrivenPaths(bundle->catalog, bundle->schedule,
+                                      start, end, **goal, options);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(generated->termination.ok());
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->total_paths,
+            static_cast<uint64_t>(generated->stats.terminal_paths))
+      << "seed=" << param.seed;
+  EXPECT_EQ(counted->goal_paths,
+            static_cast<uint64_t>(generated->stats.goal_paths))
+      << "seed=" << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountEquivalenceTest,
+    ::testing::Values(CountCase{21, 10, 4, 2}, CountCase{22, 10, 4, 3},
+                      CountCase{23, 12, 3, 2}, CountCase{24, 8, 5, 2},
+                      CountCase{25, 12, 4, 2}, CountCase{26, 14, 3, 3},
+                      CountCase{27, 9, 4, 2}, CountCase{28, 11, 4, 3}));
+
+}  // namespace
+}  // namespace coursenav

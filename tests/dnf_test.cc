@@ -1,0 +1,196 @@
+#include "expr/dnf.h"
+
+#include <gtest/gtest.h>
+
+#include "expr/parser.h"
+#include "util/random.h"
+
+namespace coursenav::expr {
+namespace {
+
+VarResolver TableResolver() {
+  return [](std::string_view name) -> Result<int> {
+    if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'H') {
+      return name[0] - 'A';
+    }
+    return Status::NotFound("unknown var");
+  };
+}
+
+Dnf MakeDnf(const char* text, int max_clauses = 4096) {
+  auto parsed = ParseBoolExpr(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  auto dnf = Dnf::FromExpr(*parsed, TableResolver(), 8, max_clauses);
+  EXPECT_TRUE(dnf.ok()) << text;
+  return std::move(dnf).value();
+}
+
+DynamicBitset Bits(std::initializer_list<int> ids) {
+  DynamicBitset b(8);
+  for (int id : ids) b.set(id);
+  return b;
+}
+
+TEST(DnfTest, SingleClauseConjunction) {
+  Dnf d = MakeDnf("A and B");
+  ASSERT_EQ(d.clauses().size(), 1u);
+  EXPECT_TRUE(d.Eval(Bits({0, 1})));
+  EXPECT_FALSE(d.Eval(Bits({0})));
+}
+
+TEST(DnfTest, DisjunctionProducesClausePerBranch) {
+  Dnf d = MakeDnf("A and B or C");
+  EXPECT_EQ(d.clauses().size(), 2u);
+  EXPECT_TRUE(d.Eval(Bits({2})));
+  EXPECT_TRUE(d.Eval(Bits({0, 1})));
+  EXPECT_FALSE(d.Eval(Bits({0})));
+}
+
+TEST(DnfTest, ConstantsConvert) {
+  EXPECT_TRUE(MakeDnf("true").IsTrue());
+  EXPECT_TRUE(MakeDnf("false").IsFalse());
+  // x or true == true (absorption drops the x clause).
+  EXPECT_TRUE(MakeDnf("A or true").IsTrue());
+}
+
+TEST(DnfTest, ContradictoryClauseDropped) {
+  Dnf d = MakeDnf("A and not A");
+  EXPECT_TRUE(d.IsFalse());
+}
+
+TEST(DnfTest, AbsorptionRemovesSubsumedClauses) {
+  // A or (A and B) == A.
+  Dnf d = MakeDnf("A or (A and B)");
+  ASSERT_EQ(d.clauses().size(), 1u);
+  EXPECT_EQ(d.clauses()[0].positive.ToIndices(), std::vector<int>{0});
+}
+
+TEST(DnfTest, NegationPushedInward) {
+  Dnf d = MakeDnf("not (A or B)");
+  ASSERT_EQ(d.clauses().size(), 1u);
+  EXPECT_TRUE(d.Eval(Bits({})));
+  EXPECT_FALSE(d.Eval(Bits({0})));
+  EXPECT_FALSE(d.Eval(Bits({1})));
+}
+
+TEST(DnfTest, ClauseLimitEnforced) {
+  // (A or B) and (C or D) and (E or F) and (G or H) = 16 clauses.
+  auto parsed = ParseBoolExpr(
+      "(A or B) and (C or D) and (E or F) and (G or H)");
+  ASSERT_TRUE(parsed.ok());
+  auto too_small = Dnf::FromExpr(*parsed, TableResolver(), 8, 8);
+  EXPECT_FALSE(too_small.ok());
+  EXPECT_TRUE(too_small.status().IsResourceExhausted());
+  auto big_enough = Dnf::FromExpr(*parsed, TableResolver(), 8, 16);
+  ASSERT_TRUE(big_enough.ok());
+  EXPECT_EQ(big_enough->clauses().size(), 16u);
+}
+
+TEST(DnfTest, MinAdditionalCourses) {
+  Dnf d = MakeDnf("(A and B and C) or (D and E)");
+  EXPECT_EQ(d.MinAdditionalCourses(Bits({})), 2);     // D, E
+  EXPECT_EQ(d.MinAdditionalCourses(Bits({0, 1})), 1); // C
+  EXPECT_EQ(d.MinAdditionalCourses(Bits({0, 1, 2})), 0);
+}
+
+TEST(DnfTest, MinAdditionalSkipsDeadClauses) {
+  // Clause (A and not B) is dead once B is completed.
+  Dnf d = MakeDnf("(A and not B) or (C and D and E)");
+  EXPECT_EQ(d.MinAdditionalCourses(Bits({1})), 3);
+  EXPECT_EQ(d.MinAdditionalCourses(Bits({})), 1);
+}
+
+TEST(DnfTest, MinAdditionalUnreachable) {
+  Dnf d = MakeDnf("A and not B");
+  EXPECT_EQ(d.MinAdditionalCourses(Bits({1})), Dnf::kUnreachable);
+  EXPECT_TRUE(MakeDnf("false").MinAdditionalCourses(Bits({})) ==
+              Dnf::kUnreachable);
+}
+
+TEST(DnfTest, AchievableWith) {
+  Dnf d = MakeDnf("A and B");
+  EXPECT_TRUE(d.AchievableWith(Bits({0}), Bits({1})));
+  EXPECT_FALSE(d.AchievableWith(Bits({0}), Bits({2})));
+  EXPECT_TRUE(d.AchievableWith(Bits({0, 1}), Bits({})));
+}
+
+TEST(DnfTest, AchievableWithRespectsDeadClauses) {
+  Dnf d = MakeDnf("A and not B");
+  // B already completed: clause dead no matter what is available.
+  EXPECT_FALSE(d.AchievableWith(Bits({1}), Bits({0})));
+  // B not completed: optimistically achievable (we may never take B).
+  EXPECT_TRUE(d.AchievableWith(Bits({}), Bits({0, 1})));
+}
+
+/// Property: DNF evaluation equals original expression evaluation over all
+/// 2^8 assignments, for random expressions.
+class DnfEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+Expr RandomExpr(Random& rng, int depth) {
+  if (depth == 0 || rng.Bernoulli(0.35)) {
+    Expr var = Expr::Var(std::string(1, static_cast<char>(
+                                            'A' + rng.UniformInt(0, 7))));
+    return rng.Bernoulli(0.25) ? Expr::Not(var) : var;
+  }
+  std::vector<Expr> ops;
+  int n = rng.UniformInt(2, 3);
+  for (int i = 0; i < n; ++i) ops.push_back(RandomExpr(rng, depth - 1));
+  return rng.Bernoulli(0.5) ? Expr::And(std::move(ops))
+                            : Expr::Or(std::move(ops));
+}
+
+TEST_P(DnfEquivalenceTest, EvalMatchesSourceExpression) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    Expr tree = RandomExpr(rng, 3);
+    auto dnf = Dnf::FromExpr(tree, TableResolver(), 8, 1 << 14);
+    ASSERT_TRUE(dnf.ok());
+    for (int assignment = 0; assignment < 256; ++assignment) {
+      DynamicBitset bits(8);
+      for (int i = 0; i < 8; ++i) {
+        if ((assignment >> i) & 1) bits.set(i);
+      }
+      bool expected = tree.Eval(
+          [&](std::string_view name) { return bits.test(name[0] - 'A'); });
+      ASSERT_EQ(dnf->Eval(bits), expected)
+          << tree.ToString() << " @ " << bits.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+/// Property: MinAdditionalCourses is a *sound lower bound* — for any X and
+/// any superset X' of X that satisfies the DNF, |X' - X| >= bound.
+TEST(DnfSoundnessTest, MinAdditionalIsLowerBound) {
+  Random rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    Expr tree = RandomExpr(rng, 3);
+    auto dnf = Dnf::FromExpr(tree, TableResolver(), 8, 1 << 14);
+    ASSERT_TRUE(dnf.ok());
+    for (int x = 0; x < 256; ++x) {
+      DynamicBitset bits_x(8);
+      for (int i = 0; i < 8; ++i) {
+        if ((x >> i) & 1) bits_x.set(i);
+      }
+      int bound = dnf->MinAdditionalCourses(bits_x);
+      for (int sup = x;; sup = (sup + 1) | x) {
+        DynamicBitset bits_sup(8);
+        for (int i = 0; i < 8; ++i) {
+          if ((sup >> i) & 1) bits_sup.set(i);
+        }
+        if (dnf->Eval(bits_sup)) {
+          int added = bits_sup.count() - bits_x.count();
+          ASSERT_LE(bound, added)
+              << tree.ToString() << " X=" << bits_x.ToString()
+              << " X'=" << bits_sup.ToString();
+        }
+        if (sup == 255) break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coursenav::expr

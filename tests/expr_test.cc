@@ -1,0 +1,162 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "expr/parser.h"
+
+namespace coursenav::expr {
+namespace {
+
+bool EvalWith(const Expr& e, const std::set<std::string>& truths) {
+  return e.Eval([&](std::string_view name) {
+    return truths.count(std::string(name)) > 0;
+  });
+}
+
+TEST(ExprTest, DefaultIsTrue) {
+  Expr e;
+  EXPECT_TRUE(EvalWith(e, {}));
+  EXPECT_EQ(e.kind(), Expr::Kind::kConst);
+}
+
+TEST(ExprTest, Constants) {
+  EXPECT_TRUE(EvalWith(Expr::True(), {}));
+  EXPECT_FALSE(EvalWith(Expr::False(), {}));
+}
+
+TEST(ExprTest, VarEvaluation) {
+  Expr e = Expr::Var("A");
+  EXPECT_FALSE(EvalWith(e, {}));
+  EXPECT_TRUE(EvalWith(e, {"A"}));
+}
+
+TEST(ExprTest, AndOrNotSemantics) {
+  Expr e = Expr::And({Expr::Var("A"),
+                      Expr::Or({Expr::Var("B"), Expr::Not(Expr::Var("C"))})});
+  EXPECT_TRUE(EvalWith(e, {"A", "B"}));
+  EXPECT_TRUE(EvalWith(e, {"A"}));          // not C holds
+  EXPECT_FALSE(EvalWith(e, {"A", "C"}));    // B false, not C false
+  EXPECT_FALSE(EvalWith(e, {"B"}));         // A false
+}
+
+TEST(ExprTest, EmptyAndIsTrueEmptyOrIsFalse) {
+  EXPECT_TRUE(EvalWith(Expr::And({}), {}));
+  EXPECT_FALSE(EvalWith(Expr::Or({}), {}));
+}
+
+TEST(ExprTest, SingleOperandCollapses) {
+  Expr e = Expr::And({Expr::Var("A")});
+  EXPECT_EQ(e.kind(), Expr::Kind::kVar);
+}
+
+TEST(ExprTest, CollectVarsDeduplicates) {
+  Expr e = Expr::And({Expr::Var("A"), Expr::Or({Expr::Var("A"),
+                                                Expr::Var("B")})});
+  std::set<std::string> vars;
+  e.CollectVars(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"A", "B"}));
+}
+
+TEST(ExprTest, NodeCount) {
+  Expr e = Expr::And({Expr::Var("A"), Expr::Not(Expr::Var("B"))});
+  EXPECT_EQ(e.NodeCount(), 4);  // and, A, not, B
+}
+
+TEST(ExprTest, ToStringMinimalParens) {
+  Expr e = Expr::Or({Expr::Var("A"),
+                     Expr::And({Expr::Var("B"), Expr::Var("C")})});
+  EXPECT_EQ(e.ToString(), "A or B and C");
+  Expr f = Expr::And({Expr::Or({Expr::Var("A"), Expr::Var("B")}),
+                      Expr::Var("C")});
+  EXPECT_EQ(f.ToString(), "(A or B) and C");
+  Expr g = Expr::Not(Expr::Or({Expr::Var("A"), Expr::Var("B")}));
+  EXPECT_EQ(g.ToString(), "not (A or B)");
+}
+
+TEST(ExprTest, StructuralEquality) {
+  Expr a = Expr::And({Expr::Var("X"), Expr::Var("Y")});
+  Expr b = Expr::And({Expr::Var("X"), Expr::Var("Y")});
+  Expr c = Expr::And({Expr::Var("Y"), Expr::Var("X")});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);  // order matters structurally
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(ParseBoolExprTest, SingleVariable) {
+  auto e = ParseBoolExpr("COSI11A");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->ToString(), "COSI11A");
+}
+
+TEST(ParseBoolExprTest, PrecedenceAndBindsTighter) {
+  auto e = ParseBoolExpr("A or B and C");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(EvalWith(*e, {"B"}));
+  EXPECT_TRUE(EvalWith(*e, {"A"}));
+  EXPECT_TRUE(EvalWith(*e, {"B", "C"}));
+}
+
+TEST(ParseBoolExprTest, ParenthesesOverridePrecedence) {
+  auto e = ParseBoolExpr("(A or B) and C");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(EvalWith(*e, {"A"}));
+  EXPECT_TRUE(EvalWith(*e, {"A", "C"}));
+}
+
+TEST(ParseBoolExprTest, SymbolOperators) {
+  auto e = ParseBoolExpr("A && (B || !C)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(EvalWith(*e, {"A"}));
+  EXPECT_FALSE(EvalWith(*e, {"A", "C"}));
+  auto f = ParseBoolExpr("A & B | C");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(EvalWith(*f, {"C"}));
+}
+
+TEST(ParseBoolExprTest, KeywordsCaseInsensitive) {
+  auto e = ParseBoolExpr("A AND NOT b OR TRUE");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(EvalWith(*e, {}));
+}
+
+TEST(ParseBoolExprTest, ConstantsParse) {
+  EXPECT_TRUE(EvalWith(*ParseBoolExpr("true"), {}));
+  EXPECT_FALSE(EvalWith(*ParseBoolExpr("false"), {}));
+}
+
+TEST(ParseBoolExprTest, IdentifiersWithDigitsAndDashes) {
+  auto e = ParseBoolExpr("CS-101a and MATH10b");
+  ASSERT_TRUE(e.ok());
+  std::set<std::string> vars;
+  e->CollectVars(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"CS-101a", "MATH10b"}));
+}
+
+TEST(ParseBoolExprTest, ErrorsCarryParseErrorCode) {
+  for (const char* bad :
+       {"", "  ", "A and", "and A", "(A", "A)", "A B", "A ∧ B", "()",
+        "not", "A or or B"}) {
+    Result<Expr> e = ParseBoolExpr(bad);
+    EXPECT_FALSE(e.ok()) << "input: " << bad;
+    EXPECT_TRUE(e.status().IsParseError()) << "input: " << bad;
+  }
+}
+
+TEST(ParseBoolExprTest, RoundTripThroughToString) {
+  for (const char* text :
+       {"A and B", "A or B and C", "(A or B) and C", "not A and B",
+        "A and (B or C) and D"}) {
+    auto first = ParseBoolExpr(text);
+    ASSERT_TRUE(first.ok()) << text;
+    auto second = ParseBoolExpr(first->ToString());
+    ASSERT_TRUE(second.ok()) << first->ToString();
+    // Structural equality after one round trip.
+    EXPECT_TRUE(*first == *second) << text;
+  }
+}
+
+}  // namespace
+}  // namespace coursenav::expr

@@ -1,0 +1,111 @@
+#include "core/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+class FiltersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    struct Spec {
+      const char* code;
+      double workload;
+    };
+    for (const Spec& spec : std::initializer_list<Spec>{
+             {"A", 4.0}, {"B", 6.0}, {"C", 9.0}, {"D", 3.0}}) {
+      Course c;
+      c.code = spec.code;
+      c.workload_hours = spec.workload;
+      ASSERT_TRUE(catalog_.AddCourse(std::move(c)).ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+
+  DynamicBitset Bits(std::initializer_list<int> ids) {
+    DynamicBitset b(catalog_.size());
+    for (int id : ids) b.set(id);
+    return b;
+  }
+
+  /// Path: F12 {A, B}, S13 {}, F13 {C}.
+  LearningPath MakePath() {
+    LearningPath path(Term(Season::kFall, 2012), catalog_.NewCourseSet());
+    path.AppendStep(Term(Season::kFall, 2012), Bits({0, 1}));
+    path.AppendStep(Term(Season::kSpring, 2013), Bits({}));
+    path.AppendStep(Term(Season::kFall, 2013), Bits({2}));
+    return path;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(FiltersTest, MaxTermWorkload) {
+  LearningPath path = MakePath();  // heaviest term: A+B = 10 hours
+  EXPECT_TRUE(MaxTermWorkloadFilter(&catalog_, 10.0).Keep(path));
+  EXPECT_FALSE(MaxTermWorkloadFilter(&catalog_, 9.5).Keep(path));
+  EXPECT_TRUE(MaxTermWorkloadFilter(&catalog_, 100).Keep(path));
+  EXPECT_NE(MaxTermWorkloadFilter(&catalog_, 9.5).Describe().find("9.5"),
+            std::string::npos);
+}
+
+TEST_F(FiltersTest, CourseByTerm) {
+  LearningPath path = MakePath();
+  CourseId c = 2;  // taken Fall 2013
+  EXPECT_TRUE(CourseByTermFilter(c, Term(Season::kFall, 2013)).Keep(path));
+  EXPECT_TRUE(CourseByTermFilter(c, Term(Season::kFall, 2014)).Keep(path));
+  EXPECT_FALSE(CourseByTermFilter(c, Term(Season::kSpring, 2013)).Keep(path));
+  // Course never taken.
+  EXPECT_FALSE(CourseByTermFilter(3, Term(Season::kFall, 2015)).Keep(path));
+}
+
+TEST_F(FiltersTest, CourseByTermCountsStartCompleted) {
+  LearningPath path(Term(Season::kFall, 2012), Bits({3}));
+  EXPECT_TRUE(CourseByTermFilter(3, Term(Season::kFall, 2012)).Keep(path));
+}
+
+TEST_F(FiltersTest, MaxSkips) {
+  LearningPath path = MakePath();  // one skip
+  EXPECT_TRUE(MaxSkipsFilter(1).Keep(path));
+  EXPECT_FALSE(MaxSkipsFilter(0).Keep(path));
+}
+
+TEST_F(FiltersTest, BalancedLoad) {
+  LearningPath path = MakePath();  // non-skip loads: 2 and 1
+  EXPECT_TRUE(BalancedLoadFilter(1).Keep(path));
+  EXPECT_FALSE(BalancedLoadFilter(0).Keep(path));
+  // All-skip path is trivially balanced.
+  LearningPath idle(Term(Season::kFall, 2012), catalog_.NewCourseSet());
+  idle.AppendStep(Term(Season::kFall, 2012), Bits({}));
+  EXPECT_TRUE(BalancedLoadFilter(0).Keep(idle));
+}
+
+TEST_F(FiltersTest, AllOfCombines) {
+  LearningPath path = MakePath();
+  AllOfFilter pass({std::make_shared<MaxSkipsFilter>(1),
+                    std::make_shared<BalancedLoadFilter>(1)});
+  AllOfFilter fail({std::make_shared<MaxSkipsFilter>(1),
+                    std::make_shared<BalancedLoadFilter>(0)});
+  EXPECT_TRUE(pass.Keep(path));
+  EXPECT_FALSE(fail.Keep(path));
+  EXPECT_NE(pass.Describe().find("all of"), std::string::npos);
+}
+
+TEST_F(FiltersTest, FilterPathsKeepsOrder) {
+  LearningPath keep1 = MakePath();
+  LearningPath drop(Term(Season::kFall, 2012), catalog_.NewCourseSet());
+  drop.AppendStep(Term(Season::kFall, 2012), Bits({}));
+  drop.AppendStep(Term(Season::kSpring, 2013), Bits({}));
+  LearningPath keep2 = MakePath();
+  MaxSkipsFilter filter(1);
+  std::vector<LearningPath> kept =
+      FilterPaths({keep1, drop, keep2}, filter);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_TRUE(kept[0] == keep1);
+  EXPECT_TRUE(kept[1] == keep2);
+}
+
+}  // namespace
+}  // namespace coursenav

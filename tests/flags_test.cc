@@ -1,0 +1,78 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace coursenav {
+namespace {
+
+FlagSet ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagSet::Parse(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()));
+}
+
+TEST(FlagSetTest, EqualsForm) {
+  FlagSet flags = ParseArgs({"--name=value", "--k=5"});
+  EXPECT_EQ(*flags.GetString("name", ""), "value");
+  EXPECT_EQ(*flags.GetInt("k", 0), 5);
+}
+
+TEST(FlagSetTest, SpaceForm) {
+  FlagSet flags = ParseArgs({"--start", "Fall 2013"});
+  EXPECT_EQ(*flags.GetString("start", ""), "Fall 2013");
+}
+
+TEST(FlagSetTest, BareFlagIsTrue) {
+  FlagSet flags = ParseArgs({"--demo"});
+  EXPECT_TRUE(flags.Has("demo"));
+  EXPECT_TRUE(flags.GetBool("demo"));
+  EXPECT_FALSE(flags.GetBool("other"));
+  EXPECT_TRUE(flags.GetBool("other", true));
+}
+
+TEST(FlagSetTest, BoolFalseSpellings) {
+  EXPECT_FALSE(ParseArgs({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x=0"}).GetBool("x", true));
+  EXPECT_TRUE(ParseArgs({"--x=yes"}).GetBool("x"));
+}
+
+TEST(FlagSetTest, PositionalArguments) {
+  FlagSet flags = ParseArgs({"explore", "--k=2", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "explore");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagSetTest, DoubleDashEndsFlags) {
+  FlagSet flags = ParseArgs({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(flags.Has("a"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagSetTest, DefaultsWhenAbsent) {
+  FlagSet flags = ParseArgs({});
+  EXPECT_EQ(*flags.GetString("s", "dflt"), "dflt");
+  EXPECT_EQ(*flags.GetInt("i", 42), 42);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("d", 2.5), 2.5);
+}
+
+TEST(FlagSetTest, TypedParseErrors) {
+  FlagSet flags = ParseArgs({"--k=abc", "--d=x"});
+  EXPECT_TRUE(flags.GetInt("k", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(flags.GetDouble("d", 0).status().IsInvalidArgument());
+}
+
+TEST(FlagSetTest, CheckKnown) {
+  FlagSet flags = ParseArgs({"--good=1", "--typo=2"});
+  EXPECT_TRUE(flags.CheckKnown({"good"}).IsInvalidArgument());
+  EXPECT_TRUE(flags.CheckKnown({"good", "typo"}).ok());
+}
+
+TEST(FlagSetTest, DoubleValues) {
+  FlagSet flags = ParseArgs({"--seconds=1.5"});
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("seconds", 0), 1.5);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,173 @@
+#include "flow/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/bipartite.h"
+#include "util/random.h"
+
+namespace coursenav::flow {
+namespace {
+
+TEST(FlowNetworkTest, SingleEdge) {
+  FlowNetwork net(2);
+  int e = net.AddEdge(0, 1, 5);
+  EXPECT_EQ(EdmondsKarpMaxFlow(&net, 0, 1), 5);
+  EXPECT_EQ(net.FlowOn(e), 5);
+}
+
+TEST(FlowNetworkTest, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 10);
+  net.AddEdge(1, 2, 3);
+  EXPECT_EQ(EdmondsKarpMaxFlow(&net, 0, 2), 3);
+}
+
+TEST(FlowNetworkTest, ParallelPathsSum) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 2);
+  net.AddEdge(1, 3, 2);
+  net.AddEdge(0, 2, 3);
+  net.AddEdge(2, 3, 3);
+  EXPECT_EQ(EdmondsKarpMaxFlow(&net, 0, 3), 5);
+}
+
+TEST(FlowNetworkTest, ClassicCLRSExample) {
+  // CLRS Figure 26.1: max flow 23.
+  FlowNetwork net(6);
+  net.AddEdge(0, 1, 16);
+  net.AddEdge(0, 2, 13);
+  net.AddEdge(1, 2, 10);
+  net.AddEdge(2, 1, 4);
+  net.AddEdge(1, 3, 12);
+  net.AddEdge(3, 2, 9);
+  net.AddEdge(2, 4, 14);
+  net.AddEdge(4, 3, 7);
+  net.AddEdge(3, 5, 20);
+  net.AddEdge(4, 5, 4);
+  EXPECT_EQ(EdmondsKarpMaxFlow(&net, 0, 5), 23);
+  net.ResetFlow();
+  EXPECT_EQ(DinicMaxFlow(&net, 0, 5), 23);
+}
+
+TEST(FlowNetworkTest, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 5);
+  net.AddEdge(2, 3, 5);
+  EXPECT_EQ(EdmondsKarpMaxFlow(&net, 0, 3), 0);
+}
+
+TEST(FlowNetworkTest, ResetFlowRestoresCapacity) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 4);
+  EXPECT_EQ(DinicMaxFlow(&net, 0, 1), 4);
+  EXPECT_EQ(DinicMaxFlow(&net, 0, 1), 0);  // saturated
+  net.ResetFlow();
+  EXPECT_EQ(DinicMaxFlow(&net, 0, 1), 4);
+}
+
+TEST(FlowNetworkTest, ZeroCapacityEdgeCarriesNothing) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 0);
+  EXPECT_EQ(EdmondsKarpMaxFlow(&net, 0, 1), 0);
+}
+
+/// Property: Edmonds-Karp and Dinic agree on random graphs.
+class FlowAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowAgreementTest, SolversAgree) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    int n = rng.UniformInt(4, 12);
+    FlowNetwork a(n), b(n);
+    int edges = rng.UniformInt(n, 3 * n);
+    for (int e = 0; e < edges; ++e) {
+      int from = rng.UniformInt(0, n - 1);
+      int to = rng.UniformInt(0, n - 1);
+      if (from == to) continue;
+      int64_t cap = rng.UniformInt(0, 10);
+      a.AddEdge(from, to, cap);
+      b.AddEdge(from, to, cap);
+    }
+    EXPECT_EQ(EdmondsKarpMaxFlow(&a, 0, n - 1), DinicMaxFlow(&b, 0, n - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowAgreementTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ------------------------------------------------------------- bipartite
+
+TEST(BipartiteMatcherTest, PerfectMatching) {
+  BipartiteMatcher matcher(3, 3);
+  matcher.AddEdge(0, 0);
+  matcher.AddEdge(1, 1);
+  matcher.AddEdge(2, 2);
+  EXPECT_EQ(matcher.MaxMatching(), 3);
+  EXPECT_EQ(matcher.MatchOfLeft(0), 0);
+  EXPECT_EQ(matcher.MatchOfRight(2), 2);
+}
+
+TEST(BipartiteMatcherTest, RequiresAugmentingPaths) {
+  // Greedy left-to-right would match 0-0 and strand 1; Hopcroft-Karp finds
+  // the perfect matching.
+  BipartiteMatcher matcher(2, 2);
+  matcher.AddEdge(0, 0);
+  matcher.AddEdge(0, 1);
+  matcher.AddEdge(1, 0);
+  EXPECT_EQ(matcher.MaxMatching(), 2);
+}
+
+TEST(BipartiteMatcherTest, UnmatchedVerticesReportMinusOne) {
+  BipartiteMatcher matcher(2, 1);
+  matcher.AddEdge(0, 0);
+  matcher.AddEdge(1, 0);
+  EXPECT_EQ(matcher.MaxMatching(), 1);
+  int matched = matcher.MatchOfRight(0);
+  EXPECT_TRUE(matched == 0 || matched == 1);
+  EXPECT_EQ(matcher.MatchOfLeft(1 - matched), -1);
+}
+
+TEST(BipartiteMatcherTest, EmptyGraph) {
+  BipartiteMatcher matcher(3, 3);
+  EXPECT_EQ(matcher.MaxMatching(), 0);
+}
+
+TEST(BipartiteMatcherTest, IdempotentAndResettableAfterAddEdge) {
+  BipartiteMatcher matcher(2, 2);
+  matcher.AddEdge(0, 0);
+  EXPECT_EQ(matcher.MaxMatching(), 1);
+  EXPECT_EQ(matcher.MaxMatching(), 1);
+  matcher.AddEdge(1, 1);
+  EXPECT_EQ(matcher.MaxMatching(), 2);
+}
+
+/// Property: matching size equals unit-capacity max flow.
+class MatchingVsFlowTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingVsFlowTest, MatchesUnitFlow) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    int nl = rng.UniformInt(1, 8), nr = rng.UniformInt(1, 8);
+    BipartiteMatcher matcher(nl, nr);
+    FlowNetwork net(nl + nr + 2);
+    int source = nl + nr, sink = nl + nr + 1;
+    for (int l = 0; l < nl; ++l) net.AddEdge(source, l, 1);
+    for (int r = 0; r < nr; ++r) net.AddEdge(nl + r, sink, 1);
+    for (int l = 0; l < nl; ++l) {
+      for (int r = 0; r < nr; ++r) {
+        if (rng.Bernoulli(0.4)) {
+          matcher.AddEdge(l, r);
+          net.AddEdge(l, nl + r, 1);
+        }
+      }
+    }
+    EXPECT_EQ(matcher.MaxMatching(),
+              static_cast<int>(EdmondsKarpMaxFlow(&net, source, sink)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingVsFlowTest,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace coursenav::flow

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace coursenav {
+namespace {
+
+/// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroCompilesAndStreams) {
+  SetLogLevel(LogLevel::kError);  // suppress output during the test run
+  COURSENAV_LOG(kDebug) << "suppressed " << 42;
+  COURSENAV_LOG(kInfo) << "also suppressed " << 3.5;
+  // No crash, no way to observe stderr portably here — this is a smoke
+  // test that the macro expands and streams arbitrary types.
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, DisabledMessagesSkipFormatting) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return std::string("payload");
+  };
+  // Operands are still evaluated (stream semantics), but the sink must not
+  // grow: verify by streaming into a suppressed message repeatedly.
+  for (int i = 0; i < 3; ++i) {
+    COURSENAV_LOG(kInfo) << expensive();
+  }
+  EXPECT_EQ(evaluations, 3);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,278 @@
+#include "parsers/prereq_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parsers/catalog_loader.h"
+#include "parsers/schedule_parser.h"
+#include "parsers/transcript_parser.h"
+
+namespace coursenav {
+namespace {
+
+std::set<std::string> VarsOf(const expr::Expr& e) {
+  std::set<std::string> vars;
+  e.CollectVars(&vars);
+  return vars;
+}
+
+TEST(NormalizeCourseCodeTest, UppercasesAndGluesSpaces) {
+  EXPECT_EQ(NormalizeCourseCode("cosi 11a"), "COSI11A");
+  EXPECT_EQ(NormalizeCourseCode("COSI11A"), "COSI11A");
+  EXPECT_EQ(NormalizeCourseCode(" cs \t101 b "), "CS101B");
+}
+
+TEST(PrereqParserTest, EmptyAndNoneAreTrue) {
+  for (const char* text : {"", "  ", "none", "None", "N/A",
+                           "Prerequisite: none."}) {
+    auto e = ParsePrerequisiteText(text);
+    ASSERT_TRUE(e.ok()) << text;
+    EXPECT_EQ(e->kind(), expr::Expr::Kind::kConst) << text;
+    EXPECT_TRUE(e->const_value()) << text;
+  }
+}
+
+TEST(PrereqParserTest, LabelStripped) {
+  auto e = ParsePrerequisiteText("Prerequisite: COSI 11a");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(VarsOf(*e), (std::set<std::string>{"COSI11A"}));
+}
+
+TEST(PrereqParserTest, SpacedCodesMerged) {
+  auto e = ParsePrerequisiteText("COSI 11a and COSI 29a");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(VarsOf(*e), (std::set<std::string>{"COSI11A", "COSI29A"}));
+  EXPECT_EQ(e->kind(), expr::Expr::Kind::kAnd);
+}
+
+TEST(PrereqParserTest, CommaMeansAnd) {
+  auto e = ParsePrerequisiteText("COSI 11a, COSI 29a");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind(), expr::Expr::Kind::kAnd);
+  EXPECT_EQ(VarsOf(*e), (std::set<std::string>{"COSI11A", "COSI29A"}));
+}
+
+TEST(PrereqParserTest, CommaBeforeOperatorIgnored) {
+  auto e = ParsePrerequisiteText("COSI 11a, or COSI 12b");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind(), expr::Expr::Kind::kOr);
+}
+
+TEST(PrereqParserTest, InstructorPermissionStripped) {
+  auto e = ParsePrerequisiteText(
+      "Prerequisite: COSI 21a or permission of the instructor");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(VarsOf(*e), (std::set<std::string>{"COSI21A"}));
+  auto f = ParsePrerequisiteText("COSI 21a or consent of instructor");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(VarsOf(*f), (std::set<std::string>{"COSI21A"}));
+}
+
+TEST(PrereqParserTest, SentenceTerminatorCutsTrailingProse) {
+  auto e = ParsePrerequisiteText(
+      "Prerequisites: COSI 11a and COSI 29a. May not be repeated for "
+      "credit.");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(VarsOf(*e), (std::set<std::string>{"COSI11A", "COSI29A"}));
+}
+
+TEST(PrereqParserTest, ParenthesizedDisjunction) {
+  auto e = ParsePrerequisiteText("COSI 11a and (COSI 21a or COSI 22b)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(VarsOf(*e),
+            (std::set<std::string>{"COSI11A", "COSI21A", "COSI22B"}));
+}
+
+TEST(PrereqParserTest, MalformedTextFails) {
+  EXPECT_TRUE(ParsePrerequisiteText("COSI 11a @@ COSI 29a")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParsePrerequisiteText("and and").status().IsParseError());
+}
+
+// ------------------------------------------------------ schedule parser
+
+class ScheduleParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* code : {"COSI11A", "COSI21A"}) {
+      Course c;
+      c.code = code;
+      ASSERT_TRUE(catalog_.AddCourse(std::move(c)).ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(ScheduleParserTest, ParsesCsvWithCommentsAndBlanks) {
+  const char* text =
+      "# class schedule\n"
+      "\n"
+      "COSI11A, Fall 2011; Fall 2012\n"
+      "cosi 21a, Spring 2012\n";
+  auto schedule = ParseScheduleCsv(text, catalog_);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->IsOffered(0, Term(Season::kFall, 2011)));
+  EXPECT_TRUE(schedule->IsOffered(0, Term(Season::kFall, 2012)));
+  EXPECT_TRUE(schedule->IsOffered(1, Term(Season::kSpring, 2012)));
+  EXPECT_FALSE(schedule->IsOffered(1, Term(Season::kFall, 2011)));
+}
+
+TEST_F(ScheduleParserTest, ErrorsCarryLineNumbers) {
+  auto missing_comma = ParseScheduleCsv("COSI11A Fall 2011", catalog_);
+  EXPECT_TRUE(missing_comma.status().IsParseError());
+  auto unknown = ParseScheduleCsv("NOPE1, Fall 2011", catalog_);
+  EXPECT_TRUE(unknown.status().IsParseError());
+  EXPECT_NE(unknown.status().message().find("line 1"), std::string::npos);
+  auto bad_term = ParseScheduleCsv("\nCOSI11A, Winter 2011", catalog_);
+  EXPECT_TRUE(bad_term.status().IsParseError());
+  EXPECT_NE(bad_term.status().message().find("line 2"), std::string::npos);
+}
+
+// ------------------------------------------------------- catalog loader
+
+TEST(CatalogLoaderTest, LoadsCoursesAndSchedule) {
+  const char* json = R"({
+    "courses": [
+      {"code": "COSI11A", "title": "Intro", "workload": 8,
+       "offered": ["Fall 2011", "Fall 2012"]},
+      {"code": "cosi 21a", "title": "Data Structures", "workload": 10,
+       "prerequisites": "COSI 11a", "offered": ["Spring 2012"]}
+    ]
+  })";
+  auto bundle = LoadCatalogFromJson(json);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_TRUE(bundle->catalog.finalized());
+  EXPECT_EQ(bundle->catalog.size(), 2);
+  auto id = bundle->catalog.FindByCode("COSI21A");
+  ASSERT_TRUE(id.ok());  // code normalized
+  EXPECT_EQ(bundle->catalog.course(*id).title, "Data Structures");
+  EXPECT_TRUE(bundle->schedule.IsOffered(*id, Term(Season::kSpring, 2012)));
+  // Prerequisite compiled against the catalog.
+  DynamicBitset with_intro = bundle->catalog.NewCourseSet();
+  with_intro.set(*bundle->catalog.FindByCode("COSI11A"));
+  EXPECT_TRUE(bundle->catalog.compiled_prereq(*id).Eval(with_intro));
+}
+
+TEST(CatalogLoaderTest, DefaultsApplied) {
+  auto bundle = LoadCatalogFromJson(R"({"courses": [{"code": "X1"}]})");
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle->catalog.course(0).workload_hours, 0.0);
+  EXPECT_TRUE(bundle->schedule.OfferingTerms(0).empty());
+}
+
+TEST(CatalogLoaderTest, RejectsBadDocuments) {
+  EXPECT_TRUE(LoadCatalogFromJson("{}").status().IsNotFound());
+  EXPECT_TRUE(LoadCatalogFromJson(R"({"courses": 3})")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(LoadCatalogFromJson(R"({"courses": [{"title": "no code"}]})")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(LoadCatalogFromJson(
+                  R"({"courses": [{"code": "A", "offered": ["Winter 9"]}]})")
+                  .status()
+                  .IsParseError());
+  // Prereq referencing an unknown course fails at finalization.
+  EXPECT_FALSE(LoadCatalogFromJson(
+                   R"({"courses": [{"code": "A", "prerequisites": "B1"}]})")
+                   .ok());
+}
+
+TEST(CatalogLoaderTest, JsonRoundTrip) {
+  const char* json = R"({
+    "courses": [
+      {"code": "A1", "title": "t", "workload": 3.5,
+       "prerequisites": "true", "offered": ["Fall 2012"]},
+      {"code": "B1", "title": "u", "workload": 4,
+       "prerequisites": "A1", "offered": []}
+    ]
+  })";
+  auto bundle = LoadCatalogFromJson(json);
+  ASSERT_TRUE(bundle.ok());
+  std::string dumped =
+      CatalogToJson(bundle->catalog, bundle->schedule).Dump(2);
+  auto reloaded = LoadCatalogFromJson(dumped);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->catalog.size(), 2);
+  EXPECT_EQ(reloaded->catalog.course(0).workload_hours, 3.5);
+  EXPECT_TRUE(
+      reloaded->schedule.IsOffered(0, Term(Season::kFall, 2012)));
+}
+
+// ---------------------------------------------------- transcript parser
+
+class TranscriptParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* code : {"A1", "B1", "C1"}) {
+      Course c;
+      c.code = code;
+      ASSERT_TRUE(catalog_.AddCourse(std::move(c)).ok());
+    }
+    ASSERT_TRUE(catalog_.Finalize().ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(TranscriptParserTest, GroupsAndSortsRecords) {
+  const char* csv =
+      "# student, term, course\n"
+      "s2, Fall 2012, B1\n"
+      "s1, Spring 2013, B1\n"
+      "s1, Fall 2012, A1\n"
+      "s1, Fall 2012, C1\n";
+  auto transcripts = ParseTranscriptsCsv(csv, catalog_);
+  ASSERT_TRUE(transcripts.ok());
+  ASSERT_EQ(transcripts->size(), 2u);
+  const Transcript& s1 = (*transcripts)[0];
+  EXPECT_EQ(s1.student_id, "s1");
+  ASSERT_EQ(s1.records.size(), 2u);
+  EXPECT_EQ(s1.records[0].first, Term(Season::kFall, 2012));
+  EXPECT_EQ(s1.records[0].second.size(), 2u);
+  EXPECT_EQ(s1.records[1].first, Term(Season::kSpring, 2013));
+}
+
+TEST_F(TranscriptParserTest, RejectsBadLines) {
+  EXPECT_TRUE(ParseTranscriptsCsv("s1, Fall 2012", catalog_)
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseTranscriptsCsv("s1, Nope 2012, A1", catalog_)
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseTranscriptsCsv("s1, Fall 2012, ZZ9", catalog_)
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(TranscriptParserTest, TranscriptToPathFillsSkips) {
+  const char* csv =
+      "s1, Fall 2012, A1\n"
+      "s1, Fall 2013, B1\n";
+  auto transcripts = ParseTranscriptsCsv(csv, catalog_);
+  ASSERT_TRUE(transcripts.ok());
+  Term start(Season::kFall, 2012);
+  auto path = TranscriptToPath((*transcripts)[0], catalog_, start,
+                               Term(Season::kSpring, 2014));
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps().size(), 3u);
+  EXPECT_EQ(path->steps()[0].selection.count(), 1);
+  EXPECT_TRUE(path->steps()[1].selection.empty());  // Spring 2013 skipped
+  EXPECT_EQ(path->steps()[2].selection.count(), 1);
+}
+
+TEST_F(TranscriptParserTest, TranscriptOutsideWindowFails) {
+  const char* csv = "s1, Fall 2012, A1\n";
+  auto transcripts = ParseTranscriptsCsv(csv, catalog_);
+  ASSERT_TRUE(transcripts.ok());
+  EXPECT_TRUE(TranscriptToPath((*transcripts)[0], catalog_,
+                               Term(Season::kSpring, 2013),
+                               Term(Season::kSpring, 2014))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace coursenav

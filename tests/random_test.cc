@@ -1,0 +1,100 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace coursenav {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusiveRange) {
+  Random rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(RandomTest, UniformDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinctSorted) {
+  Random rng(23);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(20, 5);
+    ASSERT_EQ(sample.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_EQ(std::set<int>(sample.begin(), sample.end()).size(), 5u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RandomTest, SampleFullRangeIsIdentity) {
+  Random rng(29);
+  std::vector<int> sample = rng.SampleWithoutReplacement(4, 4);
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(rng.SampleWithoutReplacement(4, 0).empty());
+}
+
+}  // namespace
+}  // namespace coursenav

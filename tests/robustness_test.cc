@@ -1,0 +1,141 @@
+#include "service/robustness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ranked_generator.h"
+#include "data/brandeis_cs.h"
+#include "requirements/expr_goal.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+using testing_util::Figure3Fixture;
+
+TEST(ScheduleCloneTest, CloneIsDeepAndRemovable) {
+  Figure3Fixture fix;
+  OfferingSchedule copy = fix.schedule.Clone();
+  EXPECT_TRUE(copy.IsOffered(fix.c21a, Term(Season::kSpring, 2012)));
+  copy.RemoveOffering(fix.c21a, Term(Season::kSpring, 2012));
+  EXPECT_FALSE(copy.IsOffered(fix.c21a, Term(Season::kSpring, 2012)));
+  // The original is untouched.
+  EXPECT_TRUE(fix.schedule.IsOffered(fix.c21a, Term(Season::kSpring, 2012)));
+  // Removing a non-existent offering is a no-op.
+  copy.RemoveOffering(fix.c21a, Term(Season::kFall, 2030));
+}
+
+TEST(RobustnessTest, IdentifiesSinglePointsOfFailure) {
+  // Figure 3 scenario, goal = all three courses by Spring'13. 21A is
+  // offered exactly once (Spring'12): cancelling it strands every plan.
+  // 11A and 29A each have a Fall'12 backup... but taking 11A later than
+  // Fall'11 leaves no semester for 21A, so 11A@F11 is also critical;
+  // 29A@F11 has the Fall'12 alternative.
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+
+  LearningPath plan(fix.fall11, fix.catalog.NewCourseSet());
+  DynamicBitset first(fix.catalog.size());
+  first.set(fix.c11a);
+  first.set(fix.c29a);
+  plan.AppendStep(fix.fall11, first);
+  DynamicBitset second(fix.catalog.size());
+  second.set(fix.c21a);
+  plan.AppendStep(fix.fall11 + 1, second);
+
+  auto report = AnalyzePlanRobustness(fix.catalog, fix.schedule, plan,
+                                      **goal, fix.spring13, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->baseline_paths, 0u);
+  ASSERT_EQ(report->dependencies.size(), 3u);
+
+  auto find = [&](CourseId course) -> const OfferingDependency& {
+    for (const OfferingDependency& dep : report->dependencies) {
+      if (dep.course == course) return dep;
+    }
+    static OfferingDependency none;
+    return none;
+  };
+  EXPECT_EQ(find(fix.c21a).alternative_paths, 0u);
+  EXPECT_EQ(find(fix.c11a).alternative_paths, 0u);
+  EXPECT_GT(find(fix.c29a).alternative_paths, 0u);
+
+  std::vector<OfferingDependency> spof = report->SinglePointsOfFailure();
+  EXPECT_EQ(spof.size(), 2u);
+
+  std::string text = report->ToString(fix.catalog);
+  EXPECT_NE(text.find("single point of failure"), std::string::npos);
+  EXPECT_NE(text.find("29A"), std::string::npos);
+}
+
+TEST(RobustnessTest, SortedMostFragileFirst) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+  TimeRanking ranking;
+  auto ranked = GenerateRankedPaths(fix.catalog, fix.schedule,
+                                    fix.FreshStudent(), fix.spring13, **goal,
+                                    ranking, 1, options);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_FALSE(ranked->paths.empty());
+  auto report = AnalyzePlanRobustness(fix.catalog, fix.schedule,
+                                      ranked->paths[0], **goal, fix.spring13,
+                                      options);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 1; i < report->dependencies.size(); ++i) {
+    EXPECT_LE(report->dependencies[i - 1].alternative_paths,
+              report->dependencies[i].alternative_paths);
+  }
+}
+
+TEST(RobustnessTest, RejectsInvalidOrNonGoalPlans) {
+  Figure3Fixture fix;
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+
+  // Plan that does not reach the goal.
+  LearningPath partial(fix.fall11, fix.catalog.NewCourseSet());
+  DynamicBitset only11(fix.catalog.size());
+  only11.set(fix.c11a);
+  partial.AppendStep(fix.fall11, only11);
+  EXPECT_TRUE(AnalyzePlanRobustness(fix.catalog, fix.schedule, partial,
+                                    **goal, fix.spring13, options)
+                  .status()
+                  .IsInvalidArgument());
+
+  // Infeasible plan (21A without its prerequisite).
+  LearningPath bogus(fix.fall11, fix.catalog.NewCourseSet());
+  DynamicBitset illegal(fix.catalog.size());
+  illegal.set(fix.c21a);
+  bogus.AppendStep(fix.fall11, illegal);
+  EXPECT_TRUE(AnalyzePlanRobustness(fix.catalog, fix.schedule, bogus, **goal,
+                                    fix.spring13, options)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(RobustnessTest, BrandeisPlanHasAlternativesForElectives) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  ExplorationOptions options;
+  EnrollmentStatus start{data::StartTermForSpan(4),
+                         dataset.catalog.NewCourseSet()};
+  TimeRanking ranking;
+  auto ranked = GenerateRankedPaths(dataset.catalog, dataset.schedule, start,
+                                    data::EvaluationEndTerm(),
+                                    *dataset.cs_major, ranking, 1, options);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_FALSE(ranked->paths.empty());
+  auto report = AnalyzePlanRobustness(
+      dataset.catalog, dataset.schedule, ranked->paths[0], *dataset.cs_major,
+      data::EvaluationEndTerm(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dependencies.size(), 12u);  // 12 elected offerings
+  // At least some offering must have alternatives (31 electives to swap).
+  EXPECT_GT(report->dependencies.back().alternative_paths, 0u);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,122 @@
+#include "catalog/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/schedule_history.h"
+
+namespace coursenav {
+namespace {
+
+constexpr int kCourses = 5;
+
+TEST(OfferingScheduleTest, AddAndQueryOfferings) {
+  OfferingSchedule schedule(kCourses);
+  Term f11(Season::kFall, 2011);
+  ASSERT_TRUE(schedule.AddOffering(0, f11).ok());
+  ASSERT_TRUE(schedule.AddOffering(2, f11).ok());
+  EXPECT_TRUE(schedule.IsOffered(0, f11));
+  EXPECT_FALSE(schedule.IsOffered(1, f11));
+  EXPECT_FALSE(schedule.IsOffered(0, f11.Next()));
+  EXPECT_EQ(schedule.OfferedIn(f11).ToIndices(), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(schedule.OfferedIn(f11.Next()).empty());
+}
+
+TEST(OfferingScheduleTest, RejectsOutOfRangeCourse) {
+  OfferingSchedule schedule(kCourses);
+  Term f11(Season::kFall, 2011);
+  EXPECT_TRUE(schedule.AddOffering(-1, f11).IsInvalidArgument());
+  EXPECT_TRUE(schedule.AddOffering(kCourses, f11).IsInvalidArgument());
+}
+
+TEST(OfferingScheduleTest, RecurringFallPattern) {
+  OfferingSchedule schedule(kCourses);
+  Term first(Season::kFall, 2011), last(Season::kFall, 2013);
+  ASSERT_TRUE(schedule.AddRecurring(1, Season::kFall, first, last).ok());
+  EXPECT_TRUE(schedule.IsOffered(1, Term(Season::kFall, 2011)));
+  EXPECT_TRUE(schedule.IsOffered(1, Term(Season::kFall, 2012)));
+  EXPECT_TRUE(schedule.IsOffered(1, Term(Season::kFall, 2013)));
+  EXPECT_FALSE(schedule.IsOffered(1, Term(Season::kSpring, 2012)));
+  EXPECT_TRUE(schedule
+                  .AddRecurring(1, Season::kFall, last, first)
+                  .IsInvalidArgument());
+}
+
+TEST(OfferingScheduleTest, OfferedInRangeUnions) {
+  OfferingSchedule schedule(kCourses);
+  Term f11(Season::kFall, 2011);
+  ASSERT_TRUE(schedule.AddOffering(0, f11).ok());
+  ASSERT_TRUE(schedule.AddOffering(1, f11 + 1).ok());
+  ASSERT_TRUE(schedule.AddOffering(2, f11 + 2).ok());
+  EXPECT_EQ(schedule.OfferedInRange(f11, f11 + 1).ToIndices(),
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ(schedule.OfferedInRange(f11 + 1, f11 + 5).ToIndices(),
+            (std::vector<int>{1, 2}));
+  // Reversed range is empty.
+  EXPECT_TRUE(schedule.OfferedInRange(f11 + 2, f11).empty());
+}
+
+TEST(OfferingScheduleTest, OfferingTermsAndBounds) {
+  OfferingSchedule schedule(kCourses);
+  Term f11(Season::kFall, 2011);
+  ASSERT_TRUE(schedule.AddOffering(3, f11 + 4).ok());
+  ASSERT_TRUE(schedule.AddOffering(3, f11).ok());
+  EXPECT_EQ(schedule.OfferingTerms(3),
+            (std::vector<Term>{f11, f11 + 4}));
+  EXPECT_EQ(schedule.first_term(), f11);
+  EXPECT_EQ(schedule.last_term(), f11 + 4);
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_TRUE(OfferingSchedule(3).empty());
+}
+
+TEST(ScheduleHistoryTest, FrequencyPerSeason) {
+  ScheduleHistory history;
+  // Course 0 ran in Fall 2011 and Fall 2013 of the 2011-2013 window.
+  history.AddRecord(0, Term(Season::kFall, 2011));
+  history.AddRecord(0, Term(Season::kFall, 2013));
+  history.AddRecord(1, Term(Season::kSpring, 2012));
+  EXPECT_EQ(history.ObservedYears(), 3);  // 2011, 2012, 2013
+  EXPECT_DOUBLE_EQ(history.FrequencyInSeason(0, Season::kFall), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(history.FrequencyInSeason(0, Season::kSpring), 0.0);
+  EXPECT_DOUBLE_EQ(history.FrequencyInSeason(1, Season::kSpring), 1.0 / 3.0);
+}
+
+TEST(ScheduleHistoryTest, EmptyHistoryUsesFallback) {
+  ScheduleHistory history;
+  EXPECT_DOUBLE_EQ(history.FrequencyInSeason(0, Season::kFall, 0.5), 0.5);
+}
+
+TEST(ScheduleHistoryTest, ImportScheduleCopiesOfferings) {
+  OfferingSchedule schedule(2);
+  ASSERT_TRUE(schedule.AddOffering(0, Term(Season::kFall, 2012)).ok());
+  ASSERT_TRUE(schedule.AddOffering(1, Term(Season::kSpring, 2013)).ok());
+  ScheduleHistory history;
+  history.ImportSchedule(schedule);
+  EXPECT_EQ(history.ObservedYears(), 2);
+  EXPECT_GT(history.FrequencyInSeason(0, Season::kFall), 0.0);
+}
+
+TEST(OfferingProbabilityModelTest, ReleasedTermsAreCertain) {
+  OfferingSchedule schedule(2);
+  Term f12(Season::kFall, 2012);
+  ASSERT_TRUE(schedule.AddOffering(0, f12).ok());
+  ScheduleHistory history;
+  history.ImportSchedule(schedule);
+  OfferingProbabilityModel model(&schedule, /*release_end=*/f12 + 1,
+                                 history, 0.4);
+  // Within the release horizon: exact.
+  EXPECT_DOUBLE_EQ(model.Probability(0, f12), 1.0);
+  EXPECT_DOUBLE_EQ(model.Probability(1, f12), 0.0);
+  // Beyond: historical frequency (course 0 ran every observed Fall).
+  EXPECT_DOUBLE_EQ(model.Probability(0, f12 + 2), 1.0);
+  EXPECT_DOUBLE_EQ(model.Probability(1, f12 + 2), 0.0);
+}
+
+TEST(OfferingProbabilityModelTest, NoHistoryFallsBack) {
+  OfferingSchedule schedule(1);
+  Term f12(Season::kFall, 2012);
+  OfferingProbabilityModel model(&schedule, f12, ScheduleHistory(), 0.37);
+  EXPECT_DOUBLE_EQ(model.Probability(0, f12 + 4), 0.37);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,143 @@
+#include "service/session.h"
+
+#include <gtest/gtest.h>
+
+#include "requirements/expr_goal.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+using testing_util::Figure3Fixture;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() {
+    auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix_.catalog);
+    EXPECT_TRUE(goal.ok());
+    goal_ = *goal;
+  }
+
+  ExplorationSession MakeSession() {
+    return ExplorationSession(&fix_.catalog, &fix_.schedule, goal_,
+                              fix_.FreshStudent(), fix_.spring13);
+  }
+
+  Figure3Fixture fix_;
+  std::shared_ptr<const Goal> goal_;
+};
+
+TEST_F(SessionTest, CommitAdvancesAndUndoReverts) {
+  ExplorationSession session = MakeSession();
+  EXPECT_EQ(session.status().term, fix_.fall11);
+  ASSERT_TRUE(session.Commit({"11A", "29A"}).ok());
+  EXPECT_EQ(session.status().term, fix_.fall11.Next());
+  EXPECT_EQ(session.status().completed.count(), 2);
+  EXPECT_EQ(session.history().size(), 1u);
+
+  ASSERT_TRUE(session.Undo().ok());
+  EXPECT_EQ(session.status().term, fix_.fall11);
+  EXPECT_TRUE(session.status().completed.empty());
+  EXPECT_TRUE(session.Undo().IsFailedPrecondition());
+}
+
+TEST_F(SessionTest, CommitValidatesElectability) {
+  ExplorationSession session = MakeSession();
+  // 21A requires 11A: not electable in Fall'11.
+  EXPECT_TRUE(session.Commit({"21A"}).IsInvalidArgument());
+  // Unknown course.
+  EXPECT_TRUE(session.Commit({"99Z"}).IsNotFound());
+  // Over the load limit.
+  ASSERT_TRUE(session.SetMaxLoad(1).ok());
+  EXPECT_TRUE(session.Commit({"11A", "29A"}).IsInvalidArgument());
+}
+
+TEST_F(SessionTest, SkipCommit) {
+  ExplorationSession session = MakeSession();
+  ASSERT_TRUE(session.Commit({"29A"}).ok());
+  // Spring'12 with only 29A: nothing electable; empty commit advances.
+  EXPECT_TRUE(session.CurrentOptions().empty());
+  ASSERT_TRUE(session.Commit({}).ok());
+  EXPECT_EQ(session.status().term, fix_.fall11 + 2);
+}
+
+TEST_F(SessionTest, GoalReachedAndRemainingPaths) {
+  ExplorationSession session = MakeSession();
+  auto remaining = session.RemainingGoalPaths();
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_GT(*remaining, 0u);
+
+  ASSERT_TRUE(session.Commit({"11A", "29A"}).ok());
+  ASSERT_TRUE(session.Commit({"21A"}).ok());
+  EXPECT_TRUE(session.GoalReached());
+  EXPECT_EQ(*session.RemainingGoalPaths(), 1u);
+}
+
+TEST_F(SessionTest, RemainingPathsCacheInvalidatedByMutation) {
+  ExplorationSession session = MakeSession();
+  uint64_t before = *session.RemainingGoalPaths();
+  // Avoiding 21A kills every goal path.
+  ASSERT_TRUE(session.Avoid("21A").ok());
+  uint64_t after = *session.RemainingGoalPaths();
+  EXPECT_GT(before, 0u);
+  EXPECT_EQ(after, 0u);
+  ASSERT_TRUE(session.Unavoid("21A").ok());
+  EXPECT_EQ(*session.RemainingGoalPaths(), before);
+}
+
+TEST_F(SessionTest, AvoidCompletedCourseFails) {
+  ExplorationSession session = MakeSession();
+  ASSERT_TRUE(session.Commit({"11A"}).ok());
+  EXPECT_TRUE(session.Avoid("11A").IsFailedPrecondition());
+}
+
+TEST_F(SessionTest, SetDeadlineValidation) {
+  ExplorationSession session = MakeSession();
+  EXPECT_TRUE(session.SetDeadline(fix_.fall11).IsInvalidArgument());
+  EXPECT_TRUE(session.SetDeadline(fix_.fall11 + 2).ok());
+  EXPECT_EQ(session.deadline(), fix_.fall11 + 2);
+}
+
+TEST_F(SessionTest, EvaluateSelectionsRanksByFutures) {
+  ExplorationSession session = MakeSession();
+  auto impacts = session.EvaluateSelections();
+  ASSERT_TRUE(impacts.ok());
+  // Fall'11 candidates: {11A}, {29A}, {11A, 29A}.
+  ASSERT_EQ(impacts->size(), 3u);
+  // Descending by surviving paths; every candidate that keeps the goal
+  // alive requires 11A (21A's prerequisite) eventually, and the double
+  // selection preserves the most futures.
+  EXPECT_GE((*impacts)[0].surviving_goal_paths,
+            (*impacts)[1].surviving_goal_paths);
+  EXPECT_GE((*impacts)[1].surviving_goal_paths,
+            (*impacts)[2].surviving_goal_paths);
+  // Taking only 29A in Fall'11 leaves no way to fit 11A before 21A's last
+  // (only) offering in Spring'12... 11A reopens Fall'12 but 21A never
+  // does, so zero goal paths survive.
+  for (const SelectionImpact& impact : *impacts) {
+    if (impact.selection.count() == 1 && impact.selection.test(fix_.c29a)) {
+      EXPECT_EQ(impact.surviving_goal_paths, 0u);
+    }
+  }
+}
+
+TEST_F(SessionTest, TopKFromCurrentStatus) {
+  ExplorationSession session = MakeSession();
+  ASSERT_TRUE(session.Commit({"11A", "29A"}).ok());
+  TimeRanking ranking;
+  auto top = session.TopK(ranking, 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->paths.size(), 1u);
+  EXPECT_EQ(top->paths[0].Length(), 1);  // just 21A next semester
+}
+
+TEST_F(SessionTest, CommitAfterDeadlineFails) {
+  ExplorationSession session = MakeSession();
+  ASSERT_TRUE(session.SetDeadline(fix_.fall11 + 1).ok());
+  ASSERT_TRUE(session.Commit({"11A"}).ok());
+  EXPECT_TRUE(session.Commit({"29A"}).IsFailedPrecondition());
+  EXPECT_TRUE(session.EvaluateSelections().status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace coursenav

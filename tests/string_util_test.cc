@@ -1,0 +1,94 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace coursenav {
+namespace {
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  abc\t\n"), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto fields = Split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(SplitTest, SingleFieldWithoutDelimiter) {
+  auto fields = Split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitAndTrimTest, DropsEmptyFields) {
+  auto fields = SplitAndTrim(" a ; ;b;", ';');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLowerAscii("CoSi11A"), "cosi11a");
+  EXPECT_EQ(ToUpperAscii("cosi11a"), "COSI11A");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Fall", "fall"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("Fall", "Fal"));
+  EXPECT_FALSE(EqualsIgnoreCase("Fall", "fill"));
+}
+
+TEST(AffixTest, StartsAndEndsWith) {
+  EXPECT_TRUE(StartsWith("COSI11A", "COSI"));
+  EXPECT_FALSE(StartsWith("CO", "COSI"));
+  EXPECT_TRUE(EndsWith("COSI11A", "11A"));
+  EXPECT_FALSE(EndsWith("A", "11A"));
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_EQ(*ParseInt("  13  "), 13);
+}
+
+TEST(ParseIntTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12a").ok());
+  EXPECT_FALSE(ParseInt("a12").ok());
+  EXPECT_FALSE(ParseInt("1 2").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,86 @@
+#ifndef COURSENAV_TESTS_TEST_UTIL_H_
+#define COURSENAV_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/enrollment.h"
+#include "expr/parser.h"
+#include "graph/learning_graph.h"
+#include "graph/path.h"
+
+namespace coursenav::testing_util {
+
+/// The paper's Figure 3 scenario: C = {11A, 29A, 21A}; 11A and 29A have no
+/// prerequisites, 21A requires 11A; 11A and 29A are offered Fall'11 and
+/// Fall'12, 21A only Spring'12.
+struct Figure3Fixture {
+  Catalog catalog;
+  OfferingSchedule schedule;
+  CourseId c11a, c29a, c21a;
+  Term fall11{Season::kFall, 2011};
+  Term spring13{Season::kSpring, 2013};
+
+  Figure3Fixture() : schedule(0) {
+    Course c;
+    c.code = "11A";
+    c11a = *catalog.AddCourse(std::move(c));
+    c = Course();
+    c.code = "29A";
+    c29a = *catalog.AddCourse(std::move(c));
+    c = Course();
+    c.code = "21A";
+    c.prerequisites = *expr::ParseBoolExpr("11A");
+    c21a = *catalog.AddCourse(std::move(c));
+    Status finalize = catalog.Finalize();
+    if (!finalize.ok()) std::abort();
+
+    schedule = OfferingSchedule(catalog.size());
+    Term fall12(Season::kFall, 2012), spring12(Season::kSpring, 2012);
+    (void)schedule.AddOffering(c11a, fall11);
+    (void)schedule.AddOffering(c11a, fall12);
+    (void)schedule.AddOffering(c29a, fall11);
+    (void)schedule.AddOffering(c29a, fall12);
+    (void)schedule.AddOffering(c21a, spring12);
+  }
+
+  EnrollmentStatus FreshStudent() const {
+    return {fall11, catalog.NewCourseSet()};
+  }
+};
+
+/// Extracts the root-to-leaf path of every leaf (all learning paths of a
+/// generated graph).
+inline std::vector<LearningPath> AllLeafPaths(const LearningGraph& graph) {
+  std::vector<LearningPath> out;
+  for (NodeId leaf : graph.LeafNodes()) {
+    out.push_back(LearningPath::FromGraph(graph, leaf));
+  }
+  return out;
+}
+
+/// Extracts the paths of goal-marked leaves only.
+inline std::vector<LearningPath> GoalPaths(const LearningGraph& graph) {
+  std::vector<LearningPath> out;
+  for (NodeId leaf : graph.GoalNodes()) {
+    out.push_back(LearningPath::FromGraph(graph, leaf));
+  }
+  return out;
+}
+
+/// True if `needle` equals some element of `haystack`.
+inline bool ContainsPath(const std::vector<LearningPath>& haystack,
+                         const LearningPath& needle) {
+  for (const LearningPath& path : haystack) {
+    if (path == needle) return true;
+  }
+  return false;
+}
+
+}  // namespace coursenav::testing_util
+
+#endif  // COURSENAV_TESTS_TEST_UTIL_H_

@@ -1,0 +1,143 @@
+#include "data/transcripts.h"
+
+#include <gtest/gtest.h>
+
+#include "core/goal_generator.h"
+#include "data/brandeis_cs.h"
+#include "data/synthetic.h"
+#include "requirements/expr_goal.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+using testing_util::ContainsPath;
+using testing_util::GoalPaths;
+
+TEST(TranscriptSimulationTest, PathsReachGoalAndValidate) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  EnrollmentStatus start{data::StartTermForSpan(5),
+                         dataset.catalog.NewCourseSet()};
+  Term end = data::EvaluationEndTerm();
+  ExplorationOptions options;
+
+  data::TranscriptSimulationConfig config;
+  config.num_students = 20;
+  config.seed = 11;
+  auto paths = data::SimulateTranscripts(dataset.catalog, dataset.schedule,
+                                         *dataset.cs_major, start, end,
+                                         options, config);
+  ASSERT_TRUE(paths.ok());
+  ASSERT_EQ(paths->size(), 20u);
+  for (const LearningPath& path : *paths) {
+    EXPECT_TRUE(path.Validate(dataset.catalog, dataset.schedule).ok())
+        << path.ToString(dataset.catalog);
+    EXPECT_TRUE(dataset.cs_major->IsSatisfied(path.FinalCompleted()));
+    // Trimmed: the goal is reached exactly at the last step, not before.
+    DynamicBitset before_last = path.start_completed();
+    for (size_t i = 0; i + 1 < path.steps().size(); ++i) {
+      before_last |= path.steps()[i].selection;
+    }
+    EXPECT_FALSE(dataset.cs_major->IsSatisfied(before_last));
+  }
+}
+
+TEST(TranscriptSimulationTest, DeterministicPerSeed) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  EnrollmentStatus start{data::StartTermForSpan(5),
+                         dataset.catalog.NewCourseSet()};
+  Term end = data::EvaluationEndTerm();
+  ExplorationOptions options;
+  data::TranscriptSimulationConfig config;
+  config.num_students = 5;
+  config.seed = 42;
+
+  auto first = data::SimulateTranscripts(dataset.catalog, dataset.schedule,
+                                         *dataset.cs_major, start, end,
+                                         options, config);
+  auto second = data::SimulateTranscripts(dataset.catalog, dataset.schedule,
+                                          *dataset.cs_major, start, end,
+                                          options, config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_TRUE((*first)[i] == (*second)[i]);
+  }
+}
+
+TEST(TranscriptSimulationTest, ContainmentInGoalDrivenOutput) {
+  // The §5.2 experiment in miniature: every simulated transcript must
+  // appear in the goal-driven generator's path set (Lemma 1 soundness).
+  data::SyntheticConfig catalog_config;
+  catalog_config.num_courses = 10;
+  catalog_config.num_intro_courses = 4;
+  catalog_config.seed = 3;
+  auto bundle = data::BuildSyntheticCatalog(catalog_config);
+  ASSERT_TRUE(bundle.ok());
+
+  std::vector<std::string> goal_codes;
+  for (int i = 0; i < 4; ++i) {
+    goal_codes.push_back(bundle->catalog.course(i).code);
+  }
+  auto goal = ExprGoal::CompleteAll(goal_codes, bundle->catalog);
+  ASSERT_TRUE(goal.ok());
+
+  ExplorationOptions options;
+  options.max_courses_per_term = 2;
+  EnrollmentStatus start{catalog_config.first_term,
+                         bundle->catalog.NewCourseSet()};
+  Term end = catalog_config.first_term + 4;
+
+  data::TranscriptSimulationConfig sim_config;
+  sim_config.num_students = 15;
+  sim_config.seed = 9;
+  auto transcripts = data::SimulateTranscripts(
+      bundle->catalog, bundle->schedule, **goal, start, end, options,
+      sim_config);
+  ASSERT_TRUE(transcripts.ok());
+
+  auto generated = GenerateGoalDrivenPaths(bundle->catalog, bundle->schedule,
+                                           start, end, **goal, options);
+  ASSERT_TRUE(generated.ok());
+  std::vector<LearningPath> generated_paths = GoalPaths(generated->graph);
+  for (const LearningPath& transcript : *transcripts) {
+    EXPECT_TRUE(ContainsPath(generated_paths, transcript))
+        << transcript.ToString(bundle->catalog);
+  }
+}
+
+TEST(TranscriptSimulationTest, InputValidation) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  EnrollmentStatus start{data::StartTermForSpan(4),
+                         dataset.catalog.NewCourseSet()};
+  ExplorationOptions options;
+  data::TranscriptSimulationConfig config;
+  config.num_students = 0;
+  EXPECT_TRUE(data::SimulateTranscripts(dataset.catalog, dataset.schedule,
+                                        *dataset.cs_major, start,
+                                        data::EvaluationEndTerm(), options,
+                                        config)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TranscriptSimulationTest, ImpossibleGoalExhaustsRetries) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  // One semester is not enough for a 12-course major.
+  EnrollmentStatus start{data::StartTermForSpan(1),
+                         dataset.catalog.NewCourseSet()};
+  ExplorationOptions options;
+  data::TranscriptSimulationConfig config;
+  config.num_students = 1;
+  config.max_attempts_per_student = 3;
+  EXPECT_TRUE(data::SimulateTranscripts(dataset.catalog, dataset.schedule,
+                                        *dataset.cs_major, start,
+                                        data::EvaluationEndTerm(), options,
+                                        config)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,457 @@
+// coursenav — command-line front end to the CourseNavigator library.
+//
+// Subcommands:
+//   explore   all learning paths to a deadline (Algorithm 1)
+//   goal      goal-driven learning paths with pruning (§4.2)
+//   topk      ranked top-k learning paths (§4.3)
+//   count     DAG-memoized path counting (no materialization)
+//   options   the option set Y for one enrollment status
+//   validate  check a catalog JSON file (and optionally transcripts)
+//
+// The catalog comes from --catalog=<file.json> (see
+// parsers/catalog_loader.h for the schema) or, with --demo, the bundled
+// Brandeis-like evaluation dataset.
+//
+// Examples:
+//   coursenav goal --demo --start "Fall 2013" --end "Fall 2015" --major
+//   coursenav topk --demo --start F12 --end F15 --major --ranking time --k 5
+//   coursenav explore --catalog dept.json --start "Fall 2014"
+//       --end "Fall 2016" --max-per-term 2 --format dot
+//   coursenav count --demo --start F12 --end F15 --goal "COSI11A and COSI21A"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "catalog/schedule_history.h"
+#include "core/filters.h"
+#include "data/brandeis_cs.h"
+#include "expr/parser.h"
+#include "graph/analytics.h"
+#include "graph/export.h"
+#include "parsers/catalog_loader.h"
+#include "parsers/transcript_parser.h"
+#include "requirements/expr_goal.h"
+#include "service/navigator.h"
+#include "service/visualizer.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+namespace {
+
+constexpr const char* kUsage = R"USAGE(usage: coursenav <command> [flags]
+
+commands:
+  explore    all learning paths to a deadline (deadline-driven)
+  goal       goal-driven learning paths with pruning
+  topk       ranked top-k learning paths
+  count      count paths without materializing the graph
+  options    show the option set for one status
+  audit      degree-audit a completed-course set (demo major)
+  validate   validate a catalog JSON file (and optional transcripts)
+
+common flags:
+  --catalog=<file>     catalog+schedule JSON (or --demo for the bundled one)
+  --demo               use the bundled 38-course evaluation dataset
+  --start=<term>       start semester, e.g. "Fall 2013" or F13
+  --end=<term>         end semester (deadline)
+  --completed=A,B      already-completed course codes
+  --max-per-term=<m>   course load limit (default 3)
+  --avoid=A,B          courses never to take
+  --max-nodes=<n>      node budget (0 = unlimited)
+  --max-seconds=<s>    wall-clock budget (0 = unlimited)
+
+goal/topk/count flags:
+  --goal=<expr>        boolean goal, e.g. "CS1 and (CS2 or CS3)"
+  --complete=A,B       goal: complete all listed courses
+  --major              goal: the demo dataset's CS major (demo only)
+
+topk flags:
+  --ranking=<name>     time | workload | bottleneck | reliability
+  --k=<k>              number of paths (default 10)
+  --release-end=<term> last term with a final schedule (reliability)
+  --max-term-hours=<h> filter: per-semester workload ceiling
+  --max-skips=<n>      filter: maximum skipped semesters
+
+output flags:
+  --format=<fmt>       summary | paths | json | dot   (default summary)
+  --limit=<n>          paths to print (default 10)
+)USAGE";
+
+struct CommonArgs {
+  std::unique_ptr<data::BrandeisDataset> demo;
+  std::unique_ptr<CatalogBundle> bundle;
+  const Catalog* catalog = nullptr;
+  const OfferingSchedule* schedule = nullptr;
+  EnrollmentStatus start;
+  Term end_term;
+  ExplorationOptions options;
+  std::shared_ptr<const Goal> goal;
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> SplitCodes(const std::string& csv) {
+  std::vector<std::string> out;
+  for (std::string_view field : SplitAndTrim(csv, ',')) {
+    out.emplace_back(field);
+  }
+  return out;
+}
+
+Result<CommonArgs> LoadCommon(const FlagSet& flags, bool need_goal) {
+  CommonArgs common;
+  if (flags.GetBool("demo")) {
+    common.demo = std::make_unique<data::BrandeisDataset>(
+        data::BuildBrandeisDataset());
+    common.catalog = &common.demo->catalog;
+    common.schedule = &common.demo->schedule;
+  } else {
+    COURSENAV_ASSIGN_OR_RETURN(std::string path,
+                               flags.GetString("catalog", ""));
+    if (path.empty()) {
+      return Status::InvalidArgument("need --catalog=<file> or --demo");
+    }
+    COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    COURSENAV_ASSIGN_OR_RETURN(CatalogBundle bundle,
+                               LoadCatalogFromJson(text));
+    common.bundle = std::make_unique<CatalogBundle>(std::move(bundle));
+    common.catalog = &common.bundle->catalog;
+    common.schedule = &common.bundle->schedule;
+  }
+
+  COURSENAV_ASSIGN_OR_RETURN(std::string start_text,
+                             flags.GetString("start", ""));
+  COURSENAV_ASSIGN_OR_RETURN(std::string end_text, flags.GetString("end", ""));
+  if (start_text.empty() || end_text.empty()) {
+    return Status::InvalidArgument("need --start and --end terms");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(Term start_term, Term::Parse(start_text));
+  COURSENAV_ASSIGN_OR_RETURN(common.end_term, Term::Parse(end_text));
+
+  COURSENAV_ASSIGN_OR_RETURN(std::string completed_csv,
+                             flags.GetString("completed", ""));
+  DynamicBitset completed = common.catalog->NewCourseSet();
+  if (!completed_csv.empty()) {
+    COURSENAV_ASSIGN_OR_RETURN(
+        completed, common.catalog->CourseSetFromCodes(
+                       SplitCodes(completed_csv)));
+  }
+  common.start = {start_term, std::move(completed)};
+
+  COURSENAV_ASSIGN_OR_RETURN(int64_t m, flags.GetInt("max-per-term", 3));
+  common.options.max_courses_per_term = static_cast<int>(m);
+  COURSENAV_ASSIGN_OR_RETURN(std::string avoid_csv,
+                             flags.GetString("avoid", ""));
+  if (!avoid_csv.empty()) {
+    COURSENAV_ASSIGN_OR_RETURN(
+        DynamicBitset avoid,
+        common.catalog->CourseSetFromCodes(SplitCodes(avoid_csv)));
+    common.options.avoid_courses = std::move(avoid);
+  }
+  COURSENAV_ASSIGN_OR_RETURN(int64_t max_nodes,
+                             flags.GetInt("max-nodes", 5'000'000));
+  common.options.limits.max_nodes = max_nodes;
+  COURSENAV_ASSIGN_OR_RETURN(double max_seconds,
+                             flags.GetDouble("max-seconds", 0.0));
+  common.options.limits.max_seconds = max_seconds;
+
+  if (need_goal) {
+    COURSENAV_ASSIGN_OR_RETURN(std::string goal_expr,
+                               flags.GetString("goal", ""));
+    COURSENAV_ASSIGN_OR_RETURN(std::string complete_csv,
+                               flags.GetString("complete", ""));
+    if (flags.GetBool("major")) {
+      if (common.demo == nullptr) {
+        return Status::InvalidArgument("--major requires --demo");
+      }
+      common.goal = common.demo->cs_major;
+    } else if (!goal_expr.empty()) {
+      COURSENAV_ASSIGN_OR_RETURN(expr::Expr parsed,
+                                 expr::ParseBoolExpr(goal_expr));
+      COURSENAV_ASSIGN_OR_RETURN(
+          std::shared_ptr<const ExprGoal> goal,
+          ExprGoal::Create(parsed, *common.catalog));
+      common.goal = goal;
+    } else if (!complete_csv.empty()) {
+      COURSENAV_ASSIGN_OR_RETURN(
+          std::shared_ptr<const ExprGoal> goal,
+          ExprGoal::CompleteAll(SplitCodes(complete_csv), *common.catalog));
+      common.goal = goal;
+    } else {
+      return Status::InvalidArgument(
+          "need --goal=<expr>, --complete=<codes>, or --major");
+    }
+  }
+  return common;
+}
+
+Status EmitGeneration(const FlagSet& flags, const CommonArgs& common,
+                      const GenerationResult& result) {
+  COURSENAV_ASSIGN_OR_RETURN(std::string format,
+                             flags.GetString("format", "summary"));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t limit, flags.GetInt("limit", 10));
+  if (!result.termination.ok()) {
+    std::printf("note: exploration stopped early (%s); results are "
+                "partial.\n",
+                result.termination.ToString().c_str());
+  }
+  if (format == "summary") {
+    std::printf("%s", RenderGraphSummary(result.graph, result.stats).c_str());
+    GraphAnalytics analytics =
+        AnalyzeLearningGraph(result.graph, *common.catalog);
+    std::printf("\n%s", analytics.ToString(*common.catalog).c_str());
+  } else if (format == "paths") {
+    std::vector<LearningPath> paths;
+    for (NodeId leaf : result.graph.GoalNodes()) {
+      paths.push_back(LearningPath::FromGraph(result.graph, leaf));
+      if (static_cast<int64_t>(paths.size()) >= limit) break;
+    }
+    std::printf("%s",
+                RenderPaths(paths, *common.catalog,
+                            static_cast<int>(limit))
+                    .c_str());
+  } else if (format == "json") {
+    std::printf("%s\n",
+                LearningGraphToJson(result.graph, *common.catalog)
+                    .Dump(2)
+                    .c_str());
+  } else if (format == "dot") {
+    std::printf("%s", LearningGraphToDot(result.graph, *common.catalog)
+                          .c_str());
+  } else {
+    return Status::InvalidArgument("unknown --format '" + format + "'");
+  }
+  return Status::OK();
+}
+
+Status RunExplore(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
+                             LoadCommon(flags, /*need_goal=*/false));
+  CourseNavigator navigator(common.catalog, common.schedule);
+  COURSENAV_ASSIGN_OR_RETURN(
+      GenerationResult result,
+      navigator.ExploreDeadline(common.start, common.end_term,
+                                common.options));
+  return EmitGeneration(flags, common, result);
+}
+
+Status RunGoal(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
+                             LoadCommon(flags, /*need_goal=*/true));
+  CourseNavigator navigator(common.catalog, common.schedule);
+  COURSENAV_ASSIGN_OR_RETURN(
+      GenerationResult result,
+      navigator.ExploreGoal(common.start, common.end_term, *common.goal,
+                            common.options));
+  return EmitGeneration(flags, common, result);
+}
+
+Status RunTopK(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
+                             LoadCommon(flags, /*need_goal=*/true));
+  COURSENAV_ASSIGN_OR_RETURN(std::string ranking_name,
+                             flags.GetString("ranking", "time"));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t k, flags.GetInt("k", 10));
+
+  std::unique_ptr<RankingFunction> ranking;
+  std::unique_ptr<OfferingProbabilityModel> model;
+  if (ranking_name == "time") {
+    ranking = std::make_unique<TimeRanking>();
+  } else if (ranking_name == "workload") {
+    ranking = std::make_unique<WorkloadRanking>(common.catalog);
+  } else if (ranking_name == "bottleneck") {
+    ranking = std::make_unique<BottleneckWorkloadRanking>(common.catalog);
+  } else if (ranking_name == "reliability") {
+    COURSENAV_ASSIGN_OR_RETURN(std::string release_text,
+                               flags.GetString("release-end", ""));
+    Term release_end = common.start.term.Next();
+    if (!release_text.empty()) {
+      COURSENAV_ASSIGN_OR_RETURN(release_end, Term::Parse(release_text));
+    }
+    ScheduleHistory history;
+    history.ImportSchedule(*common.schedule);
+    model = std::make_unique<OfferingProbabilityModel>(
+        common.schedule, release_end, std::move(history), 0.5);
+    ranking = std::make_unique<ReliabilityRanking>(model.get());
+  } else {
+    return Status::InvalidArgument("unknown --ranking '" + ranking_name +
+                                   "'");
+  }
+
+  CourseNavigator navigator(common.catalog, common.schedule);
+  COURSENAV_ASSIGN_OR_RETURN(
+      RankedResult result,
+      navigator.ExploreTopK(common.start, common.end_term, *common.goal,
+                            *ranking, static_cast<int>(k), common.options));
+
+  // Optional post-generation filters (§6 future work, implemented).
+  std::vector<std::shared_ptr<const PathFilter>> filters;
+  COURSENAV_ASSIGN_OR_RETURN(double max_hours,
+                             flags.GetDouble("max-term-hours", 0.0));
+  if (max_hours > 0) {
+    filters.push_back(std::make_shared<MaxTermWorkloadFilter>(
+        common.catalog, max_hours));
+  }
+  COURSENAV_ASSIGN_OR_RETURN(int64_t max_skips,
+                             flags.GetInt("max-skips", -1));
+  if (max_skips >= 0) {
+    filters.push_back(
+        std::make_shared<MaxSkipsFilter>(static_cast<int>(max_skips)));
+  }
+  std::vector<LearningPath> paths = std::move(result.paths);
+  if (!filters.empty()) {
+    AllOfFilter filter(std::move(filters));
+    size_t before = paths.size();
+    paths = FilterPaths(std::move(paths), filter);
+    std::printf("filters kept %zu of %zu paths (%s)\n\n", paths.size(),
+                before, filter.Describe().c_str());
+  }
+
+  COURSENAV_ASSIGN_OR_RETURN(std::string format,
+                             flags.GetString("format", "paths"));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t limit, flags.GetInt("limit", 10));
+  if (format == "json") {
+    std::printf("%s\n", LearningPathsToJson(paths, *common.catalog)
+                            .Dump(2)
+                            .c_str());
+  } else {
+    std::printf("%s", RenderPaths(paths, *common.catalog,
+                                  static_cast<int>(limit))
+                          .c_str());
+    std::printf("\nsearch stats: %s\n", result.stats.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+Status RunCount(const FlagSet& flags) {
+  bool has_goal = flags.Has("goal") || flags.Has("complete") ||
+                  flags.GetBool("major");
+  COURSENAV_ASSIGN_OR_RETURN(CommonArgs common, LoadCommon(flags, has_goal));
+  CourseNavigator navigator(common.catalog, common.schedule);
+  CountingResult counted;
+  if (has_goal) {
+    COURSENAV_ASSIGN_OR_RETURN(
+        counted, navigator.CountGoal(common.start, common.end_term,
+                                     *common.goal, common.options));
+  } else {
+    COURSENAV_ASSIGN_OR_RETURN(
+        counted, navigator.CountDeadline(common.start, common.end_term,
+                                         common.options));
+  }
+  std::printf("total paths: %llu%s\n",
+              static_cast<unsigned long long>(counted.total_paths),
+              counted.saturated ? " (saturated)" : "");
+  std::printf("goal paths: %llu\n",
+              static_cast<unsigned long long>(counted.goal_paths));
+  std::printf("distinct statuses: %lld, %.3f s\n",
+              static_cast<long long>(counted.distinct_statuses),
+              counted.runtime_seconds);
+  return Status::OK();
+}
+
+Status RunOptions(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
+                             LoadCommon(flags, /*need_goal=*/false));
+  DynamicBitset options = ComputeOptions(*common.catalog, *common.schedule,
+                                         common.start.completed,
+                                         common.start.term, common.options);
+  std::printf("options in %s: %s\n", common.start.term.ToString().c_str(),
+              common.catalog->CourseSetToString(options).c_str());
+  return Status::OK();
+}
+
+Status RunAudit(const FlagSet& flags) {
+  if (!flags.GetBool("demo")) {
+    return Status::InvalidArgument("audit currently supports --demo (the "
+                                   "bundled CS major)");
+  }
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  COURSENAV_ASSIGN_OR_RETURN(std::string completed_csv,
+                             flags.GetString("completed", ""));
+  DynamicBitset completed = dataset.catalog.NewCourseSet();
+  if (!completed_csv.empty()) {
+    COURSENAV_ASSIGN_OR_RETURN(
+        completed,
+        dataset.catalog.CourseSetFromCodes(SplitCodes(completed_csv)));
+  }
+  DegreeAudit audit = dataset.cs_major->Audit(completed);
+  std::printf("%s", audit.ToString(dataset.catalog).c_str());
+  return Status::OK();
+}
+
+Status RunValidate(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(std::string path, flags.GetString("catalog", ""));
+  if (path.empty()) return Status::InvalidArgument("need --catalog=<file>");
+  COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  COURSENAV_ASSIGN_OR_RETURN(CatalogBundle bundle, LoadCatalogFromJson(text));
+  std::printf("catalog OK: %d courses", bundle.catalog.size());
+  if (!bundle.schedule.empty()) {
+    std::printf(", offerings %s - %s",
+                bundle.schedule.first_term().ToString().c_str(),
+                bundle.schedule.last_term().ToString().c_str());
+  }
+  std::printf("\n");
+
+  COURSENAV_ASSIGN_OR_RETURN(std::string transcripts_path,
+                             flags.GetString("transcripts", ""));
+  if (!transcripts_path.empty()) {
+    COURSENAV_ASSIGN_OR_RETURN(std::string csv, ReadFile(transcripts_path));
+    COURSENAV_ASSIGN_OR_RETURN(std::vector<Transcript> transcripts,
+                               ParseTranscriptsCsv(csv, bundle.catalog));
+    std::printf("transcripts OK: %zu students\n", transcripts.size());
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  std::string command = argv[1];
+  FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+
+  Status status;
+  if (command == "explore") {
+    status = RunExplore(flags);
+  } else if (command == "goal") {
+    status = RunGoal(flags);
+  } else if (command == "topk") {
+    status = RunTopK(flags);
+  } else if (command == "count") {
+    status = RunCount(flags);
+  } else if (command == "options") {
+    status = RunOptions(flags);
+  } else if (command == "audit") {
+    status = RunAudit(flags);
+  } else if (command == "validate") {
+    status = RunValidate(flags);
+  } else if (command == "help" || command == "--help") {
+    std::printf("%s", kUsage);
+    return 0;
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace coursenav
+
+int main(int argc, char** argv) { return coursenav::Main(argc, argv); }
