@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counting.dir/ablation_counting.cc.o"
+  "CMakeFiles/ablation_counting.dir/ablation_counting.cc.o.d"
+  "ablation_counting"
+  "ablation_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

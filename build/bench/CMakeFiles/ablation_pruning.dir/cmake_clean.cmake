@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pruning.dir/ablation_pruning.cc.o"
+  "CMakeFiles/ablation_pruning.dir/ablation_pruning.cc.o.d"
+  "ablation_pruning"
+  "ablation_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ranked.dir/ablation_ranked.cc.o"
+  "CMakeFiles/ablation_ranked.dir/ablation_ranked.cc.o.d"
+  "ablation_ranked"
+  "ablation_ranked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ranked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

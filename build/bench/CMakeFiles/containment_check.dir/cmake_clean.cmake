@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_check.dir/containment_check.cc.o"
+  "CMakeFiles/containment_check.dir/containment_check.cc.o.d"
+  "containment_check"
+  "containment_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

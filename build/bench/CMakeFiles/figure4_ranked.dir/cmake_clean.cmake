@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_ranked.dir/figure4_ranked.cc.o"
+  "CMakeFiles/figure4_ranked.dir/figure4_ranked.cc.o.d"
+  "figure4_ranked"
+  "figure4_ranked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_ranked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure4_ranked.
+# This may be replaced when dependencies are built.

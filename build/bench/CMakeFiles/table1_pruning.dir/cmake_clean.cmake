@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pruning.dir/table1_pruning.cc.o"
+  "CMakeFiles/table1_pruning.dir/table1_pruning.cc.o.d"
+  "table1_pruning"
+  "table1_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_planner.dir/degree_planner.cpp.o"
+  "CMakeFiles/degree_planner.dir/degree_planner.cpp.o.d"
+  "degree_planner"
+  "degree_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_session.dir/interactive_session.cpp.o"
+  "CMakeFiles/interactive_session.dir/interactive_session.cpp.o.d"
+  "interactive_session"
+  "interactive_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

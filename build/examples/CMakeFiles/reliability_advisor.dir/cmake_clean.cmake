@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_advisor.dir/reliability_advisor.cpp.o"
+  "CMakeFiles/reliability_advisor.dir/reliability_advisor.cpp.o.d"
+  "reliability_advisor"
+  "reliability_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_explorer.dir/whatif_explorer.cpp.o"
+  "CMakeFiles/whatif_explorer.dir/whatif_explorer.cpp.o.d"
+  "whatif_explorer"
+  "whatif_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

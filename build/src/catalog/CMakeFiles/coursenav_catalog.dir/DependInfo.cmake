@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/catalog/CMakeFiles/coursenav_catalog.dir/catalog.cc.o" "gcc" "src/catalog/CMakeFiles/coursenav_catalog.dir/catalog.cc.o.d"
+  "/root/repo/src/catalog/schedule.cc" "src/catalog/CMakeFiles/coursenav_catalog.dir/schedule.cc.o" "gcc" "src/catalog/CMakeFiles/coursenav_catalog.dir/schedule.cc.o.d"
+  "/root/repo/src/catalog/schedule_history.cc" "src/catalog/CMakeFiles/coursenav_catalog.dir/schedule_history.cc.o" "gcc" "src/catalog/CMakeFiles/coursenav_catalog.dir/schedule_history.cc.o.d"
+  "/root/repo/src/catalog/term.cc" "src/catalog/CMakeFiles/coursenav_catalog.dir/term.cc.o" "gcc" "src/catalog/CMakeFiles/coursenav_catalog.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/coursenav_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_catalog.dir/catalog.cc.o"
+  "CMakeFiles/coursenav_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/coursenav_catalog.dir/schedule.cc.o"
+  "CMakeFiles/coursenav_catalog.dir/schedule.cc.o.d"
+  "CMakeFiles/coursenav_catalog.dir/schedule_history.cc.o"
+  "CMakeFiles/coursenav_catalog.dir/schedule_history.cc.o.d"
+  "CMakeFiles/coursenav_catalog.dir/term.cc.o"
+  "CMakeFiles/coursenav_catalog.dir/term.cc.o.d"
+  "libcoursenav_catalog.a"
+  "libcoursenav_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

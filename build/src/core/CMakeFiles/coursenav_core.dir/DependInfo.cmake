@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combinations.cc" "src/core/CMakeFiles/coursenav_core.dir/combinations.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/combinations.cc.o.d"
+  "/root/repo/src/core/counting.cc" "src/core/CMakeFiles/coursenav_core.dir/counting.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/counting.cc.o.d"
+  "/root/repo/src/core/deadline_generator.cc" "src/core/CMakeFiles/coursenav_core.dir/deadline_generator.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/deadline_generator.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/coursenav_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/enrollment.cc" "src/core/CMakeFiles/coursenav_core.dir/enrollment.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/enrollment.cc.o.d"
+  "/root/repo/src/core/filters.cc" "src/core/CMakeFiles/coursenav_core.dir/filters.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/filters.cc.o.d"
+  "/root/repo/src/core/goal_generator.cc" "src/core/CMakeFiles/coursenav_core.dir/goal_generator.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/goal_generator.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/coursenav_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/ranked_generator.cc" "src/core/CMakeFiles/coursenav_core.dir/ranked_generator.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/ranked_generator.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/coursenav_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/coursenav_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/coursenav_core.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/coursenav_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/coursenav_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/coursenav_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/coursenav_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/requirements/CMakeFiles/coursenav_requirements.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_core.dir/combinations.cc.o"
+  "CMakeFiles/coursenav_core.dir/combinations.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/counting.cc.o"
+  "CMakeFiles/coursenav_core.dir/counting.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/deadline_generator.cc.o"
+  "CMakeFiles/coursenav_core.dir/deadline_generator.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/engine.cc.o"
+  "CMakeFiles/coursenav_core.dir/engine.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/enrollment.cc.o"
+  "CMakeFiles/coursenav_core.dir/enrollment.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/filters.cc.o"
+  "CMakeFiles/coursenav_core.dir/filters.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/goal_generator.cc.o"
+  "CMakeFiles/coursenav_core.dir/goal_generator.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/pruning.cc.o"
+  "CMakeFiles/coursenav_core.dir/pruning.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/ranked_generator.cc.o"
+  "CMakeFiles/coursenav_core.dir/ranked_generator.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/ranking.cc.o"
+  "CMakeFiles/coursenav_core.dir/ranking.cc.o.d"
+  "CMakeFiles/coursenav_core.dir/stats.cc.o"
+  "CMakeFiles/coursenav_core.dir/stats.cc.o.d"
+  "libcoursenav_core.a"
+  "libcoursenav_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_data.dir/brandeis_cs.cc.o"
+  "CMakeFiles/coursenav_data.dir/brandeis_cs.cc.o.d"
+  "CMakeFiles/coursenav_data.dir/synthetic.cc.o"
+  "CMakeFiles/coursenav_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/coursenav_data.dir/transcripts.cc.o"
+  "CMakeFiles/coursenav_data.dir/transcripts.cc.o.d"
+  "libcoursenav_data.a"
+  "libcoursenav_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

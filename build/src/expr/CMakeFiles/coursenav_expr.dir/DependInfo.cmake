@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/compiled_expr.cc" "src/expr/CMakeFiles/coursenav_expr.dir/compiled_expr.cc.o" "gcc" "src/expr/CMakeFiles/coursenav_expr.dir/compiled_expr.cc.o.d"
+  "/root/repo/src/expr/dnf.cc" "src/expr/CMakeFiles/coursenav_expr.dir/dnf.cc.o" "gcc" "src/expr/CMakeFiles/coursenav_expr.dir/dnf.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/coursenav_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/coursenav_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/expr/CMakeFiles/coursenav_expr.dir/parser.cc.o" "gcc" "src/expr/CMakeFiles/coursenav_expr.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

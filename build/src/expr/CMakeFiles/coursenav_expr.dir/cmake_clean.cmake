@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_expr.dir/compiled_expr.cc.o"
+  "CMakeFiles/coursenav_expr.dir/compiled_expr.cc.o.d"
+  "CMakeFiles/coursenav_expr.dir/dnf.cc.o"
+  "CMakeFiles/coursenav_expr.dir/dnf.cc.o.d"
+  "CMakeFiles/coursenav_expr.dir/expr.cc.o"
+  "CMakeFiles/coursenav_expr.dir/expr.cc.o.d"
+  "CMakeFiles/coursenav_expr.dir/parser.cc.o"
+  "CMakeFiles/coursenav_expr.dir/parser.cc.o.d"
+  "libcoursenav_expr.a"
+  "libcoursenav_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

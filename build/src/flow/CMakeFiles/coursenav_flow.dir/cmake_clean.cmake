@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_flow.dir/bipartite.cc.o"
+  "CMakeFiles/coursenav_flow.dir/bipartite.cc.o.d"
+  "CMakeFiles/coursenav_flow.dir/flow_network.cc.o"
+  "CMakeFiles/coursenav_flow.dir/flow_network.cc.o.d"
+  "libcoursenav_flow.a"
+  "libcoursenav_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

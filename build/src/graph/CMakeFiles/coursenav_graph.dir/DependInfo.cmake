@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analytics.cc" "src/graph/CMakeFiles/coursenav_graph.dir/analytics.cc.o" "gcc" "src/graph/CMakeFiles/coursenav_graph.dir/analytics.cc.o.d"
+  "/root/repo/src/graph/export.cc" "src/graph/CMakeFiles/coursenav_graph.dir/export.cc.o" "gcc" "src/graph/CMakeFiles/coursenav_graph.dir/export.cc.o.d"
+  "/root/repo/src/graph/learning_graph.cc" "src/graph/CMakeFiles/coursenav_graph.dir/learning_graph.cc.o" "gcc" "src/graph/CMakeFiles/coursenav_graph.dir/learning_graph.cc.o.d"
+  "/root/repo/src/graph/path.cc" "src/graph/CMakeFiles/coursenav_graph.dir/path.cc.o" "gcc" "src/graph/CMakeFiles/coursenav_graph.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/coursenav_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/coursenav_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

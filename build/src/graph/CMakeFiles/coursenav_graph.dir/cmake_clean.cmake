@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_graph.dir/analytics.cc.o"
+  "CMakeFiles/coursenav_graph.dir/analytics.cc.o.d"
+  "CMakeFiles/coursenav_graph.dir/export.cc.o"
+  "CMakeFiles/coursenav_graph.dir/export.cc.o.d"
+  "CMakeFiles/coursenav_graph.dir/learning_graph.cc.o"
+  "CMakeFiles/coursenav_graph.dir/learning_graph.cc.o.d"
+  "CMakeFiles/coursenav_graph.dir/path.cc.o"
+  "CMakeFiles/coursenav_graph.dir/path.cc.o.d"
+  "libcoursenav_graph.a"
+  "libcoursenav_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoursenav_graph.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parsers/catalog_loader.cc" "src/parsers/CMakeFiles/coursenav_parsers.dir/catalog_loader.cc.o" "gcc" "src/parsers/CMakeFiles/coursenav_parsers.dir/catalog_loader.cc.o.d"
+  "/root/repo/src/parsers/prereq_parser.cc" "src/parsers/CMakeFiles/coursenav_parsers.dir/prereq_parser.cc.o" "gcc" "src/parsers/CMakeFiles/coursenav_parsers.dir/prereq_parser.cc.o.d"
+  "/root/repo/src/parsers/schedule_parser.cc" "src/parsers/CMakeFiles/coursenav_parsers.dir/schedule_parser.cc.o" "gcc" "src/parsers/CMakeFiles/coursenav_parsers.dir/schedule_parser.cc.o.d"
+  "/root/repo/src/parsers/transcript_parser.cc" "src/parsers/CMakeFiles/coursenav_parsers.dir/transcript_parser.cc.o" "gcc" "src/parsers/CMakeFiles/coursenav_parsers.dir/transcript_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/coursenav_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/coursenav_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/coursenav_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_parsers.dir/catalog_loader.cc.o"
+  "CMakeFiles/coursenav_parsers.dir/catalog_loader.cc.o.d"
+  "CMakeFiles/coursenav_parsers.dir/prereq_parser.cc.o"
+  "CMakeFiles/coursenav_parsers.dir/prereq_parser.cc.o.d"
+  "CMakeFiles/coursenav_parsers.dir/schedule_parser.cc.o"
+  "CMakeFiles/coursenav_parsers.dir/schedule_parser.cc.o.d"
+  "CMakeFiles/coursenav_parsers.dir/transcript_parser.cc.o"
+  "CMakeFiles/coursenav_parsers.dir/transcript_parser.cc.o.d"
+  "libcoursenav_parsers.a"
+  "libcoursenav_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/requirements/credit_goal.cc" "src/requirements/CMakeFiles/coursenav_requirements.dir/credit_goal.cc.o" "gcc" "src/requirements/CMakeFiles/coursenav_requirements.dir/credit_goal.cc.o.d"
+  "/root/repo/src/requirements/degree_requirement.cc" "src/requirements/CMakeFiles/coursenav_requirements.dir/degree_requirement.cc.o" "gcc" "src/requirements/CMakeFiles/coursenav_requirements.dir/degree_requirement.cc.o.d"
+  "/root/repo/src/requirements/expr_goal.cc" "src/requirements/CMakeFiles/coursenav_requirements.dir/expr_goal.cc.o" "gcc" "src/requirements/CMakeFiles/coursenav_requirements.dir/expr_goal.cc.o.d"
+  "/root/repo/src/requirements/goal.cc" "src/requirements/CMakeFiles/coursenav_requirements.dir/goal.cc.o" "gcc" "src/requirements/CMakeFiles/coursenav_requirements.dir/goal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/coursenav_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/coursenav_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/coursenav_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

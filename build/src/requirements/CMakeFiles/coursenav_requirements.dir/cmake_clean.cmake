@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_requirements.dir/credit_goal.cc.o"
+  "CMakeFiles/coursenav_requirements.dir/credit_goal.cc.o.d"
+  "CMakeFiles/coursenav_requirements.dir/degree_requirement.cc.o"
+  "CMakeFiles/coursenav_requirements.dir/degree_requirement.cc.o.d"
+  "CMakeFiles/coursenav_requirements.dir/expr_goal.cc.o"
+  "CMakeFiles/coursenav_requirements.dir/expr_goal.cc.o.d"
+  "CMakeFiles/coursenav_requirements.dir/goal.cc.o"
+  "CMakeFiles/coursenav_requirements.dir/goal.cc.o.d"
+  "libcoursenav_requirements.a"
+  "libcoursenav_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coursenav_requirements.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_service.dir/navigator.cc.o"
+  "CMakeFiles/coursenav_service.dir/navigator.cc.o.d"
+  "CMakeFiles/coursenav_service.dir/robustness.cc.o"
+  "CMakeFiles/coursenav_service.dir/robustness.cc.o.d"
+  "CMakeFiles/coursenav_service.dir/session.cc.o"
+  "CMakeFiles/coursenav_service.dir/session.cc.o.d"
+  "CMakeFiles/coursenav_service.dir/visualizer.cc.o"
+  "CMakeFiles/coursenav_service.dir/visualizer.cc.o.d"
+  "libcoursenav_service.a"
+  "libcoursenav_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_util.dir/bitset.cc.o"
+  "CMakeFiles/coursenav_util.dir/bitset.cc.o.d"
+  "CMakeFiles/coursenav_util.dir/flags.cc.o"
+  "CMakeFiles/coursenav_util.dir/flags.cc.o.d"
+  "CMakeFiles/coursenav_util.dir/json.cc.o"
+  "CMakeFiles/coursenav_util.dir/json.cc.o.d"
+  "CMakeFiles/coursenav_util.dir/logging.cc.o"
+  "CMakeFiles/coursenav_util.dir/logging.cc.o.d"
+  "CMakeFiles/coursenav_util.dir/random.cc.o"
+  "CMakeFiles/coursenav_util.dir/random.cc.o.d"
+  "CMakeFiles/coursenav_util.dir/status.cc.o"
+  "CMakeFiles/coursenav_util.dir/status.cc.o.d"
+  "CMakeFiles/coursenav_util.dir/string_util.cc.o"
+  "CMakeFiles/coursenav_util.dir/string_util.cc.o.d"
+  "libcoursenav_util.a"
+  "libcoursenav_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

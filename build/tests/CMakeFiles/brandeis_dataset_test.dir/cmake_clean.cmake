@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brandeis_dataset_test.dir/brandeis_dataset_test.cc.o"
+  "CMakeFiles/brandeis_dataset_test.dir/brandeis_dataset_test.cc.o.d"
+  "brandeis_dataset_test"
+  "brandeis_dataset_test.pdb"
+  "brandeis_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brandeis_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

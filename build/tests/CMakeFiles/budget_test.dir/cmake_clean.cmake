@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_test.dir/budget_test.cc.o"
+  "CMakeFiles/budget_test.dir/budget_test.cc.o.d"
+  "budget_test"
+  "budget_test.pdb"
+  "budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

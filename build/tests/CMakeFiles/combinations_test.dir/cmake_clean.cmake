@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combinations_test.dir/combinations_test.cc.o"
+  "CMakeFiles/combinations_test.dir/combinations_test.cc.o.d"
+  "combinations_test"
+  "combinations_test.pdb"
+  "combinations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combinations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

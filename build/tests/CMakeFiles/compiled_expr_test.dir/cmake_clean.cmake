@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_expr_test.dir/compiled_expr_test.cc.o"
+  "CMakeFiles/compiled_expr_test.dir/compiled_expr_test.cc.o.d"
+  "compiled_expr_test"
+  "compiled_expr_test.pdb"
+  "compiled_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_goal_test.dir/credit_goal_test.cc.o"
+  "CMakeFiles/credit_goal_test.dir/credit_goal_test.cc.o.d"
+  "credit_goal_test"
+  "credit_goal_test.pdb"
+  "credit_goal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_goal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_generator_test.dir/deadline_generator_test.cc.o"
+  "CMakeFiles/deadline_generator_test.dir/deadline_generator_test.cc.o.d"
+  "deadline_generator_test"
+  "deadline_generator_test.pdb"
+  "deadline_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnf_test.dir/dnf_test.cc.o"
+  "CMakeFiles/dnf_test.dir/dnf_test.cc.o.d"
+  "dnf_test"
+  "dnf_test.pdb"
+  "dnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

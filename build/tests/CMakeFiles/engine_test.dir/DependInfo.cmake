@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/coursenav_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/coursenav_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parsers/CMakeFiles/coursenav_parsers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coursenav_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/requirements/CMakeFiles/coursenav_requirements.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/coursenav_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/coursenav_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/coursenav_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/coursenav_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coursenav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_generator_test.dir/goal_generator_test.cc.o"
+  "CMakeFiles/goal_generator_test.dir/goal_generator_test.cc.o.d"
+  "goal_generator_test"
+  "goal_generator_test.pdb"
+  "goal_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

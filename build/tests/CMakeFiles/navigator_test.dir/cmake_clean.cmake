@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/navigator_test.dir/navigator_test.cc.o"
+  "CMakeFiles/navigator_test.dir/navigator_test.cc.o.d"
+  "navigator_test"
+  "navigator_test.pdb"
+  "navigator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/navigator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

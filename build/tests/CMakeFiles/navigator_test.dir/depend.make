@@ -1,0 +1,2 @@
+# Empty dependencies file for navigator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsers_test.dir/parsers_test.cc.o"
+  "CMakeFiles/parsers_test.dir/parsers_test.cc.o.d"
+  "parsers_test"
+  "parsers_test.pdb"
+  "parsers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_generator_test.dir/ranked_generator_test.cc.o"
+  "CMakeFiles/ranked_generator_test.dir/ranked_generator_test.cc.o.d"
+  "ranked_generator_test"
+  "ranked_generator_test.pdb"
+  "ranked_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

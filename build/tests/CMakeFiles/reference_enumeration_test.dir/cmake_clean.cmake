@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_enumeration_test.dir/reference_enumeration_test.cc.o"
+  "CMakeFiles/reference_enumeration_test.dir/reference_enumeration_test.cc.o.d"
+  "reference_enumeration_test"
+  "reference_enumeration_test.pdb"
+  "reference_enumeration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_enumeration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

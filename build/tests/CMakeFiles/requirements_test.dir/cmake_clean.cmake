@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/requirements_test.dir/requirements_test.cc.o"
+  "CMakeFiles/requirements_test.dir/requirements_test.cc.o.d"
+  "requirements_test"
+  "requirements_test.pdb"
+  "requirements_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/requirements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcripts_test.dir/transcripts_test.cc.o"
+  "CMakeFiles/transcripts_test.dir/transcripts_test.cc.o.d"
+  "transcripts_test"
+  "transcripts_test.pdb"
+  "transcripts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcripts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

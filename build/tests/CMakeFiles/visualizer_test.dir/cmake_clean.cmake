@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualizer_test.dir/visualizer_test.cc.o"
+  "CMakeFiles/visualizer_test.dir/visualizer_test.cc.o.d"
+  "visualizer_test"
+  "visualizer_test.pdb"
+  "visualizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

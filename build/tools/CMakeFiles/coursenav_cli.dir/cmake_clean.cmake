@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coursenav_cli.dir/coursenav_cli.cc.o"
+  "CMakeFiles/coursenav_cli.dir/coursenav_cli.cc.o.d"
+  "coursenav"
+  "coursenav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coursenav_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
