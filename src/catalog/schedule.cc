@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/fault_injection.h"
+
 namespace coursenav {
 
 OfferingSchedule::OfferingSchedule(int num_courses)
@@ -54,6 +56,26 @@ bool OfferingSchedule::IsOffered(CourseId course, Term term) const {
 const DynamicBitset& OfferingSchedule::OfferedIn(Term term) const {
   auto it = by_term_.find(term.index());
   if (it == by_term_.end()) return empty_set_;
+  // Fault seam: simulated registrar churn. When the schedule/churn site
+  // fires, this read observes the term's offerings with one deterministic
+  // course withdrawn — the mid-session "offering cancelled" race the chaos
+  // tests exercise. Readers must stay correct under inconsistent reads.
+  if (FaultInjector* injector = ActiveFaultInjector();
+      injector != nullptr &&
+      injector->ShouldInject(kFaultSiteScheduleChurn)) {
+    int offered = it->second.count();
+    if (offered > 0) {
+      churn_scratch_ = it->second;
+      int drop = static_cast<int>(
+          injector->Draw(kFaultSiteScheduleChurn) %
+          static_cast<uint64_t>(offered));
+      int seen = 0;
+      churn_scratch_.ForEach([&](int id) {
+        if (seen++ == drop) churn_scratch_.reset(id);
+      });
+      return churn_scratch_;
+    }
+  }
   return it->second;
 }
 

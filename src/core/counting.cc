@@ -7,7 +7,8 @@
 
 #include "core/combinations.h"
 #include "core/engine.h"
-#include "util/stopwatch.h"
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
 
 namespace coursenav {
 
@@ -32,6 +33,7 @@ class CountingRun {
         end_term_(end_term),
         goal_(goal),
         engine_(catalog, schedule, options, start_term, end_term),
+        budget_(options.limits.max_seconds, options.cancel),
         oracle_(goal == nullptr
                     ? nullptr
                     : std::make_unique<internal::PruningOracle>(
@@ -48,7 +50,7 @@ class CountingRun {
     result.goal_paths = counts->goal;
     result.saturated = saturated_;
     result.distinct_statuses = static_cast<int64_t>(memo_.size());
-    result.runtime_seconds = watch_.ElapsedSeconds();
+    result.runtime_seconds = budget_.ElapsedSeconds();
     return result;
   }
 
@@ -130,17 +132,18 @@ class CountingRun {
     return counts;
   }
 
-  Status CheckBudget() const {
+  Status CheckBudget() {
     const ExplorationLimits& limits = options_.limits;
     if (limits.max_nodes > 0 &&
         static_cast<int64_t>(memo_.size()) >= limits.max_nodes) {
       return Status::ResourceExhausted("status budget reached while counting");
     }
-    if (limits.max_seconds > 0 &&
-        watch_.ElapsedSeconds() >= limits.max_seconds) {
-      return Status::DeadlineExceeded("time budget reached while counting");
+    if (FaultInjector* injector = ActiveFaultInjector();
+        injector != nullptr && injector->ShouldInject(kFaultSiteCountAlloc)) {
+      return Status::ResourceExhausted(
+          "simulated allocation failure (fault injection)");
     }
-    return Status::OK();
+    return budget_.Check();
   }
 
   const Catalog& catalog_;
@@ -149,10 +152,10 @@ class CountingRun {
   Term end_term_;
   const Goal* goal_;
   internal::ExplorationEngine engine_;
+  DeadlineBudget budget_;
   std::unique_ptr<internal::PruningOracle> oracle_;
   ExplorationStats scratch_stats_;
   std::unordered_map<MemoKey, Counts, MemoKeyHash> memo_;
-  Stopwatch watch_;
   bool saturated_ = false;
 };
 

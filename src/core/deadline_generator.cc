@@ -4,7 +4,6 @@
 
 #include "core/combinations.h"
 #include "core/engine.h"
-#include "util/stopwatch.h"
 
 namespace coursenav {
 
@@ -18,7 +17,6 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
     return Status::InvalidArgument("end semester must be after the start");
   }
 
-  Stopwatch watch;
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
   GenerationResult result;
@@ -36,7 +34,7 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
   std::vector<NodeId> worklist{root};
 
   while (!worklist.empty()) {
-    Status budget = engine.CheckBudget(graph, watch);
+    Status budget = engine.CheckBudget(graph);
     if (!budget.ok()) {
       result.termination = budget;
       break;
@@ -78,12 +76,12 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
       bool completed_enumeration = ForEachSelection(
           node_options, 1, options.max_courses_per_term,
           [&](const DynamicBitset& selection) {
-            if (!engine.CheckBudget(graph, watch).ok()) return false;
+            if (!engine.CheckBudget(graph).ok()) return false;
             add_child(selection);
             return true;
           });
       if (!completed_enumeration) {
-        result.termination = engine.CheckBudget(graph, watch);
+        result.termination = engine.CheckBudget(graph);
         break;
       }
     }
@@ -105,7 +103,7 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
     }
   }
 
-  stats.runtime_seconds = watch.ElapsedSeconds();
+  stats.runtime_seconds = engine.ElapsedSeconds();
   if (!result.termination.ok()) return result;
 
   result.termination = Status::OK();

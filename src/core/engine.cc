@@ -9,6 +9,7 @@ ExplorationEngine::ExplorationEngine(const Catalog& catalog,
                                      const ExplorationOptions& options,
                                      Term start, Term end)
     : options_(options),
+      budget_(options.limits.max_seconds, options.cancel),
       start_(start),
       end_(end),
       empty_set_(catalog.size()) {
@@ -42,8 +43,11 @@ bool ExplorationEngine::FutureCourseExists(const DynamicBitset& completed,
   return !remaining.empty();
 }
 
-Status ExplorationEngine::CheckBudget(const LearningGraph& graph,
-                                      const Stopwatch& watch) const {
+Status ExplorationEngine::CheckBudget(const LearningGraph& graph) {
+  if (graph.allocation_failed()) {
+    return Status::ResourceExhausted(
+        "simulated allocation failure (fault injection)");
+  }
   const ExplorationLimits& limits = options_.limits;
   if (limits.max_nodes > 0 && graph.num_nodes() >= limits.max_nodes) {
     return Status::ResourceExhausted(
@@ -56,11 +60,7 @@ Status ExplorationEngine::CheckBudget(const LearningGraph& graph,
         StrFormat("memory budget of %zu bytes reached",
                   limits.max_memory_bytes));
   }
-  if (limits.max_seconds > 0 && watch.ElapsedSeconds() >= limits.max_seconds) {
-    return Status::DeadlineExceeded(
-        StrFormat("time budget of %.3fs reached", limits.max_seconds));
-  }
-  return Status::OK();
+  return budget_.Check();
 }
 
 }  // namespace coursenav::internal

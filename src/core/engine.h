@@ -10,8 +10,8 @@
 #include "core/stats.h"
 #include "graph/learning_graph.h"
 #include "util/bitset.h"
+#include "util/cancellation.h"
 #include "util/result.h"
-#include "util/stopwatch.h"
 
 namespace coursenav::internal {
 
@@ -38,15 +38,24 @@ class ExplorationEngine {
   bool FutureCourseExists(const DynamicBitset& completed, Term term) const;
 
   /// OK while within budget; ResourceExhausted / DeadlineExceeded once a
-  /// limit in `options.limits` is hit.
-  Status CheckBudget(const LearningGraph& graph,
-                     const Stopwatch& watch) const;
+  /// limit in `options.limits` is hit, Cancelled once the options' token
+  /// fires. The deadline and cancel flag are polled through the engine's
+  /// DeadlineBudget (amortized clock reads), so this is cheap enough to
+  /// call per enumerated selection. Verdicts are sticky.
+  Status CheckBudget(const LearningGraph& graph);
+
+  /// Wall-clock seconds since the engine was constructed (the generation
+  /// run's runtime, for stats reporting).
+  double ElapsedSeconds() const { return budget_.ElapsedSeconds(); }
+
+  DeadlineBudget& budget() { return budget_; }
 
   Term start() const { return start_; }
   Term end() const { return end_; }
 
  private:
   const ExplorationOptions& options_;
+  DeadlineBudget budget_;
   Term start_;
   Term end_;
   /// available_from_[k] = offerings in [start+k, end-1] minus avoid.

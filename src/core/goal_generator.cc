@@ -5,7 +5,6 @@
 
 #include "core/combinations.h"
 #include "core/engine.h"
-#include "util/stopwatch.h"
 
 namespace coursenav {
 
@@ -19,7 +18,6 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
     return Status::InvalidArgument("end semester must be after the start");
   }
 
-  Stopwatch watch;
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
   internal::PruningOracle oracle(goal, engine, options, config);
@@ -36,7 +34,7 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
 
   std::vector<NodeId> worklist{root};
   while (!worklist.empty()) {
-    Status budget = engine.CheckBudget(graph, watch);
+    Status budget = engine.CheckBudget(graph);
     if (!budget.ok()) {
       result.termination = budget;
       break;
@@ -100,12 +98,12 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
       bool completed_enumeration = ForEachSelection(
           node_options, min_selection, options.max_courses_per_term,
           [&](const DynamicBitset& selection) {
-            if (!engine.CheckBudget(graph, watch).ok()) return false;
+            if (!engine.CheckBudget(graph).ok()) return false;
             consider_child(selection);
             return true;
           });
       if (!completed_enumeration) {
-        result.termination = engine.CheckBudget(graph, watch);
+        result.termination = engine.CheckBudget(graph);
         break;
       }
     }
@@ -124,7 +122,7 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
     }
   }
 
-  stats.runtime_seconds = watch.ElapsedSeconds();
+  stats.runtime_seconds = engine.ElapsedSeconds();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "util/bitset.h"
+#include "util/cancellation.h"
 
 namespace coursenav {
 
@@ -38,6 +39,11 @@ struct ExplorationOptions {
   bool allow_voluntary_skip = false;
 
   ExplorationLimits limits;
+
+  /// Cooperative cancellation: generators poll this token at every budget
+  /// check and stop with a Cancelled termination within one node expansion
+  /// of RequestCancel(). The default token is inert (never cancelled).
+  CancellationToken cancel;
 };
 
 }  // namespace coursenav

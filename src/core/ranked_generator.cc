@@ -7,7 +7,6 @@
 #include "core/combinations.h"
 #include "core/engine.h"
 #include "graph/learning_graph.h"
-#include "util/stopwatch.h"
 
 namespace coursenav {
 
@@ -48,7 +47,6 @@ Result<RankedResult> GenerateRankedPaths(
     return Status::InvalidArgument("k must be >= 1");
   }
 
-  Stopwatch watch;
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
   internal::PruningOracle oracle(goal, engine, options, config);
@@ -73,7 +71,7 @@ Result<RankedResult> GenerateRankedPaths(
        sequence++, root});
 
   while (!frontier.empty() && static_cast<int>(result.paths.size()) < k) {
-    Status budget = engine.CheckBudget(graph, watch);
+    Status budget = engine.CheckBudget(graph);
     if (!budget.ok()) {
       result.termination = budget;
       break;
@@ -141,12 +139,12 @@ Result<RankedResult> GenerateRankedPaths(
       bool completed_enumeration = ForEachSelection(
           node_options, min_selection, options.max_courses_per_term,
           [&](const DynamicBitset& selection) {
-            if (!engine.CheckBudget(graph, watch).ok()) return false;
+            if (!engine.CheckBudget(graph).ok()) return false;
             consider_child(selection);
             return true;
           });
       if (!completed_enumeration) {
-        result.termination = engine.CheckBudget(graph, watch);
+        result.termination = engine.CheckBudget(graph);
         break;
       }
     }
@@ -164,7 +162,7 @@ Result<RankedResult> GenerateRankedPaths(
     }
   }
 
-  stats.runtime_seconds = watch.ElapsedSeconds();
+  stats.runtime_seconds = engine.ElapsedSeconds();
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/fault_injection.h"
+
 namespace coursenav {
 
 namespace {
@@ -47,6 +49,10 @@ NodeId LearningGraph::AddChildWithPathCost(NodeId parent,
                                            double edge_cost,
                                            double path_cost) {
   assert(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+  if (FaultInjector* injector = ActiveFaultInjector();
+      injector != nullptr && injector->ShouldInject(kFaultSiteGraphAlloc)) {
+    allocation_failed_ = true;
+  }
 
   NodeId child_id = static_cast<NodeId>(nodes_.size());
   EdgeId edge_id = static_cast<EdgeId>(edges_.size());

@@ -98,10 +98,17 @@ class LearningGraph {
   /// Approximate heap bytes held by nodes, edges, and their bitsets.
   size_t MemoryUsage() const { return memory_bytes_; }
 
+  /// True once the fault injector simulated an allocation failure in this
+  /// graph's arena (see util/fault_injection.h). Generators surface it as
+  /// ResourceExhausted at their next budget check; the node materialized by
+  /// the failing call is still valid, so the graph stays well-formed.
+  bool allocation_failed() const { return allocation_failed_; }
+
  private:
   std::vector<LearningNode> nodes_;
   std::vector<LearningEdge> edges_;
   size_t memory_bytes_ = 0;
+  bool allocation_failed_ = false;
 };
 
 }  // namespace coursenav

@@ -1,0 +1,271 @@
+#include "service/degradation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/cancellation.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+namespace {
+
+bool IsBudgetStatus(const Status& status) {
+  return status.IsResourceExhausted() || status.IsDeadlineExceeded();
+}
+
+int64_t ResponseNodes(const ExplorationResponse& response) {
+  if (response.generation.has_value()) {
+    return response.generation->stats.nodes_created;
+  }
+  if (response.ranked.has_value()) {
+    return response.ranked->stats.nodes_created;
+  }
+  return 0;
+}
+
+const Status& ResponseTermination(const ExplorationResponse& response) {
+  static const Status ok = Status::OK();
+  if (response.generation.has_value()) return response.generation->termination;
+  if (response.ranked.has_value()) return response.ranked->termination;
+  return ok;
+}
+
+/// True when the response carries anything a caller could use: a nonempty
+/// partial graph or at least one ranked path.
+bool HasPartialPayload(const ExplorationResponse& response) {
+  if (response.generation.has_value()) {
+    return response.generation->graph.num_nodes() > 0;
+  }
+  if (response.ranked.has_value()) return !response.ranked->paths.empty();
+  return false;
+}
+
+}  // namespace
+
+std::string_view DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kFull:
+      return "full";
+    case DegradationLevel::kAggressivePruning:
+      return "aggressive-pruning";
+    case DegradationLevel::kRankedSmallK:
+      return "ranked-small-k";
+    case DegradationLevel::kCountOnly:
+      return "count-only";
+  }
+  return "unknown";
+}
+
+std::string DegradationReport::ToString() const {
+  std::string out = StrFormat(
+      "degradation: served at '%s'%s%s\n",
+      std::string(DegradationLevelName(level_served)).c_str(),
+      degraded ? " (degraded)" : "",
+      exhausted ? ", every rung exhausted — answer is partial" : "");
+  for (const DegradationRung& rung : rungs) {
+    if (!rung.attempted) {
+      out += StrFormat("  [%s] skipped: %s\n",
+                       std::string(DegradationLevelName(rung.level)).c_str(),
+                       rung.outcome.ToString().c_str());
+      continue;
+    }
+    out += StrFormat(
+        "  [%s] %s — %.1f/%.1f ms, %lld nodes\n",
+        std::string(DegradationLevelName(rung.level)).c_str(),
+        rung.outcome.ok() ? "served" : rung.outcome.ToString().c_str(),
+        rung.seconds_spent * 1e3, rung.seconds_budget * 1e3,
+        static_cast<long long>(rung.nodes_created));
+  }
+  return out;
+}
+
+std::vector<DegradationLevel> DefaultLadder(TaskType type) {
+  switch (type) {
+    case TaskType::kDeadlineDriven:
+      return {DegradationLevel::kFull, DegradationLevel::kCountOnly};
+    case TaskType::kGoalDriven:
+      return {DegradationLevel::kFull, DegradationLevel::kAggressivePruning,
+              DegradationLevel::kCountOnly};
+    case TaskType::kRanked:
+      return {DegradationLevel::kFull, DegradationLevel::kRankedSmallK,
+              DegradationLevel::kCountOnly};
+  }
+  return {DegradationLevel::kFull};
+}
+
+Result<DegradedResponse> ExploreWithDegradation(
+    const CourseNavigator& navigator, const ExplorationRequest& request,
+    const DegradationPolicy& policy) {
+  std::vector<DegradationLevel> ladder =
+      policy.ladder.empty() ? DefaultLadder(request.type) : policy.ladder;
+  if (ladder.empty()) {
+    return Status::InvalidArgument("degradation ladder is empty");
+  }
+  double time_fraction = policy.time_fraction;
+  if (time_fraction <= 0.0 || time_fraction > 1.0) time_fraction = 0.5;
+
+  // The ladder's overall clock: every rung's slice comes out of the
+  // caller's single deadline, so degraded answers arrive inside it.
+  DeadlineBudget overall(request.options.limits.max_seconds,
+                         request.options.cancel);
+
+  DegradedResponse best;  // best partial answer salvaged so far
+  bool have_partial = false;
+  DegradationLevel partial_level = DegradationLevel::kFull;
+  DegradationReport report;
+
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const DegradationLevel level = ladder[i];
+    const bool last_rung = (i + 1 == ladder.size());
+    DegradationRung rung;
+    rung.level = level;
+
+    if (request.options.cancel.IsCancelled()) {
+      return Status::Cancelled("cancelled by caller");
+    }
+
+    // Slice the remaining time for this rung.
+    double rung_seconds = 0.0;  // 0 = unlimited (request had no deadline)
+    if (overall.max_seconds() > 0) {
+      double remaining = overall.RemainingSeconds();
+      if (remaining <= 0) {
+        rung.attempted = false;
+        rung.outcome =
+            Status::DeadlineExceeded("no time remaining for this rung");
+        report.rungs.push_back(std::move(rung));
+        continue;
+      }
+      rung_seconds = last_rung ? remaining : remaining * time_fraction;
+    }
+
+    // Build the rung's request.
+    ExplorationRequest attempt = request;
+    attempt.options.limits.max_seconds = rung_seconds;
+    switch (level) {
+      case DegradationLevel::kFull:
+        break;
+      case DegradationLevel::kAggressivePruning:
+        if (request.goal == nullptr || request.type == TaskType::kRanked) {
+          rung.attempted = false;
+          rung.outcome = Status::FailedPrecondition(
+              "aggressive pruning needs a goal-driven request");
+          report.rungs.push_back(std::move(rung));
+          continue;
+        }
+        attempt.type = TaskType::kGoalDriven;
+        attempt.config.enable_time_pruning = true;
+        attempt.config.enable_availability_pruning = true;
+        attempt.config.enforce_min_selection = true;
+        attempt.config.cache_availability_checks = true;
+        break;
+      case DegradationLevel::kRankedSmallK:
+        if (request.goal == nullptr || request.ranking == nullptr) {
+          rung.attempted = false;
+          rung.outcome = Status::FailedPrecondition(
+              "ranked fallback needs a goal and a ranking");
+          report.rungs.push_back(std::move(rung));
+          continue;
+        }
+        attempt.type = TaskType::kRanked;
+        attempt.top_k = std::max(
+            1, std::min(request.top_k, policy.degraded_top_k));
+        break;
+      case DegradationLevel::kCountOnly:
+        if (policy.count_max_nodes > 0) {
+          attempt.options.limits.max_nodes = policy.count_max_nodes;
+        }
+        break;
+    }
+    if (level != DegradationLevel::kFull && policy.degraded_max_nodes > 0 &&
+        level != DegradationLevel::kCountOnly) {
+      attempt.options.limits.max_nodes = policy.degraded_max_nodes;
+    }
+
+    rung.attempted = true;
+    rung.seconds_budget = rung_seconds;
+    const double started = overall.ElapsedSeconds();
+
+    if (level == DegradationLevel::kCountOnly) {
+      Result<CountingResult> counted =
+          request.goal != nullptr
+              ? navigator.CountGoal(attempt.start, attempt.end_term,
+                                    *attempt.goal, attempt.options,
+                                    attempt.config)
+              : navigator.CountDeadline(attempt.start, attempt.end_term,
+                                        attempt.options);
+      rung.seconds_spent = overall.ElapsedSeconds() - started;
+      if (counted.ok()) {
+        rung.nodes_created = counted->distinct_statuses;
+        rung.outcome = Status::OK();
+        report.rungs.push_back(std::move(rung));
+        report.level_served = level;
+        report.degraded = (level != DegradationLevel::kFull);
+        best.count = std::move(counted).value();
+        best.report = std::move(report);
+        return best;
+      }
+      if (counted.status().IsCancelled()) return counted.status();
+      if (!IsBudgetStatus(counted.status())) return counted.status();
+      rung.outcome = counted.status();
+      report.rungs.push_back(std::move(rung));
+      continue;
+    }
+
+    Result<ExplorationResponse> response = navigator.Explore(attempt);
+    rung.seconds_spent = overall.ElapsedSeconds() - started;
+    if (!response.ok()) {
+      if (response.status().IsCancelled() ||
+          !IsBudgetStatus(response.status())) {
+        return response.status();
+      }
+      rung.outcome = response.status();
+      report.rungs.push_back(std::move(rung));
+      continue;
+    }
+
+    rung.nodes_created = ResponseNodes(*response);
+    Status termination = ResponseTermination(*response);
+    if (termination.IsCancelled()) return termination;
+    if (termination.ok()) {
+      rung.outcome = Status::OK();
+      report.rungs.push_back(std::move(rung));
+      report.level_served = level;
+      report.degraded = (level != DegradationLevel::kFull);
+      best.response = std::move(response).value();
+      best.count.reset();
+      best.report = std::move(report);
+      return best;
+    }
+
+    // The rung fell on a budget, but its truncated output may still be the
+    // best partial answer the ladder can salvage.
+    rung.outcome = termination;
+    report.rungs.push_back(std::move(rung));
+    if (HasPartialPayload(*response) &&
+        (!have_partial ||
+         ResponseNodes(*response) >= ResponseNodes(best.response))) {
+      best.response = std::move(response).value();
+      have_partial = true;
+      partial_level = level;
+    }
+  }
+
+  // Every rung fell. Serve the best partial answer with the full story.
+  report.exhausted = true;
+  report.degraded = true;
+  report.level_served = partial_level;
+  best.report = std::move(report);
+  if (!have_partial) {
+    // Nothing was salvageable (e.g. a pure count-only ladder): surface the
+    // last budget verdict instead of an empty response.
+    for (auto it = best.report.rungs.rbegin(); it != best.report.rungs.rend();
+         ++it) {
+      if (it->attempted && !it->outcome.ok()) return it->outcome;
+    }
+    return Status::ResourceExhausted("every degradation rung exhausted");
+  }
+  return best;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,122 @@
+#ifndef COURSENAV_SERVICE_DEGRADATION_H_
+#define COURSENAV_SERVICE_DEGRADATION_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/counting.h"
+#include "service/navigator.h"
+#include "util/result.h"
+
+namespace coursenav {
+
+/// The graceful-degradation ladder: each level trades answer fidelity for
+/// survival under a budget. Rungs are tried top to bottom until one
+/// completes inside its slice of the request's budget.
+enum class DegradationLevel {
+  /// The request exactly as posed.
+  kFull = 0,
+  /// Same task with every pruning strategy forced on (and, optionally, a
+  /// tighter node cap): the cheapest run that still materializes the same
+  /// answer set for pruning-correct goals.
+  kAggressivePruning = 1,
+  /// Ranked top-k with a reduced k: a handful of best plans instead of the
+  /// full graph. Requires a goal and a ranking.
+  kRankedSmallK = 2,
+  /// DAG-memoized path counting only: "how many futures remain" without
+  /// materializing any of them — the cheapest nonempty answer.
+  kCountOnly = 3,
+};
+
+std::string_view DegradationLevelName(DegradationLevel level);
+
+/// Tuning for ExploreWithDegradation.
+struct DegradationPolicy {
+  /// Rungs to try, in order. Empty = the default ladder for the request's
+  /// task type (see DefaultLadder).
+  std::vector<DegradationLevel> ladder;
+
+  /// Fraction of the *remaining* time budget granted to each rung except
+  /// the last, which gets everything left. 0.5 means: full request gets
+  /// half the deadline, the first fallback half of what remains, and so
+  /// on — the ladder as a whole never exceeds the caller's deadline.
+  double time_fraction = 0.5;
+
+  /// k used by the kRankedSmallK rung (never more than the request's k).
+  int degraded_top_k = 3;
+
+  /// Node cap for degraded (non-kFull) materializing rungs; 0 = inherit
+  /// the request's limit.
+  int64_t degraded_max_nodes = 0;
+
+  /// Distinct-status cap for the kCountOnly rung; 0 = inherit. Counting
+  /// memoizes statuses rather than materializing nodes, so it usually
+  /// deserves a far larger cap than the graph rungs.
+  int64_t count_max_nodes = 0;
+};
+
+/// What happened on one rung of the ladder.
+struct DegradationRung {
+  DegradationLevel level = DegradationLevel::kFull;
+  /// True when the rung was actually run (false: inapplicable or no budget
+  /// remained for it).
+  bool attempted = false;
+  /// OK when this rung served the response; otherwise why it fell.
+  Status outcome;
+  /// Wall-clock seconds this rung was granted and consumed.
+  double seconds_budget = 0.0;
+  double seconds_spent = 0.0;
+  /// Graph nodes (or distinct counted statuses) the rung produced.
+  int64_t nodes_created = 0;
+};
+
+/// The annotation a degraded response carries instead of a bare error:
+/// which level finally answered, and what every higher rung cost before it
+/// fell.
+struct DegradationReport {
+  /// The level whose answer is in the response. When `exhausted` is true,
+  /// this is the level that produced the best partial answer instead.
+  DegradationLevel level_served = DegradationLevel::kFull;
+  /// True when the response is anything less than the full request.
+  bool degraded = false;
+  /// True when no rung completed: the response holds the best partial
+  /// answer the ladder salvaged (a truncated graph or partial top-k).
+  bool exhausted = false;
+  std::vector<DegradationRung> rungs;
+
+  std::string ToString() const;
+};
+
+/// A response that survived the ladder. Exactly one payload is populated:
+/// `response.generation` / `response.ranked` for materializing rungs, or
+/// `count` for the kCountOnly rung. When `report.exhausted` is set the
+/// populated payload is partial (budget-truncated) rather than complete.
+struct DegradedResponse {
+  ExplorationResponse response;
+  std::optional<CountingResult> count;
+  DegradationReport report;
+};
+
+/// The default ladder for a task type: deadline-driven requests fall back
+/// to counting; goal-driven insert an aggressive-pruning retry; ranked
+/// retry with a smaller k first.
+std::vector<DegradationLevel> DefaultLadder(TaskType type);
+
+/// Explore with graceful degradation: runs `request` down the ladder,
+/// splitting the request's time budget across rungs per `policy`, and
+/// returns the first rung's complete answer — or, when every rung falls,
+/// the best partial answer — always annotated with a DegradationReport.
+///
+/// Only budget verdicts (ResourceExhausted, DeadlineExceeded) trigger
+/// descent. Cancellation and request errors (bad goal, bad window...)
+/// propagate immediately as bare Status — degrading a cancelled or
+/// malformed request would answer a question nobody is asking.
+Result<DegradedResponse> ExploreWithDegradation(
+    const CourseNavigator& navigator, const ExplorationRequest& request,
+    const DegradationPolicy& policy = {});
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_SERVICE_DEGRADATION_H_

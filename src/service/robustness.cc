@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/counting.h"
+#include "util/cancellation.h"
 #include "util/string_util.h"
 
 namespace coursenav {
@@ -20,6 +21,13 @@ std::string PlanRobustness::ToString(const Catalog& catalog) const {
   std::string out = StrFormat(
       "baseline: %llu goal path(s)\n",
       static_cast<unsigned long long>(baseline_paths));
+  if (truncated) {
+    out += StrFormat(
+        "  (truncated after %lld of %lld perturbations: %s)\n",
+        static_cast<long long>(perturbations_evaluated),
+        static_cast<long long>(perturbations_total),
+        truncation_reason.ToString().c_str());
+  }
   for (const OfferingDependency& dep : dependencies) {
     out += StrFormat(
         "  if %s is cancelled in %s: %llu alternative path(s)%s\n",
@@ -42,16 +50,41 @@ Result<PlanRobustness> AnalyzePlanRobustness(
 
   EnrollmentStatus start{path.start_term(), path.start_completed()};
   PlanRobustness report;
-  COURSENAV_ASSIGN_OR_RETURN(
-      CountingResult baseline,
-      CountGoalDrivenPaths(catalog, schedule, start, end_term, goal,
-                           options));
-  report.baseline_paths = baseline.goal_paths;
-
   for (const PathStep& step : path.steps()) {
-    Status failure = Status::OK();
+    report.perturbations_total += step.selection.count();
+  }
+
+  // One DeadlineBudget spans the whole sweep: `max_seconds` (and the cancel
+  // token) bound baseline plus all perturbations together, while the node /
+  // memory limits keep applying to each re-count individually. Each
+  // re-count gets the sweep's remaining time, so a single pathological
+  // perturbation cannot eat the budget of those after it *and* the sweep as
+  // a whole stays bounded.
+  DeadlineBudget sweep(options.limits.max_seconds, options.cancel);
+  auto per_count_options = [&]() {
+    ExplorationOptions per = options;
+    if (options.limits.max_seconds > 0) {
+      per.limits.max_seconds = sweep.RemainingSeconds();
+      if (per.limits.max_seconds <= 0) per.limits.max_seconds = 1e-9;
+    }
+    return per;
+  };
+
+  Result<CountingResult> baseline = CountGoalDrivenPaths(
+      catalog, schedule, start, end_term, goal, per_count_options());
+  if (!baseline.ok()) return baseline.status();
+  report.baseline_paths = baseline->goal_paths;
+
+  Status failure = Status::OK();
+  for (const PathStep& step : path.steps()) {
     step.selection.ForEach([&](int id) {
-      if (!failure.ok()) return;
+      if (!failure.ok() || report.truncated) return;
+      Status budget = sweep.CheckNow();
+      if (!budget.ok()) {
+        report.truncated = true;
+        report.truncation_reason = budget;
+        return;
+      }
       OfferingDependency dep;
       dep.course = static_cast<CourseId>(id);
       dep.term = step.term;
@@ -59,15 +92,26 @@ Result<PlanRobustness> AnalyzePlanRobustness(
       OfferingSchedule perturbed = schedule.Clone();
       perturbed.RemoveOffering(dep.course, dep.term);
       Result<CountingResult> counted = CountGoalDrivenPaths(
-          catalog, perturbed, start, end_term, goal, options);
+          catalog, perturbed, start, end_term, goal, per_count_options());
       if (!counted.ok()) {
-        failure = counted.status();
+        // A budget death mid-sweep truncates the report; anything else is a
+        // real error and fails the analysis.
+        if (counted.status().IsResourceExhausted() ||
+            counted.status().IsDeadlineExceeded() ||
+            counted.status().IsCancelled()) {
+          report.truncated = true;
+          report.truncation_reason = counted.status();
+        } else {
+          failure = counted.status();
+        }
         return;
       }
       dep.alternative_paths = counted->goal_paths;
       report.dependencies.push_back(dep);
+      ++report.perturbations_evaluated;
     });
     if (!failure.ok()) return failure;
+    if (report.truncated) break;
   }
 
   std::stable_sort(report.dependencies.begin(), report.dependencies.end(),

@@ -35,6 +35,16 @@ struct PlanRobustness {
   /// Goal paths with the schedule as published.
   uint64_t baseline_paths = 0;
 
+  /// True when the sweep's budget (or its cancel token) died mid-sweep:
+  /// `dependencies` then covers only the perturbations evaluated before the
+  /// cut, and `truncation_reason` says which budget fell. A truncated
+  /// report is still sorted and valid for the offerings it covers.
+  bool truncated = false;
+  Status truncation_reason;
+  /// Offerings the plan elects / offerings actually re-counted.
+  int64_t perturbations_total = 0;
+  int64_t perturbations_evaluated = 0;
+
   /// Offerings whose cancellation leaves no path at all.
   std::vector<OfferingDependency> SinglePointsOfFailure() const;
 
@@ -49,9 +59,13 @@ struct PlanRobustness {
 ///
 /// For every (course, semester) the plan elects, the offering is removed
 /// from a cloned schedule and the goal paths from `start` are re-counted
-/// under `options`. Counting budgets in `options.limits` apply per
-/// perturbation. `path` must be a valid plan reaching `goal` by
-/// `end_term`.
+/// under `options`. `options.limits.max_seconds` bounds the *whole* sweep
+/// (baseline plus every perturbation), and `options.limits.max_nodes` /
+/// `max_memory_bytes` apply per re-count, so one fragile-plan analysis can
+/// never run unbounded; when the budget or the options' cancel token dies
+/// mid-sweep the report comes back with `truncated` set and the
+/// dependencies evaluated so far. `path` must be a valid plan reaching
+/// `goal` by `end_term`.
 Result<PlanRobustness> AnalyzePlanRobustness(
     const Catalog& catalog, const OfferingSchedule& schedule,
     const LearningPath& path, const Goal& goal, Term end_term,

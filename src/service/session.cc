@@ -18,7 +18,13 @@ ExplorationSession::ExplorationSession(const Catalog* catalog,
       goal_(std::move(goal)),
       current_(std::move(initial)),
       deadline_(deadline),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  // Interactive queries must be stoppable: ensure the session's options
+  // carry a live token even when the caller did not provide one.
+  if (!options_.cancel.can_cancel()) {
+    options_.cancel = CancellationToken::Cancellable();
+  }
+}
 
 Status ExplorationSession::Commit(const std::vector<std::string>& codes) {
   if (current_.term >= deadline_) {
@@ -98,6 +104,11 @@ Status ExplorationSession::SetDeadline(Term deadline) {
   return Status::OK();
 }
 
+void ExplorationSession::SetLimits(const ExplorationLimits& limits) {
+  options_.limits = limits;
+  InvalidateCache();
+}
+
 bool ExplorationSession::GoalReached() const {
   return goal_->IsSatisfied(current_.completed);
 }
@@ -122,6 +133,35 @@ Result<RankedResult> ExplorationSession::TopK(const RankingFunction& ranking,
                                               int k) const {
   return GenerateRankedPaths(*catalog_, *schedule_, current_, deadline_,
                              *goal_, ranking, k, options_);
+}
+
+Result<DegradedResponse> ExplorationSession::TopKDegraded(
+    const RankingFunction& ranking, int k,
+    const DegradationPolicy& policy) const {
+  CourseNavigator navigator(catalog_, schedule_);
+  ExplorationRequest request;
+  request.start = current_;
+  request.end_term = deadline_;
+  request.type = TaskType::kRanked;
+  request.goal = goal_;
+  // Non-owning alias: the ranking is borrowed for the duration of the call.
+  request.ranking = std::shared_ptr<const RankingFunction>(
+      std::shared_ptr<const RankingFunction>(), &ranking);
+  request.top_k = k;
+  request.options = options_;
+  return ExploreWithDegradation(navigator, request, policy);
+}
+
+Result<DegradedResponse> ExplorationSession::ExploreDegraded(
+    const DegradationPolicy& policy) const {
+  CourseNavigator navigator(catalog_, schedule_);
+  ExplorationRequest request;
+  request.start = current_;
+  request.end_term = deadline_;
+  request.type = TaskType::kGoalDriven;
+  request.goal = goal_;
+  request.options = options_;
+  return ExploreWithDegradation(navigator, request, policy);
 }
 
 Result<std::vector<SelectionImpact>> ExplorationSession::EvaluateSelections(

@@ -13,6 +13,8 @@
 #include "core/options.h"
 #include "core/ranked_generator.h"
 #include "requirements/goal.h"
+#include "service/degradation.h"
+#include "util/cancellation.h"
 #include "util/result.h"
 
 namespace coursenav {
@@ -45,6 +47,16 @@ class ExplorationSession {
   Term deadline() const { return deadline_; }
   const ExplorationOptions& options() const { return options_; }
 
+  /// The token every query this session runs observes. Calling
+  /// RequestCancel() on it (typically from another thread) stops an
+  /// in-flight query within one node expansion; the query returns a
+  /// Cancelled status/termination and the session stays usable after
+  /// ResetCancellation().
+  CancellationToken cancel_token() const { return options_.cancel; }
+
+  /// Re-arms the cancel token after a cancelled query.
+  void ResetCancellation() { options_.cancel.Reset(); }
+
   /// Semesters already committed in this session, oldest first.
   const std::vector<PathStep>& history() const { return history_; }
 
@@ -70,6 +82,9 @@ class ExplorationSession {
   /// Moves the deadline; must stay after the current semester.
   Status SetDeadline(Term deadline);
 
+  /// Replaces the per-query resource budgets.
+  void SetLimits(const ExplorationLimits& limits);
+
   // ----------------------------------------------------------- queries
 
   /// True if the goal already holds.
@@ -83,6 +98,19 @@ class ExplorationSession {
 
   /// Best k plans from here under `ranking`.
   Result<RankedResult> TopK(const RankingFunction& ranking, int k) const;
+
+  /// Best k plans with graceful degradation: instead of failing on a
+  /// budget, retries down the ladder (smaller k, then count-only) and
+  /// returns whatever survived, annotated with the DegradationReport.
+  Result<DegradedResponse> TopKDegraded(const RankingFunction& ranking,
+                                        int k,
+                                        const DegradationPolicy& policy = {})
+      const;
+
+  /// Goal-driven exploration from the current status with graceful
+  /// degradation (full graph → aggressive pruning → count-only).
+  Result<DegradedResponse> ExploreDegraded(
+      const DegradationPolicy& policy = {}) const;
 
   /// Ranks every electable selection for the current semester by how many
   /// goal paths survive it, descending. Selections that kill the goal

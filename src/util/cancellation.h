@@ -1,0 +1,136 @@
+#ifndef COURSENAV_UTIL_CANCELLATION_H_
+#define COURSENAV_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+
+/// A cooperative cancellation handle.
+///
+/// A default-constructed token is inert: it can never be cancelled and
+/// costs one null check to poll. `Cancellable()` tokens share an atomic
+/// flag across copies, so a caller (typically another thread driving an
+/// interactive session) can keep one copy and hand another to a running
+/// exploration; `RequestCancel()` stops the exploration at its next budget
+/// check — within one node expansion.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// A token whose copies observe RequestCancel() on any of them.
+  static CancellationToken Cancellable() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// False for default-constructed tokens: no caller can ever cancel.
+  bool can_cancel() const { return flag_ != nullptr; }
+
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  /// Re-arms the token after a cancelled query so the session can keep
+  /// serving. No-op on inert tokens.
+  void Reset() const {
+    if (flag_) flag_->store(false, std::memory_order_release);
+  }
+
+  bool IsCancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A steady-clock deadline plus an external cancel flag, with an amortized
+/// check counter.
+///
+/// This replaces the generators' ad-hoc Stopwatch comparisons: `Check()`
+/// polls the cancel flag on every call (one atomic load) but reads the
+/// clock only every `kClockStride` calls, so it is cheap enough to call
+/// per enumerated selection, not just per node expansion. Budget verdicts
+/// are sticky: once the deadline passes or cancellation is observed, every
+/// subsequent check returns the same status.
+class DeadlineBudget {
+ public:
+  /// `max_seconds <= 0` means no deadline (cancellation still applies).
+  explicit DeadlineBudget(double max_seconds = 0.0,
+                          CancellationToken token = {})
+      : start_(Clock::now()),
+        max_seconds_(max_seconds),
+        token_(std::move(token)) {}
+
+  /// Amortized check: cancel flag every call, clock every kClockStride
+  /// calls.
+  Status Check() {
+    if (!exhausted_.ok()) return exhausted_;
+    if (--until_clock_check_ > 0) {
+      if (token_.IsCancelled()) {
+        return exhausted_ = Status::Cancelled("cancelled by caller");
+      }
+      return Status::OK();
+    }
+    return CheckNow();
+  }
+
+  /// Forced check: always reads the clock. Use at expansion boundaries.
+  Status CheckNow() {
+    until_clock_check_ = kClockStride;
+    if (!exhausted_.ok()) return exhausted_;
+    if (token_.IsCancelled()) {
+      return exhausted_ = Status::Cancelled("cancelled by caller");
+    }
+    if (FaultInjector* injector = ActiveFaultInjector();
+        injector != nullptr && injector->ShouldInject(kFaultSiteClockSkew)) {
+      skew_seconds_ += injector->clock_skew_seconds();
+    }
+    if (max_seconds_ > 0 && ElapsedSeconds() >= max_seconds_) {
+      return exhausted_ = Status::DeadlineExceeded(
+                 StrFormat("time budget of %.3fs reached", max_seconds_));
+    }
+    return Status::OK();
+  }
+
+  /// Wall-clock seconds since construction, plus any injected clock skew.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count() +
+           skew_seconds_;
+  }
+
+  /// Seconds left before the deadline; 0 when already exceeded and +inf
+  /// when no deadline was set.
+  double RemainingSeconds() const {
+    if (max_seconds_ <= 0) return std::numeric_limits<double>::infinity();
+    double remaining = max_seconds_ - ElapsedSeconds();
+    return remaining > 0 ? remaining : 0.0;
+  }
+
+  double max_seconds() const { return max_seconds_; }
+  const CancellationToken& token() const { return token_; }
+
+ private:
+  static constexpr int kClockStride = 32;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  double max_seconds_;
+  CancellationToken token_;
+  double skew_seconds_ = 0.0;
+  int until_clock_check_ = 0;  // first Check() reads the clock
+  Status exhausted_;           // sticky non-OK verdict
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_CANCELLATION_H_

@@ -1,0 +1,73 @@
+#include "util/fault_injection.h"
+
+namespace coursenav {
+
+namespace {
+
+FaultInjector* g_active_injector = nullptr;
+
+/// FNV-1a over the site name; stable across platforms.
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: a full-avalanche mix of the combined state.
+uint64_t Finalize(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)) {}
+
+uint64_t FaultInjector::Mix(std::string_view site, uint64_t counter) const {
+  return Finalize(Finalize(config_.seed ^ HashSite(site)) + counter);
+}
+
+bool FaultInjector::ShouldInject(std::string_view site) {
+  auto it = config_.site_probability.find(site);
+  if (it == config_.site_probability.end() || it->second <= 0.0) return false;
+  uint64_t counter = counters_[std::string(site)]++;
+  // 53 uniform mantissa bits -> double in [0, 1).
+  double u = static_cast<double>(Mix(site, counter) >> 11) * 0x1.0p-53;
+  bool fire = u < it->second;
+  if (fire) ++fired_[std::string(site)];
+  return fire;
+}
+
+uint64_t FaultInjector::Draw(std::string_view site) {
+  uint64_t counter = counters_[std::string(site)]++;
+  return Mix(site, counter);
+}
+
+int64_t FaultInjector::decisions(std::string_view site) const {
+  auto it = counters_.find(site);
+  return it == counters_.end() ? 0 : static_cast<int64_t>(it->second);
+}
+
+int64_t FaultInjector::fired(std::string_view site) const {
+  auto it = fired_.find(site);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+FaultInjector* ActiveFaultInjector() { return g_active_injector; }
+
+ScopedFaultInjection::ScopedFaultInjection(FaultConfig config)
+    : injector_(std::move(config)), previous_(g_active_injector) {
+  g_active_injector = &injector_;
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_active_injector = previous_;
+}
+
+}  // namespace coursenav

@@ -1,0 +1,90 @@
+#ifndef COURSENAV_UTIL_FAULT_INJECTION_H_
+#define COURSENAV_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace coursenav {
+
+/// Canonical injection-site keys. Sites are plain strings so tests can add
+/// their own without touching this header; these constants name the seams
+/// compiled into the library.
+inline constexpr std::string_view kFaultSiteGraphAlloc = "graph/alloc";
+inline constexpr std::string_view kFaultSiteCountAlloc = "count/alloc";
+inline constexpr std::string_view kFaultSiteClockSkew = "clock/skew";
+inline constexpr std::string_view kFaultSiteScheduleChurn = "schedule/churn";
+
+/// Configuration of a deterministic fault-injection run.
+struct FaultConfig {
+  /// Master seed; with equal seeds and equal call sequences, every
+  /// injection decision is identical across runs, platforms, and stdlibs.
+  uint64_t seed = 0;
+  /// Per-site probability in [0, 1] that one decision at that site fires.
+  /// Sites absent from the map never fire.
+  std::map<std::string, double, std::less<>> site_probability;
+  /// Seconds added to a DeadlineBudget's perceived elapsed time each time
+  /// the clock/skew site fires.
+  double clock_skew_seconds = 0.0;
+};
+
+/// A deterministic, seed-driven fault injector.
+///
+/// Each decision hashes (seed, site, per-site counter), so the fault
+/// pattern depends only on the configuration and the sequence of decisions
+/// requested at each site — never on wall-clock time, ASLR, or stdlib
+/// random engines. That makes every chaos-test failure replayable from its
+/// seed alone.
+///
+/// Not thread-safe: the injector (and the global seam below) are meant for
+/// single-threaded tests and benches.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  /// One injection decision at `site`; advances that site's counter.
+  bool ShouldInject(std::string_view site);
+
+  /// A raw deterministic draw at `site` (for choosing *which* course or
+  /// offering a fault perturbs); advances that site's counter.
+  uint64_t Draw(std::string_view site);
+
+  double clock_skew_seconds() const { return config_.clock_skew_seconds; }
+
+  /// Decisions made / faults fired at `site` so far.
+  int64_t decisions(std::string_view site) const;
+  int64_t fired(std::string_view site) const;
+
+ private:
+  uint64_t Mix(std::string_view site, uint64_t counter) const;
+
+  FaultConfig config_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> fired_;
+};
+
+/// The injector the compiled-in seams consult, or nullptr when no fault
+/// injection is active (the normal production state: one pointer load).
+FaultInjector* ActiveFaultInjector();
+
+/// RAII activation of fault injection: installs an injector for the
+/// enclosing scope and restores the previous one (usually nullptr) on exit.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultConfig config);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+  FaultInjector* previous_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_FAULT_INJECTION_H_

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

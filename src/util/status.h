@@ -32,6 +32,9 @@ enum class StatusCode {
   kFailedPrecondition = 7,
   /// An internal invariant was violated; always a library bug.
   kInternal = 8,
+  /// The caller cancelled the operation via a CancellationToken. Partial
+  /// results may be available, as with the budget statuses.
+  kCancelled = 9,
 };
 
 /// Returns the canonical spelling of a status code, e.g. "InvalidArgument".
@@ -84,6 +87,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -105,6 +111,7 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

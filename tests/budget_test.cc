@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "core/counting.h"
 #include "core/deadline_generator.h"
 #include "core/goal_generator.h"
@@ -96,6 +99,118 @@ TEST_F(BudgetTest, UnlimitedBudgetsRunToCompletion) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->termination.ok());
 }
+
+// ---------------------------------------------------------------------------
+// The full generator × limit matrix: every generator, starved of each
+// resource in turn, must come back ok() with the documented termination
+// status and a structurally valid partial result.
+
+enum class GeneratorKind { kDeadline, kGoal, kRanked };
+enum class LimitKind { kNodes, kMemory, kTime };
+
+std::string KindName(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::kDeadline: return "Deadline";
+    case GeneratorKind::kGoal: return "Goal";
+    case GeneratorKind::kRanked: return "Ranked";
+  }
+  return "?";
+}
+
+std::string KindName(LimitKind kind) {
+  switch (kind) {
+    case LimitKind::kNodes: return "NodeBudget";
+    case LimitKind::kMemory: return "MemoryBudget";
+    case LimitKind::kTime: return "TimeBudget";
+  }
+  return "?";
+}
+
+class BudgetMatrixTest
+    : public ::testing::TestWithParam<std::tuple<GeneratorKind, LimitKind>> {
+ protected:
+  data::BrandeisDataset dataset_ = data::BuildBrandeisDataset();
+  Term end_ = data::EvaluationEndTerm();
+
+  EnrollmentStatus Start(int span) {
+    return {data::StartTermForSpan(span), dataset_.catalog.NewCourseSet()};
+  }
+
+  ExplorationOptions StarvedOptions() const {
+    ExplorationOptions options;
+    switch (std::get<1>(GetParam())) {
+      case LimitKind::kNodes: options.limits.max_nodes = 500; break;
+      case LimitKind::kMemory:
+        options.limits.max_memory_bytes = 64 * 1024;
+        break;
+      case LimitKind::kTime: options.limits.max_seconds = 1e-9; break;
+    }
+    return options;
+  }
+
+  void ExpectDocumentedStatus(const Status& termination) {
+    switch (std::get<1>(GetParam())) {
+      case LimitKind::kNodes:
+      case LimitKind::kMemory:
+        EXPECT_TRUE(termination.IsResourceExhausted())
+            << termination.ToString();
+        break;
+      case LimitKind::kTime:
+        EXPECT_TRUE(termination.IsDeadlineExceeded())
+            << termination.ToString();
+        break;
+    }
+  }
+};
+
+TEST_P(BudgetMatrixTest, StarvedGeneratorReturnsValidPartialResult) {
+  ExplorationOptions options = StarvedOptions();
+  // Span 6 blows up far past every starved limit for all three generators.
+  EnrollmentStatus start = Start(6);
+
+  if (std::get<0>(GetParam()) == GeneratorKind::kRanked) {
+    TimeRanking ranking;
+    auto result = GenerateRankedPaths(dataset_.catalog, dataset_.schedule,
+                                      start, end_, *dataset_.cs_major,
+                                      ranking, 1000, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectDocumentedStatus(result->termination);
+    EXPECT_LT(result->paths.size(), 1000u);
+    for (const LearningPath& path : result->paths) {
+      EXPECT_TRUE(path.Validate(dataset_.catalog, dataset_.schedule).ok());
+    }
+    return;
+  }
+
+  Result<GenerationResult> result =
+      std::get<0>(GetParam()) == GeneratorKind::kDeadline
+          ? GenerateDeadlineDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                        start, end_, options)
+          : GenerateGoalDrivenPaths(dataset_.catalog, dataset_.schedule,
+                                    start, end_, *dataset_.cs_major, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectDocumentedStatus(result->termination);
+  EXPECT_EQ(testing_util::StructureErrors(result->graph), "");
+  EXPECT_EQ(testing_util::StatsErrors(result->graph, result->stats), "");
+  if (options.limits.max_nodes > 0) {
+    // The budget is checked per enumerated selection, so at most one child
+    // may overshoot the cap.
+    EXPECT_LE(result->graph.num_nodes(), options.limits.max_nodes + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGeneratorsAllLimits, BudgetMatrixTest,
+    ::testing::Combine(::testing::Values(GeneratorKind::kDeadline,
+                                         GeneratorKind::kGoal,
+                                         GeneratorKind::kRanked),
+                       ::testing::Values(LimitKind::kNodes,
+                                         LimitKind::kMemory,
+                                         LimitKind::kTime)),
+    [](const ::testing::TestParamInfo<BudgetMatrixTest::ParamType>& info) {
+      return KindName(std::get<0>(info.param)) +
+             KindName(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace coursenav

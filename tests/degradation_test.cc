@@ -1,0 +1,207 @@
+// Graceful-degradation ladder tests: complete answers stay undegraded,
+// budget-starved requests descend rung by rung, and a dead budget still
+// yields the best partial answer plus an honest DegradationReport.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/brandeis_cs.h"
+#include "service/degradation.h"
+#include "service/session.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  data::BrandeisDataset dataset_ = data::BuildBrandeisDataset();
+  Term end_ = data::EvaluationEndTerm();
+  CourseNavigator navigator_{&dataset_.catalog, &dataset_.schedule};
+
+  ExplorationRequest GoalRequest(int span) {
+    ExplorationRequest request;
+    request.start = {data::StartTermForSpan(span),
+                     dataset_.catalog.NewCourseSet()};
+    request.end_term = end_;
+    request.type = TaskType::kGoalDriven;
+    request.goal = dataset_.cs_major;
+    return request;
+  }
+};
+
+TEST_F(DegradationTest, DefaultLaddersEndInCounting) {
+  for (TaskType type : {TaskType::kDeadlineDriven, TaskType::kGoalDriven,
+                        TaskType::kRanked}) {
+    std::vector<DegradationLevel> ladder = DefaultLadder(type);
+    ASSERT_FALSE(ladder.empty());
+    EXPECT_EQ(ladder.front(), DegradationLevel::kFull);
+    EXPECT_EQ(ladder.back(), DegradationLevel::kCountOnly);
+  }
+  std::vector<DegradationLevel> ranked = DefaultLadder(TaskType::kRanked);
+  EXPECT_EQ(std::count(ranked.begin(), ranked.end(),
+                       DegradationLevel::kRankedSmallK),
+            1);
+}
+
+TEST_F(DegradationTest, GenerousBudgetServesTheFullAnswer) {
+  ExplorationRequest request = GoalRequest(4);
+  auto degraded = ExploreWithDegradation(navigator_, request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_FALSE(degraded->report.degraded);
+  EXPECT_FALSE(degraded->report.exhausted);
+  EXPECT_EQ(degraded->report.level_served, DegradationLevel::kFull);
+  ASSERT_TRUE(degraded->response.generation.has_value());
+  EXPECT_TRUE(degraded->response.generation->termination.ok());
+  ASSERT_EQ(degraded->report.rungs.size(), 1u);
+  EXPECT_TRUE(degraded->report.rungs[0].outcome.ok());
+}
+
+TEST_F(DegradationTest, NodeStarvedRequestDescendsToCounting) {
+  // Span 5: ~860k goal paths but only ~150k distinct statuses, so the graph
+  // rungs die on a 500-node cap while counting finishes in well under a
+  // second once its cap is lifted.
+  ExplorationRequest request = GoalRequest(5);
+  request.options.limits.max_nodes = 500;  // kills both graph rungs
+  DegradationPolicy policy;
+  policy.count_max_nodes = 1 << 20;  // counting memoizes; lift its cap
+  auto degraded = ExploreWithDegradation(navigator_, request, policy);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->report.degraded);
+  EXPECT_FALSE(degraded->report.exhausted);
+  EXPECT_EQ(degraded->report.level_served, DegradationLevel::kCountOnly);
+  ASSERT_TRUE(degraded->count.has_value());
+  EXPECT_GT(degraded->count->goal_paths, 0u);
+  // Every rung above the one that answered is recorded with its failure.
+  ASSERT_EQ(degraded->report.rungs.size(), 3u);
+  EXPECT_TRUE(degraded->report.rungs[0].attempted);
+  EXPECT_TRUE(degraded->report.rungs[0].outcome.IsResourceExhausted());
+  EXPECT_TRUE(degraded->report.rungs[1].attempted);
+  EXPECT_TRUE(degraded->report.rungs[1].outcome.IsResourceExhausted());
+  EXPECT_TRUE(degraded->report.rungs[2].outcome.ok());
+  // The report carries a human-readable rendering.
+  EXPECT_NE(degraded->report.ToString().find("count-only"),
+            std::string::npos);
+}
+
+TEST_F(DegradationTest, FiftyMsDeadlineOnBlowUpAnswersWithinTwiceThat) {
+  ExplorationRequest request = GoalRequest(6);
+  request.options.limits.max_seconds = 0.05;
+  auto start = std::chrono::steady_clock::now();
+  auto degraded = ExploreWithDegradation(navigator_, request);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  // The acceptance bar: a degraded response, with a populated report, in
+  // under twice the deadline — the ladder slices one budget, it does not
+  // stack budgets.
+  EXPECT_LT(elapsed, 0.1);
+  EXPECT_TRUE(degraded->report.degraded);
+  ASSERT_FALSE(degraded->report.rungs.empty());
+  EXPECT_TRUE(degraded->report.rungs[0].attempted);
+  EXPECT_FALSE(degraded->report.rungs[0].outcome.ok());
+  EXPECT_GT(degraded->report.rungs[0].seconds_budget, 0.0);
+  // Some payload survived: a partial graph, partial top-k, or a count.
+  EXPECT_TRUE(degraded->response.generation.has_value() ||
+              degraded->response.ranked.has_value() ||
+              degraded->count.has_value());
+  if (degraded->response.generation.has_value()) {
+    const GenerationResult& generation = *degraded->response.generation;
+    EXPECT_EQ(testing_util::StructureErrors(generation.graph), "");
+    EXPECT_EQ(testing_util::StatsErrors(generation.graph, generation.stats),
+              "");
+  }
+}
+
+TEST_F(DegradationTest, ExhaustedLadderServesBestPartialAnswer) {
+  ExplorationRequest request = GoalRequest(6);
+  request.options.limits.max_nodes = 200;  // kills the graph rungs...
+  auto degraded = ExploreWithDegradation(navigator_, request);
+  // ...and the inherited cap kills counting too (200 distinct statuses).
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->report.degraded);
+  EXPECT_TRUE(degraded->report.exhausted);
+  ASSERT_TRUE(degraded->response.generation.has_value());
+  const GenerationResult& generation = *degraded->response.generation;
+  EXPECT_TRUE(generation.termination.IsResourceExhausted());
+  EXPECT_LE(generation.graph.num_nodes(), 201);
+  EXPECT_EQ(testing_util::StructureErrors(generation.graph), "");
+  for (const DegradationRung& rung : degraded->report.rungs) {
+    if (rung.attempted) {
+      EXPECT_FALSE(rung.outcome.ok());
+    }
+  }
+}
+
+TEST_F(DegradationTest, CancellationPropagatesInsteadOfDegrading) {
+  ExplorationRequest request = GoalRequest(5);
+  request.options.cancel = CancellationToken::Cancellable();
+  request.options.cancel.RequestCancel();
+  auto degraded = ExploreWithDegradation(navigator_, request);
+  EXPECT_TRUE(degraded.status().IsCancelled())
+      << degraded.status().ToString();
+}
+
+TEST_F(DegradationTest, MalformedRequestsPropagateInsteadOfDegrading) {
+  ExplorationRequest request = GoalRequest(4);
+  request.goal = nullptr;  // goal-driven without a goal
+  auto degraded = ExploreWithDegradation(navigator_, request);
+  EXPECT_FALSE(degraded.ok());
+  EXPECT_FALSE(degraded.status().IsResourceExhausted());
+  EXPECT_FALSE(degraded.status().IsDeadlineExceeded());
+}
+
+TEST_F(DegradationTest, RankedRequestsFallBackToSmallerK) {
+  ExplorationRequest request = GoalRequest(5);
+  request.type = TaskType::kRanked;
+  auto ranking = std::make_shared<TimeRanking>();
+  request.ranking = ranking;
+  request.top_k = 1000;  // unreachable under a 500-node cap
+  request.options.limits.max_nodes = 500;
+  DegradationPolicy policy;
+  policy.count_max_nodes = 1 << 20;
+  auto degraded = ExploreWithDegradation(navigator_, request, policy);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->report.degraded);
+  EXPECT_FALSE(degraded->report.exhausted);
+  // The full-k rung fell; the report walked the small-k rung on the way to
+  // whichever fallback answered (small k or counting).
+  ASSERT_GE(degraded->report.rungs.size(), 2u);
+  EXPECT_TRUE(degraded->report.rungs[0].outcome.IsResourceExhausted());
+  EXPECT_EQ(degraded->report.rungs[1].level,
+            DegradationLevel::kRankedSmallK);
+  if (degraded->report.level_served == DegradationLevel::kRankedSmallK) {
+    ASSERT_TRUE(degraded->response.ranked.has_value());
+    EXPECT_LE(degraded->response.ranked->paths.size(), 3u);
+  } else {
+    EXPECT_EQ(degraded->report.level_served, DegradationLevel::kCountOnly);
+    EXPECT_TRUE(degraded->count.has_value());
+  }
+}
+
+TEST_F(DegradationTest, SessionExploreDegradedSurfacesTheReport) {
+  ExplorationSession session(&dataset_.catalog, &dataset_.schedule,
+                             dataset_.cs_major,
+                             {data::StartTermForSpan(4),
+                              dataset_.catalog.NewCourseSet()},
+                             end_);
+  auto degraded = session.ExploreDegraded();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_FALSE(degraded->report.degraded);
+  EXPECT_TRUE(degraded->response.generation.has_value());
+
+  TimeRanking ranking;
+  auto ranked = session.TopKDegraded(ranking, 3);
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  ASSERT_TRUE(ranked->response.ranked.has_value());
+  EXPECT_LE(ranked->response.ranked->paths.size(), 3u);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -9,6 +9,7 @@
 #include "catalog/schedule.h"
 #include "catalog/term.h"
 #include "core/enrollment.h"
+#include "core/stats.h"
 #include "expr/parser.h"
 #include "graph/learning_graph.h"
 #include "graph/path.h"
@@ -52,6 +53,90 @@ struct Figure3Fixture {
     return {fall11, catalog.NewCourseSet()};
   }
 };
+
+/// Checks the structural invariants every generated graph — complete or
+/// budget-truncated — must satisfy, and returns a description of the first
+/// violation (empty string = structurally valid):
+///   - a rooted tree: `num_edges == num_nodes - 1`, only the root has no
+///     parent edge, parents are created before their children;
+///   - every edge agrees with its endpoints (`edge.to`'s parent_edge is the
+///     edge, `edge.from` lists it among out_edges);
+///   - child state is derived from the parent: `term == parent.term.Next()`,
+///     `completed == parent.completed | selection`, and the selection was
+///     actually available (`selection ⊆ parent.options`).
+inline std::string StructureErrors(const LearningGraph& graph) {
+  if (graph.num_nodes() == 0) {
+    return graph.num_edges() == 0 ? "" : "edges without nodes";
+  }
+  if (graph.num_edges() != graph.num_nodes() - 1) {
+    return "not a tree: " + std::to_string(graph.num_edges()) + " edges for " +
+           std::to_string(graph.num_nodes()) + " nodes";
+  }
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    const LearningNode& node = graph.node(id);
+    if (id == graph.root()) {
+      if (node.parent_edge != kInvalidEdgeId) return "root has a parent edge";
+      continue;
+    }
+    const std::string where = "node " + std::to_string(id) + ": ";
+    if (node.parent_edge < 0 || node.parent_edge >= graph.num_edges()) {
+      return where + "parent edge out of range";
+    }
+    const LearningEdge& in = graph.edge(node.parent_edge);
+    if (in.to != id) return where + "parent edge does not point back";
+    if (in.from < 0 || in.from >= id) {
+      return where + "parent not created before child";
+    }
+    const LearningNode& parent = graph.node(in.from);
+    bool listed = false;
+    for (EdgeId out : parent.out_edges) listed |= (out == node.parent_edge);
+    if (!listed) return where + "parent does not list the inbound edge";
+    if (node.term != parent.term.Next()) {
+      return where + "term is not the semester after its parent's";
+    }
+    if (!in.selection.IsSubsetOf(parent.options)) {
+      return where + "selection not available in the parent's semester";
+    }
+    DynamicBitset expected = parent.completed;
+    expected |= in.selection;
+    if (node.completed != expected) {
+      return where + "completed set != parent.completed | selection";
+    }
+  }
+  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+    const LearningEdge& edge = graph.edge(id);
+    if (edge.from < 0 || edge.from >= graph.num_nodes() || edge.to < 0 ||
+        edge.to >= graph.num_nodes()) {
+      return "edge " + std::to_string(id) + ": endpoint out of range";
+    }
+  }
+  return "";
+}
+
+/// Checks that a generator's stats agree with the graph it produced (for
+/// both complete and partial runs); returns the first inconsistency, or "".
+inline std::string StatsErrors(const LearningGraph& graph,
+                               const ExplorationStats& stats) {
+  if (stats.nodes_created != graph.num_nodes()) {
+    return "nodes_created disagrees with the graph";
+  }
+  if (stats.edges_created != graph.num_edges()) {
+    return "edges_created disagrees with the graph";
+  }
+  if (stats.goal_paths + stats.dead_end_paths != stats.terminal_paths) {
+    return "goal + dead-end paths != terminal paths";
+  }
+  // Unexpanded worklist nodes of a truncated run are leaves that were never
+  // classified, so classified terminals can only undercount leaves.
+  if (stats.terminal_paths >
+      static_cast<int64_t>(graph.LeafNodes().size())) {
+    return "more terminal paths than leaves";
+  }
+  if (static_cast<int64_t>(graph.GoalNodes().size()) != stats.goal_paths) {
+    return "goal-marked nodes disagree with goal_paths";
+  }
+  return "";
+}
 
 /// Extracts the root-to-leaf path of every leaf (all learning paths of a
 /// generated graph).

@@ -34,6 +34,7 @@
 #include "parsers/catalog_loader.h"
 #include "parsers/transcript_parser.h"
 #include "requirements/expr_goal.h"
+#include "service/degradation.h"
 #include "service/navigator.h"
 #include "service/visualizer.h"
 #include "util/flags.h"
@@ -63,6 +64,10 @@ common flags:
   --avoid=A,B          courses never to take
   --max-nodes=<n>      node budget (0 = unlimited)
   --max-seconds=<s>    wall-clock budget (0 = unlimited)
+  --time-budget=<s>    alias for --max-seconds (wins when both are set)
+  --degrade            on budget exhaustion, walk the degradation ladder
+                       (full -> aggressive pruning / smaller k -> count-only)
+                       and print the DegradationReport instead of failing
 
 goal/topk/count flags:
   --goal=<expr>        boolean goal, e.g. "CS1 and (CS2 or CS3)"
@@ -164,6 +169,9 @@ Result<CommonArgs> LoadCommon(const FlagSet& flags, bool need_goal) {
   COURSENAV_ASSIGN_OR_RETURN(double max_seconds,
                              flags.GetDouble("max-seconds", 0.0));
   common.options.limits.max_seconds = max_seconds;
+  COURSENAV_ASSIGN_OR_RETURN(double time_budget,
+                             flags.GetDouble("time-budget", 0.0));
+  if (time_budget > 0) common.options.limits.max_seconds = time_budget;
 
   if (need_goal) {
     COURSENAV_ASSIGN_OR_RETURN(std::string goal_expr,
@@ -234,10 +242,55 @@ Status EmitGeneration(const FlagSet& flags, const CommonArgs& common,
   return Status::OK();
 }
 
+Status EmitCount(const CountingResult& counted) {
+  std::printf("total paths: %llu%s\n",
+              static_cast<unsigned long long>(counted.total_paths),
+              counted.saturated ? " (saturated)" : "");
+  std::printf("goal paths: %llu\n",
+              static_cast<unsigned long long>(counted.goal_paths));
+  std::printf("distinct statuses: %lld, %.3f s\n",
+              static_cast<long long>(counted.distinct_statuses),
+              counted.runtime_seconds);
+  return Status::OK();
+}
+
+/// Output path for --degrade: the DegradationReport first, then whatever
+/// payload survived the ladder (graph, ranked paths, or a bare count).
+Status EmitDegraded(const FlagSet& flags, const CommonArgs& common,
+                    const DegradedResponse& degraded) {
+  std::printf("%s\n", degraded.report.ToString().c_str());
+  if (degraded.count.has_value()) {
+    return EmitCount(*degraded.count);
+  }
+  if (degraded.response.generation.has_value()) {
+    return EmitGeneration(flags, common, *degraded.response.generation);
+  }
+  if (degraded.response.ranked.has_value()) {
+    const RankedResult& ranked = *degraded.response.ranked;
+    COURSENAV_ASSIGN_OR_RETURN(int64_t limit, flags.GetInt("limit", 10));
+    std::printf("%s", RenderPaths(ranked.paths, *common.catalog,
+                                  static_cast<int>(limit))
+                          .c_str());
+    std::printf("\nsearch stats: %s\n", ranked.stats.ToString().c_str());
+  }
+  return Status::OK();
+}
+
 Status RunExplore(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
                              LoadCommon(flags, /*need_goal=*/false));
   CourseNavigator navigator(common.catalog, common.schedule);
+  if (flags.GetBool("degrade")) {
+    ExplorationRequest request;
+    request.start = common.start;
+    request.end_term = common.end_term;
+    request.type = TaskType::kDeadlineDriven;
+    request.options = common.options;
+    COURSENAV_ASSIGN_OR_RETURN(
+        DegradedResponse degraded,
+        ExploreWithDegradation(navigator, request));
+    return EmitDegraded(flags, common, degraded);
+  }
   COURSENAV_ASSIGN_OR_RETURN(
       GenerationResult result,
       navigator.ExploreDeadline(common.start, common.end_term,
@@ -249,6 +302,18 @@ Status RunGoal(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
                              LoadCommon(flags, /*need_goal=*/true));
   CourseNavigator navigator(common.catalog, common.schedule);
+  if (flags.GetBool("degrade")) {
+    ExplorationRequest request;
+    request.start = common.start;
+    request.end_term = common.end_term;
+    request.type = TaskType::kGoalDriven;
+    request.goal = common.goal;
+    request.options = common.options;
+    COURSENAV_ASSIGN_OR_RETURN(
+        DegradedResponse degraded,
+        ExploreWithDegradation(navigator, request));
+    return EmitDegraded(flags, common, degraded);
+  }
   COURSENAV_ASSIGN_OR_RETURN(
       GenerationResult result,
       navigator.ExploreGoal(common.start, common.end_term, *common.goal,
@@ -289,6 +354,21 @@ Status RunTopK(const FlagSet& flags) {
   }
 
   CourseNavigator navigator(common.catalog, common.schedule);
+  if (flags.GetBool("degrade")) {
+    ExplorationRequest request;
+    request.start = common.start;
+    request.end_term = common.end_term;
+    request.type = TaskType::kRanked;
+    request.goal = common.goal;
+    request.ranking = std::shared_ptr<const RankingFunction>(
+        std::shared_ptr<const RankingFunction>(), ranking.get());
+    request.top_k = static_cast<int>(k);
+    request.options = common.options;
+    COURSENAV_ASSIGN_OR_RETURN(
+        DegradedResponse degraded,
+        ExploreWithDegradation(navigator, request));
+    return EmitDegraded(flags, common, degraded);
+  }
   COURSENAV_ASSIGN_OR_RETURN(
       RankedResult result,
       navigator.ExploreTopK(common.start, common.end_term, *common.goal,
@@ -348,15 +428,7 @@ Status RunCount(const FlagSet& flags) {
         counted, navigator.CountDeadline(common.start, common.end_term,
                                          common.options));
   }
-  std::printf("total paths: %llu%s\n",
-              static_cast<unsigned long long>(counted.total_paths),
-              counted.saturated ? " (saturated)" : "");
-  std::printf("goal paths: %llu\n",
-              static_cast<unsigned long long>(counted.goal_paths));
-  std::printf("distinct statuses: %lld, %.3f s\n",
-              static_cast<long long>(counted.distinct_statuses),
-              counted.runtime_seconds);
-  return Status::OK();
+  return EmitCount(counted);
 }
 
 Status RunOptions(const FlagSet& flags) {
