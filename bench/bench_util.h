@@ -6,15 +6,19 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace coursenav::bench {
 
 /// Tiny flag reader shared by the reproduction harnesses.
 /// Supported forms: `--full` (raise budgets to reach the paper's largest
-/// configurations) and `--spans=4,5` style overrides, parsed by callers.
+/// configurations), `--profile` (per-stage span profile after the tables),
+/// and `--spans=4,5` style overrides, parsed by callers.
 struct BenchArgs {
   bool full = false;
+  bool profile = false;
   std::vector<std::string> raw;
 
   static BenchArgs Parse(int argc, char** argv) {
@@ -23,6 +27,8 @@ struct BenchArgs {
       std::string arg = argv[i];
       if (arg == "--full") {
         args.full = true;
+      } else if (arg == "--profile") {
+        args.profile = true;
       } else {
         args.raw.push_back(arg);
       }
@@ -89,6 +95,44 @@ inline std::string WithCommas(uint64_t value) {
 }
 
 inline std::string Seconds(double s) { return StrFormat("%.3f", s); }
+
+/// Per-stage profiling for a harness run (`--profile`): owns a span
+/// tracer, installs it on the constructing thread for the profiler's
+/// lifetime, and prints the per-stage aggregate (calls, total and max
+/// duration per span name) collected across every run in between.
+class StageProfiler {
+ public:
+  StageProfiler() : install_(&tracer_) {}
+
+  obs::Tracer* tracer() { return &tracer_; }
+
+  void Print() const {
+    std::vector<obs::SpanAggregate> aggregates =
+        obs::AggregateSpans(tracer_.Spans());
+    std::printf("\nper-stage profile:\n");
+    if (aggregates.empty()) {
+      // Possible when the binary was built with -DCOURSENAV_TRACING=OFF.
+      std::printf("(no spans recorded — was tracing compiled out?)\n");
+      return;
+    }
+    TextTable table({"stage", "spans", "total ms", "max ms"});
+    for (const obs::SpanAggregate& aggregate : aggregates) {
+      table.AddRow({aggregate.name, WithCommas(
+                        static_cast<uint64_t>(aggregate.count)),
+                    StrFormat("%.3f", aggregate.total_us / 1000.0),
+                    StrFormat("%.3f", aggregate.max_us / 1000.0)});
+    }
+    table.Print();
+    if (tracer_.dropped() > 0) {
+      std::printf("(trace buffer full: %zu spans dropped)\n",
+                  tracer_.dropped());
+    }
+  }
+
+ private:
+  obs::Tracer tracer_;
+  obs::ScopedTracer install_;
+};
 
 }  // namespace coursenav::bench
 

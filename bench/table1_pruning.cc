@@ -15,6 +15,7 @@
 // no-pruning node budget.
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/bench_util.h"
 #include "core/goal_generator.h"
@@ -24,6 +25,8 @@ namespace coursenav {
 namespace {
 
 void Run(const bench::BenchArgs& args) {
+  std::optional<bench::StageProfiler> profiler;
+  if (args.profile) profiler.emplace();
   data::BrandeisDataset dataset = data::BuildBrandeisDataset();
   Term end = data::EvaluationEndTerm();
 
@@ -91,6 +94,7 @@ void Run(const bench::BenchArgs& args) {
       "\nPaper shape check: with pruning, path counts and runtimes drop by\n"
       "orders of magnitude, and the time-based strategy accounts for the\n"
       "large majority of pruned work (paper: 82%% / 18%%).\n");
+  if (profiler.has_value()) profiler->Print();
 }
 
 }  // namespace

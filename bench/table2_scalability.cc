@@ -15,6 +15,7 @@
 // budget. `--full` raises every budget.
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/bench_util.h"
 #include "core/counting.h"
@@ -43,6 +44,9 @@ std::string CountCell(const Result<CountingResult>& result) {
 }
 
 void Run(const bench::BenchArgs& args) {
+  std::optional<bench::StageProfiler> profiler;
+  if (args.profile) profiler.emplace();
+
   data::BrandeisDataset dataset = data::BuildBrandeisDataset();
   Term end = data::EvaluationEndTerm();
 
@@ -102,6 +106,7 @@ void Run(const bench::BenchArgs& args) {
       "smaller than deadline-driven per period; materialization hits the\n"
       "memory budget on long periods (paper's N/A cells); goal-path counts\n"
       "explode beyond visualizable sizes at 6+ semesters.\n");
+  if (profiler.has_value()) profiler->Print();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "core/combinations.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/fault_injection.h"
 
@@ -43,7 +44,13 @@ class CountingRun {
   CountingRun& operator=(const CountingRun&) = delete;
 
   Result<CountingResult> Run(const EnrollmentStatus& start) {
+    obs::ScopedSpan run_span(obs::kSpanCountPaths);
     Result<Counts> counts = CountFrom(start.term, start.completed);
+    // Distinct statuses stand in for nodes in the counting rung's metrics
+    // (the memo is what bounds counting memory, as max_nodes does graphs).
+    engine_.metrics().nodes_created += static_cast<int64_t>(memo_.size());
+    if (oracle_ != nullptr) oracle_->EmitStageSpans();
+    run_span.AddInt("distinct_statuses", static_cast<int64_t>(memo_.size()));
     if (!counts.ok()) return counts.status();
     CountingResult result;
     result.total_paths = counts->total;
@@ -51,6 +58,8 @@ class CountingRun {
     result.saturated = saturated_;
     result.distinct_statuses = static_cast<int64_t>(memo_.size());
     result.runtime_seconds = budget_.ElapsedSeconds();
+    run_span.AddInt("total_paths_low64",
+                    static_cast<int64_t>(result.total_paths));
     return result;
   }
 
@@ -91,7 +100,7 @@ class CountingRun {
         next_completed |= selection;
         if (oracle_ != nullptr &&
             oracle_->ClassifyChild(next_completed, selection.count(),
-                                   child_term, left_parent, &scratch_stats_) !=
+                                   child_term, left_parent) !=
                 internal::PruningOracle::Verdict::kKeep) {
           return true;
         }
@@ -133,6 +142,7 @@ class CountingRun {
   }
 
   Status CheckBudget() {
+    engine_.metrics().budget_checks += 1;
     const ExplorationLimits& limits = options_.limits;
     if (limits.max_nodes > 0 &&
         static_cast<int64_t>(memo_.size()) >= limits.max_nodes) {
@@ -154,7 +164,6 @@ class CountingRun {
   internal::ExplorationEngine engine_;
   DeadlineBudget budget_;
   std::unique_ptr<internal::PruningOracle> oracle_;
-  ExplorationStats scratch_stats_;
   std::unordered_map<MemoKey, Counts, MemoKeyHash> memo_;
   bool saturated_ = false;
 };

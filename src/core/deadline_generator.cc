@@ -1,9 +1,11 @@
 #include "core/deadline_generator.h"
 
+#include <optional>
 #include <vector>
 
 #include "core/combinations.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 
 namespace coursenav {
 
@@ -17,93 +19,104 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
     return Status::InvalidArgument("end semester must be after the start");
   }
 
+  obs::ScopedSpan run_span(obs::kSpanGenerateDeadline);
+  std::optional<obs::ScopedSpan> construct_span;
+  construct_span.emplace(obs::kSpanGraphConstruct);
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
+  obs::ExplorationMetrics& metrics = engine.metrics();
   GenerationResult result;
   LearningGraph& graph = result.graph;
-  ExplorationStats& stats = result.stats;
 
   // Line 1-3 of Algorithm 1: the start node n1 with X1 = X and its options.
   DynamicBitset root_options =
       ComputeOptions(catalog, schedule, start.completed, start.term, options);
   NodeId root = graph.AddRoot(start.term, start.completed, root_options);
-  ++stats.nodes_created;
+  metrics.nodes_created += 1;
+  construct_span->AddInt("catalog_courses", catalog.size());
+  construct_span.reset();
 
-  // Worklist of nodes with out-degree 0 (line 4). LIFO keeps the frontier
-  // small and cache-warm; expansion order does not affect the output set.
-  std::vector<NodeId> worklist{root};
+  {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
 
-  while (!worklist.empty()) {
-    Status budget = engine.CheckBudget(graph);
-    if (!budget.ok()) {
-      result.termination = budget;
-      break;
-    }
-    NodeId current = worklist.back();
-    worklist.pop_back();
-    ++stats.nodes_expanded;
+    // Worklist of nodes with out-degree 0 (line 4). LIFO keeps the frontier
+    // small and cache-warm; expansion order does not affect the output set.
+    std::vector<NodeId> worklist{root};
 
-    // Snapshot what we need; AddChild reallocation invalidates references.
-    const Term term = graph.node(current).term;
-    const DynamicBitset completed = graph.node(current).completed;
-    const DynamicBitset node_options = graph.node(current).options;
-
-    // Line 5: nodes in the end semester are goal vertices; stop there.
-    if (term == end_term) {
-      graph.MarkGoal(current);
-      ++stats.terminal_paths;
-      ++stats.goal_paths;
-      continue;
-    }
-
-    bool expanded = false;
-    auto add_child = [&](const DynamicBitset& selection) {
-      DynamicBitset next_completed = completed;
-      next_completed |= selection;  // line 11: X_{i+1} = X_i ∪ W
-      DynamicBitset next_options = ComputeOptions(
-          catalog, schedule, next_completed, term.Next(), options);  // line 13
-      NodeId child = graph.AddChild(current, selection,
-                                    std::move(next_completed),
-                                    std::move(next_options));
-      ++stats.nodes_created;
-      ++stats.edges_created;
-      worklist.push_back(child);
-      expanded = true;
-    };
-
-    // Lines 7-14: one child per course combination W ⊆ Y_i, |W| <= m.
-    if (!node_options.empty()) {
-      bool completed_enumeration = ForEachSelection(
-          node_options, 1, options.max_courses_per_term,
-          [&](const DynamicBitset& selection) {
-            if (!engine.CheckBudget(graph).ok()) return false;
-            add_child(selection);
-            return true;
-          });
-      if (!completed_enumeration) {
-        result.termination = engine.CheckBudget(graph);
+    while (!worklist.empty()) {
+      Status budget = engine.CheckBudget(graph);
+      if (!budget.ok()) {
+        result.termination = budget;
         break;
       }
-    }
+      NodeId current = worklist.back();
+      worklist.pop_back();
+      metrics.nodes_expanded += 1;
 
-    // Skip edge: advance a semester with an empty selection when nothing is
-    // electable now but courses remain later (Figure 3's n4 → n7). With
-    // allow_voluntary_skip the student may idle unconditionally.
-    bool skip_edge =
-        options.allow_voluntary_skip ||
-        (node_options.empty() && engine.FutureCourseExists(completed, term));
-    if (skip_edge) {
-      add_child(DynamicBitset(catalog.size()));
-    }
+      // Snapshot what we need; AddChild reallocation invalidates references.
+      const Term term = graph.node(current).term;
+      const DynamicBitset completed = graph.node(current).completed;
+      const DynamicBitset node_options = graph.node(current).options;
 
-    if (!expanded) {
-      // Dead end: no options now and none later. The path ends here.
-      ++stats.terminal_paths;
-      ++stats.dead_end_paths;
+      // Line 5: nodes in the end semester are goal vertices; stop there.
+      if (term == end_term) {
+        graph.MarkGoal(current);
+        metrics.terminal_paths += 1;
+        metrics.goal_paths += 1;
+        continue;
+      }
+
+      bool expanded = false;
+      auto add_child = [&](const DynamicBitset& selection) {
+        DynamicBitset next_completed = completed;
+        next_completed |= selection;  // line 11: X_{i+1} = X_i ∪ W
+        DynamicBitset next_options = ComputeOptions(
+            catalog, schedule, next_completed, term.Next(), options);  // l.13
+        NodeId child = graph.AddChild(current, selection,
+                                      std::move(next_completed),
+                                      std::move(next_options));
+        metrics.nodes_created += 1;
+        metrics.edges_created += 1;
+        worklist.push_back(child);
+        expanded = true;
+      };
+
+      // Lines 7-14: one child per course combination W ⊆ Y_i, |W| <= m.
+      if (!node_options.empty()) {
+        bool completed_enumeration = ForEachSelection(
+            node_options, 1, options.max_courses_per_term,
+            [&](const DynamicBitset& selection) {
+              if (!engine.CheckBudget(graph).ok()) return false;
+              add_child(selection);
+              return true;
+            });
+        if (!completed_enumeration) {
+          result.termination = engine.CheckBudget(graph);
+          break;
+        }
+      }
+
+      // Skip edge: advance a semester with an empty selection when nothing
+      // is electable now but courses remain later (Figure 3's n4 → n7).
+      // With allow_voluntary_skip the student may idle unconditionally.
+      bool skip_edge =
+          options.allow_voluntary_skip ||
+          (node_options.empty() && engine.FutureCourseExists(completed, term));
+      if (skip_edge) {
+        add_child(DynamicBitset(catalog.size()));
+      }
+
+      if (!expanded) {
+        // Dead end: no options now and none later. The path ends here.
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+      }
     }
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
   }
 
-  stats.runtime_seconds = engine.ElapsedSeconds();
+  result.stats = engine.StatsView();
+  run_span.AddInt("nodes_created", result.stats.nodes_created);
   if (!result.termination.ok()) return result;
 
   result.termination = Status::OK();

@@ -9,6 +9,7 @@ ExplorationEngine::ExplorationEngine(const Catalog& catalog,
                                      const ExplorationOptions& options,
                                      Term start, Term end)
     : options_(options),
+      metrics_(&registry_),
       budget_(options.limits.max_seconds, options.cancel),
       start_(start),
       end_(end),
@@ -28,6 +29,16 @@ ExplorationEngine::ExplorationEngine(const Catalog& catalog,
   }
 }
 
+ExplorationEngine::~ExplorationEngine() {
+  metrics_.Publish();
+  obs::MetricRegistry& global = obs::GlobalMetrics();
+  registry_.AccumulateInto(&global);
+  global.GetCounter(obs::kMetricRuns)->Increment();
+  global.GetHistogram(obs::kMetricRuntimeMicros)
+      ->Observe(static_cast<int64_t>(ElapsedSeconds() * 1e6));
+  global.GetGauge(obs::kMetricPeakNodes)->UpdateMax(metrics_.nodes_created);
+}
+
 const DynamicBitset& ExplorationEngine::AvailableFrom(Term term) const {
   int k = term - start_;
   if (k < 0) k = 0;
@@ -44,6 +55,7 @@ bool ExplorationEngine::FutureCourseExists(const DynamicBitset& completed,
 }
 
 Status ExplorationEngine::CheckBudget(const LearningGraph& graph) {
+  ++metrics_.budget_checks;
   if (graph.allocation_failed()) {
     return Status::ResourceExhausted(
         "simulated allocation failure (fault injection)");

@@ -9,6 +9,7 @@
 #include "core/options.h"
 #include "core/stats.h"
 #include "graph/learning_graph.h"
+#include "obs/metrics.h"
 #include "util/bitset.h"
 #include "util/cancellation.h"
 #include "util/result.h"
@@ -27,6 +28,12 @@ class ExplorationEngine {
   /// the skip-edge rule and the availability pruning strategy.
   ExplorationEngine(const Catalog& catalog, const OfferingSchedule& schedule,
                     const ExplorationOptions& options, Term start, Term end);
+
+  /// Destruction folds the run's metric registry into the process-global
+  /// one (plus a runs counter, a runtime histogram observation, and the
+  /// peak-nodes gauge), so every run is accounted exactly once — including
+  /// early-error exits.
+  ~ExplorationEngine();
 
   /// Courses offered (and not avoided) in any semester of `[term, end-1]`.
   /// Returns the empty set for terms at or beyond `end`.
@@ -50,11 +57,26 @@ class ExplorationEngine {
 
   DeadlineBudget& budget() { return budget_; }
 
+  /// The run's instrumentation bundle: generators and the pruning oracle
+  /// bump these plain tallies (a run is single-threaded, so no atomics on
+  /// the hot path); `ExplorationStats::FromMetrics` snapshots them into
+  /// the legacy struct, and the destructor publishes them into the run's
+  /// registry before folding it into the global one.
+  obs::ExplorationMetrics& metrics() const { return metrics_; }
+
+  /// Legacy-shaped snapshot of the run so far.
+  ExplorationStats StatsView() const {
+    return ExplorationStats::FromMetrics(metrics_, ElapsedSeconds());
+  }
+
   Term start() const { return start_; }
   Term end() const { return end_; }
 
  private:
   const ExplorationOptions& options_;
+  /// Per-run registry; isolated so concurrent runs never share counters.
+  mutable obs::MetricRegistry registry_;
+  mutable obs::ExplorationMetrics metrics_;
   DeadlineBudget budget_;
   Term start_;
   Term end_;

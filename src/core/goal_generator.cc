@@ -1,10 +1,12 @@
 #include "core/goal_generator.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "core/combinations.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 
 namespace coursenav {
 
@@ -18,111 +20,123 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
     return Status::InvalidArgument("end semester must be after the start");
   }
 
+  obs::ScopedSpan run_span(obs::kSpanGenerateGoal);
+  std::optional<obs::ScopedSpan> construct_span;
+  construct_span.emplace(obs::kSpanGraphConstruct);
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
   internal::PruningOracle oracle(goal, engine, options, config);
   using Verdict = internal::PruningOracle::Verdict;
+  obs::ExplorationMetrics& metrics = engine.metrics();
 
   GenerationResult result;
   LearningGraph& graph = result.graph;
-  ExplorationStats& stats = result.stats;
 
   DynamicBitset root_options =
       ComputeOptions(catalog, schedule, start.completed, start.term, options);
   NodeId root = graph.AddRoot(start.term, start.completed, root_options);
-  ++stats.nodes_created;
+  metrics.nodes_created += 1;
+  construct_span->AddInt("catalog_courses", catalog.size());
+  construct_span.reset();  // engine + oracle + root built; close the span
+  {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
 
-  std::vector<NodeId> worklist{root};
-  while (!worklist.empty()) {
-    Status budget = engine.CheckBudget(graph);
-    if (!budget.ok()) {
-      result.termination = budget;
-      break;
-    }
-    NodeId current = worklist.back();
-    worklist.pop_back();
-    ++stats.nodes_expanded;
-
-    const Term term = graph.node(current).term;
-    const DynamicBitset completed = graph.node(current).completed;
-    const DynamicBitset node_options = graph.node(current).options;
-
-    // Stop at goal nodes: the requirement already holds here (§4.2.3).
-    if (goal.IsSatisfied(completed)) {
-      graph.MarkGoal(current);
-      ++stats.terminal_paths;
-      ++stats.goal_paths;
-      continue;
-    }
-    // Stop at the end semester; this leaf misses the goal.
-    if (term == end_term) {
-      ++stats.terminal_paths;
-      ++stats.dead_end_paths;
-      continue;
-    }
-
-    const Term child_term = term.Next();
-    const int left_parent = oracle.LeftAt(completed);
-
-    bool expanded = false;
-    auto consider_child = [&](const DynamicBitset& selection) {
-      DynamicBitset next_completed = completed;
-      next_completed |= selection;
-      if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
-                               left_parent, &stats) != Verdict::kKeep) {
-        return;
-      }
-      DynamicBitset next_options = ComputeOptions(
-          catalog, schedule, next_completed, child_term, options);
-      NodeId child = graph.AddChild(current, selection,
-                                    std::move(next_completed),
-                                    std::move(next_options));
-      ++stats.nodes_created;
-      ++stats.edges_created;
-      worklist.push_back(child);
-      expanded = true;
-    };
-
-    // Selections below Equation 1's minimum size provably miss the
-    // deadline; skip enumerating them but account them as time-pruned.
-    int min_selection = oracle.MinSelectionSize(left_parent, term);
-    if (min_selection > 1) {
-      // Only sizes up to m were ever candidates.
-      int skipped_max =
-          std::min(min_selection - 1, options.max_courses_per_term);
-      stats.pruned_time += static_cast<int64_t>(
-          CountSelections(node_options.count(), 1, skipped_max));
-    }
-
-    if (!node_options.empty() && min_selection <= node_options.count()) {
-      bool completed_enumeration = ForEachSelection(
-          node_options, min_selection, options.max_courses_per_term,
-          [&](const DynamicBitset& selection) {
-            if (!engine.CheckBudget(graph).ok()) return false;
-            consider_child(selection);
-            return true;
-          });
-      if (!completed_enumeration) {
-        result.termination = engine.CheckBudget(graph);
+    std::vector<NodeId> worklist{root};
+    while (!worklist.empty()) {
+      Status budget = engine.CheckBudget(graph);
+      if (!budget.ok()) {
+        result.termination = budget;
         break;
       }
-    }
+      NodeId current = worklist.back();
+      worklist.pop_back();
+      metrics.nodes_expanded += 1;
 
-    // Skip edge (empty selection), under the same pruning regime.
-    bool skip_edge =
-        options.allow_voluntary_skip ||
-        (node_options.empty() && engine.FutureCourseExists(completed, term));
-    if (skip_edge) {
-      consider_child(DynamicBitset(catalog.size()));
-    }
+      const Term term = graph.node(current).term;
+      const DynamicBitset completed = graph.node(current).completed;
+      const DynamicBitset node_options = graph.node(current).options;
 
-    if (!expanded) {
-      ++stats.terminal_paths;
-      ++stats.dead_end_paths;
+      // Stop at goal nodes: the requirement already holds here (§4.2.3).
+      if (goal.IsSatisfied(completed)) {
+        graph.MarkGoal(current);
+        metrics.terminal_paths += 1;
+        metrics.goal_paths += 1;
+        continue;
+      }
+      // Stop at the end semester; this leaf misses the goal.
+      if (term == end_term) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+        continue;
+      }
+
+      const Term child_term = term.Next();
+      const int left_parent = oracle.LeftAt(completed);
+
+      bool expanded = false;
+      auto consider_child = [&](const DynamicBitset& selection) {
+        DynamicBitset next_completed = completed;
+        next_completed |= selection;
+        if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
+                                 left_parent) != Verdict::kKeep) {
+          return;
+        }
+        DynamicBitset next_options = ComputeOptions(
+            catalog, schedule, next_completed, child_term, options);
+        NodeId child = graph.AddChild(current, selection,
+                                      std::move(next_completed),
+                                      std::move(next_options));
+        metrics.nodes_created += 1;
+        metrics.edges_created += 1;
+        worklist.push_back(child);
+        expanded = true;
+      };
+
+      // Selections below Equation 1's minimum size provably miss the
+      // deadline; skip enumerating them but account them as time-pruned.
+      int min_selection = oracle.MinSelectionSize(left_parent, term);
+      if (min_selection > 1) {
+        // Only sizes up to m were ever candidates.
+        int skipped_max =
+            std::min(min_selection - 1, options.max_courses_per_term);
+        oracle.AccountSkippedTimePruned(static_cast<int64_t>(
+            CountSelections(node_options.count(), 1, skipped_max)));
+      }
+
+      if (!node_options.empty() && min_selection <= node_options.count()) {
+        bool completed_enumeration = ForEachSelection(
+            node_options, min_selection, options.max_courses_per_term,
+            [&](const DynamicBitset& selection) {
+              if (!engine.CheckBudget(graph).ok()) return false;
+              consider_child(selection);
+              return true;
+            });
+        if (!completed_enumeration) {
+          result.termination = engine.CheckBudget(graph);
+          break;
+        }
+      }
+
+      // Skip edge (empty selection), under the same pruning regime.
+      bool skip_edge =
+          options.allow_voluntary_skip ||
+          (node_options.empty() && engine.FutureCourseExists(completed, term));
+      if (skip_edge) {
+        consider_child(DynamicBitset(catalog.size()));
+      }
+
+      if (!expanded) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+      }
     }
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
   }
 
-  stats.runtime_seconds = engine.ElapsedSeconds();
+  oracle.EmitStageSpans();
+  result.stats = engine.StatsView();
+  run_span.AddInt("nodes_created", result.stats.nodes_created);
+  run_span.AddInt("goal_paths", result.stats.goal_paths);
   return result;
 }
 

@@ -25,26 +25,46 @@ int PruningOracle::MinSelectionSize(int left_parent, Term parent_term) const {
   return min_i > 1 ? min_i : 1;
 }
 
+void PruningOracle::AccountSkippedTimePruned(int64_t count) {
+  engine_.metrics().pruned_time += count;
+}
+
+void PruningOracle::EmitStageSpans() const {
+  time_stage_.Emit(
+      obs::kSpanPruneTime,
+      {obs::SpanAttribute::Int("pruned",
+                               engine_.metrics().pruned_time),
+       obs::SpanAttribute::Int("enabled", config_.enable_time_pruning)});
+  availability_stage_.Emit(
+      obs::kSpanPruneAvailability,
+      {obs::SpanAttribute::Int(
+           "pruned", engine_.metrics().pruned_availability),
+       obs::SpanAttribute::Int("enabled",
+                               config_.enable_availability_pruning)});
+}
+
 PruningOracle::Verdict PruningOracle::ClassifyChild(
     const DynamicBitset& child_completed, int selection_size, Term child_term,
-    int left_parent, ExplorationStats* stats) {
+    int left_parent) {
   if (config_.enable_time_pruning) {
+    obs::StageSample sample(&time_stage_);
     const int child_bound =
         options_.max_courses_per_term * (engine_.end() - child_term);
     // Fast certain-prune: one semester reduces `left` by at most |W|.
     if (left_parent - selection_size > child_bound) {
-      ++stats->pruned_time;
+      engine_.metrics().pruned_time += 1;
       return Verdict::kPrunedTime;
     }
     // Fast certain-keep for monotone goals: left(X ∪ W) <= left(X).
     bool needs_exact = !(goal_is_monotone_ && left_parent <= child_bound);
     if (needs_exact &&
         goal_.MinCoursesRemaining(child_completed) > child_bound) {
-      ++stats->pruned_time;
+      engine_.metrics().pruned_time += 1;
       return Verdict::kPrunedTime;
     }
   }
   if (config_.enable_availability_pruning) {
+    obs::StageSample sample(&availability_stage_);
     const DynamicBitset& available = engine_.AvailableFrom(child_term);
     bool achievable;
     // The cache key is the reachable set, whose verdict is well-defined
@@ -65,7 +85,7 @@ PruningOracle::Verdict PruningOracle::ClassifyChild(
       achievable = goal_.AchievableWith(child_completed, available);
     }
     if (!achievable) {
-      ++stats->pruned_availability;
+      engine_.metrics().pruned_availability += 1;
       return Verdict::kPrunedAvailability;
     }
   }

@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "core/options.h"
 #include "core/stats.h"
+#include "obs/trace.h"
 #include "requirements/goal.h"
 #include "util/bitset.h"
 
@@ -65,10 +66,20 @@ class PruningOracle {
   /// Applies time-based then course-availability pruning to a candidate
   /// child (`child_completed` at `child_term`, reached by electing
   /// `selection_size` courses). `left_parent` is `LeftAt` of the parent.
-  /// Increments the matching counter in `stats` when pruning.
+  /// Increments the matching pruning counter in the engine's metric
+  /// registry when pruning, and (when a tracer is installed) accumulates
+  /// per-strategy wall time for `EmitStageSpans`.
   Verdict ClassifyChild(const DynamicBitset& child_completed,
-                        int selection_size, Term child_term, int left_parent,
-                        ExplorationStats* stats);
+                        int selection_size, Term child_term, int left_parent);
+
+  /// Records `count` candidates as time-pruned without classifying them
+  /// individually (the Equation 1 min-selection shortcut).
+  void AccountSkippedTimePruned(int64_t count);
+
+  /// Emits one aggregate span per pruning strategy ("prune/time",
+  /// "prune/availability") carrying call counts, pruned counts, and the
+  /// accumulated strategy time. No-op without an installed tracer.
+  void EmitStageSpans() const;
 
  private:
   const Goal& goal_;
@@ -76,6 +87,8 @@ class PruningOracle {
   const ExplorationOptions& options_;
   const GoalDrivenConfig& config_;
   bool goal_is_monotone_;
+  obs::StageAccumulator time_stage_;
+  obs::StageAccumulator availability_stage_;
 
   /// term index -> reachable-set -> achievability verdict.
   std::unordered_map<

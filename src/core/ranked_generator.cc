@@ -1,12 +1,14 @@
 #include "core/ranked_generator.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <vector>
 
 #include "core/combinations.h"
 #include "core/engine.h"
 #include "graph/learning_graph.h"
+#include "obs/trace.h"
 
 namespace coursenav {
 
@@ -47,122 +49,147 @@ Result<RankedResult> GenerateRankedPaths(
     return Status::InvalidArgument("k must be >= 1");
   }
 
+  obs::ScopedSpan run_span(obs::kSpanGenerateRanked);
+  std::optional<obs::ScopedSpan> construct_span;
+  construct_span.emplace(obs::kSpanGraphConstruct);
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
   internal::PruningOracle oracle(goal, engine, options, config);
   using Verdict = internal::PruningOracle::Verdict;
+  obs::ExplorationMetrics& metrics = engine.metrics();
+  /// Aggregate wall time spent inside the ranking function (EdgeCost +
+  /// admissible bound), emitted as one "rank/evaluate" span per run.
+  obs::StageAccumulator rank_stage;
 
   RankedResult result;
-  ExplorationStats& stats = result.stats;
   LearningGraph graph;
 
   DynamicBitset root_options =
       ComputeOptions(catalog, schedule, start.completed, start.term, options);
   NodeId root = graph.AddRoot(start.term, start.completed, root_options);
-  ++stats.nodes_created;
+  metrics.nodes_created += 1;
+  construct_span.reset();
 
-  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
-                      FrontierCompare>
-      frontier;
-  int64_t sequence = 0;
-  const int m = options.max_courses_per_term;
-  frontier.push(
-      {ranking.RemainingCostLowerBound(start.completed, goal, m),
-       sequence++, root});
+  {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
 
-  while (!frontier.empty() && static_cast<int>(result.paths.size()) < k) {
-    Status budget = engine.CheckBudget(graph);
-    if (!budget.ok()) {
-      result.termination = budget;
-      break;
-    }
-    FrontierEntry entry = frontier.top();
-    frontier.pop();
-    NodeId current = entry.node;
-    ++stats.nodes_expanded;
-
-    const Term term = graph.node(current).term;
-    const DynamicBitset completed = graph.node(current).completed;
-    const DynamicBitset node_options = graph.node(current).options;
-
-    // Popping in cost order makes each goal hit the next-cheapest path.
-    if (goal.IsSatisfied(completed)) {
-      graph.MarkGoal(current);
-      ++stats.terminal_paths;
-      ++stats.goal_paths;
-      LearningPath path = LearningPath::FromGraph(graph, current);
-      result.paths.push_back(std::move(path));
-      continue;
-    }
-    if (term == end_term) {
-      ++stats.terminal_paths;
-      ++stats.dead_end_paths;
-      continue;
+    std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                        FrontierCompare>
+        frontier;
+    int64_t sequence = 0;
+    const int m = options.max_courses_per_term;
+    {
+      obs::StageSample sample(&rank_stage);
+      frontier.push(
+          {ranking.RemainingCostLowerBound(start.completed, goal, m),
+           sequence++, root});
     }
 
-    const Term child_term = term.Next();
-    const int left_parent = oracle.LeftAt(completed);
-
-    bool expanded = false;
-    auto consider_child = [&](const DynamicBitset& selection) {
-      DynamicBitset next_completed = completed;
-      next_completed |= selection;
-      if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
-                               left_parent, &stats) != Verdict::kKeep) {
-        return;
-      }
-      double edge_cost = ranking.EdgeCost(selection, term);
-      double child_cost =
-          ranking.Combine(graph.node(current).path_cost, edge_cost);
-      DynamicBitset next_options = ComputeOptions(
-          catalog, schedule, next_completed, child_term, options);
-      double cost_to_go =
-          ranking.RemainingCostLowerBound(next_completed, goal, m);
-      NodeId child = graph.AddChildWithPathCost(
-          current, selection, std::move(next_completed),
-          std::move(next_options), edge_cost, child_cost);
-      ++stats.nodes_created;
-      ++stats.edges_created;
-      frontier.push({child_cost + cost_to_go, sequence++, child});
-      expanded = true;
-    };
-
-    int min_selection = oracle.MinSelectionSize(left_parent, term);
-    if (min_selection > 1) {
-      int skipped_max =
-          std::min(min_selection - 1, options.max_courses_per_term);
-      stats.pruned_time += static_cast<int64_t>(
-          CountSelections(node_options.count(), 1, skipped_max));
-    }
-
-    if (!node_options.empty() && min_selection <= node_options.count()) {
-      bool completed_enumeration = ForEachSelection(
-          node_options, min_selection, options.max_courses_per_term,
-          [&](const DynamicBitset& selection) {
-            if (!engine.CheckBudget(graph).ok()) return false;
-            consider_child(selection);
-            return true;
-          });
-      if (!completed_enumeration) {
-        result.termination = engine.CheckBudget(graph);
+    while (!frontier.empty() && static_cast<int>(result.paths.size()) < k) {
+      Status budget = engine.CheckBudget(graph);
+      if (!budget.ok()) {
+        result.termination = budget;
         break;
       }
-    }
+      FrontierEntry entry = frontier.top();
+      frontier.pop();
+      NodeId current = entry.node;
+      metrics.nodes_expanded += 1;
 
-    bool skip_edge =
-        options.allow_voluntary_skip ||
-        (node_options.empty() && engine.FutureCourseExists(completed, term));
-    if (skip_edge) {
-      consider_child(DynamicBitset(catalog.size()));
-    }
+      const Term term = graph.node(current).term;
+      const DynamicBitset completed = graph.node(current).completed;
+      const DynamicBitset node_options = graph.node(current).options;
 
-    if (!expanded) {
-      ++stats.terminal_paths;
-      ++stats.dead_end_paths;
+      // Popping in cost order makes each goal hit the next-cheapest path.
+      if (goal.IsSatisfied(completed)) {
+        graph.MarkGoal(current);
+        metrics.terminal_paths += 1;
+        metrics.goal_paths += 1;
+        LearningPath path = LearningPath::FromGraph(graph, current);
+        result.paths.push_back(std::move(path));
+        continue;
+      }
+      if (term == end_term) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+        continue;
+      }
+
+      const Term child_term = term.Next();
+      const int left_parent = oracle.LeftAt(completed);
+
+      bool expanded = false;
+      auto consider_child = [&](const DynamicBitset& selection) {
+        DynamicBitset next_completed = completed;
+        next_completed |= selection;
+        if (oracle.ClassifyChild(next_completed, selection.count(),
+                                 child_term, left_parent) != Verdict::kKeep) {
+          return;
+        }
+        double edge_cost;
+        double child_cost;
+        double cost_to_go;
+        {
+          obs::StageSample sample(&rank_stage);
+          edge_cost = ranking.EdgeCost(selection, term);
+          child_cost =
+              ranking.Combine(graph.node(current).path_cost, edge_cost);
+          cost_to_go = ranking.RemainingCostLowerBound(next_completed, goal, m);
+        }
+        DynamicBitset next_options = ComputeOptions(
+            catalog, schedule, next_completed, child_term, options);
+        NodeId child = graph.AddChildWithPathCost(
+            current, selection, std::move(next_completed),
+            std::move(next_options), edge_cost, child_cost);
+        metrics.nodes_created += 1;
+        metrics.edges_created += 1;
+        frontier.push({child_cost + cost_to_go, sequence++, child});
+        expanded = true;
+      };
+
+      int min_selection = oracle.MinSelectionSize(left_parent, term);
+      if (min_selection > 1) {
+        int skipped_max =
+            std::min(min_selection - 1, options.max_courses_per_term);
+        oracle.AccountSkippedTimePruned(static_cast<int64_t>(
+            CountSelections(node_options.count(), 1, skipped_max)));
+      }
+
+      if (!node_options.empty() && min_selection <= node_options.count()) {
+        bool completed_enumeration = ForEachSelection(
+            node_options, min_selection, options.max_courses_per_term,
+            [&](const DynamicBitset& selection) {
+              if (!engine.CheckBudget(graph).ok()) return false;
+              consider_child(selection);
+              return true;
+            });
+        if (!completed_enumeration) {
+          result.termination = engine.CheckBudget(graph);
+          break;
+        }
+      }
+
+      bool skip_edge =
+          options.allow_voluntary_skip ||
+          (node_options.empty() && engine.FutureCourseExists(completed, term));
+      if (skip_edge) {
+        consider_child(DynamicBitset(catalog.size()));
+      }
+
+      if (!expanded) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+      }
     }
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
   }
 
-  stats.runtime_seconds = engine.ElapsedSeconds();
+  rank_stage.Emit(obs::kSpanRankEvaluate);
+  oracle.EmitStageSpans();
+  result.stats = engine.StatsView();
+  run_span.AddInt("nodes_created", result.stats.nodes_created);
+  run_span.AddInt("paths_returned",
+                  static_cast<int64_t>(result.paths.size()));
   return result;
 }
 

@@ -4,11 +4,20 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+#include "util/json.h"
+
 namespace coursenav {
 
 /// Instrumentation emitted by every generator; the benchmark harnesses
 /// report these directly (Table 1's pruning breakdown, Table 2's path
 /// counts).
+///
+/// Since the observability refactor this struct is a *view*: generators
+/// increment counters in a per-run `obs::MetricRegistry` (lock-free on the
+/// hot path) and snapshot them into this legacy shape via `FromMetrics`
+/// when the run finishes. The numbers here therefore reconcile exactly
+/// with what the metrics exporters report.
 struct ExplorationStats {
   /// Nodes materialized into the learning graph.
   int64_t nodes_created = 0;
@@ -34,8 +43,16 @@ struct ExplorationStats {
 
   int64_t TotalPruned() const { return pruned_time + pruned_availability; }
 
-  /// One-line summary for logs.
+  /// Snapshot of a run's metric bundle in the legacy shape.
+  static ExplorationStats FromMetrics(const obs::ExplorationMetrics& metrics,
+                                      double runtime_seconds);
+
+  /// One-line summary for logs: every counter, the pruning breakdown with
+  /// per-strategy percentages (Table 1's layout), and the runtime.
   std::string ToString() const;
+
+  /// Structured form for `--stats-format=json` and the exporters.
+  JsonValue ToJson() const;
 };
 
 }  // namespace coursenav

@@ -1,0 +1,117 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace coursenav::obs {
+
+namespace {
+
+std::string SeriesName(std::string_view prefix, std::string_view name) {
+  return std::string(prefix) + std::string(name);
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<MetricSnapshot>& snapshot,
+                             std::string_view prefix) {
+  std::string out;
+  for (const MetricSnapshot& metric : snapshot) {
+    std::string series = SeriesName(prefix, metric.name);
+    out += StrFormat("# TYPE %s %s\n", series.c_str(),
+                     std::string(MetricKindName(metric.kind)).c_str());
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += StrFormat("%s %lld\n", series.c_str(),
+                         static_cast<long long>(metric.value));
+        break;
+      case MetricKind::kHistogram: {
+        int64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+          cumulative += metric.buckets[static_cast<size_t>(b)];
+          if (b == Histogram::kNumBuckets - 1) {
+            out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", series.c_str(),
+                             static_cast<long long>(cumulative));
+          } else {
+            out += StrFormat(
+                "%s_bucket{le=\"%lld\"} %lld\n", series.c_str(),
+                static_cast<long long>(Histogram::UpperBound(b)),
+                static_cast<long long>(cumulative));
+          }
+        }
+        out += StrFormat("%s_sum %lld\n", series.c_str(),
+                         static_cast<long long>(metric.sum));
+        out += StrFormat("%s_count %lld\n", series.c_str(),
+                         static_cast<long long>(metric.value));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricRegistry& registry,
+                             std::string_view prefix) {
+  return RenderPrometheus(registry.Snapshot(), prefix);
+}
+
+JsonValue SpanToJson(const SpanRecord& span) {
+  JsonValue::Object object;
+  object["span_id"] = JsonValue(span.span_id);
+  object["parent_id"] = JsonValue(span.parent_id);
+  object["name"] = JsonValue(span.name);
+  object["start_us"] = JsonValue(span.start_us);
+  object["dur_us"] = JsonValue(span.duration_us);
+  if (!span.attributes.empty()) {
+    JsonValue::Object attrs;
+    for (const SpanAttribute& attr : span.attributes) {
+      switch (attr.kind) {
+        case SpanAttribute::Kind::kInt:
+          attrs[attr.key] = JsonValue(attr.int_value);
+          break;
+        case SpanAttribute::Kind::kDouble:
+          attrs[attr.key] = JsonValue(attr.double_value);
+          break;
+        case SpanAttribute::Kind::kString:
+          attrs[attr.key] = JsonValue(attr.string_value);
+          break;
+      }
+    }
+    object["attrs"] = JsonValue(std::move(attrs));
+  }
+  return JsonValue(std::move(object));
+}
+
+std::string TraceToJsonLines(const Tracer& tracer) {
+  std::string out;
+  for (const SpanRecord& span : tracer.Spans()) {
+    out += SpanToJson(span).Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& span : spans) {
+    SpanAggregate& agg = by_name[span.name];
+    agg.name = span.name;
+    ++agg.count;
+    agg.total_us += span.duration_us;
+    agg.max_us = std::max(agg.max_us, span.duration_us);
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  std::sort(out.begin(), out.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              return a.total_us > b.total_us;
+            });
+  return out;
+}
+
+}  // namespace coursenav::obs

@@ -1,0 +1,46 @@
+#ifndef COURSENAV_OBS_EXPORT_H_
+#define COURSENAV_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace coursenav::obs {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format:
+/// `# TYPE` headers, `_bucket{le="..."}` / `_sum` / `_count` series for
+/// histograms. Metric names are prefixed (default "coursenav_").
+std::string RenderPrometheus(const std::vector<MetricSnapshot>& snapshot,
+                             std::string_view prefix = "coursenav_");
+
+/// Convenience: snapshot + render in one call.
+std::string RenderPrometheus(const MetricRegistry& registry,
+                             std::string_view prefix = "coursenav_");
+
+/// One span as a JSON object: span_id, parent_id, name, start_us, dur_us,
+/// and an "attrs" object.
+JsonValue SpanToJson(const SpanRecord& span);
+
+/// The whole trace as JSON lines — one compact span object per line (the
+/// `--trace-out` format; `jq` and trace viewers ingest it line by line).
+std::string TraceToJsonLines(const Tracer& tracer);
+
+/// Per-name aggregation of a span list: count, total and max duration.
+/// This is what the benchmark harnesses print as the per-stage profile.
+struct SpanAggregate {
+  std::string name;
+  int64_t count = 0;
+  int64_t total_us = 0;
+  int64_t max_us = 0;
+};
+
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<SpanRecord>& spans);
+
+}  // namespace coursenav::obs
+
+#endif  // COURSENAV_OBS_EXPORT_H_

@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace coursenav::obs {
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+int64_t Histogram::UpperBound(int bucket) {
+  if (bucket >= kNumBuckets - 1) return INT64_MAX;  // +Inf bucket
+  return int64_t{1} << bucket;
+}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 1) return 0;
+  int bucket = 1;
+  while (bucket < kNumBuckets - 1 && value >= (int64_t{1} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+namespace {
+
+template <typename Slot>
+MetricId InternIn(std::mutex& mu, std::unordered_map<std::string, int>& ids,
+                  std::deque<Slot>& slots, std::deque<std::string>& names,
+                  MetricKind kind, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = ids.find(std::string(name));
+  if (it != ids.end()) return {kind, it->second};
+  int index = static_cast<int>(slots.size());
+  slots.emplace_back();
+  names.emplace_back(name);
+  ids.emplace(std::string(name), index);
+  return {kind, index};
+}
+
+}  // namespace
+
+MetricId MetricRegistry::InternCounter(std::string_view name) {
+  return InternIn(mu_, counter_ids_, counters_, counter_names_,
+                  MetricKind::kCounter, name);
+}
+
+MetricId MetricRegistry::InternGauge(std::string_view name) {
+  return InternIn(mu_, gauge_ids_, gauges_, gauge_names_, MetricKind::kGauge,
+                  name);
+}
+
+MetricId MetricRegistry::InternHistogram(std::string_view name) {
+  return InternIn(mu_, histogram_ids_, histograms_, histogram_names_,
+                  MetricKind::kHistogram, name);
+}
+
+Counter* MetricRegistry::counter(MetricId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[static_cast<size_t>(id.index)];
+}
+
+Gauge* MetricRegistry::gauge(MetricId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[static_cast<size_t>(id.index)];
+}
+
+Histogram* MetricRegistry::histogram(MetricId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_[static_cast<size_t>(id.index)];
+}
+
+std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (size_t i = 0; i < counters_.size(); ++i) {
+      MetricSnapshot snap;
+      snap.name = counter_names_[i];
+      snap.kind = MetricKind::kCounter;
+      snap.value = counters_[i].Value();
+      out.push_back(std::move(snap));
+    }
+    for (size_t i = 0; i < gauges_.size(); ++i) {
+      MetricSnapshot snap;
+      snap.name = gauge_names_[i];
+      snap.kind = MetricKind::kGauge;
+      snap.value = gauges_[i].Value();
+      out.push_back(std::move(snap));
+    }
+    for (size_t i = 0; i < histograms_.size(); ++i) {
+      MetricSnapshot snap;
+      snap.name = histogram_names_[i];
+      snap.kind = MetricKind::kHistogram;
+      snap.value = histograms_[i].Count();
+      snap.sum = histograms_[i].Sum();
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        snap.buckets[static_cast<size_t>(b)] = histograms_[i].BucketCount(b);
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricRegistry::AccumulateInto(MetricRegistry* target) const {
+  if (target == this || target == nullptr) return;
+  std::vector<MetricSnapshot> snapshot = Snapshot();
+  for (const MetricSnapshot& snap : snapshot) {
+    switch (snap.kind) {
+      case MetricKind::kCounter:
+        if (snap.value != 0) target->GetCounter(snap.name)->Increment(snap.value);
+        break;
+      case MetricKind::kGauge:
+        target->GetGauge(snap.name)->UpdateMax(snap.value);
+        break;
+      case MetricKind::kHistogram:
+        if (snap.value != 0) {
+          target->GetHistogram(snap.name)->Merge(snap.value, snap.sum,
+                                                 snap.buckets);
+        }
+        break;
+    }
+  }
+}
+
+MetricRegistry& GlobalMetrics() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+ExplorationMetrics::ExplorationMetrics(MetricRegistry* registry)
+    : registry_(registry),
+      handles_{registry->GetCounter(kMetricNodesCreated),
+               registry->GetCounter(kMetricEdgesCreated),
+               registry->GetCounter(kMetricNodesExpanded),
+               registry->GetCounter(kMetricTerminalPaths),
+               registry->GetCounter(kMetricGoalPaths),
+               registry->GetCounter(kMetricDeadEndPaths),
+               registry->GetCounter(kMetricPrunedTime),
+               registry->GetCounter(kMetricPrunedAvailability),
+               registry->GetCounter(kMetricBudgetChecks)} {}
+
+void ExplorationMetrics::Publish() {
+  const int64_t tallies[kNumTallies] = {
+      nodes_created, edges_created, nodes_expanded,
+      terminal_paths, goal_paths,   dead_end_paths,
+      pruned_time,   pruned_availability, budget_checks};
+  for (int i = 0; i < kNumTallies; ++i) {
+    int64_t delta = tallies[i] - published_[i];
+    if (delta != 0) handles_[i]->Increment(delta);
+    published_[i] = tallies[i];
+  }
+}
+
+}  // namespace coursenav::obs

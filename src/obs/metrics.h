@@ -1,0 +1,267 @@
+#ifndef COURSENAV_OBS_METRICS_H_
+#define COURSENAV_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace coursenav::obs {
+
+/// What a metric slot measures. Counters only grow, gauges hold the last
+/// (or maximum) observation, histograms bucket observations by log2 value.
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view MetricKindName(MetricKind kind);
+
+/// Interned handle for a registered metric name. Ids are indices into the
+/// owning registry's per-kind storage; interning is the only operation that
+/// takes a lock — everything on the hot path is a relaxed atomic.
+struct MetricId {
+  MetricKind kind = MetricKind::kCounter;
+  int index = -1;
+
+  bool valid() const { return index >= 0; }
+};
+
+/// Monotonically increasing count. Lock-free; safe to increment from any
+/// number of threads concurrently.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value, plus a monotone high-watermark
+/// helper for peak tracking. Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if it is currently lower.
+  void UpdateMax(int64_t value) {
+    int64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < value && !value_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log2-bucketed histogram of non-negative integer observations
+/// (typically microseconds or node counts). Bucket `i` counts observations
+/// whose value is < UpperBound(i); the last bucket is unbounded. Lock-free.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  /// Upper bound (exclusive) of bucket `i`: 2^i, except the last bucket
+  /// which absorbs everything (rendered as +Inf).
+  static int64_t UpperBound(int bucket);
+
+  /// Bucket index for a value: 0 for v < 1, else 1 + floor(log2(v)),
+  /// clamped to the last bucket. Negative values clamp to bucket 0.
+  static int BucketIndex(int64_t value);
+
+  void Observe(int64_t value) {
+    buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value > 0 ? value : 0, std::memory_order_relaxed);
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Adds another histogram's tallies (from a snapshot) into this one,
+  /// preserving exact bucket counts and sum.
+  void Merge(int64_t count, int64_t sum,
+             const std::array<int64_t, kNumBuckets>& buckets) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      int64_t n = buckets[static_cast<size_t>(b)];
+      if (n != 0) {
+        buckets_[static_cast<size_t>(b)].fetch_add(n,
+                                                   std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Point-in-time copy of one metric, for exporters and tests.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter/gauge value; for histograms the observation count.
+  int64_t value = 0;
+  /// Histogram only.
+  int64_t sum = 0;
+  std::array<int64_t, Histogram::kNumBuckets> buckets{};
+};
+
+/// A named collection of metrics. Interning a name is mutex-protected and
+/// returns a stable id/pointer; subsequent updates through the handle are
+/// lock-free. Metric names are unique per kind within one registry.
+///
+/// Two registries exist in practice: a short-lived per-run registry owned
+/// by each exploration engine (so a run's numbers are isolated), and the
+/// process-global registry (`GlobalMetrics()`) into which finished runs
+/// accumulate and which the exporters snapshot.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Interns `name`, returning the existing id when already registered.
+  MetricId InternCounter(std::string_view name);
+  MetricId InternGauge(std::string_view name);
+  MetricId InternHistogram(std::string_view name);
+
+  /// Handle lookup; pointers stay valid for the registry's lifetime.
+  Counter* counter(MetricId id);
+  Gauge* gauge(MetricId id);
+  Histogram* histogram(MetricId id);
+
+  /// Convenience: intern + handle in one call (the common setup pattern).
+  Counter* GetCounter(std::string_view name) {
+    return counter(InternCounter(name));
+  }
+  Gauge* GetGauge(std::string_view name) { return gauge(InternGauge(name)); }
+  Histogram* GetHistogram(std::string_view name) {
+    return histogram(InternHistogram(name));
+  }
+
+  /// Point-in-time copy of every metric, sorted by (kind, name) for
+  /// deterministic export.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Adds every counter value and histogram bucket of this registry into
+  /// `target` (interning names there as needed); gauges propagate as
+  /// UpdateMax. Used to fold a finished run's registry into the global one.
+  void AccumulateInto(MetricRegistry* target) const;
+
+ private:
+  mutable std::mutex mu_;  // guards the name maps and deques' growth
+  std::unordered_map<std::string, int> counter_ids_;
+  std::unordered_map<std::string, int> gauge_ids_;
+  std::unordered_map<std::string, int> histogram_ids_;
+  /// Deques: stable element addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::deque<std::string> counter_names_;
+  std::deque<std::string> gauge_names_;
+  std::deque<std::string> histogram_names_;
+};
+
+/// The process-wide registry the exporters snapshot. Never destroyed.
+MetricRegistry& GlobalMetrics();
+
+// ------------------------------------------------------------------
+// Canonical metric names (shared by the engine, exporters, and tests).
+// Prometheus rendering prefixes these with "coursenav_".
+
+inline constexpr std::string_view kMetricNodesCreated =
+    "exploration_nodes_created_total";
+inline constexpr std::string_view kMetricEdgesCreated =
+    "exploration_edges_created_total";
+inline constexpr std::string_view kMetricNodesExpanded =
+    "exploration_nodes_expanded_total";
+inline constexpr std::string_view kMetricTerminalPaths =
+    "exploration_terminal_paths_total";
+inline constexpr std::string_view kMetricGoalPaths =
+    "exploration_goal_paths_total";
+inline constexpr std::string_view kMetricDeadEndPaths =
+    "exploration_dead_end_paths_total";
+inline constexpr std::string_view kMetricPrunedTime =
+    "exploration_pruned_time_total";
+inline constexpr std::string_view kMetricPrunedAvailability =
+    "exploration_pruned_availability_total";
+inline constexpr std::string_view kMetricBudgetChecks =
+    "exploration_budget_checks_total";
+inline constexpr std::string_view kMetricRuns = "exploration_runs_total";
+inline constexpr std::string_view kMetricRuntimeMicros =
+    "exploration_runtime_us";
+inline constexpr std::string_view kMetricPeakNodes = "exploration_peak_nodes";
+inline constexpr std::string_view kMetricFlowChecks =
+    "flow_credited_slots_total";
+inline constexpr std::string_view kMetricFlowSolves =
+    "flow_network_solves_total";
+inline constexpr std::string_view kMetricDegradationRungs =
+    "degradation_rungs_attempted_total";
+inline constexpr std::string_view kMetricDegradationServed =
+    "degradation_responses_served_total";
+inline constexpr std::string_view kMetricSessionCommits =
+    "session_commits_total";
+inline constexpr std::string_view kMetricSessionUndos =
+    "session_undos_total";
+inline constexpr std::string_view kMetricSessionQueries =
+    "session_queries_total";
+inline constexpr std::string_view kMetricSessionCacheHits =
+    "session_goal_path_cache_hits_total";
+inline constexpr std::string_view kMetricSessionCacheMisses =
+    "session_goal_path_cache_misses_total";
+
+/// The per-run instrumentation bundle every generator increments: one
+/// plain int64 tally per legacy `ExplorationStats` counter (plus budget
+/// checks). A generation run is single-threaded, so a hot-path increment
+/// is one register add; routing every per-candidate bump through the
+/// registry's atomic counters instead costs an RMW each and measurably
+/// slows Table 2's goal runs. `Publish()` pushes the tallies into the
+/// owning registry's lock-free counters, adding only the delta since the
+/// last publish so it is safe to call repeatedly; the engine publishes
+/// before folding the run into `GlobalMetrics()`.
+class ExplorationMetrics {
+ public:
+  explicit ExplorationMetrics(MetricRegistry* registry);
+
+  int64_t nodes_created = 0;
+  int64_t edges_created = 0;
+  int64_t nodes_expanded = 0;
+  int64_t terminal_paths = 0;
+  int64_t goal_paths = 0;
+  int64_t dead_end_paths = 0;
+  int64_t pruned_time = 0;
+  int64_t pruned_availability = 0;
+  int64_t budget_checks = 0;
+
+  /// Adds the tallies accumulated since the last publish into the
+  /// registry's counters.
+  void Publish();
+
+  MetricRegistry* registry() const { return registry_; }
+
+ private:
+  static constexpr int kNumTallies = 9;
+
+  MetricRegistry* registry_;
+  Counter* handles_[kNumTallies];
+  int64_t published_[kNumTallies] = {};
+};
+
+}  // namespace coursenav::obs
+
+#endif  // COURSENAV_OBS_METRICS_H_

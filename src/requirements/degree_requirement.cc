@@ -1,6 +1,8 @@
 #include "requirements/degree_requirement.h"
 
 #include "flow/flow_network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace coursenav {
@@ -72,6 +74,11 @@ DegreeRequirement::DegreeRequirement(std::vector<RequirementGroup> groups,
 }
 
 int DegreeRequirement::CreditedSlots(const DynamicBitset& completed) const {
+  // Interned once; a relaxed atomic add per check afterwards.
+  static obs::Counter* flow_checks =
+      obs::GlobalMetrics().GetCounter(obs::kMetricFlowChecks);
+  flow_checks->Increment();
+
   // Disjoint groups need no flow: credit per group is independent. This is
   // the hot path for the core/electives majors the generators hammer.
   if (groups_disjoint_) {
@@ -111,9 +118,16 @@ int DegreeRequirement::CreditedSlots(const DynamicBitset& completed) const {
       }
     }
   }
+  static obs::Counter* flow_solves =
+      obs::GlobalMetrics().GetCounter(obs::kMetricFlowSolves);
+  flow_solves->Increment();
+  obs::ScopedSpan span(obs::kSpanFlowCheck);
+  span.AddInt("courses", n);
+  span.AddInt("groups", g);
   int64_t flow = algorithm_ == FlowAlgorithm::kFordFulkerson
                      ? flow::EdmondsKarpMaxFlow(&network, source, sink)
                      : flow::DinicMaxFlow(&network, source, sink);
+  span.AddInt("max_flow", flow);
   return static_cast<int>(flow);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 #include "util/string_util.h"
 
@@ -80,6 +82,109 @@ std::string DegradationReport::ToString() const {
   return out;
 }
 
+Result<DegradationLevel> ParseDegradationLevel(std::string_view name) {
+  for (DegradationLevel level :
+       {DegradationLevel::kFull, DegradationLevel::kAggressivePruning,
+        DegradationLevel::kRankedSmallK, DegradationLevel::kCountOnly}) {
+    if (DegradationLevelName(level) == name) return level;
+  }
+  return Status::InvalidArgument("unknown degradation level '" +
+                                 std::string(name) + "'");
+}
+
+namespace {
+
+JsonValue StatusToJson(const Status& status) {
+  JsonValue::Object object;
+  object["code"] = JsonValue(std::string(StatusCodeToString(status.code())));
+  object["message"] = JsonValue(status.message());
+  return JsonValue(std::move(object));
+}
+
+// Out-parameter because Result<Status> would be ambiguous: a Status is
+// both a payload and an error here.
+Status StatusFromJson(const JsonValue& json, Status* out) {
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue code_value, json.Get("code"));
+  COURSENAV_ASSIGN_OR_RETURN(std::string code_name, code_value.GetString());
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue message_value, json.Get("message"));
+  COURSENAV_ASSIGN_OR_RETURN(std::string message, message_value.GetString());
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+    StatusCode code = static_cast<StatusCode>(c);
+    if (StatusCodeToString(code) == code_name) {
+      *out = Status(code, std::move(message));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown status code '" + code_name + "'");
+}
+
+}  // namespace
+
+JsonValue DegradationReport::ToJson() const {
+  JsonValue::Object object;
+  object["level_served"] =
+      JsonValue(std::string(DegradationLevelName(level_served)));
+  object["degraded"] = JsonValue(degraded);
+  object["exhausted"] = JsonValue(exhausted);
+  JsonValue::Array rung_array;
+  rung_array.reserve(rungs.size());
+  for (const DegradationRung& rung : rungs) {
+    JsonValue::Object r;
+    r["level"] = JsonValue(std::string(DegradationLevelName(rung.level)));
+    r["attempted"] = JsonValue(rung.attempted);
+    r["outcome"] = StatusToJson(rung.outcome);
+    r["seconds_budget"] = JsonValue(rung.seconds_budget);
+    r["seconds_spent"] = JsonValue(rung.seconds_spent);
+    r["nodes_created"] = JsonValue(rung.nodes_created);
+    rung_array.push_back(JsonValue(std::move(r)));
+  }
+  object["rungs"] = JsonValue(std::move(rung_array));
+  return JsonValue(std::move(object));
+}
+
+Result<DegradationReport> DegradationReport::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("degradation report must be an object");
+  }
+  DegradationReport report;
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue level_value, json.Get("level_served"));
+  COURSENAV_ASSIGN_OR_RETURN(std::string level_name, level_value.GetString());
+  COURSENAV_ASSIGN_OR_RETURN(report.level_served,
+                             ParseDegradationLevel(level_name));
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue degraded_value, json.Get("degraded"));
+  COURSENAV_ASSIGN_OR_RETURN(report.degraded, degraded_value.GetBool());
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue exhausted_value,
+                             json.Get("exhausted"));
+  COURSENAV_ASSIGN_OR_RETURN(report.exhausted, exhausted_value.GetBool());
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue rungs_value, json.Get("rungs"));
+  if (!rungs_value.is_array()) {
+    return Status::InvalidArgument("'rungs' must be an array");
+  }
+  for (const JsonValue& rung_json : rungs_value.array()) {
+    DegradationRung rung;
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue rl, rung_json.Get("level"));
+    COURSENAV_ASSIGN_OR_RETURN(std::string rung_level, rl.GetString());
+    COURSENAV_ASSIGN_OR_RETURN(rung.level,
+                               ParseDegradationLevel(rung_level));
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue attempted,
+                               rung_json.Get("attempted"));
+    COURSENAV_ASSIGN_OR_RETURN(rung.attempted, attempted.GetBool());
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue outcome, rung_json.Get("outcome"));
+    COURSENAV_RETURN_IF_ERROR(StatusFromJson(outcome, &rung.outcome));
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue budget,
+                               rung_json.Get("seconds_budget"));
+    COURSENAV_ASSIGN_OR_RETURN(rung.seconds_budget, budget.GetNumber());
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue spent,
+                               rung_json.Get("seconds_spent"));
+    COURSENAV_ASSIGN_OR_RETURN(rung.seconds_spent, spent.GetNumber());
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue nodes,
+                               rung_json.Get("nodes_created"));
+    COURSENAV_ASSIGN_OR_RETURN(rung.nodes_created, nodes.GetInt());
+    report.rungs.push_back(std::move(rung));
+  }
+  return report;
+}
+
 std::vector<DegradationLevel> DefaultLadder(TaskType type) {
   switch (type) {
     case TaskType::kDeadlineDriven:
@@ -110,6 +215,11 @@ Result<DegradedResponse> ExploreWithDegradation(
   DeadlineBudget overall(request.options.limits.max_seconds,
                          request.options.cancel);
 
+  obs::ScopedSpan ladder_span(obs::kSpanDegradeLadder);
+  ladder_span.AddInt("rungs", static_cast<int64_t>(ladder.size()));
+  static obs::Counter* responses_served =
+      obs::GlobalMetrics().GetCounter(obs::kMetricDegradationServed);
+
   DegradedResponse best;  // best partial answer salvaged so far
   bool have_partial = false;
   DegradationLevel partial_level = DegradationLevel::kFull;
@@ -120,6 +230,27 @@ Result<DegradedResponse> ExploreWithDegradation(
     const bool last_rung = (i + 1 == ladder.size());
     DegradationRung rung;
     rung.level = level;
+
+    // One span per rung; generator/counting spans nest underneath it. The
+    // span closes on every exit from this iteration (continue or return).
+    obs::ScopedSpan rung_span(obs::kSpanDegradeRung);
+    rung_span.AddString("level", DegradationLevelName(level));
+    // Annotates the rung span with the final rung record and archives the
+    // rung in the report; every iteration exit goes through this.
+    auto archive_rung = [&] {
+      if (rung.attempted) {
+        static obs::Counter* rungs_attempted =
+            obs::GlobalMetrics().GetCounter(obs::kMetricDegradationRungs);
+        rungs_attempted->Increment();
+      }
+      rung_span.AddInt("attempted", rung.attempted);
+      rung_span.AddString("outcome",
+                          StatusCodeToString(rung.outcome.code()));
+      rung_span.AddDouble("seconds_budget", rung.seconds_budget);
+      rung_span.AddDouble("seconds_spent", rung.seconds_spent);
+      rung_span.AddInt("nodes_created", rung.nodes_created);
+      report.rungs.push_back(std::move(rung));
+    };
 
     if (request.options.cancel.IsCancelled()) {
       return Status::Cancelled("cancelled by caller");
@@ -133,7 +264,7 @@ Result<DegradedResponse> ExploreWithDegradation(
         rung.attempted = false;
         rung.outcome =
             Status::DeadlineExceeded("no time remaining for this rung");
-        report.rungs.push_back(std::move(rung));
+        archive_rung();
         continue;
       }
       rung_seconds = last_rung ? remaining : remaining * time_fraction;
@@ -150,7 +281,7 @@ Result<DegradedResponse> ExploreWithDegradation(
           rung.attempted = false;
           rung.outcome = Status::FailedPrecondition(
               "aggressive pruning needs a goal-driven request");
-          report.rungs.push_back(std::move(rung));
+          archive_rung();
           continue;
         }
         attempt.type = TaskType::kGoalDriven;
@@ -164,7 +295,7 @@ Result<DegradedResponse> ExploreWithDegradation(
           rung.attempted = false;
           rung.outcome = Status::FailedPrecondition(
               "ranked fallback needs a goal and a ranking");
-          report.rungs.push_back(std::move(rung));
+          archive_rung();
           continue;
         }
         attempt.type = TaskType::kRanked;
@@ -198,17 +329,18 @@ Result<DegradedResponse> ExploreWithDegradation(
       if (counted.ok()) {
         rung.nodes_created = counted->distinct_statuses;
         rung.outcome = Status::OK();
-        report.rungs.push_back(std::move(rung));
+        archive_rung();
         report.level_served = level;
         report.degraded = (level != DegradationLevel::kFull);
         best.count = std::move(counted).value();
         best.report = std::move(report);
+        responses_served->Increment();
         return best;
       }
       if (counted.status().IsCancelled()) return counted.status();
       if (!IsBudgetStatus(counted.status())) return counted.status();
       rung.outcome = counted.status();
-      report.rungs.push_back(std::move(rung));
+      archive_rung();
       continue;
     }
 
@@ -220,7 +352,7 @@ Result<DegradedResponse> ExploreWithDegradation(
         return response.status();
       }
       rung.outcome = response.status();
-      report.rungs.push_back(std::move(rung));
+      archive_rung();
       continue;
     }
 
@@ -229,19 +361,20 @@ Result<DegradedResponse> ExploreWithDegradation(
     if (termination.IsCancelled()) return termination;
     if (termination.ok()) {
       rung.outcome = Status::OK();
-      report.rungs.push_back(std::move(rung));
+      archive_rung();
       report.level_served = level;
       report.degraded = (level != DegradationLevel::kFull);
       best.response = std::move(response).value();
       best.count.reset();
       best.report = std::move(report);
+      responses_served->Increment();
       return best;
     }
 
     // The rung fell on a budget, but its truncated output may still be the
     // best partial answer the ladder can salvage.
     rung.outcome = termination;
-    report.rungs.push_back(std::move(rung));
+    archive_rung();
     if (HasPartialPayload(*response) &&
         (!have_partial ||
          ResponseNodes(*response) >= ResponseNodes(best.response))) {
@@ -265,6 +398,7 @@ Result<DegradedResponse> ExploreWithDegradation(
     }
     return Status::ResourceExhausted("every degradation rung exhausted");
   }
+  responses_served->Increment();
   return best;
 }
 

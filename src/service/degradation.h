@@ -8,6 +8,7 @@
 
 #include "core/counting.h"
 #include "service/navigator.h"
+#include "util/json.h"
 #include "util/result.h"
 
 namespace coursenav {
@@ -87,7 +88,19 @@ struct DegradationReport {
   std::vector<DegradationRung> rungs;
 
   std::string ToString() const;
+
+  /// Structured form for the JSON exporter (`--stats-format=json`, trace
+  /// attachments, service responses). Round-trips through FromJson.
+  JsonValue ToJson() const;
+
+  /// Parses a report serialized by ToJson; InvalidArgument/ParseError on
+  /// malformed input.
+  static Result<DegradationReport> FromJson(const JsonValue& json);
 };
+
+/// Parses the canonical rung-level name ("full", "aggressive-pruning",
+/// "ranked-small-k", "count-only") back to the enum.
+Result<DegradationLevel> ParseDegradationLevel(std::string_view name);
 
 /// A response that survived the ladder. Exactly one payload is populated:
 /// `response.generation` / `response.ranked` for materializing rungs, or

@@ -1,11 +1,36 @@
 #include "service/session.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/combinations.h"
 #include "util/string_util.h"
 
 namespace coursenav {
+
+namespace {
+
+/// Per-query instrumentation: counts the query, installs the session's
+/// tracer (when one is set) on the calling thread, and opens the
+/// `session/query` span under which the generators' spans nest. Members
+/// are destroyed in reverse order, so the span closes while the tracer is
+/// still installed.
+class QueryScope {
+ public:
+  QueryScope(obs::Tracer* tracer, obs::Counter* queries,
+             std::string_view kind) {
+    queries->Increment();
+    if (tracer != nullptr) install_.emplace(tracer);
+    span_.emplace(obs::kSpanSessionQuery);
+    span_->AddString("kind", kind);
+  }
+
+ private:
+  std::optional<obs::ScopedTracer> install_;
+  std::optional<obs::ScopedSpan> span_;
+};
+
+}  // namespace
 
 ExplorationSession::ExplorationSession(const Catalog* catalog,
                                        const OfferingSchedule* schedule,
@@ -18,7 +43,12 @@ ExplorationSession::ExplorationSession(const Catalog* catalog,
       goal_(std::move(goal)),
       current_(std::move(initial)),
       deadline_(deadline),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      commits_(registry_.GetCounter(obs::kMetricSessionCommits)),
+      undos_(registry_.GetCounter(obs::kMetricSessionUndos)),
+      queries_(registry_.GetCounter(obs::kMetricSessionQueries)),
+      cache_hits_(registry_.GetCounter(obs::kMetricSessionCacheHits)),
+      cache_misses_(registry_.GetCounter(obs::kMetricSessionCacheMisses)) {
   // Interactive queries must be stoppable: ensure the session's options
   // carry a live token even when the caller did not provide one.
   if (!options_.cancel.can_cancel()) {
@@ -47,6 +77,7 @@ Status ExplorationSession::Commit(const std::vector<std::string>& codes) {
   history_.push_back({current_.term, selection});
   current_.completed |= selection;
   current_.term = current_.term.Next();
+  commits_->Increment();
   InvalidateCache();
   return Status::OK();
 }
@@ -59,6 +90,7 @@ Status ExplorationSession::Undo() {
   current_.term = last.term;
   current_.completed.Subtract(last.selection);
   history_.pop_back();
+  undos_->Increment();
   InvalidateCache();
   return Status::OK();
 }
@@ -119,8 +151,13 @@ DynamicBitset ExplorationSession::CurrentOptions() const {
 }
 
 Result<uint64_t> ExplorationSession::RemainingGoalPaths() {
+  QueryScope scope(tracer_, queries_, "remaining_goal_paths");
   if (GoalReached()) return uint64_t{1};
-  if (cached_goal_paths_.has_value()) return *cached_goal_paths_;
+  if (cached_goal_paths_.has_value()) {
+    cache_hits_->Increment();
+    return *cached_goal_paths_;
+  }
+  cache_misses_->Increment();
   COURSENAV_ASSIGN_OR_RETURN(
       CountingResult counted,
       CountGoalDrivenPaths(*catalog_, *schedule_, current_, deadline_, *goal_,
@@ -131,6 +168,7 @@ Result<uint64_t> ExplorationSession::RemainingGoalPaths() {
 
 Result<RankedResult> ExplorationSession::TopK(const RankingFunction& ranking,
                                               int k) const {
+  QueryScope scope(tracer_, queries_, "top_k");
   return GenerateRankedPaths(*catalog_, *schedule_, current_, deadline_,
                              *goal_, ranking, k, options_);
 }
@@ -138,6 +176,7 @@ Result<RankedResult> ExplorationSession::TopK(const RankingFunction& ranking,
 Result<DegradedResponse> ExplorationSession::TopKDegraded(
     const RankingFunction& ranking, int k,
     const DegradationPolicy& policy) const {
+  QueryScope scope(tracer_, queries_, "top_k_degraded");
   CourseNavigator navigator(catalog_, schedule_);
   ExplorationRequest request;
   request.start = current_;
@@ -154,6 +193,7 @@ Result<DegradedResponse> ExplorationSession::TopKDegraded(
 
 Result<DegradedResponse> ExplorationSession::ExploreDegraded(
     const DegradationPolicy& policy) const {
+  QueryScope scope(tracer_, queries_, "explore_degraded");
   CourseNavigator navigator(catalog_, schedule_);
   ExplorationRequest request;
   request.start = current_;
@@ -166,6 +206,7 @@ Result<DegradedResponse> ExplorationSession::ExploreDegraded(
 
 Result<std::vector<SelectionImpact>> ExplorationSession::EvaluateSelections(
     int max_candidates) {
+  QueryScope scope(tracer_, queries_, "evaluate_selections");
   if (current_.term >= deadline_) {
     return Status::FailedPrecondition("the deadline has been reached");
   }

@@ -12,6 +12,8 @@
 #include "core/enrollment.h"
 #include "core/options.h"
 #include "core/ranked_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "requirements/goal.h"
 #include "service/degradation.h"
 #include "util/cancellation.h"
@@ -56,6 +58,21 @@ class ExplorationSession {
 
   /// Re-arms the cancel token after a cancelled query.
   void ResetCancellation() { options_.cancel.Reset(); }
+
+  // ----------------------------------------------------- observability
+
+  /// Installs a tracer for this session: every subsequent query emits a
+  /// `session/query` span (with the generators' spans nested beneath it)
+  /// into it. Pass nullptr to detach. The tracer must outlive the session
+  /// or a later SetTracer(nullptr). Affects queries made on the calling
+  /// thread; the tracer itself is thread-safe.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Per-session interaction metrics: `session_commits_total`,
+  /// `session_undos_total`, `session_queries_total`, and the goal-path
+  /// cache hit/miss counters (see docs/observability.md).
+  const obs::MetricRegistry& metrics() const { return registry_; }
 
   /// Semesters already committed in this session, oldest first.
   const std::vector<PathStep>& history() const { return history_; }
@@ -130,6 +147,15 @@ class ExplorationSession {
   ExplorationOptions options_;
   std::vector<PathStep> history_;
   std::optional<uint64_t> cached_goal_paths_;
+
+  obs::Tracer* tracer_ = nullptr;
+  mutable obs::MetricRegistry registry_;
+  // Interned once in the constructor; queries bump them lock-free.
+  obs::Counter* commits_;
+  obs::Counter* undos_;
+  obs::Counter* queries_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
 };
 
 }  // namespace coursenav

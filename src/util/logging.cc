@@ -1,12 +1,25 @@
 #include "util/logging.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace coursenav {
 
 namespace {
 // Plain int (trivially destructible) per the static-storage rules.
 int g_min_level = static_cast<int>(LogLevel::kWarning);
+
+// Serializes emission and guards the sink. Never destroyed (leaked on
+// purpose) so logging from static destructors stays safe.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+LogSink& CurrentSink() {
+  static LogSink* sink = new LogSink;  // empty = default stderr sink
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,6 +40,11 @@ void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  CurrentSink() = std::move(sink);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -42,8 +60,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  std::string message = stream_.str();
+  // One lock per emitted message: concurrent loggers never interleave
+  // bytes, and a custom sink observes whole messages one at a time.
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = CurrentSink();
+  if (sink) {
+    sink(level_, message);
+  } else {
+    std::fprintf(stderr, "%s\n", message.c_str());
   }
 }
 

@@ -1,8 +1,10 @@
 #ifndef COURSENAV_UTIL_LOGGING_H_
 #define COURSENAV_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace coursenav {
 
@@ -11,6 +13,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Redirects log emission to `sink` (called once per message, without the
+/// trailing newline). Passing nullptr restores the default stderr sink.
+/// Emission is serialized: the sink never runs concurrently with itself,
+/// so tests and collectors need no locking of their own. The sink must not
+/// log (deadlock).
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

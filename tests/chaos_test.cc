@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/counting.h"
 #include "core/goal_generator.h"
 #include "data/brandeis_cs.h"
+#include "obs/metrics.h"
 #include "service/degradation.h"
 #include "service/session.h"
 #include "tests/test_util.h"
@@ -237,6 +240,69 @@ TEST(ChaosTest, AllocationFaultsYieldResourceExhaustedPartialGraphs) {
   EXPECT_NE(result->termination.message().find("fault injection"),
             std::string::npos);
   EXPECT_EQ(testing_util::StructureErrors(result->graph), "");
+}
+
+// The metrics registry's contract under fire: interning from many threads
+// hands back the same slot, updates through the handles are lock-free and
+// lossless, and snapshots taken mid-churn never tear (asan/ubsan runs of
+// this test are the real assertion for the memory model).
+TEST(ChaosTest, MetricRegistrySurvivesConcurrentChurn) {
+  obs::MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2'000;
+  // A name pool wide enough to force interleaved interning and deque
+  // growth, narrow enough that every thread hits every name.
+  const std::vector<std::string> names = {"alpha_total", "beta_total",
+                                          "gamma_total", "delta_total",
+                                          "epsilon_total"};
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const obs::MetricSnapshot& snapshot : registry.Snapshot()) {
+        // Values only ever grow; a torn read would trip asan/ubsan or
+        // produce garbage counts far above the final total.
+        EXPECT_GE(snapshot.value, 0);
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &names, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string& name = names[static_cast<size_t>(
+            (t + i) % static_cast<int>(names.size()))];
+        registry.GetCounter(name)->Increment();
+        registry.GetGauge(name)->UpdateMax(i);
+        registry.GetHistogram(name)->Observe(i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  // Exactly-once accounting: every increment landed somewhere, none twice.
+  int64_t total_counts = 0;
+  int64_t total_observations = 0;
+  for (const std::string& name : names) {
+    total_counts += registry.GetCounter(name)->Value();
+    total_observations += registry.GetHistogram(name)->Count();
+    EXPECT_EQ(registry.GetGauge(name)->Value(), kIterations - 1);
+  }
+  EXPECT_EQ(total_counts, int64_t{kThreads} * kIterations);
+  EXPECT_EQ(total_observations, int64_t{kThreads} * kIterations);
+
+  // Folding the churned registry into another preserves the exact totals.
+  obs::MetricRegistry global;
+  registry.AccumulateInto(&global);
+  int64_t folded = 0;
+  for (const std::string& name : names) {
+    folded += global.GetCounter(name)->Value();
+  }
+  EXPECT_EQ(folded, int64_t{kThreads} * kIterations);
 }
 
 }  // namespace

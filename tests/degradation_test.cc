@@ -14,9 +14,29 @@
 #include "service/degradation.h"
 #include "service/session.h"
 #include "tests/test_util.h"
+#include "util/json.h"
 
 namespace coursenav {
 namespace {
+
+/// Field-by-field equality for round-trip assertions.
+void ExpectReportsEqual(const DegradationReport& a,
+                        const DegradationReport& b) {
+  EXPECT_EQ(a.level_served, b.level_served);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+  ASSERT_EQ(a.rungs.size(), b.rungs.size());
+  for (size_t i = 0; i < a.rungs.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.rungs[i].level, b.rungs[i].level);
+    EXPECT_EQ(a.rungs[i].attempted, b.rungs[i].attempted);
+    EXPECT_EQ(a.rungs[i].outcome.code(), b.rungs[i].outcome.code());
+    EXPECT_EQ(a.rungs[i].outcome.message(), b.rungs[i].outcome.message());
+    EXPECT_EQ(a.rungs[i].seconds_budget, b.rungs[i].seconds_budget);
+    EXPECT_EQ(a.rungs[i].seconds_spent, b.rungs[i].seconds_spent);
+    EXPECT_EQ(a.rungs[i].nodes_created, b.rungs[i].nodes_created);
+  }
+}
 
 class DegradationTest : public ::testing::Test {
  protected:
@@ -87,6 +107,73 @@ TEST_F(DegradationTest, NodeStarvedRequestDescendsToCounting) {
   // The report carries a human-readable rendering.
   EXPECT_NE(degraded->report.ToString().find("count-only"),
             std::string::npos);
+
+  // A real ladder run's report round-trips through the JSON exporter with
+  // full fidelity, including the non-OK outcomes on the fallen rungs.
+  Result<JsonValue> reparsed = JsonValue::Parse(degraded->report.ToJson()
+                                                    .Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  Result<DegradationReport> round_trip = DegradationReport::FromJson(
+      *reparsed);
+  ASSERT_TRUE(round_trip.ok()) << round_trip.status().ToString();
+  ExpectReportsEqual(degraded->report, *round_trip);
+}
+
+TEST_F(DegradationTest, ReportJsonRoundTripsEveryField) {
+  DegradationReport report;
+  report.level_served = DegradationLevel::kRankedSmallK;
+  report.degraded = true;
+  report.exhausted = true;
+  DegradationRung full;
+  full.level = DegradationLevel::kFull;
+  full.attempted = true;
+  full.outcome = Status::ResourceExhausted("node budget (500) exhausted");
+  full.seconds_budget = 0.125;
+  full.seconds_spent = 0.0625;  // binary fractions survive double exactly
+  full.nodes_created = 500;
+  report.rungs.push_back(full);
+  DegradationRung skipped;
+  skipped.level = DegradationLevel::kRankedSmallK;
+  skipped.attempted = false;
+  skipped.outcome = Status::FailedPrecondition("needs a goal and a ranking");
+  report.rungs.push_back(skipped);
+
+  JsonValue json = report.ToJson();
+  // Through the actual serialized text, not just the in-memory tree.
+  Result<JsonValue> reparsed = JsonValue::Parse(json.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  Result<DegradationReport> round_trip =
+      DegradationReport::FromJson(*reparsed);
+  ASSERT_TRUE(round_trip.ok()) << round_trip.status().ToString();
+  ExpectReportsEqual(report, *round_trip);
+}
+
+TEST_F(DegradationTest, ReportFromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(DegradationReport::FromJson(JsonValue("not an object")).ok());
+  // Unknown level name.
+  DegradationReport report;
+  JsonValue json = report.ToJson();
+  json.object()["level_served"] = JsonValue(std::string("warp-speed"));
+  EXPECT_FALSE(DegradationReport::FromJson(json).ok());
+  // Unknown status code inside a rung.
+  DegradationRung rung;
+  report.rungs.push_back(rung);
+  json = report.ToJson();
+  json.object()["rungs"].array()[0].object()["outcome"].object()["code"] =
+      JsonValue(std::string("kBogus"));
+  EXPECT_FALSE(DegradationReport::FromJson(json).ok());
+}
+
+TEST_F(DegradationTest, ParseDegradationLevelMatchesNames) {
+  for (DegradationLevel level :
+       {DegradationLevel::kFull, DegradationLevel::kAggressivePruning,
+        DegradationLevel::kRankedSmallK, DegradationLevel::kCountOnly}) {
+    Result<DegradationLevel> parsed =
+        ParseDegradationLevel(DegradationLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(ParseDegradationLevel("turbo").ok());
 }
 
 TEST_F(DegradationTest, FiftyMsDeadlineOnBlowUpAnswersWithinTwiceThat) {

@@ -99,7 +99,6 @@ TEST(PruningOracleTest, TimeVerdictMatchesEquationOne) {
   GoalDrivenConfig config;
   config.enable_availability_pruning = false;
   internal::PruningOracle oracle(**goal, engine, options, config);
-  ExplorationStats stats;
 
   DynamicBitset none = fix.catalog.NewCourseSet();
   int left = oracle.LeftAt(none);
@@ -108,12 +107,12 @@ TEST(PruningOracleTest, TimeVerdictMatchesEquationOne) {
   // m*(end - child) = 1): left(child) = 1 <= 1 -> keep.
   DynamicBitset just29 = fix.catalog.NewCourseSet();
   just29.set(fix.c29a);
-  EXPECT_EQ(oracle.ClassifyChild(just29, 1, fix.fall11 + 1, left, &stats),
+  EXPECT_EQ(oracle.ClassifyChild(just29, 1, fix.fall11 + 1, left),
             internal::PruningOracle::Verdict::kKeep);
   // Skip child (|W| = 0): left stays 2 > 1 -> time-pruned.
-  EXPECT_EQ(oracle.ClassifyChild(none, 0, fix.fall11 + 1, left, &stats),
+  EXPECT_EQ(oracle.ClassifyChild(none, 0, fix.fall11 + 1, left),
             internal::PruningOracle::Verdict::kPrunedTime);
-  EXPECT_EQ(stats.pruned_time, 1);
+  EXPECT_EQ(engine.metrics().pruned_time, 1);
   // Equation 1's minimum selection size at the root: left - m*(d-s-1) =
   // 2 - 1 = 1.
   EXPECT_EQ(oracle.MinSelectionSize(left, fix.fall11), 1);
@@ -130,7 +129,6 @@ TEST(PruningOracleTest, AvailabilityVerdict) {
   GoalDrivenConfig config;
   config.enable_time_pruning = false;
   internal::PruningOracle oracle(**goal, engine, options, config);
-  ExplorationStats stats;
 
   // The paper's n4: only 29A completed entering Spring'12; even taking
   // everything offered afterwards misses 11A... actually 11A runs Fall'12,
@@ -144,11 +142,11 @@ TEST(PruningOracleTest, AvailabilityVerdict) {
   // (This is not generated by the real run — n3 takes 21A in Spring — but
   // exercises the verdict directly.)
   DynamicBitset at_fall12 = missing21;
-  EXPECT_EQ(oracle.ClassifyChild(at_fall12, 2, fix.fall11 + 2, -1, &stats),
+  EXPECT_EQ(oracle.ClassifyChild(at_fall12, 2, fix.fall11 + 2, -1),
             internal::PruningOracle::Verdict::kPrunedAvailability);
-  EXPECT_EQ(stats.pruned_availability, 1);
+  EXPECT_EQ(engine.metrics().pruned_availability, 1);
   // Same child entering Spring'12 instead: 21A still ahead -> keep.
-  EXPECT_EQ(oracle.ClassifyChild(missing21, 2, fix.fall11 + 1, -1, &stats),
+  EXPECT_EQ(oracle.ClassifyChild(missing21, 2, fix.fall11 + 1, -1),
             internal::PruningOracle::Verdict::kKeep);
 }
 
@@ -163,12 +161,11 @@ TEST(PruningOracleTest, DisabledStrategiesKeepEverything) {
   config.enable_time_pruning = false;
   config.enable_availability_pruning = false;
   internal::PruningOracle oracle(**goal, engine, options, config);
-  ExplorationStats stats;
   DynamicBitset none = fix.catalog.NewCourseSet();
   // Clearly hopeless child, but both strategies are off.
-  EXPECT_EQ(oracle.ClassifyChild(none, 0, fix.fall11 + 1, -1, &stats),
+  EXPECT_EQ(oracle.ClassifyChild(none, 0, fix.fall11 + 1, -1),
             internal::PruningOracle::Verdict::kKeep);
-  EXPECT_EQ(stats.TotalPruned(), 0);
+  EXPECT_EQ(engine.StatsView().TotalPruned(), 0);
   EXPECT_EQ(oracle.LeftAt(none), -1);
   EXPECT_EQ(oracle.MinSelectionSize(-1, fix.fall11), 1);
 }

@@ -1,0 +1,373 @@
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/goal_generator.h"
+#include "core/stats.h"
+#include "requirements/expr_goal.h"
+#include "tests/test_util.h"
+#include "util/json.h"
+
+namespace coursenav {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricId;
+using obs::MetricKind;
+using obs::MetricRegistry;
+using obs::MetricSnapshot;
+using testing_util::Figure3Fixture;
+
+TEST(MetricPrimitivesTest, CounterAndGauge) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42);
+
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.UpdateMax(3);  // lower: no effect
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.UpdateMax(11);
+  EXPECT_EQ(gauge.Value(), 11);
+}
+
+TEST(MetricPrimitivesTest, HistogramBucketing) {
+  // Bucket 0 holds v < 1; bucket i holds v < 2^i; the last is unbounded.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(int64_t{1} << 62),
+            Histogram::kNumBuckets - 1);
+
+  Histogram histogram;
+  histogram.Observe(0);
+  histogram.Observe(3);
+  histogram.Observe(3);
+  histogram.Observe(1024);
+  EXPECT_EQ(histogram.Count(), 4);
+  EXPECT_EQ(histogram.Sum(), 0 + 3 + 3 + 1024);
+  EXPECT_EQ(histogram.BucketCount(0), 1);
+  EXPECT_EQ(histogram.BucketCount(2), 2);
+  EXPECT_EQ(histogram.BucketCount(11), 1);
+}
+
+TEST(MetricRegistryTest, InterningIsIdempotentAndPerKind) {
+  MetricRegistry registry;
+  MetricId a = registry.InternCounter("widgets_total");
+  MetricId b = registry.InternCounter("widgets_total");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(registry.counter(a), registry.counter(b));
+  // The same name as a different kind is a distinct metric slot.
+  MetricId g = registry.InternGauge("widgets_total");
+  EXPECT_EQ(g.kind, MetricKind::kGauge);
+  MetricId c = registry.InternCounter("other_total");
+  EXPECT_NE(a.index, c.index);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricRegistry registry;
+  registry.GetCounter("zeta_total")->Increment(3);
+  registry.GetCounter("alpha_total")->Increment(1);
+  registry.GetGauge("peak")->Set(9);
+  registry.GetHistogram("latency_us")->Observe(100);
+
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // Counters sort by name, then gauges, then histograms.
+  EXPECT_EQ(snapshot[0].name, "alpha_total");
+  EXPECT_EQ(snapshot[0].value, 1);
+  EXPECT_EQ(snapshot[1].name, "zeta_total");
+  EXPECT_EQ(snapshot[1].value, 3);
+  EXPECT_EQ(snapshot[2].name, "peak");
+  EXPECT_EQ(snapshot[2].kind, MetricKind::kGauge);
+  EXPECT_EQ(snapshot[3].name, "latency_us");
+  EXPECT_EQ(snapshot[3].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snapshot[3].value, 1);  // observation count
+  EXPECT_EQ(snapshot[3].sum, 100);
+}
+
+TEST(MetricRegistryTest, AccumulateIntoFoldsExactly) {
+  MetricRegistry run;
+  run.GetCounter("nodes_total")->Increment(5);
+  run.GetGauge("peak")->Set(40);
+  run.GetHistogram("latency_us")->Observe(3);
+  run.GetHistogram("latency_us")->Observe(100);
+
+  MetricRegistry global;
+  global.GetCounter("nodes_total")->Increment(10);
+  global.GetGauge("peak")->Set(60);
+
+  run.AccumulateInto(&global);
+  EXPECT_EQ(global.GetCounter("nodes_total")->Value(), 15);
+  // Gauges propagate as UpdateMax: 40 < 60 leaves the peak alone.
+  EXPECT_EQ(global.GetGauge("peak")->Value(), 60);
+  Histogram* merged = global.GetHistogram("latency_us");
+  EXPECT_EQ(merged->Count(), 2);
+  EXPECT_EQ(merged->Sum(), 103);
+  EXPECT_EQ(merged->BucketCount(Histogram::BucketIndex(3)), 1);
+  EXPECT_EQ(merged->BucketCount(Histogram::BucketIndex(100)), 1);
+}
+
+TEST(PrometheusRenderTest, EmitsTypedSeriesWithPrefix) {
+  MetricRegistry registry;
+  registry.GetCounter("nodes_total")->Increment(7);
+  registry.GetGauge("peak")->Set(3);
+  Histogram* histogram = registry.GetHistogram("latency_us");
+  histogram->Observe(1);
+  histogram->Observe(500);
+
+  std::string text = obs::RenderPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE coursenav_nodes_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("coursenav_nodes_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE coursenav_peak gauge"), std::string::npos);
+  EXPECT_NE(text.find("coursenav_peak 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE coursenav_latency_us histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(text.find("coursenav_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("coursenav_latency_us_sum 501"), std::string::npos);
+  EXPECT_NE(text.find("coursenav_latency_us_count 2"), std::string::npos);
+}
+
+// Satellite regression: ToString must carry runtime_seconds and the
+// pruning breakdown percentages (it silently dropped both before the
+// observability refactor).
+TEST(ExplorationStatsTest, ToStringIncludesRuntimeAndPruningShares) {
+  ExplorationStats stats;
+  stats.nodes_created = 10;
+  stats.pruned_time = 4;
+  stats.pruned_availability = 1;
+  stats.runtime_seconds = 1.5;
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("runtime_seconds=1.500"), std::string::npos) << text;
+  EXPECT_NE(text.find("pruned=5"), std::string::npos) << text;
+  EXPECT_NE(text.find("pruned_time=4 80.0%"), std::string::npos) << text;
+  EXPECT_NE(text.find("pruned_avail=1 20.0%"), std::string::npos) << text;
+
+  // No division by zero when nothing was pruned.
+  ExplorationStats clean;
+  clean.runtime_seconds = 0.25;
+  text = clean.ToString();
+  EXPECT_NE(text.find("pruned=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("runtime_seconds=0.250"), std::string::npos) << text;
+}
+
+TEST(ExplorationStatsTest, FromMetricsMirrorsEveryCounter) {
+  MetricRegistry registry;
+  obs::ExplorationMetrics metrics(&registry);
+  metrics.nodes_created = 11;
+  metrics.edges_created = 12;
+  metrics.nodes_expanded = 9;
+  metrics.terminal_paths = 4;
+  metrics.goal_paths = 3;
+  metrics.dead_end_paths = 1;
+  metrics.pruned_time = 8;
+  metrics.pruned_availability = 2;
+
+  ExplorationStats stats = ExplorationStats::FromMetrics(metrics, 0.5);
+  EXPECT_EQ(stats.nodes_created, 11);
+  EXPECT_EQ(stats.edges_created, 12);
+  EXPECT_EQ(stats.nodes_expanded, 9);
+  EXPECT_EQ(stats.terminal_paths, 4);
+  EXPECT_EQ(stats.goal_paths, 3);
+  EXPECT_EQ(stats.dead_end_paths, 1);
+  EXPECT_EQ(stats.pruned_time, 8);
+  EXPECT_EQ(stats.pruned_availability, 2);
+  EXPECT_EQ(stats.runtime_seconds, 0.5);
+
+  // Publish pushes the tallies into the registry's counters, and only the
+  // delta since the last publish: publishing twice must not double-count.
+  metrics.Publish();
+  metrics.Publish();
+  EXPECT_EQ(registry.GetCounter(obs::kMetricNodesCreated)->Value(), 11);
+  EXPECT_EQ(registry.GetCounter(obs::kMetricPrunedTime)->Value(), 8);
+  metrics.goal_paths += 2;
+  metrics.Publish();
+  EXPECT_EQ(registry.GetCounter(obs::kMetricGoalPaths)->Value(), 5);
+}
+
+#if COURSENAV_TRACING
+
+TEST(TracerTest, NestedSpansCarryParentLinks) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer install(&tracer);
+    obs::ScopedSpan outer("outer");
+    outer.AddInt("n", 1);
+    {
+      obs::ScopedSpan inner("inner");
+      inner.AddString("tag", "x");
+    }
+  }
+  std::vector<obs::SpanRecord> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans record on close: inner first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 0);
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].key, "tag");
+  EXPECT_EQ(spans[0].attributes[0].string_value, "x");
+}
+
+TEST(TracerTest, NoTracerMeansNoRecording) {
+  // Without an installed tracer every span is inert; this must not crash
+  // and must record nothing anywhere.
+  obs::ScopedSpan span("orphan");
+  span.AddInt("n", 1);
+  EXPECT_FALSE(span.enabled());
+}
+
+TEST(TracerTest, BufferIsBoundedAndCountsDrops) {
+  obs::Tracer tracer(/*max_spans=*/2);
+  obs::ScopedTracer install(&tracer);
+  for (int i = 0; i < 5; ++i) {
+    obs::ScopedSpan span("s");
+  }
+  EXPECT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, GoalRunEmitsStageSpansAndReconcilesWithStats) {
+  Figure3Fixture fix;
+  Term fall12(Season::kFall, 2012);
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+
+  obs::Tracer tracer;
+  ExplorationStats stats;
+  {
+    obs::ScopedTracer install(&tracer);
+    auto result = GenerateGoalDrivenPaths(fix.catalog, fix.schedule,
+                                          fix.FreshStudent(), fall12, **goal,
+                                          options);
+    ASSERT_TRUE(result.ok());
+    stats = result->stats;
+  }
+
+  std::vector<obs::SpanRecord> spans = tracer.Spans();
+  int64_t run_span_id = 0;
+  const obs::SpanRecord* prune_time = nullptr;
+  const obs::SpanRecord* prune_availability = nullptr;
+  bool saw_construct = false;
+  bool saw_expand = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == obs::kSpanGenerateGoal) run_span_id = span.span_id;
+    if (span.name == obs::kSpanGraphConstruct) saw_construct = true;
+    if (span.name == obs::kSpanExpandLoop) saw_expand = true;
+    if (span.name == obs::kSpanPruneTime) prune_time = &span;
+    if (span.name == obs::kSpanPruneAvailability) prune_availability = &span;
+  }
+  EXPECT_NE(run_span_id, 0);
+  EXPECT_TRUE(saw_construct);
+  EXPECT_TRUE(saw_expand);
+  ASSERT_NE(prune_time, nullptr);
+  ASSERT_NE(prune_availability, nullptr);
+
+  // The stage spans' `pruned` attributes must reconcile exactly with the
+  // legacy stats (they read the same counters).
+  auto pruned_attribute = [](const obs::SpanRecord& span) -> int64_t {
+    for (const obs::SpanAttribute& attribute : span.attributes) {
+      if (attribute.key == "pruned") return attribute.int_value;
+    }
+    return -1;
+  };
+  EXPECT_EQ(pruned_attribute(*prune_time), stats.pruned_time);
+  EXPECT_EQ(pruned_attribute(*prune_availability),
+            stats.pruned_availability);
+  EXPECT_GT(stats.pruned_availability, 0);
+}
+
+TEST(TraceExportTest, JsonLinesAreIndividuallyParseable) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracer install(&tracer);
+    obs::ScopedSpan outer("outer");
+    outer.AddInt("count", 3);
+    outer.AddDouble("share", 0.5);
+    outer.AddString("label", "with \"quotes\" and\nnewline");
+    obs::ScopedSpan inner("inner");
+  }
+  std::string jsonl = obs::TraceToJsonLines(tracer);
+  ASSERT_FALSE(jsonl.empty());
+  size_t start = 0;
+  int lines = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = jsonl.substr(start, end - start);
+    Result<JsonValue> parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+    EXPECT_TRUE(parsed->is_object());
+    EXPECT_TRUE(parsed->Get("name").ok());
+    EXPECT_TRUE(parsed->Get("span_id").ok());
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(TraceExportTest, AggregateSpansGroupsByName) {
+  obs::Tracer tracer;
+  tracer.EmitSpan("stage/a", 0, 10);
+  tracer.EmitSpan("stage/a", 10, 30);
+  tracer.EmitSpan("stage/b", 0, 5);
+  std::vector<obs::SpanAggregate> aggregates =
+      obs::AggregateSpans(tracer.Spans());
+  ASSERT_EQ(aggregates.size(), 2u);
+  // Sorted by total time, descending.
+  EXPECT_EQ(aggregates[0].name, "stage/a");
+  EXPECT_EQ(aggregates[0].count, 2);
+  EXPECT_EQ(aggregates[0].total_us, 40);
+  EXPECT_EQ(aggregates[0].max_us, 30);
+  EXPECT_EQ(aggregates[1].name, "stage/b");
+  EXPECT_EQ(aggregates[1].total_us, 5);
+}
+
+#endif  // COURSENAV_TRACING
+
+TEST(GlobalMetricsTest, FinishedRunsFoldIntoGlobalRegistry) {
+  int64_t nodes_before =
+      obs::GlobalMetrics().GetCounter(obs::kMetricNodesCreated)->Value();
+  int64_t runs_before =
+      obs::GlobalMetrics().GetCounter(obs::kMetricRuns)->Value();
+
+  Figure3Fixture fix;
+  Term fall12(Season::kFall, 2012);
+  ExplorationOptions options;
+  auto goal = ExprGoal::CompleteAll({"11A", "29A", "21A"}, fix.catalog);
+  ASSERT_TRUE(goal.ok());
+  auto result = GenerateGoalDrivenPaths(fix.catalog, fix.schedule,
+                                        fix.FreshStudent(), fall12, **goal,
+                                        options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->stats.nodes_created, 0);
+
+  // The engine's destructor published the run into the global registry.
+  EXPECT_GE(obs::GlobalMetrics().GetCounter(obs::kMetricNodesCreated)->Value(),
+            nodes_before + result->stats.nodes_created);
+  EXPECT_GE(obs::GlobalMetrics().GetCounter(obs::kMetricRuns)->Value(),
+            runs_before + 1);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -31,6 +32,9 @@
 #include "expr/parser.h"
 #include "graph/analytics.h"
 #include "graph/export.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parsers/catalog_loader.h"
 #include "parsers/transcript_parser.h"
 #include "requirements/expr_goal.h"
@@ -84,6 +88,14 @@ topk flags:
 output flags:
   --format=<fmt>       summary | paths | json | dot   (default summary)
   --limit=<n>          paths to print (default 10)
+  --stats-format=<f>   text | json — how search stats and the degradation
+                       report are rendered (default text)
+
+observability flags:
+  --trace-out=<file>   record spans for the run and write them as JSON
+                       lines (one span object per line)
+  --metrics-out=<file> write a Prometheus-style text snapshot of the
+                       process metrics after the command finishes
 )USAGE";
 
 struct CommonArgs {
@@ -111,6 +123,25 @@ std::vector<std::string> SplitCodes(const std::string& csv) {
     out.emplace_back(field);
   }
   return out;
+}
+
+Status WriteFileContents(const std::string& path,
+                         const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot write '" + path + "'");
+  out << contents;
+  if (!out) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+/// True when --stats-format=json; rejects anything but text/json.
+Result<bool> WantJsonStats(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(std::string stats_format,
+                             flags.GetString("stats-format", "text"));
+  if (stats_format == "json") return true;
+  if (stats_format == "text") return false;
+  return Status::InvalidArgument("unknown --stats-format '" + stats_format +
+                                 "' (want text or json)");
 }
 
 Result<CommonArgs> LoadCommon(const FlagSet& flags, bool need_goal) {
@@ -239,6 +270,10 @@ Status EmitGeneration(const FlagSet& flags, const CommonArgs& common,
   } else {
     return Status::InvalidArgument("unknown --format '" + format + "'");
   }
+  COURSENAV_ASSIGN_OR_RETURN(bool json_stats, WantJsonStats(flags));
+  if (json_stats) {
+    std::printf("%s\n", result.stats.ToJson().Dump(2).c_str());
+  }
   return Status::OK();
 }
 
@@ -258,7 +293,12 @@ Status EmitCount(const CountingResult& counted) {
 /// payload survived the ladder (graph, ranked paths, or a bare count).
 Status EmitDegraded(const FlagSet& flags, const CommonArgs& common,
                     const DegradedResponse& degraded) {
-  std::printf("%s\n", degraded.report.ToString().c_str());
+  COURSENAV_ASSIGN_OR_RETURN(bool json_stats, WantJsonStats(flags));
+  if (json_stats) {
+    std::printf("%s\n", degraded.report.ToJson().Dump(2).c_str());
+  } else {
+    std::printf("%s\n", degraded.report.ToString().c_str());
+  }
   if (degraded.count.has_value()) {
     return EmitCount(*degraded.count);
   }
@@ -271,7 +311,11 @@ Status EmitDegraded(const FlagSet& flags, const CommonArgs& common,
     std::printf("%s", RenderPaths(ranked.paths, *common.catalog,
                                   static_cast<int>(limit))
                           .c_str());
-    std::printf("\nsearch stats: %s\n", ranked.stats.ToString().c_str());
+    if (json_stats) {
+      std::printf("%s\n", ranked.stats.ToJson().Dump(2).c_str());
+    } else {
+      std::printf("\nsearch stats: %s\n", ranked.stats.ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -400,6 +444,7 @@ Status RunTopK(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(std::string format,
                              flags.GetString("format", "paths"));
   COURSENAV_ASSIGN_OR_RETURN(int64_t limit, flags.GetInt("limit", 10));
+  COURSENAV_ASSIGN_OR_RETURN(bool json_stats, WantJsonStats(flags));
   if (format == "json") {
     std::printf("%s\n", LearningPathsToJson(paths, *common.catalog)
                             .Dump(2)
@@ -408,7 +453,11 @@ Status RunTopK(const FlagSet& flags) {
     std::printf("%s", RenderPaths(paths, *common.catalog,
                                   static_cast<int>(limit))
                           .c_str());
-    std::printf("\nsearch stats: %s\n", result.stats.ToString().c_str());
+    if (json_stats) {
+      std::printf("%s\n", result.stats.ToJson().Dump(2).c_str());
+    } else {
+      std::printf("\nsearch stats: %s\n", result.stats.ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -485,6 +534,27 @@ Status RunValidate(const FlagSet& flags) {
   return Status::OK();
 }
 
+/// Writes --trace-out / --metrics-out artifacts after the command ran;
+/// runs even when the command failed so a budget blow-up still leaves its
+/// trace behind.
+Status WriteObservabilityArtifacts(const obs::Tracer& tracer,
+                                   const std::string& trace_out,
+                                   const std::string& metrics_out) {
+  if (!trace_out.empty()) {
+    COURSENAV_RETURN_IF_ERROR(
+        WriteFileContents(trace_out, obs::TraceToJsonLines(tracer)));
+    if (tracer.dropped() > 0) {
+      std::fprintf(stderr, "note: trace buffer full, %zu spans dropped\n",
+                   tracer.dropped());
+    }
+  }
+  if (!metrics_out.empty()) {
+    COURSENAV_RETURN_IF_ERROR(WriteFileContents(
+        metrics_out, obs::RenderPrometheus(obs::GlobalMetrics())));
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "%s", kUsage);
@@ -492,6 +562,18 @@ int Main(int argc, char** argv) {
   }
   std::string command = argv[1];
   FlagSet flags = FlagSet::Parse(argc - 1, argv + 1);
+
+  Result<std::string> trace_out = flags.GetString("trace-out", "");
+  Result<std::string> metrics_out = flags.GetString("metrics-out", "");
+  if (!trace_out.ok() || !metrics_out.ok()) {
+    const Status& bad =
+        trace_out.ok() ? metrics_out.status() : trace_out.status();
+    std::fprintf(stderr, "error: %s\n", bad.ToString().c_str());
+    return 1;
+  }
+  obs::Tracer tracer;
+  std::optional<obs::ScopedTracer> install_tracer;
+  if (!trace_out->empty()) install_tracer.emplace(&tracer);
 
   Status status;
   if (command == "explore") {
@@ -515,6 +597,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
                  kUsage);
     return 2;
+  }
+  Status artifacts =
+      WriteObservabilityArtifacts(tracer, *trace_out, *metrics_out);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "error: %s\n", artifacts.ToString().c_str());
+    if (status.ok()) return 1;
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
