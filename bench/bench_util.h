@@ -1,13 +1,18 @@
 #ifndef COURSENAV_BENCH_BENCH_UTIL_H_
 #define COURSENAV_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace coursenav::bench {
@@ -15,10 +20,14 @@ namespace coursenav::bench {
 /// Tiny flag reader shared by the reproduction harnesses.
 /// Supported forms: `--full` (raise budgets to reach the paper's largest
 /// configurations), `--profile` (per-stage span profile after the tables),
-/// and `--spans=4,5` style overrides, parsed by callers.
+/// `--threads=<n>` (worker threads for the generators; 0 = serial),
+/// `--json-out=<file>` (machine-readable BenchReport for cross-PR perf
+/// tracking), and `--spans=4,5` style overrides, parsed by callers.
 struct BenchArgs {
   bool full = false;
   bool profile = false;
+  int threads = 0;
+  std::string json_out;
   std::vector<std::string> raw;
 
   static BenchArgs Parse(int argc, char** argv) {
@@ -29,12 +38,74 @@ struct BenchArgs {
         args.full = true;
       } else if (arg == "--profile") {
         args.profile = true;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        args.threads = std::atoi(arg.c_str() + 10);
+      } else if (arg.rfind("--json-out=", 0) == 0) {
+        args.json_out = arg.substr(11);
       } else {
         args.raw.push_back(arg);
       }
     }
     return args;
   }
+};
+
+/// The process's peak resident set size in bytes (Linux ru_maxrss is in
+/// kilobytes). 0 if the kernel refuses rusage.
+inline uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Machine-readable sibling of the printed tables: rows of key->value
+/// objects plus run-level context (threads, peak RSS), dumped as one JSON
+/// document so the perf trajectory is trackable across PRs
+/// (`BENCH_table2.json`, `BENCH_figure4.json`, ...).
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, const BenchArgs& args)
+      : name_(std::move(bench_name)), full_(args.full),
+        threads_(args.threads) {}
+
+  void AddRow(JsonValue::Object row) { rows_.push_back(std::move(row)); }
+
+  /// Writes the report to `path` (pretty-printed JSON). Peak RSS is
+  /// sampled here, at the end of the run.
+  bool WriteTo(const std::string& path) const {
+    JsonValue::Object doc;
+    doc["bench"] = name_;
+    doc["full"] = full_;
+    doc["threads"] = threads_;
+    doc["peak_rss_bytes"] = static_cast<int64_t>(PeakRssBytes());
+    JsonValue::Array rows;
+    rows.reserve(rows_.size());
+    for (const JsonValue::Object& row : rows_) rows.emplace_back(row);
+    doc["rows"] = std::move(rows);
+    std::string text = JsonValue(std::move(doc)).Dump(2);
+    text += "\n";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+  /// Writes to `args.json_out` when the flag was given.
+  bool WriteIfRequested(const BenchArgs& args) const {
+    if (args.json_out.empty()) return true;
+    return WriteTo(args.json_out);
+  }
+
+ private:
+  std::string name_;
+  bool full_;
+  int threads_;
+  std::vector<JsonValue::Object> rows_;
 };
 
 /// Fixed-width text table, printed in the paper's row/column layout.

@@ -23,10 +23,10 @@ namespace coursenav {
 namespace {
 
 void Run(const bench::BenchArgs& args) {
-  (void)args;
   data::BrandeisDataset dataset = data::BuildBrandeisDataset();
   Term end = data::EvaluationEndTerm();
   TimeRanking ranking;
+  bench::BenchReport report("figure4_ranked", args);
 
   std::printf("Figure 4: runtime (seconds) of ranked learning path "
               "generation\n");
@@ -46,6 +46,8 @@ void Run(const bench::BenchArgs& args) {
     for (int span : spans) {
       EnrollmentStatus start{data::StartTermForSpan(span),
                              dataset.catalog.NewCourseSet()};
+      // Ranked generation is order-dependent (best-first top-k) and always
+      // runs serial; threads is recorded in the report for uniformity.
       ExplorationOptions options;
       auto result = GenerateRankedPaths(dataset.catalog, dataset.schedule,
                                         start, end, *dataset.cs_major,
@@ -56,6 +58,15 @@ void Run(const bench::BenchArgs& args) {
         continue;
       }
       seconds[{span, k}] = result->stats.runtime_seconds;
+      JsonValue::Object json_row;
+      json_row["k"] = k;
+      json_row["semesters"] = span;
+      json_row["threads"] = args.threads;
+      json_row["runtime_seconds"] = result->stats.runtime_seconds;
+      json_row["nodes"] = result->stats.nodes_created;
+      json_row["paths_returned"] =
+          static_cast<int64_t>(result->paths.size());
+      report.AddRow(std::move(json_row));
       row.push_back(StrFormat("%.3f (%zu paths)",
                               result->stats.runtime_seconds,
                               result->paths.size()));
@@ -63,6 +74,7 @@ void Run(const bench::BenchArgs& args) {
     table.AddRow(std::move(row));
   }
   table.Print();
+  report.WriteIfRequested(args);
 
   std::printf("\nCSV series (k, seconds) for plotting:\n");
   for (int span : spans) {

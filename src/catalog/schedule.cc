@@ -65,15 +65,19 @@ const DynamicBitset& OfferingSchedule::OfferedIn(Term term) const {
       injector->ShouldInject(kFaultSiteScheduleChurn)) {
     int offered = it->second.count();
     if (offered > 0) {
-      churn_scratch_ = it->second;
+      // The returned reference points at per-thread scratch so concurrent
+      // chaos runs (parallel workers, each drawing their own churn) never
+      // race on the perturbed set.
+      static thread_local DynamicBitset churn_scratch(0);
+      churn_scratch = it->second;
       int drop = static_cast<int>(
           injector->Draw(kFaultSiteScheduleChurn) %
           static_cast<uint64_t>(offered));
       int seen = 0;
-      churn_scratch_.ForEach([&](int id) {
-        if (seen++ == drop) churn_scratch_.reset(id);
+      churn_scratch.ForEach([&](int id) {
+        if (seen++ == drop) churn_scratch.reset(id);
       });
-      return churn_scratch_;
+      return churn_scratch;
     }
   }
   return it->second;

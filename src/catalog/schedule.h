@@ -76,10 +76,6 @@ class OfferingSchedule {
   /// term index -> offered course set. std::map keeps terms ordered for
   /// range queries and deterministic iteration.
   std::map<int, DynamicBitset> by_term_;
-  /// Scratch for the fault-injection churn seam in OfferedIn(): holds the
-  /// perturbed offering set the returned reference points at. Only written
-  /// while a FaultInjector is active (single-threaded tests/benches).
-  mutable DynamicBitset churn_scratch_{0};
 };
 
 }  // namespace coursenav

@@ -1,10 +1,12 @@
 #include "core/deadline_generator.h"
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/combinations.h"
 #include "core/engine.h"
+#include "exec/parallel_expander.h"
 #include "obs/trace.h"
 
 namespace coursenav {
@@ -28,6 +30,11 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
   GenerationResult result;
   LearningGraph& graph = result.graph;
 
+  const bool parallel = options.num_threads != 0;
+  if (parallel) {
+    graph.ConfigureShards(internal::EffectiveWorkers(options.num_threads));
+  }
+
   // Line 1-3 of Algorithm 1: the start node n1 with X1 = X and its options.
   DynamicBitset root_options =
       ComputeOptions(catalog, schedule, start.completed, start.term, options);
@@ -36,12 +43,26 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
   construct_span->AddInt("catalog_courses", catalog.size());
   construct_span.reset();
 
-  {
+  if (parallel) {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+    internal::ParallelExpandSpec spec;
+    spec.catalog = &catalog;
+    spec.schedule = &schedule;
+    spec.options = &options;
+    spec.end_term = end_term;
+    result.termination = internal::ExpandFrontierParallel(
+        engine, spec, options.num_threads, &graph);
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+    expand_span.AddInt("threads",
+                       internal::EffectiveWorkers(options.num_threads));
+  } else {
     obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
 
     // Worklist of nodes with out-degree 0 (line 4). LIFO keeps the frontier
     // small and cache-warm; expansion order does not affect the output set.
     std::vector<NodeId> worklist{root};
+    // Reused X_i ∪ W scratch; assignment reuses its capacity per candidate.
+    DynamicBitset next_completed;
 
     while (!worklist.empty()) {
       Status budget = engine.CheckBudget(graph);
@@ -53,10 +74,12 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
       worklist.pop_back();
       metrics.nodes_expanded += 1;
 
-      // Snapshot what we need; AddChild reallocation invalidates references.
-      const Term term = graph.node(current).term;
-      const DynamicBitset completed = graph.node(current).completed;
-      const DynamicBitset node_options = graph.node(current).options;
+      // Arena storage never relocates nodes, so references stay valid
+      // across AddChild; no per-expansion snapshot copies.
+      const LearningNode& node = graph.node(current);
+      const Term term = node.term;
+      const DynamicBitset& completed = node.completed;
+      const DynamicBitset& node_options = node.options;
 
       // Line 5: nodes in the end semester are goal vertices; stop there.
       if (term == end_term) {
@@ -68,13 +91,13 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
 
       bool expanded = false;
       auto add_child = [&](const DynamicBitset& selection) {
-        DynamicBitset next_completed = completed;
+        next_completed = completed;
         next_completed |= selection;  // line 11: X_{i+1} = X_i ∪ W
         DynamicBitset next_options = ComputeOptions(
             catalog, schedule, next_completed, term.Next(), options);  // l.13
-        NodeId child = graph.AddChild(current, selection,
-                                      std::move(next_completed),
-                                      std::move(next_options));
+        NodeId child =
+            graph.AddChild(current, selection, DynamicBitset(next_completed),
+                           std::move(next_options));
         metrics.nodes_created += 1;
         metrics.edges_created += 1;
         worklist.push_back(child);

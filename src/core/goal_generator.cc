@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/combinations.h"
 #include "core/engine.h"
+#include "exec/parallel_expander.h"
 #include "obs/trace.h"
 
 namespace coursenav {
@@ -25,23 +27,53 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
   construct_span.emplace(obs::kSpanGraphConstruct);
   internal::ExplorationEngine engine(catalog, schedule, options, start.term,
                                      end_term);
-  internal::PruningOracle oracle(goal, engine, options, config);
-  using Verdict = internal::PruningOracle::Verdict;
   obs::ExplorationMetrics& metrics = engine.metrics();
 
   GenerationResult result;
   LearningGraph& graph = result.graph;
+
+  const bool parallel = options.num_threads != 0;
+  if (parallel) {
+    graph.ConfigureShards(internal::EffectiveWorkers(options.num_threads));
+  }
 
   DynamicBitset root_options =
       ComputeOptions(catalog, schedule, start.completed, start.term, options);
   NodeId root = graph.AddRoot(start.term, start.completed, root_options);
   metrics.nodes_created += 1;
   construct_span->AddInt("catalog_courses", catalog.size());
-  construct_span.reset();  // engine + oracle + root built; close the span
+  construct_span.reset();  // engine + root built; close the span
+
+  if (parallel) {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+    internal::ParallelExpandSpec spec;
+    spec.catalog = &catalog;
+    spec.schedule = &schedule;
+    spec.options = &options;
+    spec.end_term = end_term;
+    spec.goal = &goal;
+    spec.config = &config;
+    result.termination = internal::ExpandFrontierParallel(
+        engine, spec, options.num_threads, &graph);
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+    expand_span.AddInt("threads",
+                       internal::EffectiveWorkers(options.num_threads));
+
+    result.stats = engine.StatsView();
+    run_span.AddInt("nodes_created", result.stats.nodes_created);
+    run_span.AddInt("goal_paths", result.stats.goal_paths);
+    return result;
+  }
+
+  internal::PruningOracle oracle(goal, engine, options, config);
+  using Verdict = internal::PruningOracle::Verdict;
   {
     obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
 
     std::vector<NodeId> worklist{root};
+    // Reused X_i ∪ W scratch: pruned candidates cost no heap traffic.
+    DynamicBitset next_completed;
+
     while (!worklist.empty()) {
       Status budget = engine.CheckBudget(graph);
       if (!budget.ok()) {
@@ -52,9 +84,12 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
       worklist.pop_back();
       metrics.nodes_expanded += 1;
 
-      const Term term = graph.node(current).term;
-      const DynamicBitset completed = graph.node(current).completed;
-      const DynamicBitset node_options = graph.node(current).options;
+      // Arena storage never relocates nodes; references stay valid across
+      // AddChild (no per-expansion snapshot copies).
+      const LearningNode& node = graph.node(current);
+      const Term term = node.term;
+      const DynamicBitset& completed = node.completed;
+      const DynamicBitset& node_options = node.options;
 
       // Stop at goal nodes: the requirement already holds here (§4.2.3).
       if (goal.IsSatisfied(completed)) {
@@ -75,7 +110,7 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
 
       bool expanded = false;
       auto consider_child = [&](const DynamicBitset& selection) {
-        DynamicBitset next_completed = completed;
+        next_completed = completed;
         next_completed |= selection;
         if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
                                  left_parent) != Verdict::kKeep) {
@@ -83,9 +118,9 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
         }
         DynamicBitset next_options = ComputeOptions(
             catalog, schedule, next_completed, child_term, options);
-        NodeId child = graph.AddChild(current, selection,
-                                      std::move(next_completed),
-                                      std::move(next_options));
+        NodeId child =
+            graph.AddChild(current, selection, DynamicBitset(next_completed),
+                           std::move(next_options));
         metrics.nodes_created += 1;
         metrics.edges_created += 1;
         worklist.push_back(child);

@@ -40,6 +40,14 @@ struct ExplorationOptions {
 
   ExplorationLimits limits;
 
+  /// Worker threads for frontier expansion. 0 (the default) runs the
+  /// classic serial loop; N >= 1 runs the work-stealing parallel expander
+  /// with N workers (clamped to LearningGraph::kMaxShards). Output is
+  /// byte-identical across all values after canonicalization — see
+  /// docs/parallelism.md. The ranked (best-first, top-k) generator is
+  /// inherently order-dependent and always runs serially.
+  int num_threads = 0;
+
   /// Cooperative cancellation: generators poll this token at every budget
   /// check and stop with a Cancelled termination within one node expansion
   /// of RequestCancel(). The default token is inert (never cancelled).

@@ -1,14 +1,21 @@
 #include "core/pruning.h"
 
+#include <cstdint>
+#include <utility>
+
 namespace coursenav::internal {
 
 PruningOracle::PruningOracle(const Goal& goal, const ExplorationEngine& engine,
                              const ExplorationOptions& options,
-                             const GoalDrivenConfig& config)
+                             const GoalDrivenConfig& config,
+                             obs::ExplorationMetrics* metrics,
+                             SharedAvailabilityCache* shared_cache)
     : goal_(goal),
       engine_(engine),
       options_(options),
       config_(config),
+      metrics_(metrics != nullptr ? metrics : &engine.metrics()),
+      shared_cache_(shared_cache),
       goal_is_monotone_(goal.IsMonotone()) {}
 
 int PruningOracle::LeftAt(const DynamicBitset& completed) const {
@@ -20,25 +27,30 @@ int PruningOracle::MinSelectionSize(int left_parent, Term parent_term) const {
   if (!config_.enable_time_pruning || !config_.enforce_min_selection) {
     return 1;
   }
-  int min_i = left_parent - options_.max_courses_per_term *
-                                (engine_.end() - parent_term - 1);
-  return min_i > 1 ? min_i : 1;
+  // Widen before multiplying: max_courses_per_term * horizon overflows int
+  // for degenerate option sets (e.g. a far deadline with a huge per-term
+  // cap), which would flip the lower bound positive and wrongly skip
+  // selections. In int64 the product is exact; the result is at most
+  // left_parent, which already fits an int.
+  int64_t min_i =
+      int64_t{left_parent} -
+      int64_t{options_.max_courses_per_term} *
+          (int64_t{engine_.end() - parent_term} - 1);
+  return min_i > 1 ? static_cast<int>(min_i) : 1;
 }
 
 void PruningOracle::AccountSkippedTimePruned(int64_t count) {
-  engine_.metrics().pruned_time += count;
+  metrics_->pruned_time += count;
 }
 
 void PruningOracle::EmitStageSpans() const {
   time_stage_.Emit(
       obs::kSpanPruneTime,
-      {obs::SpanAttribute::Int("pruned",
-                               engine_.metrics().pruned_time),
+      {obs::SpanAttribute::Int("pruned", metrics_->pruned_time),
        obs::SpanAttribute::Int("enabled", config_.enable_time_pruning)});
   availability_stage_.Emit(
       obs::kSpanPruneAvailability,
-      {obs::SpanAttribute::Int(
-           "pruned", engine_.metrics().pruned_availability),
+      {obs::SpanAttribute::Int("pruned", metrics_->pruned_availability),
        obs::SpanAttribute::Int("enabled",
                                config_.enable_availability_pruning)});
 }
@@ -52,14 +64,14 @@ PruningOracle::Verdict PruningOracle::ClassifyChild(
         options_.max_courses_per_term * (engine_.end() - child_term);
     // Fast certain-prune: one semester reduces `left` by at most |W|.
     if (left_parent - selection_size > child_bound) {
-      engine_.metrics().pruned_time += 1;
+      metrics_->pruned_time += 1;
       return Verdict::kPrunedTime;
     }
     // Fast certain-keep for monotone goals: left(X ∪ W) <= left(X).
     bool needs_exact = !(goal_is_monotone_ && left_parent <= child_bound);
     if (needs_exact &&
         goal_.MinCoursesRemaining(child_completed) > child_bound) {
-      engine_.metrics().pruned_time += 1;
+      metrics_->pruned_time += 1;
       return Verdict::kPrunedTime;
     }
   }
@@ -77,15 +89,24 @@ PruningOracle::Verdict PruningOracle::ClassifyChild(
       auto it = per_term.find(reachable);
       if (it != per_term.end()) {
         achievable = it->second;
+      } else if (shared_cache_ != nullptr &&
+                 shared_cache_->Lookup(child_term.index(), reachable,
+                                       &achievable)) {
+        // L2 hit (another worker computed this verdict); replicate into L1
+        // so repeats stay lock-free.
+        per_term.emplace(std::move(reachable), achievable);
       } else {
         achievable = goal_.AchievableWith(child_completed, available);
+        if (shared_cache_ != nullptr) {
+          shared_cache_->Insert(child_term.index(), reachable, achievable);
+        }
         per_term.emplace(std::move(reachable), achievable);
       }
     } else {
       achievable = goal_.AchievableWith(child_completed, available);
     }
     if (!achievable) {
-      engine_.metrics().pruned_availability += 1;
+      metrics_->pruned_availability += 1;
       return Verdict::kPrunedAvailability;
     }
   }

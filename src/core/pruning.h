@@ -1,12 +1,19 @@
 #ifndef COURSENAV_CORE_PRUNING_H_
 #define COURSENAV_CORE_PRUNING_H_
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "catalog/term.h"
 #include "core/engine.h"
 #include "core/options.h"
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "requirements/goal.h"
 #include "util/bitset.h"
@@ -40,17 +47,92 @@ struct GoalDrivenConfig {
 
 namespace internal {
 
+/// Read-mostly second-level availability-pruning cache shared by the
+/// per-worker oracles of one parallel run. Keys are (term index,
+/// reachable-set) pairs — the same key space as the oracle's private L1
+/// map — behind a small array of striped mutexes so concurrent lookups of
+/// unrelated keys rarely contend. Verdicts are immutable once computed, so
+/// a racing double-insert of the same key stores the same value and the
+/// first entry simply wins.
+class SharedAvailabilityCache {
+ public:
+  /// Returns true and sets `*achievable` on a hit.
+  bool Lookup(int term_index, const DynamicBitset& reachable,
+              bool* achievable) const {
+    const Stripe& stripe = StripeFor(term_index, reachable);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.verdicts.find(Key{term_index, &reachable});
+    if (it == stripe.verdicts.end()) return false;
+    *achievable = it->second;
+    return true;
+  }
+
+  void Insert(int term_index, DynamicBitset reachable, bool achievable) {
+    Stripe& stripe = StripeFor(term_index, reachable);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.verdicts.find(Key{term_index, &reachable});
+    if (it != stripe.verdicts.end()) return;
+    stripe.owned.push_back(
+        std::make_unique<DynamicBitset>(std::move(reachable)));
+    stripe.verdicts.emplace(Key{term_index, stripe.owned.back().get()},
+                            achievable);
+  }
+
+ private:
+  /// The map never owns the bitset it keys on directly (lookups would then
+  /// copy the probe); it keys on a pointer plus deep-compare semantics,
+  /// with inserted keys kept alive in `owned`.
+  struct Key {
+    int term_index;
+    const DynamicBitset* reachable;
+    bool operator==(const Key& other) const {
+      return term_index == other.term_index &&
+             *reachable == *other.reachable;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return DynamicBitsetHash{}(*key.reachable) * 1000003u +
+             static_cast<size_t>(key.term_index);
+    }
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Key, bool, KeyHash> verdicts;
+    std::vector<std::unique_ptr<DynamicBitset>> owned;
+  };
+
+  static constexpr size_t kNumStripes = 8;
+
+  const Stripe& StripeFor(int term_index,
+                          const DynamicBitset& reachable) const {
+    return stripes_[KeyHash{}(Key{term_index, &reachable}) % kNumStripes];
+  }
+  Stripe& StripeFor(int term_index, const DynamicBitset& reachable) {
+    return stripes_[KeyHash{}(Key{term_index, &reachable}) % kNumStripes];
+  }
+
+  std::array<Stripe, kNumStripes> stripes_;
+};
+
 /// Implements the paper's two pruning strategies for one generation run,
 /// with instrumentation. Internal — used by the goal-driven and ranked
-/// generators.
+/// generators (one oracle per run), and by the parallel expander (one
+/// oracle per worker, each with a detached metrics bundle and all sharing
+/// one `SharedAvailabilityCache` L2).
 class PruningOracle {
  public:
   enum class Verdict { kKeep, kPrunedTime, kPrunedAvailability };
 
-  /// All references must outlive the oracle.
+  /// All references must outlive the oracle. `metrics` is where pruning
+  /// tallies land; null means the engine's own bundle (the serial path).
+  /// `shared_cache` adds a cross-worker L2 behind the private L1 map; null
+  /// (the serial path) keeps the oracle lock-free.
   PruningOracle(const Goal& goal, const ExplorationEngine& engine,
                 const ExplorationOptions& options,
-                const GoalDrivenConfig& config);
+                const GoalDrivenConfig& config,
+                obs::ExplorationMetrics* metrics = nullptr,
+                SharedAvailabilityCache* shared_cache = nullptr);
 
   /// `left_i` at a node about to be expanded, or -1 when time pruning is
   /// disabled (the value is then never used).
@@ -86,11 +168,14 @@ class PruningOracle {
   const ExplorationEngine& engine_;
   const ExplorationOptions& options_;
   const GoalDrivenConfig& config_;
+  obs::ExplorationMetrics* metrics_;
+  SharedAvailabilityCache* shared_cache_;
   bool goal_is_monotone_;
   obs::StageAccumulator time_stage_;
   obs::StageAccumulator availability_stage_;
 
-  /// term index -> reachable-set -> achievability verdict.
+  /// L1: term index -> reachable-set -> achievability verdict. Private to
+  /// this oracle (one worker), so lookups take no lock.
   std::unordered_map<
       int, std::unordered_map<DynamicBitset, bool, DynamicBitsetHash>>
       availability_cache_;

@@ -76,6 +76,8 @@ Result<RankedResult> GenerateRankedPaths(
     std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
                         FrontierCompare>
         frontier;
+    // Reused X_i ∪ W scratch: pruned candidates cost no heap traffic.
+    DynamicBitset next_completed;
     int64_t sequence = 0;
     const int m = options.max_courses_per_term;
     {
@@ -96,9 +98,14 @@ Result<RankedResult> GenerateRankedPaths(
       NodeId current = entry.node;
       metrics.nodes_expanded += 1;
 
-      const Term term = graph.node(current).term;
-      const DynamicBitset completed = graph.node(current).completed;
-      const DynamicBitset node_options = graph.node(current).options;
+      // Arena storage never relocates nodes; references stay valid across
+      // AddChildWithPathCost (no per-expansion snapshot copies). The
+      // best-first frontier revisits arbitrary nodes, which arena stability
+      // also makes safe.
+      const LearningNode& node = graph.node(current);
+      const Term term = node.term;
+      const DynamicBitset& completed = node.completed;
+      const DynamicBitset& node_options = node.options;
 
       // Popping in cost order makes each goal hit the next-cheapest path.
       if (goal.IsSatisfied(completed)) {
@@ -120,7 +127,7 @@ Result<RankedResult> GenerateRankedPaths(
 
       bool expanded = false;
       auto consider_child = [&](const DynamicBitset& selection) {
-        DynamicBitset next_completed = completed;
+        next_completed = completed;
         next_completed |= selection;
         if (oracle.ClassifyChild(next_completed, selection.count(),
                                  child_term, left_parent) != Verdict::kKeep) {
@@ -132,14 +139,13 @@ Result<RankedResult> GenerateRankedPaths(
         {
           obs::StageSample sample(&rank_stage);
           edge_cost = ranking.EdgeCost(selection, term);
-          child_cost =
-              ranking.Combine(graph.node(current).path_cost, edge_cost);
+          child_cost = ranking.Combine(node.path_cost, edge_cost);
           cost_to_go = ranking.RemainingCostLowerBound(next_completed, goal, m);
         }
         DynamicBitset next_options = ComputeOptions(
             catalog, schedule, next_completed, child_term, options);
         NodeId child = graph.AddChildWithPathCost(
-            current, selection, std::move(next_completed),
+            current, selection, DynamicBitset(next_completed),
             std::move(next_options), edge_cost, child_cost);
         metrics.nodes_created += 1;
         metrics.edges_created += 1;

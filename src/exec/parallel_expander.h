@@ -1,0 +1,59 @@
+#ifndef COURSENAV_EXEC_PARALLEL_EXPANDER_H_
+#define COURSENAV_EXEC_PARALLEL_EXPANDER_H_
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "core/pruning.h"
+#include "graph/learning_graph.h"
+#include "requirements/goal.h"
+#include "util/status.h"
+
+namespace coursenav::internal {
+
+/// Worker count for an `ExplorationOptions::num_threads` request: 0 means
+/// the serial path (callers should not reach the expander at all), anything
+/// else clamps to [1, LearningGraph::kMaxShards] — one graph shard per
+/// worker bounds the thread count.
+int EffectiveWorkers(int num_threads);
+
+/// What to expand: the deadline-driven loop when `goal` is null, the
+/// goal-driven loop (with its pruning oracle) otherwise. All referenced
+/// objects must outlive the expansion call.
+struct ParallelExpandSpec {
+  const Catalog* catalog = nullptr;
+  const OfferingSchedule* schedule = nullptr;
+  const ExplorationOptions* options = nullptr;
+  Term end_term;
+  const Goal* goal = nullptr;
+  const GoalDrivenConfig* config = nullptr;  // required when goal != null
+};
+
+/// Expands `graph`'s frontier across `num_workers` work-stealing workers,
+/// then canonicalizes the result into serial id order.
+///
+/// Preconditions: `graph` was configured with `EffectiveWorkers` shards and
+/// holds exactly its root node; `engine.metrics().nodes_created` already
+/// counts that root (mirroring the serial generators).
+///
+/// The expansion replicates the serial loops candidate-for-candidate —
+/// enumeration order, pruning decisions, skip-edge rule, terminal
+/// accounting, and one budget check per node pop plus one per enumerated
+/// selection — so a *complete* run produces a canonical graph byte-identical
+/// to the serial generator's and `ExplorationStats` totals that reconcile
+/// exactly, at any worker count. Budget enforcement is global: relaxed
+/// atomic node/byte counters plus per-worker deadline budgets feed a sticky
+/// stop flag, and a budget-truncated run yields a well-formed partial graph
+/// (nodes still on the frontier simply stay leaves), same as serial.
+///
+/// Returns the run's termination status: OK for a complete expansion, the
+/// first budget/cancellation/fault verdict otherwise.
+Status ExpandFrontierParallel(ExplorationEngine& engine,
+                              const ParallelExpandSpec& spec, int num_workers,
+                              LearningGraph* graph);
+
+}  // namespace coursenav::internal
+
+#endif  // COURSENAV_EXEC_PARALLEL_EXPANDER_H_

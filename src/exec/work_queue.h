@@ -1,0 +1,113 @@
+#ifndef COURSENAV_EXEC_WORK_QUEUE_H_
+#define COURSENAV_EXEC_WORK_QUEUE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace coursenav::exec {
+
+/// Per-worker work-stealing deques.
+///
+/// Each worker owns one deque: it pushes and pops at the back (LIFO, which
+/// keeps the frontier depth-first — small and cache-warm, like the serial
+/// generators' worklist), while thieves take from the front, where the
+/// oldest items sit. For tree expansion the oldest items are the shallowest
+/// nodes, i.e. the largest stealable subtrees, so one steal buys a thief a
+/// long stretch of local work.
+///
+/// Thieves steal *half* the victim's queue (ceil(n/2)) in one locked visit
+/// rather than one item at a time: under frontier explosion this halves the
+/// number of steal operations per unit of work and spreads load in O(log n)
+/// steals. Stealing is two-phase — collect under the victim's lock, release
+/// it, then refill the thief's own deque — so no call path ever holds two
+/// deque locks at once (no lock-order cycles between mutual thieves).
+///
+/// Each deque is guarded by its own mutex. A lock per push/pop is deliberate:
+/// expansion tasks are whole-node expansions (microseconds each, dozens of
+/// bitset operations), so a contended-uncontended mutex pair per task is
+/// noise, and the mutex gives the ownership-transfer happens-before edge the
+/// graph's thread-safety contract relies on — a popped item's node contents
+/// are fully visible to the popping worker without any per-field atomics.
+template <typename T>
+class WorkStealingQueues {
+ public:
+  explicit WorkStealingQueues(int num_workers) {
+    deques_.reserve(static_cast<size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      deques_.push_back(std::make_unique<Deque>());
+    }
+  }
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+  /// Enqueues `item` at the back of `worker`'s deque.
+  void Push(int worker, T item) {
+    Deque& deque = *deques_[static_cast<size_t>(worker)];
+    std::lock_guard<std::mutex> lock(deque.mu);
+    deque.items.push_back(std::move(item));
+  }
+
+  /// Pops the most recently pushed item of `worker`'s own deque (LIFO).
+  bool TryPopLocal(int worker, T* out) {
+    Deque& deque = *deques_[static_cast<size_t>(worker)];
+    std::lock_guard<std::mutex> lock(deque.mu);
+    if (deque.items.empty()) return false;
+    *out = std::move(deque.items.back());
+    deque.items.pop_back();
+    return true;
+  }
+
+  /// Attempts to steal work for `thief` from the other workers' deques,
+  /// visiting victims round-robin starting after the thief. On success the
+  /// first stolen item lands in `*out` and the remainder of the stolen
+  /// half refills the thief's own deque.
+  bool TrySteal(int thief, T* out) {
+    const int n = num_workers();
+    for (int offset = 1; offset < n; ++offset) {
+      const int victim = (thief + offset) % n;
+      std::vector<T> loot;
+      {
+        Deque& deque = *deques_[static_cast<size_t>(victim)];
+        std::lock_guard<std::mutex> lock(deque.mu);
+        const size_t available = deque.items.size();
+        if (available == 0) continue;
+        const size_t take = (available + 1) / 2;  // steal-half, from the front
+        loot.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          loot.push_back(std::move(deque.items.front()));
+          deque.items.pop_front();
+        }
+      }
+      // Victim lock released; now refill our own deque, preserving the
+      // shallowest-at-front order so later thieves still grab the largest
+      // subtrees. The first stolen item (the shallowest) is returned for
+      // immediate expansion.
+      *out = std::move(loot.front());
+      if (loot.size() > 1) {
+        Deque& own = *deques_[static_cast<size_t>(thief)];
+        std::lock_guard<std::mutex> lock(own.mu);
+        for (size_t i = 1; i < loot.size(); ++i) {
+          own.items.push_back(std::move(loot[i]));
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<T> items;
+  };
+
+  /// unique_ptr: deques hold a mutex (immovable) and need stable addresses.
+  std::vector<std::unique_ptr<Deque>> deques_;
+};
+
+}  // namespace coursenav::exec
+
+#endif  // COURSENAV_EXEC_WORK_QUEUE_H_

@@ -1,0 +1,52 @@
+#include "exec/worker_pool.h"
+
+namespace coursenav::exec {
+
+WorkerPool::WorkerPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  round_start_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::Run(const std::function<void(int)>& body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  body_ = &body;
+  remaining_ = size();
+  ++round_;
+  round_start_.notify_all();
+  round_done_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+void WorkerPool::WorkerMain(int index) {
+  uint64_t seen_round = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      round_start_.wait(
+          lock, [&] { return shutdown_ || round_ != seen_round; });
+      if (shutdown_) return;
+      seen_round = round_;
+      body = body_;
+    }
+    (*body)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) round_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace coursenav::exec

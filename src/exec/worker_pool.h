@@ -1,0 +1,58 @@
+#ifndef COURSENAV_EXEC_WORKER_POOL_H_
+#define COURSENAV_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coursenav::exec {
+
+/// A fixed set of persistent worker threads executing fork-join rounds.
+///
+/// `Run(body)` invokes `body(worker_index)` once on every worker and blocks
+/// until all of them return — one parallel *round*. Threads persist across
+/// rounds (parked on a condition variable between them), so repeated runs
+/// pay no thread spawn/join cost.
+///
+/// The pool itself has no notion of cancellation or deadlines: shutdown is
+/// cooperative at the body level. Bodies are expected to poll the run's
+/// `CancellationToken` / `DeadlineBudget` (the ParallelExpander does so at
+/// every budget check) and return promptly; `Run` then unblocks. The
+/// destructor wakes and joins all threads.
+///
+/// Bodies must not throw — the library reports failures through `Status`.
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `body(worker_index)` on every worker, blocking until all return.
+  /// One round at a time: `Run` is not reentrant and must be called from a
+  /// single orchestrating thread.
+  void Run(const std::function<void(int)>& body);
+
+ private:
+  void WorkerMain(int index);
+
+  std::mutex mu_;
+  std::condition_variable round_start_;
+  std::condition_variable round_done_;
+  const std::function<void(int)>* body_ = nullptr;  // valid during a round
+  uint64_t round_ = 0;   // bumped by Run to release the workers
+  int remaining_ = 0;    // workers still inside the current round
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace coursenav::exec
+
+#endif  // COURSENAV_EXEC_WORKER_POOL_H_

@@ -1,6 +1,7 @@
 #include "graph/learning_graph.h"
 
 #include <cassert>
+#include <utility>
 
 #include "util/fault_injection.h"
 
@@ -20,23 +21,29 @@ size_t EdgeFootprint(const LearningEdge& edge) {
 
 }  // namespace
 
+void LearningGraph::ConfigureShards(int num_shards) {
+  assert(num_shards >= 1 && num_shards <= kMaxShards);
+  assert(shards_[0].nodes.empty() && "shards must be configured first");
+  shards_.clear();
+  shards_.resize(static_cast<size_t>(num_shards));
+}
+
 NodeId LearningGraph::AddRoot(Term term, DynamicBitset completed,
                               DynamicBitset options) {
-  assert(nodes_.empty());
+  assert(shards_[0].nodes.empty());
   LearningNode node;
   node.term = term;
   node.completed = std::move(completed);
   node.options = std::move(options);
-  memory_bytes_ += NodeFootprint(node);
-  nodes_.push_back(std::move(node));
+  shards_[0].memory_bytes += NodeFootprint(node);
+  shards_[0].nodes.push_back(std::move(node));
   return 0;
 }
 
 NodeId LearningGraph::AddChild(NodeId parent, DynamicBitset selection,
                                DynamicBitset completed, DynamicBitset options,
                                double edge_cost) {
-  double path_cost =
-      nodes_[static_cast<size_t>(parent)].path_cost + edge_cost;
+  double path_cost = node(parent).path_cost + edge_cost;
   return AddChildWithPathCost(parent, std::move(selection),
                               std::move(completed), std::move(options),
                               edge_cost, path_cost);
@@ -48,50 +55,130 @@ NodeId LearningGraph::AddChildWithPathCost(NodeId parent,
                                            DynamicBitset options,
                                            double edge_cost,
                                            double path_cost) {
-  assert(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+  return AddChildTo(/*shard=*/parent >> kShardShift, parent,
+                    &node_mut(parent), selection, std::move(completed),
+                    std::move(options), edge_cost, path_cost)
+      .id;
+}
+
+LearningGraph::CreatedChild LearningGraph::AddChildTo(
+    int shard_index, NodeId parent_id, LearningNode* parent,
+    DynamicBitset selection, DynamicBitset completed, DynamicBitset options,
+    double edge_cost, double path_cost) {
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
   if (FaultInjector* injector = ActiveFaultInjector();
       injector != nullptr && injector->ShouldInject(kFaultSiteGraphAlloc)) {
-    allocation_failed_ = true;
+    shard.allocation_failed = true;
+  }
+  if (static_cast<int32_t>(shard.nodes.size()) >= kShardSoftCapacity) {
+    // Id space of this shard is nearly exhausted; surface as an allocation
+    // failure so the next budget check stops the run cleanly.
+    shard.allocation_failed = true;
   }
 
-  NodeId child_id = static_cast<NodeId>(nodes_.size());
-  EdgeId edge_id = static_cast<EdgeId>(edges_.size());
+  NodeId child_id = static_cast<NodeId>(shard_index) << kShardShift |
+                    static_cast<NodeId>(shard.nodes.size());
+  EdgeId edge_id = static_cast<EdgeId>(shard_index) << kShardShift |
+                   static_cast<EdgeId>(shard.edges.size());
 
   LearningEdge edge;
-  edge.from = parent;
+  edge.from = parent_id;
   edge.to = child_id;
   edge.selection = std::move(selection);
   edge.cost = edge_cost;
-  memory_bytes_ += EdgeFootprint(edge);
-  edges_.push_back(std::move(edge));
+  shard.memory_bytes += EdgeFootprint(edge);
+  shard.edges.push_back(std::move(edge));
 
   LearningNode child;
-  child.term = nodes_[static_cast<size_t>(parent)].term.Next();
+  child.term = parent->term.Next();
   child.completed = std::move(completed);
   child.options = std::move(options);
   child.parent_edge = edge_id;
   child.path_cost = path_cost;
-  memory_bytes_ += NodeFootprint(child);
-  nodes_.push_back(std::move(child));
+  shard.memory_bytes += NodeFootprint(child);
+  LearningNode& stored = shard.nodes.push_back(std::move(child));
 
-  nodes_[static_cast<size_t>(parent)].out_edges.push_back(edge_id);
-  return child_id;
+  parent->out_edges.push_back(edge_id);
+  return CreatedChild{child_id, &stored};
 }
 
 std::vector<NodeId> LearningGraph::GoalNodes() const {
   std::vector<NodeId> out;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].is_goal) out.push_back(static_cast<NodeId>(i));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t i = 0; i < shard.nodes.size(); ++i) {
+      if (shard.nodes[i].is_goal) {
+        out.push_back(static_cast<NodeId>(s) << kShardShift |
+                      static_cast<NodeId>(i));
+      }
+    }
   }
   return out;
 }
 
 std::vector<NodeId> LearningGraph::LeafNodes() const {
   std::vector<NodeId> out;
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].out_edges.empty()) out.push_back(static_cast<NodeId>(i));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    for (size_t i = 0; i < shard.nodes.size(); ++i) {
+      if (shard.nodes[i].out_edges.empty()) {
+        out.push_back(static_cast<NodeId>(s) << kShardShift |
+                      static_cast<NodeId>(i));
+      }
+    }
   }
   return out;
+}
+
+void LearningGraph::Canonicalize() {
+  if (shards_.size() == 1) return;  // serial runs are canonical already
+  if (root() == kInvalidNodeId) {
+    shards_.clear();
+    shards_.resize(1);
+    return;
+  }
+
+  LearningGraph out;
+
+  // Replay the serial generators' numbering: ids are assigned when a node
+  // is created, all children of one expansion get consecutive ids in
+  // out-edge order, and the worklist is LIFO — the next node expanded is
+  // the most recently created child.
+  std::vector<NodeId> worklist;
+  std::vector<NodeId> remap_stack;  // new ids, parallel to `worklist`
+
+  {
+    LearningNode& old_root = node_mut(0);
+    NodeId new_root = out.AddRoot(old_root.term, std::move(old_root.completed),
+                                  std::move(old_root.options));
+    if (old_root.is_goal) out.MarkGoal(new_root);
+    worklist.push_back(0);
+    remap_stack.push_back(new_root);
+  }
+
+  while (!worklist.empty()) {
+    NodeId old_id = worklist.back();
+    worklist.pop_back();
+    NodeId new_id = remap_stack.back();
+    remap_stack.pop_back();
+
+    // Copy the out-edge list: appending children below mutates the arena
+    // the old node lives in only via distinct elements, but keep the loop
+    // simple and allocation-light.
+    const std::vector<EdgeId>& out_edges = node_mut(old_id).out_edges;
+    for (EdgeId old_edge_id : out_edges) {
+      LearningEdge& old_edge = edge_mut(old_edge_id);
+      LearningNode& old_child = node_mut(old_edge.to);
+      NodeId new_child = out.AddChildWithPathCost(
+          new_id, std::move(old_edge.selection), std::move(old_child.completed),
+          std::move(old_child.options), old_edge.cost, old_child.path_cost);
+      if (old_child.is_goal) out.MarkGoal(new_child);
+      worklist.push_back(old_edge.to);
+      remap_stack.push_back(new_child);
+    }
+  }
+
+  *this = std::move(out);
 }
 
 }  // namespace coursenav

@@ -6,6 +6,7 @@
 
 #include "catalog/term.h"
 #include "util/bitset.h"
+#include "util/chunked_vector.h"
 
 namespace coursenav {
 
@@ -44,22 +45,61 @@ struct LearningEdge {
 ///
 /// Generators expand statuses forward in time, so the materialized graph is
 /// a rooted tree whose overlapping root-to-leaf paths are the learning
-/// paths (the paper's Figures 1 and 3). Nodes and edges live in flat
-/// arenas; ids are indices.
+/// paths (the paper's Figures 1 and 3).
+///
+/// Nodes and edges live in chunk-allocated arenas: growth never relocates
+/// an element, so references returned by `node()` / `edge()` stay valid for
+/// the graph's lifetime (generators hold a parent reference across child
+/// insertions instead of snapshot-copying its bitsets).
+///
+/// A graph has one arena *shard* by default. The parallel frontier engine
+/// (`src/exec/`) configures one shard per worker: each worker appends nodes
+/// and edges only to its own shard, so the hot path needs no locks or
+/// atomics. Ids encode `(shard, local index)`; after a parallel run,
+/// `Canonicalize()` renumbers the merged shards into exactly the id order a
+/// serial run produces, making parallel output byte-identical to serial.
+///
+/// Thread-safety contract for multi-shard graphs: concurrent `AddChildTo`
+/// calls must target distinct shards; a node may be read and mutated
+/// (out_edges, is_goal) only by the worker that currently owns it via the
+/// frontier (ownership transfer through the work-stealing deque provides
+/// the happens-before edge); aggregate accessors (`num_nodes`,
+/// `MemoryUsage`, traversals) are safe only once the workers have joined.
+/// Cross-thread node access must go through the stable `LearningNode*`
+/// carried by the frontier item, never through `node(id)` (the owning
+/// shard's chunk table may be growing).
 ///
 /// The graph tracks an approximate memory footprint so generators can
 /// enforce the caller's memory budget — reproducing, deliberately, the
 /// paper's "could not store the graph in memory" Table 2 cells.
 class LearningGraph {
  public:
-  LearningGraph() = default;
+  /// Shard-id bit layout of NodeId/EdgeId: high bits select the shard,
+  /// low bits the index within it.
+  static constexpr int kShardShift = 27;
+  static constexpr int kMaxShards = 16;
+  static constexpr int32_t kLocalMask = (int32_t{1} << kShardShift) - 1;
+  /// Once a shard holds this many nodes its `allocation_failed` flag trips,
+  /// surfacing as ResourceExhausted before local indices can overflow the
+  /// id encoding.
+  static constexpr int32_t kShardSoftCapacity = kLocalMask - 4096;
+
+  LearningGraph() : shards_(1) {}
 
   LearningGraph(const LearningGraph&) = delete;
   LearningGraph& operator=(const LearningGraph&) = delete;
   LearningGraph(LearningGraph&&) = default;
   LearningGraph& operator=(LearningGraph&&) = default;
 
-  /// Creates the start node `n_1`. Must be called exactly once, first.
+  /// Splits the arenas into `num_shards` (1..kMaxShards). Must be called
+  /// before any node exists; the parallel engine allocates one shard per
+  /// worker.
+  void ConfigureShards(int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Creates the start node `n_1` in shard 0. Must be called exactly once,
+  /// first.
   NodeId AddRoot(Term term, DynamicBitset completed, DynamicBitset options);
 
   /// Creates a node one semester after `parent` plus the edge electing
@@ -75,40 +115,125 @@ class LearningGraph {
                               DynamicBitset completed, DynamicBitset options,
                               double edge_cost, double path_cost);
 
-  void MarkGoal(NodeId id) { nodes_[static_cast<size_t>(id)].is_goal = true; }
+  /// A freshly created child: its id plus a stable pointer the creating
+  /// worker hands to the frontier (cross-thread reads go through the
+  /// pointer, never through `node(id)`).
+  struct CreatedChild {
+    NodeId id = kInvalidNodeId;
+    LearningNode* node = nullptr;
+  };
 
-  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
-  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  /// Parallel-engine variant of AddChild: materializes the child and its
+  /// inbound edge in `shard`, linking it under `*parent` (which the caller
+  /// must own exclusively; `parent_id` is its id). Only the worker that
+  /// owns `shard` may call this for that shard.
+  CreatedChild AddChildTo(int shard, NodeId parent_id, LearningNode* parent,
+                          DynamicBitset selection, DynamicBitset completed,
+                          DynamicBitset options, double edge_cost,
+                          double path_cost);
+
+  void MarkGoal(NodeId id) { node_mut(id).is_goal = true; }
+
+  /// Stable mutable pointer to a node, for seeding the parallel frontier
+  /// (typically the root). Subject to the thread-safety contract above:
+  /// the caller must hold exclusive ownership of the node.
+  LearningNode* stable_node_ptr(NodeId id) { return &node_mut(id); }
+
+  int64_t num_nodes() const {
+    int64_t n = 0;
+    for (const Shard& shard : shards_) {
+      n += static_cast<int64_t>(shard.nodes.size());
+    }
+    return n;
+  }
+  int64_t num_edges() const {
+    int64_t n = 0;
+    for (const Shard& shard : shards_) {
+      n += static_cast<int64_t>(shard.edges.size());
+    }
+    return n;
+  }
 
   const LearningNode& node(NodeId id) const {
-    return nodes_[static_cast<size_t>(id)];
+    const Shard& shard = shards_[static_cast<size_t>(id >> kShardShift)];
+    return shard.nodes[static_cast<size_t>(id & kLocalMask)];
   }
   const LearningEdge& edge(EdgeId id) const {
-    return edges_[static_cast<size_t>(id)];
+    const Shard& shard = shards_[static_cast<size_t>(id >> kShardShift)];
+    return shard.edges[static_cast<size_t>(id & kLocalMask)];
   }
 
-  NodeId root() const { return nodes_.empty() ? kInvalidNodeId : 0; }
+  NodeId root() const {
+    return shards_[0].nodes.empty() ? kInvalidNodeId : 0;
+  }
 
-  /// Ids of all nodes flagged as goals, in creation order.
+  /// Ids of all nodes flagged as goals, in id order (for canonical graphs,
+  /// creation order).
   std::vector<NodeId> GoalNodes() const;
 
   /// Ids of all nodes with no outgoing edges (path terminals).
   std::vector<NodeId> LeafNodes() const;
 
-  /// Approximate heap bytes held by nodes, edges, and their bitsets.
-  size_t MemoryUsage() const { return memory_bytes_; }
+  /// Approximate heap bytes held by nodes, edges, and their bitsets, summed
+  /// over all shards. Only safe once workers have joined.
+  size_t MemoryUsage() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) total += shard.memory_bytes;
+    return total;
+  }
+
+  /// Per-shard memory footprint — safe for the owning worker to poll while
+  /// the run is live (feeds the parallel engine's atomic budget counters).
+  size_t ShardMemoryUsage(int shard) const {
+    return shards_[static_cast<size_t>(shard)].memory_bytes;
+  }
 
   /// True once the fault injector simulated an allocation failure in this
-  /// graph's arena (see util/fault_injection.h). Generators surface it as
-  /// ResourceExhausted at their next budget check; the node materialized by
-  /// the failing call is still valid, so the graph stays well-formed.
-  bool allocation_failed() const { return allocation_failed_; }
+  /// graph's arenas (see util/fault_injection.h), or a shard reached its id
+  /// soft capacity. Generators surface it as ResourceExhausted at their
+  /// next budget check; the node materialized by the failing call is still
+  /// valid, so the graph stays well-formed. Only safe once workers have
+  /// joined (workers poll their own shard via ShardAllocationFailed).
+  bool allocation_failed() const {
+    for (const Shard& shard : shards_) {
+      if (shard.allocation_failed) return true;
+    }
+    return false;
+  }
+
+  /// Shard-local view of the allocation-failure flag (each worker only ever
+  /// allocates into — and therefore only ever trips — its own shard).
+  bool ShardAllocationFailed(int shard) const {
+    return shards_[static_cast<size_t>(shard)].allocation_failed;
+  }
+
+  /// Renumbers the graph into the node/edge id order a serial run produces
+  /// (the generators' LIFO expansion order over each node's out-edges) and
+  /// merges all shards into one arena. After a *complete* parallel run the
+  /// result is byte-identical to the serial graph regardless of worker
+  /// count; for budget-truncated runs it is a well-formed renumbering of
+  /// whatever was materialized. No-op for single-shard graphs (a serial run
+  /// is already canonical).
+  void Canonicalize();
 
  private:
-  std::vector<LearningNode> nodes_;
-  std::vector<LearningEdge> edges_;
-  size_t memory_bytes_ = 0;
-  bool allocation_failed_ = false;
+  struct Shard {
+    ChunkedVector<LearningNode> nodes;
+    ChunkedVector<LearningEdge> edges;
+    size_t memory_bytes = 0;
+    bool allocation_failed = false;
+  };
+
+  LearningNode& node_mut(NodeId id) {
+    Shard& shard = shards_[static_cast<size_t>(id >> kShardShift)];
+    return shard.nodes[static_cast<size_t>(id & kLocalMask)];
+  }
+  LearningEdge& edge_mut(EdgeId id) {
+    Shard& shard = shards_[static_cast<size_t>(id >> kShardShift)];
+    return shard.edges[static_cast<size_t>(id & kLocalMask)];
+  }
+
+  std::vector<Shard> shards_;
 };
 
 }  // namespace coursenav

@@ -144,18 +144,22 @@ MetricRegistry& GlobalMetrics() {
 }
 
 ExplorationMetrics::ExplorationMetrics(MetricRegistry* registry)
-    : registry_(registry),
-      handles_{registry->GetCounter(kMetricNodesCreated),
-               registry->GetCounter(kMetricEdgesCreated),
-               registry->GetCounter(kMetricNodesExpanded),
-               registry->GetCounter(kMetricTerminalPaths),
-               registry->GetCounter(kMetricGoalPaths),
-               registry->GetCounter(kMetricDeadEndPaths),
-               registry->GetCounter(kMetricPrunedTime),
-               registry->GetCounter(kMetricPrunedAvailability),
-               registry->GetCounter(kMetricBudgetChecks)} {}
+    : registry_(registry), handles_{} {
+  if (registry == nullptr) return;  // detached per-worker tally sheet
+  Counter** h = handles_;
+  h[0] = registry->GetCounter(kMetricNodesCreated);
+  h[1] = registry->GetCounter(kMetricEdgesCreated);
+  h[2] = registry->GetCounter(kMetricNodesExpanded);
+  h[3] = registry->GetCounter(kMetricTerminalPaths);
+  h[4] = registry->GetCounter(kMetricGoalPaths);
+  h[5] = registry->GetCounter(kMetricDeadEndPaths);
+  h[6] = registry->GetCounter(kMetricPrunedTime);
+  h[7] = registry->GetCounter(kMetricPrunedAvailability);
+  h[8] = registry->GetCounter(kMetricBudgetChecks);
+}
 
 void ExplorationMetrics::Publish() {
+  if (registry_ == nullptr) return;
   const int64_t tallies[kNumTallies] = {
       nodes_created, edges_created, nodes_expanded,
       terminal_paths, goal_paths,   dead_end_paths,

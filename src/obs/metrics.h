@@ -236,6 +236,10 @@ inline constexpr std::string_view kMetricSessionCacheMisses =
 /// before folding the run into `GlobalMetrics()`.
 class ExplorationMetrics {
  public:
+  /// With a null registry the bundle is a detached tally sheet: increments
+  /// work normally, `Publish()` is a no-op. The parallel engine gives each
+  /// worker a detached bundle and folds them via `MergeFrom` at join, so
+  /// the run's registry sees every tally exactly once.
   explicit ExplorationMetrics(MetricRegistry* registry);
 
   int64_t nodes_created = 0;
@@ -251,6 +255,22 @@ class ExplorationMetrics {
   /// Adds the tallies accumulated since the last publish into the
   /// registry's counters.
   void Publish();
+
+  /// Folds another bundle's raw tallies into this one. Used after a
+  /// parallel run to join the per-worker tally sheets; the sources must
+  /// never Publish themselves (they are detached), or the counts would
+  /// double into the registry.
+  void MergeFrom(const ExplorationMetrics& other) {
+    nodes_created += other.nodes_created;
+    edges_created += other.edges_created;
+    nodes_expanded += other.nodes_expanded;
+    terminal_paths += other.terminal_paths;
+    goal_paths += other.goal_paths;
+    dead_end_paths += other.dead_end_paths;
+    pruned_time += other.pruned_time;
+    pruned_availability += other.pruned_availability;
+    budget_checks += other.budget_checks;
+  }
 
   MetricRegistry* registry() const { return registry_; }
 

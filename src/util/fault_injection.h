@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -37,8 +38,12 @@ struct FaultConfig {
 /// random engines. That makes every chaos-test failure replayable from its
 /// seed alone.
 ///
-/// Not thread-safe: the injector (and the global seam below) are meant for
-/// single-threaded tests and benches.
+/// Thread-safe: decisions are serialized by an internal mutex so parallel
+/// workers can hit the compiled-in seams concurrently. Under concurrency
+/// the *interleaving* of per-site counters depends on scheduling, so the
+/// global decision sequence is deterministic per thread schedule rather
+/// than absolutely; single-threaded runs remain bit-replayable from the
+/// seed alone.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultConfig config);
@@ -60,6 +65,7 @@ class FaultInjector {
   uint64_t Mix(std::string_view site, uint64_t counter) const;
 
   FaultConfig config_;
+  mutable std::mutex mu_;  // guards counters_ and fired_
   std::map<std::string, uint64_t, std::less<>> counters_;
   std::map<std::string, int64_t, std::less<>> fired_;
 };

@@ -1,0 +1,280 @@
+// Determinism contract of the parallel frontier engine: for any worker
+// count, a complete run must produce a graph byte-identical to the serial
+// generator's (same node/edge numbering, same bitsets, same statistics),
+// and a budget-truncated run must still produce a well-formed canonical
+// graph. Also unit-tests the work-stealing deques and the worker pool the
+// engine is built on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/deadline_generator.h"
+#include "core/goal_generator.h"
+#include "data/brandeis_cs.h"
+#include "exec/work_queue.h"
+#include "exec/worker_pool.h"
+#include "tests/test_util.h"
+
+namespace coursenav {
+namespace {
+
+/// Field-by-field graph comparison; returns a description of the first
+/// difference, or "" when the graphs are identical (ids, bitsets, costs —
+/// everything a serializer would write).
+std::string GraphDifference(const LearningGraph& a, const LearningGraph& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return "node counts differ: " + std::to_string(a.num_nodes()) + " vs " +
+           std::to_string(b.num_nodes());
+  }
+  if (a.num_edges() != b.num_edges()) {
+    return "edge counts differ: " + std::to_string(a.num_edges()) + " vs " +
+           std::to_string(b.num_edges());
+  }
+  if (a.root() != b.root()) return "roots differ";
+  for (NodeId id = 0; id < a.num_nodes(); ++id) {
+    const LearningNode& na = a.node(id);
+    const LearningNode& nb = b.node(id);
+    const std::string where = "node " + std::to_string(id) + ": ";
+    if (na.term != nb.term) return where + "terms differ";
+    if (na.completed != nb.completed) return where + "completed sets differ";
+    if (na.options != nb.options) return where + "option sets differ";
+    if (na.parent_edge != nb.parent_edge) return where + "parent edges differ";
+    if (na.out_edges != nb.out_edges) return where + "out edges differ";
+    if (na.is_goal != nb.is_goal) return where + "goal flags differ";
+    if (na.path_cost != nb.path_cost) return where + "path costs differ";
+  }
+  for (EdgeId id = 0; id < a.num_edges(); ++id) {
+    const LearningEdge& ea = a.edge(id);
+    const LearningEdge& eb = b.edge(id);
+    const std::string where = "edge " + std::to_string(id) + ": ";
+    if (ea.from != eb.from || ea.to != eb.to) {
+      return where + "endpoints differ";
+    }
+    if (ea.selection != eb.selection) return where + "selections differ";
+    if (ea.cost != eb.cost) return where + "costs differ";
+  }
+  return "";
+}
+
+/// Stats equality modulo runtime (wall time legitimately varies).
+std::string StatsDifference(const ExplorationStats& a,
+                            const ExplorationStats& b) {
+  if (a.nodes_created != b.nodes_created) return "nodes_created differ";
+  if (a.edges_created != b.edges_created) return "edges_created differ";
+  if (a.nodes_expanded != b.nodes_expanded) return "nodes_expanded differ";
+  if (a.terminal_paths != b.terminal_paths) return "terminal_paths differ";
+  if (a.goal_paths != b.goal_paths) return "goal_paths differ";
+  if (a.dead_end_paths != b.dead_end_paths) return "dead_end_paths differ";
+  if (a.pruned_time != b.pruned_time) return "pruned_time differ";
+  if (a.pruned_availability != b.pruned_availability) {
+    return "pruned_availability differ";
+  }
+  return "";
+}
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+TEST(ParallelDeterminismTest, DeadlineDrivenMatchesSerialAtEveryThreadCount) {
+  testing_util::Figure3Fixture fixture;
+  ExplorationOptions serial_options;
+  auto serial = GenerateDeadlineDrivenPaths(fixture.catalog, fixture.schedule,
+                                            fixture.FreshStudent(),
+                                            fixture.spring13, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->termination.ok()) << serial->termination.ToString();
+  ASSERT_EQ(testing_util::StructureErrors(serial->graph), "");
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExplorationOptions options;
+    options.num_threads = threads;
+    auto parallel = GenerateDeadlineDrivenPaths(
+        fixture.catalog, fixture.schedule, fixture.FreshStudent(),
+        fixture.spring13, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_TRUE(parallel->termination.ok())
+        << parallel->termination.ToString();
+    EXPECT_EQ(GraphDifference(serial->graph, parallel->graph), "");
+    EXPECT_EQ(StatsDifference(serial->stats, parallel->stats), "");
+  }
+}
+
+TEST(ParallelDeterminismTest, GoalDrivenMatchesSerialOnBrandeisCatalog) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  Term end = data::EvaluationEndTerm();
+  EnrollmentStatus start{data::StartTermForSpan(5),
+                         dataset.catalog.NewCourseSet()};
+
+  ExplorationOptions serial_options;
+  auto serial = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                        start, end, *dataset.cs_major,
+                                        serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->termination.ok()) << serial->termination.ToString();
+  // A real population (the paper's Table 2 regime) — the determinism
+  // check below is only meaningful on a non-trivial graph.
+  EXPECT_GT(serial->stats.goal_paths, 0);
+  EXPECT_GT(serial->stats.nodes_created, 1000);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExplorationOptions options;
+    options.num_threads = threads;
+    auto parallel = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                            start, end, *dataset.cs_major,
+                                            options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_TRUE(parallel->termination.ok())
+        << parallel->termination.ToString();
+    EXPECT_EQ(GraphDifference(serial->graph, parallel->graph), "");
+    EXPECT_EQ(StatsDifference(serial->stats, parallel->stats), "");
+  }
+}
+
+TEST(ParallelDeterminismTest, ParallelRunsAreRepeatable) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  Term end = data::EvaluationEndTerm();
+  EnrollmentStatus start{data::StartTermForSpan(4),
+                         dataset.catalog.NewCourseSet()};
+  ExplorationOptions options;
+  options.num_threads = 4;
+
+  auto first = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                       start, end, *dataset.cs_major, options);
+  auto second = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                        start, end, *dataset.cs_major,
+                                        options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(GraphDifference(first->graph, second->graph), "");
+}
+
+// Budget-truncated parallel runs cannot promise serial-identical output
+// (which worker hits the limit first is timing-dependent), but the partial
+// graph must be canonical and well-formed and its stats must reconcile.
+TEST(ParallelBudgetTest, NodeBudgetYieldsWellFormedPartialGraph) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  Term end = data::EvaluationEndTerm();
+  EnrollmentStatus start{data::StartTermForSpan(5),
+                         dataset.catalog.NewCourseSet()};
+  ExplorationOptions options;
+  options.num_threads = 4;
+  options.limits.max_nodes = 2000;
+
+  auto result = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                        start, end, *dataset.cs_major,
+                                        options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->termination.IsResourceExhausted())
+      << result->termination.ToString();
+  EXPECT_GE(result->stats.nodes_created, 2000);
+  EXPECT_EQ(testing_util::StructureErrors(result->graph), "");
+  EXPECT_EQ(testing_util::StatsErrors(result->graph, result->stats), "");
+}
+
+TEST(ParallelBudgetTest, CancellationStopsAllWorkersCleanly) {
+  data::BrandeisDataset dataset = data::BuildBrandeisDataset();
+  Term end = data::EvaluationEndTerm();
+  EnrollmentStatus start{data::StartTermForSpan(6),
+                         dataset.catalog.NewCourseSet()};
+  ExplorationOptions options;
+  options.num_threads = 4;
+  options.cancel = CancellationToken::Cancellable();
+  // Pre-cancelled: every worker must observe the flag at its first budget
+  // check and return without expanding more than the seeded frontier.
+  options.cancel.RequestCancel();
+
+  auto result = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
+                                        start, end, *dataset.cs_major,
+                                        options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->termination.IsCancelled())
+      << result->termination.ToString();
+  EXPECT_EQ(testing_util::StructureErrors(result->graph), "");
+  EXPECT_EQ(testing_util::StatsErrors(result->graph, result->stats), "");
+}
+
+TEST(WorkStealingQueuesTest, LocalPopIsLifo) {
+  exec::WorkStealingQueues<int> queues(2);
+  queues.Push(0, 1);
+  queues.Push(0, 2);
+  queues.Push(0, 3);
+  int out = 0;
+  ASSERT_TRUE(queues.TryPopLocal(0, &out));
+  EXPECT_EQ(out, 3);
+  ASSERT_TRUE(queues.TryPopLocal(0, &out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queues.TryPopLocal(1, &out));
+}
+
+TEST(WorkStealingQueuesTest, StealTakesHalfFromTheFront) {
+  exec::WorkStealingQueues<int> queues(2);
+  for (int i = 1; i <= 4; ++i) queues.Push(0, i);
+  int out = 0;
+  // Thief 1 steals ceil(4/2) = 2 items from the front: {1, 2}. The first
+  // (oldest, shallowest) comes back directly; the second refills the
+  // thief's deque.
+  ASSERT_TRUE(queues.TrySteal(1, &out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queues.TryPopLocal(1, &out));
+  EXPECT_EQ(out, 2);
+  // The victim keeps its back half, still in LIFO order.
+  ASSERT_TRUE(queues.TryPopLocal(0, &out));
+  EXPECT_EQ(out, 4);
+  ASSERT_TRUE(queues.TryPopLocal(0, &out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(queues.TrySteal(1, &out));
+}
+
+TEST(WorkStealingQueuesTest, ConcurrentPushPopStealLosesNothing) {
+  constexpr int kWorkers = 4;
+  constexpr int kItemsPerWorker = 5000;
+  exec::WorkStealingQueues<int> queues(kWorkers);
+  exec::WorkerPool pool(kWorkers);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+
+  pool.Run([&](int worker) {
+    // Each worker seeds its own deque, then everyone drains every deque
+    // via local pops and steals until all items are accounted for.
+    for (int i = 0; i < kItemsPerWorker; ++i) {
+      queues.Push(worker, worker * kItemsPerWorker + i);
+    }
+    int item = 0;
+    while (popped.load(std::memory_order_acquire) <
+           kWorkers * kItemsPerWorker) {
+      if (queues.TryPopLocal(worker, &item) ||
+          queues.TrySteal(worker, &item)) {
+        sum.fetch_add(item, std::memory_order_relaxed);
+        popped.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  });
+
+  const int64_t n = int64_t{kWorkers} * kItemsPerWorker;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(WorkerPoolTest, RunsBodyOnEveryWorkerEachRound) {
+  exec::WorkerPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> mask{0};
+    pool.Run([&](int worker) { mask.fetch_or(1 << worker); });
+    EXPECT_EQ(mask.load(), 0b111);
+  }
+}
+
+TEST(WorkerPoolTest, ClampsThreadCountToAtLeastOne) {
+  exec::WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> calls{0};
+  pool.Run([&](int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -68,6 +68,9 @@ common flags:
   --avoid=A,B          courses never to take
   --max-nodes=<n>      node budget (0 = unlimited)
   --max-seconds=<s>    wall-clock budget (0 = unlimited)
+  --threads=<n>        worker threads for explore/goal frontier expansion
+                       (0 = serial, the default; results are identical at
+                       any thread count; topk is always serial)
   --time-budget=<s>    alias for --max-seconds (wins when both are set)
   --degrade            on budget exhaustion, walk the degradation ladder
                        (full -> aggressive pruning / smaller k -> count-only)
@@ -203,6 +206,11 @@ Result<CommonArgs> LoadCommon(const FlagSet& flags, bool need_goal) {
   COURSENAV_ASSIGN_OR_RETURN(double time_budget,
                              flags.GetDouble("time-budget", 0.0));
   if (time_budget > 0) common.options.limits.max_seconds = time_budget;
+  COURSENAV_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+  if (threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  common.options.num_threads = static_cast<int>(threads);
 
   if (need_goal) {
     COURSENAV_ASSIGN_OR_RETURN(std::string goal_expr,
