@@ -190,8 +190,10 @@ class StageProfiler {
     for (const obs::SpanAggregate& aggregate : aggregates) {
       table.AddRow({aggregate.name, WithCommas(
                         static_cast<uint64_t>(aggregate.count)),
-                    StrFormat("%.3f", aggregate.total_us / 1000.0),
-                    StrFormat("%.3f", aggregate.max_us / 1000.0)});
+                    StrFormat("%.3f",
+                              static_cast<double>(aggregate.total_us) / 1e3),
+                    StrFormat("%.3f",
+                              static_cast<double>(aggregate.max_us) / 1e3)});
     }
     table.Print();
     if (tracer_.dropped() > 0) {

@@ -15,8 +15,7 @@ namespace coursenav {
 namespace {
 
 const data::BrandeisDataset& Dataset() {
-  static const data::BrandeisDataset& dataset =
-      *new data::BrandeisDataset(data::BuildBrandeisDataset());
+  static const data::BrandeisDataset dataset = data::BuildBrandeisDataset();
   return dataset;
 }
 

@@ -1,3 +1,4 @@
+// coursenav:deterministic — path output order is part of the contract.
 #include "core/deadline_generator.h"
 
 #include <optional>
@@ -6,8 +7,9 @@
 
 #include "core/combinations.h"
 #include "core/engine.h"
-#include "exec/parallel_expander.h"
+#include "core/parallel_bridge.h"
 #include "obs/trace.h"
+#include "util/check.h"
 
 namespace coursenav {
 
@@ -138,6 +140,7 @@ Result<GenerationResult> GenerateDeadlineDrivenPaths(
     expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
   }
 
+  if (CN_DCHECK_IS_ON()) result.graph.CheckInvariants();
   result.stats = engine.StatsView();
   run_span.AddInt("nodes_created", result.stats.nodes_created);
   if (!result.termination.ok()) return result;

@@ -1,3 +1,4 @@
+// coursenav:deterministic — path output order is part of the contract.
 #include "core/goal_generator.h"
 
 #include <algorithm>
@@ -7,8 +8,9 @@
 
 #include "core/combinations.h"
 #include "core/engine.h"
-#include "exec/parallel_expander.h"
+#include "core/parallel_bridge.h"
 #include "obs/trace.h"
+#include "util/check.h"
 
 namespace coursenav {
 
@@ -169,6 +171,13 @@ Result<GenerationResult> GenerateGoalDrivenPaths(
   }
 
   oracle.EmitStageSpans();
+  // Structural self-checks (dcheck builds): the run's graph and the
+  // oracle's availability cache must both be consistent before results
+  // surface.
+  if (CN_DCHECK_IS_ON()) {
+    graph.CheckInvariants();
+    oracle.CheckInvariants();
+  }
   result.stats = engine.StatsView();
   run_span.AddInt("nodes_created", result.stats.nodes_created);
   run_span.AddInt("goal_paths", result.stats.goal_paths);

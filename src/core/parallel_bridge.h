@@ -1,5 +1,5 @@
-#ifndef COURSENAV_EXEC_PARALLEL_EXPANDER_H_
-#define COURSENAV_EXEC_PARALLEL_EXPANDER_H_
+#ifndef COURSENAV_CORE_PARALLEL_BRIDGE_H_
+#define COURSENAV_CORE_PARALLEL_BRIDGE_H_
 
 #include "catalog/catalog.h"
 #include "catalog/schedule.h"
@@ -10,6 +10,14 @@
 #include "graph/learning_graph.h"
 #include "requirements/goal.h"
 #include "util/status.h"
+
+// The contract between the serial generators (this module) and the
+// parallel frontier engine (src/exec/). Dependency inversion keeps the
+// module layering DAG acyclic — `core` may not include `exec` headers
+// (coursenav-lint enforces it) — so core *declares* the expansion entry
+// points here and src/exec/parallel_expander.cc *implements* them. The
+// implementation is compiled into coursenav_core (see src/core/CMakeLists),
+// which also keeps the library link graph cycle-free.
 
 namespace coursenav::internal {
 
@@ -50,10 +58,12 @@ struct ParallelExpandSpec {
 ///
 /// Returns the run's termination status: OK for a complete expansion, the
 /// first budget/cancellation/fault verdict otherwise.
+///
+/// Implemented by the exec layer (src/exec/parallel_expander.cc).
 Status ExpandFrontierParallel(ExplorationEngine& engine,
                               const ParallelExpandSpec& spec, int num_workers,
                               LearningGraph* graph);
 
 }  // namespace coursenav::internal
 
-#endif  // COURSENAV_EXEC_PARALLEL_EXPANDER_H_
+#endif  // COURSENAV_CORE_PARALLEL_BRIDGE_H_

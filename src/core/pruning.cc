@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "util/check.h"
+
 namespace coursenav::internal {
 
 PruningOracle::PruningOracle(const Goal& goal, const ExplorationEngine& engine,
@@ -53,6 +55,29 @@ void PruningOracle::EmitStageSpans() const {
       {obs::SpanAttribute::Int("pruned", metrics_->pruned_availability),
        obs::SpanAttribute::Int("enabled",
                                config_.enable_availability_pruning)});
+}
+
+void PruningOracle::CheckInvariants() const {
+  const int universe =
+      engine_.AvailableFrom(engine_.start()).universe_size();
+  for (const auto& [term_index, per_term] : availability_cache_) {
+    // Verdicts are keyed by *child* terms, which lie strictly inside
+    // (start, end] of the exploration window.
+    CN_CHECK_GT(term_index, engine_.start().index())
+        << "availability cache keyed on a term before the start";
+    CN_CHECK_LE(term_index, engine_.end().index())
+        << "availability cache keyed on a term past the deadline";
+    const DynamicBitset& available =
+        engine_.AvailableFrom(Term::FromIndex(term_index));
+    for (const auto& [reachable, achievable] : per_term) {
+      (void)achievable;
+      CN_CHECK_EQ(reachable.universe_size(), universe)
+          << "cached reachable set sized for a different catalog";
+      CN_CHECK(available.IsSubsetOf(reachable))
+          << "cached reachable set at term " << term_index
+          << " is missing courses the catalog offers from that term";
+    }
+  }
 }
 
 PruningOracle::Verdict PruningOracle::ClassifyChild(

@@ -163,6 +163,14 @@ class PruningOracle {
   /// accumulated strategy time. No-op without an installed tracer.
   void EmitStageSpans() const;
 
+  /// Structural validator (debug builds): aborts via CN_CHECK when an L1
+  /// availability-cache entry is inconsistent with the run's catalog —
+  /// a term index outside the exploration window, a reachable set whose
+  /// universe differs from the catalog's, or a reachable set missing
+  /// courses that are certainly available from its term. Call sites gate
+  /// on CN_DCHECK_IS_ON(); always compiled so tests can invoke it.
+  void CheckInvariants() const;
+
  private:
   const Goal& goal_;
   const ExplorationEngine& engine_;

@@ -1,3 +1,4 @@
+// coursenav:deterministic — ranking ties break by id, never by hash order.
 #include "core/ranked_generator.h"
 
 #include <algorithm>
@@ -9,6 +10,7 @@
 #include "core/engine.h"
 #include "graph/learning_graph.h"
 #include "obs/trace.h"
+#include "util/check.h"
 
 namespace coursenav {
 
@@ -192,6 +194,10 @@ Result<RankedResult> GenerateRankedPaths(
 
   rank_stage.Emit(obs::kSpanRankEvaluate);
   oracle.EmitStageSpans();
+  if (CN_DCHECK_IS_ON()) {
+    graph.CheckInvariants();
+    oracle.CheckInvariants();
+  }
   result.stats = engine.StatsView();
   run_span.AddInt("nodes_created", result.stats.nodes_created);
   run_span.AddInt("paths_returned",

@@ -1,4 +1,5 @@
-#include "exec/parallel_expander.h"
+// coursenav:deterministic — parallel expansion must match serial output.
+#include "core/parallel_bridge.h"
 
 #include <algorithm>
 #include <atomic>

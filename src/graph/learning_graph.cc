@@ -1,8 +1,10 @@
+// coursenav:deterministic — canonical numbering replays serial LIFO order.
 #include "graph/learning_graph.h"
 
 #include <cassert>
 #include <utility>
 
+#include "util/check.h"
 #include "util/fault_injection.h"
 
 namespace coursenav {
@@ -130,8 +132,102 @@ std::vector<NodeId> LearningGraph::LeafNodes() const {
   return out;
 }
 
+void LearningGraph::CheckInvariants() const {
+  CN_CHECK_GE(num_shards(), 1);
+  CN_CHECK_LE(num_shards(), kMaxShards);
+  const int64_t total_nodes = num_nodes();
+  if (total_nodes == 0) {
+    CN_CHECK_EQ(num_edges(), 0) << "edges exist in an empty graph";
+    return;
+  }
+  CN_CHECK(!shards_[0].nodes.empty())
+      << "graph has nodes but shard 0 holds no root";
+  const LearningNode& root_node = node(0);
+  CN_CHECK_EQ(root_node.parent_edge, kInvalidEdgeId)
+      << "the root must not have a parent edge";
+  // Node+edge are materialized pairwise by AddChildTo, so edges biject
+  // with non-root nodes even in a budget-truncated run.
+  CN_CHECK_EQ(num_edges(), total_nodes - 1);
+  const int universe = root_node.completed.universe_size();
+
+  auto valid_node = [&](NodeId id) {
+    if (id < 0) return false;
+    const size_t shard = static_cast<size_t>(id >> kShardShift);
+    const size_t local = static_cast<size_t>(id & kLocalMask);
+    return shard < shards_.size() && local < shards_[shard].nodes.size();
+  };
+  auto valid_edge = [&](EdgeId id) {
+    if (id < 0) return false;
+    const size_t shard = static_cast<size_t>(id >> kShardShift);
+    const size_t local = static_cast<size_t>(id & kLocalMask);
+    return shard < shards_.size() && local < shards_[shard].edges.size();
+  };
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    CN_CHECK_LE(static_cast<int64_t>(shard.nodes.size()),
+                int64_t{kLocalMask} + 1)
+        << "shard " << s << " overflows the local-id encoding";
+    for (size_t i = 0; i < shard.nodes.size(); ++i) {
+      const NodeId id = static_cast<NodeId>(s) << kShardShift |
+                        static_cast<NodeId>(i);
+      const LearningNode& current = shard.nodes[i];
+      CN_CHECK_EQ(current.completed.universe_size(), universe)
+          << "node " << id << " completed-set universe mismatch";
+      CN_CHECK_EQ(current.options.universe_size(), universe)
+          << "node " << id << " option-set universe mismatch";
+      if (id != 0) {
+        CN_CHECK(valid_edge(current.parent_edge))
+            << "node " << id << " parent edge " << current.parent_edge
+            << " does not decode to a live arena slot";
+        const LearningEdge& inbound = edge(current.parent_edge);
+        CN_CHECK_EQ(inbound.to, id)
+            << "parent edge of node " << id << " targets another node";
+        CN_CHECK(valid_node(inbound.from))
+            << "parent edge of node " << id << " has an invalid source";
+        const LearningNode& parent = node(inbound.from);
+        // Terms advance exactly one semester along every edge, which also
+        // proves the parent links acyclic (they strictly decrease).
+        CN_CHECK_EQ(current.term.index(), parent.term.index() + 1)
+            << "edge " << current.parent_edge
+            << " does not advance time by one semester (parent-link cycle?)";
+        CN_CHECK(inbound.selection.IsSubsetOf(parent.options))
+            << "selection of edge " << current.parent_edge
+            << " elects courses outside the parent's options";
+        CN_CHECK((parent.completed | inbound.selection) == current.completed)
+            << "node " << id
+            << " completed set is not parent.completed ∪ selection";
+      }
+      for (EdgeId out : current.out_edges) {
+        CN_CHECK(valid_edge(out))
+            << "out edge " << out << " of node " << id
+            << " does not decode to a live arena slot";
+        CN_CHECK_EQ(edge(out).from, id)
+            << "out edge " << out << " does not originate at node " << id;
+        CN_CHECK(valid_node(edge(out).to));
+        CN_CHECK_EQ(node(edge(out).to).parent_edge, out)
+            << "edge " << out << " is not the parent edge of its target";
+      }
+    }
+  }
+
+  if (shards_.size() == 1) {
+    // Canonical (serial-order) numbering: contiguous ids with every parent
+    // numbered before each of its children.
+    for (size_t i = 0; i < shards_[0].edges.size(); ++i) {
+      const LearningEdge& current = shards_[0].edges[i];
+      CN_CHECK_LT(current.from, current.to)
+          << "canonical numbering must order parents before children";
+    }
+  }
+}
+
 void LearningGraph::Canonicalize() {
-  if (shards_.size() == 1) return;  // serial runs are canonical already
+  if (shards_.size() == 1) {
+    // Serial runs are canonical already; still self-check in dcheck builds.
+    if (CN_DCHECK_IS_ON()) CheckInvariants();
+    return;
+  }
   if (root() == kInvalidNodeId) {
     shards_.clear();
     shards_.resize(1);
@@ -179,6 +275,9 @@ void LearningGraph::Canonicalize() {
   }
 
   *this = std::move(out);
+  // The merge rebuilt every id: prove the renumbered graph well-formed
+  // before anyone reads it (dcheck builds only; the sweep is O(n)).
+  if (CN_DCHECK_IS_ON()) CheckInvariants();
 }
 
 }  // namespace coursenav

@@ -207,6 +207,20 @@ class LearningGraph {
     return shards_[static_cast<size_t>(shard)].allocation_failed;
   }
 
+  /// Structural validator (debug builds): aborts via CN_CHECK when the
+  /// graph is corrupt. Verifies shard/id encoding consistency (every
+  /// parent/child/out-edge id decodes to a live arena slot), the
+  /// edges↔non-root-nodes bijection, strict term advance along every edge
+  /// (which proves the parent links acyclic), selection/completed-set
+  /// algebra (`child.X = parent.X ∪ W`, `W ⊆ parent.Y`), uniform bitset
+  /// universes, and — for canonicalized single-shard graphs — that the
+  /// contiguous numbering orders every parent before its children.
+  ///
+  /// O(nodes + edges); call sites gate on CN_DCHECK_IS_ON() (Canonicalize
+  /// self-checks its output under the `dcheck` preset). Always compiled,
+  /// so tests can invoke it directly in any build.
+  void CheckInvariants() const;
+
   /// Renumbers the graph into the node/edge id order a serial run produces
   /// (the generators' LIFO expansion order over each node's out-edges) and
   /// merges all shards into one arena. After a *complete* parallel run the
@@ -217,6 +231,10 @@ class LearningGraph {
   void Canonicalize();
 
  private:
+  /// Test-only backdoor (tests/lint_test.cc): hand-corrupts arenas to
+  /// prove CheckInvariants rejects structurally invalid graphs.
+  friend class LearningGraphTestPeer;
+
   struct Shard {
     ChunkedVector<LearningNode> nodes;
     ChunkedVector<LearningEdge> edges;

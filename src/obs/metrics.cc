@@ -139,7 +139,9 @@ void MetricRegistry::AccumulateInto(MetricRegistry* target) const {
 }
 
 MetricRegistry& GlobalMetrics() {
-  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  // Leaky singleton: workers may flush metrics during static destruction.
+  static MetricRegistry* registry =
+      new MetricRegistry();  // NOLINT(coursenav-raw-new)
   return *registry;
 }
 

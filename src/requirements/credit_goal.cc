@@ -34,8 +34,8 @@ Result<std::shared_ptr<const CreditGoal>> CreditGoal::Create(
         "requirement of %.1f credits exceeds the %.1f available",
         required_credits, supply));
   }
-  return std::shared_ptr<const CreditGoal>(new CreditGoal(
-      std::move(credits), std::move(eligible), required_credits));
+  return std::make_shared<const CreditGoal>(
+      Badge(), std::move(credits), std::move(eligible), required_credits);
 }
 
 Result<std::shared_ptr<const CreditGoal>> CreditGoal::UniformCredits(
@@ -47,8 +47,8 @@ Result<std::shared_ptr<const CreditGoal>> CreditGoal::UniformCredits(
                 std::move(eligible), required_credits);
 }
 
-CreditGoal::CreditGoal(std::vector<double> credits, DynamicBitset eligible,
-                       double required_credits)
+CreditGoal::CreditGoal(Badge /*badge*/, std::vector<double> credits,
+                       DynamicBitset eligible, double required_credits)
     : credits_(std::move(credits)),
       eligible_(std::move(eligible)),
       required_credits_(required_credits) {

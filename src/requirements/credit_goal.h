@@ -46,10 +46,17 @@ class CreditGoal : public Goal {
   /// Credits earned from `completed` (eligible courses only).
   double EarnedCredits(const DynamicBitset& completed) const;
 
- private:
-  CreditGoal(std::vector<double> credits, DynamicBitset eligible,
+  /// Pass-key: only the factories can mint one, which keeps construction
+  /// factory-only while letting them use std::make_shared (single
+  /// allocation, no raw new).
+  class Badge {
+    friend class CreditGoal;
+    Badge() = default;
+  };
+  CreditGoal(Badge badge, std::vector<double> credits, DynamicBitset eligible,
              double required_credits);
 
+ private:
   std::vector<double> credits_;
   DynamicBitset eligible_;
   double required_credits_;

@@ -51,11 +51,12 @@ DegreeRequirement::Builder::Build(FlowAlgorithm algorithm) {
           group.name.c_str(), group.required_count, group.courses.count()));
     }
   }
-  return std::shared_ptr<const DegreeRequirement>(new DegreeRequirement(
-      std::move(groups_), catalog_->size(), algorithm));
+  return std::make_shared<const DegreeRequirement>(
+      Badge(), std::move(groups_), catalog_->size(), algorithm);
 }
 
-DegreeRequirement::DegreeRequirement(std::vector<RequirementGroup> groups,
+DegreeRequirement::DegreeRequirement(Badge /*badge*/,
+                                     std::vector<RequirementGroup> groups,
                                      int universe_size,
                                      FlowAlgorithm algorithm)
     : groups_(std::move(groups)),

@@ -114,10 +114,17 @@ class DegreeRequirement : public Goal {
 
   const std::vector<RequirementGroup>& groups() const { return groups_; }
 
- private:
-  DegreeRequirement(std::vector<RequirementGroup> groups, int universe_size,
-                    FlowAlgorithm algorithm);
+  /// Pass-key: only the builder can mint one, which keeps construction
+  /// builder-only while letting it use std::make_shared (single
+  /// allocation, no raw new).
+  class Badge {
+    friend class Builder;
+    Badge() = default;
+  };
+  DegreeRequirement(Badge badge, std::vector<RequirementGroup> groups,
+                    int universe_size, FlowAlgorithm algorithm);
 
+ private:
   std::vector<RequirementGroup> groups_;
   /// Union of all group course sets; courses outside it never affect credit.
   DynamicBitset relevant_courses_;

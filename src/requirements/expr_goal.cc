@@ -8,8 +8,8 @@ Result<std::shared_ptr<const ExprGoal>> ExprGoal::Create(
       expr::Dnf dnf,
       expr::Dnf::FromExpr(goal_expr, catalog.MakeResolver(), catalog.size(),
                           max_clauses));
-  return std::shared_ptr<const ExprGoal>(
-      new ExprGoal(goal_expr, std::move(dnf)));
+  return std::make_shared<const ExprGoal>(Badge(), goal_expr,
+                                          std::move(dnf));
 }
 
 Result<std::shared_ptr<const ExprGoal>> ExprGoal::CompleteAll(

@@ -44,10 +44,17 @@ class ExprGoal : public Goal {
 
   const expr::Dnf& dnf() const { return dnf_; }
 
- private:
-  ExprGoal(expr::Expr source, expr::Dnf dnf)
+  /// Pass-key: only the factories can mint one, which keeps construction
+  /// factory-only while letting them use std::make_shared (single
+  /// allocation, no raw new).
+  class Badge {
+    friend class ExprGoal;
+    Badge() = default;
+  };
+  ExprGoal(Badge /*badge*/, expr::Expr source, expr::Dnf dnf)
       : source_(std::move(source)), dnf_(std::move(dnf)) {}
 
+ private:
   expr::Expr source_;
   expr::Dnf dnf_;
 };

@@ -1,0 +1,40 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coursenav {
+
+namespace {
+CheckFailureHandler g_check_failure_handler = nullptr;
+}  // namespace
+
+void SetCheckFailureHandler(CheckFailureHandler handler) {
+  g_check_failure_handler = handler;
+}
+
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << file << ":" << line << ": " << condition << " failed";
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition,
+                           const std::string& extra) {
+  stream_ << file << ":" << line << ": " << condition << " failed " << extra;
+}
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  std::string message = stream_.str();
+  if (g_check_failure_handler != nullptr) {
+    g_check_failure_handler(message);
+    // The handler must not return; fall through to abort if it does.
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace coursenav

@@ -1,0 +1,166 @@
+#ifndef COURSENAV_UTIL_CHECK_H_
+#define COURSENAV_UTIL_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+// Contracts for CourseNavigator. `CN_CHECK` family macros assert program
+// invariants; on violation they print `file:line: CN_CHECK(cond) failed`
+// plus any streamed message and abort. Messages stream lazily — operands
+// after `<<` are only evaluated on failure:
+//
+//   CN_CHECK(shard < num_shards()) << "id " << id << " out of range";
+//   CN_CHECK_GE(edge.to, 0);            // prints both operand values
+//   CN_DCHECK(IsCanonical());           // compiled out unless COURSENAV_DCHECK
+//   switch (kind) { ... default: CN_UNREACHABLE() << "kind " << kind; }
+//
+// CN_CHECK is always on (release builds included): use it for cheap
+// checks on cold paths. CN_DCHECK is for expensive structural validation
+// (e.g. LearningGraph::CheckInvariants) and costs nothing unless the
+// build sets -DCOURSENAV_DCHECK=ON (the `dcheck` CMake preset); its
+// condition is NOT evaluated in regular builds, so it must be
+// side-effect-free. Relationship to COURSENAV_SANITIZE: sanitizers catch
+// memory/UB/race bugs the hardware can observe, CN_DCHECK catches
+// *semantic* corruption (a well-allocated but structurally invalid graph);
+// run both in CI (see docs/static-analysis.md).
+//
+// Tests can intercept failures instead of dying: see SetCheckFailureHandler.
+
+namespace coursenav {
+
+/// Test-only seam: when a handler is installed, a failing check calls it
+/// with the fully formatted message instead of aborting. The handler must
+/// not return (throw an exception the test catches); if it does return,
+/// the process aborts anyway. Pass nullptr to restore abort semantics.
+/// Not thread-safe: install in single-threaded test setup only.
+using CheckFailureHandler = void (*)(const std::string& message);
+void SetCheckFailureHandler(CheckFailureHandler handler);
+
+namespace internal {
+
+/// Accumulates the failure message; its destructor reports and aborts
+/// (or invokes the test handler). Not for direct use — see the macros.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  /// `extra` is a pre-rendered operand message (the CHECK_OP macros).
+  CheckFailure(const char* file, int line, const char* condition,
+               const std::string& extra);
+  ~CheckFailure() noexcept(false);
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    if (!has_context_) {
+      stream_ << ": ";
+      has_context_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+  /// Lvalue view of a just-constructed temporary, so the CheckVoidify
+  /// `operator&` below can bind whether or not anything was streamed.
+  CheckFailure& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+  bool has_context_ = false;
+};
+
+/// Swallows streamed operands of a disabled CN_DCHECK_* without
+/// evaluating them (it only ever appears in a dead branch).
+struct NullCheckStream {
+  template <typename T>
+  NullCheckStream& operator<<(const T&) {
+    return *this;
+  }
+  NullCheckStream& self() { return *this; }
+};
+
+/// Makes `cond ? void : CheckVoidify() & CheckFailure(...).self() << ...`
+/// well-typed: `&` binds looser than `<<`, so the whole streamed chain
+/// collapses to void.
+struct CheckVoidify {
+  void operator&(CheckFailure&) {}
+  void operator&(NullCheckStream&) {}
+};
+
+/// Null on success; the rendered `(lhs vs. rhs)` text on failure. The
+/// heap string only materializes on the failure path.
+template <typename A, typename B, typename Op>
+std::unique_ptr<std::string> CheckOpResult(const A& a, const B& b, Op op) {
+  if (op(a, b)) return nullptr;
+  std::ostringstream os;
+  os << "(" << a << " vs. " << b << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+}  // namespace internal
+}  // namespace coursenav
+
+/// Asserts `cond`; always compiled in. Streams extra context with `<<`.
+#define CN_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                      \
+         : ::coursenav::internal::CheckVoidify() &                      \
+               ::coursenav::internal::CheckFailure(__FILE__, __LINE__,  \
+                                                   "CN_CHECK(" #cond ")") \
+                   .self()
+
+/// Binary comparison checks; print both operand values on failure.
+/// Operands are evaluated exactly once.
+#define CN_CHECK_OP_IMPL(macro_name, op, a, b)                             \
+  for (auto cn_check_failed = ::coursenav::internal::CheckOpResult(        \
+           (a), (b), [](const auto& x, const auto& y) { return x op y; }); \
+       cn_check_failed != nullptr;)                                        \
+  ::coursenav::internal::CheckFailure(__FILE__, __LINE__,                  \
+                                      macro_name "(" #a ", " #b ")",       \
+                                      *cn_check_failed)
+
+#define CN_CHECK_EQ(a, b) CN_CHECK_OP_IMPL("CN_CHECK_EQ", ==, a, b)
+#define CN_CHECK_NE(a, b) CN_CHECK_OP_IMPL("CN_CHECK_NE", !=, a, b)
+#define CN_CHECK_GE(a, b) CN_CHECK_OP_IMPL("CN_CHECK_GE", >=, a, b)
+#define CN_CHECK_GT(a, b) CN_CHECK_OP_IMPL("CN_CHECK_GT", >, a, b)
+#define CN_CHECK_LE(a, b) CN_CHECK_OP_IMPL("CN_CHECK_LE", <=, a, b)
+#define CN_CHECK_LT(a, b) CN_CHECK_OP_IMPL("CN_CHECK_LT", <, a, b)
+
+/// Marks code that must be unreachable; always fails when reached. The
+/// `for(;;)` makes the compiler treat what follows as dead, so it can end
+/// a non-void function.
+#define CN_UNREACHABLE()                                            \
+  for (;;) ::coursenav::internal::CheckFailure(__FILE__, __LINE__,  \
+                                               "CN_UNREACHABLE()")
+
+#if defined(COURSENAV_DCHECK_ENABLED) && COURSENAV_DCHECK_ENABLED
+#define CN_DCHECK(cond) CN_CHECK(cond)
+#define CN_DCHECK_EQ(a, b) CN_CHECK_EQ(a, b)
+#define CN_DCHECK_NE(a, b) CN_CHECK_NE(a, b)
+#define CN_DCHECK_GE(a, b) CN_CHECK_GE(a, b)
+#define CN_DCHECK_GT(a, b) CN_CHECK_GT(a, b)
+#define CN_DCHECK_LE(a, b) CN_CHECK_LE(a, b)
+#define CN_DCHECK_LT(a, b) CN_CHECK_LT(a, b)
+/// True in builds whose CN_DCHECK fires — for gating whole validation
+/// passes (e.g. the Canonicalize() invariant sweep) behind one branch.
+#define CN_DCHECK_IS_ON() true
+#else
+/// Disabled: conditions and operands are type-checked but never evaluated
+/// (they sit in a constant-folded dead branch), so they must be
+/// side-effect-free.
+#define CN_DCHECK(cond) CN_CHECK(true || (cond))
+#define CN_DCHECK_OP_OFF(a, b)                       \
+  true ? (void)0                                     \
+       : ::coursenav::internal::CheckVoidify() &     \
+             (::coursenav::internal::NullCheckStream().self() << (a) << (b))
+#define CN_DCHECK_EQ(a, b) CN_DCHECK_OP_OFF(a, b)
+#define CN_DCHECK_NE(a, b) CN_DCHECK_OP_OFF(a, b)
+#define CN_DCHECK_GE(a, b) CN_DCHECK_OP_OFF(a, b)
+#define CN_DCHECK_GT(a, b) CN_DCHECK_OP_OFF(a, b)
+#define CN_DCHECK_LE(a, b) CN_DCHECK_OP_OFF(a, b)
+#define CN_DCHECK_LT(a, b) CN_DCHECK_OP_OFF(a, b)
+#define CN_DCHECK_IS_ON() false
+#endif
+
+#endif  // COURSENAV_UTIL_CHECK_H_

@@ -12,12 +12,14 @@ int g_min_level = static_cast<int>(LogLevel::kWarning);
 // Serializes emission and guards the sink. Never destroyed (leaked on
 // purpose) so logging from static destructors stays safe.
 std::mutex& SinkMutex() {
-  static std::mutex* mu = new std::mutex;
+  // Leaky singleton: logging must work from static destructors.
+  static std::mutex* mu = new std::mutex;  // NOLINT(coursenav-raw-new)
   return *mu;
 }
 
 LogSink& CurrentSink() {
-  static LogSink* sink = new LogSink;  // empty = default stderr sink
+  // Leaky singleton; empty = default stderr sink.
+  static LogSink* sink = new LogSink;  // NOLINT(coursenav-raw-new)
   return *sink;
 }
 

@@ -207,9 +207,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(LimitKind::kNodes,
                                          LimitKind::kMemory,
                                          LimitKind::kTime)),
-    [](const ::testing::TestParamInfo<BudgetMatrixTest::ParamType>& info) {
-      return KindName(std::get<0>(info.param)) +
-             KindName(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<BudgetMatrixTest::ParamType>& param) {
+      return KindName(std::get<0>(param.param)) +
+             KindName(std::get<1>(param.param));
     });
 
 }  // namespace

@@ -1,0 +1,506 @@
+#include "tools/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/term.h"
+#include "graph/learning_graph.h"
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace coursenav {
+
+/// Test-only backdoor (friend of LearningGraph): hands out mutable views of
+/// the private arenas so tests can hand-corrupt a graph and prove
+/// CheckInvariants rejects it.
+class LearningGraphTestPeer {
+ public:
+  static LearningNode& MutableNode(LearningGraph& graph, NodeId id) {
+    return graph.node_mut(id);
+  }
+  static LearningEdge& MutableEdge(LearningGraph& graph, EdgeId id) {
+    return graph.edge_mut(id);
+  }
+};
+
+namespace {
+
+using lint::Finding;
+using lint::LintContent;
+
+// ---------------------------------------------------------------------------
+// Lint-rule fixtures. Each rule gets a firing fixture, a NOLINT-suppressed
+// fixture, and a clean fixture.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Hits(std::string_view path, std::string_view content,
+                              std::string_view rule) {
+  std::vector<std::string> rendered;
+  for (const Finding& finding : LintContent(path, content, rule)) {
+    rendered.push_back(finding.ToString());
+  }
+  return rendered;
+}
+
+TEST(LayeringRuleTest, FlagsUpwardInclude) {
+  std::vector<std::string> hits =
+      Hits("src/core/engine.cc", "#include \"service/navigator.h\"\n",
+           "coursenav-layering");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("src/core/engine.cc:1:"), std::string::npos);
+  EXPECT_NE(hits[0].find("[coursenav-layering]"), std::string::npos);
+  EXPECT_NE(hits[0].find("'service'"), std::string::npos);
+}
+
+TEST(LayeringRuleTest, FlagsUtilIncludingAnything) {
+  EXPECT_EQ(Hits("src/util/result.h", "#include \"expr/expr.h\"\n",
+                 "coursenav-layering")
+                .size(),
+            1u);
+}
+
+TEST(LayeringRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "#include \"service/navigator.h\"  "
+                   "// NOLINT(coursenav-layering)\n",
+                   "coursenav-layering")
+                  .empty());
+}
+
+TEST(LayeringRuleTest, AllowsDeclaredDeps) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "#include \"graph/learning_graph.h\"\n"
+                   "#include \"requirements/goal.h\"\n"
+                   "#include \"util/bitset.h\"\n",
+                   "coursenav-layering")
+                  .empty());
+}
+
+TEST(LayeringRuleTest, IgnoresFilesOutsideSrc) {
+  EXPECT_TRUE(Hits("tests/some_test.cc", "#include \"service/navigator.h\"\n",
+                   "coursenav-layering")
+                  .empty());
+}
+
+TEST(LayeringRuleTest, IgnoresSystemAndUnknownIncludes) {
+  EXPECT_TRUE(Hits("src/util/result.h",
+                   "#include <vector>\n#include \"gtest/gtest.h\"\n",
+                   "coursenav-layering")
+                  .empty());
+}
+
+TEST(BannedSymbolRuleTest, FlagsRandCall) {
+  std::vector<std::string> hits = Hits(
+      "src/core/engine.cc", "int x = rand();\n", "coursenav-banned-symbol");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("'rand'"), std::string::npos);
+}
+
+TEST(BannedSymbolRuleTest, FlagsSystemClockEverywhere) {
+  EXPECT_EQ(Hits("tests/some_test.cc",
+                 "auto t = std::chrono::system_clock::now();\n",
+                 "coursenav-banned-symbol")
+                .size(),
+            1u);
+}
+
+TEST(BannedSymbolRuleTest, SteadyClockScopedByModule) {
+  const char* use = "auto t = std::chrono::steady_clock::now();\n";
+  // Banned in the pure algorithmic layers...
+  EXPECT_EQ(Hits("src/core/engine.cc", use, "coursenav-banned-symbol").size(),
+            1u);
+  // ...allowed in the timing substrate and outside src/.
+  EXPECT_TRUE(
+      Hits("src/util/stopwatch.cc", use, "coursenav-banned-symbol").empty());
+  EXPECT_TRUE(
+      Hits("bench/bench_util.h", use, "coursenav-banned-symbol").empty());
+}
+
+TEST(BannedSymbolRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "int x = rand();  // NOLINT(coursenav-banned-symbol)\n",
+                   "coursenav-banned-symbol")
+                  .empty());
+}
+
+TEST(BannedSymbolRuleTest, CleanOnQualifiedUsesAndWords) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "double time = 0;\n"            // plain word, not a call
+                   "budget.time();\n"              // member call
+                   "clock->time();\n"              // member call
+                   "Stopwatch::time();\n"          // qualified call
+                   "// calling time() is bad\n"    // comment
+                   "Log(\"rand() and time()\");\n",  // string literal
+                   "coursenav-banned-symbol")
+                  .empty());
+}
+
+TEST(RawNewRuleTest, FlagsNewAndDelete) {
+  EXPECT_EQ(
+      Hits("src/core/engine.cc", "int* p = new int;\n", "coursenav-raw-new")
+          .size(),
+      1u);
+  EXPECT_EQ(Hits("src/core/engine.cc", "delete ptr;\n", "coursenav-raw-new")
+                .size(),
+            1u);
+}
+
+TEST(RawNewRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "static Foo* f = new Foo;  // NOLINT(coursenav-raw-new)\n",
+                   "coursenav-raw-new")
+                  .empty());
+}
+
+TEST(RawNewRuleTest, CleanOnDeletedMembersAndMakeUnique) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "Foo(const Foo&) = delete;\n"
+                   "void* operator new(size_t size);\n"
+                   "auto p = std::make_unique<int>(7);\n"
+                   "// the old code used new/delete here\n",
+                   "coursenav-raw-new")
+                  .empty());
+}
+
+TEST(UnorderedIterRuleTest, FlagsRangeForInTaggedFile) {
+  std::vector<std::string> hits =
+      Hits("src/core/engine.cc",
+           "// coursenav:deterministic\n"
+           "std::unordered_map<int, int> cache_;\n"
+           "void Dump() { for (const auto& kv : cache_) Use(kv); }\n",
+           "coursenav-unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find(":3:"), std::string::npos);
+  EXPECT_NE(hits[0].find("cache_"), std::string::npos);
+}
+
+TEST(UnorderedIterRuleTest, FlagsManualBeginIteration) {
+  EXPECT_EQ(Hits("src/core/engine.cc",
+                 "// coursenav:deterministic\n"
+                 "std::unordered_set<int> seen_;\n"
+                 "auto it = seen_.begin();\n",
+                 "coursenav-unordered-iter")
+                .size(),
+            1u);
+}
+
+TEST(UnorderedIterRuleTest, UntaggedFileIsExempt) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "std::unordered_map<int, int> cache_;\n"
+                   "void Dump() { for (const auto& kv : cache_) Use(kv); }\n",
+                   "coursenav-unordered-iter")
+                  .empty());
+}
+
+TEST(UnorderedIterRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(
+      Hits("src/core/engine.cc",
+           "// coursenav:deterministic\n"
+           "std::unordered_map<int, int> cache_;\n"
+           "for (const auto& kv : cache_) {  // NOLINT(coursenav-unordered-iter)\n"
+           "}\n",
+           "coursenav-unordered-iter")
+          .empty());
+}
+
+TEST(UnorderedIterRuleTest, CleanOnLookupsAndOrderedIteration) {
+  EXPECT_TRUE(Hits("src/core/engine.cc",
+                   "// coursenav:deterministic\n"
+                   "std::unordered_map<int, int> cache_;\n"
+                   "std::map<int, int> sorted_;\n"
+                   "bool Has(int k) { return cache_.find(k) != cache_.end(); }\n"
+                   "void Dump() { for (const auto& kv : sorted_) Use(kv); }\n",
+                   "coursenav-unordered-iter")
+                  .empty());
+}
+
+TEST(EndlRuleTest, FlagsEndl) {
+  EXPECT_EQ(Hits("src/service/navigator.cc", "os << \"done\" << std::endl;\n",
+                 "coursenav-endl")
+                .size(),
+            1u);
+}
+
+TEST(EndlRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(
+      Hits("src/service/navigator.cc",
+           "os << \"done\" << std::endl;  // NOLINT(coursenav-endl)\n",
+           "coursenav-endl")
+          .empty());
+}
+
+TEST(EndlRuleTest, CleanOnNewlineAndMentionsInText) {
+  EXPECT_TRUE(Hits("src/service/navigator.cc",
+                   "os << \"done\\n\";\n"
+                   "// std::endl is banned\n"
+                   "Log(\"std::endl\");\n",
+                   "coursenav-endl")
+                  .empty());
+}
+
+TEST(HeaderGuardRuleTest, FlagsMissingGuard) {
+  std::vector<std::string> hits =
+      Hits("src/core/engine.h", "#include <vector>\nint x;\n",
+           "coursenav-header-guard");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("does not start with"), std::string::npos);
+}
+
+TEST(HeaderGuardRuleTest, FlagsMismatchedDefine) {
+  EXPECT_EQ(Hits("src/core/engine.h",
+                 "#ifndef COURSENAV_CORE_ENGINE_H_\n#define WRONG_NAME\n",
+                 "coursenav-header-guard")
+                .size(),
+            1u);
+}
+
+TEST(HeaderGuardRuleTest, FlagsNonConventionalGuardUnderSrc) {
+  std::vector<std::string> hits =
+      Hits("src/core/engine.h", "#ifndef ENGINE_H\n#define ENGINE_H\n",
+           "coursenav-header-guard");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("COURSENAV_CORE_ENGINE_H_"), std::string::npos);
+}
+
+TEST(HeaderGuardRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(Hits("src/core/engine.h",
+                   "#include <vector>  // NOLINT(coursenav-header-guard)\n",
+                   "coursenav-header-guard")
+                  .empty());
+}
+
+TEST(HeaderGuardRuleTest, AcceptsPragmaOnceAndConventionalGuard) {
+  EXPECT_TRUE(Hits("src/core/engine.h", "#pragma once\nint x;\n",
+                   "coursenav-header-guard")
+                  .empty());
+  EXPECT_TRUE(
+      Hits("src/core/engine.h",
+           "// A leading comment is fine.\n"
+           "#ifndef COURSENAV_CORE_ENGINE_H_\n"
+           "#define COURSENAV_CORE_ENGINE_H_\n"
+           "#endif  // COURSENAV_CORE_ENGINE_H_\n",
+           "coursenav-header-guard")
+          .empty());
+  // No path convention outside src/; any matching guard passes.
+  EXPECT_TRUE(Hits("tools/lint/lint.h",
+                   "#ifndef MY_GUARD_H_\n#define MY_GUARD_H_\n",
+                   "coursenav-header-guard")
+                  .empty());
+  // Source files need no guard at all.
+  EXPECT_TRUE(Hits("src/core/engine.cc", "#include <vector>\n",
+                   "coursenav-header-guard")
+                  .empty());
+}
+
+TEST(LintDriverTest, AllRulesHaveUniqueIdsAndDescriptions) {
+  std::set<std::string_view> ids;
+  for (const lint::Rule* rule : lint::AllRules()) {
+    EXPECT_FALSE(rule->id().empty());
+    EXPECT_FALSE(rule->description().empty());
+    EXPECT_TRUE(ids.insert(rule->id()).second)
+        << "duplicate rule id " << rule->id();
+  }
+  EXPECT_EQ(ids.size(), 6u);
+}
+
+TEST(LintDriverTest, FullScanAggregatesAndSortsFindings) {
+  std::vector<Finding> findings =
+      LintContent("src/core/engine.h",
+                  "#include \"service/navigator.h\"\n"
+                  "int x = rand();\n");
+  // Missing guard (line 1), bad include (line 1), rand() (line 2).
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 1);
+  EXPECT_EQ(findings[2].line, 2);
+  EXPECT_LE(findings[0].rule, findings[1].rule);
+}
+
+TEST(LintDriverTest, NolintListSuppressesOnlyNamedRules) {
+  std::vector<Finding> findings = LintContent(
+      "src/core/engine.cc",
+      "int x = rand();  // NOLINT(coursenav-endl, coursenav-banned-symbol)\n"
+      "int y = rand();  // NOLINT(coursenav-endl)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "coursenav-banned-symbol");
+}
+
+// ---------------------------------------------------------------------------
+// CN_CHECK contracts.
+// ---------------------------------------------------------------------------
+
+/// Thrown by the installed test handler in place of abort().
+struct CheckFailed : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void ThrowOnCheckFailure(const std::string& message) {
+  throw CheckFailed(message);
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetCheckFailureHandler(&ThrowOnCheckFailure); }
+  void TearDown() override { SetCheckFailureHandler(nullptr); }
+
+  /// Runs `fn`, which must trip a check, and returns the failure message.
+  template <typename Fn>
+  std::string FailureMessage(Fn fn) {
+    try {
+      fn();
+    } catch (const CheckFailed& failure) {
+      return failure.what();
+    }
+    ADD_FAILURE() << "expected a check failure";
+    return "";
+  }
+};
+
+TEST_F(CheckTest, PassingChecksAreSilent) {
+  CN_CHECK(1 + 1 == 2) << "never rendered";
+  CN_CHECK_EQ(2, 2);
+  CN_CHECK_LT(1, 2) << "never rendered";
+}
+
+TEST_F(CheckTest, FailureMessageCarriesConditionAndContext) {
+  std::string message =
+      FailureMessage([] { CN_CHECK(2 < 1) << "ctx " << 42; });
+  EXPECT_NE(message.find("CN_CHECK(2 < 1) failed"), std::string::npos);
+  EXPECT_NE(message.find(": ctx 42"), std::string::npos);
+  EXPECT_NE(message.find("lint_test.cc"), std::string::npos);
+}
+
+TEST_F(CheckTest, OpChecksPrintBothOperands) {
+  std::string message = FailureMessage([] {
+    int lhs = 3;
+    int rhs = 7;
+    CN_CHECK_EQ(lhs, rhs) << "ids diverged";
+  });
+  EXPECT_NE(message.find("CN_CHECK_EQ(lhs, rhs) failed"), std::string::npos);
+  EXPECT_NE(message.find("(3 vs. 7)"), std::string::npos);
+  EXPECT_NE(message.find("ids diverged"), std::string::npos);
+}
+
+TEST_F(CheckTest, OpChecksEvaluateOperandsOnce) {
+  int evaluations = 0;
+  auto next = [&evaluations] { return ++evaluations; };
+  CN_CHECK_GE(next(), 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(CheckTest, StreamedOperandsAreLazy) {
+  bool rendered = false;
+  auto render = [&rendered] {
+    rendered = true;
+    return "message";
+  };
+  CN_CHECK(true) << render();
+  EXPECT_FALSE(rendered);
+}
+
+TEST_F(CheckTest, UnreachableAlwaysFires) {
+  std::string message =
+      FailureMessage([] { CN_UNREACHABLE() << "kind " << 9; });
+  EXPECT_NE(message.find("CN_UNREACHABLE()"), std::string::npos);
+  EXPECT_NE(message.find("kind 9"), std::string::npos);
+}
+
+TEST_F(CheckTest, DisabledDcheckNeverEvaluates) {
+  // In dcheck builds these run (and pass); in regular builds the operands
+  // sit in a dead branch and must not be evaluated.
+  int evaluations = 0;
+  auto next = [&evaluations] { return ++evaluations; };
+  CN_DCHECK(next() > 0);
+  CN_DCHECK_GE(next(), 0);
+  if (CN_DCHECK_IS_ON()) {
+    EXPECT_EQ(evaluations, 2);
+  } else {
+    EXPECT_EQ(evaluations, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LearningGraph::CheckInvariants against hand-corrupted graphs.
+// ---------------------------------------------------------------------------
+
+class GraphInvariantsTest : public CheckTest {
+ protected:
+  static DynamicBitset Bits(std::initializer_list<int> ids) {
+    DynamicBitset bits(4);
+    for (int id : ids) bits.set(id);
+    return bits;
+  }
+
+  /// root --{0}--> a --{1}--> b, plus root --{1}--> c.
+  LearningGraph MakeValidGraph() {
+    LearningGraph graph;
+    NodeId root =
+        graph.AddRoot(Term(Season::kFall, 2012), Bits({}), Bits({0, 1}));
+    NodeId a = graph.AddChild(root, Bits({0}), Bits({0}), Bits({1, 2}));
+    graph.AddChild(a, Bits({1}), Bits({0, 1}), Bits({2}));
+    graph.AddChild(root, Bits({1}), Bits({1}), Bits({0}));
+    return graph;
+  }
+};
+
+TEST_F(GraphInvariantsTest, ValidGraphPasses) {
+  LearningGraph graph = MakeValidGraph();
+  graph.CheckInvariants();  // must not throw
+}
+
+TEST_F(GraphInvariantsTest, RejectsBrokenTermAdvance) {
+  LearningGraph graph = MakeValidGraph();
+  // Child claims the same semester as its parent — were parent links ever
+  // cyclic, some edge would have to stall or rewind the term like this.
+  LearningNode& child = LearningGraphTestPeer::MutableNode(graph, 1);
+  child.term = graph.node(0).term;
+  std::string message = FailureMessage([&] { graph.CheckInvariants(); });
+  EXPECT_NE(message.find("CN_CHECK"), std::string::npos);
+}
+
+TEST_F(GraphInvariantsTest, RejectsEdgeEndpointMismatch) {
+  LearningGraph graph = MakeValidGraph();
+  LearningEdge& edge = LearningGraphTestPeer::MutableEdge(
+      graph, graph.node(1).parent_edge);
+  edge.to = 2;  // edge now claims to produce a different node
+  FailureMessage([&] { graph.CheckInvariants(); });
+}
+
+TEST_F(GraphInvariantsTest, RejectsSelectionOutsideParentOptions) {
+  LearningGraph graph = MakeValidGraph();
+  LearningEdge& edge = LearningGraphTestPeer::MutableEdge(
+      graph, graph.node(1).parent_edge);
+  edge.selection = Bits({3});  // 3 was never in the root's options
+  FailureMessage([&] { graph.CheckInvariants(); });
+}
+
+TEST_F(GraphInvariantsTest, RejectsCompletedSetAlgebraViolation) {
+  LearningGraph graph = MakeValidGraph();
+  LearningNode& child = LearningGraphTestPeer::MutableNode(graph, 1);
+  child.completed = Bits({});  // X_child must equal X_parent ∪ W
+  FailureMessage([&] { graph.CheckInvariants(); });
+}
+
+TEST_F(GraphInvariantsTest, RejectsOrphanedParentLink) {
+  LearningGraph graph = MakeValidGraph();
+  LearningNode& child = LearningGraphTestPeer::MutableNode(graph, 1);
+  child.parent_edge = kInvalidEdgeId;  // non-root node with no parent
+  FailureMessage([&] { graph.CheckInvariants(); });
+}
+
+TEST_F(GraphInvariantsTest, RejectsMixedBitsetUniverses) {
+  LearningGraph graph = MakeValidGraph();
+  LearningNode& child = LearningGraphTestPeer::MutableNode(graph, 1);
+  child.completed = DynamicBitset(9);  // wrong universe size
+  FailureMessage([&] { graph.CheckInvariants(); });
+}
+
+}  // namespace
+}  // namespace coursenav

@@ -1,0 +1,854 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace coursenav::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos..pos+token)` is `token` as a whole word: not glued
+/// to an identifier character on either side.
+bool IsWholeWordAt(const std::string& text, size_t pos,
+                   std::string_view token) {
+  if (pos + token.size() > text.size()) return false;
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  size_t end = pos + token.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+/// Finds `token` as a whole word in `text` starting at `from`; npos if
+/// absent.
+size_t FindWholeWord(const std::string& text, std::string_view token,
+                     size_t from = 0) {
+  for (size_t pos = text.find(token, from); pos != std::string::npos;
+       pos = text.find(token, pos + 1)) {
+    if (IsWholeWordAt(text, pos, token)) return pos;
+  }
+  return std::string::npos;
+}
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::string NormalizeSlashes(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+/// The first directory component after an `src/` component, when it is a
+/// known module name; "" otherwise.
+std::string ModuleOf(const std::string& path) {
+  static const std::set<std::string> kModules = {
+      "util", "expr", "catalog", "graph", "flow",         "obs",
+      "data", "core", "exec",    "parsers", "requirements", "service"};
+  std::string needle = "src/";
+  size_t pos = path.rfind(needle);
+  if (pos != std::string::npos && (pos == 0 || path[pos - 1] == '/')) {
+    size_t start = pos + needle.size();
+    size_t slash = path.find('/', start);
+    if (slash != std::string::npos) {
+      std::string module = path.substr(start, slash - start);
+      if (kModules.count(module) != 0) return module;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+SourceFile PrepareSource(std::string_view path, std::string_view content) {
+  SourceFile file;
+  file.path = NormalizeSlashes(path);
+  file.module = ModuleOf(file.path);
+  file.is_header = file.path.size() >= 2 &&
+                   (file.path.rfind(".h") == file.path.size() - 2 ||
+                    (file.path.size() >= 4 &&
+                     file.path.rfind(".hpp") == file.path.size() - 4));
+
+  // Split into lines, then scrub a parallel "code" view with a small state
+  // machine. Comment text and literal contents become spaces (delimiters
+  // stay), so every rule's token scan is blind to both; the raw view keeps
+  // NOLINT markers and the deterministic tag readable.
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_string_closer;  // e.g. `)delim"` for R"delim(...)delim"
+
+  std::string raw_line;
+  std::string code_line;
+  auto flush_line = [&]() {
+    file.raw.push_back(raw_line);
+    file.code.push_back(code_line);
+    raw_line.clear();
+    code_line.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line.push_back(' ');
+        } else if (c == 'R' && next == '"' &&
+                   (raw_line.size() < 2 ||
+                    !IsIdentChar(raw_line[raw_line.size() - 2]))) {
+          // Raw string literal: R"delim( ... )delim".
+          size_t open = content.find('(', i + 2);
+          std::string delim =
+              open == std::string::npos
+                  ? ""
+                  : std::string(content.substr(i + 2, open - (i + 2)));
+          raw_string_closer = ")" + delim + "\"";
+          state = State::kRawString;
+          code_line.push_back('R');
+        } else if (c == '"') {
+          state = State::kString;
+          code_line.push_back('"');
+        } else if (c == '\'' &&
+                   !(raw_line.size() >= 2 &&
+                     std::isdigit(static_cast<unsigned char>(
+                         raw_line[raw_line.size() - 2])) != 0)) {
+          // A quote after a digit is a C++14 digit separator (1'000'000),
+          // not a character literal.
+          state = State::kChar;
+          code_line.push_back('\'');
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        code_line.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          ++i;
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line.push_back('"');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          code_line.push_back(' ');
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line.push_back('\'');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_string_closer.size(), raw_string_closer) ==
+            0) {
+          // Emit the closer (minus the already-pushed char) and resume.
+          for (size_t k = 1; k < raw_string_closer.size(); ++k) {
+            raw_line.push_back(content[i + k]);
+          }
+          code_line.append(raw_string_closer.size(), ' ');
+          i += raw_string_closer.size() - 1;
+          state = State::kCode;
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || content.empty() ||
+      content.back() != '\n') {
+    flush_line();
+  }
+
+  for (const std::string& line : file.raw) {
+    if (line.find("coursenav:deterministic") != std::string::npos) {
+      file.deterministic = true;
+      break;
+    }
+  }
+  return file;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// coursenav-layering
+// ---------------------------------------------------------------------------
+
+/// The module layering DAG (transitively closed). A file in module M may
+/// include headers only from M itself and from kAllowedDeps[M]. Files
+/// outside src/ (tools, tests, bench, examples) may include anything.
+///
+///   util → {expr, obs, flow} → catalog → graph → parsers
+///                            ↘ requirements → core → {exec, data} → service
+///
+/// Kept in sync with docs/static-analysis.md; changing an edge here is an
+/// architectural decision, not a lint tweak.
+const std::map<std::string, std::set<std::string>>& AllowedDeps() {
+  static const std::map<std::string, std::set<std::string>> deps{
+      {"util", {}},
+      {"expr", {"util"}},
+      {"obs", {"util"}},
+      {"flow", {"util"}},
+      {"catalog", {"util", "expr"}},
+      {"graph", {"util", "expr", "catalog"}},
+      {"parsers", {"util", "expr", "catalog", "graph"}},
+      {"requirements", {"util", "expr", "catalog", "flow", "obs"}},
+      {"core",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "requirements"}},
+      {"exec",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "requirements",
+        "core"}},
+      {"data",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
+        "requirements", "core"}},
+      {"service",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
+        "requirements", "core", "exec", "data"}},
+  };
+  return deps;
+}
+
+class LayeringRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-layering"; }
+  std::string_view description() const override {
+    return "enforces the src/ module include-layering DAG";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    if (file.module.empty()) return;
+    auto allowed_it = AllowedDeps().find(file.module);
+    if (allowed_it == AllowedDeps().end()) return;
+    const std::set<std::string>& allowed = allowed_it->second;
+    for (size_t i = 0; i < file.raw.size(); ++i) {
+      std::string target = IncludeTargetModule(file.raw[i]);
+      if (target.empty() || target == file.module) continue;
+      if (allowed.count(target) != 0) continue;
+      std::ostringstream os;
+      os << "module '" << file.module << "' must not include from '"
+         << target << "' (layering DAG: " << file.module << " may use ";
+      if (allowed.empty()) {
+        os << "nothing below it";
+      } else {
+        bool first = true;
+        for (const std::string& dep : allowed) {
+          os << (first ? "" : ", ") << dep;
+          first = false;
+        }
+      }
+      os << ")";
+      findings->push_back(
+          {file.path, static_cast<int>(i) + 1, std::string(id()), os.str()});
+    }
+  }
+
+ private:
+  /// For `#include "mod/header.h"` lines: the module component when it is
+  /// one the DAG knows, "" otherwise.
+  static std::string IncludeTargetModule(const std::string& raw_line) {
+    size_t pos = SkipSpaces(raw_line, 0);
+    if (pos >= raw_line.size() || raw_line[pos] != '#') return "";
+    pos = SkipSpaces(raw_line, pos + 1);
+    if (raw_line.compare(pos, 7, "include") != 0) return "";
+    pos = SkipSpaces(raw_line, pos + 7);
+    if (pos >= raw_line.size() || raw_line[pos] != '"') return "";
+    size_t close = raw_line.find('"', pos + 1);
+    if (close == std::string::npos) return "";
+    std::string target = raw_line.substr(pos + 1, close - pos - 1);
+    size_t slash = target.find('/');
+    if (slash == std::string::npos) return "";
+    std::string module = target.substr(0, slash);
+    return AllowedDeps().count(module) != 0 ? module : "";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-banned-symbol
+// ---------------------------------------------------------------------------
+
+/// A symbol banned in some scope. `as_call` restricts the match to
+/// call-syntax uses (`name(`) not qualified by `.`/`->`/`::`, so plain
+/// words like a `time` struct field stay legal. An empty `allowed_modules`
+/// set bans the symbol everywhere the linter looks, src/ or not.
+struct BannedSymbol {
+  std::string_view token;
+  bool as_call;
+  std::set<std::string, std::less<>> allowed_modules;
+  std::string_view reason;
+};
+
+const std::vector<BannedSymbol>& BannedSymbols() {
+  static const std::vector<BannedSymbol> symbols{
+      {"rand", true, {}, "libc PRNG breaks run-to-run determinism; use util/random.h"},
+      {"srand", true, {}, "libc PRNG breaks run-to-run determinism; use util/random.h"},
+      {"strtok", true, {}, "not reentrant; use util/string_util.h splitting"},
+      {"time", true, {}, "wall clock in the engine breaks determinism; use DeadlineBudget/Stopwatch"},
+      {"std::chrono::system_clock", false, {}, "wall clock is not monotonic; use steady_clock via util/stopwatch.h"},
+      // The monotonic clock is fine in the substrate that owns timing
+      // (stopwatch/deadlines, tracing, worker pool, service surface) but
+      // banned in the pure algorithmic layers, which must stay replayable.
+      {"std::chrono::steady_clock", false, {"util", "obs", "exec", "service"},
+       "algorithmic layers must be clock-free; thread a DeadlineBudget through instead"},
+  };
+  return symbols;
+}
+
+class BannedSymbolRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-banned-symbol"; }
+  std::string_view description() const override {
+    return "bans nondeterminism/portability hazards (rand, time, "
+           "system_clock, strtok), scoped per module";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    for (const BannedSymbol& symbol : BannedSymbols()) {
+      // Module-scoped bans police the src/ layering only; files outside
+      // src/ (bench, tests, tools) may use e.g. steady_clock freely.
+      if (!symbol.allowed_modules.empty() &&
+          (file.module.empty() ||
+           symbol.allowed_modules.count(file.module) != 0)) {
+        continue;
+      }
+      for (size_t i = 0; i < file.code.size(); ++i) {
+        const std::string& line = file.code[i];
+        for (size_t pos = FindWholeWord(line, symbol.token);
+             pos != std::string::npos;
+             pos = FindWholeWord(line, symbol.token, pos + 1)) {
+          if (symbol.as_call && !IsUnqualifiedCallAt(line, pos, symbol.token)) {
+            continue;
+          }
+          std::ostringstream os;
+          os << "banned symbol '" << symbol.token << "': " << symbol.reason;
+          findings->push_back({file.path, static_cast<int>(i) + 1,
+                               std::string(id()), os.str()});
+          break;  // one finding per line per symbol
+        }
+      }
+    }
+  }
+
+ private:
+  static bool IsUnqualifiedCallAt(const std::string& line, size_t pos,
+                                  std::string_view token) {
+    // Qualified (`x.time(`, `t->time(`, `Foo::time(`) uses are members in
+    // someone else's namespace, not the libc symbol.
+    if (pos >= 1 && (line[pos - 1] == '.' || line[pos - 1] == ':')) {
+      return false;
+    }
+    if (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>') return false;
+    size_t after = SkipSpaces(line, pos + token.size());
+    return after < line.size() && line[after] == '(';
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-raw-new
+// ---------------------------------------------------------------------------
+
+class RawNewDeleteRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-raw-new"; }
+  std::string_view description() const override {
+    return "bans raw new/delete outside arena code (use make_unique or the "
+           "chunked arenas)";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    // The arena implementation itself placement-news into its chunks.
+    if (file.path.find("util/chunked_vector.h") != std::string::npos) return;
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      if (HasRawNewOrDelete(line, "new") || HasRawNewOrDelete(line, "delete")) {
+        findings->push_back(
+            {file.path, static_cast<int>(i) + 1, std::string(id()),
+             "raw new/delete: prefer std::make_unique/std::make_shared or "
+             "the chunked-arena allocators (util/chunked_vector.h)"});
+      }
+    }
+  }
+
+ private:
+  static bool HasRawNewOrDelete(const std::string& line,
+                                std::string_view keyword) {
+    for (size_t pos = FindWholeWord(line, keyword); pos != std::string::npos;
+         pos = FindWholeWord(line, keyword, pos + 1)) {
+      // `= delete;` / `= delete ;` — deleted special members are fine.
+      if (keyword == "delete") {
+        size_t before = pos;
+        while (before > 0 && line[before - 1] == ' ') --before;
+        if (before > 0 && line[before - 1] == '=') continue;
+      }
+      // `operator new` / `operator delete` declarations are allocator
+      // customization points, not allocations.
+      size_t before = pos;
+      while (before > 0 && line[before - 1] == ' ') --before;
+      if (before >= 8 && line.compare(before - 8, 8, "operator") == 0) {
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-unordered-iter
+// ---------------------------------------------------------------------------
+
+class UnorderedIterationRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-unordered-iter"; }
+  std::string_view description() const override {
+    return "forbids iterating unordered containers in files tagged "
+           "// coursenav:deterministic";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    if (!file.deterministic) return;
+    // Pass 1: names declared in this file with an unordered container type
+    // (heuristic, token-level: `unordered_xxx<...> name`).
+    std::set<std::string> unordered_names = CollectUnorderedNames(file);
+    // Pass 2: flag range-for over (a) anything mentioning `unordered_`
+    // directly, or (b) a name from pass 1; and `.begin()`/`.cbegin()` on a
+    // pass-1 name (manual iterator loops).
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      std::string culprit = RangeForUnorderedCulprit(line, unordered_names);
+      if (culprit.empty()) culprit = BeginOnUnordered(line, unordered_names);
+      if (!culprit.empty()) {
+        std::ostringstream os;
+        os << "iteration over unordered container " << culprit
+           << " in a deterministic-tagged file: hash-map order is not "
+              "stable and must not feed output order; iterate a sorted "
+              "snapshot or an ordered container instead";
+        findings->push_back({file.path, static_cast<int>(i) + 1,
+                             std::string(id()), os.str()});
+      }
+    }
+  }
+
+ private:
+  static const std::array<std::string_view, 4>& UnorderedTypes() {
+    static const std::array<std::string_view, 4> kTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    return kTypes;
+  }
+
+  static std::set<std::string> CollectUnorderedNames(const SourceFile& file) {
+    std::set<std::string> names;
+    // Join the scrubbed file so declarations spanning lines still parse.
+    std::string joined;
+    for (const std::string& line : file.code) {
+      joined += line;
+      joined += '\n';
+    }
+    for (std::string_view type : UnorderedTypes()) {
+      for (size_t pos = FindWholeWord(joined, type); pos != std::string::npos;
+           pos = FindWholeWord(joined, type, pos + 1)) {
+        size_t cursor = SkipSpaces(joined, pos + type.size());
+        if (cursor >= joined.size() || joined[cursor] != '<') continue;
+        // Skip the balanced template argument list.
+        int depth = 0;
+        while (cursor < joined.size()) {
+          if (joined[cursor] == '<') ++depth;
+          if (joined[cursor] == '>') {
+            --depth;
+            if (depth == 0) break;
+          }
+          ++cursor;
+        }
+        if (cursor >= joined.size()) continue;
+        cursor = SkipSpaces(joined, cursor + 1);
+        // `unordered_map<K, V> name` — capture `name`. Declarations used
+        // as template args / return types yield no identifier here and are
+        // skipped.
+        std::string name;
+        while (cursor < joined.size() && IsIdentChar(joined[cursor])) {
+          name.push_back(joined[cursor]);
+          ++cursor;
+        }
+        if (!name.empty()) names.insert(name);
+      }
+    }
+    return names;
+  }
+
+  /// For `for (decl : range)` lines: a description of the unordered
+  /// culprit in `range`, or "" when the range looks order-safe.
+  static std::string RangeForUnorderedCulprit(
+      const std::string& line, const std::set<std::string>& names) {
+    size_t for_pos = FindWholeWord(line, "for");
+    if (for_pos == std::string::npos) return "";
+    size_t open = SkipSpaces(line, for_pos + 3);
+    if (open >= line.size() || line[open] != '(') return "";
+    size_t colon = std::string::npos;
+    int depth = 0;
+    for (size_t i = open; i < line.size(); ++i) {
+      if (line[i] == '(') ++depth;
+      if (line[i] == ')') --depth;
+      if (depth == 1 && line[i] == ':' &&
+          (i + 1 >= line.size() || line[i + 1] != ':') &&
+          (i == 0 || line[i - 1] != ':')) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) return "";
+    std::string range = line.substr(colon + 1);
+    for (std::string_view type : UnorderedTypes()) {
+      if (FindWholeWord(range, type) != std::string::npos) {
+        return std::string("of type '") + std::string(type) + "'";
+      }
+    }
+    for (const std::string& name : names) {
+      if (FindWholeWord(range, name) != std::string::npos) {
+        return "'" + name + "'";
+      }
+    }
+    return "";
+  }
+
+  /// Flags `name.begin()` / `name.cbegin()` for known unordered names.
+  static std::string BeginOnUnordered(const std::string& line,
+                                      const std::set<std::string>& names) {
+    for (const std::string& name : names) {
+      for (std::string_view member : {".begin()", ".cbegin()"}) {
+        std::string pattern = name + std::string(member);
+        if (line.find(pattern) != std::string::npos) return "'" + name + "'";
+      }
+    }
+    return "";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-endl
+// ---------------------------------------------------------------------------
+
+class EndlRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-endl"; }
+  std::string_view description() const override {
+    return "bans std::endl (flushes the stream; use '\\n')";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      if (FindWholeWord(file.code[i], "endl") != std::string::npos) {
+        findings->push_back(
+            {file.path, static_cast<int>(i) + 1, std::string(id()),
+             "std::endl forces a flush on every use; write '\\n' and let "
+             "the stream flush on its own schedule"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-header-guard
+// ---------------------------------------------------------------------------
+
+class HeaderGuardRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-header-guard"; }
+  std::string_view description() const override {
+    return "headers must open with #pragma once or a matching "
+           "#ifndef/#define guard";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    if (!file.is_header) return;
+    // First two non-blank scrubbed lines decide the verdict.
+    std::vector<std::pair<int, std::string>> head;
+    for (size_t i = 0; i < file.code.size() && head.size() < 2; ++i) {
+      std::string line = file.code[i];
+      size_t start = SkipSpaces(line, 0);
+      if (start >= line.size()) continue;
+      head.emplace_back(static_cast<int>(i) + 1, line.substr(start));
+    }
+    if (head.empty()) return;  // empty header: nothing to protect
+    const std::string& first = head[0].second;
+    if (first.rfind("#pragma once", 0) == 0) return;
+    std::string guard = DirectiveOperand(first, "#ifndef");
+    if (guard.empty()) {
+      findings->push_back(
+          {file.path, head[0].first, std::string(id()),
+           "header does not start with #pragma once or an #ifndef include "
+           "guard"});
+      return;
+    }
+    std::string defined =
+        head.size() > 1 ? DirectiveOperand(head[1].second, "#define") : "";
+    if (defined != guard) {
+      findings->push_back(
+          {file.path, head[0].first, std::string(id()),
+           "#ifndef " + guard + " is not followed by #define " + guard});
+      return;
+    }
+    // In-tree headers also follow the COURSENAV_<PATH>_H_ convention.
+    std::string expected = ExpectedGuard(file.path);
+    if (!expected.empty() && guard != expected) {
+      findings->push_back({file.path, head[0].first, std::string(id()),
+                           "include guard " + guard +
+                               " does not match the path convention " +
+                               expected});
+    }
+  }
+
+ private:
+  static std::string DirectiveOperand(const std::string& line,
+                                      std::string_view directive) {
+    if (line.rfind(directive, 0) != 0) return "";
+    size_t pos = SkipSpaces(line, directive.size());
+    std::string operand;
+    while (pos < line.size() && IsIdentChar(line[pos])) {
+      operand.push_back(line[pos]);
+      ++pos;
+    }
+    return operand;
+  }
+
+  /// COURSENAV_<DIRS>_<STEM>_H_ for paths under src/; "" (no convention
+  /// enforced) elsewhere.
+  static std::string ExpectedGuard(const std::string& path) {
+    size_t pos = path.rfind("src/");
+    if (pos == std::string::npos ||
+        (pos != 0 && path[pos - 1] != '/')) {
+      return "";
+    }
+    std::string tail = path.substr(pos + 4);
+    std::string guard = "COURSENAV_";
+    for (char c : tail) {
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+        guard.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c))));
+      } else {
+        guard.push_back('_');
+      }
+    }
+    guard += "_";  // trailing underscore after ..._H
+    return guard;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// True when `raw_line` carries `NOLINT(...)` naming `rule` (exact id in a
+/// comma-separated list).
+bool IsSuppressed(const std::string& raw_line, const std::string& rule) {
+  size_t pos = raw_line.find("NOLINT(");
+  if (pos == std::string::npos) return false;
+  size_t close = raw_line.find(')', pos);
+  if (close == std::string::npos) return false;
+  std::string list = raw_line.substr(pos + 7, close - pos - 7);
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    std::string entry = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    size_t first = entry.find_first_not_of(" \t");
+    size_t last = entry.find_last_not_of(" \t");
+    if (first != std::string::npos &&
+        entry.substr(first, last - first + 1) == rule) {
+      return true;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return false;
+}
+
+std::vector<Finding> CheckPrepared(const SourceFile& file,
+                                   const std::vector<const Rule*>& rules) {
+  std::vector<Finding> findings;
+  for (const Rule* rule : rules) {
+    rule->Check(file, &findings);
+  }
+  std::vector<Finding> kept;
+  for (Finding& finding : findings) {
+    size_t index = static_cast<size_t>(finding.line) - 1;
+    if (index < file.raw.size() && IsSuppressed(file.raw[index], finding.rule)) {
+      continue;
+    }
+    kept.push_back(std::move(finding));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+}  // namespace
+
+const std::vector<const Rule*>& AllRules() {
+  static const LayeringRule layering;
+  static const BannedSymbolRule banned_symbol;
+  static const RawNewDeleteRule raw_new;
+  static const UnorderedIterationRule unordered_iter;
+  static const EndlRule endl_rule;
+  static const HeaderGuardRule header_guard;
+  static const std::vector<const Rule*> rules{
+      &layering, &banned_symbol, &raw_new,
+      &unordered_iter, &endl_rule, &header_guard,
+  };
+  return rules;
+}
+
+std::vector<Finding> LintContent(std::string_view path,
+                                 std::string_view content) {
+  SourceFile file = PrepareSource(path, content);
+  return CheckPrepared(file, AllRules());
+}
+
+std::vector<Finding> LintContent(std::string_view path,
+                                 std::string_view content,
+                                 std::string_view rule_id) {
+  SourceFile file = PrepareSource(path, content);
+  std::vector<const Rule*> selected;
+  for (const Rule* rule : AllRules()) {
+    if (rule->id() == rule_id) selected.push_back(rule);
+  }
+  return CheckPrepared(file, selected);
+}
+
+namespace {
+
+bool IsLintableFile(const std::filesystem::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool IsSkippedDir(const std::filesystem::path& path) {
+  std::string name = path.filename().string();
+  return (!name.empty() && name[0] == '.') || name.rfind("build", 0) == 0;
+}
+
+}  // namespace
+
+int RunLint(const std::string& root, const std::vector<std::string>& paths,
+            std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  fs::path base = root.empty() ? fs::current_path() : fs::path(root);
+
+  std::vector<fs::path> files;
+  for (const std::string& arg : paths) {
+    fs::path path = fs::path(arg).is_absolute() ? fs::path(arg) : base / arg;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      fs::recursive_directory_iterator it(path, ec), end;
+      if (ec) {
+        err << "coursenav-lint: cannot read directory " << path.string()
+            << "\n";
+        return 1;
+      }
+      for (; it != end; ++it) {
+        if (it->is_directory() && IsSkippedDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsLintableFile(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      err << "coursenav-lint: no such file or directory: " << arg << "\n";
+      return 1;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  int total = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      err << "coursenav-lint: cannot open " << file.string() << "\n";
+      ++total;
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    // Report paths relative to the root for stable, clickable output.
+    std::error_code ec;
+    fs::path display = fs::relative(file, base, ec);
+    if (ec || display.empty()) display = file;
+    std::vector<Finding> findings =
+        LintContent(display.generic_string(), content.str());
+    for (const Finding& finding : findings) {
+      out << finding.ToString() << "\n";
+    }
+    total += static_cast<int>(findings.size());
+  }
+  return total;
+}
+
+}  // namespace coursenav::lint

@@ -1,0 +1,88 @@
+#ifndef COURSENAV_TOOLS_LINT_LINT_H_
+#define COURSENAV_TOOLS_LINT_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// coursenav-lint: a project-specific, token/preprocessor-level static
+// analyzer for the CourseNavigator source tree. It has no compiler
+// dependency (no libclang): each file is scrubbed into a comment- and
+// literal-free view and scanned by a fixed set of rules that encode the
+// repo's own invariants — the module layering DAG, the determinism
+// contract of the parallel frontier engine, and hot-path hygiene.
+//
+// Findings print as `file:line: [rule-id] message`. A finding on a line
+// whose *raw* text carries `// NOLINT(<rule-id>)` (comma-separated ids
+// allowed) is suppressed. See docs/static-analysis.md for the rule set.
+//
+// The library is deliberately standalone (std-only) so the linter builds
+// before — and independently of — the libraries it polices.
+
+namespace coursenav::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  /// "file:line: [rule-id] message" — the stable output format.
+  std::string ToString() const;
+};
+
+/// A source file prepared for rule checks: raw lines plus a "code" view of
+/// identical shape in which comment text and string/char literal contents
+/// are blanked (delimiters kept), so token scans cannot fire inside either.
+struct SourceFile {
+  std::string path;    ///< display path, forward-slashed
+  std::string module;  ///< "core" for src/core/..., "" outside src/
+  bool is_header = false;
+  bool deterministic = false;  ///< file carries `// coursenav:deterministic`
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+/// Builds the scrubbed views. `path` is used for module/header detection:
+/// the module is the first directory component after an `src/` component.
+SourceFile PrepareSource(std::string_view path, std::string_view content);
+
+/// A pluggable check. Rules are stateless; one instance serves all files.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable id, e.g. "coursenav-layering" (this is what NOLINT names).
+  virtual std::string_view id() const = 0;
+  /// One-line description for --list-rules.
+  virtual std::string_view description() const = 0;
+  virtual void Check(const SourceFile& file,
+                     std::vector<Finding>* findings) const = 0;
+};
+
+/// The default rule set, in reporting order. Pointers are owned by the
+/// registry and live for the process lifetime.
+const std::vector<const Rule*>& AllRules();
+
+/// Lints in-memory content with every rule (NOLINT suppression applied).
+std::vector<Finding> LintContent(std::string_view path,
+                                 std::string_view content);
+
+/// Lints in-memory content with a single rule — the unit-test entry point.
+/// Unknown `rule_id` yields no findings.
+std::vector<Finding> LintContent(std::string_view path,
+                                 std::string_view content,
+                                 std::string_view rule_id);
+
+/// Recursively lints files (*.h, *.cc, *.cpp) under each of `paths`
+/// (files or directories, resolved against `root`), printing findings to
+/// `out`. Build directories and dotted directories are skipped. Returns
+/// the number of findings; I/O failures print to `err` and count as one
+/// finding each so the CLI exits nonzero.
+int RunLint(const std::string& root, const std::vector<std::string>& paths,
+            std::ostream& out, std::ostream& err);
+
+}  // namespace coursenav::lint
+
+#endif  // COURSENAV_TOOLS_LINT_LINT_H_

@@ -1,0 +1,67 @@
+// coursenav-lint CLI. Usage:
+//
+//   coursenav-lint [--root=DIR] [--list-rules] PATH...
+//
+// Each PATH (file or directory, resolved against --root, default cwd) is
+// scanned recursively for *.h/*.hpp/*.cc/*.cpp. Findings print to stdout
+// as `file:line: [rule-id] message`; the exit code is 0 when the tree is
+// clean, 1 when there are findings, 2 on usage errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: coursenav-lint [--root=DIR] [--list-rules] PATH...\n"
+         "Project-specific static analysis for the CourseNavigator tree.\n"
+         "Suppress a finding with // NOLINT(<rule-id>) on its line.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    }
+    if (arg == "--list-rules") {
+      for (const coursenav::lint::Rule* rule : coursenav::lint::AllRules()) {
+        std::cout << rule->id() << ": " << rule->description() << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(std::strlen("--root="));
+      continue;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "coursenav-lint: unknown flag " << arg << "\n";
+      return Usage(std::cerr, 2);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    return Usage(std::cerr, 2);
+  }
+  int findings =
+      coursenav::lint::RunLint(root, paths, std::cout, std::cerr);
+  if (findings > 0) {
+    std::cerr << "coursenav-lint: " << findings << " finding"
+              << (findings == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
