@@ -11,13 +11,15 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/ranked_generator.h"
 #include "data/brandeis_cs.h"
-#include "util/stopwatch.h"
+#include "plan/executor.h"
+#include "plan/request.h"
+#include "util/check.h"
 
 namespace coursenav {
 namespace {
@@ -25,7 +27,7 @@ namespace {
 void Run(const bench::BenchArgs& args) {
   data::BrandeisDataset dataset = data::BuildBrandeisDataset();
   Term end = data::EvaluationEndTerm();
-  TimeRanking ranking;
+  auto ranking = std::make_shared<const TimeRanking>();
   bench::BenchReport report("figure4_ranked", args);
 
   std::printf("Figure 4: runtime (seconds) of ranked learning path "
@@ -44,32 +46,40 @@ void Run(const bench::BenchArgs& args) {
   for (int k : k_values) {
     std::vector<std::string> row{std::to_string(k)};
     for (int span : spans) {
-      EnrollmentStatus start{data::StartTermForSpan(span),
-                             dataset.catalog.NewCourseSet()};
-      // Ranked generation is order-dependent (best-first top-k) and always
-      // runs serial; threads is recorded in the report for uniformity.
-      ExplorationOptions options;
-      auto result = GenerateRankedPaths(dataset.catalog, dataset.schedule,
-                                        start, end, *dataset.cs_major,
-                                        ranking, k, options);
-      if (!result.ok()) {
+      // One declarative ranked request per figure cell. Ranked plans are
+      // lowered serial regardless of threads (best-first top-k is
+      // order-dependent); threads is recorded in the report for
+      // uniformity.
+      ExplorationRequest request;
+      request.start = EnrollmentStatus{data::StartTermForSpan(span),
+                                       dataset.catalog.NewCourseSet()};
+      request.end_term = end;
+      request.type = TaskType::kRanked;
+      request.goal = dataset.cs_major;
+      request.ranking = ranking;
+      request.top_k = k;
+      auto response =
+          plan::Execute(dataset.catalog, dataset.schedule, request);
+      if (!response.ok()) {
         row.push_back("error");
         seconds[{span, k}] = -1.0;
         continue;
       }
-      seconds[{span, k}] = result->stats.runtime_seconds;
+      CN_CHECK(response->ranked.has_value());
+      const RankedResult& result = *response->ranked;
+      seconds[{span, k}] = result.stats.runtime_seconds;
       JsonValue::Object json_row;
       json_row["k"] = k;
       json_row["semesters"] = span;
       json_row["threads"] = args.threads;
-      json_row["runtime_seconds"] = result->stats.runtime_seconds;
-      json_row["nodes"] = result->stats.nodes_created;
+      json_row["runtime_seconds"] = result.stats.runtime_seconds;
+      json_row["nodes"] = result.stats.nodes_created;
       json_row["paths_returned"] =
-          static_cast<int64_t>(result->paths.size());
+          static_cast<int64_t>(result.paths.size());
       report.AddRow(std::move(json_row));
       row.push_back(StrFormat("%.3f (%zu paths)",
-                              result->stats.runtime_seconds,
-                              result->paths.size()));
+                              result.stats.runtime_seconds,
+                              result.paths.size()));
     }
     table.AddRow(std::move(row));
   }

@@ -16,15 +16,29 @@
 
 #include <cstdio>
 #include <optional>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "core/counting.h"
-#include "core/deadline_generator.h"
-#include "core/goal_generator.h"
 #include "data/brandeis_cs.h"
+#include "plan/executor.h"
+#include "plan/request.h"
+#include "util/check.h"
 
 namespace coursenav {
 namespace {
+
+/// Runs one materializing request through the planner pipeline and unwraps
+/// the generation payload (deadline- and goal-driven requests always
+/// populate it).
+Result<GenerationResult> Materialize(const data::BrandeisDataset& dataset,
+                                     const ExplorationRequest& request) {
+  COURSENAV_ASSIGN_OR_RETURN(
+      ExplorationResponse response,
+      plan::Execute(dataset.catalog, dataset.schedule, request));
+  CN_CHECK(response.generation.has_value());
+  return std::move(*response.generation);
+}
 
 std::string MaterializedCell(const Result<GenerationResult>& result) {
   if (!result.ok()) return "error";
@@ -65,19 +79,22 @@ void Run(const bench::BenchArgs& args) {
     EnrollmentStatus start{data::StartTermForSpan(span),
                            dataset.catalog.NewCourseSet()};
 
-    // Materialization budget: the deliberate analogue of the paper's
-    // "could not store the graph in memory".
-    ExplorationOptions materialize;
-    materialize.num_threads = args.threads;
-    materialize.limits.max_nodes = args.full ? 20'000'000 : 3'000'000;
-    materialize.limits.max_memory_bytes =
+    // One declarative request per Table 2 cell; the two modes differ only
+    // in task type and goal. Materialization budget: the deliberate
+    // analogue of the paper's "could not store the graph in memory".
+    ExplorationRequest request;
+    request.start = start;
+    request.end_term = end;
+    request.options.num_threads = args.threads;
+    request.options.limits.max_nodes = args.full ? 20'000'000 : 3'000'000;
+    request.options.limits.max_memory_bytes =
         args.full ? (8ull << 30) : (1ull << 30);
 
-    auto deadline = GenerateDeadlineDrivenPaths(
-        dataset.catalog, dataset.schedule, start, end, materialize);
-    auto goal = GenerateGoalDrivenPaths(dataset.catalog, dataset.schedule,
-                                        start, end, *dataset.cs_major,
-                                        materialize);
+    request.type = TaskType::kDeadlineDriven;
+    auto deadline = Materialize(dataset, request);
+    request.type = TaskType::kGoalDriven;
+    request.goal = dataset.cs_major;
+    auto goal = Materialize(dataset, request);
 
     // Counting budgets grow with the span; the biggest configurations are
     // only attempted under --full (the paper's 6-semester goal run took

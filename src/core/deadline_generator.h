@@ -30,6 +30,10 @@ namespace coursenav {
 /// reported in the returned `GenerationResult::termination` together with
 /// the partial graph, because a too-big-to-materialize graph is an expected
 /// outcome (Table 2).
+///
+/// Implemented by the plan layer (src/plan/facades.cc) as a thin facade
+/// over the planner/executor pipeline; output is byte-identical to running
+/// the request through `plan::Execute` directly.
 Result<GenerationResult> GenerateDeadlineDrivenPaths(
     const Catalog& catalog, const OfferingSchedule& schedule,
     const EnrollmentStatus& start, Term end_term,

@@ -26,6 +26,10 @@ namespace coursenav {
 ///
 /// `goal` must outlive the call. Budget exhaustion is reported via
 /// `GenerationResult::termination`, not as an error.
+///
+/// Implemented by the plan layer (src/plan/facades.cc) as a thin facade
+/// over the planner/executor pipeline; output is byte-identical to running
+/// the request through `plan::Execute` directly.
 Result<GenerationResult> GenerateGoalDrivenPaths(
     const Catalog& catalog, const OfferingSchedule& schedule,
     const EnrollmentStatus& start, Term end_term, const Goal& goal,

@@ -40,6 +40,14 @@ struct RankedResult {
 /// `ranking` must outlive the call. Fewer than `k` paths may be returned
 /// when the goal space is smaller than k (termination stays OK) or when a
 /// budget is hit (termination carries the budget status).
+///
+/// Always serial: best-first top-k is order-dependent, so
+/// `options.num_threads` is not honored here — the planner records an
+/// explicit "ranked runs serial" note instead of ignoring it silently.
+///
+/// Implemented by the plan layer (src/plan/facades.cc) as a thin facade
+/// over the planner/executor pipeline; output is byte-identical to running
+/// the request through `plan::Execute` directly.
 Result<RankedResult> GenerateRankedPaths(
     const Catalog& catalog, const OfferingSchedule& schedule,
     const EnrollmentStatus& start, Term end_term, const Goal& goal,

@@ -1,0 +1,607 @@
+// coursenav:deterministic — path output order is part of the contract.
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/combinations.h"
+#include "core/engine.h"
+#include "core/enrollment.h"
+#include "core/filters.h"
+#include "core/parallel_bridge.h"
+#include "graph/learning_graph.h"
+#include "graph/path.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace coursenav::plan {
+namespace {
+
+/// Pipeline prologue, part 1 — the input validation all three generators
+/// used to repeat: catalog/schedule/start/options consistency plus the
+/// exploration window check.
+Status ValidateRequest(const Catalog& catalog, const OfferingSchedule& schedule,
+                       const ExplorationRequest& request) {
+  COURSENAV_RETURN_IF_ERROR(ValidateExplorationInputs(
+      catalog, schedule, request.start, request.options));
+  if (request.end_term <= request.start.term) {
+    return Status::InvalidArgument("end semester must be after the start");
+  }
+  return Status::OK();
+}
+
+/// Pipeline prologue, part 2 — the Source operator: the start node n1 with
+/// X1 = X and its derived option set (lines 1-3 of Algorithm 1), shared
+/// root-construction boilerplate of all three loops.
+NodeId ConstructRoot(const Catalog& catalog, const OfferingSchedule& schedule,
+                     const ExplorationRequest& request, LearningGraph& graph,
+                     obs::ExplorationMetrics& metrics) {
+  DynamicBitset root_options =
+      ComputeOptions(catalog, schedule, request.start.completed,
+                     request.start.term, request.options);
+  NodeId root = graph.AddRoot(request.start.term, request.start.completed,
+                              root_options);
+  metrics.nodes_created += 1;
+  return root;
+}
+
+/// The deadline-driven pipeline: Source → Expand (Algorithm 1).
+Result<GenerationResult> RunDeadline(const ExplorationPlan& plan,
+                                     const Catalog& catalog,
+                                     const OfferingSchedule& schedule) {
+  const ExplorationRequest& request = plan.request;
+  const ExplorationOptions& options = request.options;
+  const Term end_term = request.end_term;
+  COURSENAV_RETURN_IF_ERROR(ValidateRequest(catalog, schedule, request));
+
+  obs::ScopedSpan run_span(obs::kSpanGenerateDeadline);
+  std::optional<obs::ScopedSpan> construct_span;
+  construct_span.emplace(obs::kSpanGraphConstruct);
+  internal::ExplorationEngine engine(catalog, schedule, options,
+                                     request.start.term, end_term);
+  obs::ExplorationMetrics& metrics = engine.metrics();
+  GenerationResult result;
+  LearningGraph& graph = result.graph;
+
+  if (plan.parallel) {
+    graph.ConfigureShards(plan.workers);
+  }
+
+  NodeId root = ConstructRoot(catalog, schedule, request, graph, metrics);
+  construct_span->AddInt("catalog_courses", catalog.size());
+  construct_span.reset();
+
+  if (plan.parallel) {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+    internal::ParallelExpandSpec spec;
+    spec.catalog = &catalog;
+    spec.schedule = &schedule;
+    spec.options = &options;
+    spec.end_term = end_term;
+    result.termination = internal::ExpandFrontierParallel(
+        engine, spec, options.num_threads, &graph);
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+    expand_span.AddInt("threads", plan.workers);
+  } else {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+
+    // Worklist of nodes with out-degree 0 (line 4). LIFO keeps the frontier
+    // small and cache-warm; expansion order does not affect the output set.
+    std::vector<NodeId> worklist{root};
+    // Reused X_i ∪ W scratch; assignment reuses its capacity per candidate.
+    DynamicBitset next_completed;
+
+    while (!worklist.empty()) {
+      Status budget = engine.CheckBudget(graph);
+      if (!budget.ok()) {
+        result.termination = budget;
+        break;
+      }
+      NodeId current = worklist.back();
+      worklist.pop_back();
+      metrics.nodes_expanded += 1;
+
+      // Arena storage never relocates nodes, so references stay valid
+      // across AddChild; no per-expansion snapshot copies.
+      const LearningNode& node = graph.node(current);
+      const Term term = node.term;
+      const DynamicBitset& completed = node.completed;
+      const DynamicBitset& node_options = node.options;
+
+      // Line 5: nodes in the end semester are goal vertices; stop there.
+      if (term == end_term) {
+        graph.MarkGoal(current);
+        metrics.terminal_paths += 1;
+        metrics.goal_paths += 1;
+        continue;
+      }
+
+      bool expanded = false;
+      auto add_child = [&](const DynamicBitset& selection) {
+        next_completed = completed;
+        next_completed |= selection;  // line 11: X_{i+1} = X_i ∪ W
+        DynamicBitset next_options = ComputeOptions(
+            catalog, schedule, next_completed, term.Next(), options);  // l.13
+        NodeId child =
+            graph.AddChild(current, selection, DynamicBitset(next_completed),
+                           std::move(next_options));
+        metrics.nodes_created += 1;
+        metrics.edges_created += 1;
+        worklist.push_back(child);
+        expanded = true;
+      };
+
+      // Lines 7-14: one child per course combination W ⊆ Y_i, |W| <= m.
+      if (!node_options.empty()) {
+        bool completed_enumeration = ForEachSelection(
+            node_options, 1, options.max_courses_per_term,
+            [&](const DynamicBitset& selection) {
+              if (!engine.CheckBudget(graph).ok()) return false;
+              add_child(selection);
+              return true;
+            });
+        if (!completed_enumeration) {
+          result.termination = engine.CheckBudget(graph);
+          break;
+        }
+      }
+
+      // Skip edge: advance a semester with an empty selection when nothing
+      // is electable now but courses remain later (Figure 3's n4 → n7).
+      // With allow_voluntary_skip the student may idle unconditionally.
+      bool skip_edge =
+          options.allow_voluntary_skip ||
+          (node_options.empty() && engine.FutureCourseExists(completed, term));
+      if (skip_edge) {
+        add_child(DynamicBitset(catalog.size()));
+      }
+
+      if (!expanded) {
+        // Dead end: no options now and none later. The path ends here.
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+      }
+    }
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+  }
+
+  if (CN_DCHECK_IS_ON()) result.graph.CheckInvariants();
+  result.stats = engine.StatsView();
+  run_span.AddInt("nodes_created", result.stats.nodes_created);
+  if (!result.termination.ok()) return result;
+
+  result.termination = Status::OK();
+  return result;
+}
+
+/// The goal-driven pipeline: Source → Expand → Prune (§4.2).
+Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
+                                 const Catalog& catalog,
+                                 const OfferingSchedule& schedule) {
+  const ExplorationRequest& request = plan.request;
+  const ExplorationOptions& options = request.options;
+  const GoalDrivenConfig& config = request.config;
+  const Goal& goal = *request.goal;
+  const Term end_term = request.end_term;
+  COURSENAV_RETURN_IF_ERROR(ValidateRequest(catalog, schedule, request));
+
+  obs::ScopedSpan run_span(obs::kSpanGenerateGoal);
+  std::optional<obs::ScopedSpan> construct_span;
+  construct_span.emplace(obs::kSpanGraphConstruct);
+  internal::ExplorationEngine engine(catalog, schedule, options,
+                                     request.start.term, end_term);
+  obs::ExplorationMetrics& metrics = engine.metrics();
+
+  GenerationResult result;
+  LearningGraph& graph = result.graph;
+
+  if (plan.parallel) {
+    graph.ConfigureShards(plan.workers);
+  }
+
+  NodeId root = ConstructRoot(catalog, schedule, request, graph, metrics);
+  construct_span->AddInt("catalog_courses", catalog.size());
+  construct_span.reset();  // engine + root built; close the span
+
+  if (plan.parallel) {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+    internal::ParallelExpandSpec spec;
+    spec.catalog = &catalog;
+    spec.schedule = &schedule;
+    spec.options = &options;
+    spec.end_term = end_term;
+    spec.goal = &goal;
+    spec.config = &config;
+    result.termination = internal::ExpandFrontierParallel(
+        engine, spec, options.num_threads, &graph);
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+    expand_span.AddInt("threads", plan.workers);
+
+    result.stats = engine.StatsView();
+    run_span.AddInt("nodes_created", result.stats.nodes_created);
+    run_span.AddInt("goal_paths", result.stats.goal_paths);
+    return result;
+  }
+
+  internal::PruningOracle oracle(goal, engine, options, config);
+  using Verdict = internal::PruningOracle::Verdict;
+  {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+
+    std::vector<NodeId> worklist{root};
+    // Reused X_i ∪ W scratch: pruned candidates cost no heap traffic.
+    DynamicBitset next_completed;
+
+    while (!worklist.empty()) {
+      Status budget = engine.CheckBudget(graph);
+      if (!budget.ok()) {
+        result.termination = budget;
+        break;
+      }
+      NodeId current = worklist.back();
+      worklist.pop_back();
+      metrics.nodes_expanded += 1;
+
+      // Arena storage never relocates nodes; references stay valid across
+      // AddChild (no per-expansion snapshot copies).
+      const LearningNode& node = graph.node(current);
+      const Term term = node.term;
+      const DynamicBitset& completed = node.completed;
+      const DynamicBitset& node_options = node.options;
+
+      // Stop at goal nodes: the requirement already holds here (§4.2.3).
+      if (goal.IsSatisfied(completed)) {
+        graph.MarkGoal(current);
+        metrics.terminal_paths += 1;
+        metrics.goal_paths += 1;
+        continue;
+      }
+      // Stop at the end semester; this leaf misses the goal.
+      if (term == end_term) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+        continue;
+      }
+
+      const Term child_term = term.Next();
+      const int left_parent = oracle.LeftAt(completed);
+
+      bool expanded = false;
+      auto consider_child = [&](const DynamicBitset& selection) {
+        next_completed = completed;
+        next_completed |= selection;
+        if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
+                                 left_parent) != Verdict::kKeep) {
+          return;
+        }
+        DynamicBitset next_options = ComputeOptions(
+            catalog, schedule, next_completed, child_term, options);
+        NodeId child =
+            graph.AddChild(current, selection, DynamicBitset(next_completed),
+                           std::move(next_options));
+        metrics.nodes_created += 1;
+        metrics.edges_created += 1;
+        worklist.push_back(child);
+        expanded = true;
+      };
+
+      // Selections below Equation 1's minimum size provably miss the
+      // deadline; skip enumerating them but account them as time-pruned.
+      int min_selection = oracle.MinSelectionSize(left_parent, term);
+      if (min_selection > 1) {
+        // Only sizes up to m were ever candidates.
+        int skipped_max =
+            std::min(min_selection - 1, options.max_courses_per_term);
+        oracle.AccountSkippedTimePruned(static_cast<int64_t>(
+            CountSelections(node_options.count(), 1, skipped_max)));
+      }
+
+      if (!node_options.empty() && min_selection <= node_options.count()) {
+        bool completed_enumeration = ForEachSelection(
+            node_options, min_selection, options.max_courses_per_term,
+            [&](const DynamicBitset& selection) {
+              if (!engine.CheckBudget(graph).ok()) return false;
+              consider_child(selection);
+              return true;
+            });
+        if (!completed_enumeration) {
+          result.termination = engine.CheckBudget(graph);
+          break;
+        }
+      }
+
+      // Skip edge (empty selection), under the same pruning regime.
+      bool skip_edge =
+          options.allow_voluntary_skip ||
+          (node_options.empty() && engine.FutureCourseExists(completed, term));
+      if (skip_edge) {
+        consider_child(DynamicBitset(catalog.size()));
+      }
+
+      if (!expanded) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+      }
+    }
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+  }
+
+  oracle.EmitStageSpans();
+  // Structural self-checks (dcheck builds): the run's graph and the
+  // oracle's availability cache must both be consistent before results
+  // surface.
+  if (CN_DCHECK_IS_ON()) {
+    graph.CheckInvariants();
+    oracle.CheckInvariants();
+  }
+  result.stats = engine.StatsView();
+  run_span.AddInt("nodes_created", result.stats.nodes_created);
+  run_span.AddInt("goal_paths", result.stats.goal_paths);
+  return result;
+}
+
+/// Frontier entry ordered by f = g + h (accumulated cost plus the
+/// ranking's admissible cost-to-go bound), with insertion order as the
+/// deterministic tie-break. With a consistent heuristic, goal statuses
+/// still pop in non-decreasing true cost (f == g at goals), preserving
+/// Lemma 2's exact top-k.
+struct FrontierEntry {
+  double cost;  // f-value
+  int64_t sequence;
+  NodeId node;
+};
+
+struct FrontierCompare {
+  /// std::priority_queue is a max-heap; invert for a min-heap.
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.sequence > b.sequence;
+  }
+};
+
+/// The ranked pipeline: Source → Expand → Prune → Rank → Limit (§4.3).
+/// Always serial (see the planner's "ranked runs serial" note).
+Result<RankedResult> RunRanked(const ExplorationPlan& plan,
+                               const Catalog& catalog,
+                               const OfferingSchedule& schedule) {
+  const ExplorationRequest& request = plan.request;
+  const ExplorationOptions& options = request.options;
+  const GoalDrivenConfig& config = request.config;
+  const Goal& goal = *request.goal;
+  const RankingFunction& ranking = *request.ranking;
+  const Term end_term = request.end_term;
+  const int k = request.top_k;
+  COURSENAV_RETURN_IF_ERROR(ValidateRequest(catalog, schedule, request));
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+
+  obs::ScopedSpan run_span(obs::kSpanGenerateRanked);
+  std::optional<obs::ScopedSpan> construct_span;
+  construct_span.emplace(obs::kSpanGraphConstruct);
+  internal::ExplorationEngine engine(catalog, schedule, options,
+                                     request.start.term, end_term);
+  internal::PruningOracle oracle(goal, engine, options, config);
+  using Verdict = internal::PruningOracle::Verdict;
+  obs::ExplorationMetrics& metrics = engine.metrics();
+  /// Aggregate wall time spent inside the ranking function (EdgeCost +
+  /// admissible bound), emitted as one "rank/evaluate" span per run.
+  obs::StageAccumulator rank_stage;
+
+  RankedResult result;
+  LearningGraph graph;
+
+  NodeId root = ConstructRoot(catalog, schedule, request, graph, metrics);
+  construct_span.reset();
+
+  {
+    obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
+
+    std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                        FrontierCompare>
+        frontier;
+    // Reused X_i ∪ W scratch: pruned candidates cost no heap traffic.
+    DynamicBitset next_completed;
+    int64_t sequence = 0;
+    const int m = options.max_courses_per_term;
+    {
+      obs::StageSample sample(&rank_stage);
+      frontier.push(
+          {ranking.RemainingCostLowerBound(request.start.completed, goal, m),
+           sequence++, root});
+    }
+
+    while (!frontier.empty() && static_cast<int>(result.paths.size()) < k) {
+      Status budget = engine.CheckBudget(graph);
+      if (!budget.ok()) {
+        result.termination = budget;
+        break;
+      }
+      FrontierEntry entry = frontier.top();
+      frontier.pop();
+      NodeId current = entry.node;
+      metrics.nodes_expanded += 1;
+
+      // Arena storage never relocates nodes; references stay valid across
+      // AddChildWithPathCost (no per-expansion snapshot copies). The
+      // best-first frontier revisits arbitrary nodes, which arena stability
+      // also makes safe.
+      const LearningNode& node = graph.node(current);
+      const Term term = node.term;
+      const DynamicBitset& completed = node.completed;
+      const DynamicBitset& node_options = node.options;
+
+      // Popping in cost order makes each goal hit the next-cheapest path.
+      if (goal.IsSatisfied(completed)) {
+        graph.MarkGoal(current);
+        metrics.terminal_paths += 1;
+        metrics.goal_paths += 1;
+        LearningPath path = LearningPath::FromGraph(graph, current);
+        result.paths.push_back(std::move(path));
+        continue;
+      }
+      if (term == end_term) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+        continue;
+      }
+
+      const Term child_term = term.Next();
+      const int left_parent = oracle.LeftAt(completed);
+
+      bool expanded = false;
+      auto consider_child = [&](const DynamicBitset& selection) {
+        next_completed = completed;
+        next_completed |= selection;
+        if (oracle.ClassifyChild(next_completed, selection.count(),
+                                 child_term, left_parent) != Verdict::kKeep) {
+          return;
+        }
+        double edge_cost;
+        double child_cost;
+        double cost_to_go;
+        {
+          obs::StageSample sample(&rank_stage);
+          edge_cost = ranking.EdgeCost(selection, term);
+          child_cost = ranking.Combine(node.path_cost, edge_cost);
+          cost_to_go = ranking.RemainingCostLowerBound(next_completed, goal, m);
+        }
+        DynamicBitset next_options = ComputeOptions(
+            catalog, schedule, next_completed, child_term, options);
+        NodeId child = graph.AddChildWithPathCost(
+            current, selection, DynamicBitset(next_completed),
+            std::move(next_options), edge_cost, child_cost);
+        metrics.nodes_created += 1;
+        metrics.edges_created += 1;
+        frontier.push({child_cost + cost_to_go, sequence++, child});
+        expanded = true;
+      };
+
+      int min_selection = oracle.MinSelectionSize(left_parent, term);
+      if (min_selection > 1) {
+        int skipped_max =
+            std::min(min_selection - 1, options.max_courses_per_term);
+        oracle.AccountSkippedTimePruned(static_cast<int64_t>(
+            CountSelections(node_options.count(), 1, skipped_max)));
+      }
+
+      if (!node_options.empty() && min_selection <= node_options.count()) {
+        bool completed_enumeration = ForEachSelection(
+            node_options, min_selection, options.max_courses_per_term,
+            [&](const DynamicBitset& selection) {
+              if (!engine.CheckBudget(graph).ok()) return false;
+              consider_child(selection);
+              return true;
+            });
+        if (!completed_enumeration) {
+          result.termination = engine.CheckBudget(graph);
+          break;
+        }
+      }
+
+      bool skip_edge =
+          options.allow_voluntary_skip ||
+          (node_options.empty() && engine.FutureCourseExists(completed, term));
+      if (skip_edge) {
+        consider_child(DynamicBitset(catalog.size()));
+      }
+
+      if (!expanded) {
+        metrics.terminal_paths += 1;
+        metrics.dead_end_paths += 1;
+      }
+    }
+    expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
+  }
+
+  rank_stage.Emit(obs::kSpanRankEvaluate);
+  oracle.EmitStageSpans();
+  if (CN_DCHECK_IS_ON()) {
+    graph.CheckInvariants();
+    oracle.CheckInvariants();
+  }
+  result.stats = engine.StatsView();
+  run_span.AddInt("nodes_created", result.stats.nodes_created);
+  run_span.AddInt("paths_returned",
+                  static_cast<int64_t>(result.paths.size()));
+  return result;
+}
+
+/// The Filter operator: declarative post-rank path filters. Runs after
+/// Limit — filters cut the top-k answer down rather than backfilling it,
+/// matching the CLI's long-standing semantics.
+void ApplyFilterStage(const ExplorationRequest& request,
+                      const Catalog& catalog, ExplorationResponse& response) {
+  if (!request.filters.active() || !response.ranked.has_value()) return;
+  std::vector<std::shared_ptr<const PathFilter>> parts;
+  if (request.filters.max_term_hours > 0.0) {
+    parts.push_back(std::make_shared<MaxTermWorkloadFilter>(
+        &catalog, request.filters.max_term_hours));
+  }
+  if (request.filters.max_skips >= 0) {
+    parts.push_back(
+        std::make_shared<MaxSkipsFilter>(request.filters.max_skips));
+  }
+  AllOfFilter filter(std::move(parts));
+  response.paths_before_filters =
+      static_cast<int64_t>(response.ranked->paths.size());
+  response.filter_description = filter.Describe();
+  response.ranked->paths =
+      FilterPaths(std::move(response.ranked->paths), filter);
+}
+
+}  // namespace
+
+Result<ExplorationResponse> Executor::Run(const ExplorationPlan& plan) const {
+  const ExplorationRequest& request = plan.request;
+  ExplorationResponse response;
+  switch (request.type) {
+    case TaskType::kDeadlineDriven: {
+      COURSENAV_ASSIGN_OR_RETURN(
+          GenerationResult generation,
+          RunDeadline(plan, *catalog_, *schedule_));
+      response.generation = std::move(generation);
+      return response;
+    }
+    case TaskType::kGoalDriven: {
+      // Re-checked here so hand-built plans fail the same way lowered ones
+      // do.
+      if (request.goal == nullptr) {
+        return Status::InvalidArgument(
+            "goal-driven exploration requires a goal");
+      }
+      COURSENAV_ASSIGN_OR_RETURN(GenerationResult generation,
+                                 RunGoal(plan, *catalog_, *schedule_));
+      response.generation = std::move(generation);
+      return response;
+    }
+    case TaskType::kRanked: {
+      if (request.goal == nullptr) {
+        return Status::InvalidArgument("ranked exploration requires a goal");
+      }
+      if (request.ranking == nullptr) {
+        return Status::InvalidArgument(
+            "ranked exploration requires a ranking function");
+      }
+      COURSENAV_ASSIGN_OR_RETURN(RankedResult ranked,
+                                 RunRanked(plan, *catalog_, *schedule_));
+      response.ranked = std::move(ranked);
+      ApplyFilterStage(request, *catalog_, response);
+      return response;
+    }
+  }
+  return Status::InvalidArgument("unknown exploration task type");
+}
+
+Result<ExplorationResponse> Execute(const Catalog& catalog,
+                                    const OfferingSchedule& schedule,
+                                    const ExplorationRequest& request) {
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationPlan plan, Planner::Lower(request));
+  return Executor(&catalog, &schedule).Run(plan);
+}
+
+}  // namespace coursenav::plan

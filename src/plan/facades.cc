@@ -1,0 +1,86 @@
+// Implements the three public Generate*Paths entry points declared in
+// src/core/{deadline,goal,ranked}_generator.h as thin facades over the
+// planner/executor pipeline. Dependency inversion, same pattern as
+// core/parallel_bridge.h: `core` declares the API (it may not include
+// `plan` headers — coursenav-lint enforces the layering DAG), and this
+// file, compiled into coursenav_plan, provides the definitions. Every
+// caller therefore runs through one pipeline — requests, plans, budget
+// sentinels, spans, and metrics are made once, not three times.
+#include <memory>
+#include <utility>
+
+#include "core/deadline_generator.h"
+#include "core/goal_generator.h"
+#include "core/ranked_generator.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "plan/request.h"
+#include "util/check.h"
+
+namespace coursenav {
+
+namespace {
+
+/// Non-owning shared_ptr view of a caller-owned object (the aliasing
+/// constructor with an empty control block). The facades' reference
+/// parameters outlive the call by contract.
+template <typename T>
+std::shared_ptr<const T> Borrow(const T& object) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), &object);
+}
+
+}  // namespace
+
+Result<GenerationResult> GenerateDeadlineDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term,
+    const ExplorationOptions& options) {
+  ExplorationRequest request;
+  request.start = start;
+  request.end_term = end_term;
+  request.type = TaskType::kDeadlineDriven;
+  request.options = options;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             plan::Execute(catalog, schedule, request));
+  CN_CHECK(response.generation.has_value());
+  return std::move(*response.generation);
+}
+
+Result<GenerationResult> GenerateGoalDrivenPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const ExplorationOptions& options, const GoalDrivenConfig& config) {
+  ExplorationRequest request;
+  request.start = start;
+  request.end_term = end_term;
+  request.type = TaskType::kGoalDriven;
+  request.goal = Borrow(goal);
+  request.options = options;
+  request.config = config;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             plan::Execute(catalog, schedule, request));
+  CN_CHECK(response.generation.has_value());
+  return std::move(*response.generation);
+}
+
+Result<RankedResult> GenerateRankedPaths(
+    const Catalog& catalog, const OfferingSchedule& schedule,
+    const EnrollmentStatus& start, Term end_term, const Goal& goal,
+    const RankingFunction& ranking, int k, const ExplorationOptions& options,
+    const GoalDrivenConfig& config) {
+  ExplorationRequest request;
+  request.start = start;
+  request.end_term = end_term;
+  request.type = TaskType::kRanked;
+  request.goal = Borrow(goal);
+  request.ranking = Borrow(ranking);
+  request.top_k = k;
+  request.options = options;
+  request.config = config;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             plan::Execute(catalog, schedule, request));
+  CN_CHECK(response.ranked.has_value());
+  return std::move(*response.ranked);
+}
+
+}  // namespace coursenav

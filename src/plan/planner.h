@@ -1,0 +1,82 @@
+#ifndef COURSENAV_PLAN_PLANNER_H_
+#define COURSENAV_PLAN_PLANNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "plan/request.h"
+#include "util/result.h"
+
+namespace coursenav::plan {
+
+/// The operator vocabulary a request lowers into. Every exploration is a
+/// linear chain drawn from this set (see docs/planner.md):
+///
+///   Source → Expand [→ Prune] [→ Rank → Limit [→ Filter]]
+///
+/// Filter runs *after* Limit by design: path filters cut the top-k answer
+/// down (fewer than k paths may survive), they do not backfill it —
+/// matching the CLI's long-standing semantics.
+enum class OperatorKind { kSource, kExpand, kPrune, kFilter, kRank, kLimit };
+
+std::string_view OperatorKindName(OperatorKind kind);
+
+/// One operator of a lowered plan, with a human-readable parameterization
+/// for plan descriptions (`coursenav ... --show-plan`).
+struct PlanOperator {
+  OperatorKind kind = OperatorKind::kSource;
+  std::string detail;
+};
+
+/// A lowered, executable exploration plan: the request (possibly rewritten
+/// by the degradation ladder), its operator chain, and the
+/// serial-vs-parallel decision — made once here instead of once per
+/// generator.
+struct ExplorationPlan {
+  ExplorationRequest request;
+  std::vector<PlanOperator> ops;
+
+  /// True when the Expand operator runs on the work-stealing parallel
+  /// frontier engine; `workers` is then the effective worker count.
+  /// Ranked plans are never parallel (best-first top-k is
+  /// order-dependent), regardless of `request.options.num_threads`.
+  bool parallel = false;
+  int workers = 0;
+
+  /// Planner remarks a caller should surface, e.g. the explicit "ranked
+  /// runs serial" note when a ranked request asked for threads.
+  std::vector<std::string> notes;
+
+  /// Multi-line human-readable rendering: one line per operator plus the
+  /// notes.
+  std::string Describe() const;
+};
+
+/// Lowers declarative requests into executable plans.
+class Planner {
+ public:
+  /// Structural validation + lowering. Fails on requests that are
+  /// malformed independent of any catalog: a goal-driven or ranked
+  /// request without a goal, a ranked request without a ranking, an
+  /// unknown task type. Catalog-dependent validation (finalized catalog,
+  /// set sizes, window) happens in the executor's prologue, preserving
+  /// the legacy generators' error order.
+  static Result<ExplorationPlan> Lower(const ExplorationRequest& request);
+};
+
+/// Rewrites `request` for one rung of the degradation ladder — the ladder
+/// re-expressed as plan rewrites. kFull is the identity;
+/// kAggressivePruning forces every pruning strategy on (goal-driven
+/// requests only); kRankedSmallK caps k at `policy.degraded_top_k`;
+/// kCountOnly applies `policy.count_max_nodes`. Non-full materializing
+/// rungs also apply `policy.degraded_max_nodes`. FailedPrecondition when
+/// the rung does not apply to this request (no goal / no ranking), with
+/// the same messages the service ladder always reported.
+Result<ExplorationRequest> RewriteForDegradation(
+    const ExplorationRequest& request, DegradationLevel level,
+    const DegradationPolicy& policy);
+
+}  // namespace coursenav::plan
+
+#endif  // COURSENAV_PLAN_PLANNER_H_

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/planner.h"
 #include "util/cancellation.h"
 #include "util/string_util.h"
 
@@ -45,20 +46,6 @@ bool HasPartialPayload(const ExplorationResponse& response) {
 
 }  // namespace
 
-std::string_view DegradationLevelName(DegradationLevel level) {
-  switch (level) {
-    case DegradationLevel::kFull:
-      return "full";
-    case DegradationLevel::kAggressivePruning:
-      return "aggressive-pruning";
-    case DegradationLevel::kRankedSmallK:
-      return "ranked-small-k";
-    case DegradationLevel::kCountOnly:
-      return "count-only";
-  }
-  return "unknown";
-}
-
 std::string DegradationReport::ToString() const {
   std::string out = StrFormat(
       "degradation: served at '%s'%s%s\n",
@@ -80,16 +67,6 @@ std::string DegradationReport::ToString() const {
         static_cast<long long>(rung.nodes_created));
   }
   return out;
-}
-
-Result<DegradationLevel> ParseDegradationLevel(std::string_view name) {
-  for (DegradationLevel level :
-       {DegradationLevel::kFull, DegradationLevel::kAggressivePruning,
-        DegradationLevel::kRankedSmallK, DegradationLevel::kCountOnly}) {
-    if (DegradationLevelName(level) == name) return level;
-  }
-  return Status::InvalidArgument("unknown degradation level '" +
-                                 std::string(name) + "'");
 }
 
 namespace {
@@ -270,48 +247,19 @@ Result<DegradedResponse> ExploreWithDegradation(
       rung_seconds = last_rung ? remaining : remaining * time_fraction;
     }
 
-    // Build the rung's request.
-    ExplorationRequest attempt = request;
+    // Build the rung's request: each rung is a plan rewrite of the
+    // original. FailedPrecondition = this rung does not apply (no goal /
+    // no ranking); record it as skipped and descend.
+    Result<ExplorationRequest> rewritten =
+        plan::RewriteForDegradation(request, level, policy);
+    if (!rewritten.ok()) {
+      rung.attempted = false;
+      rung.outcome = rewritten.status();
+      archive_rung();
+      continue;
+    }
+    ExplorationRequest attempt = std::move(rewritten).value();
     attempt.options.limits.max_seconds = rung_seconds;
-    switch (level) {
-      case DegradationLevel::kFull:
-        break;
-      case DegradationLevel::kAggressivePruning:
-        if (request.goal == nullptr || request.type == TaskType::kRanked) {
-          rung.attempted = false;
-          rung.outcome = Status::FailedPrecondition(
-              "aggressive pruning needs a goal-driven request");
-          archive_rung();
-          continue;
-        }
-        attempt.type = TaskType::kGoalDriven;
-        attempt.config.enable_time_pruning = true;
-        attempt.config.enable_availability_pruning = true;
-        attempt.config.enforce_min_selection = true;
-        attempt.config.cache_availability_checks = true;
-        break;
-      case DegradationLevel::kRankedSmallK:
-        if (request.goal == nullptr || request.ranking == nullptr) {
-          rung.attempted = false;
-          rung.outcome = Status::FailedPrecondition(
-              "ranked fallback needs a goal and a ranking");
-          archive_rung();
-          continue;
-        }
-        attempt.type = TaskType::kRanked;
-        attempt.top_k = std::max(
-            1, std::min(request.top_k, policy.degraded_top_k));
-        break;
-      case DegradationLevel::kCountOnly:
-        if (policy.count_max_nodes > 0) {
-          attempt.options.limits.max_nodes = policy.count_max_nodes;
-        }
-        break;
-    }
-    if (level != DegradationLevel::kFull && policy.degraded_max_nodes > 0 &&
-        level != DegradationLevel::kCountOnly) {
-      attempt.options.limits.max_nodes = policy.degraded_max_nodes;
-    }
 
     rung.attempted = true;
     rung.seconds_budget = rung_seconds;
@@ -400,6 +348,14 @@ Result<DegradedResponse> ExploreWithDegradation(
   }
   responses_served->Increment();
   return best;
+}
+
+Result<DegradedResponse> ExploreWithDegradation(
+    const CourseNavigator& navigator, const ExplorationRequest& request) {
+  if (request.degradation.has_value()) {
+    return ExploreWithDegradation(navigator, request, *request.degradation);
+  }
+  return ExploreWithDegradation(navigator, request, DegradationPolicy{});
 }
 
 }  // namespace coursenav

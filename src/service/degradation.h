@@ -13,50 +13,12 @@
 
 namespace coursenav {
 
-/// The graceful-degradation ladder: each level trades answer fidelity for
-/// survival under a budget. Rungs are tried top to bottom until one
-/// completes inside its slice of the request's budget.
-enum class DegradationLevel {
-  /// The request exactly as posed.
-  kFull = 0,
-  /// Same task with every pruning strategy forced on (and, optionally, a
-  /// tighter node cap): the cheapest run that still materializes the same
-  /// answer set for pruning-correct goals.
-  kAggressivePruning = 1,
-  /// Ranked top-k with a reduced k: a handful of best plans instead of the
-  /// full graph. Requires a goal and a ranking.
-  kRankedSmallK = 2,
-  /// DAG-memoized path counting only: "how many futures remain" without
-  /// materializing any of them — the cheapest nonempty answer.
-  kCountOnly = 3,
-};
-
-std::string_view DegradationLevelName(DegradationLevel level);
-
-/// Tuning for ExploreWithDegradation.
-struct DegradationPolicy {
-  /// Rungs to try, in order. Empty = the default ladder for the request's
-  /// task type (see DefaultLadder).
-  std::vector<DegradationLevel> ladder;
-
-  /// Fraction of the *remaining* time budget granted to each rung except
-  /// the last, which gets everything left. 0.5 means: full request gets
-  /// half the deadline, the first fallback half of what remains, and so
-  /// on — the ladder as a whole never exceeds the caller's deadline.
-  double time_fraction = 0.5;
-
-  /// k used by the kRankedSmallK rung (never more than the request's k).
-  int degraded_top_k = 3;
-
-  /// Node cap for degraded (non-kFull) materializing rungs; 0 = inherit
-  /// the request's limit.
-  int64_t degraded_max_nodes = 0;
-
-  /// Distinct-status cap for the kCountOnly rung; 0 = inherit. Counting
-  /// memoizes statuses rather than materializing nodes, so it usually
-  /// deserves a far larger cap than the graph rungs.
-  int64_t count_max_nodes = 0;
-};
+// DegradationLevel, DegradationPolicy, DegradationLevelName, and
+// ParseDegradationLevel live in plan/request.h (re-exported through
+// service/navigator.h): a degradation policy is part of a declarative
+// ExplorationRequest, and each rung is a plan rewrite
+// (plan::RewriteForDegradation). This header keeps the ladder *driver* —
+// the budget-slicing loop and its report.
 
 /// What happened on one rung of the ladder.
 struct DegradationRung {
@@ -98,10 +60,6 @@ struct DegradationReport {
   static Result<DegradationReport> FromJson(const JsonValue& json);
 };
 
-/// Parses the canonical rung-level name ("full", "aggressive-pruning",
-/// "ranked-small-k", "count-only") back to the enum.
-Result<DegradationLevel> ParseDegradationLevel(std::string_view name);
-
 /// A response that survived the ladder. Exactly one payload is populated:
 /// `response.generation` / `response.ranked` for materializing rungs, or
 /// `count` for the kCountOnly rung. When `report.exhausted` is set the
@@ -128,7 +86,14 @@ std::vector<DegradationLevel> DefaultLadder(TaskType type);
 /// malformed request would answer a question nobody is asking.
 Result<DegradedResponse> ExploreWithDegradation(
     const CourseNavigator& navigator, const ExplorationRequest& request,
-    const DegradationPolicy& policy = {});
+    const DegradationPolicy& policy);
+
+/// Policy-less overload: honors the request's own declarative
+/// `request.degradation` policy when one is set, and falls back to the
+/// default policy otherwise — so a JSON request file fully describes how
+/// its answer may degrade.
+Result<DegradedResponse> ExploreWithDegradation(
+    const CourseNavigator& navigator, const ExplorationRequest& request);
 
 }  // namespace coursenav
 

@@ -1,70 +1,74 @@
 #include "service/navigator.h"
 
+#include <memory>
+#include <utility>
+
+#include "plan/executor.h"
+#include "util/check.h"
+
 namespace coursenav {
+
+namespace {
+
+/// Non-owning shared_ptr view of a caller-owned object (the aliasing
+/// constructor with an empty control block); the wrappers' reference
+/// parameters outlive the exploration call by contract.
+template <typename T>
+std::shared_ptr<const T> Borrow(const T& object) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), &object);
+}
+
+}  // namespace
 
 Result<ExplorationResponse> CourseNavigator::Explore(
     const ExplorationRequest& request) const {
-  ExplorationResponse response;
-  switch (request.type) {
-    case TaskType::kDeadlineDriven: {
-      COURSENAV_ASSIGN_OR_RETURN(
-          GenerationResult generation,
-          ExploreDeadline(request.start, request.end_term, request.options));
-      response.generation = std::move(generation);
-      return response;
-    }
-    case TaskType::kGoalDriven: {
-      if (request.goal == nullptr) {
-        return Status::InvalidArgument(
-            "goal-driven exploration requires a goal");
-      }
-      COURSENAV_ASSIGN_OR_RETURN(
-          GenerationResult generation,
-          ExploreGoal(request.start, request.end_term, *request.goal,
-                      request.options, request.config));
-      response.generation = std::move(generation);
-      return response;
-    }
-    case TaskType::kRanked: {
-      if (request.goal == nullptr) {
-        return Status::InvalidArgument("ranked exploration requires a goal");
-      }
-      if (request.ranking == nullptr) {
-        return Status::InvalidArgument(
-            "ranked exploration requires a ranking function");
-      }
-      COURSENAV_ASSIGN_OR_RETURN(
-          RankedResult ranked,
-          ExploreTopK(request.start, request.end_term, *request.goal,
-                      *request.ranking, request.top_k, request.options,
-                      request.config));
-      response.ranked = std::move(ranked);
-      return response;
-    }
-  }
-  return Status::InvalidArgument("unknown exploration task type");
+  return plan::Execute(*catalog_, *schedule_, request);
 }
 
 Result<GenerationResult> CourseNavigator::ExploreDeadline(
     const EnrollmentStatus& start, Term end_term,
     const ExplorationOptions& options) const {
-  return GenerateDeadlineDrivenPaths(*catalog_, *schedule_, start, end_term,
-                                     options);
+  ExplorationRequest request;
+  request.start = start;
+  request.end_term = end_term;
+  request.type = TaskType::kDeadlineDriven;
+  request.options = options;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response, Explore(request));
+  CN_CHECK(response.generation.has_value());
+  return std::move(*response.generation);
 }
 
 Result<GenerationResult> CourseNavigator::ExploreGoal(
     const EnrollmentStatus& start, Term end_term, const Goal& goal,
     const ExplorationOptions& options, const GoalDrivenConfig& config) const {
-  return GenerateGoalDrivenPaths(*catalog_, *schedule_, start, end_term, goal,
-                                 options, config);
+  ExplorationRequest request;
+  request.start = start;
+  request.end_term = end_term;
+  request.type = TaskType::kGoalDriven;
+  request.goal = Borrow(goal);
+  request.options = options;
+  request.config = config;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response, Explore(request));
+  CN_CHECK(response.generation.has_value());
+  return std::move(*response.generation);
 }
 
 Result<RankedResult> CourseNavigator::ExploreTopK(
     const EnrollmentStatus& start, Term end_term, const Goal& goal,
     const RankingFunction& ranking, int k, const ExplorationOptions& options,
     const GoalDrivenConfig& config) const {
-  return GenerateRankedPaths(*catalog_, *schedule_, start, end_term, goal,
-                             ranking, k, options, config);
+  ExplorationRequest request;
+  request.start = start;
+  request.end_term = end_term;
+  request.type = TaskType::kRanked;
+  request.goal = Borrow(goal);
+  request.ranking = Borrow(ranking);
+  request.top_k = k;
+  request.options = options;
+  request.config = config;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response, Explore(request));
+  CN_CHECK(response.ranked.has_value());
+  return std::move(*response.ranked);
 }
 
 Result<CountingResult> CourseNavigator::CountDeadline(

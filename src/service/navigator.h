@@ -1,58 +1,27 @@
 #ifndef COURSENAV_SERVICE_NAVIGATOR_H_
 #define COURSENAV_SERVICE_NAVIGATOR_H_
 
-#include <memory>
-#include <optional>
-#include <vector>
-
 #include "catalog/catalog.h"
 #include "catalog/schedule.h"
 #include "catalog/term.h"
 #include "core/counting.h"
-#include "core/deadline_generator.h"
-#include "core/goal_generator.h"
 #include "core/options.h"
 #include "core/pruning.h"
 #include "core/ranked_generator.h"
 #include "core/ranking.h"
+// ExplorationRequest / ExplorationResponse / TaskType live in the plan
+// layer (plan/request.h, namespace coursenav) — the service facade is a
+// thin shell over the planner/executor pipeline.
+#include "plan/request.h"
 #include "requirements/goal.h"
 #include "util/result.h"
 
 namespace coursenav {
 
-/// The exploration task type (Section 4's three algorithm families).
-enum class TaskType { kDeadlineDriven, kGoalDriven, kRanked };
-
-/// A complete exploration request — the paper's front-end parameters
-/// (Figure 2): enrollment status, goal, constraints, and ranking.
-struct ExplorationRequest {
-  /// Current enrollment status (semester + completed courses).
-  EnrollmentStatus start;
-  /// The end semester `d`.
-  Term end_term;
-  TaskType type = TaskType::kDeadlineDriven;
-  /// Required for kGoalDriven and kRanked.
-  std::shared_ptr<const Goal> goal;
-  /// Required for kRanked.
-  std::shared_ptr<const RankingFunction> ranking;
-  /// Number of top paths for kRanked.
-  int top_k = 10;
-  /// Student constraints (max load, avoided courses, budgets).
-  ExplorationOptions options;
-  /// Pruning configuration for goal-driven and ranked tasks.
-  GoalDrivenConfig config;
-};
-
-/// The union of the three generators' outputs; exactly one member is
-/// populated, matching the request's task type.
-struct ExplorationResponse {
-  std::optional<GenerationResult> generation;  // deadline- or goal-driven
-  std::optional<RankedResult> ranked;          // ranked top-k
-};
-
 /// The CourseNavigator service facade: wires a registrar dataset (catalog +
 /// class schedule) to the Learning Path Generator and exposes the
-/// exploration entry points (Figure 2's system model).
+/// exploration entry points (Figure 2's system model). Requests are lowered
+/// and run by the plan layer (`plan::Planner` / `plan::Executor`).
 ///
 /// The catalog and schedule are borrowed and must outlive the navigator.
 class CourseNavigator {
@@ -60,8 +29,8 @@ class CourseNavigator {
   CourseNavigator(const Catalog* catalog, const OfferingSchedule* schedule)
       : catalog_(catalog), schedule_(schedule) {}
 
-  /// Dispatches on `request.type`. Fails on inconsistent requests (missing
-  /// goal/ranking, bad window, foreign course sets).
+  /// Lowers `request` into a plan and executes it. Fails on inconsistent
+  /// requests (missing goal/ranking, bad window, foreign course sets).
   Result<ExplorationResponse> Explore(const ExplorationRequest& request) const;
 
   /// Convenience wrappers over Explore().

@@ -1,9 +1,13 @@
 #include "service/session.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/combinations.h"
+#include "plan/executor.h"
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace coursenav {
@@ -169,8 +173,20 @@ Result<uint64_t> ExplorationSession::RemainingGoalPaths() {
 Result<RankedResult> ExplorationSession::TopK(const RankingFunction& ranking,
                                               int k) const {
   QueryScope scope(tracer_, queries_, "top_k");
-  return GenerateRankedPaths(*catalog_, *schedule_, current_, deadline_,
-                             *goal_, ranking, k, options_);
+  ExplorationRequest request;
+  request.start = current_;
+  request.end_term = deadline_;
+  request.type = TaskType::kRanked;
+  request.goal = goal_;
+  // Non-owning alias: the ranking is borrowed for the duration of the call.
+  request.ranking = std::shared_ptr<const RankingFunction>(
+      std::shared_ptr<const RankingFunction>(), &ranking);
+  request.top_k = k;
+  request.options = options_;
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             plan::Execute(*catalog_, *schedule_, request));
+  CN_CHECK(response.ranked.has_value());
+  return std::move(*response.ranked);
 }
 
 Result<DegradedResponse> ExplorationSession::TopKDegraded(

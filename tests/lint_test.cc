@@ -82,6 +82,35 @@ TEST(LayeringRuleTest, AllowsDeclaredDeps) {
                   .empty());
 }
 
+TEST(LayeringRuleTest, CoreMustNotIncludePlan) {
+  std::vector<std::string> hits =
+      Hits("src/core/engine.cc", "#include \"plan/request.h\"\n",
+           "coursenav-layering");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("'plan'"), std::string::npos);
+}
+
+TEST(LayeringRuleTest, PlanMayUseCoreAndExecButNotService) {
+  EXPECT_TRUE(Hits("src/plan/executor.cc",
+                   "#include \"core/engine.h\"\n"
+                   "#include \"exec/parallel_expander.h\"\n"
+                   "#include \"graph/learning_graph.h\"\n",
+                   "coursenav-layering")
+                  .empty());
+  EXPECT_EQ(Hits("src/plan/planner.cc",
+                 "#include \"service/navigator.h\"\n",
+                 "coursenav-layering")
+                .size(),
+            1u);
+}
+
+TEST(LayeringRuleTest, ServiceMayIncludePlan) {
+  EXPECT_TRUE(Hits("src/service/navigator.h",
+                   "#include \"plan/request.h\"\n",
+                   "coursenav-layering")
+                  .empty());
+}
+
 TEST(LayeringRuleTest, IgnoresFilesOutsideSrc) {
   EXPECT_TRUE(Hits("tests/some_test.cc", "#include \"service/navigator.h\"\n",
                    "coursenav-layering")
@@ -298,6 +327,54 @@ TEST(HeaderGuardRuleTest, AcceptsPragmaOnceAndConventionalGuard) {
                   .empty());
 }
 
+TEST(DirectGenerateRuleTest, FlagsDirectCallInSrcModules) {
+  std::vector<std::string> hits =
+      Hits("src/service/session.cc",
+           "auto r = GenerateRankedPaths(catalog, schedule, start, end,\n"
+           "                             goal, ranking, k, options);\n",
+           "coursenav-direct-generate");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("GenerateRankedPaths"), std::string::npos);
+  EXPECT_NE(hits[0].find("ExplorationRequest"), std::string::npos);
+  EXPECT_EQ(Hits("src/exec/parallel_expander.cc",
+                 "GenerateDeadlineDrivenPaths(catalog, schedule, s, e, o);\n",
+                 "coursenav-direct-generate")
+                .size(),
+            1u);
+}
+
+TEST(DirectGenerateRuleTest, PlanModuleAndFacadeHeadersExempt) {
+  EXPECT_TRUE(Hits("src/plan/facades.cc",
+                   "Result<RankedResult> GenerateRankedPaths(\n",
+                   "coursenav-direct-generate")
+                  .empty());
+  EXPECT_TRUE(Hits("src/core/ranked_generator.h",
+                   "Result<RankedResult> GenerateRankedPaths(\n",
+                   "coursenav-direct-generate")
+                  .empty());
+}
+
+TEST(DirectGenerateRuleTest, OutOfSrcCallersAndCommentsExempt) {
+  // tools/tests/bench call the public facades legitimately.
+  EXPECT_TRUE(Hits("tests/plan_test.cc",
+                   "auto r = GenerateGoalDrivenPaths(c, s, st, e, g, o);\n",
+                   "coursenav-direct-generate")
+                  .empty());
+  // Mentions in comments never fire (the scrubbed view is scanned).
+  EXPECT_TRUE(Hits("src/core/counting.h",
+                   "// same leaf set as GenerateDeadlineDrivenPaths\n",
+                   "coursenav-direct-generate")
+                  .empty());
+}
+
+TEST(DirectGenerateRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(Hits("src/service/session.cc",
+                   "auto r = GenerateRankedPaths(c, s, st, e, g, rk, k, o);"
+                   "  // NOLINT(coursenav-direct-generate)\n",
+                   "coursenav-direct-generate")
+                  .empty());
+}
+
 TEST(LintDriverTest, AllRulesHaveUniqueIdsAndDescriptions) {
   std::set<std::string_view> ids;
   for (const lint::Rule* rule : lint::AllRules()) {
@@ -306,7 +383,7 @@ TEST(LintDriverTest, AllRulesHaveUniqueIdsAndDescriptions) {
     EXPECT_TRUE(ids.insert(rule->id()).second)
         << "duplicate rule id " << rule->id();
   }
-  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids.size(), 7u);
 }
 
 TEST(LintDriverTest, FullScanAggregatesAndSortsFindings) {

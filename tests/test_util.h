@@ -138,6 +138,63 @@ inline std::string StatsErrors(const LearningGraph& graph,
   return "";
 }
 
+/// Field-by-field graph comparison; returns a description of the first
+/// difference, or "" when the graphs are identical (ids, bitsets, costs —
+/// everything a serializer would write). This is the workhorse of the
+/// byte-identity contracts: serial vs parallel (tests/parallel_test.cc)
+/// and legacy facade vs planner pipeline (tests/plan_test.cc).
+inline std::string GraphDifference(const LearningGraph& a,
+                                   const LearningGraph& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return "node counts differ: " + std::to_string(a.num_nodes()) + " vs " +
+           std::to_string(b.num_nodes());
+  }
+  if (a.num_edges() != b.num_edges()) {
+    return "edge counts differ: " + std::to_string(a.num_edges()) + " vs " +
+           std::to_string(b.num_edges());
+  }
+  if (a.root() != b.root()) return "roots differ";
+  for (NodeId id = 0; id < a.num_nodes(); ++id) {
+    const LearningNode& na = a.node(id);
+    const LearningNode& nb = b.node(id);
+    const std::string where = "node " + std::to_string(id) + ": ";
+    if (na.term != nb.term) return where + "terms differ";
+    if (na.completed != nb.completed) return where + "completed sets differ";
+    if (na.options != nb.options) return where + "option sets differ";
+    if (na.parent_edge != nb.parent_edge) return where + "parent edges differ";
+    if (na.out_edges != nb.out_edges) return where + "out edges differ";
+    if (na.is_goal != nb.is_goal) return where + "goal flags differ";
+    if (na.path_cost != nb.path_cost) return where + "path costs differ";
+  }
+  for (EdgeId id = 0; id < a.num_edges(); ++id) {
+    const LearningEdge& ea = a.edge(id);
+    const LearningEdge& eb = b.edge(id);
+    const std::string where = "edge " + std::to_string(id) + ": ";
+    if (ea.from != eb.from || ea.to != eb.to) {
+      return where + "endpoints differ";
+    }
+    if (ea.selection != eb.selection) return where + "selections differ";
+    if (ea.cost != eb.cost) return where + "costs differ";
+  }
+  return "";
+}
+
+/// Stats equality modulo runtime (wall time legitimately varies).
+inline std::string StatsDifference(const ExplorationStats& a,
+                                   const ExplorationStats& b) {
+  if (a.nodes_created != b.nodes_created) return "nodes_created differ";
+  if (a.edges_created != b.edges_created) return "edges_created differ";
+  if (a.nodes_expanded != b.nodes_expanded) return "nodes_expanded differ";
+  if (a.terminal_paths != b.terminal_paths) return "terminal_paths differ";
+  if (a.goal_paths != b.goal_paths) return "goal_paths differ";
+  if (a.dead_end_paths != b.dead_end_paths) return "dead_end_paths differ";
+  if (a.pruned_time != b.pruned_time) return "pruned_time differ";
+  if (a.pruned_availability != b.pruned_availability) {
+    return "pruned_availability differ";
+  }
+  return "";
+}
+
 /// Extracts the root-to-leaf path of every leaf (all learning paths of a
 /// generated graph).
 inline std::vector<LearningPath> AllLeafPaths(const LearningGraph& graph) {

@@ -4,9 +4,14 @@
 //   explore   all learning paths to a deadline (Algorithm 1)
 //   goal      goal-driven learning paths with pruning (§4.2)
 //   topk      ranked top-k learning paths (§4.3)
+//   request   run a declarative ExplorationRequest JSON file (docs/planner.md)
 //   count     DAG-memoized path counting (no materialization)
 //   options   the option set Y for one enrollment status
 //   validate  check a catalog JSON file (and optionally transcripts)
+//
+// Every exploration subcommand builds a declarative ExplorationRequest and
+// runs it through the planner/executor pipeline (src/plan/); --show-plan
+// prints the lowered operator DAG before executing.
 //
 // The catalog comes from --catalog=<file.json> (see
 // parsers/catalog_loader.h for the schema) or, with --demo, the bundled
@@ -27,7 +32,6 @@
 #include <string>
 
 #include "catalog/schedule_history.h"
-#include "core/filters.h"
 #include "data/brandeis_cs.h"
 #include "expr/parser.h"
 #include "graph/analytics.h"
@@ -37,11 +41,13 @@
 #include "obs/trace.h"
 #include "parsers/catalog_loader.h"
 #include "parsers/transcript_parser.h"
+#include "plan/planner.h"
 #include "requirements/expr_goal.h"
 #include "service/degradation.h"
 #include "service/navigator.h"
 #include "service/visualizer.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace coursenav {
@@ -53,6 +59,7 @@ commands:
   explore    all learning paths to a deadline (deadline-driven)
   goal       goal-driven learning paths with pruning
   topk       ranked top-k learning paths
+  request    run a declarative ExplorationRequest JSON file
   count      count paths without materializing the graph
   options    show the option set for one status
   audit      degree-audit a completed-course set (demo major)
@@ -75,6 +82,12 @@ common flags:
   --degrade            on budget exhaustion, walk the degradation ladder
                        (full -> aggressive pruning / smaller k -> count-only)
                        and print the DegradationReport instead of failing
+  --show-plan          print the lowered operator plan (Source -> Expand ->
+                       Prune -> Rank -> Limit -> Filter) before executing
+
+request flags:
+  --request-json=<file> declarative ExplorationRequest JSON (schema in
+                       docs/planner.md); pair with --catalog/--demo
 
 goal/topk/count flags:
   --goal=<expr>        boolean goal, e.g. "CS1 and (CS2 or CS3)"
@@ -147,26 +160,42 @@ Result<bool> WantJsonStats(const FlagSet& flags) {
                                  "' (want text or json)");
 }
 
-Result<CommonArgs> LoadCommon(const FlagSet& flags, bool need_goal) {
-  CommonArgs common;
+/// --show-plan: print the lowered operator DAG (and any planner notes,
+/// e.g. "ranked runs serial") before the request executes.
+Status MaybeShowPlan(const FlagSet& flags, const ExplorationRequest& request) {
+  if (!flags.GetBool("show-plan")) return Status::OK();
+  COURSENAV_ASSIGN_OR_RETURN(plan::ExplorationPlan lowered,
+                             plan::Planner::Lower(request));
+  std::printf("%s\n", lowered.Describe().c_str());
+  return Status::OK();
+}
+
+/// Loads the registrar dataset (--demo or --catalog=<file>) into `common`;
+/// shared by the flag-driven subcommands and `request` (which takes
+/// everything else from the JSON file).
+Status LoadDataset(const FlagSet& flags, CommonArgs& common) {
   if (flags.GetBool("demo")) {
     common.demo = std::make_unique<data::BrandeisDataset>(
         data::BuildBrandeisDataset());
     common.catalog = &common.demo->catalog;
     common.schedule = &common.demo->schedule;
-  } else {
-    COURSENAV_ASSIGN_OR_RETURN(std::string path,
-                               flags.GetString("catalog", ""));
-    if (path.empty()) {
-      return Status::InvalidArgument("need --catalog=<file> or --demo");
-    }
-    COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-    COURSENAV_ASSIGN_OR_RETURN(CatalogBundle bundle,
-                               LoadCatalogFromJson(text));
-    common.bundle = std::make_unique<CatalogBundle>(std::move(bundle));
-    common.catalog = &common.bundle->catalog;
-    common.schedule = &common.bundle->schedule;
+    return Status::OK();
   }
+  COURSENAV_ASSIGN_OR_RETURN(std::string path, flags.GetString("catalog", ""));
+  if (path.empty()) {
+    return Status::InvalidArgument("need --catalog=<file> or --demo");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  COURSENAV_ASSIGN_OR_RETURN(CatalogBundle bundle, LoadCatalogFromJson(text));
+  common.bundle = std::make_unique<CatalogBundle>(std::move(bundle));
+  common.catalog = &common.bundle->catalog;
+  common.schedule = &common.bundle->schedule;
+  return Status::OK();
+}
+
+Result<CommonArgs> LoadCommon(const FlagSet& flags, bool need_goal) {
+  CommonArgs common;
+  COURSENAV_RETURN_IF_ERROR(LoadDataset(flags, common));
 
   COURSENAV_ASSIGN_OR_RETURN(std::string start_text,
                              flags.GetString("start", ""));
@@ -285,6 +314,38 @@ Status EmitGeneration(const FlagSet& flags, const CommonArgs& common,
   return Status::OK();
 }
 
+/// Renders a ranked response. When the plan carried a Filter stage the
+/// executor records the pre-filter path count and the filter description;
+/// surface them the same way the CLI always has.
+Status EmitRanked(const FlagSet& flags, const CommonArgs& common,
+                  const ExplorationResponse& response) {
+  const RankedResult& result = *response.ranked;
+  if (response.paths_before_filters >= 0) {
+    std::printf("filters kept %zu of %zu paths (%s)\n\n", result.paths.size(),
+                static_cast<size_t>(response.paths_before_filters),
+                response.filter_description.c_str());
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::string format,
+                             flags.GetString("format", "paths"));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t limit, flags.GetInt("limit", 10));
+  COURSENAV_ASSIGN_OR_RETURN(bool json_stats, WantJsonStats(flags));
+  if (format == "json") {
+    std::printf("%s\n", LearningPathsToJson(result.paths, *common.catalog)
+                            .Dump(2)
+                            .c_str());
+  } else {
+    std::printf("%s", RenderPaths(result.paths, *common.catalog,
+                                  static_cast<int>(limit))
+                          .c_str());
+    if (json_stats) {
+      std::printf("%s\n", result.stats.ToJson().Dump(2).c_str());
+    } else {
+      std::printf("\nsearch stats: %s\n", result.stats.ToString().c_str());
+    }
+  }
+  return Status::OK();
+}
+
 Status EmitCount(const CountingResult& counted) {
   std::printf("total paths: %llu%s\n",
               static_cast<unsigned long long>(counted.total_paths),
@@ -331,46 +392,44 @@ Status EmitDegraded(const FlagSet& flags, const CommonArgs& common,
 Status RunExplore(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
                              LoadCommon(flags, /*need_goal=*/false));
+  ExplorationRequest request;
+  request.start = common.start;
+  request.end_term = common.end_term;
+  request.type = TaskType::kDeadlineDriven;
+  request.options = common.options;
+  COURSENAV_RETURN_IF_ERROR(MaybeShowPlan(flags, request));
   CourseNavigator navigator(common.catalog, common.schedule);
   if (flags.GetBool("degrade")) {
-    ExplorationRequest request;
-    request.start = common.start;
-    request.end_term = common.end_term;
-    request.type = TaskType::kDeadlineDriven;
-    request.options = common.options;
     COURSENAV_ASSIGN_OR_RETURN(
         DegradedResponse degraded,
         ExploreWithDegradation(navigator, request));
     return EmitDegraded(flags, common, degraded);
   }
-  COURSENAV_ASSIGN_OR_RETURN(
-      GenerationResult result,
-      navigator.ExploreDeadline(common.start, common.end_term,
-                                common.options));
-  return EmitGeneration(flags, common, result);
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             navigator.Explore(request));
+  return EmitGeneration(flags, common, *response.generation);
 }
 
 Status RunGoal(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(CommonArgs common,
                              LoadCommon(flags, /*need_goal=*/true));
+  ExplorationRequest request;
+  request.start = common.start;
+  request.end_term = common.end_term;
+  request.type = TaskType::kGoalDriven;
+  request.goal = common.goal;
+  request.options = common.options;
+  COURSENAV_RETURN_IF_ERROR(MaybeShowPlan(flags, request));
   CourseNavigator navigator(common.catalog, common.schedule);
   if (flags.GetBool("degrade")) {
-    ExplorationRequest request;
-    request.start = common.start;
-    request.end_term = common.end_term;
-    request.type = TaskType::kGoalDriven;
-    request.goal = common.goal;
-    request.options = common.options;
     COURSENAV_ASSIGN_OR_RETURN(
         DegradedResponse degraded,
         ExploreWithDegradation(navigator, request));
     return EmitDegraded(flags, common, degraded);
   }
-  COURSENAV_ASSIGN_OR_RETURN(
-      GenerationResult result,
-      navigator.ExploreGoal(common.start, common.end_term, *common.goal,
-                            common.options));
-  return EmitGeneration(flags, common, result);
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             navigator.Explore(request));
+  return EmitGeneration(flags, common, *response.generation);
 }
 
 Status RunTopK(const FlagSet& flags) {
@@ -405,69 +464,69 @@ Status RunTopK(const FlagSet& flags) {
                                    "'");
   }
 
+  ExplorationRequest request;
+  request.start = common.start;
+  request.end_term = common.end_term;
+  request.type = TaskType::kRanked;
+  request.goal = common.goal;
+  request.ranking = std::shared_ptr<const RankingFunction>(
+      std::shared_ptr<const RankingFunction>(), ranking.get());
+  request.top_k = static_cast<int>(k);
+  request.options = common.options;
+  // Declarative post-generation filters (§6 future work, implemented):
+  // the plan's Filter stage runs them after Limit and records the
+  // pre-filter count for the "filters kept" line.
+  COURSENAV_ASSIGN_OR_RETURN(request.filters.max_term_hours,
+                             flags.GetDouble("max-term-hours", 0.0));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t max_skips,
+                             flags.GetInt("max-skips", -1));
+  request.filters.max_skips = static_cast<int>(max_skips);
+  COURSENAV_RETURN_IF_ERROR(MaybeShowPlan(flags, request));
+
   CourseNavigator navigator(common.catalog, common.schedule);
   if (flags.GetBool("degrade")) {
-    ExplorationRequest request;
-    request.start = common.start;
-    request.end_term = common.end_term;
-    request.type = TaskType::kRanked;
-    request.goal = common.goal;
-    request.ranking = std::shared_ptr<const RankingFunction>(
-        std::shared_ptr<const RankingFunction>(), ranking.get());
-    request.top_k = static_cast<int>(k);
-    request.options = common.options;
     COURSENAV_ASSIGN_OR_RETURN(
         DegradedResponse degraded,
         ExploreWithDegradation(navigator, request));
     return EmitDegraded(flags, common, degraded);
   }
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             navigator.Explore(request));
+  return EmitRanked(flags, common, response);
+}
+
+/// `coursenav request`: the whole exploration is a JSON document. The
+/// request file carries start/end/type/goal/ranking/budgets/filters (and
+/// optionally its own degradation policy); only the dataset and output
+/// flags come from the command line.
+Status RunRequest(const FlagSet& flags) {
+  CommonArgs common;
+  COURSENAV_RETURN_IF_ERROR(LoadDataset(flags, common));
+  COURSENAV_ASSIGN_OR_RETURN(std::string path,
+                             flags.GetString("request-json", ""));
+  if (path.empty()) {
+    return Status::InvalidArgument("need --request-json=<file>");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(text));
   COURSENAV_ASSIGN_OR_RETURN(
-      RankedResult result,
-      navigator.ExploreTopK(common.start, common.end_term, *common.goal,
-                            *ranking, static_cast<int>(k), common.options));
+      ExplorationRequest request,
+      ExplorationRequestFromJson(json, *common.catalog));
+  COURSENAV_RETURN_IF_ERROR(MaybeShowPlan(flags, request));
 
-  // Optional post-generation filters (§6 future work, implemented).
-  std::vector<std::shared_ptr<const PathFilter>> filters;
-  COURSENAV_ASSIGN_OR_RETURN(double max_hours,
-                             flags.GetDouble("max-term-hours", 0.0));
-  if (max_hours > 0) {
-    filters.push_back(std::make_shared<MaxTermWorkloadFilter>(
-        common.catalog, max_hours));
+  CourseNavigator navigator(common.catalog, common.schedule);
+  if (flags.GetBool("degrade") || request.degradation.has_value()) {
+    COURSENAV_ASSIGN_OR_RETURN(
+        DegradedResponse degraded,
+        ExploreWithDegradation(navigator, request));
+    return EmitDegraded(flags, common, degraded);
   }
-  COURSENAV_ASSIGN_OR_RETURN(int64_t max_skips,
-                             flags.GetInt("max-skips", -1));
-  if (max_skips >= 0) {
-    filters.push_back(
-        std::make_shared<MaxSkipsFilter>(static_cast<int>(max_skips)));
+  COURSENAV_ASSIGN_OR_RETURN(ExplorationResponse response,
+                             navigator.Explore(request));
+  if (response.ranked.has_value()) {
+    return EmitRanked(flags, common, response);
   }
-  std::vector<LearningPath> paths = std::move(result.paths);
-  if (!filters.empty()) {
-    AllOfFilter filter(std::move(filters));
-    size_t before = paths.size();
-    paths = FilterPaths(std::move(paths), filter);
-    std::printf("filters kept %zu of %zu paths (%s)\n\n", paths.size(),
-                before, filter.Describe().c_str());
-  }
-
-  COURSENAV_ASSIGN_OR_RETURN(std::string format,
-                             flags.GetString("format", "paths"));
-  COURSENAV_ASSIGN_OR_RETURN(int64_t limit, flags.GetInt("limit", 10));
-  COURSENAV_ASSIGN_OR_RETURN(bool json_stats, WantJsonStats(flags));
-  if (format == "json") {
-    std::printf("%s\n", LearningPathsToJson(paths, *common.catalog)
-                            .Dump(2)
-                            .c_str());
-  } else {
-    std::printf("%s", RenderPaths(paths, *common.catalog,
-                                  static_cast<int>(limit))
-                          .c_str());
-    if (json_stats) {
-      std::printf("%s\n", result.stats.ToJson().Dump(2).c_str());
-    } else {
-      std::printf("\nsearch stats: %s\n", result.stats.ToString().c_str());
-    }
-  }
-  return Status::OK();
+  return EmitGeneration(flags, common, *response.generation);
 }
 
 Status RunCount(const FlagSet& flags) {
@@ -590,6 +649,8 @@ int Main(int argc, char** argv) {
     status = RunGoal(flags);
   } else if (command == "topk") {
     status = RunTopK(flags);
+  } else if (command == "request") {
+    status = RunRequest(flags);
   } else if (command == "count") {
     status = RunCount(flags);
   } else if (command == "options") {

@@ -61,8 +61,9 @@ std::string NormalizeSlashes(std::string_view path) {
 /// known module name; "" otherwise.
 std::string ModuleOf(const std::string& path) {
   static const std::set<std::string> kModules = {
-      "util", "expr", "catalog", "graph", "flow",         "obs",
-      "data", "core", "exec",    "parsers", "requirements", "service"};
+      "util", "expr", "catalog", "graph",   "flow",         "obs",
+      "data", "core", "exec",    "parsers", "requirements", "plan",
+      "service"};
   std::string needle = "src/";
   size_t pos = path.rfind(needle);
   if (pos != std::string::npos && (pos == 0 || path[pos - 1] == '/')) {
@@ -242,7 +243,14 @@ namespace {
 /// outside src/ (tools, tests, bench, examples) may include anything.
 ///
 ///   util → {expr, obs, flow} → catalog → graph → parsers
-///                            ↘ requirements → core → {exec, data} → service
+///                            ↘ requirements → core → {exec, data}
+///                                                  → plan → service
+///
+/// `plan` (the query planner/executor) sits between the engines and the
+/// service facade: it may use core and exec, and only service (plus the
+/// out-of-src tools/tests/bench) may use it. core must never include plan —
+/// the Generate*Paths facades are declared in core but defined in
+/// src/plan/facades.cc (dependency inversion).
 ///
 /// Kept in sync with docs/static-analysis.md; changing an edge here is an
 /// architectural decision, not a lint tweak.
@@ -264,9 +272,12 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"data",
        {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
         "requirements", "core"}},
+      {"plan",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "requirements",
+        "core", "exec"}},
       {"service",
        {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
-        "requirements", "core", "exec", "data"}},
+        "requirements", "core", "exec", "data", "plan"}},
   };
   return deps;
 }
@@ -697,6 +708,67 @@ class HeaderGuardRule : public Rule {
 };
 
 // ---------------------------------------------------------------------------
+// coursenav-direct-generate
+// ---------------------------------------------------------------------------
+
+/// In-tree src/ code must reach the generators through the declarative
+/// request pipeline (`CourseNavigator::Explore` / `plan::Execute`), not by
+/// calling the Generate*Paths facades directly: a direct call skips the
+/// planner (and with it plan rewrites, the Filter stage, and the plan's
+/// serial/parallel decision). Exempt: the plan module itself (facades.cc
+/// *implements* the symbols; the executor *is* the pipeline) and the three
+/// core headers that declare the public API. Code outside src/ — tools,
+/// tests, bench — may call the facades freely; they are the supported
+/// entry points, and the golden-equivalence suite exists to compare them
+/// against the pipeline.
+class DirectGenerateRule : public Rule {
+ public:
+  std::string_view id() const override {
+    return "coursenav-direct-generate";
+  }
+  std::string_view description() const override {
+    return "src/ code must use the request pipeline, not call "
+           "Generate*Paths directly (plan module and facade headers exempt)";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    if (file.module.empty() || file.module == "plan") return;
+    static const char* kFacadeHeaders[] = {
+        "src/core/deadline_generator.h",
+        "src/core/goal_generator.h",
+        "src/core/ranked_generator.h",
+    };
+    for (const char* header : kFacadeHeaders) {
+      if (PathEndsWith(file.path, header)) return;
+    }
+    static const char* kFacades[] = {
+        "GenerateDeadlineDrivenPaths",
+        "GenerateGoalDrivenPaths",
+        "GenerateRankedPaths",
+    };
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      for (const char* facade : kFacades) {
+        if (FindWholeWord(file.code[i], facade) == std::string::npos) {
+          continue;
+        }
+        findings->push_back(
+            {file.path, static_cast<int>(i) + 1, std::string(id()),
+             std::string("direct use of ") + facade +
+                 " bypasses the planner pipeline; build an "
+                 "ExplorationRequest and run it through "
+                 "CourseNavigator::Explore or plan::Execute"});
+      }
+    }
+  }
+
+ private:
+  static bool PathEndsWith(const std::string& path, std::string_view tail) {
+    return path.size() >= tail.size() &&
+           path.compare(path.size() - tail.size(), tail.size(), tail) == 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -755,9 +827,10 @@ const std::vector<const Rule*>& AllRules() {
   static const UnorderedIterationRule unordered_iter;
   static const EndlRule endl_rule;
   static const HeaderGuardRule header_guard;
+  static const DirectGenerateRule direct_generate;
   static const std::vector<const Rule*> rules{
-      &layering, &banned_symbol, &raw_new,
-      &unordered_iter, &endl_rule, &header_guard,
+      &layering,  &banned_symbol, &raw_new,        &unordered_iter,
+      &endl_rule, &header_guard,  &direct_generate,
   };
   return rules;
 }
