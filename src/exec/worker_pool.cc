@@ -1,5 +1,7 @@
 #include "exec/worker_pool.h"
 
+#include "util/check.h"
+
 namespace coursenav::exec {
 
 WorkerPool::WorkerPool(int num_threads) {
@@ -21,6 +23,11 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::Run(const std::function<void(int)>& body) {
   std::unique_lock<std::mutex> lock(mu_);
+  // Not reentrant: a second Run while a round is live (from a worker body
+  // or another orchestrator thread) would corrupt the round accounting.
+  // The serving layer's dispatcher depends on this being loud, not racy.
+  CN_CHECK(body_ == nullptr && remaining_ == 0)
+      << "WorkerPool::Run is not reentrant (a round is already running)";
   body_ = &body;
   remaining_ = size();
   ++round_;

@@ -225,6 +225,43 @@ inline constexpr std::string_view kMetricSessionCacheHits =
 inline constexpr std::string_view kMetricSessionCacheMisses =
     "session_goal_path_cache_misses_total";
 
+// Serving layer (src/serve/): admission control, shedding, and client
+// retries. Per-tenant series append a sanitized tenant name to the
+// kMetricServeTenant* prefixes (the exporters are label-free).
+inline constexpr std::string_view kMetricServeSubmitted =
+    "serve_requests_submitted_total";
+inline constexpr std::string_view kMetricServeAdmitted =
+    "serve_requests_admitted_total";
+inline constexpr std::string_view kMetricServeCompleted =
+    "serve_requests_completed_total";
+inline constexpr std::string_view kMetricServeShed =
+    "serve_requests_shed_total";
+inline constexpr std::string_view kMetricServeRejected =
+    "serve_requests_rejected_total";
+inline constexpr std::string_view kMetricServeDegraded =
+    "serve_responses_degraded_total";
+inline constexpr std::string_view kMetricServeTimeout =
+    "serve_responses_timeout_total";
+inline constexpr std::string_view kMetricServeCancelled =
+    "serve_responses_cancelled_total";
+inline constexpr std::string_view kMetricServeSlowClient =
+    "serve_slow_client_total";
+inline constexpr std::string_view kMetricServeFaultsInjected =
+    "serve_faults_injected_total";
+inline constexpr std::string_view kMetricServeClientRetries =
+    "serve_client_retries_total";
+inline constexpr std::string_view kMetricServeQueueDepth =
+    "serve_queue_depth";
+inline constexpr std::string_view kMetricServeInflight = "serve_inflight";
+inline constexpr std::string_view kMetricServeQueueWaitMicros =
+    "serve_queue_wait_us";
+inline constexpr std::string_view kMetricServeServiceMicros =
+    "serve_service_us";
+inline constexpr std::string_view kMetricServeTenantRequestsPrefix =
+    "serve_tenant_requests_total_";
+inline constexpr std::string_view kMetricServeTenantInflightPrefix =
+    "serve_tenant_inflight_";
+
 /// The per-run instrumentation bundle every generator increments: one
 /// plain int64 tally per legacy `ExplorationStats` counter (plus budget
 /// checks). A generation run is single-threaded, so a hot-path increment

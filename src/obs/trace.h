@@ -261,6 +261,7 @@ inline constexpr std::string_view kSpanFlowCheck = "flow/credited_slots";
 inline constexpr std::string_view kSpanDegradeLadder = "degrade/ladder";
 inline constexpr std::string_view kSpanDegradeRung = "degrade/rung";
 inline constexpr std::string_view kSpanSessionQuery = "session/query";
+inline constexpr std::string_view kSpanServeRequest = "serve/request";
 
 }  // namespace coursenav::obs
 

@@ -1,5 +1,6 @@
 #include "plan/request.h"
 
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <utility>
@@ -384,6 +385,80 @@ Result<ExplorationRequest> ExplorationRequestFromJson(const JsonValue& json,
   }
 
   return request;
+}
+
+namespace {
+
+/// Checks that every key of `value` (when it is an object) is one of
+/// `known`. `where` names the object in messages ("options.limits").
+Status CheckObjectKeys(const JsonValue& value, std::string_view where,
+                       std::initializer_list<std::string_view> known) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("'" + std::string(where) +
+                                   "' must be an object");
+  }
+  for (const auto& [key, unused] : value.object()) {
+    bool found = false;
+    for (std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown field '" + key + "' in " +
+                                     std::string(where));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRequestJsonSchema(const JsonValue& json) {
+  COURSENAV_RETURN_IF_ERROR(CheckObjectKeys(
+      json, "request",
+      {"start", "end_term", "type", "goal", "ranking", "top_k", "options",
+       "config", "filters", "degradation"}));
+  if (json.Has("start")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue start, json.Get("start"));
+    COURSENAV_RETURN_IF_ERROR(
+        CheckObjectKeys(start, "start", {"term", "completed"}));
+  }
+  if (json.Has("options")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue options, json.Get("options"));
+    COURSENAV_RETURN_IF_ERROR(CheckObjectKeys(
+        options, "options",
+        {"max_courses_per_term", "avoid", "allow_voluntary_skip",
+         "num_threads", "limits"}));
+    if (options.Has("limits")) {
+      COURSENAV_ASSIGN_OR_RETURN(JsonValue limits, options.Get("limits"));
+      COURSENAV_RETURN_IF_ERROR(CheckObjectKeys(
+          limits, "options.limits",
+          {"max_nodes", "max_memory_bytes", "max_seconds"}));
+    }
+  }
+  if (json.Has("config")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue config, json.Get("config"));
+    COURSENAV_RETURN_IF_ERROR(CheckObjectKeys(
+        config, "config",
+        {"enable_time_pruning", "enable_availability_pruning",
+         "enforce_min_selection", "cache_availability_checks"}));
+  }
+  if (json.Has("filters")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue filters, json.Get("filters"));
+    COURSENAV_RETURN_IF_ERROR(CheckObjectKeys(
+        filters, "filters", {"max_term_hours", "max_skips"}));
+  }
+  if (json.Has("degradation")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue degradation,
+                               json.Get("degradation"));
+    COURSENAV_RETURN_IF_ERROR(CheckObjectKeys(
+        degradation, "degradation",
+        {"ladder", "time_fraction", "degraded_top_k", "degraded_max_nodes",
+         "count_max_nodes"}));
+  }
+  return Status::OK();
 }
 
 }  // namespace coursenav

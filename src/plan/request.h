@@ -172,6 +172,14 @@ Result<JsonValue> ExplorationRequestToJson(const ExplorationRequest& request,
 Result<ExplorationRequest> ExplorationRequestFromJson(
     const JsonValue& json, const Catalog& catalog);
 
+/// Strict structural check of a request document: every key at every level
+/// must be one the round-trip schema knows. ExplorationRequestFromJson
+/// itself is lax (it ignores unknown keys, so hand-written request files
+/// keep working); the serving layer calls this first so a typo'd field
+/// ("deadine_ms", "max_node") is a crisp rejection instead of a silently
+/// ignored constraint.
+Status ValidateRequestJsonSchema(const JsonValue& json);
+
 }  // namespace coursenav
 
 #endif  // COURSENAV_PLAN_REQUEST_H_

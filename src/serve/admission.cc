@@ -1,0 +1,171 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace coursenav::serve {
+
+std::string_view AdmitVerdictName(AdmitVerdict verdict) {
+  switch (verdict) {
+    case AdmitVerdict::kAdmitted:
+      return "admitted";
+    case AdmitVerdict::kQueueFull:
+      return "queue-full";
+    case AdmitVerdict::kTenantQueueFull:
+      return "tenant-queue-full";
+    case AdmitVerdict::kTenantInflightFull:
+      return "tenant-inflight-full";
+    case AdmitVerdict::kTenantTableFull:
+      return "tenant-table-full";
+    case AdmitVerdict::kNotServing:
+      return "not-serving";
+  }
+  return "not-serving";
+}
+
+void CompleteTicket(const std::shared_ptr<Ticket>& ticket,
+                    ResponseEnvelope response) {
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu);
+    if (ticket->done) return;
+    ticket->response = std::move(response);
+    ticket->done = true;
+  }
+  ticket->cv.notify_all();
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config)
+    : config_(config) {}
+
+AdmissionQueue::AdmitResult AdmissionQueue::Admit(
+    const std::shared_ptr<Ticket>& ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return {AdmitVerdict::kNotServing, RetryAfterMsLocked()};
+  }
+  auto tenant_it = tenants_.find(ticket->tenant);
+  if (tenant_it == tenants_.end()) {
+    if (static_cast<int>(tenants_.size()) >= config_.max_tenants) {
+      return {AdmitVerdict::kTenantTableFull, RetryAfterMsLocked()};
+    }
+    tenant_it = tenants_.emplace(ticket->tenant, TenantCounters{}).first;
+  }
+  TenantCounters& tenant = tenant_it->second;
+  AdmitVerdict verdict = AdmitVerdict::kAdmitted;
+  if (static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
+    verdict = AdmitVerdict::kQueueFull;
+  } else if (tenant.queued >= config_.max_queued_per_tenant) {
+    verdict = AdmitVerdict::kTenantQueueFull;
+  } else if (tenant.inflight >= config_.max_inflight_per_tenant) {
+    verdict = AdmitVerdict::kTenantInflightFull;
+  }
+  if (verdict != AdmitVerdict::kAdmitted) {
+    ++tenant.shed_total;
+    return {verdict, RetryAfterMsLocked()};
+  }
+  ticket->id = next_id_++;
+  ticket->absolute_deadline =
+      epoch_.ElapsedSeconds() + ticket->deadline_seconds;
+  ticket->queued_at.Reset();
+  ++tenant.queued;
+  ++tenant.admitted_total;
+  queue_.emplace(std::make_pair(ticket->absolute_deadline, ticket->id),
+                 ticket);
+  work_.notify_one();
+  return {AdmitVerdict::kAdmitted, 0.0};
+}
+
+std::shared_ptr<Ticket> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return nullptr;
+  auto first = queue_.begin();
+  std::shared_ptr<Ticket> ticket = std::move(first->second);
+  queue_.erase(first);
+  inflight_.emplace(ticket->id, ticket);
+  auto tenant_it = tenants_.find(ticket->tenant);
+  if (tenant_it != tenants_.end()) {
+    --tenant_it->second.queued;
+    ++tenant_it->second.inflight;
+  }
+  return ticket;
+}
+
+void AdmissionQueue::Complete(const std::shared_ptr<Ticket>& ticket,
+                              double service_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(ticket->id);
+  auto tenant_it = tenants_.find(ticket->tenant);
+  if (tenant_it != tenants_.end()) {
+    --tenant_it->second.inflight;
+    ++tenant_it->second.completed_total;
+  }
+  ++completed_;
+  // EWMA with 1/8 gain: stable under bursts, adapts within ~10 requests.
+  ewma_service_seconds_ += (service_seconds - ewma_service_seconds_) / 8.0;
+}
+
+void AdmissionQueue::CloseForAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  work_.notify_all();
+}
+
+std::vector<std::shared_ptr<Ticket>> AdmissionQueue::Evict() {
+  std::vector<std::shared_ptr<Ticket>> evicted;
+  std::lock_guard<std::mutex> lock(mu_);
+  evicted.reserve(queue_.size());
+  for (auto& [key, ticket] : queue_) {
+    auto tenant_it = tenants_.find(ticket->tenant);
+    if (tenant_it != tenants_.end()) --tenant_it->second.queued;
+    evicted.push_back(std::move(ticket));
+  }
+  queue_.clear();
+  work_.notify_all();
+  return evicted;
+}
+
+std::vector<std::shared_ptr<Ticket>> AdmissionQueue::InflightSnapshot()
+    const {
+  std::vector<std::shared_ptr<Ticket>> inflight;
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight.reserve(inflight_.size());
+  for (const auto& [id, ticket] : inflight_) inflight.push_back(ticket);
+  return inflight;
+}
+
+int AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+int AdmissionQueue::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(inflight_.size());
+}
+
+bool AdmissionQueue::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !closed_;
+}
+
+double AdmissionQueue::RetryAfterMsHint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RetryAfterMsLocked();
+}
+
+double AdmissionQueue::RetryAfterMsLocked() const {
+  // The backlog ahead of a retry is everything queued plus what is
+  // executing; scale by the observed service time and clamp to a range
+  // that keeps clients neither hammering nor giving up.
+  double backlog = static_cast<double>(queue_.size() + inflight_.size()) + 1.0;
+  double hint_ms = backlog * ewma_service_seconds_ * 1e3;
+  return std::clamp(hint_ms, 10.0, 5000.0);
+}
+
+std::map<std::string, TenantCounters> AdmissionQueue::TenantSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {tenants_.begin(), tenants_.end()};
+}
+
+}  // namespace coursenav::serve

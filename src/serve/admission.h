@@ -1,0 +1,170 @@
+#ifndef COURSENAV_SERVE_ADMISSION_H_
+#define COURSENAV_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "plan/request.h"
+#include "serve/protocol.h"
+#include "util/cancellation.h"
+#include "util/stopwatch.h"
+
+namespace coursenav::serve {
+
+/// Bounds on the admission queue and the per-tenant quotas. Every bound
+/// sheds with a structured Overloaded/Rejected response when exceeded —
+/// the queue never grows past `max_queue_depth` and the tenant table never
+/// past `max_tenants`, so server memory stays bounded under any load.
+struct AdmissionConfig {
+  /// Total queued requests across all tenants.
+  int max_queue_depth = 64;
+  /// Queued requests per tenant (fairness: one tenant cannot fill the
+  /// whole queue).
+  int max_queued_per_tenant = 16;
+  /// Concurrently executing requests per tenant.
+  int max_inflight_per_tenant = 8;
+  /// Distinct tenants the server will track; later tenants are rejected.
+  int max_tenants = 64;
+  /// Deadline granted to requests that name none, in seconds.
+  double default_deadline_seconds = 2.0;
+  /// Hard ceiling on any request's deadline, in seconds.
+  double max_deadline_seconds = 10.0;
+};
+
+/// Why a request was not admitted.
+enum class AdmitVerdict {
+  kAdmitted,
+  kQueueFull,
+  kTenantQueueFull,
+  kTenantInflightFull,
+  kTenantTableFull,
+  kNotServing,
+};
+
+std::string_view AdmitVerdictName(AdmitVerdict verdict);
+
+/// Per-tenant accounting, snapshotted for Stats()/metrics export.
+struct TenantCounters {
+  int64_t queued = 0;
+  int64_t inflight = 0;
+  int64_t admitted_total = 0;
+  int64_t shed_total = 0;
+  int64_t completed_total = 0;
+};
+
+/// One admitted request riding through the queue to a worker. The ticket is
+/// also the completion channel: the transport thread that admitted it
+/// blocks on `cv` until a worker (or shutdown) publishes `response`.
+struct Ticket {
+  uint64_t id = 0;
+  std::string tenant;
+  std::string request_id;
+  ExplorationRequest request;
+  bool degrade = false;
+  bool full_payload = false;
+  /// Fault-seam flags (see kFaultSiteServeOverload): the worker honors
+  /// these instead of executing / delivering normally.
+  bool forced_deadline_exceeded = false;
+  bool forced_slow_client = false;
+  /// Total budget (queue wait + execution), seconds.
+  double deadline_seconds = 0.0;
+  /// Deadline instant on the queue's epoch clock; the EDF ordering key.
+  double absolute_deadline = 0.0;
+  Stopwatch queued_at;
+  CancellationToken cancel = CancellationToken::Cancellable();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ResponseEnvelope response;
+};
+
+/// Publishes `response` into the ticket and wakes its waiter. Idempotent:
+/// the first completion wins (shutdown and a finishing worker may race).
+void CompleteTicket(const std::shared_ptr<Ticket>& ticket,
+                    ResponseEnvelope response);
+
+/// A bounded, deadline-aware admission queue.
+///
+/// Ordering is earliest-deadline-first with FIFO arrival tiebreak, so a
+/// near-deadline interactive request overtakes queued batch work instead of
+/// timing out behind it. All bounds from AdmissionConfig are enforced at
+/// Admit() time; Pop() blocks workers until work arrives or the queue
+/// closes. Thread-safe throughout.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  struct AdmitResult {
+    AdmitVerdict verdict = AdmitVerdict::kAdmitted;
+    /// Back-off hint for shed requests, from queue pressure and the
+    /// service-time EWMA.
+    double retry_after_ms = 0.0;
+  };
+
+  /// Admits `ticket` or sheds it with a verdict + retry hint. On admission
+  /// the ticket's `absolute_deadline` is stamped against the queue epoch.
+  AdmitResult Admit(const std::shared_ptr<Ticket>& ticket);
+
+  /// Blocks until a ticket is available (EDF order) or the queue will
+  /// never yield one again (closed for admission and empty, or closed
+  /// hard); nullptr means the worker should exit. Marks the ticket
+  /// in-flight.
+  std::shared_ptr<Ticket> Pop();
+
+  /// Completion bookkeeping: drops in-flight state and feeds the
+  /// service-time EWMA behind retry hints.
+  void Complete(const std::shared_ptr<Ticket>& ticket,
+                double service_seconds);
+
+  /// Stops admission (Admit sheds with kNotServing); Pop keeps draining
+  /// what is already queued.
+  void CloseForAdmission();
+
+  /// Removes and returns every queued ticket (the shutdown path completes
+  /// them with Cancelled); wakes blocked workers.
+  std::vector<std::shared_ptr<Ticket>> Evict();
+
+  /// Tickets currently executing, for shutdown cancellation.
+  std::vector<std::shared_ptr<Ticket>> InflightSnapshot() const;
+
+  int depth() const;
+  int inflight() const;
+  bool accepting() const;
+
+  /// Current shed back-off hint (also computed inside Admit).
+  double RetryAfterMsHint() const;
+
+  std::map<std::string, TenantCounters> TenantSnapshot() const;
+
+ private:
+  double RetryAfterMsLocked() const;
+
+  const AdmissionConfig config_;
+  Stopwatch epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_;
+  bool closed_ = false;
+  /// EDF order: (absolute deadline, admission id) -> ticket.
+  std::map<std::pair<double, uint64_t>, std::shared_ptr<Ticket>> queue_;
+  std::map<uint64_t, std::shared_ptr<Ticket>> inflight_;
+  std::map<std::string, TenantCounters, std::less<>> tenants_;
+  uint64_t next_id_ = 0;
+  /// EWMA of per-request service seconds, seeded pessimistically so the
+  /// first hints are conservative.
+  double ewma_service_seconds_ = 0.05;
+  int64_t completed_ = 0;
+};
+
+}  // namespace coursenav::serve
+
+#endif  // COURSENAV_SERVE_ADMISSION_H_

@@ -1,0 +1,94 @@
+#ifndef COURSENAV_SERVE_CLIENT_H_
+#define COURSENAV_SERVE_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+#include "util/result.h"
+
+namespace coursenav::serve {
+
+/// Client-side back-off tuning for overload retries.
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retry.
+  int max_attempts = 5;
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  double multiplier = 2.0;
+  /// Seed for the deterministic jitter stream (equal-jitter: each sleep is
+  /// half deterministic, half uniform-random), so load-generator runs
+  /// replay exactly.
+  uint64_t jitter_seed = 1;
+};
+
+/// One CallWithRetry conversation, successful or not.
+struct RetryResult {
+  /// The last response received (the successful one, or the final
+  /// overloaded/failed answer when attempts ran out).
+  ResponseEnvelope response;
+  int attempts = 0;
+  /// Total milliseconds slept between attempts.
+  double backoff_ms_total = 0.0;
+};
+
+/// Sends one framed payload and returns the peer's framed response.
+using TransportFn =
+    std::function<Result<ResponseEnvelope>(std::string_view payload)>;
+
+/// Sleeps for the given milliseconds; injectable so tests and chaos sweeps
+/// can collect the delays instead of actually sleeping.
+using SleepFn = std::function<void(double ms)>;
+
+/// Drives `transport` with jittered exponential back-off: retries while the
+/// server answers kOverloaded (honoring its retry_after_ms hint as the
+/// back-off floor) or the transport itself fails transiently. Rejections
+/// are never retried — the same bytes can never succeed. Returns the last
+/// response; transport-level failure on the final attempt surfaces as its
+/// Status.
+Result<RetryResult> CallWithRetry(const TransportFn& transport,
+                                  std::string_view payload,
+                                  const RetryPolicy& policy = {},
+                                  const SleepFn& sleep = {});
+
+/// A blocking length-prefixed TCP client for the exploration server.
+///
+/// Minimal by design: one connection, one in-flight request. The load
+/// generator opens one client per simulated session.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connects to host:port with the given I/O timeout.
+  static Result<ServeClient> Connect(std::string_view host, int port,
+                                     double timeout_seconds = 5.0);
+
+  /// One request/response round trip (raw payload in, raw payload out).
+  Result<std::string> Call(std::string_view payload);
+
+  /// Call() plus envelope parsing.
+  Result<ResponseEnvelope> CallEnvelope(std::string_view payload);
+
+  /// A TransportFn bound to this connection, for CallWithRetry.
+  TransportFn Transport();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace coursenav::serve
+
+#endif  // COURSENAV_SERVE_CLIENT_H_

@@ -1,0 +1,253 @@
+#include "serve/protocol.h"
+
+#include <initializer_list>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace coursenav::serve {
+
+namespace {
+
+/// Tenant names become metric-name suffixes and log fields, so the charset
+/// is deliberately tight.
+bool IsValidTenantName(std::string_view tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (char c : tenant) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status CheckKnownKeys(const JsonValue& object,
+                      std::initializer_list<std::string_view> known,
+                      std::string_view what) {
+  for (const auto& [key, value] : object.object()) {
+    bool found = false;
+    for (std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(StrFormat(
+          "unknown %s field '%s'", std::string(what).c_str(), key.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+JsonValue StatusToJson(const Status& status) {
+  JsonValue::Object object;
+  object["code"] = JsonValue(std::string(StatusCodeToString(status.code())));
+  object["message"] = JsonValue(status.message());
+  return JsonValue(std::move(object));
+}
+
+Status StatusFromJson(const JsonValue& json, Status* out) {
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue code_value, json.Get("code"));
+  COURSENAV_ASSIGN_OR_RETURN(std::string code_name, code_value.GetString());
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue message_value, json.Get("message"));
+  COURSENAV_ASSIGN_OR_RETURN(std::string message, message_value.GetString());
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+    StatusCode code = static_cast<StatusCode>(c);
+    if (StatusCodeToString(code) == code_name) {
+      *out = Status(code, std::move(message));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown status code '" + code_name + "'");
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+Result<size_t> DecodeFrameHeader(const unsigned char header[kFrameHeaderBytes],
+                                 size_t max_frame_bytes) {
+  uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                    (static_cast<uint32_t>(header[1]) << 16) |
+                    (static_cast<uint32_t>(header[2]) << 8) |
+                    static_cast<uint32_t>(header[3]);
+  if (static_cast<size_t>(length) > max_frame_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame of %u bytes exceeds the %zu-byte limit", length,
+                  max_frame_bytes));
+  }
+  return static_cast<size_t>(length);
+}
+
+std::string_view ResponseOutcomeName(ResponseOutcome outcome) {
+  switch (outcome) {
+    case ResponseOutcome::kOk:
+      return "ok";
+    case ResponseOutcome::kDegraded:
+      return "degraded";
+    case ResponseOutcome::kTimeout:
+      return "timeout";
+    case ResponseOutcome::kOverloaded:
+      return "overloaded";
+    case ResponseOutcome::kRejected:
+      return "rejected";
+    case ResponseOutcome::kCancelled:
+      return "cancelled";
+    case ResponseOutcome::kSlowClient:
+      return "slow-client";
+    case ResponseOutcome::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+Result<ResponseOutcome> ParseResponseOutcome(std::string_view name) {
+  for (ResponseOutcome outcome :
+       {ResponseOutcome::kOk, ResponseOutcome::kDegraded,
+        ResponseOutcome::kTimeout, ResponseOutcome::kOverloaded,
+        ResponseOutcome::kRejected, ResponseOutcome::kCancelled,
+        ResponseOutcome::kSlowClient, ResponseOutcome::kFailed}) {
+    if (ResponseOutcomeName(outcome) == name) return outcome;
+  }
+  return Status::InvalidArgument("unknown response outcome '" +
+                                 std::string(name) + "'");
+}
+
+Result<RequestEnvelope> ParseRequestEnvelope(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request envelope must be a JSON object");
+  }
+  COURSENAV_RETURN_IF_ERROR(CheckKnownKeys(
+      json,
+      {"tenant", "request_id", "deadline_ms", "degrade", "payload", "request"},
+      "envelope"));
+  RequestEnvelope envelope;
+  if (json.Has("tenant")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue tenant, json.Get("tenant"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.tenant, tenant.GetString());
+  }
+  if (!IsValidTenantName(envelope.tenant)) {
+    return Status::InvalidArgument(
+        "tenant must be 1-64 characters from [A-Za-z0-9_.-]");
+  }
+  if (json.Has("request_id")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue id, json.Get("request_id"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.request_id, id.GetString());
+    if (envelope.request_id.size() > 128) {
+      return Status::InvalidArgument("request_id longer than 128 characters");
+    }
+  }
+  if (json.Has("deadline_ms")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue deadline, json.Get("deadline_ms"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.deadline_ms, deadline.GetNumber());
+    if (envelope.deadline_ms < 0) {
+      return Status::InvalidArgument("deadline_ms must be >= 0");
+    }
+  }
+  if (json.Has("degrade")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue degrade, json.Get("degrade"));
+    COURSENAV_ASSIGN_OR_RETURN(bool value, degrade.GetBool());
+    envelope.degrade = value;
+  }
+  if (json.Has("payload")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue payload, json.Get("payload"));
+    COURSENAV_ASSIGN_OR_RETURN(std::string mode, payload.GetString());
+    if (mode == "full") {
+      envelope.full_payload = true;
+    } else if (mode != "summary") {
+      return Status::InvalidArgument("payload must be 'summary' or 'full'");
+    }
+  }
+  COURSENAV_ASSIGN_OR_RETURN(envelope.request, json.Get("request"));
+  if (!envelope.request.is_object()) {
+    return Status::InvalidArgument("'request' must be a JSON object");
+  }
+  return envelope;
+}
+
+JsonValue MakeRequestEnvelope(std::string_view tenant,
+                              std::string_view request_id, double deadline_ms,
+                              JsonValue request, std::optional<bool> degrade,
+                              bool full_payload) {
+  JsonValue::Object object;
+  object["tenant"] = JsonValue(std::string(tenant));
+  object["request_id"] = JsonValue(std::string(request_id));
+  if (deadline_ms > 0) object["deadline_ms"] = JsonValue(deadline_ms);
+  if (degrade.has_value()) object["degrade"] = JsonValue(*degrade);
+  if (full_payload) object["payload"] = JsonValue("full");
+  object["request"] = std::move(request);
+  return JsonValue(std::move(object));
+}
+
+JsonValue ResponseEnvelope::ToJson() const {
+  JsonValue::Object object;
+  object["tenant"] = JsonValue(tenant);
+  object["request_id"] = JsonValue(request_id);
+  object["outcome"] = JsonValue(std::string(ResponseOutcomeName(outcome)));
+  object["status"] = StatusToJson(status);
+  if (retry_after_ms > 0) object["retry_after_ms"] = JsonValue(retry_after_ms);
+  object["queue_wait_ms"] = JsonValue(queue_wait_ms);
+  object["service_ms"] = JsonValue(service_ms);
+  object["served_seq"] = JsonValue(served_seq);
+  if (degradation.has_value()) {
+    object["degradation"] = degradation->ToJson();
+  }
+  if (!result.is_null()) object["result"] = result;
+  return JsonValue(std::move(object));
+}
+
+Result<ResponseEnvelope> ResponseEnvelope::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("response envelope must be a JSON object");
+  }
+  ResponseEnvelope envelope;
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue tenant, json.Get("tenant"));
+  COURSENAV_ASSIGN_OR_RETURN(envelope.tenant, tenant.GetString());
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue id, json.Get("request_id"));
+  COURSENAV_ASSIGN_OR_RETURN(envelope.request_id, id.GetString());
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue outcome_value, json.Get("outcome"));
+  COURSENAV_ASSIGN_OR_RETURN(std::string outcome_name,
+                             outcome_value.GetString());
+  COURSENAV_ASSIGN_OR_RETURN(envelope.outcome,
+                             ParseResponseOutcome(outcome_name));
+  COURSENAV_ASSIGN_OR_RETURN(JsonValue status_value, json.Get("status"));
+  COURSENAV_RETURN_IF_ERROR(StatusFromJson(status_value, &envelope.status));
+  if (json.Has("retry_after_ms")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue retry, json.Get("retry_after_ms"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.retry_after_ms, retry.GetNumber());
+  }
+  if (json.Has("queue_wait_ms")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue wait, json.Get("queue_wait_ms"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.queue_wait_ms, wait.GetNumber());
+  }
+  if (json.Has("service_ms")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue service, json.Get("service_ms"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.service_ms, service.GetNumber());
+  }
+  if (json.Has("served_seq")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue seq, json.Get("served_seq"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.served_seq, seq.GetInt());
+  }
+  if (json.Has("degradation")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue report, json.Get("degradation"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.degradation,
+                               DegradationReport::FromJson(report));
+  }
+  if (json.Has("result")) {
+    COURSENAV_ASSIGN_OR_RETURN(envelope.result, json.Get("result"));
+  }
+  return envelope;
+}
+
+}  // namespace coursenav::serve

@@ -1,0 +1,519 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/degradation.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace coursenav::serve {
+
+namespace {
+
+/// Tenant names on the wire allow [.-]; metric names do not. Anything
+/// outside the metric-safe charset becomes '_'.
+std::string SanitizeTenantMetricName(std::string_view tenant) {
+  std::string out;
+  out.reserve(tenant.size());
+  for (char c : tenant) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Maps an execution error to the response taxonomy: request errors are the
+/// client's fault (kRejected), budget errors are a timeout answer, and only
+/// Internal is a server failure.
+ResponseOutcome OutcomeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      return ResponseOutcome::kCancelled;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return ResponseOutcome::kTimeout;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kParseError:
+    case StatusCode::kFailedPrecondition:
+      return ResponseOutcome::kRejected;
+    case StatusCode::kOk:
+    case StatusCode::kInternal:
+      return ResponseOutcome::kFailed;
+  }
+  return ResponseOutcome::kFailed;
+}
+
+/// The summary (and, when asked, full) payload for a materialized answer.
+JsonValue BuildResultPayload(const ExplorationResponse& response,
+                             bool full_payload, const Catalog& catalog) {
+  JsonValue::Object object;
+  if (response.generation.has_value()) {
+    const GenerationResult& generation = *response.generation;
+    object["nodes"] = JsonValue(generation.stats.nodes_created);
+    object["edges"] = JsonValue(generation.stats.edges_created);
+    object["terminal_paths"] = JsonValue(generation.stats.terminal_paths);
+    object["goal_paths"] = JsonValue(generation.stats.goal_paths);
+    if (full_payload) {
+      object["graph"] = LearningGraphToJson(generation.graph, catalog);
+    }
+  }
+  if (response.ranked.has_value()) {
+    const RankedResult& ranked = *response.ranked;
+    object["paths_returned"] =
+        JsonValue(static_cast<int64_t>(ranked.paths.size()));
+    if (response.paths_before_filters >= 0) {
+      object["paths_before_filters"] = JsonValue(response.paths_before_filters);
+      object["filter"] = JsonValue(response.filter_description);
+    }
+    if (full_payload) {
+      object["paths"] = LearningPathsToJson(ranked.paths, catalog);
+    }
+  }
+  return JsonValue(std::move(object));
+}
+
+/// The payload for a count-only (fully degraded) answer.
+JsonValue BuildCountPayload(const CountingResult& count) {
+  JsonValue::Object object;
+  object["total_paths"] = JsonValue(static_cast<int64_t>(count.total_paths));
+  object["goal_paths"] = JsonValue(static_cast<int64_t>(count.goal_paths));
+  object["distinct_statuses"] = JsonValue(count.distinct_statuses);
+  object["saturated"] = JsonValue(count.saturated);
+  return JsonValue(std::move(object));
+}
+
+}  // namespace
+
+ExplorationServer::ExplorationServer(const Catalog* catalog,
+                                     const OfferingSchedule* schedule,
+                                     ServerConfig config)
+    : config_(std::move(config)), navigator_(catalog, schedule) {}
+
+ExplorationServer::~ExplorationServer() {
+  if (state() != State::kStopped) Shutdown();
+}
+
+void ExplorationServer::Start() {
+  CN_CHECK(state() == State::kIdle) << "Start() called twice";
+  queue_ = std::make_unique<AdmissionQueue>(config_.admission);
+  pool_ = std::make_unique<exec::WorkerPool>(std::max(1, config_.num_workers));
+  dispatcher_ = std::thread([this] {
+    pool_->Run([this](int) { WorkerLoop(); });
+    dispatcher_done_.store(true, std::memory_order_release);
+  });
+  state_.store(State::kServing, std::memory_order_release);
+}
+
+void ExplorationServer::WorkerLoop() {
+  while (std::shared_ptr<Ticket> ticket = queue_->Pop()) {
+    Execute(ticket);
+  }
+}
+
+ResponseEnvelope ExplorationServer::HandleRequest(std::string_view payload) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::GlobalMetrics().GetCounter(obs::kMetricServeSubmitted)->Increment();
+
+  if (payload.size() > config_.max_request_bytes) {
+    return RejectResponse(
+        "default", "",
+        Status::InvalidArgument(StrFormat(
+            "request of %zu bytes exceeds the %zu-byte limit", payload.size(),
+            config_.max_request_bytes)));
+  }
+  Result<JsonValue> parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) return RejectResponse("default", "", parsed.status());
+  Result<RequestEnvelope> envelope_result = ParseRequestEnvelope(*parsed);
+  if (!envelope_result.ok()) {
+    return RejectResponse("default", "", envelope_result.status());
+  }
+  RequestEnvelope envelope = std::move(*envelope_result);
+
+  // The serve/overload chaos seam: when it fires, force one of the three
+  // overload paths so every shed route is reachable from a seed alone.
+  bool forced_queue_full = false;
+  bool forced_deadline_exceeded = false;
+  bool forced_slow_client = false;
+  if (FaultInjector* injector = ActiveFaultInjector();
+      injector != nullptr && injector->ShouldInject(kFaultSiteServeOverload)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    obs::GlobalMetrics()
+        .GetCounter(obs::kMetricServeFaultsInjected)
+        ->Increment();
+    switch (injector->Draw(kFaultSiteServeOverload) % 3) {
+      case 0:
+        forced_queue_full = true;
+        break;
+      case 1:
+        forced_deadline_exceeded = true;
+        break;
+      default:
+        forced_slow_client = true;
+        break;
+    }
+  }
+  if (forced_queue_full) {
+    return ShedResponse(
+        envelope, AdmitVerdict::kQueueFull,
+        queue_ != nullptr ? queue_->RetryAfterMsHint() : 50.0);
+  }
+
+  Status schema = ValidateRequestJsonSchema(envelope.request);
+  if (!schema.ok()) {
+    return RejectResponse(envelope.tenant, envelope.request_id, schema);
+  }
+  Result<ExplorationRequest> request_result =
+      ExplorationRequestFromJson(envelope.request, navigator_.catalog());
+  if (!request_result.ok()) {
+    return RejectResponse(envelope.tenant, envelope.request_id,
+                          request_result.status());
+  }
+
+  if (state() != State::kServing || queue_ == nullptr) {
+    return ShedResponse(
+        envelope, AdmitVerdict::kNotServing,
+        queue_ != nullptr ? queue_->RetryAfterMsHint() : 100.0);
+  }
+
+  auto ticket = std::make_shared<Ticket>();
+  ticket->tenant = envelope.tenant;
+  ticket->request_id = envelope.request_id;
+  ticket->request = std::move(*request_result);
+  ticket->degrade = envelope.degrade.value_or(config_.degrade_by_default);
+  ticket->full_payload = envelope.full_payload;
+  ticket->forced_deadline_exceeded = forced_deadline_exceeded;
+  ticket->forced_slow_client = forced_slow_client;
+  double deadline_seconds =
+      envelope.deadline_ms > 0
+          ? envelope.deadline_ms / 1e3
+          : config_.admission.default_deadline_seconds;
+  ticket->deadline_seconds =
+      std::min(deadline_seconds, config_.admission.max_deadline_seconds);
+
+  // Tenant isolation: clamp the request's arena to the per-request caps,
+  // whatever it asked for. The graph's soft-capacity limits then turn a
+  // hostile request into a bounded partial answer.
+  ExplorationLimits& limits = ticket->request.options.limits;
+  if (config_.max_nodes_per_request > 0 &&
+      (limits.max_nodes <= 0 ||
+       limits.max_nodes > config_.max_nodes_per_request)) {
+    limits.max_nodes = config_.max_nodes_per_request;
+  }
+  if (config_.max_memory_bytes_per_request > 0 &&
+      (limits.max_memory_bytes == 0 ||
+       limits.max_memory_bytes > config_.max_memory_bytes_per_request)) {
+    limits.max_memory_bytes = config_.max_memory_bytes_per_request;
+  }
+  if (config_.max_seconds_per_request > 0 &&
+      (limits.max_seconds <= 0 ||
+       limits.max_seconds > config_.max_seconds_per_request)) {
+    limits.max_seconds = config_.max_seconds_per_request;
+  }
+  ticket->request.options.num_threads = std::min(
+      ticket->request.options.num_threads, config_.threads_per_request);
+
+  AdmissionQueue::AdmitResult admit = queue_->Admit(ticket);
+  if (admit.verdict != AdmitVerdict::kAdmitted) {
+    return ShedResponse(envelope, admit.verdict, admit.retry_after_ms);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::GlobalMetrics().GetCounter(obs::kMetricServeAdmitted)->Increment();
+
+  std::unique_lock<std::mutex> lock(ticket->mu);
+  ticket->cv.wait(lock, [&ticket] { return ticket->done; });
+  return ticket->response;
+}
+
+std::string ExplorationServer::Handle(std::string_view payload) {
+  return HandleRequest(payload).ToJson().Dump();
+}
+
+void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
+  obs::ScopedSpan span(obs::kSpanServeRequest);
+  span.AddString("tenant", ticket->tenant);
+  const double queue_wait_seconds = ticket->queued_at.ElapsedSeconds();
+  Stopwatch service_timer;
+
+  ResponseEnvelope out;
+  out.tenant = ticket->tenant;
+  out.request_id = ticket->request_id;
+  out.queue_wait_ms = queue_wait_seconds * 1e3;
+  out.served_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  const double remaining_seconds =
+      ticket->deadline_seconds - queue_wait_seconds;
+  if (ticket->cancel.IsCancelled()) {
+    out.outcome = ResponseOutcome::kCancelled;
+    out.status = Status::Cancelled("cancelled before execution");
+  } else if (ticket->forced_deadline_exceeded || remaining_seconds <= 0) {
+    out.outcome = ResponseOutcome::kTimeout;
+    out.status = Status::DeadlineExceeded(
+        ticket->forced_deadline_exceeded
+            ? "deadline exceeded (fault injection)"
+            : "deadline expired while queued");
+  } else {
+    // The execution budget is whatever deadline survives the queue wait,
+    // never more than the per-request cap already clamped at admission.
+    ExplorationLimits& limits = ticket->request.options.limits;
+    if (limits.max_seconds <= 0 || limits.max_seconds > remaining_seconds) {
+      limits.max_seconds = remaining_seconds;
+    }
+    ticket->request.options.cancel = ticket->cancel;
+
+    if (ticket->degrade) {
+      Result<DegradedResponse> degraded =
+          ExploreWithDegradation(navigator_, ticket->request);
+      if (degraded.ok()) {
+        const DegradedResponse& answer = *degraded;
+        out.outcome = (answer.report.degraded || answer.report.exhausted)
+                          ? ResponseOutcome::kDegraded
+                          : ResponseOutcome::kOk;
+        out.degradation = answer.report;
+        out.result = answer.count.has_value()
+                         ? BuildCountPayload(*answer.count)
+                         : BuildResultPayload(answer.response,
+                                              ticket->full_payload,
+                                              navigator_.catalog());
+      } else {
+        out.outcome = OutcomeForStatus(degraded.status());
+        out.status = degraded.status();
+      }
+    } else {
+      Result<ExplorationResponse> response =
+          navigator_.Explore(ticket->request);
+      if (response.ok()) {
+        const Status& termination =
+            response->generation.has_value()
+                ? response->generation->termination
+                : (response->ranked.has_value() ? response->ranked->termination
+                                                : Status::OK());
+        if (termination.ok()) {
+          out.outcome = ResponseOutcome::kOk;
+        } else {
+          out.outcome = OutcomeForStatus(termination);
+          out.status = termination;
+        }
+        out.result = BuildResultPayload(*response, ticket->full_payload,
+                                        navigator_.catalog());
+      } else {
+        out.outcome = OutcomeForStatus(response.status());
+        out.status = response.status();
+      }
+    }
+  }
+
+  const double service_seconds = service_timer.ElapsedSeconds();
+  out.service_ms = service_seconds * 1e3;
+
+  // The slow-client fault fires after execution: the work was done but the
+  // client cannot take delivery, so the payload is dropped.
+  if (ticket->forced_slow_client) {
+    out.outcome = ResponseOutcome::kSlowClient;
+    out.status = Status::DeadlineExceeded(
+        "client could not take delivery; result dropped (fault injection)");
+    out.result = JsonValue();
+    out.degradation.reset();
+  }
+  span.AddString("outcome", ResponseOutcomeName(out.outcome));
+
+  switch (out.outcome) {
+    case ResponseOutcome::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kTimeout:
+      timeout_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kSlowClient:
+      slow_client_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ResponseOutcome::kOverloaded:
+    case ResponseOutcome::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+
+  queue_->Complete(ticket, service_seconds);
+  PublishMetrics(out);
+  CompleteTicket(ticket, std::move(out));
+}
+
+ResponseEnvelope ExplorationServer::ShedResponse(
+    const RequestEnvelope& envelope, AdmitVerdict verdict,
+    double retry_after_ms) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  obs::GlobalMetrics().GetCounter(obs::kMetricServeShed)->Increment();
+  ResponseEnvelope out;
+  out.tenant = envelope.tenant;
+  out.request_id = envelope.request_id;
+  out.outcome = ResponseOutcome::kOverloaded;
+  out.status = Status::ResourceExhausted(
+      StrFormat("shed: %s", std::string(AdmitVerdictName(verdict)).c_str()));
+  out.retry_after_ms = retry_after_ms;
+  return out;
+}
+
+ResponseEnvelope ExplorationServer::RejectResponse(std::string_view tenant,
+                                                   std::string_view request_id,
+                                                   Status status) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::GlobalMetrics().GetCounter(obs::kMetricServeRejected)->Increment();
+  ResponseEnvelope out;
+  out.tenant = std::string(tenant);
+  out.request_id = std::string(request_id);
+  out.outcome = ResponseOutcome::kRejected;
+  out.status = std::move(status);
+  return out;
+}
+
+void ExplorationServer::PublishMetrics(const ResponseEnvelope& response) {
+  obs::MetricRegistry& metrics = obs::GlobalMetrics();
+  metrics.GetCounter(obs::kMetricServeCompleted)->Increment();
+  switch (response.outcome) {
+    case ResponseOutcome::kDegraded:
+      metrics.GetCounter(obs::kMetricServeDegraded)->Increment();
+      break;
+    case ResponseOutcome::kTimeout:
+      metrics.GetCounter(obs::kMetricServeTimeout)->Increment();
+      break;
+    case ResponseOutcome::kCancelled:
+      metrics.GetCounter(obs::kMetricServeCancelled)->Increment();
+      break;
+    case ResponseOutcome::kSlowClient:
+      metrics.GetCounter(obs::kMetricServeSlowClient)->Increment();
+      break;
+    default:
+      break;
+  }
+  metrics.GetHistogram(obs::kMetricServeQueueWaitMicros)
+      ->Observe(static_cast<int64_t>(response.queue_wait_ms * 1e3));
+  metrics.GetHistogram(obs::kMetricServeServiceMicros)
+      ->Observe(static_cast<int64_t>(response.service_ms * 1e3));
+  metrics.GetGauge(obs::kMetricServeQueueDepth)->Set(queue_->depth());
+  metrics.GetGauge(obs::kMetricServeInflight)->Set(queue_->inflight());
+
+  const std::string tenant = SanitizeTenantMetricName(response.tenant);
+  metrics
+      .GetCounter(std::string(obs::kMetricServeTenantRequestsPrefix) + tenant)
+      ->Increment();
+  std::map<std::string, TenantCounters> tenants = queue_->TenantSnapshot();
+  if (auto it = tenants.find(response.tenant); it != tenants.end()) {
+    metrics
+        .GetGauge(std::string(obs::kMetricServeTenantInflightPrefix) + tenant)
+        ->Set(it->second.inflight);
+  }
+}
+
+Status ExplorationServer::Drain(double timeout_seconds) {
+  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  State current = state();
+  if (current == State::kIdle) {
+    state_.store(State::kStopped, std::memory_order_release);
+    return Status::OK();
+  }
+  if (current == State::kStopped) return Status::OK();
+  state_.store(State::kDraining, std::memory_order_release);
+  queue_->CloseForAdmission();
+
+  Stopwatch timer;
+  bool escalated = false;
+  while (!dispatcher_done_.load(std::memory_order_acquire)) {
+    if (!escalated && timer.ElapsedSeconds() > timeout_seconds) {
+      escalated = true;
+      // Past the drain budget: shed everything still queued and cancel the
+      // in-flight work; the workers acknowledge within one budget check.
+      for (const std::shared_ptr<Ticket>& ticket : queue_->Evict()) {
+        CancelTicket(ticket);
+      }
+      for (const std::shared_ptr<Ticket>& ticket :
+           queue_->InflightSnapshot()) {
+        ticket->cancel.RequestCancel();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  state_.store(State::kStopped, std::memory_order_release);
+  return escalated ? Status::DeadlineExceeded(
+                         "drain timed out; remaining work was cancelled")
+                   : Status::OK();
+}
+
+void ExplorationServer::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  State current = state();
+  if (current == State::kIdle || current == State::kStopped) {
+    state_.store(State::kStopped, std::memory_order_release);
+    return;
+  }
+  state_.store(State::kDraining, std::memory_order_release);
+  queue_->CloseForAdmission();
+  for (const std::shared_ptr<Ticket>& ticket : queue_->Evict()) {
+    CancelTicket(ticket);
+  }
+  for (const std::shared_ptr<Ticket>& ticket : queue_->InflightSnapshot()) {
+    ticket->cancel.RequestCancel();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  state_.store(State::kStopped, std::memory_order_release);
+}
+
+void ExplorationServer::CancelTicket(const std::shared_ptr<Ticket>& ticket) {
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  obs::GlobalMetrics().GetCounter(obs::kMetricServeCancelled)->Increment();
+  obs::GlobalMetrics().GetCounter(obs::kMetricServeCompleted)->Increment();
+  ResponseEnvelope out;
+  out.tenant = ticket->tenant;
+  out.request_id = ticket->request_id;
+  out.outcome = ResponseOutcome::kCancelled;
+  out.status = Status::Cancelled("server shutting down");
+  out.queue_wait_ms = ticket->queued_at.ElapsedSeconds() * 1e3;
+  ticket->cancel.RequestCancel();
+  CompleteTicket(ticket, std::move(out));
+}
+
+ServerStats ExplorationServer::Stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.ok = ok_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.timeout = timeout_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.slow_client = slow_client_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  if (queue_ != nullptr) {
+    stats.queue_depth = queue_->depth();
+    stats.inflight = queue_->inflight();
+    stats.tenants = queue_->TenantSnapshot();
+  }
+  return stats;
+}
+
+}  // namespace coursenav::serve

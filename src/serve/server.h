@@ -1,0 +1,184 @@
+#ifndef COURSENAV_SERVE_SERVER_H_
+#define COURSENAV_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "exec/worker_pool.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "service/navigator.h"
+#include "util/result.h"
+
+namespace coursenav::serve {
+
+/// Tuning for one ExplorationServer instance. Per-request resource clamps
+/// are the tenant-isolation mechanism: whatever a request asks for, its
+/// node / memory / time budgets are capped here, so one tenant's
+/// pathological request degrades into a bounded partial answer instead of
+/// exhausting the process.
+struct ServerConfig {
+  /// Worker threads executing admitted requests (clamped to at least 1).
+  int num_workers = 4;
+  AdmissionConfig admission;
+  /// Hard cap on graph nodes materialized per request (0 = unlimited —
+  /// never use 0 in production).
+  int64_t max_nodes_per_request = 500'000;
+  /// Hard cap on approximate graph heap bytes per request (0 = unlimited).
+  size_t max_memory_bytes_per_request = size_t{256} << 20;
+  /// Hard cap on per-request execution seconds, independent of deadline.
+  double max_seconds_per_request = 5.0;
+  /// Requests larger than this many payload bytes are rejected unread.
+  size_t max_request_bytes = kDefaultMaxFrameBytes;
+  /// When a request does not say, run it through the degradation ladder
+  /// (true) or return a plain timeout on budget exhaustion (false).
+  bool degrade_by_default = true;
+  /// Intra-request parallelism (ExplorationOptions::num_threads clamp).
+  /// 0 = serial per request: server throughput comes from concurrent
+  /// workers, not from one request monopolizing the machine.
+  int threads_per_request = 0;
+};
+
+/// A point-in-time snapshot of the server's counters. Every submitted
+/// request ends in exactly one terminal bucket, wherever that was decided:
+/// once the server is quiescent, submitted == shed + rejected + ok +
+/// degraded + timeout + cancelled + slow_client + failed. `admitted` and
+/// `completed` are progress counters (admitted requests that have received
+/// their final envelope), not extra buckets.
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t completed = 0;
+  int64_t ok = 0;
+  int64_t degraded = 0;
+  int64_t timeout = 0;
+  int64_t shed = 0;
+  int64_t rejected = 0;
+  int64_t cancelled = 0;
+  int64_t slow_client = 0;
+  int64_t failed = 0;
+  int64_t faults_injected = 0;
+  int queue_depth = 0;
+  int inflight = 0;
+  std::map<std::string, TenantCounters> tenants;
+};
+
+/// The multi-tenant exploration server core: admission control in front of
+/// a worker pool running the CourseNavigator service.
+///
+/// Transport-agnostic: `Handle()` takes one request payload (the JSON text
+/// of a RequestEnvelope) and blocks until its structured response is ready
+/// — the socket front end (serve/socket_server.h), the CLI replay mode,
+/// and in-process tests all call the same entry point.
+///
+/// Lifecycle: Start() → Handle()* → Drain() or Shutdown(). Drain stops
+/// admission and waits for queued + in-flight work (escalating to
+/// cancellation at its timeout); Shutdown cancels everything immediately.
+/// Both end in kStopped; all three transitions are idempotent and safe to
+/// race with concurrent Handle() calls, which shed with kOverloaded once
+/// admission closes.
+///
+/// The catalog and schedule are borrowed and must outlive the server.
+class ExplorationServer {
+ public:
+  enum class State { kIdle, kServing, kDraining, kStopped };
+
+  ExplorationServer(const Catalog* catalog, const OfferingSchedule* schedule,
+                    ServerConfig config = {});
+  ~ExplorationServer();
+
+  ExplorationServer(const ExplorationServer&) = delete;
+  ExplorationServer& operator=(const ExplorationServer&) = delete;
+
+  /// Spawns the worker pool and begins admitting. Must be called exactly
+  /// once, before any Handle().
+  void Start();
+
+  /// Serves one request payload end to end: parse → validate → clamp →
+  /// admit → execute, blocking the calling (transport) thread until the
+  /// response envelope is complete. Never fails: every malformed, shed, or
+  /// cancelled request still yields a structured envelope.
+  ResponseEnvelope HandleRequest(std::string_view payload);
+
+  /// HandleRequest, serialized to the compact JSON wire form.
+  std::string Handle(std::string_view payload);
+
+  /// Stops admission and waits up to `timeout_seconds` for queued and
+  /// in-flight work to finish. On timeout the stragglers are cancelled
+  /// (cooperatively, via their CancellationTokens) and the call keeps
+  /// waiting for them to acknowledge. Returns OK on a clean drain,
+  /// DeadlineExceeded when cancellation was needed.
+  Status Drain(double timeout_seconds = 5.0);
+
+  /// Immediate stop: sheds the queue (those waiters get kCancelled),
+  /// cancels in-flight requests, and joins the workers.
+  void Shutdown();
+
+  State state() const { return state_.load(std::memory_order_acquire); }
+
+  ServerStats Stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  /// One worker's life: pop admitted tickets until the queue closes.
+  void WorkerLoop();
+
+  /// Executes one admitted ticket and completes it.
+  void Execute(const std::shared_ptr<Ticket>& ticket);
+
+  /// Builds the shed response for a not-admitted request and counts it.
+  ResponseEnvelope ShedResponse(const RequestEnvelope& envelope,
+                                AdmitVerdict verdict, double retry_after_ms);
+
+  /// Builds the rejection response for an unacceptable request.
+  ResponseEnvelope RejectResponse(std::string_view tenant,
+                                  std::string_view request_id, Status status);
+
+  /// Mirrors one finished outcome into the global metric registry and the
+  /// per-tenant gauges.
+  void PublishMetrics(const ResponseEnvelope& response);
+
+  /// Completes a never-executed ticket with kCancelled (shutdown/drain
+  /// eviction path).
+  void CancelTicket(const std::shared_ptr<Ticket>& ticket);
+
+  const ServerConfig config_;
+  CourseNavigator navigator_;
+
+  std::atomic<State> state_{State::kIdle};
+  /// Serializes Drain/Shutdown (both join the dispatcher).
+  std::mutex lifecycle_mu_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::unique_ptr<exec::WorkerPool> pool_;
+  /// Runs the pool's single long fork-join round so Start() can return.
+  std::thread dispatcher_;
+  std::atomic<bool> dispatcher_done_{false};
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> ok_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> timeout_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> slow_client_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> faults_injected_{0};
+  std::atomic<int64_t> next_seq_{0};
+};
+
+}  // namespace coursenav::serve
+
+#endif  // COURSENAV_SERVE_SERVER_H_

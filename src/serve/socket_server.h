@@ -1,0 +1,99 @@
+#ifndef COURSENAV_SERVE_SOCKET_SERVER_H_
+#define COURSENAV_SERVE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace coursenav::serve {
+
+/// Transport tuning for the TCP front end.
+struct SocketConfig {
+  /// Loopback by default: the server is an internal service component, not
+  /// an internet-facing endpoint.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  int port = 0;
+  int backlog = 16;
+  /// Concurrent connections; later ones are closed immediately (the TCP
+  /// analogue of a queue-full shed).
+  int max_connections = 64;
+  /// A client must deliver a complete frame within this budget or the
+  /// connection is dropped (slow-loris defense).
+  double recv_timeout_seconds = 5.0;
+  /// A client must take delivery within this budget or the response is
+  /// dropped and counted as a slow client.
+  double send_timeout_seconds = 5.0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// The length-prefixed TCP transport over an ExplorationServer core.
+///
+/// One thread per connection, each running read-frame → core->Handle() →
+/// write-frame until the peer closes. All admission control, quotas, and
+/// overload shedding live in the core; this layer only enforces transport
+/// hygiene — frame size before buffering, read/write timeouts, and the
+/// connection cap. Stop() closes the listener and every open connection,
+/// then joins all transport threads.
+///
+/// The core is borrowed, must outlive the socket server, and must be
+/// Start()ed by the caller.
+class SocketServer {
+ public:
+  SocketServer(ExplorationServer* core, SocketConfig config = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. Fails (FailedPrecondition
+  /// / Internal) when the address cannot be bound.
+  Status Start();
+
+  /// Closes the listener and all connections, then joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (the ephemeral pick when config.port was 0).
+  int port() const { return port_; }
+
+  /// Currently open connections.
+  int active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Joins finished connection threads (called from the accept loop so the
+  /// thread list stays bounded on long-running servers).
+  void ReapFinished();
+
+  ExplorationServer* core_;
+  const SocketConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::atomic<int> active_connections_{0};
+  std::mutex mu_;  // guards connections_
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace coursenav::serve
+
+#endif  // COURSENAV_SERVE_SOCKET_SERVER_H_

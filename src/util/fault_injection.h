@@ -16,6 +16,11 @@ inline constexpr std::string_view kFaultSiteGraphAlloc = "graph/alloc";
 inline constexpr std::string_view kFaultSiteCountAlloc = "count/alloc";
 inline constexpr std::string_view kFaultSiteClockSkew = "clock/skew";
 inline constexpr std::string_view kFaultSiteScheduleChurn = "schedule/churn";
+/// Serving-layer overload seam: when it fires, the server deterministically
+/// forces one of its overload paths (queue-full shed, slow-client drop, or
+/// deadline-exceeded) chosen by a Draw at the same site — so chaos tests
+/// can walk every shed path from a seed alone.
+inline constexpr std::string_view kFaultSiteServeOverload = "serve/overload";
 
 /// Configuration of a deterministic fault-injection run.
 struct FaultConfig {

@@ -24,12 +24,19 @@
 //       --end "Fall 2016" --max-per-term 2 --format dot
 //   coursenav count --demo --start F12 --end F15 --goal "COSI11A and COSI21A"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "catalog/schedule_history.h"
 #include "data/brandeis_cs.h"
@@ -43,11 +50,15 @@
 #include "parsers/transcript_parser.h"
 #include "plan/planner.h"
 #include "requirements/expr_goal.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
 #include "service/degradation.h"
 #include "service/navigator.h"
 #include "service/visualizer.h"
 #include "util/flags.h"
 #include "util/json.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace coursenav {
@@ -64,6 +75,9 @@ commands:
   options    show the option set for one status
   audit      degree-audit a completed-course set (demo major)
   validate   validate a catalog JSON file (and optional transcripts)
+  serve      run the multi-tenant exploration server (TCP, length-prefixed
+             JSON frames; see docs/serving.md)
+  replay     replay a JSONL file of request envelopes against a server
 
 common flags:
   --catalog=<file>     catalog+schedule JSON (or --demo for the bundled one)
@@ -87,7 +101,33 @@ common flags:
 
 request flags:
   --request-json=<file> declarative ExplorationRequest JSON (schema in
-                       docs/planner.md); pair with --catalog/--demo
+                       docs/planner.md); pair with --catalog/--demo.
+                       '-' reads the document from stdin
+
+serve flags:
+  --port=<p>           TCP port (default 0 = ephemeral; the bound port is
+                       printed as "serving on <addr>:<port>")
+  --workers=<n>        executor worker threads (default 4)
+  --queue-depth=<n>    admission queue bound (default 64)
+  --tenant-queue=<n>   queued requests per tenant (default 16)
+  --tenant-inflight=<n> concurrent requests per tenant (default 8)
+  --max-tenants=<n>    distinct tenants tracked (default 64)
+  --default-deadline-ms=<ms> deadline for requests that name none
+  --max-request-seconds=<s>  per-request execution cap (default 5)
+  --max-request-nodes=<n>    per-request node cap (default 500000)
+  --no-degrade         answer budget blow-ups with timeouts instead of the
+                       degradation ladder
+  --serve-seconds=<s>  serve for s seconds, then drain and exit
+                       (default 0: serve until stdin reaches EOF)
+  --drain-seconds=<s>  drain budget before in-flight work is cancelled
+
+replay flags:
+  --requests-file=<f>  JSONL of request envelopes ('-' = stdin)
+  --server=<host:port> replay against a running server; without it an
+                       embedded in-process server (--catalog/--demo) serves
+  --concurrency=<n>    concurrent client sessions (default 4)
+  --repeat=<n>         replay the file n times (default 1)
+  --max-attempts=<n>   per-request retry budget under overload (default 5)
 
 goal/topk/count flags:
   --goal=<expr>        boolean goal, e.g. "CS1 and (CS2 or CS3)"
@@ -130,6 +170,15 @@ Result<std::string> ReadFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// ReadFile, with the conventional '-' meaning stdin — so captured traffic
+/// can be piped straight into `request` and `replay`.
+Result<std::string> ReadFileOrStdin(const std::string& path) {
+  if (path != "-") return ReadFile(path);
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
   return buffer.str();
 }
 
@@ -505,9 +554,9 @@ Status RunRequest(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(std::string path,
                              flags.GetString("request-json", ""));
   if (path.empty()) {
-    return Status::InvalidArgument("need --request-json=<file>");
+    return Status::InvalidArgument("need --request-json=<file> ('-' = stdin)");
   }
-  COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFileOrStdin(path));
   COURSENAV_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(text));
   COURSENAV_ASSIGN_OR_RETURN(
       ExplorationRequest request,
@@ -601,6 +650,241 @@ Status RunValidate(const FlagSet& flags) {
   return Status::OK();
 }
 
+/// Builds the server configuration from the serve/replay flag set.
+Result<serve::ServerConfig> ServerConfigFromFlags(const FlagSet& flags) {
+  serve::ServerConfig config;
+  COURSENAV_ASSIGN_OR_RETURN(int64_t workers, flags.GetInt("workers", 4));
+  config.num_workers = static_cast<int>(workers);
+  COURSENAV_ASSIGN_OR_RETURN(int64_t depth, flags.GetInt("queue-depth", 64));
+  config.admission.max_queue_depth = static_cast<int>(depth);
+  COURSENAV_ASSIGN_OR_RETURN(int64_t tenant_queue,
+                             flags.GetInt("tenant-queue", 16));
+  config.admission.max_queued_per_tenant = static_cast<int>(tenant_queue);
+  COURSENAV_ASSIGN_OR_RETURN(int64_t tenant_inflight,
+                             flags.GetInt("tenant-inflight", 8));
+  config.admission.max_inflight_per_tenant = static_cast<int>(tenant_inflight);
+  COURSENAV_ASSIGN_OR_RETURN(int64_t max_tenants,
+                             flags.GetInt("max-tenants", 64));
+  config.admission.max_tenants = static_cast<int>(max_tenants);
+  COURSENAV_ASSIGN_OR_RETURN(double default_deadline_ms,
+                             flags.GetDouble("default-deadline-ms", 2000.0));
+  config.admission.default_deadline_seconds = default_deadline_ms / 1e3;
+  COURSENAV_ASSIGN_OR_RETURN(config.max_seconds_per_request,
+                             flags.GetDouble("max-request-seconds", 5.0));
+  COURSENAV_ASSIGN_OR_RETURN(config.max_nodes_per_request,
+                             flags.GetInt("max-request-nodes", 500'000));
+  config.degrade_by_default = !flags.GetBool("no-degrade");
+  return config;
+}
+
+void PrintServerStats(const serve::ServerStats& stats) {
+  std::printf(
+      "server stats: submitted=%lld ok=%lld degraded=%lld timeout=%lld "
+      "shed=%lld rejected=%lld cancelled=%lld slow_client=%lld failed=%lld "
+      "faults_injected=%lld\n",
+      static_cast<long long>(stats.submitted), static_cast<long long>(stats.ok),
+      static_cast<long long>(stats.degraded),
+      static_cast<long long>(stats.timeout), static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.rejected),
+      static_cast<long long>(stats.cancelled),
+      static_cast<long long>(stats.slow_client),
+      static_cast<long long>(stats.failed),
+      static_cast<long long>(stats.faults_injected));
+  for (const auto& [tenant, counters] : stats.tenants) {
+    std::printf("  tenant %s: admitted=%lld shed=%lld completed=%lld\n",
+                tenant.c_str(), static_cast<long long>(counters.admitted_total),
+                static_cast<long long>(counters.shed_total),
+                static_cast<long long>(counters.completed_total));
+  }
+}
+
+/// `coursenav serve`: the socket front end over the exploration server.
+Status RunServe(const FlagSet& flags) {
+  CommonArgs common;
+  COURSENAV_RETURN_IF_ERROR(LoadDataset(flags, common));
+  COURSENAV_ASSIGN_OR_RETURN(serve::ServerConfig config,
+                             ServerConfigFromFlags(flags));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t port, flags.GetInt("port", 0));
+  COURSENAV_ASSIGN_OR_RETURN(double serve_seconds,
+                             flags.GetDouble("serve-seconds", 0.0));
+  COURSENAV_ASSIGN_OR_RETURN(double drain_seconds,
+                             flags.GetDouble("drain-seconds", 5.0));
+
+  serve::ExplorationServer core(common.catalog, common.schedule, config);
+  core.Start();
+  serve::SocketConfig socket_config;
+  socket_config.port = static_cast<int>(port);
+  serve::SocketServer transport(&core, socket_config);
+  COURSENAV_RETURN_IF_ERROR(transport.Start());
+  std::printf("serving on %s:%d\n", socket_config.bind_address.c_str(),
+              transport.port());
+  std::fflush(stdout);
+
+  if (serve_seconds > 0) {
+    Stopwatch uptime;
+    while (uptime.ElapsedSeconds() < serve_seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } else {
+    // Foreground service discipline: run until the parent closes stdin.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+  }
+
+  transport.Stop();
+  Status drained = core.Drain(drain_seconds);
+  if (!drained.ok()) {
+    std::fprintf(stderr, "note: %s\n", drained.ToString().c_str());
+  }
+  PrintServerStats(core.Stats());
+  return Status::OK();
+}
+
+/// Shared tally for the replay workers.
+struct ReplayTally {
+  std::mutex mu;
+  std::map<std::string, int64_t> outcomes;
+  std::vector<double> latencies_ms;
+  int64_t attempts = 0;
+  int64_t transport_failures = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+/// `coursenav replay`: closed-loop replay of captured request envelopes
+/// (one JSON document per line) against a live server or an embedded one.
+Status RunReplay(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(std::string requests_path,
+                             flags.GetString("requests-file", ""));
+  if (requests_path.empty()) {
+    return Status::InvalidArgument("need --requests-file=<file> ('-' = stdin)");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::string text, ReadFileOrStdin(requests_path));
+  std::vector<std::string> requests;
+  for (std::string_view line : SplitAndTrim(text, '\n')) {
+    if (!line.empty()) requests.emplace_back(line);
+  }
+  if (requests.empty()) {
+    return Status::InvalidArgument("no request envelopes in '" +
+                                   requests_path + "'");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(int64_t repeat, flags.GetInt("repeat", 1));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t concurrency,
+                             flags.GetInt("concurrency", 4));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t max_attempts,
+                             flags.GetInt("max-attempts", 5));
+  COURSENAV_ASSIGN_OR_RETURN(std::string server, flags.GetString("server", ""));
+  if (repeat < 1 || concurrency < 1 || max_attempts < 1) {
+    return Status::InvalidArgument(
+        "--repeat, --concurrency, and --max-attempts must be >= 1");
+  }
+  const int64_t total = static_cast<int64_t>(requests.size()) * repeat;
+
+  // Socket mode parses host:port; embedded mode spins an in-process server
+  // over the dataset flags.
+  std::string host;
+  int port = 0;
+  CommonArgs common;
+  std::unique_ptr<serve::ExplorationServer> embedded;
+  if (!server.empty()) {
+    size_t colon = server.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--server must be host:port");
+    }
+    host = server.substr(0, colon);
+    COURSENAV_ASSIGN_OR_RETURN(int64_t parsed_port,
+                               ParseInt(server.substr(colon + 1)));
+    port = static_cast<int>(parsed_port);
+  } else {
+    COURSENAV_RETURN_IF_ERROR(LoadDataset(flags, common));
+    COURSENAV_ASSIGN_OR_RETURN(serve::ServerConfig config,
+                               ServerConfigFromFlags(flags));
+    embedded = std::make_unique<serve::ExplorationServer>(
+        common.catalog, common.schedule, config);
+    embedded->Start();
+  }
+
+  ReplayTally tally;
+  std::atomic<int64_t> next{0};
+  Stopwatch wall;
+  std::vector<std::thread> sessions;
+  sessions.reserve(static_cast<size_t>(concurrency));
+  for (int64_t session = 0; session < concurrency; ++session) {
+    sessions.emplace_back([&, session] {
+      serve::ServeClient client;
+      serve::TransportFn transport;
+      if (embedded != nullptr) {
+        transport = [&](std::string_view payload) {
+          return embedded->HandleRequest(payload);
+        };
+      } else {
+        transport =
+            [&](std::string_view payload) -> Result<serve::ResponseEnvelope> {
+          if (!client.connected()) {
+            COURSENAV_ASSIGN_OR_RETURN(client,
+                                       serve::ServeClient::Connect(host, port));
+          }
+          return client.CallEnvelope(payload);
+        };
+      }
+      serve::RetryPolicy policy;
+      policy.max_attempts = static_cast<int>(max_attempts);
+      policy.jitter_seed = static_cast<uint64_t>(session) + 1;
+      for (int64_t index = next.fetch_add(1); index < total;
+           index = next.fetch_add(1)) {
+        const std::string& payload =
+            requests[static_cast<size_t>(index) % requests.size()];
+        Stopwatch latency;
+        Result<serve::RetryResult> result =
+            serve::CallWithRetry(transport, payload, policy);
+        double elapsed_ms = latency.ElapsedSeconds() * 1e3;
+        std::lock_guard<std::mutex> lock(tally.mu);
+        tally.latencies_ms.push_back(elapsed_ms);
+        if (result.ok()) {
+          tally.attempts += result->attempts;
+          tally.outcomes[std::string(
+              serve::ResponseOutcomeName(result->response.outcome))]++;
+        } else {
+          ++tally.transport_failures;
+          tally.outcomes["transport-error"]++;
+        }
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  std::printf("replayed %lld requests in %.2fs (%.1f req/s, %lld sessions)\n",
+              static_cast<long long>(total), wall_seconds,
+              static_cast<double>(total) / std::max(wall_seconds, 1e-9),
+              static_cast<long long>(concurrency));
+  std::printf("latency p50 %.2f ms, p99 %.2f ms; attempts %lld, "
+              "transport errors %lld\n",
+              PercentileMs(tally.latencies_ms, 0.50),
+              PercentileMs(tally.latencies_ms, 0.99),
+              static_cast<long long>(tally.attempts),
+              static_cast<long long>(tally.transport_failures));
+  for (const auto& [outcome, count] : tally.outcomes) {
+    std::printf("  %-16s %lld\n", outcome.c_str(),
+                static_cast<long long>(count));
+  }
+  if (embedded != nullptr) {
+    Status drained = embedded->Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "note: %s\n", drained.ToString().c_str());
+    }
+    PrintServerStats(embedded->Stats());
+  }
+  return Status::OK();
+}
+
 /// Writes --trace-out / --metrics-out artifacts after the command ran;
 /// runs even when the command failed so a budget blow-up still leaves its
 /// trace behind.
@@ -659,6 +943,10 @@ int Main(int argc, char** argv) {
     status = RunAudit(flags);
   } else if (command == "validate") {
     status = RunValidate(flags);
+  } else if (command == "serve") {
+    status = RunServe(flags);
+  } else if (command == "replay") {
+    status = RunReplay(flags);
   } else if (command == "help" || command == "--help") {
     std::printf("%s", kUsage);
     return 0;

@@ -63,7 +63,7 @@ std::string ModuleOf(const std::string& path) {
   static const std::set<std::string> kModules = {
       "util", "expr", "catalog", "graph",   "flow",         "obs",
       "data", "core", "exec",    "parsers", "requirements", "plan",
-      "service"};
+      "service", "serve"};
   std::string needle = "src/";
   size_t pos = path.rfind(needle);
   if (pos != std::string::npos && (pos == 0 || path[pos - 1] == '/')) {
@@ -244,7 +244,7 @@ namespace {
 ///
 ///   util → {expr, obs, flow} → catalog → graph → parsers
 ///                            ↘ requirements → core → {exec, data}
-///                                                  → plan → service
+///                                                  → plan → service → serve
 ///
 /// `plan` (the query planner/executor) sits between the engines and the
 /// service facade: it may use core and exec, and only service (plus the
@@ -278,6 +278,9 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"service",
        {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
         "requirements", "core", "exec", "data", "plan"}},
+      {"serve",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
+        "requirements", "core", "exec", "data", "plan", "service"}},
   };
   return deps;
 }
@@ -361,7 +364,8 @@ const std::vector<BannedSymbol>& BannedSymbols() {
       // The monotonic clock is fine in the substrate that owns timing
       // (stopwatch/deadlines, tracing, worker pool, service surface) but
       // banned in the pure algorithmic layers, which must stay replayable.
-      {"std::chrono::steady_clock", false, {"util", "obs", "exec", "service"},
+      {"std::chrono::steady_clock", false,
+       {"util", "obs", "exec", "service", "serve"},
        "algorithmic layers must be clock-free; thread a DeadlineBudget through instead"},
   };
   return symbols;
