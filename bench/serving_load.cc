@@ -36,6 +36,16 @@ struct SweepResult {
   int64_t overloaded = 0;
   int64_t other = 0;
   double wall_seconds = 0.0;
+  /// Deadline-attainment tallies summed over the per-session tenants.
+  int64_t slo_met = 0;
+  int64_t slo_missed = 0;
+
+  double attainment() const {
+    const int64_t total = slo_met + slo_missed;
+    return total > 0
+               ? static_cast<double>(slo_met) / static_cast<double>(total)
+               : 1.0;
+  }
 };
 
 double PercentileMs(std::vector<double>& sorted, double q) {
@@ -148,6 +158,10 @@ SweepResult RunConfiguration(const data::BrandeisDataset& dataset,
   for (std::thread& thread : threads) thread.join();
   result.wall_seconds = wall.ElapsedSeconds();
   (void)server.Drain(2.0);
+  for (const auto& [tenant, counters] : server.Stats().slo) {
+    result.slo_met += counters.deadline_met;
+    result.slo_missed += counters.deadline_missed;
+  }
   std::sort(result.latencies_ms.begin(), result.latencies_ms.end());
   return result;
 }
@@ -167,7 +181,8 @@ void Run(const bench::BenchArgs& args) {
       requests_per_session);
 
   bench::TextTable table({"sessions", "degrade", "req/s", "p50 ms", "p99 ms",
-                          "ok", "degraded", "timeout", "overloaded"});
+                          "ok", "degraded", "timeout", "overloaded",
+                          "slo %"});
   for (bool degrade : {true, false}) {
     for (int sessions : session_counts) {
       SweepResult result = RunConfiguration(dataset, sessions, degrade,
@@ -183,7 +198,8 @@ void Run(const bench::BenchArgs& args) {
                     StrFormat("%.1f", p99), std::to_string(result.ok),
                     std::to_string(result.degraded),
                     std::to_string(result.timeout),
-                    std::to_string(result.overloaded)});
+                    std::to_string(result.overloaded),
+                    StrFormat("%.1f", result.attainment() * 100.0)});
 
       JsonValue::Object row;
       row["sessions"] = sessions;
@@ -198,6 +214,9 @@ void Run(const bench::BenchArgs& args) {
       row["timeout"] = result.timeout;
       row["overloaded"] = result.overloaded;
       row["other"] = result.other;
+      row["slo_met"] = result.slo_met;
+      row["slo_missed"] = result.slo_missed;
+      row["slo_attainment"] = result.attainment();
       report.AddRow(std::move(row));
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "util/string_util.h"
 
@@ -9,8 +10,49 @@ namespace coursenav::obs {
 
 namespace {
 
-std::string SeriesName(std::string_view prefix, std::string_view name) {
-  return std::string(prefix) + std::string(name);
+/// A metric name split back out of the LabeledMetricName encoding. Names
+/// without a '|' are plain (empty label key).
+struct ParsedName {
+  std::string base;
+  std::string label_key;
+  std::string label_value;
+};
+
+ParsedName ParseMetricName(std::string_view name) {
+  ParsedName parsed;
+  size_t bar = name.find('|');
+  if (bar == std::string_view::npos) {
+    parsed.base = std::string(name);
+    return parsed;
+  }
+  parsed.base = std::string(name.substr(0, bar));
+  std::string_view label = name.substr(bar + 1);
+  size_t eq = label.find('=');
+  if (eq == std::string_view::npos) {
+    // Malformed encoding: treat the remainder as a value-less key.
+    parsed.label_key = std::string(label);
+    return parsed;
+  }
+  parsed.label_key = std::string(label.substr(0, eq));
+  parsed.label_value = std::string(label.substr(eq + 1));
+  return parsed;
+}
+
+/// `{key="value"}` with the value escaped; empty for unlabeled series.
+std::string LabelSuffix(const ParsedName& parsed) {
+  if (parsed.label_key.empty()) return "";
+  return StrFormat("{%s=\"%s\"}", parsed.label_key.c_str(),
+                   EscapePrometheusLabelValue(parsed.label_value).c_str());
+}
+
+/// Bucket series need `le` merged with the metric's own label.
+std::string BucketSuffix(const ParsedName& parsed, std::string_view le) {
+  if (parsed.label_key.empty()) {
+    return StrFormat("{le=\"%s\"}", std::string(le).c_str());
+  }
+  return StrFormat("{%s=\"%s\",le=\"%s\"}", parsed.label_key.c_str(),
+                   EscapePrometheusLabelValue(parsed.label_value).c_str(),
+                   std::string(le).c_str());
 }
 
 }  // namespace
@@ -18,39 +60,153 @@ std::string SeriesName(std::string_view prefix, std::string_view name) {
 std::string RenderPrometheus(const std::vector<MetricSnapshot>& snapshot,
                              std::string_view prefix) {
   std::string out;
+  // One `# TYPE` header per (kind, base): labeled series of one base are
+  // adjacent in the sorted snapshot but may be interleaved with other
+  // bases, so track what was already announced.
+  std::map<std::pair<MetricKind, std::string>, bool> announced;
   for (const MetricSnapshot& metric : snapshot) {
-    std::string series = SeriesName(prefix, metric.name);
-    out += StrFormat("# TYPE %s %s\n", series.c_str(),
-                     std::string(MetricKindName(metric.kind)).c_str());
+    ParsedName parsed = ParseMetricName(metric.name);
+    std::string series = std::string(prefix) + parsed.base;
+    if (!announced[{metric.kind, parsed.base}]) {
+      announced[{metric.kind, parsed.base}] = true;
+      out += StrFormat("# TYPE %s %s\n", series.c_str(),
+                       std::string(MetricKindName(metric.kind)).c_str());
+    }
+    const std::string labels = LabelSuffix(parsed);
     switch (metric.kind) {
       case MetricKind::kCounter:
       case MetricKind::kGauge:
-        out += StrFormat("%s %lld\n", series.c_str(),
+        out += StrFormat("%s%s %lld\n", series.c_str(), labels.c_str(),
                          static_cast<long long>(metric.value));
         break;
       case MetricKind::kHistogram: {
         int64_t cumulative = 0;
         for (int b = 0; b < Histogram::kNumBuckets; ++b) {
           cumulative += metric.buckets[static_cast<size_t>(b)];
-          if (b == Histogram::kNumBuckets - 1) {
-            out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", series.c_str(),
-                             static_cast<long long>(cumulative));
-          } else {
-            out += StrFormat(
-                "%s_bucket{le=\"%lld\"} %lld\n", series.c_str(),
-                static_cast<long long>(Histogram::UpperBound(b)),
-                static_cast<long long>(cumulative));
-          }
+          std::string le =
+              b == Histogram::kNumBuckets - 1
+                  ? "+Inf"
+                  : StrFormat("%lld", static_cast<long long>(
+                                          Histogram::UpperBound(b)));
+          out += StrFormat("%s_bucket%s %lld\n", series.c_str(),
+                           BucketSuffix(parsed, le).c_str(),
+                           static_cast<long long>(cumulative));
         }
-        out += StrFormat("%s_sum %lld\n", series.c_str(),
+        out += StrFormat("%s_sum%s %lld\n", series.c_str(), labels.c_str(),
                          static_cast<long long>(metric.sum));
-        out += StrFormat("%s_count %lld\n", series.c_str(),
+        out += StrFormat("%s_count%s %lld\n", series.c_str(), labels.c_str(),
                          static_cast<long long>(metric.value));
         break;
       }
     }
   }
   return out;
+}
+
+std::string EscapePrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string UnescapePrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      out.push_back(value[i]);
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      case '"':
+        out.push_back('"');
+        break;
+      default:  // Unknown escape: keep both bytes verbatim.
+        out.push_back('\\');
+        out.push_back(value[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsToJson(const std::vector<MetricSnapshot>& snapshot) {
+  JsonValue::Object counters;
+  JsonValue::Object gauges;
+  JsonValue::Object histograms;
+  for (const MetricSnapshot& metric : snapshot) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        counters[metric.name] = JsonValue(metric.value);
+        break;
+      case MetricKind::kGauge:
+        gauges[metric.name] = JsonValue(metric.value);
+        break;
+      case MetricKind::kHistogram: {
+        JsonValue::Object hist;
+        hist["count"] = JsonValue(metric.value);
+        hist["sum"] = JsonValue(metric.sum);
+        hist["p50_us"] = JsonValue(HistogramQuantile(metric, 0.5));
+        hist["p99_us"] = JsonValue(HistogramQuantile(metric, 0.99));
+        histograms[metric.name] = JsonValue(std::move(hist));
+        break;
+      }
+    }
+  }
+  JsonValue::Object out;
+  out["counters"] = JsonValue(std::move(counters));
+  out["gauges"] = JsonValue(std::move(gauges));
+  out["histograms"] = JsonValue(std::move(histograms));
+  return JsonValue(std::move(out));
+}
+
+int64_t HistogramQuantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.value <= 0) return 0;
+  const double target = q * static_cast<double>(snapshot.value);
+  int64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    cumulative += snapshot.buckets[static_cast<size_t>(b)];
+    if (static_cast<double>(cumulative) >= target) {
+      return Histogram::UpperBound(b);
+    }
+  }
+  return Histogram::UpperBound(Histogram::kNumBuckets - 1);
+}
+
+void PublishTracerHealth(size_t dropped_spans, MetricRegistry& registry) {
+  registry.GetGauge(kMetricTraceDroppedSpans)
+      ->UpdateMax(static_cast<int64_t>(dropped_spans));
+}
+
+void PublishRegistryHealth(MetricRegistry& registry) {
+  // Interning the gauge itself grows the table, so count first and accept
+  // the off-by-one on the very first publish (the gauge then exists).
+  const size_t interned = registry.InternedNameCount();
+  registry.GetGauge(kMetricInternedNames)
+      ->Set(static_cast<int64_t>(interned));
 }
 
 std::string RenderPrometheus(const MetricRegistry& registry,

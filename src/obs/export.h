@@ -13,13 +13,43 @@ namespace coursenav::obs {
 
 /// Renders a metrics snapshot in the Prometheus text exposition format:
 /// `# TYPE` headers, `_bucket{le="..."}` / `_sum` / `_count` series for
-/// histograms. Metric names are prefixed (default "coursenav_").
+/// histograms. Metric names are prefixed (default "coursenav_"). Names
+/// carrying an encoded label (`base|key=value`, see LabeledMetricName)
+/// render as `base{key="value"}` with the value escaped; labeled series
+/// sharing one base share one `# TYPE` header.
 std::string RenderPrometheus(const std::vector<MetricSnapshot>& snapshot,
                              std::string_view prefix = "coursenav_");
 
 /// Convenience: snapshot + render in one call.
 std::string RenderPrometheus(const MetricRegistry& registry,
                              std::string_view prefix = "coursenav_");
+
+/// Prometheus label-value escaping: backslash, double quote, and newline
+/// become `\\`, `\"`, and `\n` so hostile label values survive the text
+/// exposition format; Unescape inverts it exactly.
+std::string EscapePrometheusLabelValue(std::string_view value);
+std::string UnescapePrometheusLabelValue(std::string_view value);
+
+/// A metrics snapshot as one JSON object — the structured twin of the
+/// Prometheus text format, consumed by the admin plane's /statusz:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count",
+/// "sum", "p50_us", "p99_us"}}}. Labeled names keep their `base|key=value`
+/// encoding as the JSON key.
+JsonValue MetricsToJson(const std::vector<MetricSnapshot>& snapshot);
+
+/// Approximate quantile (0 < q <= 1) of a histogram snapshot: the upper
+/// bound of the first bucket whose cumulative count reaches q * count.
+/// Returns 0 for empty histograms; the unbounded last bucket reports
+/// INT64_MAX.
+int64_t HistogramQuantile(const MetricSnapshot& snapshot, double q);
+
+/// Mirrors a tracer's health into gauges: sets kMetricTraceDroppedSpans to
+/// `dropped` (monotone max, so concurrent publishers never regress it).
+void PublishTracerHealth(size_t dropped_spans, MetricRegistry& registry);
+
+/// Sets kMetricInternedNames to the registry's current interning-table
+/// size. Call before rendering so consumers can watch label cardinality.
+void PublishRegistryHealth(MetricRegistry& registry);
 
 /// One span as a JSON object: span_id, parent_id, name, start_us, dur_us,
 /// and an "attrs" object.

@@ -117,6 +117,11 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
   return out;
 }
 
+size_t MetricRegistry::InternedNameCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void MetricRegistry::AccumulateInto(MetricRegistry* target) const {
   if (target == this || target == nullptr) return;
   std::vector<MetricSnapshot> snapshot = Snapshot();
@@ -143,6 +148,18 @@ MetricRegistry& GlobalMetrics() {
   static MetricRegistry* registry =
       new MetricRegistry();  // NOLINT(coursenav-raw-new)
   return *registry;
+}
+
+std::string LabeledMetricName(std::string_view base, std::string_view key,
+                              std::string_view value) {
+  std::string name;
+  name.reserve(base.size() + key.size() + value.size() + 2);
+  name.append(base);
+  name.push_back('|');
+  name.append(key);
+  name.push_back('=');
+  name.append(value);
+  return name;
 }
 
 ExplorationMetrics::ExplorationMetrics(MetricRegistry* registry)

@@ -158,6 +158,11 @@ class MetricRegistry {
   /// deterministic export.
   std::vector<MetricSnapshot> Snapshot() const;
 
+  /// Total interned names across all three kinds. Labeled per-tenant series
+  /// intern one name per (metric, label) pair, so this is the number
+  /// exporter consumers watch to detect unbounded label cardinality.
+  size_t InternedNameCount() const;
+
   /// Adds every counter value and histogram bucket of this registry into
   /// `target` (interning names there as needed); gauges propagate as
   /// UpdateMax. Used to fold a finished run's registry into the global one.
@@ -179,6 +184,14 @@ class MetricRegistry {
 
 /// The process-wide registry the exporters snapshot. Never destroyed.
 MetricRegistry& GlobalMetrics();
+
+/// Encodes one label pair into an interned metric name: `base|key=value`.
+/// The registry treats the result as an opaque name; the Prometheus
+/// renderer splits it back apart and emits `base{key="value"}` with the
+/// value escaped, so hostile label values (quotes, backslashes, newlines)
+/// round-trip through the text exposition format.
+std::string LabeledMetricName(std::string_view base, std::string_view key,
+                              std::string_view value);
 
 // ------------------------------------------------------------------
 // Canonical metric names (shared by the engine, exporters, and tests).
@@ -225,9 +238,16 @@ inline constexpr std::string_view kMetricSessionCacheHits =
 inline constexpr std::string_view kMetricSessionCacheMisses =
     "session_goal_path_cache_misses_total";
 
+// Observability self-monitoring: consumers watch these to detect
+// truncated traces and label-cardinality growth.
+inline constexpr std::string_view kMetricTraceDroppedSpans =
+    "trace_dropped_spans";
+inline constexpr std::string_view kMetricInternedNames =
+    "metrics_interned_names";
+
 // Serving layer (src/serve/): admission control, shedding, and client
-// retries. Per-tenant series append a sanitized tenant name to the
-// kMetricServeTenant* prefixes (the exporters are label-free).
+// retries. Per-tenant series are labeled via LabeledMetricName(base,
+// "tenant", name) and render as `base{tenant="..."}`.
 inline constexpr std::string_view kMetricServeSubmitted =
     "serve_requests_submitted_total";
 inline constexpr std::string_view kMetricServeAdmitted =
@@ -257,10 +277,18 @@ inline constexpr std::string_view kMetricServeQueueWaitMicros =
     "serve_queue_wait_us";
 inline constexpr std::string_view kMetricServeServiceMicros =
     "serve_service_us";
-inline constexpr std::string_view kMetricServeTenantRequestsPrefix =
-    "serve_tenant_requests_total_";
-inline constexpr std::string_view kMetricServeTenantInflightPrefix =
-    "serve_tenant_inflight_";
+inline constexpr std::string_view kMetricServeTenantRequests =
+    "serve_tenant_requests_total";
+inline constexpr std::string_view kMetricServeTenantInflight =
+    "serve_tenant_inflight";
+inline constexpr std::string_view kMetricServeTenantQueueWaitMicros =
+    "serve_tenant_queue_wait_us";
+inline constexpr std::string_view kMetricServeTenantServiceMicros =
+    "serve_tenant_service_us";
+inline constexpr std::string_view kMetricServeTenantDeadlineMet =
+    "serve_tenant_deadline_met_total";
+inline constexpr std::string_view kMetricServeTenantDeadlineMissed =
+    "serve_tenant_deadline_missed_total";
 
 /// The per-run instrumentation bundle every generator increments: one
 /// plain int64 tally per legacy `ExplorationStats` counter (plus budget

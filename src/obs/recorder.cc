@@ -1,0 +1,101 @@
+#include "obs/recorder.h"
+
+#include <utility>
+
+#include "obs/export.h"
+
+namespace coursenav::obs {
+
+JsonValue RecordedRequest::ToJson() const {
+  JsonValue::Object object;
+  object["trace_id"] = JsonValue(trace_id);
+  object["tenant"] = JsonValue(tenant);
+  object["request_id"] = JsonValue(request_id);
+  object["outcome"] = JsonValue(outcome);
+  if (!status_message.empty()) {
+    object["status_message"] = JsonValue(status_message);
+  }
+  object["deadline_ms"] = JsonValue(deadline_ms);
+  object["queue_wait_ms"] = JsonValue(queue_wait_ms);
+  object["service_ms"] = JsonValue(service_ms);
+  object["served_seq"] = JsonValue(served_seq);
+  object["age_seconds"] = JsonValue(age_seconds);
+  if (!trace.empty()) {
+    std::vector<JsonValue> spans;
+    spans.reserve(trace.size());
+    for (const SpanRecord& span : trace) spans.push_back(SpanToJson(span));
+    object["trace"] = JsonValue(std::move(spans));
+  }
+  return JsonValue(std::move(object));
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {}
+
+void FlightRecorder::SetAutoDumpSink(
+    std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void FlightRecorder::Record(RecordedRequest record) {
+  std::function<void(const std::string&)> fire;
+  std::string dump;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.age_seconds = epoch_.ElapsedSeconds();
+    const bool bad = !record.is_ok();
+    ring_.push_back(std::move(record));
+    while (ring_.size() > config_.capacity) ring_.pop_front();
+    ++total_;
+    if (bad) {
+      ++non_ok_;
+      const double now = ring_.back().age_seconds;
+      const bool after_quiet =
+          last_non_ok_seconds_ < 0.0 ||
+          now - last_non_ok_seconds_ >= config_.quiet_seconds;
+      last_non_ok_seconds_ = now;
+      if (after_quiet && sink_) {
+        ++auto_dumps_;
+        fire = sink_;
+        for (const RecordedRequest& kept : ring_) {
+          dump += kept.ToJson().Dump();
+          dump += "\n";
+        }
+      }
+    }
+  }
+  if (fire) fire(dump);
+}
+
+std::vector<RecordedRequest> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RecordedRequest>(ring_.begin(), ring_.end());
+}
+
+std::string FlightRecorder::DumpJsonLines() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const RecordedRequest& record : ring_) {
+    out += record.ToJson().Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+int64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+int64_t FlightRecorder::non_ok_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return non_ok_;
+}
+
+int64_t FlightRecorder::auto_dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_dumps_;
+}
+
+}  // namespace coursenav::obs

@@ -1,0 +1,101 @@
+#ifndef COURSENAV_OBS_RECORDER_H_
+#define COURSENAV_OBS_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace coursenav::obs {
+
+/// One finished request's summary, as kept by the flight recorder: the
+/// envelope digest (identities + timing + outcome), plus the sampled span
+/// tree when the server kept one for this request.
+struct RecordedRequest {
+  std::string trace_id;
+  std::string tenant;
+  std::string request_id;
+  /// The wire outcome name ("ok", "timeout", "overloaded", ...).
+  std::string outcome;
+  std::string status_message;
+  double deadline_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  double service_ms = 0.0;
+  int64_t served_seq = -1;
+  /// Seconds since the recorder was constructed (monotonic clock).
+  double age_seconds = 0.0;
+  std::vector<SpanRecord> trace;
+
+  bool is_ok() const { return outcome == "ok"; }
+
+  JsonValue ToJson() const;
+};
+
+struct FlightRecorderConfig {
+  /// Ring-buffer capacity: the newest `capacity` requests are retained.
+  size_t capacity = 256;
+  /// A non-ok outcome arriving after this many seconds without one fires
+  /// the auto-dump sink — the black box flushes on the *first* sign of
+  /// trouble after quiet, not on every subsequent failure of a burst.
+  double quiet_seconds = 5.0;
+};
+
+/// A fixed-size ring buffer of recent request summaries — the serving
+/// layer's black box. Thread-safe; recording is a mutex push into a
+/// bounded deque (cold next to request execution). Dumps to JSON-lines on
+/// demand and automatically (via the sink callback) on the first non-ok
+/// outcome after a quiet period.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Installs the auto-dump sink. The sink receives the JSON-lines dump of
+  /// everything retained at trigger time and runs outside the recorder's
+  /// lock; null uninstalls.
+  void SetAutoDumpSink(std::function<void(const std::string&)> sink);
+
+  /// Appends one finished request, evicting the oldest past capacity, and
+  /// fires the auto-dump sink when this is the first non-ok outcome after
+  /// `quiet_seconds` without one.
+  void Record(RecordedRequest record);
+
+  /// The retained records, oldest first.
+  std::vector<RecordedRequest> Snapshot() const;
+
+  /// One compact JSON object per retained record, oldest first.
+  std::string DumpJsonLines() const;
+
+  int64_t total_recorded() const;
+  int64_t non_ok_recorded() const;
+  /// Times the auto-dump sink fired.
+  int64_t auto_dumps() const;
+
+  const FlightRecorderConfig& config() const { return config_; }
+
+ private:
+  const FlightRecorderConfig config_;
+  Stopwatch epoch_;
+
+  mutable std::mutex mu_;
+  std::deque<RecordedRequest> ring_;
+  std::function<void(const std::string&)> sink_;
+  int64_t total_ = 0;
+  int64_t non_ok_ = 0;
+  int64_t auto_dumps_ = 0;
+  /// Epoch seconds of the last non-ok record; negative = never.
+  double last_non_ok_seconds_ = -1.0;
+};
+
+}  // namespace coursenav::obs
+
+#endif  // COURSENAV_OBS_RECORDER_H_

@@ -600,8 +600,12 @@ Result<ExplorationResponse> Executor::Run(const ExplorationPlan& plan) const {
 Result<ExplorationResponse> Execute(const Catalog& catalog,
                                     const OfferingSchedule& schedule,
                                     const ExplorationRequest& request) {
-  COURSENAV_ASSIGN_OR_RETURN(ExplorationPlan plan, Planner::Lower(request));
-  return Executor(&catalog, &schedule).Run(plan);
+  Result<ExplorationPlan> lowered = [&request] {
+    obs::ScopedSpan span(obs::kSpanPlanLower);
+    return Planner::Lower(request);
+  }();
+  COURSENAV_RETURN_IF_ERROR(lowered.status());
+  return Executor(&catalog, &schedule).Run(*lowered);
 }
 
 }  // namespace coursenav::plan

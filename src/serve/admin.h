@@ -1,0 +1,116 @@
+#ifndef COURSENAV_SERVE_ADMIN_H_
+#define COURSENAV_SERVE_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "serve/server.h"
+#include "util/result.h"
+
+namespace coursenav::serve {
+
+/// Transport tuning for the admin introspection plane.
+struct AdminConfig {
+  /// Loopback by default: the admin plane exposes operational internals and
+  /// must never face the internet.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  int port = 0;
+  int backlog = 8;
+  /// A scraper must deliver its request (and take the response) within
+  /// these budgets or the connection is dropped.
+  double recv_timeout_seconds = 2.0;
+  double send_timeout_seconds = 2.0;
+  /// Request line + headers larger than this are answered 400 and dropped.
+  size_t max_request_bytes = 8192;
+};
+
+/// The live introspection plane over an ExplorationServer: a second,
+/// loopback-only listener speaking just enough HTTP/1.0 for Prometheus
+/// scrapers, load-balancer health checks, and humans with a CLI.
+///
+/// Endpoints:
+///   /metrics             Prometheus text exposition of the global registry
+///                        (per-tenant latency series included).
+///   /healthz             200 "ok serving" while admitting; 503 with the
+///                        lifecycle state otherwise (idle/draining/stopped).
+///   /statusz             One JSON object: uptime, outcome counters, queue
+///                        depth, per-tenant quotas/inflight and SLO
+///                        attainment, trace-sink and recorder health.
+///   /statusz?recorder=1  /statusz plus the flight recorder's records.
+///
+/// Connections are served serially on the accept thread: the admin plane is
+/// a low-traffic diagnostics port, and serial service keeps it bounded — a
+/// stuck scraper delays the next scrape, never the serving path. GET only;
+/// anything else is answered 405. `HandleGet` is the transport-free core,
+/// so tests and the CLI can hit endpoints without a socket.
+///
+/// The core server is borrowed and must outlive the admin plane.
+class AdminServer {
+ public:
+  /// One admin-plane response, transport-free.
+  struct HttpResponse {
+    int status_code = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+
+    bool ok() const { return status_code == 200; }
+  };
+
+  AdminServer(const ExplorationServer* core, AdminConfig config = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens, and spawns the accept/serve thread.
+  Status Start();
+
+  /// Closes the listener (and any in-progress connection), then joins.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (the ephemeral pick when config.port was 0).
+  int port() const { return port_; }
+
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Serves one GET target ("/metrics", "/healthz", "/statusz",
+  /// "/statusz?recorder=1"); unknown targets get 404. This is the whole
+  /// admin plane minus the socket — tests call it directly.
+  HttpResponse HandleGet(std::string_view target) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  HttpResponse Metrics() const;
+  HttpResponse Healthz() const;
+  HttpResponse Statusz(bool include_recorder) const;
+
+  const ExplorationServer* core_;
+  const AdminConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::atomic<int64_t> requests_served_{0};
+};
+
+/// Minimal HTTP/1.0 GET client for the admin plane: connects, requests
+/// `target`, and parses the status line + body. Shared by the CLI `admin`
+/// subcommand and the CI smoke test so neither needs curl. Unavailable
+/// (connect/timeout) and malformed responses come back as error Status.
+Result<AdminServer::HttpResponse> AdminHttpGet(const std::string& host,
+                                               int port,
+                                               std::string_view target,
+                                               double timeout_seconds = 5.0);
+
+}  // namespace coursenav::serve
+
+#endif  // COURSENAV_SERVE_ADMIN_H_

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "plan/request.h"
 #include "serve/protocol.h"
 #include "util/cancellation.h"
@@ -76,6 +77,20 @@ struct Ticket {
   double deadline_seconds = 0.0;
   /// Deadline instant on the queue's epoch clock; the EDF ordering key.
   double absolute_deadline = 0.0;
+  /// Trace correlation id (client-supplied or server-generated).
+  std::string trace_id;
+  /// The client asked for the span tree back in the response.
+  bool want_trace = false;
+  /// The server's 1-in-N sampling picked this request for its trace sink.
+  bool sampled = false;
+  /// Microseconds the transport thread spent clamping request limits,
+  /// re-emitted as a span once a worker owns the request's tracer.
+  int64_t clamp_us = 0;
+  /// The request-scoped tracer (null when tracing is compiled out). Its
+  /// epoch starts on the transport thread just before admission, so
+  /// admission wait is on its timeline; a worker installs it thread-locally
+  /// for the execution stages.
+  std::unique_ptr<obs::Tracer> tracer;
   Stopwatch queued_at;
   CancellationToken cancel = CancellationToken::Cancellable();
 

@@ -9,11 +9,11 @@ namespace coursenav::serve {
 
 namespace {
 
-/// Tenant names become metric-name suffixes and log fields, so the charset
-/// is deliberately tight.
-bool IsValidTenantName(std::string_view tenant) {
-  if (tenant.empty() || tenant.size() > 64) return false;
-  for (char c : tenant) {
+/// Tenant names become metric labels and log fields, and trace ids become
+/// correlation keys, so the charset is deliberately tight for both.
+bool IsValidIdentifier(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
               (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
     if (!ok) return false;
@@ -128,16 +128,17 @@ Result<RequestEnvelope> ParseRequestEnvelope(const JsonValue& json) {
   if (!json.is_object()) {
     return Status::InvalidArgument("request envelope must be a JSON object");
   }
-  COURSENAV_RETURN_IF_ERROR(CheckKnownKeys(
-      json,
-      {"tenant", "request_id", "deadline_ms", "degrade", "payload", "request"},
-      "envelope"));
+  COURSENAV_RETURN_IF_ERROR(
+      CheckKnownKeys(json,
+                     {"tenant", "request_id", "deadline_ms", "degrade",
+                      "payload", "trace", "trace_id", "request"},
+                     "envelope"));
   RequestEnvelope envelope;
   if (json.Has("tenant")) {
     COURSENAV_ASSIGN_OR_RETURN(JsonValue tenant, json.Get("tenant"));
     COURSENAV_ASSIGN_OR_RETURN(envelope.tenant, tenant.GetString());
   }
-  if (!IsValidTenantName(envelope.tenant)) {
+  if (!IsValidIdentifier(envelope.tenant)) {
     return Status::InvalidArgument(
         "tenant must be 1-64 characters from [A-Za-z0-9_.-]");
   }
@@ -169,6 +170,18 @@ Result<RequestEnvelope> ParseRequestEnvelope(const JsonValue& json) {
       return Status::InvalidArgument("payload must be 'summary' or 'full'");
     }
   }
+  if (json.Has("trace")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue trace, json.Get("trace"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.want_trace, trace.GetBool());
+  }
+  if (json.Has("trace_id")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue trace_id, json.Get("trace_id"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.trace_id, trace_id.GetString());
+    if (!IsValidIdentifier(envelope.trace_id)) {
+      return Status::InvalidArgument(
+          "trace_id must be 1-64 characters from [A-Za-z0-9_.-]");
+    }
+  }
   COURSENAV_ASSIGN_OR_RETURN(envelope.request, json.Get("request"));
   if (!envelope.request.is_object()) {
     return Status::InvalidArgument("'request' must be a JSON object");
@@ -179,13 +192,16 @@ Result<RequestEnvelope> ParseRequestEnvelope(const JsonValue& json) {
 JsonValue MakeRequestEnvelope(std::string_view tenant,
                               std::string_view request_id, double deadline_ms,
                               JsonValue request, std::optional<bool> degrade,
-                              bool full_payload) {
+                              bool full_payload, bool want_trace,
+                              std::string_view trace_id) {
   JsonValue::Object object;
   object["tenant"] = JsonValue(std::string(tenant));
   object["request_id"] = JsonValue(std::string(request_id));
   if (deadline_ms > 0) object["deadline_ms"] = JsonValue(deadline_ms);
   if (degrade.has_value()) object["degrade"] = JsonValue(*degrade);
   if (full_payload) object["payload"] = JsonValue("full");
+  if (want_trace) object["trace"] = JsonValue(true);
+  if (!trace_id.empty()) object["trace_id"] = JsonValue(std::string(trace_id));
   object["request"] = std::move(request);
   return JsonValue(std::move(object));
 }
@@ -200,6 +216,8 @@ JsonValue ResponseEnvelope::ToJson() const {
   object["queue_wait_ms"] = JsonValue(queue_wait_ms);
   object["service_ms"] = JsonValue(service_ms);
   object["served_seq"] = JsonValue(served_seq);
+  if (!trace_id.empty()) object["trace_id"] = JsonValue(trace_id);
+  if (!trace.is_null()) object["trace"] = trace;
   if (degradation.has_value()) {
     object["degradation"] = degradation->ToJson();
   }
@@ -238,6 +256,13 @@ Result<ResponseEnvelope> ResponseEnvelope::FromJson(const JsonValue& json) {
   if (json.Has("served_seq")) {
     COURSENAV_ASSIGN_OR_RETURN(JsonValue seq, json.Get("served_seq"));
     COURSENAV_ASSIGN_OR_RETURN(envelope.served_seq, seq.GetInt());
+  }
+  if (json.Has("trace_id")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue trace_id, json.Get("trace_id"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.trace_id, trace_id.GetString());
+  }
+  if (json.Has("trace")) {
+    COURSENAV_ASSIGN_OR_RETURN(envelope.trace, json.Get("trace"));
   }
   if (json.Has("degradation")) {
     COURSENAV_ASSIGN_OR_RETURN(JsonValue report, json.Get("degradation"));

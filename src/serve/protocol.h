@@ -78,6 +78,13 @@ struct RequestEnvelope {
   /// "summary" (default) returns counts only; "full" additionally returns
   /// the materialized paths/graph JSON.
   bool full_payload = false;
+  /// Client-supplied trace correlation id (1-64 chars from [A-Za-z0-9_.-]);
+  /// empty = the server generates one. Echoed in the response either way.
+  std::string trace_id;
+  /// When true the client wants the request's span tree returned in the
+  /// response ("trace": true on the wire). Span data requires the server
+  /// to be built with COURSENAV_TRACING; the id echo always works.
+  bool want_trace = false;
   /// The declarative ExplorationRequest document (plan/request.h schema).
   JsonValue request;
 };
@@ -91,7 +98,9 @@ JsonValue MakeRequestEnvelope(std::string_view tenant,
                               std::string_view request_id, double deadline_ms,
                               JsonValue request,
                               std::optional<bool> degrade = std::nullopt,
-                              bool full_payload = false);
+                              bool full_payload = false,
+                              bool want_trace = false,
+                              std::string_view trace_id = "");
 
 /// One response envelope. `result` holds the payload summary (and the full
 /// paths/graph JSON when requested); `degradation` is attached whenever the
@@ -111,6 +120,13 @@ struct ResponseEnvelope {
   /// Server-wide execution sequence number (-1 when never executed); lets
   /// tests and clients observe deadline-aware admission ordering.
   int64_t served_seq = -1;
+  /// The request's trace correlation id (client-supplied or
+  /// server-generated); empty only for requests rejected before parsing.
+  std::string trace_id;
+  /// The request's span tree (a JSON array of span objects), present only
+  /// when the client opted in with "trace": true and the server was built
+  /// with tracing compiled in.
+  JsonValue trace;
   std::optional<DegradationReport> degradation;
   JsonValue result;
 

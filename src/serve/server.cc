@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "graph/export.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/degradation.h"
@@ -19,17 +21,14 @@ namespace coursenav::serve {
 
 namespace {
 
-/// Tenant names on the wire allow [.-]; metric names do not. Anything
-/// outside the metric-safe charset becomes '_'.
-std::string SanitizeTenantMetricName(std::string_view tenant) {
-  std::string out;
-  out.reserve(tenant.size());
-  for (char c : tenant) {
-    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-              (c >= '0' && c <= '9') || c == '_';
-    out.push_back(ok ? c : '_');
-  }
-  return out;
+/// The deadline a request is actually held to: its own when it named one,
+/// else the server default, never past the hard ceiling.
+double EffectiveDeadlineMs(const RequestEnvelope& envelope,
+                           const AdmissionConfig& admission) {
+  double deadline_ms = envelope.deadline_ms > 0
+                           ? envelope.deadline_ms
+                           : admission.default_deadline_seconds * 1e3;
+  return std::min(deadline_ms, admission.max_deadline_seconds * 1e3);
 }
 
 /// Maps an execution error to the response taxonomy: request errors are the
@@ -99,7 +98,9 @@ JsonValue BuildCountPayload(const CountingResult& count) {
 ExplorationServer::ExplorationServer(const Catalog* catalog,
                                      const OfferingSchedule* schedule,
                                      ServerConfig config)
-    : config_(std::move(config)), navigator_(catalog, schedule) {}
+    : config_(std::move(config)),
+      navigator_(catalog, schedule),
+      recorder_(config_.recorder) {}
 
 ExplorationServer::~ExplorationServer() {
   if (state() != State::kStopped) Shutdown();
@@ -123,23 +124,28 @@ void ExplorationServer::WorkerLoop() {
 }
 
 ResponseEnvelope ExplorationServer::HandleRequest(std::string_view payload) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t submission = submitted_.fetch_add(1, std::memory_order_relaxed);
   obs::GlobalMetrics().GetCounter(obs::kMetricServeSubmitted)->Increment();
 
   if (payload.size() > config_.max_request_bytes) {
     return RejectResponse(
-        "default", "",
+        "default", "", "",
         Status::InvalidArgument(StrFormat(
             "request of %zu bytes exceeds the %zu-byte limit", payload.size(),
             config_.max_request_bytes)));
   }
   Result<JsonValue> parsed = JsonValue::Parse(payload);
-  if (!parsed.ok()) return RejectResponse("default", "", parsed.status());
+  if (!parsed.ok()) return RejectResponse("default", "", "", parsed.status());
   Result<RequestEnvelope> envelope_result = ParseRequestEnvelope(*parsed);
   if (!envelope_result.ok()) {
-    return RejectResponse("default", "", envelope_result.status());
+    return RejectResponse("default", "", "", envelope_result.status());
   }
   RequestEnvelope envelope = std::move(*envelope_result);
+  if (envelope.trace_id.empty()) {
+    // Server-generated correlation id: unique within this process run.
+    envelope.trace_id =
+        StrFormat("srv-%lld", static_cast<long long>(submission));
+  }
 
   // The serve/overload chaos seam: when it fires, force one of the three
   // overload paths so every shed route is reachable from a seed alone.
@@ -172,13 +178,14 @@ ResponseEnvelope ExplorationServer::HandleRequest(std::string_view payload) {
 
   Status schema = ValidateRequestJsonSchema(envelope.request);
   if (!schema.ok()) {
-    return RejectResponse(envelope.tenant, envelope.request_id, schema);
+    return RejectResponse(envelope.tenant, envelope.request_id,
+                          envelope.trace_id, schema);
   }
   Result<ExplorationRequest> request_result =
       ExplorationRequestFromJson(envelope.request, navigator_.catalog());
   if (!request_result.ok()) {
     return RejectResponse(envelope.tenant, envelope.request_id,
-                          request_result.status());
+                          envelope.trace_id, request_result.status());
   }
 
   if (state() != State::kServing || queue_ == nullptr) {
@@ -195,16 +202,24 @@ ResponseEnvelope ExplorationServer::HandleRequest(std::string_view payload) {
   ticket->full_payload = envelope.full_payload;
   ticket->forced_deadline_exceeded = forced_deadline_exceeded;
   ticket->forced_slow_client = forced_slow_client;
-  double deadline_seconds =
-      envelope.deadline_ms > 0
-          ? envelope.deadline_ms / 1e3
-          : config_.admission.default_deadline_seconds;
+  ticket->trace_id = envelope.trace_id;
+  ticket->want_trace = envelope.want_trace;
+  ticket->sampled = config_.trace_sample_every > 0 &&
+                    submission % config_.trace_sample_every == 0;
+#if COURSENAV_TRACING
+  // The request-scoped tracer starts its timeline here, on the transport
+  // thread: clamping and admission wait happen on it, and the worker
+  // installs it before the execution stages.
+  ticket->tracer =
+      std::make_unique<obs::Tracer>(config_.max_spans_per_request);
+#endif
   ticket->deadline_seconds =
-      std::min(deadline_seconds, config_.admission.max_deadline_seconds);
+      EffectiveDeadlineMs(envelope, config_.admission) / 1e3;
 
   // Tenant isolation: clamp the request's arena to the per-request caps,
   // whatever it asked for. The graph's soft-capacity limits then turn a
   // hostile request into a bounded partial answer.
+  Stopwatch clamp_timer;
   ExplorationLimits& limits = ticket->request.options.limits;
   if (config_.max_nodes_per_request > 0 &&
       (limits.max_nodes <= 0 ||
@@ -223,6 +238,7 @@ ResponseEnvelope ExplorationServer::HandleRequest(std::string_view payload) {
   }
   ticket->request.options.num_threads = std::min(
       ticket->request.options.num_threads, config_.threads_per_request);
+  ticket->clamp_us = clamp_timer.ElapsedMicros();
 
   AdmissionQueue::AdmitResult admit = queue_->Admit(ticket);
   if (admit.verdict != AdmitVerdict::kAdmitted) {
@@ -241,16 +257,37 @@ std::string ExplorationServer::Handle(std::string_view payload) {
 }
 
 void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
-  obs::ScopedSpan span(obs::kSpanServeRequest);
-  span.AddString("tenant", ticket->tenant);
   const double queue_wait_seconds = ticket->queued_at.ElapsedSeconds();
   Stopwatch service_timer;
+  double service_seconds = 0.0;
 
   ResponseEnvelope out;
   out.tenant = ticket->tenant;
   out.request_id = ticket->request_id;
+  out.trace_id = ticket->trace_id;
   out.queue_wait_ms = queue_wait_seconds * 1e3;
   out.served_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    // Install the request-scoped tracer on this worker thread: the root
+    // serve/request span opens here, and every stage span the planner,
+    // executor, and degradation ladder emit nests under it via the
+    // thread-local tracer.
+    std::optional<obs::ScopedTracer> install;
+    if (ticket->tracer != nullptr) install.emplace(ticket->tracer.get());
+    obs::ScopedSpan span(obs::kSpanServeRequest);
+    span.AddString("tenant", ticket->tenant);
+    if (ticket->tracer != nullptr) {
+      // Replay the pre-worker intervals onto the request timeline as
+      // children of the root: the transport-thread clamp (at the timeline
+      // origin), then the admission wait that ended just now.
+      const int64_t now_us = ticket->tracer->NowMicros();
+      const int64_t wait_us = static_cast<int64_t>(queue_wait_seconds * 1e6);
+      ticket->tracer->EmitSpan(obs::kSpanServeClamp, 0, ticket->clamp_us);
+      ticket->tracer->EmitSpan(obs::kSpanServeAdmissionWait,
+                               std::max<int64_t>(now_us - wait_us, 0),
+                               wait_us);
+    }
 
   const double remaining_seconds =
       ticket->deadline_seconds - queue_wait_seconds;
@@ -314,7 +351,7 @@ void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
     }
   }
 
-  const double service_seconds = service_timer.ElapsedSeconds();
+  service_seconds = service_timer.ElapsedSeconds();
   out.service_ms = service_seconds * 1e3;
 
   // The slow-client fault fires after execution: the work was done but the
@@ -327,6 +364,14 @@ void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
     out.degradation.reset();
   }
   span.AddString("outcome", ResponseOutcomeName(out.outcome));
+  span.AddDouble("queue_wait_ms", out.queue_wait_ms);
+  if (out.result.is_object() && out.result.Has("nodes")) {
+    if (Result<JsonValue> nodes = out.result.Get("nodes"); nodes.ok()) {
+      if (Result<int64_t> count = nodes->GetInt(); count.ok()) {
+        span.AddInt("nodes", *count);
+      }
+    }
+  }
 
   switch (out.outcome) {
     case ResponseOutcome::kOk:
@@ -353,9 +398,20 @@ void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
       break;
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
+  }  // Root span closes; the request's trace is complete.
 
   queue_->Complete(ticket, service_seconds);
-  PublishMetrics(out);
+#if COURSENAV_TRACING
+  if (ticket->want_trace && ticket->tracer != nullptr) {
+    JsonValue::Array spans;
+    for (const obs::SpanRecord& record : ticket->tracer->Spans()) {
+      spans.push_back(obs::SpanToJson(record));
+    }
+    out.trace = JsonValue(std::move(spans));
+  }
+#endif
+  RecordOutcome(out, ticket->deadline_seconds * 1e3, ticket.get());
+  PublishMetrics(out, /*executed=*/true);
   CompleteTicket(ticket, std::move(out));
 }
 
@@ -367,62 +423,154 @@ ResponseEnvelope ExplorationServer::ShedResponse(
   ResponseEnvelope out;
   out.tenant = envelope.tenant;
   out.request_id = envelope.request_id;
+  out.trace_id = envelope.trace_id;
   out.outcome = ResponseOutcome::kOverloaded;
   out.status = Status::ResourceExhausted(
       StrFormat("shed: %s", std::string(AdmitVerdictName(verdict)).c_str()));
   out.retry_after_ms = retry_after_ms;
+  RecordOutcome(out, EffectiveDeadlineMs(envelope, config_.admission),
+                nullptr);
+  PublishMetrics(out, /*executed=*/false);
   return out;
 }
 
 ResponseEnvelope ExplorationServer::RejectResponse(std::string_view tenant,
                                                    std::string_view request_id,
+                                                   std::string_view trace_id,
                                                    Status status) {
   rejected_.fetch_add(1, std::memory_order_relaxed);
   obs::GlobalMetrics().GetCounter(obs::kMetricServeRejected)->Increment();
   ResponseEnvelope out;
   out.tenant = std::string(tenant);
   out.request_id = std::string(request_id);
+  out.trace_id = std::string(trace_id);
   out.outcome = ResponseOutcome::kRejected;
   out.status = std::move(status);
+  RecordOutcome(out, 0.0, nullptr);
   return out;
 }
 
-void ExplorationServer::PublishMetrics(const ResponseEnvelope& response) {
+void ExplorationServer::PublishMetrics(const ResponseEnvelope& response,
+                                       bool executed) {
   obs::MetricRegistry& metrics = obs::GlobalMetrics();
-  metrics.GetCounter(obs::kMetricServeCompleted)->Increment();
-  switch (response.outcome) {
-    case ResponseOutcome::kDegraded:
-      metrics.GetCounter(obs::kMetricServeDegraded)->Increment();
-      break;
-    case ResponseOutcome::kTimeout:
-      metrics.GetCounter(obs::kMetricServeTimeout)->Increment();
-      break;
-    case ResponseOutcome::kCancelled:
-      metrics.GetCounter(obs::kMetricServeCancelled)->Increment();
-      break;
-    case ResponseOutcome::kSlowClient:
-      metrics.GetCounter(obs::kMetricServeSlowClient)->Increment();
-      break;
-    default:
-      break;
+  if (executed) {
+    metrics.GetCounter(obs::kMetricServeCompleted)->Increment();
+    switch (response.outcome) {
+      case ResponseOutcome::kDegraded:
+        metrics.GetCounter(obs::kMetricServeDegraded)->Increment();
+        break;
+      case ResponseOutcome::kTimeout:
+        metrics.GetCounter(obs::kMetricServeTimeout)->Increment();
+        break;
+      case ResponseOutcome::kCancelled:
+        metrics.GetCounter(obs::kMetricServeCancelled)->Increment();
+        break;
+      case ResponseOutcome::kSlowClient:
+        metrics.GetCounter(obs::kMetricServeSlowClient)->Increment();
+        break;
+      default:
+        break;
+    }
+    metrics.GetHistogram(obs::kMetricServeQueueWaitMicros)
+        ->Observe(static_cast<int64_t>(response.queue_wait_ms * 1e3));
+    metrics.GetHistogram(obs::kMetricServeServiceMicros)
+        ->Observe(static_cast<int64_t>(response.service_ms * 1e3));
   }
-  metrics.GetHistogram(obs::kMetricServeQueueWaitMicros)
-      ->Observe(static_cast<int64_t>(response.queue_wait_ms * 1e3));
-  metrics.GetHistogram(obs::kMetricServeServiceMicros)
-      ->Observe(static_cast<int64_t>(response.service_ms * 1e3));
+  if (queue_ == nullptr) return;
   metrics.GetGauge(obs::kMetricServeQueueDepth)->Set(queue_->depth());
   metrics.GetGauge(obs::kMetricServeInflight)->Set(queue_->inflight());
 
-  const std::string tenant = SanitizeTenantMetricName(response.tenant);
-  metrics
-      .GetCounter(std::string(obs::kMetricServeTenantRequestsPrefix) + tenant)
-      ->Increment();
+  // Per-tenant labeled series, gated on the queue's bounded tenant table so
+  // a hostile stream of fresh tenant names cannot grow the metric registry
+  // without bound.
   std::map<std::string, TenantCounters> tenants = queue_->TenantSnapshot();
-  if (auto it = tenants.find(response.tenant); it != tenants.end()) {
+  auto it = tenants.find(response.tenant);
+  if (it == tenants.end()) return;
+  metrics
+      .GetCounter(obs::LabeledMetricName(obs::kMetricServeTenantRequests,
+                                         "tenant", response.tenant))
+      ->Increment();
+  metrics
+      .GetGauge(obs::LabeledMetricName(obs::kMetricServeTenantInflight,
+                                       "tenant", response.tenant))
+      ->Set(it->second.inflight);
+  if (executed) {
     metrics
-        .GetGauge(std::string(obs::kMetricServeTenantInflightPrefix) + tenant)
-        ->Set(it->second.inflight);
+        .GetHistogram(obs::LabeledMetricName(
+            obs::kMetricServeTenantQueueWaitMicros, "tenant", response.tenant))
+        ->Observe(static_cast<int64_t>(response.queue_wait_ms * 1e3));
+    metrics
+        .GetHistogram(obs::LabeledMetricName(
+            obs::kMetricServeTenantServiceMicros, "tenant", response.tenant))
+        ->Observe(static_cast<int64_t>(response.service_ms * 1e3));
   }
+}
+
+void ExplorationServer::RecordOutcome(const ResponseEnvelope& response,
+                                      double deadline_ms,
+                                      const Ticket* ticket) {
+  // Per-tenant SLO tally. Rejected requests are the client's fault and
+  // count toward neither bucket; the tenant table is bounded by the
+  // admission cap so hostile tenant churn cannot grow it.
+  if (response.outcome != ResponseOutcome::kRejected) {
+    const bool met = (response.outcome == ResponseOutcome::kOk ||
+                      response.outcome == ResponseOutcome::kDegraded) &&
+                     (deadline_ms <= 0 ||
+                      response.queue_wait_ms + response.service_ms <=
+                          deadline_ms);
+    bool tracked = false;
+    {
+      std::lock_guard<std::mutex> lock(slo_mu_);
+      auto it = slo_.find(response.tenant);
+      if (it == slo_.end() &&
+          slo_.size() < static_cast<size_t>(std::max(
+                            1, config_.admission.max_tenants))) {
+        it = slo_.emplace(response.tenant, SloCounters{}).first;
+      }
+      if (it != slo_.end()) {
+        tracked = true;
+        if (met) {
+          ++it->second.deadline_met;
+        } else {
+          ++it->second.deadline_missed;
+        }
+      }
+    }
+    if (tracked) {
+      obs::GlobalMetrics()
+          .GetCounter(obs::LabeledMetricName(
+              met ? obs::kMetricServeTenantDeadlineMet
+                  : obs::kMetricServeTenantDeadlineMissed,
+              "tenant", response.tenant))
+          ->Increment();
+    }
+  }
+
+  obs::RecordedRequest record;
+  record.trace_id = response.trace_id;
+  record.tenant = response.tenant;
+  record.request_id = response.request_id;
+  record.outcome = std::string(ResponseOutcomeName(response.outcome));
+  if (!response.status.ok()) {
+    record.status_message = response.status.message();
+  }
+  record.deadline_ms = deadline_ms;
+  record.queue_wait_ms = response.queue_wait_ms;
+  record.service_ms = response.service_ms;
+  record.served_seq = response.served_seq;
+  if (ticket != nullptr && ticket->tracer != nullptr) {
+    trace_dropped_.fetch_add(static_cast<int64_t>(ticket->tracer->dropped()),
+                             std::memory_order_relaxed);
+    obs::GlobalMetrics()
+        .GetGauge(obs::kMetricTraceDroppedSpans)
+        ->Set(trace_dropped_.load(std::memory_order_relaxed));
+    // The server-side trace sink: 1-in-N samples, every client opt-in, and
+    // every non-ok outcome keep their span tree in the recorder.
+    const bool keep = ticket->sampled || ticket->want_trace ||
+                      response.outcome != ResponseOutcome::kOk;
+    if (keep) record.trace = ticket->tracer->Spans();
+  }
+  recorder_.Record(std::move(record));
 }
 
 Status ExplorationServer::Drain(double timeout_seconds) {
@@ -490,7 +638,9 @@ void ExplorationServer::CancelTicket(const std::shared_ptr<Ticket>& ticket) {
   out.outcome = ResponseOutcome::kCancelled;
   out.status = Status::Cancelled("server shutting down");
   out.queue_wait_ms = ticket->queued_at.ElapsedSeconds() * 1e3;
+  out.trace_id = ticket->trace_id;
   ticket->cancel.RequestCancel();
+  RecordOutcome(out, ticket->deadline_seconds * 1e3, ticket.get());
   CompleteTicket(ticket, std::move(out));
 }
 
@@ -508,10 +658,16 @@ ServerStats ExplorationServer::Stats() const {
   stats.slow_client = slow_client_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  stats.uptime_seconds = started_.ElapsedSeconds();
+  stats.trace_dropped_spans = trace_dropped_.load(std::memory_order_relaxed);
   if (queue_ != nullptr) {
     stats.queue_depth = queue_->depth();
     stats.inflight = queue_->inflight();
     stats.tenants = queue_->TenantSnapshot();
+  }
+  {
+    std::lock_guard<std::mutex> lock(slo_mu_);
+    stats.slo.insert(slo_.begin(), slo_.end());
   }
   return stats;
 }

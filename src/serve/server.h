@@ -14,10 +14,12 @@
 #include "catalog/catalog.h"
 #include "catalog/schedule.h"
 #include "exec/worker_pool.h"
+#include "obs/recorder.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "service/navigator.h"
 #include "util/result.h"
+#include "util/stopwatch.h"
 
 namespace coursenav::serve {
 
@@ -46,6 +48,21 @@ struct ServerConfig {
   /// 0 = serial per request: server throughput comes from concurrent
   /// workers, not from one request monopolizing the machine.
   int threads_per_request = 0;
+  /// Server-side trace sampling: every Nth submission keeps its span tree
+  /// in the flight recorder even without a client opt-in (0 = only client
+  /// opt-ins and non-ok outcomes are kept). Non-ok outcomes always keep
+  /// theirs.
+  int trace_sample_every = 16;
+  /// Span-buffer bound of each request-scoped tracer; overflow increments
+  /// the tracer's dropped() count, surfaced as the trace_dropped_spans
+  /// gauge.
+  size_t max_spans_per_request = 512;
+  /// Flight-recorder ring capacity and auto-dump quiet window.
+  obs::FlightRecorderConfig recorder;
+  /// Per-tenant deadline-attainment target: the fraction of non-rejected
+  /// requests that should finish (ok or degraded) inside their deadline.
+  /// /statusz flags tenants below it.
+  double slo_deadline_target = 0.99;
 };
 
 /// A point-in-time snapshot of the server's counters. Every submitted
@@ -54,6 +71,23 @@ struct ServerConfig {
 /// degraded + timeout + cancelled + slow_client + failed. `admitted` and
 /// `completed` are progress counters (admitted requests that have received
 /// their final envelope), not extra buckets.
+/// Per-tenant deadline-attainment tallies. A request is `met` when it
+/// finished ok or degraded within its effective deadline; everything else
+/// non-rejected (timeout, shed, cancelled, slow-client, failed, or a late
+/// success) is `missed`. Rejected requests are the client's fault and count
+/// toward neither.
+struct SloCounters {
+  int64_t deadline_met = 0;
+  int64_t deadline_missed = 0;
+
+  double attainment() const {
+    const int64_t total = deadline_met + deadline_missed;
+    return total > 0 ? static_cast<double>(deadline_met) /
+                           static_cast<double>(total)
+                     : 1.0;
+  }
+};
+
 struct ServerStats {
   int64_t submitted = 0;
   int64_t admitted = 0;
@@ -69,7 +103,12 @@ struct ServerStats {
   int64_t faults_injected = 0;
   int queue_depth = 0;
   int inflight = 0;
+  /// Seconds since Start() (0 before the server started).
+  double uptime_seconds = 0.0;
+  /// Spans discarded by request-scoped tracers, total across requests.
+  int64_t trace_dropped_spans = 0;
   std::map<std::string, TenantCounters> tenants;
+  std::map<std::string, SloCounters> slo;
 };
 
 /// The multi-tenant exploration server core: admission control in front of
@@ -129,6 +168,12 @@ class ExplorationServer {
 
   const ServerConfig& config() const { return config_; }
 
+  /// The server's black box: every finished request's summary, plus the
+  /// sampled span trees (1-in-N and all non-ok outcomes). The admin plane
+  /// and the CLI dump it; tests assert completeness against it.
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  obs::FlightRecorder& recorder() { return recorder_; }
+
  private:
   /// One worker's life: pop admitted tickets until the queue closes.
   void WorkerLoop();
@@ -142,11 +187,20 @@ class ExplorationServer {
 
   /// Builds the rejection response for an unacceptable request.
   ResponseEnvelope RejectResponse(std::string_view tenant,
-                                  std::string_view request_id, Status status);
+                                  std::string_view request_id,
+                                  std::string_view trace_id, Status status);
 
   /// Mirrors one finished outcome into the global metric registry and the
-  /// per-tenant gauges.
-  void PublishMetrics(const ResponseEnvelope& response);
+  /// per-tenant series (`executed` requests additionally feed the latency
+  /// histograms).
+  void PublishMetrics(const ResponseEnvelope& response, bool executed);
+
+  /// Terminal-outcome bookkeeping shared by every exit path: feeds the
+  /// flight recorder (attaching the span tree when this request's trace is
+  /// kept), the per-tenant SLO tallies, and the dropped-span total.
+  /// `ticket` is null for requests that never reached admission.
+  void RecordOutcome(const ResponseEnvelope& response, double deadline_ms,
+                     const Ticket* ticket);
 
   /// Completes a never-executed ticket with kCancelled (shutdown/drain
   /// eviction path).
@@ -177,6 +231,15 @@ class ExplorationServer {
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> faults_injected_{0};
   std::atomic<int64_t> next_seq_{0};
+  std::atomic<int64_t> trace_dropped_{0};
+
+  obs::FlightRecorder recorder_;
+  Stopwatch started_;
+
+  /// Per-tenant deadline-attainment tallies (bounded by the admission
+  /// queue's tenant-table cap, since only named tenants reach here).
+  mutable std::mutex slo_mu_;
+  std::map<std::string, SloCounters, std::less<>> slo_;
 };
 
 }  // namespace coursenav::serve

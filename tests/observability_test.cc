@@ -1,5 +1,6 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 #include <gtest/gtest.h>
@@ -344,6 +345,205 @@ TEST(TraceExportTest, AggregateSpansGroupsByName) {
 }
 
 #endif  // COURSENAV_TRACING
+
+TEST(LabeledMetricsTest, LabeledNamesRenderAsPrometheusLabels) {
+  MetricRegistry registry;
+  registry
+      .GetCounter(obs::LabeledMetricName("requests_total", "tenant", "alpha"))
+      ->Increment(3);
+  registry
+      .GetCounter(obs::LabeledMetricName("requests_total", "tenant", "beta"))
+      ->Increment(5);
+  registry
+      .GetHistogram(obs::LabeledMetricName("wait_us", "tenant", "alpha"))
+      ->Observe(7);
+
+  std::string text = obs::RenderPrometheus(registry);
+  EXPECT_NE(text.find("coursenav_requests_total{tenant=\"alpha\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("coursenav_requests_total{tenant=\"beta\"} 5"),
+            std::string::npos);
+  // Labeled series sharing one base share exactly one TYPE header.
+  const std::string header = "# TYPE coursenav_requests_total counter";
+  const size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+  // Histogram buckets merge the label with le.
+  EXPECT_NE(
+      text.find("coursenav_wait_us_bucket{tenant=\"alpha\",le=\"+Inf\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("coursenav_wait_us_count{tenant=\"alpha\"} 1"),
+            std::string::npos);
+}
+
+TEST(LabeledMetricsTest, HostileLabelValuesEscapeAndRoundTrip) {
+  const std::string hostile = "evil\"tenant\\with\nnewlines";
+  const std::string escaped = obs::EscapePrometheusLabelValue(hostile);
+  EXPECT_EQ(escaped, "evil\\\"tenant\\\\with\\nnewlines");
+  EXPECT_EQ(obs::UnescapePrometheusLabelValue(escaped), hostile);
+
+  // Rendered through the registry, the hostile value must stay on one line
+  // and parse back to the original.
+  MetricRegistry registry;
+  registry.GetCounter(obs::LabeledMetricName("requests_total", "tenant",
+                                             hostile))
+      ->Increment();
+  std::string text = obs::RenderPrometheus(registry);
+  const std::string expected_series =
+      "coursenav_requests_total{tenant=\"" + escaped + "\"} 1";
+  EXPECT_NE(text.find(expected_series), std::string::npos) << text;
+  // The raw newline never leaks into the exposition text: every line is a
+  // comment, a series, or blank — count lines starting with the base name.
+  size_t series_lines = 0;
+  size_t at = 0;
+  while ((at = text.find("coursenav_requests_total", at)) !=
+         std::string::npos) {
+    ++series_lines;
+    at += 1;
+  }
+  EXPECT_EQ(series_lines, 2u);  // one TYPE header + one series line
+}
+
+TEST(LabeledMetricsTest, UnescapeKeepsUnknownEscapesVerbatim) {
+  EXPECT_EQ(obs::UnescapePrometheusLabelValue("a\\tb"), "a\\tb");
+  EXPECT_EQ(obs::UnescapePrometheusLabelValue("trailing\\"), "trailing\\");
+}
+
+// Satellite regression: the tracer's dropped-span count and the registry's
+// interning-table size are exported as gauges so dashboards can alarm on
+// truncated traces and label-cardinality growth.
+TEST(ObservabilityHealthTest, DroppedSpansAndInterningAreGauges) {
+  MetricRegistry registry;
+  obs::PublishTracerHealth(17, registry);
+  EXPECT_EQ(registry.GetGauge(obs::kMetricTraceDroppedSpans)->Value(), 17);
+  // UpdateMax semantics: a lower publish never regresses the high-water.
+  obs::PublishTracerHealth(5, registry);
+  EXPECT_EQ(registry.GetGauge(obs::kMetricTraceDroppedSpans)->Value(), 17);
+
+  registry.GetCounter("some_counter")->Increment();
+  registry.GetHistogram("some_histogram")->Observe(1);
+  obs::PublishRegistryHealth(registry);
+  const int64_t interned =
+      registry.GetGauge(obs::kMetricInternedNames)->Value();
+  // dropped-spans gauge + counter + histogram at minimum; the
+  // interned-names gauge itself may lag by one publish.
+  EXPECT_GE(interned, 3);
+  EXPECT_EQ(interned, static_cast<int64_t>(registry.InternedNameCount()) - 1);
+}
+
+TEST(MetricsJsonTest, SnapshotRendersCountersGaugesAndQuantiles) {
+  MetricRegistry registry;
+  registry.GetCounter("requests_total")->Increment(9);
+  registry.GetGauge("depth")->Set(4);
+  Histogram* histogram = registry.GetHistogram("latency_us");
+  for (int i = 0; i < 90; ++i) histogram->Observe(10);
+  for (int i = 0; i < 10; ++i) histogram->Observe(5000);
+
+  JsonValue json = obs::MetricsToJson(registry.Snapshot());
+  EXPECT_EQ(*json.Get("counters")->Get("requests_total")->GetInt(), 9);
+  EXPECT_EQ(*json.Get("gauges")->Get("depth")->GetInt(), 4);
+  const JsonValue latency = *json.Get("histograms")->Get("latency_us");
+  EXPECT_EQ(*latency.Get("count")->GetInt(), 100);
+  EXPECT_EQ(*latency.Get("sum")->GetInt(), 90 * 10 + 10 * 5000);
+  // p50 lands in the bucket holding the 10us observations, p99 outside it.
+  EXPECT_LE(*latency.Get("p50_us")->GetInt(), 16);
+  EXPECT_GT(*latency.Get("p99_us")->GetInt(), 16);
+}
+
+TEST(HistogramQuantileTest, PicksBucketUpperBounds) {
+  MetricRegistry registry;
+  Histogram* histogram = registry.GetHistogram("h");
+  EXPECT_EQ(obs::HistogramQuantile(registry.Snapshot()[0], 0.5), 0);
+  for (int i = 0; i < 10; ++i) histogram->Observe(3);  // bucket < 4
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  EXPECT_EQ(obs::HistogramQuantile(snapshot[0], 0.5), 4);
+  EXPECT_EQ(obs::HistogramQuantile(snapshot[0], 1.0), 4);
+}
+
+TEST(FlightRecorderTest, RingIsBoundedAndDumpsParseableJsonLines) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 4;
+  obs::FlightRecorder recorder(config);
+  for (int i = 0; i < 10; ++i) {
+    obs::RecordedRequest record;
+    record.trace_id = "t" + std::to_string(i);
+    record.tenant = "tenant";
+    record.request_id = "r" + std::to_string(i);
+    record.outcome = i % 2 == 0 ? "ok" : "timeout";
+    record.queue_wait_ms = 1.5;
+    record.service_ms = 2.5;
+    recorder.Record(std::move(record));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10);
+  EXPECT_EQ(recorder.non_ok_recorded(), 5);
+  const std::vector<obs::RecordedRequest> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);  // ring evicted the oldest six
+  EXPECT_EQ(snapshot.front().request_id, "r6");
+  EXPECT_EQ(snapshot.back().request_id, "r9");
+
+  const std::string dump = recorder.DumpJsonLines();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < dump.size()) {
+    size_t end = dump.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    Result<JsonValue> parsed = JsonValue::Parse(dump.substr(start, end - start));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(parsed->Has("request_id"));
+    EXPECT_TRUE(parsed->Has("outcome"));
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(FlightRecorderTest, AutoDumpFiresOnceThenStaysQuiet) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 8;
+  config.quiet_seconds = 3600.0;  // nothing in-test ever re-arms it
+  obs::FlightRecorder recorder(config);
+  std::vector<std::string> dumps;
+  recorder.SetAutoDumpSink(
+      [&dumps](const std::string& dump) { dumps.push_back(dump); });
+
+  obs::RecordedRequest ok;
+  ok.request_id = "fine";
+  ok.outcome = "ok";
+  recorder.Record(std::move(ok));
+  EXPECT_TRUE(dumps.empty());  // healthy traffic never dumps
+
+  obs::RecordedRequest bad;
+  bad.request_id = "first-bad";
+  bad.outcome = "overloaded";
+  recorder.Record(std::move(bad));
+  ASSERT_EQ(dumps.size(), 1u);  // first trouble after quiet fires
+  EXPECT_NE(dumps[0].find("first-bad"), std::string::npos);
+
+  obs::RecordedRequest more;
+  more.request_id = "second-bad";
+  more.outcome = "timeout";
+  recorder.Record(std::move(more));
+  EXPECT_EQ(dumps.size(), 1u);  // within the quiet window: suppressed
+  EXPECT_EQ(recorder.auto_dumps(), 1);
+  EXPECT_EQ(recorder.non_ok_recorded(), 2);
+}
+
+TEST(FlightRecorderTest, ZeroQuietWindowDumpsEveryFailure) {
+  obs::FlightRecorderConfig config;
+  config.quiet_seconds = 0.0;
+  obs::FlightRecorder recorder(config);
+  int dumps = 0;
+  recorder.SetAutoDumpSink([&dumps](const std::string&) { ++dumps; });
+  for (int i = 0; i < 3; ++i) {
+    obs::RecordedRequest bad;
+    bad.request_id = "b" + std::to_string(i);
+    bad.outcome = "failed";
+    recorder.Record(std::move(bad));
+  }
+  EXPECT_EQ(dumps, 3);
+}
 
 TEST(GlobalMetricsTest, FinishedRunsFoldIntoGlobalRegistry) {
   int64_t nodes_before =

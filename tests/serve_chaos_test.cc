@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "data/brandeis_cs.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -144,6 +146,45 @@ TEST(ServeChaosTest, TwoHundredSeedSweepStaysStructured) {
     EXPECT_EQ(RunSeed(seed), 0) << "seed " << seed;
     if (HasFatalFailure()) break;
   }
+}
+
+TEST(ServeChaosTest, RecorderCapturesEveryNonOkOutcome) {
+  // Chaos-seeded overload, one serial client, no retries: every non-ok
+  // outcome the client saw must appear in the flight recorder with the
+  // same request_id and outcome — the black box misses nothing.
+  ScopedFaultInjection chaos(ChaosConfig(42));
+  ServerConfig config;
+  config.num_workers = 2;
+  config.admission.max_queue_depth = 4;
+  ExplorationServer server(&Dataset().catalog, &Dataset().schedule, config);
+  server.Start();
+
+  std::map<std::string, std::string> expected;  // request_id -> outcome
+  for (int i = 0; i < 40; ++i) {
+    ResponseEnvelope response = server.HandleRequest(TinyPayload(i % 4, i));
+    if (response.outcome != ResponseOutcome::kOk) {
+      expected[response.request_id] =
+          std::string(ResponseOutcomeName(response.outcome));
+    }
+  }
+  EXPECT_TRUE(server.Drain(10.0).ok());
+  ASSERT_FALSE(expected.empty()) << "seed 42 injected no faults";
+
+  std::map<std::string, std::string> recorded;
+  for (const obs::RecordedRequest& record : server.recorder().Snapshot()) {
+    if (record.is_ok()) continue;
+    recorded[record.request_id] = record.outcome;
+#if COURSENAV_TRACING
+    // Executed non-ok requests keep their span tree in the sink; sheds
+    // never reached a worker, so they legitimately have none.
+    if (record.outcome != "overloaded") {
+      EXPECT_FALSE(record.trace.empty()) << record.request_id;
+    }
+#endif
+  }
+  EXPECT_EQ(recorded, expected);
+  EXPECT_EQ(server.recorder().non_ok_recorded(),
+            static_cast<int64_t>(expected.size()));
 }
 
 TEST(ServeChaosTest, ForcedOverloadIsDeterministicInTheSeed) {

@@ -140,6 +140,74 @@ TEST(EnvelopeTest, ResponseJsonRoundTrip) {
   EXPECT_EQ(parsed->served_seq, 17);
 }
 
+TEST(EnvelopeTest, TraceFieldsRoundTripThroughTheWireFormat) {
+  JsonValue doc = MakeRequestEnvelope("alice", "req-2", 1000.0,
+                                      TinyRequestDoc(), std::nullopt, false,
+                                      /*want_trace=*/true, "trace-abc.1");
+  Result<RequestEnvelope> envelope = ParseRequestEnvelope(doc);
+  ASSERT_TRUE(envelope.ok()) << envelope.status().ToString();
+  EXPECT_EQ(envelope->trace_id, "trace-abc.1");
+  EXPECT_TRUE(envelope->want_trace);
+
+  // Omitted trace fields parse to their defaults.
+  JsonValue plain = MakeRequestEnvelope("alice", "req-3", 0.0,
+                                        TinyRequestDoc());
+  Result<RequestEnvelope> no_trace = ParseRequestEnvelope(plain);
+  ASSERT_TRUE(no_trace.ok());
+  EXPECT_TRUE(no_trace->trace_id.empty());
+  EXPECT_FALSE(no_trace->want_trace);
+}
+
+TEST(EnvelopeTest, HostileTraceIdsAreRejectedAtParse) {
+  for (const char* trace_id :
+       {"has space", "new\nline", "quo\"te", "semi;colon"}) {
+    JsonValue doc = MakeRequestEnvelope("alice", "r", 0.0, TinyRequestDoc(),
+                                        std::nullopt, false, false, trace_id);
+    EXPECT_FALSE(ParseRequestEnvelope(doc).ok()) << trace_id;
+  }
+  const std::string too_long(65, 'a');
+  JsonValue doc = MakeRequestEnvelope("alice", "r", 0.0, TinyRequestDoc(),
+                                      std::nullopt, false, false, too_long);
+  EXPECT_FALSE(ParseRequestEnvelope(doc).ok());
+}
+
+TEST(EnvelopeTest, ResponseTraceRoundTrip) {
+  ResponseEnvelope response;
+  response.tenant = "alice";
+  response.request_id = "r-10";
+  response.outcome = ResponseOutcome::kOk;
+  response.trace_id = "srv-42";
+  JsonValue::Object span;
+  span["span_id"] = JsonValue(static_cast<int64_t>(1));
+  span["parent_id"] = JsonValue(static_cast<int64_t>(0));
+  span["name"] = JsonValue("serve/request");
+  JsonValue::Array spans;
+  spans.emplace_back(std::move(span));
+  response.trace = JsonValue(std::move(spans));
+
+  Result<ResponseEnvelope> parsed =
+      ResponseEnvelope::FromJson(response.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_id, "srv-42");
+  ASSERT_TRUE(parsed->trace.is_array());
+  ASSERT_EQ(parsed->trace.array().size(), 1u);
+  EXPECT_EQ(*parsed->trace.array()[0].Get("name")->GetString(),
+            "serve/request");
+
+  // Without opt-in, the trace key never appears on the wire.
+  ResponseEnvelope bare;
+  bare.tenant = "alice";
+  bare.request_id = "r-11";
+  bare.outcome = ResponseOutcome::kOk;
+  bare.trace_id = "srv-43";
+  EXPECT_FALSE(bare.ToJson().Has("trace"));
+  Result<ResponseEnvelope> bare_parsed =
+      ResponseEnvelope::FromJson(bare.ToJson());
+  ASSERT_TRUE(bare_parsed.ok());
+  EXPECT_TRUE(bare_parsed->trace.is_null());
+  EXPECT_EQ(bare_parsed->trace_id, "srv-43");
+}
+
 TEST(AdmissionQueueTest, BoundsShedWithRetryHints) {
   AdmissionConfig config;
   config.max_queue_depth = 2;

@@ -50,6 +50,7 @@
 #include "parsers/transcript_parser.h"
 #include "plan/planner.h"
 #include "requirements/expr_goal.h"
+#include "serve/admin.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/socket_server.h"
@@ -78,6 +79,8 @@ commands:
   serve      run the multi-tenant exploration server (TCP, length-prefixed
              JSON frames; see docs/serving.md)
   replay     replay a JSONL file of request envelopes against a server
+  admin      query a running server's admin plane (/metrics, /healthz,
+             /statusz) and print the response body
 
 common flags:
   --catalog=<file>     catalog+schedule JSON (or --demo for the bundled one)
@@ -120,6 +123,21 @@ serve flags:
   --serve-seconds=<s>  serve for s seconds, then drain and exit
                        (default 0: serve until stdin reaches EOF)
   --drain-seconds=<s>  drain budget before in-flight work is cancelled
+  --admin-port=<p>     also serve the admin plane (/metrics, /healthz,
+                       /statusz) on this loopback port (0 = ephemeral,
+                       printed as "admin on <addr>:<port>"; default: off)
+  --trace-sample=<n>   keep every nth request's span tree in the flight
+                       recorder (default 16; 0 = only client opt-ins and
+                       non-ok outcomes)
+  --recorder-out=<f>   write the flight-recorder dump (JSON lines) here on
+                       automatic overload dumps and again at exit
+
+admin flags:
+  --port=<p>           admin-plane port of the running server (required)
+  --host=<h>           admin-plane host (default 127.0.0.1)
+  --target=<t>         endpoint to fetch (default /statusz; also /metrics,
+                       /healthz, /statusz?recorder=1); exits non-zero
+                       unless the server answers 200
 
 replay flags:
   --requests-file=<f>  JSONL of request envelopes ('-' = stdin)
@@ -128,6 +146,10 @@ replay flags:
   --concurrency=<n>    concurrent client sessions (default 4)
   --repeat=<n>         replay the file n times (default 1)
   --max-attempts=<n>   per-request retry budget under overload (default 5)
+  --trace-out=<f>      replay-specific: opt every request into tracing and
+                       write the returned span trees as JSON lines (one
+                       span per line, tagged with its trace_id); also
+                       prints a per-tenant SLO summary after the run
 
 goal/topk/count flags:
   --goal=<expr>        boolean goal, e.g. "CS1 and (CS2 or CS3)"
@@ -674,6 +696,9 @@ Result<serve::ServerConfig> ServerConfigFromFlags(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(config.max_nodes_per_request,
                              flags.GetInt("max-request-nodes", 500'000));
   config.degrade_by_default = !flags.GetBool("no-degrade");
+  COURSENAV_ASSIGN_OR_RETURN(int64_t trace_sample,
+                             flags.GetInt("trace-sample", 16));
+  config.trace_sample_every = static_cast<int>(trace_sample);
   return config;
 }
 
@@ -709,8 +734,23 @@ Status RunServe(const FlagSet& flags) {
                              flags.GetDouble("serve-seconds", 0.0));
   COURSENAV_ASSIGN_OR_RETURN(double drain_seconds,
                              flags.GetDouble("drain-seconds", 5.0));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t admin_port,
+                             flags.GetInt("admin-port", -1));
+  COURSENAV_ASSIGN_OR_RETURN(std::string recorder_out,
+                             flags.GetString("recorder-out", ""));
 
   serve::ExplorationServer core(common.catalog, common.schedule, config);
+  if (!recorder_out.empty()) {
+    // The automatic dump fires on the first non-ok outcome after a quiet
+    // spell; the same file is rewritten with the full ring at exit.
+    core.recorder().SetAutoDumpSink([recorder_out](const std::string& dump) {
+      Status written = WriteFileContents(recorder_out, dump);
+      if (!written.ok()) {
+        std::fprintf(stderr, "note: recorder dump failed: %s\n",
+                     written.ToString().c_str());
+      }
+    });
+  }
   core.Start();
   serve::SocketConfig socket_config;
   socket_config.port = static_cast<int>(port);
@@ -718,6 +758,15 @@ Status RunServe(const FlagSet& flags) {
   COURSENAV_RETURN_IF_ERROR(transport.Start());
   std::printf("serving on %s:%d\n", socket_config.bind_address.c_str(),
               transport.port());
+  std::unique_ptr<serve::AdminServer> admin;
+  if (admin_port >= 0) {
+    serve::AdminConfig admin_config;
+    admin_config.port = static_cast<int>(admin_port);
+    admin = std::make_unique<serve::AdminServer>(&core, admin_config);
+    COURSENAV_RETURN_IF_ERROR(admin->Start());
+    std::printf("admin on %s:%d\n", admin_config.bind_address.c_str(),
+                admin->port());
+  }
   std::fflush(stdout);
 
   if (serve_seconds > 0) {
@@ -737,7 +786,37 @@ Status RunServe(const FlagSet& flags) {
   if (!drained.ok()) {
     std::fprintf(stderr, "note: %s\n", drained.ToString().c_str());
   }
+  // The admin plane outlives the drain so health checks can watch it.
+  if (admin != nullptr) admin->Stop();
+  if (!recorder_out.empty()) {
+    COURSENAV_RETURN_IF_ERROR(
+        WriteFileContents(recorder_out, core.recorder().DumpJsonLines()));
+  }
   PrintServerStats(core.Stats());
+  return Status::OK();
+}
+
+/// `coursenav admin`: one GET against a running server's admin plane. The
+/// body prints verbatim; the exit code says whether the server answered
+/// 200, so health checks can script it without parsing.
+Status RunAdmin(const FlagSet& flags) {
+  COURSENAV_ASSIGN_OR_RETURN(std::string host,
+                             flags.GetString("host", "127.0.0.1"));
+  COURSENAV_ASSIGN_OR_RETURN(int64_t port, flags.GetInt("port", 0));
+  if (port <= 0) {
+    return Status::InvalidArgument("need --port=<admin-plane port>");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::string target,
+                             flags.GetString("target", "/statusz"));
+  COURSENAV_ASSIGN_OR_RETURN(
+      serve::AdminServer::HttpResponse response,
+      serve::AdminHttpGet(host, static_cast<int>(port), target));
+  std::printf("%s", response.body.c_str());
+  if (!response.ok()) {
+    return Status::FailedPrecondition(StrFormat(
+        "admin plane answered HTTP %d for %s", response.status_code,
+        target.c_str()));
+  }
   return Status::OK();
 }
 
@@ -748,6 +827,11 @@ struct ReplayTally {
   std::vector<double> latencies_ms;
   int64_t attempts = 0;
   int64_t transport_failures = 0;
+  /// Per-tenant (met, missed) deadline tallies; rejected requests count
+  /// toward neither (mirrors the server's SLO accounting).
+  std::map<std::string, std::pair<int64_t, int64_t>> slo;
+  /// Flattened span JSON lines collected from traced responses.
+  std::vector<std::string> trace_lines;
 };
 
 double PercentileMs(std::vector<double>& sorted, double q) {
@@ -783,6 +867,30 @@ Status RunReplay(const FlagSet& flags) {
   if (repeat < 1 || concurrency < 1 || max_attempts < 1) {
     return Status::InvalidArgument(
         "--repeat, --concurrency, and --max-attempts must be >= 1");
+  }
+  COURSENAV_ASSIGN_OR_RETURN(std::string trace_out,
+                             flags.GetString("trace-out", ""));
+  COURSENAV_ASSIGN_OR_RETURN(double default_deadline_ms,
+                             flags.GetDouble("default-deadline-ms", 2000.0));
+  const bool want_traces = !trace_out.empty();
+
+  // Per-line effective deadlines for the client-side SLO tally; with
+  // --trace-out every envelope is additionally opted into tracing.
+  std::vector<double> deadlines(requests.size(), default_deadline_ms);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<JsonValue> parsed = JsonValue::Parse(requests[i]);
+    if (!parsed.ok() || !parsed->is_object()) continue;  // server rejects it
+    if (Result<JsonValue> deadline = parsed->Get("deadline_ms");
+        deadline.ok() && deadline->is_number()) {
+      if (Result<double> value = deadline->GetNumber();
+          value.ok() && *value > 0) {
+        deadlines[i] = *value;
+      }
+    }
+    if (want_traces) {
+      parsed->object()["trace"] = JsonValue(true);
+      requests[i] = parsed->Dump();
+    }
   }
   const int64_t total = static_cast<int64_t>(requests.size()) * repeat;
 
@@ -847,9 +955,28 @@ Status RunReplay(const FlagSet& flags) {
         std::lock_guard<std::mutex> lock(tally.mu);
         tally.latencies_ms.push_back(elapsed_ms);
         if (result.ok()) {
+          const serve::ResponseEnvelope& response = result->response;
           tally.attempts += result->attempts;
           tally.outcomes[std::string(
-              serve::ResponseOutcomeName(result->response.outcome))]++;
+              serve::ResponseOutcomeName(response.outcome))]++;
+          if (response.outcome != serve::ResponseOutcome::kRejected) {
+            const bool met =
+                (response.outcome == serve::ResponseOutcome::kOk ||
+                 response.outcome == serve::ResponseOutcome::kDegraded) &&
+                response.queue_wait_ms + response.service_ms <=
+                    deadlines[static_cast<size_t>(index) % requests.size()];
+            auto& [met_count, missed_count] = tally.slo[response.tenant];
+            (met ? met_count : missed_count) += 1;
+          }
+          if (want_traces && response.trace.is_array()) {
+            for (const JsonValue& span : response.trace.array()) {
+              JsonValue tagged = span;
+              if (tagged.is_object()) {
+                tagged.object()["trace_id"] = JsonValue(response.trace_id);
+              }
+              tally.trace_lines.push_back(tagged.Dump());
+            }
+          }
         } else {
           ++tally.transport_failures;
           tally.outcomes["transport-error"]++;
@@ -874,6 +1001,30 @@ Status RunReplay(const FlagSet& flags) {
   for (const auto& [outcome, count] : tally.outcomes) {
     std::printf("  %-16s %lld\n", outcome.c_str(),
                 static_cast<long long>(count));
+  }
+  if (!tally.slo.empty()) {
+    std::printf("per-tenant SLO (deadline attainment):\n");
+    for (const auto& [tenant, counters] : tally.slo) {
+      const auto& [met, missed] = counters;
+      const int64_t counted = met + missed;
+      std::printf("  %-16s %5.1f%% (%lld/%lld within deadline)\n",
+                  tenant.c_str(),
+                  counted > 0 ? 100.0 * static_cast<double>(met) /
+                                    static_cast<double>(counted)
+                              : 100.0,
+                  static_cast<long long>(met),
+                  static_cast<long long>(counted));
+    }
+  }
+  if (want_traces) {
+    std::string lines;
+    for (const std::string& line : tally.trace_lines) {
+      lines += line;
+      lines += '\n';
+    }
+    COURSENAV_RETURN_IF_ERROR(WriteFileContents(trace_out, lines));
+    std::printf("wrote %zu spans to %s\n", tally.trace_lines.size(),
+                trace_out.c_str());
   }
   if (embedded != nullptr) {
     Status drained = embedded->Drain();
@@ -924,7 +1075,12 @@ int Main(int argc, char** argv) {
   }
   obs::Tracer tracer;
   std::optional<obs::ScopedTracer> install_tracer;
-  if (!trace_out->empty()) install_tracer.emplace(&tracer);
+  // `replay` owns --trace-out itself (it collects the servers' per-request
+  // span trees, not this process's spans).
+  const bool replay_owns_trace = command == "replay";
+  if (!trace_out->empty() && !replay_owns_trace) {
+    install_tracer.emplace(&tracer);
+  }
 
   Status status;
   if (command == "explore") {
@@ -947,6 +1103,8 @@ int Main(int argc, char** argv) {
     status = RunServe(flags);
   } else if (command == "replay") {
     status = RunReplay(flags);
+  } else if (command == "admin") {
+    status = RunAdmin(flags);
   } else if (command == "help" || command == "--help") {
     std::printf("%s", kUsage);
     return 0;
@@ -955,8 +1113,8 @@ int Main(int argc, char** argv) {
                  kUsage);
     return 2;
   }
-  Status artifacts =
-      WriteObservabilityArtifacts(tracer, *trace_out, *metrics_out);
+  Status artifacts = WriteObservabilityArtifacts(
+      tracer, replay_owns_trace ? std::string() : *trace_out, *metrics_out);
   if (!artifacts.ok()) {
     std::fprintf(stderr, "error: %s\n", artifacts.ToString().c_str());
     if (status.ok()) return 1;
