@@ -5,11 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "core/combinations.h"
 #include "core/enrollment.h"
 #include "data/brandeis_cs.h"
 #include "requirements/degree_requirement.h"
 #include "util/random.h"
+#include "util/simd/simd.h"
 
 namespace coursenav {
 namespace {
@@ -148,6 +152,92 @@ void BM_CreditedSlotsDinic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CreditedSlotsDinic);
+
+// --- Fused set-algebra kernels: portable scalar table vs the runtime-
+// dispatched table, at universe sizes of 1, 2, 16, and 160 words (64,
+// 128, 1024, and 10240 courses — the 38-course Brandeis world packs into
+// 1 word; 160 words is the 10k synthetic-catalog scale). ---
+
+std::vector<uint64_t> RandomWords(Random& rng, size_t n, double density) {
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) {
+    w = 0;
+    for (int b = 0; b < 64; ++b) {
+      if (rng.Bernoulli(density)) w |= uint64_t{1} << b;
+    }
+  }
+  return words;
+}
+
+const simd::Kernels& KernelsFor(const benchmark::State& state) {
+  return state.range(1) != 0 ? simd::Active() : simd::Scalar();
+}
+
+void SetKernelLabel(benchmark::State& state) {
+  state.SetLabel(state.range(1) != 0 ? simd::Active().name : "scalar");
+}
+
+void BM_KernelAndNotPopcount(benchmark::State& state) {
+  Random rng(11);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::Kernels& k = KernelsFor(state);
+  SetKernelLabel(state);
+  std::vector<uint64_t> a = RandomWords(rng, n, 0.3);
+  std::vector<uint64_t> b = RandomWords(rng, n, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.and_not_popcount(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelAndNotPopcount)
+    ->ArgsProduct({{1, 2, 16, 160}, {0, 1}});
+
+void BM_KernelSubsetOf(benchmark::State& state) {
+  Random rng(12);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::Kernels& k = KernelsFor(state);
+  SetKernelLabel(state);
+  std::vector<uint64_t> b = RandomWords(rng, n, 0.6);
+  std::vector<uint64_t> a = RandomWords(rng, n, 0.5);
+  for (size_t i = 0; i < n; ++i) a[i] &= b[i];  // subset holds: full scan
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.subset_of(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelSubsetOf)->ArgsProduct({{1, 2, 16, 160}, {0, 1}});
+
+void BM_KernelUnionInplace(benchmark::State& state) {
+  Random rng(13);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::Kernels& k = KernelsFor(state);
+  SetKernelLabel(state);
+  std::vector<uint64_t> a = RandomWords(rng, n, 0.3);
+  std::vector<uint64_t> b = RandomWords(rng, n, 0.3);
+  for (auto _ : state) {
+    k.union_inplace(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_KernelUnionInplace)->ArgsProduct({{1, 2, 16, 160}, {0, 1}});
+
+void BM_KernelCountUnsatisfiedLiterals(benchmark::State& state) {
+  Random rng(14);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::Kernels& k = KernelsFor(state);
+  SetKernelLabel(state);
+  constexpr size_t kClauses = 12;
+  std::vector<uint64_t> pos;
+  for (size_t c = 0; c < kClauses; ++c) {
+    std::vector<uint64_t> row = RandomWords(rng, n, 0.05);
+    pos.insert(pos.end(), row.begin(), row.end());
+  }
+  std::vector<uint64_t> completed = RandomWords(rng, n, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.count_unsatisfied_literals(
+        pos.data(), nullptr, n, kClauses, completed.data()));
+  }
+}
+BENCHMARK(BM_KernelCountUnsatisfiedLiterals)
+    ->ArgsProduct({{1, 2, 16, 160}, {0, 1}});
 
 }  // namespace
 }  // namespace coursenav

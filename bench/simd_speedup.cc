@@ -1,0 +1,315 @@
+// Headline harness for the data-oriented hot path: frontier-batched
+// pruning and DNF evaluation against a faithful replica of the pre-batching
+// scalar path (node-at-a-time clause walks over per-clause bitsets, with
+// the same per-candidate temporaries the old code allocated, pinned to the
+// portable scalar kernel table). Run at 38 / 1,000 / 10,000 synthetic
+// courses; `--json-out=BENCH_simd_speedup.json` records the trajectory.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "core/pruning.h"
+#include "data/synthetic.h"
+#include "expr/dnf.h"
+#include "requirements/expr_goal.h"
+#include "util/bitset.h"
+#include "util/random.h"
+#include "util/simd/simd.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace coursenav {
+namespace {
+
+using internal::CandidateBatch;
+using internal::ExplorationEngine;
+using internal::PruningOracle;
+
+/// Pre-PR `Dnf::MinAdditionalCourses`: per-clause bitset walk with an
+/// allocated `missing` temporary, forced onto the scalar kernel table.
+int PreprMinAdditional(const std::vector<expr::DnfClause>& clauses,
+                       const DynamicBitset& completed) {
+  const simd::Kernels& k = simd::Scalar();
+  const size_t n = completed.word_count();
+  int best = expr::Dnf::kUnreachable;
+  for (const expr::DnfClause& clause : clauses) {
+    if (k.intersects(clause.negative.word_data(), completed.word_data(), n)) {
+      continue;  // dead clause
+    }
+    DynamicBitset missing = clause.positive;
+    k.subtract_inplace(missing.mutable_word_data(), completed.word_data(), n);
+    best = std::min(best, k.popcount(missing.word_data(), n));
+  }
+  return best;
+}
+
+/// Pre-PR `Dnf::AchievableWith`: allocates the reachable union, then walks
+/// clauses with scalar subset tests.
+bool PreprAchievable(const std::vector<expr::DnfClause>& clauses,
+                     const DynamicBitset& completed,
+                     const DynamicBitset& available) {
+  const simd::Kernels& k = simd::Scalar();
+  const size_t n = completed.word_count();
+  DynamicBitset reachable = completed;
+  k.union_inplace(reachable.mutable_word_data(), available.word_data(), n);
+  for (const expr::DnfClause& clause : clauses) {
+    if (k.intersects(clause.negative.word_data(), completed.word_data(), n)) {
+      continue;
+    }
+    if (k.subset_of(clause.positive.word_data(), reachable.word_data(), n)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Pre-PR `PruningOracle::ClassifyChild` shape (monotone goal, cache off):
+/// Equation 1 fast bound, exact clause-walk bound, then availability.
+PruningOracle::Verdict PreprClassify(
+    const std::vector<expr::DnfClause>& clauses,
+    const DynamicBitset& child_completed, int selection_size, int child_bound,
+    int left_parent, const DynamicBitset& available) {
+  if (left_parent - selection_size > child_bound) {
+    return PruningOracle::Verdict::kPrunedTime;
+  }
+  bool needs_exact = !(left_parent <= child_bound);
+  if (needs_exact &&
+      PreprMinAdditional(clauses, child_completed) > child_bound) {
+    return PruningOracle::Verdict::kPrunedTime;
+  }
+  if (!PreprAchievable(clauses, child_completed, available)) {
+    return PruningOracle::Verdict::kPrunedAvailability;
+  }
+  return PruningOracle::Verdict::kKeep;
+}
+
+struct ScaleResult {
+  int courses = 0;
+  size_t words = 0;
+  size_t candidates = 0;
+  double dnf_prepr_seconds = 0;
+  double dnf_batched_seconds = 0;
+  double prune_prepr_seconds = 0;
+  double prune_batched_seconds = 0;
+  double dnf_speedup = 0;
+  double prune_speedup = 0;
+};
+
+ScaleResult RunScale(int num_courses, const bench::BenchArgs& args) {
+  data::SyntheticConfig config;
+  config.num_courses = num_courses;
+  config.num_intro_courses = std::max(5, num_courses / 10);
+  config.seed = 7;
+  auto bundle = data::BuildSyntheticCatalog(config);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "synthetic catalog failed: %s\n",
+                 bundle.status().ToString().c_str());
+    std::exit(1);
+  }
+  const Catalog& catalog = bundle->catalog;
+
+  // A monotone 16-course goal spread across the catalog: enough clauses in
+  // play to make the exact bound non-trivial, fully positive so the time
+  // phase exercises the packed-matrix kernel.
+  std::vector<std::string> codes;
+  for (int i = 0; i < 16; ++i) {
+    codes.push_back(StrFormat("SYN%03d", i * (num_courses / 16)));
+  }
+  auto goal_or = ExprGoal::CompleteAll(codes, catalog);
+  if (!goal_or.ok()) {
+    std::fprintf(stderr, "goal failed: %s\n",
+                 goal_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  const ExprGoal& goal = **goal_or;
+  const std::vector<expr::DnfClause>& clauses = goal.dnf().clauses();
+
+  ExplorationOptions options;
+  options.max_courses_per_term = 4;
+  Term start = config.first_term;
+  Term end = start + 6;
+  ExplorationEngine engine(catalog, bundle->schedule, options, start, end);
+  GoalDrivenConfig prune_config;
+  prune_config.cache_availability_checks = false;  // measure kernels, not maps
+  PruningOracle oracle(goal, engine, options, prune_config);
+
+  // Workload: staged frontier batches of parent ∪ selection candidates.
+  Random rng(99);
+  const Term child_term = start + 1;
+  const int child_bound =
+      options.max_courses_per_term * (end - child_term);
+  const DynamicBitset& available = engine.AvailableFrom(child_term);
+  constexpr size_t kBatchesPerRound = 8;
+  const int rounds =
+      std::max(1, (args.full ? 20000000 : 4000000) / num_courses / 8);
+
+  struct Parent {
+    DynamicBitset completed;
+    int left = 0;
+    std::vector<DynamicBitset> selections;
+  };
+  std::vector<Parent> parents;
+  for (size_t b = 0; b < kBatchesPerRound; ++b) {
+    Parent parent{catalog.NewCourseSet(), 0, {}};
+    const uint64_t universe = static_cast<uint64_t>(num_courses);
+    for (int i = 0; i < num_courses / 8; ++i) {
+      parent.completed.set(static_cast<int>(rng.Uniform(universe)));
+    }
+    parent.left = goal.MinCoursesRemaining(parent.completed);
+    for (size_t c = 0; c < CandidateBatch::kDefaultCapacity; ++c) {
+      DynamicBitset selection = catalog.NewCourseSet();
+      int size = static_cast<int>(
+          rng.Uniform(static_cast<uint64_t>(options.max_courses_per_term)));
+      for (int s = 0; s <= size; ++s) {
+        selection.set(static_cast<int>(rng.Uniform(universe)));
+      }
+      parent.selections.push_back(std::move(selection));
+    }
+    parents.push_back(std::move(parent));
+  }
+
+  ScaleResult result;
+  result.courses = num_courses;
+  result.words = (static_cast<size_t>(num_courses) + 63) / 64;
+  result.candidates =
+      kBatchesPerRound * CandidateBatch::kDefaultCapacity *
+      static_cast<size_t>(rounds);
+
+  // --- DNF evaluation: pre-PR clause walk vs packed batch kernel. ---
+  int64_t checksum_prepr = 0;
+  {
+    Stopwatch timer;
+    for (int r = 0; r < rounds; ++r) {
+      for (const Parent& parent : parents) {
+        for (const DynamicBitset& selection : parent.selections) {
+          DynamicBitset child = parent.completed;  // pre-PR temp
+          child |= selection;
+          checksum_prepr += PreprMinAdditional(clauses, child);
+        }
+      }
+    }
+    result.dnf_prepr_seconds = timer.ElapsedSeconds();
+  }
+  int64_t checksum_batched = 0;
+  {
+    CandidateBatch batch;
+    batch.Configure(catalog.size());
+    std::vector<int> bounds(CandidateBatch::kDefaultCapacity);
+    Stopwatch timer;
+    for (int r = 0; r < rounds; ++r) {
+      for (const Parent& parent : parents) {
+        batch.Clear();
+        for (const DynamicBitset& selection : parent.selections) {
+          batch.Push(parent.completed, selection);
+        }
+        goal.dnf().MinAdditionalCoursesBatch(batch.completed_row(0),
+                                             batch.word_stride(),
+                                             batch.size(), bounds.data());
+        for (size_t i = 0; i < batch.size(); ++i) checksum_batched += bounds[i];
+      }
+    }
+    result.dnf_batched_seconds = timer.ElapsedSeconds();
+  }
+  if (checksum_prepr != checksum_batched) {
+    std::fprintf(stderr, "DNF checksum mismatch: %lld vs %lld\n",
+                 static_cast<long long>(checksum_prepr),
+                 static_cast<long long>(checksum_batched));
+    std::exit(1);
+  }
+
+  // --- Batched pruning classification vs the pre-PR per-candidate path. ---
+  int64_t verdict_checksum_prepr = 0;
+  {
+    Stopwatch timer;
+    for (int r = 0; r < rounds; ++r) {
+      for (const Parent& parent : parents) {
+        for (const DynamicBitset& selection : parent.selections) {
+          DynamicBitset child = parent.completed;
+          child |= selection;
+          verdict_checksum_prepr += static_cast<int>(
+              PreprClassify(clauses, child, selection.count(), child_bound,
+                            parent.left, available));
+        }
+      }
+    }
+    result.prune_prepr_seconds = timer.ElapsedSeconds();
+  }
+  int64_t verdict_checksum_batched = 0;
+  {
+    CandidateBatch batch;
+    batch.Configure(catalog.size());
+    std::vector<PruningOracle::Verdict> verdicts;
+    Stopwatch timer;
+    for (int r = 0; r < rounds; ++r) {
+      for (const Parent& parent : parents) {
+        batch.Clear();
+        for (const DynamicBitset& selection : parent.selections) {
+          batch.Push(parent.completed, selection);
+        }
+        oracle.ClassifyBatch(batch, child_term, parent.left, &verdicts);
+        for (PruningOracle::Verdict v : verdicts) {
+          verdict_checksum_batched += static_cast<int>(v);
+        }
+      }
+    }
+    result.prune_batched_seconds = timer.ElapsedSeconds();
+  }
+  if (verdict_checksum_prepr != verdict_checksum_batched) {
+    std::fprintf(stderr, "verdict checksum mismatch: %lld vs %lld\n",
+                 static_cast<long long>(verdict_checksum_prepr),
+                 static_cast<long long>(verdict_checksum_batched));
+    std::exit(1);
+  }
+
+  result.dnf_speedup = result.dnf_prepr_seconds / result.dnf_batched_seconds;
+  result.prune_speedup =
+      result.prune_prepr_seconds / result.prune_batched_seconds;
+  return result;
+}
+
+}  // namespace
+}  // namespace coursenav
+
+int main(int argc, char** argv) {
+  using namespace coursenav;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::BenchReport report("simd_speedup", args);
+
+  std::printf("simd_speedup: batched pruning / DNF vs pre-PR scalar path\n");
+  std::printf("active kernels: %s\n\n", simd::Active().name);
+  std::printf(
+      "%8s %6s %10s | %12s %12s %8s | %12s %12s %8s\n", "courses", "words",
+      "candidates", "dnf prepr", "dnf batched", "speedup", "prune prepr",
+      "prune batched", "speedup");
+  for (int courses : {38, 1000, 10000}) {
+    ScaleResult r = RunScale(courses, args);
+    std::printf(
+        "%8d %6zu %10zu | %10.4fs %10.4fs %7.2fx | %10.4fs %10.4fs %7.2fx\n",
+        r.courses, r.words, r.candidates, r.dnf_prepr_seconds,
+        r.dnf_batched_seconds, r.dnf_speedup, r.prune_prepr_seconds,
+        r.prune_batched_seconds, r.prune_speedup);
+    JsonValue::Object row;
+    row["courses"] = r.courses;
+    row["words"] = static_cast<int64_t>(r.words);
+    row["candidates"] = static_cast<int64_t>(r.candidates);
+    row["kernels"] = std::string(simd::Active().name);
+    row["dnf_prepr_seconds"] = r.dnf_prepr_seconds;
+    row["dnf_batched_seconds"] = r.dnf_batched_seconds;
+    row["dnf_speedup"] = r.dnf_speedup;
+    row["prune_prepr_seconds"] = r.prune_prepr_seconds;
+    row["prune_batched_seconds"] = r.prune_batched_seconds;
+    row["prune_speedup"] = r.prune_speedup;
+    report.AddRow(std::move(row));
+  }
+  if (!args.json_out.empty() && !report.WriteTo(args.json_out)) {
+    std::fprintf(stderr, "failed to write %s\n", args.json_out.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -51,6 +51,20 @@ class ExplorationEngine {
   /// call per enumerated selection. Verdicts are sticky.
   Status CheckBudget(const LearningGraph& graph);
 
+  /// Conservative pre-check for batched expansion: true when materializing
+  /// up to `staged` more nodes could reach the node budget. Callers staging
+  /// candidates flush them when this fires, then run the exact
+  /// `CheckBudget` — which therefore sees precisely the node count the
+  /// unbatched loop would have seen (staged candidates that survive pruning
+  /// are materialized before any check that could trip). Does not bump
+  /// `budget_checks`.
+  bool MightExceedNodeBudget(const LearningGraph& graph,
+                             size_t staged) const {
+    return options_.limits.max_nodes > 0 &&
+           graph.num_nodes() + static_cast<int64_t>(staged) >=
+               options_.limits.max_nodes;
+  }
+
   /// Wall-clock seconds since the engine was constructed (the generation
   /// run's runtime, for stats reporting).
   double ElapsedSeconds() const { return budget_.ElapsedSeconds(); }

@@ -138,4 +138,98 @@ PruningOracle::Verdict PruningOracle::ClassifyChild(
   return Verdict::kKeep;
 }
 
+void PruningOracle::ClassifyBatch(const CandidateBatch& batch, Term child_term,
+                                  int left_parent,
+                                  std::vector<Verdict>* verdicts) {
+  const size_t count = batch.size();
+  verdicts->assign(count, Verdict::kKeep);
+  if (count == 0) return;
+
+  if (config_.enable_time_pruning) {
+    obs::StageSample sample(&time_stage_);
+    const int child_bound =
+        options_.max_courses_per_term * (engine_.end() - child_term);
+    // The monotone fast-keep test depends only on the parent's `left`, so
+    // whether an exact bound is needed is decided once per batch; the exact
+    // bounds themselves come from the goal's clause-major batch kernel.
+    // (Bounds for fast-pruned rows are computed too — the kernel is pure,
+    // so the verdicts are unaffected.)
+    const bool needs_exact =
+        !(goal_is_monotone_ && left_parent <= child_bound);
+    if (needs_exact) {
+      batch_bounds_.resize(count);
+      goal_.MinCoursesRemainingBatch(batch.completed_view(),
+                                     batch_bounds_.data());
+    }
+    for (size_t i = 0; i < count; ++i) {
+      // Fast certain-prune: one semester reduces `left` by at most |W|.
+      if (left_parent - batch.selection_size(i) > child_bound ||
+          (needs_exact && batch_bounds_[i] > child_bound)) {
+        (*verdicts)[i] = Verdict::kPrunedTime;
+        metrics_->pruned_time += 1;
+      }
+    }
+  }
+
+  if (config_.enable_availability_pruning) {
+    obs::StageSample sample(&availability_stage_);
+    const DynamicBitset& available = engine_.AvailableFrom(child_term);
+    if (config_.cache_availability_checks && goal_is_monotone_) {
+      // The cache dance must mirror ClassifyChild row for row (same final
+      // L1/L2 contents), but probes reuse two scratch sets so cache hits
+      // and misses alike allocate only on insert.
+      if (batch_reachable_scratch_.universe_size() !=
+          available.universe_size()) {
+        batch_reachable_scratch_ = DynamicBitset(available.universe_size());
+        batch_completed_scratch_ = DynamicBitset(available.universe_size());
+      }
+      auto& per_term = availability_cache_[child_term.index()];
+      for (size_t i = 0; i < count; ++i) {
+        if ((*verdicts)[i] != Verdict::kKeep) continue;
+        batch_reachable_scratch_.AssignWords(batch.completed_row(i));
+        batch_reachable_scratch_ |= available;
+        bool achievable;
+        auto it = per_term.find(batch_reachable_scratch_);
+        if (it != per_term.end()) {
+          achievable = it->second;
+        } else if (shared_cache_ != nullptr &&
+                   shared_cache_->Lookup(child_term.index(),
+                                         batch_reachable_scratch_,
+                                         &achievable)) {
+          per_term.emplace(batch_reachable_scratch_, achievable);
+        } else {
+          batch_completed_scratch_.AssignWords(batch.completed_row(i));
+          achievable =
+              goal_.AchievableWith(batch_completed_scratch_, available);
+          if (shared_cache_ != nullptr) {
+            shared_cache_->Insert(child_term.index(),
+                                  batch_reachable_scratch_, achievable);
+          }
+          per_term.emplace(batch_reachable_scratch_, achievable);
+        }
+        if (!achievable) {
+          (*verdicts)[i] = Verdict::kPrunedAvailability;
+          metrics_->pruned_availability += 1;
+        }
+      }
+    } else {
+      // Uncached (or non-monotone) goals: one batched achievability pass.
+      // Time-pruned rows are evaluated too and ignored (pure function).
+      if (batch_achievable_capacity_ < count) {
+        batch_achievable_ = std::make_unique<bool[]>(count);
+        batch_achievable_capacity_ = count;
+      }
+      goal_.AchievableWithBatch(batch.completed_view(), available,
+                                batch_achievable_.get());
+      for (size_t i = 0; i < count; ++i) {
+        if ((*verdicts)[i] != Verdict::kKeep) continue;
+        if (!batch_achievable_[i]) {
+          (*verdicts)[i] = Verdict::kPrunedAvailability;
+          metrics_->pruned_availability += 1;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace coursenav::internal

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -46,6 +47,83 @@ struct GoalDrivenConfig {
 };
 
 namespace internal {
+
+/// A structure-of-arrays staging buffer for one parent expansion's
+/// candidate children. Instead of classifying each `X_i ∪ W` the moment a
+/// selection is enumerated, generators stage the candidate rows here —
+/// completed-set words, selection words, and selection popcounts each in
+/// one contiguous matrix — and classify a whole batch with clause-major
+/// kernels (`PruningOracle::ClassifyBatch`). Candidates keep enumeration
+/// order, so materializing the kept rows in index order reproduces the
+/// node-at-a-time output exactly.
+class CandidateBatch {
+ public:
+  /// Default batch capacity: bounded so staged rows stay L1/L2-resident
+  /// (64 rows × 160 words = 80 KiB at the 10k-course scale).
+  static constexpr size_t kDefaultCapacity = 64;
+
+  /// (Re)shapes the buffer for a universe and clears it. Allocates once;
+  /// repeated calls with the same universe reuse the matrices.
+  void Configure(int universe_size, size_t capacity = kDefaultCapacity) {
+    universe_size_ = universe_size;
+    stride_ = (static_cast<size_t>(universe_size) + 63) / 64;
+    capacity_ = capacity;
+    completed_words_.resize(capacity_ * stride_);
+    selection_words_.resize(capacity_ * stride_);
+    selection_sizes_.resize(capacity_);
+    count_ = 0;
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity_; }
+  void Clear() { count_ = 0; }
+
+  int universe_size() const { return universe_size_; }
+  size_t word_stride() const { return stride_; }
+
+  /// Stages the candidate `parent_completed ∪ selection` (the union is
+  /// fused straight into the staging row — no bitset temporary).
+  void Push(const DynamicBitset& parent_completed,
+            const DynamicBitset& selection) {
+    uint64_t* completed_row = completed_words_.data() + count_ * stride_;
+    uint64_t* selection_row = selection_words_.data() + count_ * stride_;
+    simd::UnionInto(completed_row, parent_completed.word_data(),
+                    selection.word_data(), stride_);
+    std::memcpy(selection_row, selection.word_data(),
+                stride_ * sizeof(uint64_t));
+    selection_sizes_[count_] = simd::Popcount(selection_row, stride_);
+    ++count_;
+  }
+
+  int selection_size(size_t i) const { return selection_sizes_[i]; }
+  const uint64_t* completed_row(size_t i) const {
+    return completed_words_.data() + i * stride_;
+  }
+
+  /// The staged completed sets as a Goal batch view.
+  CompletedBatchView completed_view() const {
+    return {completed_words_.data(), stride_, count_, universe_size_};
+  }
+
+  /// Reconstructs staged rows into caller-owned scratch bitsets (which must
+  /// already span this universe).
+  void CopyCompletedTo(size_t i, DynamicBitset* out) const {
+    out->AssignWords(completed_words_.data() + i * stride_);
+  }
+  void CopySelectionTo(size_t i, DynamicBitset* out) const {
+    out->AssignWords(selection_words_.data() + i * stride_);
+  }
+
+ private:
+  int universe_size_ = 0;
+  size_t stride_ = 0;
+  size_t capacity_ = 0;
+  size_t count_ = 0;
+  std::vector<uint64_t> completed_words_;
+  std::vector<uint64_t> selection_words_;
+  std::vector<int> selection_sizes_;
+};
 
 /// Read-mostly second-level availability-pruning cache shared by the
 /// per-worker oracles of one parallel run. Keys are (term index,
@@ -154,6 +232,21 @@ class PruningOracle {
   Verdict ClassifyChild(const DynamicBitset& child_completed,
                         int selection_size, Term child_term, int left_parent);
 
+  /// Batched `ClassifyChild` over one staged frontier batch (all candidates
+  /// share `child_term` and the parent's `left_parent`). Writes one verdict
+  /// per staged candidate to `verdicts` (resized to `batch.size()`).
+  ///
+  /// Equivalence contract (pinned by tests/pruning_batch_test.cc): for
+  /// every candidate the verdict — and the resulting pruning-counter
+  /// deltas — are exactly what a `ClassifyChild` loop over the batch in
+  /// index order would produce. The only differences are performance-
+  /// shaped: exact time bounds are computed clause-major for the whole
+  /// batch, the availability phase reuses one scratch reachable set, and
+  /// each phase records one aggregate stage sample instead of one per
+  /// candidate.
+  void ClassifyBatch(const CandidateBatch& batch, Term child_term,
+                     int left_parent, std::vector<Verdict>* verdicts);
+
   /// Records `count` candidates as time-pruned without classifying them
   /// individually (the Equation 1 min-selection shortcut).
   void AccountSkippedTimePruned(int64_t count);
@@ -187,6 +280,13 @@ class PruningOracle {
   std::unordered_map<
       int, std::unordered_map<DynamicBitset, bool, DynamicBitsetHash>>
       availability_cache_;
+
+  /// ClassifyBatch scratch (reused across batches; sized on first use).
+  std::vector<int> batch_bounds_;
+  std::unique_ptr<bool[]> batch_achievable_;
+  size_t batch_achievable_capacity_ = 0;
+  DynamicBitset batch_completed_scratch_;
+  DynamicBitset batch_reachable_scratch_;
 };
 
 }  // namespace internal

@@ -27,16 +27,22 @@ double TimeRanking::RemainingCostLowerBound(const DynamicBitset& completed,
 double WorkloadRanking::EdgeCost(const DynamicBitset& selection,
                                  Term term) const {
   (void)term;
+  if (workload_.size() != static_cast<size_t>(catalog_->size())) {
+    workload_.resize(static_cast<size_t>(catalog_->size()));
+    for (int id = 0; id < catalog_->size(); ++id) {
+      workload_[static_cast<size_t>(id)] =
+          catalog_->course(static_cast<CourseId>(id)).workload_hours;
+    }
+  }
   double total = 0.0;
-  selection.ForEach([&](int id) {
-    total += catalog_->course(static_cast<CourseId>(id)).workload_hours;
-  });
+  selection.ForEach(
+      [&](int id) { total += workload_[static_cast<size_t>(id)]; });
   return total;
 }
 
 double BottleneckWorkloadRanking::EdgeCost(const DynamicBitset& selection,
                                            Term term) const {
-  return WorkloadRanking(catalog_).EdgeCost(selection, term);
+  return inner_.EdgeCost(selection, term);
 }
 
 double BottleneckWorkloadRanking::Combine(double path_cost,
@@ -46,13 +52,24 @@ double BottleneckWorkloadRanking::Combine(double path_cost,
 
 double ReliabilityRanking::EdgeCost(const DynamicBitset& selection,
                                     Term term) const {
+  std::vector<double>& neg_log = neg_log_by_term_[term.index()];
+  if (neg_log.size() != static_cast<size_t>(selection.universe_size())) {
+    neg_log.resize(static_cast<size_t>(selection.universe_size()));
+    for (int id = 0; id < selection.universe_size(); ++id) {
+      double p = model_->Probability(static_cast<CourseId>(id), term);
+      neg_log[static_cast<size_t>(id)] =
+          p <= 0.0 ? std::numeric_limits<double>::infinity() : -std::log(p);
+    }
+  }
+  // Mirror the direct model walk exactly: an impossible offering pins the
+  // cost to +inf, and nothing is added past that point.
   double cost = 0.0;
   selection.ForEach([&](int id) {
-    double p = model_->Probability(static_cast<CourseId>(id), term);
-    if (p <= 0.0) {
+    double v = neg_log[static_cast<size_t>(id)];
+    if (v == std::numeric_limits<double>::infinity()) {
       cost = std::numeric_limits<double>::infinity();
     } else if (cost != std::numeric_limits<double>::infinity()) {
-      cost += -std::log(p);
+      cost += v;
     }
   });
   return cost;

@@ -2,6 +2,8 @@
 #define COURSENAV_CORE_RANKING_H_
 
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/schedule_history.h"
@@ -79,6 +81,12 @@ class WorkloadRanking final : public RankingFunction {
 
  private:
   const Catalog* catalog_;
+  /// Dense per-course workload table, built on first EdgeCost call so the
+  /// fold gathers from one contiguous array instead of chasing Course
+  /// structs. The accumulation order (ascending course id) is unchanged,
+  /// so costs stay bit-identical to the direct catalog walk. Rankings are
+  /// used by the (serial) ranked generator only, so lazy mutation is safe.
+  mutable std::vector<double> workload_;
 };
 
 /// Bottleneck-workload ranking (extension beyond the paper's three): ranks
@@ -89,14 +97,16 @@ class BottleneckWorkloadRanking final : public RankingFunction {
  public:
   /// `catalog` must outlive the ranking.
   explicit BottleneckWorkloadRanking(const Catalog* catalog)
-      : catalog_(catalog) {}
+      : inner_(catalog) {}
 
   double EdgeCost(const DynamicBitset& selection, Term term) const override;
   double Combine(double path_cost, double edge_cost) const override;
   std::string name() const override { return "bottleneck-workload"; }
 
  private:
-  const Catalog* catalog_;
+  /// Delegate that owns the lazy workload table; held as a member (rather
+  /// than constructed per call) so the table is built once per ranking.
+  WorkloadRanking inner_;
 };
 
 /// Reliability-based ranking: the paper defines a path's reliability as the
@@ -120,6 +130,12 @@ class ReliabilityRanking final : public RankingFunction {
 
  private:
   const OfferingProbabilityModel* model_;
+  /// Per-term dense `-log prob(c, s)` tables (`+inf` for p <= 0), built
+  /// lazily the first time a term is ranked. The per-course fold then reads
+  /// one contiguous array in ascending course id — the same order and the
+  /// same saturation rule as the direct model walk, so accumulated costs
+  /// are bit-identical. Serial-generator use only, hence mutable laziness.
+  mutable std::unordered_map<int, std::vector<double>> neg_log_by_term_;
 };
 
 }  // namespace coursenav

@@ -73,6 +73,17 @@ class BudgetSentinel {
     return status_;
   }
 
+  /// Conservative pre-check for batched expansion: true when materializing
+  /// up to `staged` more nodes could reach the node budget. Workers flush
+  /// their staged batch when this fires so the exact `CheckLimits` below
+  /// sees the same node count the unbatched loop would have.
+  bool MightExceedNodeBudget(size_t staged) const {
+    return limits_.max_nodes > 0 &&
+           nodes_.load(std::memory_order_relaxed) +
+                   static_cast<int64_t>(staged) >=
+               limits_.max_nodes;
+  }
+
   /// The global node/byte limits, mirroring ExplorationEngine::CheckBudget's
   /// wording and order.
   Status CheckLimits() const {
@@ -109,20 +120,28 @@ struct WorkerCtx {
             SharedAvailabilityCache* shared_cache)
       : shard(worker_index),
         metrics(nullptr),  // detached tally sheet, folded at join
-        deadline(remaining_seconds, spec.options->cancel) {
+        deadline(remaining_seconds, spec.options->cancel),
+        scratch(spec.catalog->size()),
+        selection_scratch(spec.catalog->size()) {
     if (spec.goal != nullptr) {
       oracle.emplace(*spec.goal, engine, *spec.options, *spec.config,
                      &metrics, shared_cache);
     }
+    batch.Configure(spec.catalog->size());
   }
 
   int shard;
   obs::ExplorationMetrics metrics;
   DeadlineBudget deadline;
   std::optional<PruningOracle> oracle;
-  /// Reused `X_i ∪ W` scratch: assigned (not reallocated) per candidate, so
-  /// pruned candidates cost zero heap traffic.
+  /// Reused scratch bitsets: staged batch rows are copied back into these
+  /// (assigned, not reallocated) when a kept candidate is materialized.
   DynamicBitset scratch;
+  DynamicBitset selection_scratch;
+  /// SoA staging buffer for the worker's current parent expansion, and the
+  /// verdict vector ClassifyBatch fills for it.
+  CandidateBatch batch;
+  std::vector<PruningOracle::Verdict> verdicts;
   size_t last_memory = 0;
 };
 
@@ -199,31 +218,41 @@ void ExpandNode(WorkerCtx& ctx, int worker_index, const FrontierItem& item,
       spec.goal != nullptr ? ctx.oracle->LeftAt(completed) : 0;
 
   bool expanded = false;
-  auto add_child = [&](const DynamicBitset& selection) {
-    ctx.scratch = completed;
-    ctx.scratch |= selection;  // X_{i+1} = X_i ∪ W
-    if (spec.goal != nullptr &&
-        ctx.oracle->ClassifyChild(ctx.scratch, selection.count(), child_term,
-                                  left_parent) !=
-            PruningOracle::Verdict::kKeep) {
-      return;
+  // Candidates are staged into the worker's SoA batch (fusing X_i ∪ W into
+  // a contiguous row) and classified batch-at-a-time; kept rows are then
+  // materialized in staging order, which is exactly enumeration order, so
+  // the shard-local node sequence matches the unbatched loop.
+  auto flush_batch = [&]() {
+    if (ctx.batch.empty()) return;
+    if (spec.goal != nullptr) {
+      ctx.oracle->ClassifyBatch(ctx.batch, child_term, left_parent,
+                                &ctx.verdicts);
+    } else {
+      ctx.verdicts.assign(ctx.batch.size(), PruningOracle::Verdict::kKeep);
     }
-    DynamicBitset next_options = ComputeOptions(
-        *spec.catalog, *spec.schedule, ctx.scratch, child_term, *spec.options);
-    LearningGraph::CreatedChild child = env.graph->AddChildTo(
-        ctx.shard, item.id, node, selection, DynamicBitset(ctx.scratch),
-        std::move(next_options), /*edge_cost=*/0.0,
-        /*path_cost=*/node->path_cost);
-    ctx.metrics.nodes_created += 1;
-    ctx.metrics.edges_created += 1;
-    env.sentinel->AddNodes(1);
-    size_t shard_memory = env.graph->ShardMemoryUsage(ctx.shard);
-    env.sentinel->AddMemory(
-        static_cast<int64_t>(shard_memory - ctx.last_memory));
-    ctx.last_memory = shard_memory;
-    env.pending->fetch_add(1, std::memory_order_relaxed);
-    env.queues->Push(worker_index, FrontierItem{child.id, child.node});
-    expanded = true;
+    for (size_t i = 0; i < ctx.batch.size(); ++i) {
+      if (ctx.verdicts[i] != PruningOracle::Verdict::kKeep) continue;
+      ctx.batch.CopyCompletedTo(i, &ctx.scratch);
+      ctx.batch.CopySelectionTo(i, &ctx.selection_scratch);
+      DynamicBitset next_options =
+          ComputeOptions(*spec.catalog, *spec.schedule, ctx.scratch,
+                         child_term, *spec.options);
+      LearningGraph::CreatedChild child = env.graph->AddChildTo(
+          ctx.shard, item.id, node, ctx.selection_scratch,
+          DynamicBitset(ctx.scratch), std::move(next_options),
+          /*edge_cost=*/0.0, /*path_cost=*/node->path_cost);
+      ctx.metrics.nodes_created += 1;
+      ctx.metrics.edges_created += 1;
+      env.sentinel->AddNodes(1);
+      size_t shard_memory = env.graph->ShardMemoryUsage(ctx.shard);
+      env.sentinel->AddMemory(
+          static_cast<int64_t>(shard_memory - ctx.last_memory));
+      ctx.last_memory = shard_memory;
+      env.pending->fetch_add(1, std::memory_order_relaxed);
+      env.queues->Push(worker_index, FrontierItem{child.id, child.node});
+      expanded = true;
+    }
+    ctx.batch.Clear();
   };
 
   // The goal-driven Equation 1 shortcut: selections below the minimum size
@@ -247,12 +276,24 @@ void ExpandNode(WorkerCtx& ctx, int worker_index, const FrontierItem& item,
     bool completed_enumeration = ForEachSelection(
         node_options, min_selection, spec.options->max_courses_per_term,
         [&](const DynamicBitset& selection) {
+          // Flush before the exact budget check whenever the staged rows
+          // could cross the node budget, so `CheckLimits` sees the same
+          // node tally the unbatched loop would have at this selection.
+          if (!ctx.batch.empty() &&
+              env.sentinel->MightExceedNodeBudget(ctx.batch.size())) {
+            flush_batch();
+          }
           Status per_selection = WorkerBudgetCheck(ctx, env);
           if (!per_selection.ok()) {
+            // Candidates staged before the trip already passed their budget
+            // checks; materialize them (matching the unbatched loop) before
+            // propagating the verdict.
+            flush_batch();
             env.sentinel->Trip(std::move(per_selection));
             return false;
           }
-          add_child(selection);
+          ctx.batch.Push(completed, selection);
+          if (ctx.batch.full()) flush_batch();
           return true;
         });
     // Mirrors the serial `break`: a truncated node is left partially
@@ -263,7 +304,8 @@ void ExpandNode(WorkerCtx& ctx, int worker_index, const FrontierItem& item,
   bool skip_edge = spec.options->allow_voluntary_skip ||
                    (node_options.empty() &&
                     env.engine->FutureCourseExists(completed, term));
-  if (skip_edge) add_child(*env.empty_selection);
+  if (skip_edge) ctx.batch.Push(completed, *env.empty_selection);
+  flush_batch();
 
   if (!expanded) {
     ctx.metrics.terminal_paths += 1;

@@ -57,30 +57,85 @@ Result<CompiledExpr> CompiledExpr::Compile(const Expr& source,
       std::unique(compiled.referenced_ids_.begin(),
                   compiled.referenced_ids_.end()),
       compiled.referenced_ids_.end());
+  compiled.max_stack_depth_ = MaxStackDepth(compiled.ops_);
   return compiled;
 }
 
-bool CompiledExpr::Eval(const DynamicBitset& completed) const {
-  // Fixed-capacity stack covers all realistic prerequisite programs; a
-  // heap vector takes over for pathological depth.
-  constexpr int kInlineCapacity = 64;
-  bool inline_stack[kInlineCapacity] = {};
-  std::vector<bool> heap_stack;
-  const bool use_heap = ops_.size() > kInlineCapacity;
-  if (use_heap) heap_stack.resize(ops_.size());
-
-  int top = 0;  // next free slot
-  auto push = [&](bool v) {
-    if (use_heap) {
-      heap_stack[static_cast<size_t>(top++)] = v;
-    } else {
-      inline_stack[top++] = v;
+int CompiledExpr::MaxStackDepth(const std::vector<Op>& ops) {
+  int depth = 0;
+  int max_depth = 0;
+  for (const Op& op : ops) {
+    switch (op.code) {
+      case OpCode::kPushTrue:
+      case OpCode::kPushFalse:
+      case OpCode::kPushVar:
+        ++depth;
+        break;
+      case OpCode::kNot:
+        break;  // pop 1, push 1
+      case OpCode::kAnd:
+      case OpCode::kOr:
+        depth -= op.arg - 1;  // pop n, push 1
+        break;
     }
-  };
-  auto at = [&](int idx) -> bool {
-    return use_heap ? static_cast<bool>(heap_stack[static_cast<size_t>(idx)])
-                    : inline_stack[idx];
-  };
+    max_depth = std::max(max_depth, depth);
+  }
+  return max_depth;
+}
+
+bool CompiledExpr::Eval(const DynamicBitset& completed) const {
+  if (max_stack_depth_ <= kBitStackCapacity) return EvalBitStack(completed);
+  return EvalHeapStack(completed);
+}
+
+bool CompiledExpr::EvalBitStack(const DynamicBitset& completed) const {
+  // The whole boolean stack lives in one register: bit `i` is slot `i`,
+  // bits at or above `top` are kept zero. `Compile` proved occupancy never
+  // exceeds 64 slots, so every shift below is by at most 63.
+  uint64_t stack = 0;
+  unsigned top = 0;
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case OpCode::kPushTrue:
+        stack |= uint64_t{1} << top;
+        ++top;
+        break;
+      case OpCode::kPushFalse:
+        ++top;
+        break;
+      case OpCode::kPushVar:
+        stack |= uint64_t{completed.test(op.arg)} << top;
+        ++top;
+        break;
+      case OpCode::kNot:
+        stack ^= uint64_t{1} << (top - 1);
+        break;
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        const unsigned n = static_cast<unsigned>(op.arg);
+        const unsigned base = top - n;
+        const uint64_t mask =
+            (n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1) << base;
+        const bool acc = op.code == OpCode::kAnd ? (stack & mask) == mask
+                                                 : (stack & mask) != 0;
+        stack &= (uint64_t{1} << base) - 1;
+        stack |= uint64_t{acc} << base;
+        top = base + 1;
+        break;
+      }
+    }
+  }
+  assert(top == 1);
+  return (stack & 1) != 0;
+}
+
+bool CompiledExpr::EvalHeapStack(const DynamicBitset& completed) const {
+  // Pathological depth (> 64 live slots): a heap stack, sized by the exact
+  // compile-time bound.
+  std::vector<bool> stack(static_cast<size_t>(max_stack_depth_));
+  int top = 0;  // next free slot
+  auto push = [&](bool v) { stack[static_cast<size_t>(top++)] = v; };
+  auto at = [&](int idx) -> bool { return stack[static_cast<size_t>(idx)]; };
 
   for (const Op& op : ops_) {
     switch (op.code) {

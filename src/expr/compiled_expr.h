@@ -23,9 +23,11 @@ using VarResolver = std::function<Result<int>(std::string_view)>;
 /// This is the representation used on the generator hot path: computing the
 /// option set `Y_i` evaluates every not-yet-completed course's prerequisite
 /// against `X_i`, millions of times per exploration. Evaluation is
-/// allocation-free (the value stack is a fixed-capacity local array for
-/// expressions up to depth 64, falling back to heap beyond that — in
-/// practice prerequisite expressions are tiny).
+/// allocation-free: programs whose compile-time maximum stack depth fits 64
+/// slots (all realistic prerequisites) run on a branch-light bit-stack — one
+/// uint64 register holds the whole boolean stack, NOT is an XOR and
+/// variadic AND/OR are a single mask compare — and a heap vector takes over
+/// beyond that.
 class CompiledExpr {
  public:
   /// An always-true program (course with no prerequisites).
@@ -58,8 +60,18 @@ class CompiledExpr {
   static Status CompileNode(const Expr& node, const VarResolver& resolver,
                             std::vector<Op>* out);
 
+  /// Exact maximum value-stack occupancy of `ops`, by abstract execution.
+  static int MaxStackDepth(const std::vector<Op>& ops);
+
+  bool EvalBitStack(const DynamicBitset& completed) const;
+  bool EvalHeapStack(const DynamicBitset& completed) const;
+
+  /// Bit-stack capacity: one uint64 register of boolean slots.
+  static constexpr int kBitStackCapacity = 64;
+
   std::vector<Op> ops_;
   std::vector<int> referenced_ids_;
+  int max_stack_depth_ = 1;
 };
 
 }  // namespace coursenav::expr

@@ -1,7 +1,10 @@
 #include "expr/dnf.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 
+#include "util/simd/simd.h"
 #include "util/string_util.h"
 
 namespace coursenav::expr {
@@ -160,39 +163,100 @@ Result<Dnf> Dnf::FromExpr(const Expr& source, const VarResolver& resolver,
 
   Dnf dnf(universe_size);
   for (DnfClause& clause : raw) dnf.AddClause(std::move(clause));
+  dnf.Pack();
   return dnf;
 }
 
+void Dnf::Pack() {
+  stride_ = (static_cast<size_t>(universe_size_) + 63) / 64;
+  packed_pos_.assign(clauses_.size() * stride_, 0);
+  packed_neg_.assign(clauses_.size() * stride_, 0);
+  has_negative_ = false;
+  for (size_t c = 0; c < clauses_.size(); ++c) {
+    std::memcpy(packed_pos_.data() + c * stride_,
+                clauses_[c].positive.word_data(),
+                stride_ * sizeof(uint64_t));
+    std::memcpy(packed_neg_.data() + c * stride_,
+                clauses_[c].negative.word_data(),
+                stride_ * sizeof(uint64_t));
+    if (!clauses_[c].negative.empty()) has_negative_ = true;
+  }
+}
+
 bool Dnf::Eval(const DynamicBitset& completed) const {
-  for (const DnfClause& clause : clauses_) {
-    if (clause.positive.IsSubsetOf(completed) &&
-        !clause.negative.Intersects(completed)) {
-      return true;
+  const uint64_t* cw = completed.word_data();
+  for (size_t c = 0; c < clauses_.size(); ++c) {
+    if (!simd::SubsetOf(PositiveRow(c), cw, stride_)) continue;
+    if (has_negative_ && simd::Intersects(NegativeRow(c), cw, stride_)) {
+      continue;
     }
+    return true;
   }
   return false;
 }
 
 int Dnf::MinAdditionalCourses(const DynamicBitset& completed) const {
-  int best = kUnreachable;
-  for (const DnfClause& clause : clauses_) {
-    if (clause.negative.Intersects(completed)) continue;  // dead clause
-    DynamicBitset missing = clause.positive;
-    missing.Subtract(completed);
-    best = std::min(best, missing.count());
-  }
-  return best;
+  int best = simd::CountUnsatisfiedLiterals(
+      packed_pos_.data(), has_negative_ ? packed_neg_.data() : nullptr,
+      stride_, clauses_.size(), completed.word_data());
+  return best < 0 ? kUnreachable : best;
 }
 
 bool Dnf::AchievableWith(const DynamicBitset& completed,
                          const DynamicBitset& available) const {
-  DynamicBitset reachable = completed;
-  reachable |= available;
-  for (const DnfClause& clause : clauses_) {
-    if (clause.negative.Intersects(completed)) continue;
-    if (clause.positive.IsSubsetOf(reachable)) return true;
+  const uint64_t* cw = completed.word_data();
+  const uint64_t* aw = available.word_data();
+  for (size_t c = 0; c < clauses_.size(); ++c) {
+    if (has_negative_ && simd::Intersects(NegativeRow(c), cw, stride_)) {
+      continue;
+    }
+    if (simd::SubsetOfUnion(PositiveRow(c), cw, aw, stride_)) return true;
   }
   return false;
+}
+
+void Dnf::MinAdditionalCoursesBatch(const uint64_t* completed, size_t stride,
+                                    size_t count, int* out) const {
+  assert(stride == stride_);
+  std::fill(out, out + count, -1);
+  // Clause-major: one packed clause row streams across every candidate in
+  // the batch while it is hot in cache.
+  for (size_t c = 0; c < clauses_.size(); ++c) {
+    const uint64_t* pos_row = PositiveRow(c);
+    const uint64_t* neg_row = NegativeRow(c);
+    for (size_t i = 0; i < count; ++i) {
+      if (out[i] == 0) continue;  // already at the floor
+      const uint64_t* row = completed + i * stride;
+      if (has_negative_ && simd::Intersects(neg_row, row, stride)) continue;
+      int missing = simd::AndNotPopcount(pos_row, row, stride);
+      if (out[i] < 0 || missing < out[i]) out[i] = missing;
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (out[i] < 0) out[i] = kUnreachable;
+  }
+}
+
+void Dnf::AchievableWithBatch(const uint64_t* completed, size_t stride,
+                              size_t count, const DynamicBitset& available,
+                              bool* out) const {
+  assert(stride == stride_);
+  std::fill(out, out + count, false);
+  const uint64_t* aw = available.word_data();
+  size_t undecided = count;
+  for (size_t c = 0; c < clauses_.size() && undecided > 0; ++c) {
+    const uint64_t* pos_row = PositiveRow(c);
+    const uint64_t* neg_row = NegativeRow(c);
+    for (size_t i = 0; i < count; ++i) {
+      if (out[i]) continue;
+      const uint64_t* row = completed + i * stride;
+      if (has_negative_ && simd::Intersects(neg_row, row, stride)) continue;
+      if (simd::SubsetOfUnion(pos_row, row, aw, stride)) {
+        out[i] = true;
+        --undecided;
+      }
+    }
+  }
 }
 
 bool Dnf::IsTrue() const {

@@ -1,6 +1,8 @@
 #ifndef COURSENAV_EXPR_DNF_H_
 #define COURSENAV_EXPR_DNF_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,7 +60,27 @@ class Dnf {
   bool AchievableWith(const DynamicBitset& completed,
                       const DynamicBitset& available) const;
 
+  /// Batch variant of `MinAdditionalCourses` over a packed
+  /// structure-of-arrays matrix of completed sets: row `i` is the `stride`
+  /// words at `completed + i * stride` (stride must equal this DNF's word
+  /// count). Loops clause-major — each packed clause row streams across the
+  /// whole batch while hot — and writes the per-candidate bound (or
+  /// `kUnreachable`) to `out[i]`. Results are exactly
+  /// `MinAdditionalCourses(row_i)`.
+  void MinAdditionalCoursesBatch(const uint64_t* completed, size_t stride,
+                                 size_t count, int* out) const;
+
+  /// Batch variant of `AchievableWith` against one shared `available` set
+  /// (availability is keyed by term, so a frontier batch shares it).
+  /// Writes `AchievableWith(row_i, available)` to `out[i]`.
+  void AchievableWithBatch(const uint64_t* completed, size_t stride,
+                           size_t count, const DynamicBitset& available,
+                           bool* out) const;
+
   const std::vector<DnfClause>& clauses() const { return clauses_; }
+
+  /// Words per packed clause row (= ceil(universe_size / 64)).
+  size_t word_stride() const { return stride_; }
 
   /// True for the empty disjunction (constant false).
   bool IsFalse() const { return clauses_.empty(); }
@@ -78,8 +100,25 @@ class Dnf {
   /// (absorption).
   void AddClause(DnfClause clause);
 
+  /// Freezes the clause list into packed word matrices (`packed_pos_`,
+  /// `packed_neg_`: clause-major rows of `stride_` words). Called once at
+  /// the end of FromExpr; the evaluation hot paths run on the packed rows
+  /// so no per-clause bitset is copied or allocated at query time.
+  void Pack();
+
+  const uint64_t* PositiveRow(size_t clause) const {
+    return packed_pos_.data() + clause * stride_;
+  }
+  const uint64_t* NegativeRow(size_t clause) const {
+    return packed_neg_.data() + clause * stride_;
+  }
+
   int universe_size_;
   std::vector<DnfClause> clauses_;
+  size_t stride_ = 0;
+  std::vector<uint64_t> packed_pos_;
+  std::vector<uint64_t> packed_neg_;
+  bool has_negative_ = false;
 };
 
 }  // namespace coursenav::expr

@@ -242,6 +242,10 @@ void LearningGraph::Canonicalize() {
   // the most recently created child.
   std::vector<NodeId> worklist;
   std::vector<NodeId> remap_stack;  // new ids, parallel to `worklist`
+  // The replay touches every node exactly once; sizing the stacks up front
+  // keeps the merge allocation-free apart from the rebuilt arenas.
+  worklist.reserve(static_cast<size_t>(num_nodes()));
+  remap_stack.reserve(static_cast<size_t>(num_nodes()));
 
   {
     LearningNode& old_root = node_mut(0);

@@ -18,6 +18,15 @@ inline constexpr EdgeId kInvalidEdgeId = -1;
 
 /// One enrollment status `n_i` (Section 2): the semester `s_i`, the courses
 /// completed by then `X_i`, and the course options `Y_i` available in `s_i`.
+/// Node payloads keep their bitsets inline (array-of-structures): the
+/// chunked arenas' stable-pointer contract is what lets parallel workers
+/// hold `LearningNode*` across shard growth, so the sets of *materialized*
+/// nodes cannot be hoisted into per-field matrices without breaking every
+/// such reference. The data-oriented hot path lives one level up instead —
+/// generators stage each expansion's *candidate* children in a
+/// structure-of-arrays `internal::CandidateBatch` (contiguous completed /
+/// selection word matrices) and run the SIMD pruning kernels there, only
+/// copying survivors into arena nodes.
 struct LearningNode {
   Term term;
   DynamicBitset completed;  ///< X_i

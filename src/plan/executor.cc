@@ -233,8 +233,16 @@ Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
     obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
 
     std::vector<NodeId> worklist{root};
-    // Reused X_i ∪ W scratch: pruned candidates cost no heap traffic.
-    DynamicBitset next_completed;
+    // Candidates are staged into a structure-of-arrays batch and classified
+    // wholesale (clause-major kernels); kept rows materialize in staging
+    // order, which reproduces the node-at-a-time output exactly.
+    internal::CandidateBatch batch;
+    batch.Configure(catalog.size());
+    std::vector<Verdict> verdicts;
+    // Reused scratch sets: pruned candidates cost no heap traffic.
+    DynamicBitset next_completed(catalog.size());
+    DynamicBitset selection_scratch(catalog.size());
+    const DynamicBitset empty_selection(catalog.size());
 
     while (!worklist.empty()) {
       Status budget = engine.CheckBudget(graph);
@@ -271,22 +279,27 @@ Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
       const int left_parent = oracle.LeftAt(completed);
 
       bool expanded = false;
-      auto consider_child = [&](const DynamicBitset& selection) {
-        next_completed = completed;
-        next_completed |= selection;
-        if (oracle.ClassifyChild(next_completed, selection.count(), child_term,
-                                 left_parent) != Verdict::kKeep) {
-          return;
+      // Classifies the staged batch and materializes kept candidates in
+      // staging order (same children, same worklist order as the old
+      // candidate-at-a-time loop).
+      auto flush_batch = [&]() {
+        if (batch.empty()) return;
+        oracle.ClassifyBatch(batch, child_term, left_parent, &verdicts);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (verdicts[i] != Verdict::kKeep) continue;
+          batch.CopyCompletedTo(i, &next_completed);
+          batch.CopySelectionTo(i, &selection_scratch);
+          DynamicBitset next_options = ComputeOptions(
+              catalog, schedule, next_completed, child_term, options);
+          NodeId child = graph.AddChild(current, selection_scratch,
+                                        DynamicBitset(next_completed),
+                                        std::move(next_options));
+          metrics.nodes_created += 1;
+          metrics.edges_created += 1;
+          worklist.push_back(child);
+          expanded = true;
         }
-        DynamicBitset next_options = ComputeOptions(
-            catalog, schedule, next_completed, child_term, options);
-        NodeId child =
-            graph.AddChild(current, selection, DynamicBitset(next_completed),
-                           std::move(next_options));
-        metrics.nodes_created += 1;
-        metrics.edges_created += 1;
-        worklist.push_back(child);
-        expanded = true;
+        batch.Clear();
       };
 
       // Selections below Equation 1's minimum size provably miss the
@@ -304,11 +317,20 @@ Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
         bool completed_enumeration = ForEachSelection(
             node_options, min_selection, options.max_courses_per_term,
             [&](const DynamicBitset& selection) {
+              // Near the node budget, catch the graph up to exactly the
+              // state the unbatched loop would have, so the per-selection
+              // check below trips at the same selection it always did.
+              if (!batch.empty() &&
+                  engine.MightExceedNodeBudget(graph, batch.size())) {
+                flush_batch();
+              }
               if (!engine.CheckBudget(graph).ok()) return false;
-              consider_child(selection);
+              batch.Push(completed, selection);
+              if (batch.full()) flush_batch();
               return true;
             });
         if (!completed_enumeration) {
+          flush_batch();
           result.termination = engine.CheckBudget(graph);
           break;
         }
@@ -319,8 +341,9 @@ Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
           options.allow_voluntary_skip ||
           (node_options.empty() && engine.FutureCourseExists(completed, term));
       if (skip_edge) {
-        consider_child(DynamicBitset(catalog.size()));
+        batch.Push(completed, empty_selection);
       }
+      flush_batch();
 
       if (!expanded) {
         metrics.terminal_paths += 1;
@@ -404,8 +427,16 @@ Result<RankedResult> RunRanked(const ExplorationPlan& plan,
     std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
                         FrontierCompare>
         frontier;
-    // Reused X_i ∪ W scratch: pruned candidates cost no heap traffic.
-    DynamicBitset next_completed;
+    // Same staged-batch pruning as RunGoal (see there); ranking costs are
+    // computed per kept candidate at flush, in staging order, so sequence
+    // numbers — the frontier tie-break — are assigned exactly as before.
+    internal::CandidateBatch batch;
+    batch.Configure(catalog.size());
+    std::vector<Verdict> verdicts;
+    // Reused scratch sets: pruned candidates cost no heap traffic.
+    DynamicBitset next_completed(catalog.size());
+    DynamicBitset selection_scratch(catalog.size());
+    const DynamicBitset empty_selection(catalog.size());
     int64_t sequence = 0;
     const int m = options.max_courses_per_term;
     {
@@ -454,31 +485,34 @@ Result<RankedResult> RunRanked(const ExplorationPlan& plan,
       const int left_parent = oracle.LeftAt(completed);
 
       bool expanded = false;
-      auto consider_child = [&](const DynamicBitset& selection) {
-        next_completed = completed;
-        next_completed |= selection;
-        if (oracle.ClassifyChild(next_completed, selection.count(),
-                                 child_term, left_parent) != Verdict::kKeep) {
-          return;
+      auto flush_batch = [&]() {
+        if (batch.empty()) return;
+        oracle.ClassifyBatch(batch, child_term, left_parent, &verdicts);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (verdicts[i] != Verdict::kKeep) continue;
+          batch.CopyCompletedTo(i, &next_completed);
+          batch.CopySelectionTo(i, &selection_scratch);
+          double edge_cost;
+          double child_cost;
+          double cost_to_go;
+          {
+            obs::StageSample sample(&rank_stage);
+            edge_cost = ranking.EdgeCost(selection_scratch, term);
+            child_cost = ranking.Combine(node.path_cost, edge_cost);
+            cost_to_go =
+                ranking.RemainingCostLowerBound(next_completed, goal, m);
+          }
+          DynamicBitset next_options = ComputeOptions(
+              catalog, schedule, next_completed, child_term, options);
+          NodeId child = graph.AddChildWithPathCost(
+              current, selection_scratch, DynamicBitset(next_completed),
+              std::move(next_options), edge_cost, child_cost);
+          metrics.nodes_created += 1;
+          metrics.edges_created += 1;
+          frontier.push({child_cost + cost_to_go, sequence++, child});
+          expanded = true;
         }
-        double edge_cost;
-        double child_cost;
-        double cost_to_go;
-        {
-          obs::StageSample sample(&rank_stage);
-          edge_cost = ranking.EdgeCost(selection, term);
-          child_cost = ranking.Combine(node.path_cost, edge_cost);
-          cost_to_go = ranking.RemainingCostLowerBound(next_completed, goal, m);
-        }
-        DynamicBitset next_options = ComputeOptions(
-            catalog, schedule, next_completed, child_term, options);
-        NodeId child = graph.AddChildWithPathCost(
-            current, selection, DynamicBitset(next_completed),
-            std::move(next_options), edge_cost, child_cost);
-        metrics.nodes_created += 1;
-        metrics.edges_created += 1;
-        frontier.push({child_cost + cost_to_go, sequence++, child});
-        expanded = true;
+        batch.Clear();
       };
 
       int min_selection = oracle.MinSelectionSize(left_parent, term);
@@ -493,11 +527,17 @@ Result<RankedResult> RunRanked(const ExplorationPlan& plan,
         bool completed_enumeration = ForEachSelection(
             node_options, min_selection, options.max_courses_per_term,
             [&](const DynamicBitset& selection) {
+              if (!batch.empty() &&
+                  engine.MightExceedNodeBudget(graph, batch.size())) {
+                flush_batch();
+              }
               if (!engine.CheckBudget(graph).ok()) return false;
-              consider_child(selection);
+              batch.Push(completed, selection);
+              if (batch.full()) flush_batch();
               return true;
             });
         if (!completed_enumeration) {
+          flush_batch();
           result.termination = engine.CheckBudget(graph);
           break;
         }
@@ -507,8 +547,9 @@ Result<RankedResult> RunRanked(const ExplorationPlan& plan,
           options.allow_voluntary_skip ||
           (node_options.empty() && engine.FutureCourseExists(completed, term));
       if (skip_edge) {
-        consider_child(DynamicBitset(catalog.size()));
+        batch.Push(completed, empty_selection);
       }
+      flush_batch();
 
       if (!expanded) {
         metrics.terminal_paths += 1;

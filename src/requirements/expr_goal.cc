@@ -34,6 +34,21 @@ bool ExprGoal::AchievableWith(const DynamicBitset& completed,
   return dnf_.AchievableWith(completed, available);
 }
 
+void ExprGoal::MinCoursesRemainingBatch(const CompletedBatchView& batch,
+                                        int* out) const {
+  dnf_.MinAdditionalCoursesBatch(batch.words, batch.stride, batch.count, out);
+  for (size_t i = 0; i < batch.count; ++i) {
+    if (out[i] >= expr::Dnf::kUnreachable) out[i] = kGoalUnreachable;
+  }
+}
+
+void ExprGoal::AchievableWithBatch(const CompletedBatchView& batch,
+                                   const DynamicBitset& available,
+                                   bool* out) const {
+  dnf_.AchievableWithBatch(batch.words, batch.stride, batch.count, available,
+                           out);
+}
+
 bool ExprGoal::IsMonotone() const {
   for (const expr::DnfClause& clause : dnf_.clauses()) {
     if (!clause.negative.empty()) return false;

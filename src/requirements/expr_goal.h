@@ -38,6 +38,13 @@ class ExprGoal : public Goal {
   int MinCoursesRemaining(const DynamicBitset& completed) const override;
   bool AchievableWith(const DynamicBitset& completed,
                       const DynamicBitset& available) const override;
+  /// Batch pruning hooks, delegated to the DNF's packed clause-major
+  /// kernels (exact per-row agreement with the scalar methods).
+  void MinCoursesRemainingBatch(const CompletedBatchView& batch,
+                                int* out) const override;
+  void AchievableWithBatch(const CompletedBatchView& batch,
+                           const DynamicBitset& available,
+                           bool* out) const override;
   /// Monotone exactly when the DNF has no negative literal.
   bool IsMonotone() const override;
   std::string Describe() const override;

@@ -1,8 +1,30 @@
 #include "requirements/goal.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace coursenav {
+
+void Goal::MinCoursesRemainingBatch(const CompletedBatchView& batch,
+                                    int* out) const {
+  // Reference fallback: replay the scalar virtual row by row through one
+  // reused scratch set (no per-row allocation).
+  DynamicBitset scratch(batch.universe_size);
+  for (size_t i = 0; i < batch.count; ++i) {
+    scratch.AssignWords(batch.row(i));
+    out[i] = MinCoursesRemaining(scratch);
+  }
+}
+
+void Goal::AchievableWithBatch(const CompletedBatchView& batch,
+                               const DynamicBitset& available,
+                               bool* out) const {
+  DynamicBitset scratch(batch.universe_size);
+  for (size_t i = 0; i < batch.count; ++i) {
+    scratch.AssignWords(batch.row(i));
+    out[i] = AchievableWith(scratch, available);
+  }
+}
 
 bool CompositeGoal::IsSatisfied(const DynamicBitset& completed) const {
   for (const auto& part : parts_) {
@@ -25,6 +47,31 @@ bool CompositeGoal::AchievableWith(const DynamicBitset& completed,
     if (!part->AchievableWith(completed, available)) return false;
   }
   return true;
+}
+
+void CompositeGoal::MinCoursesRemainingBatch(const CompletedBatchView& batch,
+                                             int* out) const {
+  std::fill(out, out + batch.count, 0);
+  std::vector<int> part_out(batch.count);
+  for (const auto& part : parts_) {
+    part->MinCoursesRemainingBatch(batch, part_out.data());
+    for (size_t i = 0; i < batch.count; ++i) {
+      out[i] = std::max(out[i], part_out[i]);
+    }
+  }
+}
+
+void CompositeGoal::AchievableWithBatch(const CompletedBatchView& batch,
+                                        const DynamicBitset& available,
+                                        bool* out) const {
+  std::fill(out, out + batch.count, true);
+  auto part_out = std::make_unique<bool[]>(batch.count);
+  for (const auto& part : parts_) {
+    part->AchievableWithBatch(batch, available, part_out.get());
+    for (size_t i = 0; i < batch.count; ++i) {
+      out[i] = out[i] && part_out[i];
+    }
+  }
 }
 
 bool CompositeGoal::IsMonotone() const {

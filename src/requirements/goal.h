@@ -1,6 +1,8 @@
 #ifndef COURSENAV_REQUIREMENTS_GOAL_H_
 #define COURSENAV_REQUIREMENTS_GOAL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +14,20 @@ namespace coursenav {
 /// Sentinel returned by `Goal::MinCoursesRemaining` when no future
 /// enrollment status can satisfy the goal.
 inline constexpr int kGoalUnreachable = 1 << 29;
+
+/// A packed structure-of-arrays view of one frontier batch's completed
+/// sets: `count` candidate rows of `stride` 64-bit words each; row `i`
+/// starts at `words + i * stride`. Rows use DynamicBitset's word layout
+/// (little-endian bit packing, zero padding above `universe_size`), so
+/// `DynamicBitset::FromWords(universe_size, row)` reconstructs the set.
+struct CompletedBatchView {
+  const uint64_t* words;
+  size_t stride;
+  size_t count;
+  int universe_size;
+
+  const uint64_t* row(size_t i) const { return words + i * stride; }
+};
 
 /// A student's exploration goal: a condition on a future enrollment status
 /// (Section 2, "Exploration Tasks").
@@ -44,6 +60,24 @@ class Goal {
   virtual bool AchievableWith(const DynamicBitset& completed,
                               const DynamicBitset& available) const = 0;
 
+  /// Batch variant of `MinCoursesRemaining` over a frontier batch's packed
+  /// completed sets; writes the bound for row `i` to `out[i]`. The default
+  /// implementation loops the scalar virtual over the rows; goals with a
+  /// vectorizable representation (ExprGoal's packed DNF) override it with
+  /// clause-major kernels. Overrides MUST return exactly
+  /// `MinCoursesRemaining(row_i)` for every row — batched pruning relies on
+  /// this to stay byte-identical to the node-at-a-time path.
+  virtual void MinCoursesRemainingBatch(const CompletedBatchView& batch,
+                                        int* out) const;
+
+  /// Batch variant of `AchievableWith` against one shared `available` set
+  /// (availability is keyed by the batch's term); writes
+  /// `AchievableWith(row_i, available)` to `out[i]`. Same exactness
+  /// contract as `MinCoursesRemainingBatch`.
+  virtual void AchievableWithBatch(const CompletedBatchView& batch,
+                                   const DynamicBitset& available,
+                                   bool* out) const;
+
   /// True if the goal is monotone in the completed set: completing more
   /// courses never hurts (`IsSatisfied(X) ⟹ IsSatisfied(X')` for `X ⊆ X'`,
   /// and `MinCoursesRemaining` is non-increasing in `X`). Monotone goals
@@ -68,6 +102,11 @@ class CompositeGoal : public Goal {
   int MinCoursesRemaining(const DynamicBitset& completed) const override;
   bool AchievableWith(const DynamicBitset& completed,
                       const DynamicBitset& available) const override;
+  void MinCoursesRemainingBatch(const CompletedBatchView& batch,
+                                int* out) const override;
+  void AchievableWithBatch(const CompletedBatchView& batch,
+                           const DynamicBitset& available,
+                           bool* out) const override;
   bool IsMonotone() const override;
   std::string Describe() const override;
 

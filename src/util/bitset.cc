@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/simd/simd.h"
+
 namespace coursenav {
 
 DynamicBitset::DynamicBitset(int universe_size)
@@ -22,11 +24,7 @@ DynamicBitset DynamicBitset::FromIndices(int universe_size,
 }
 
 int DynamicBitset::count() const {
-  int total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += __builtin_popcountll(words_[i]);
-  }
-  return total;
+  return simd::Popcount(words_.data(), words_.size());
 }
 
 bool DynamicBitset::empty() const {
@@ -42,36 +40,30 @@ void DynamicBitset::clear() {
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::UnionInplace(words_.data(), other.words_.data(), words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::IntersectInplace(words_.data(), other.words_.data(), words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::Subtract(const DynamicBitset& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  simd::SubtractInplace(words_.data(), other.words_.data(), words_.size());
   return *this;
 }
 
 bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return simd::SubsetOf(words_.data(), other.words_.data(), words_.size());
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return simd::Intersects(words_.data(), other.words_.data(), words_.size());
 }
 
 std::vector<int> DynamicBitset::ToIndices() const {

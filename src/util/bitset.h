@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simd/simd.h"
+
 namespace coursenav {
 
 namespace internal {
@@ -42,6 +44,15 @@ class WordStorage {
   }
 
   WordStorage& operator=(const WordStorage& other) {
+    if (this == &other) return *this;
+    if (size_ == other.size_) {
+      // Same shape: copy words in place. For heap storage this reuses the
+      // existing allocation instead of the resize + element-copy dance a
+      // vector assignment performs; equal-universe assignment is the common
+      // case on the expansion hot path (scratch sets, cache lookups).
+      std::memcpy(data(), other.data(), size_ * sizeof(Word));
+      return *this;
+    }
     size_ = other.size_;
     if (is_inline()) {
       inline_[0] = other.inline_[0];
@@ -155,10 +166,7 @@ class DynamicBitset {
 
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
     if (a.num_bits_ != b.num_bits_) return false;
-    for (size_t i = 0; i < a.words_.size(); ++i) {
-      if (a.words_[i] != b.words_[i]) return false;
-    }
-    return true;
+    return simd::Equal(a.words_.data(), b.words_.data(), a.words_.size());
   }
 
   /// Ids of all members, ascending.
@@ -170,11 +178,31 @@ class DynamicBitset {
     for (size_t w = 0; w < words_.size(); ++w) {
       Word word = words_[w];
       while (word != 0) {
-        int bit = __builtin_ctzll(word);
+        int bit = simd::CountTrailingZeros(word);
         fn(static_cast<int>(w * kBitsPerWord) + bit);
         word &= word - 1;
       }
     }
+  }
+
+  /// Raw word access for batch kernels (src/util/simd). The universe's bits
+  /// are packed little-endian into `word_count()` 64-bit words; bits at or
+  /// above `universe_size()` are always zero.
+  size_t word_count() const { return words_.size(); }
+  const uint64_t* word_data() const { return words_.data(); }
+  uint64_t* mutable_word_data() { return words_.data(); }
+
+  /// Overwrites this set's words from a packed row of `word_count()` words.
+  /// The caller guarantees bits at or above `universe_size()` are zero.
+  void AssignWords(const uint64_t* src) {
+    std::memcpy(words_.data(), src, words_.size() * sizeof(Word));
+  }
+
+  /// Builds a set over `universe_size` elements from a packed word row.
+  static DynamicBitset FromWords(int universe_size, const uint64_t* src) {
+    DynamicBitset out(universe_size);
+    out.AssignWords(src);
+    return out;
   }
 
   /// 64-bit mixing hash, suitable for unordered containers.

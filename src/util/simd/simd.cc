@@ -1,0 +1,129 @@
+#include "util/simd/simd.h"
+
+#include "util/simd/simd_internal.h"
+
+namespace coursenav::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable scalar kernels: the semantic reference every vector table must
+// match bit-for-bit (tests/simd_test.cc).
+// ---------------------------------------------------------------------------
+
+int ScalarPopcount(const uint64_t* a, size_t n) {
+  int total = 0;
+  for (size_t i = 0; i < n; ++i) total += PopcountWord(a[i]);
+  return total;
+}
+
+int ScalarAndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  int total = 0;
+  for (size_t i = 0; i < n; ++i) total += PopcountWord(a[i] & ~b[i]);
+  return total;
+}
+
+bool ScalarSubsetOf(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool ScalarSubsetOfUnion(const uint64_t* a, const uint64_t* b,
+                         const uint64_t* c, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+
+bool ScalarIntersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+void ScalarUnionInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] |= b[i];
+}
+
+void ScalarUnionInto(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+void ScalarIntersectInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] &= b[i];
+}
+
+void ScalarSubtractInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] &= ~b[i];
+}
+
+bool ScalarEqual(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+int ScalarCountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
+                                   size_t stride, size_t num_clauses,
+                                   const uint64_t* completed) {
+  int best = -1;
+  for (size_t c = 0; c < num_clauses; ++c) {
+    const uint64_t* pos_row = pos + c * stride;
+    if (neg != nullptr &&
+        ScalarIntersects(neg + c * stride, completed, stride)) {
+      continue;
+    }
+    int missing = ScalarAndNotPopcount(pos_row, completed, stride);
+    if (best < 0 || missing < best) best = missing;
+    if (best == 0) break;
+  }
+  return best;
+}
+
+constexpr Kernels kScalarKernels = {
+    "scalar",
+    ScalarPopcount,
+    ScalarAndNotPopcount,
+    ScalarSubsetOf,
+    ScalarSubsetOfUnion,
+    ScalarIntersects,
+    ScalarUnionInplace,
+    ScalarUnionInto,
+    ScalarIntersectInplace,
+    ScalarSubtractInplace,
+    ScalarEqual,
+    ScalarCountUnsatisfiedLiterals,
+};
+
+const Kernels& Select() {
+#if defined(COURSENAV_FORCE_SCALAR)
+  return kScalarKernels;
+#else
+#if defined(__x86_64__) || defined(_M_X64)
+  if (const Kernels* avx2 = Avx2KernelsOrNull();
+      avx2 != nullptr && __builtin_cpu_supports("avx2")) {
+    return *avx2;
+  }
+#endif
+  if (const Kernels* neon = NeonKernelsOrNull(); neon != nullptr) {
+    return *neon;
+  }
+  return kScalarKernels;
+#endif
+}
+
+}  // namespace
+
+const Kernels& Scalar() { return kScalarKernels; }
+
+const Kernels& Active() {
+  static const Kernels& kernels = Select();
+  return kernels;
+}
+
+}  // namespace coursenav::simd

@@ -1,0 +1,197 @@
+#ifndef COURSENAV_UTIL_SIMD_SIMD_H_
+#define COURSENAV_UTIL_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// Fused word-array kernels for course-set algebra, with runtime CPU
+/// dispatch.
+///
+/// Everything above this layer (bitsets, DNF evaluation, pruning) speaks in
+/// arrays of 64-bit words; this header is the only place in the tree allowed
+/// to touch popcount/ctz builtins or vector intrinsics (enforced by
+/// coursenav-lint). Three implementations exist:
+///
+///   - a portable scalar fallback (always compiled, the semantic reference),
+///   - AVX2 on x86-64, selected at runtime via cpuid,
+///   - NEON on AArch64, selected at compile time.
+///
+/// `-DCOURSENAV_FORCE_SCALAR` pins `Active()` to the scalar table so any
+/// platform can reproduce the reference behavior bit-for-bit; the
+/// differential tests in tests/simd_test.cc assert all tables agree on
+/// random inputs across the inline->heap storage boundary.
+///
+/// Dispatch contract: every kernel is a pure function of its word-array
+/// arguments. Implementations may differ in instruction mix but MUST return
+/// identical values for identical inputs — callers (pruning, DNF, ranking)
+/// rely on this to keep parallel exploration byte-identical to the serial
+/// scalar path under the Canonicalize() contract.
+namespace coursenav::simd {
+
+/// A dispatch table of fused kernels. All `n`/`stride` counts are in 64-bit
+/// words. Rows of a clause matrix are `stride` words apart.
+struct Kernels {
+  const char* name;
+
+  /// Total set bits in `a[0, n)`.
+  int (*popcount)(const uint64_t* a, size_t n);
+
+  /// popcount(a & ~b): elements of `a` missing from `b`.
+  int (*and_not_popcount)(const uint64_t* a, const uint64_t* b, size_t n);
+
+  /// a subset-of b: (a & ~b) == 0.
+  bool (*subset_of)(const uint64_t* a, const uint64_t* b, size_t n);
+
+  /// a subset-of (b | c), without materializing the union.
+  bool (*subset_of_union)(const uint64_t* a, const uint64_t* b,
+                          const uint64_t* c, size_t n);
+
+  /// (a & b) != 0.
+  bool (*intersects)(const uint64_t* a, const uint64_t* b, size_t n);
+
+  /// a |= b.
+  void (*union_inplace)(uint64_t* a, const uint64_t* b, size_t n);
+
+  /// dst = a | b (dst must not alias a or b).
+  void (*union_into)(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                     size_t n);
+
+  /// a &= b.
+  void (*intersect_inplace)(uint64_t* a, const uint64_t* b, size_t n);
+
+  /// a &= ~b.
+  void (*subtract_inplace)(uint64_t* a, const uint64_t* b, size_t n);
+
+  /// a == b, word-wise.
+  bool (*equal)(const uint64_t* a, const uint64_t* b, size_t n);
+
+  /// Minimum-unsatisfied-literals fold over a packed DNF clause matrix:
+  /// for each clause `i` whose negative row `neg + i*stride` is disjoint
+  /// from `completed` (a dead clause is skipped), compute
+  /// popcount(pos_row & ~completed) and return the minimum, short-circuiting
+  /// at 0. `neg` may be null when no clause has negative literals. Returns
+  /// -1 when every clause is dead.
+  int (*count_unsatisfied_literals)(const uint64_t* pos, const uint64_t* neg,
+                                    size_t stride, size_t num_clauses,
+                                    const uint64_t* completed);
+};
+
+/// The portable reference table. Always available.
+const Kernels& Scalar();
+
+/// The best table for this machine, chosen once at first use. Equals
+/// `Scalar()` when built with -DCOURSENAV_FORCE_SCALAR or when no vector
+/// unit is available.
+const Kernels& Active();
+
+/// Single-word helpers so callers outside src/util/simd/ never need the
+/// raw builtins (banned by coursenav-lint).
+inline int PopcountWord(uint64_t w) { return __builtin_popcountll(w); }
+inline int CountTrailingZeros(uint64_t w) { return __builtin_ctzll(w); }
+
+// Inline wrappers over Active() with a scalar fast path for inline-storage
+// sets (<= 2 words: the 38-course evaluation catalog is 1 word). The
+// indirect call and vector setup only pay off on heap-sized universes.
+
+inline int Popcount(const uint64_t* a, size_t n) {
+  if (n <= 2) {
+    int total = 0;
+    for (size_t i = 0; i < n; ++i) total += PopcountWord(a[i]);
+    return total;
+  }
+  return Active().popcount(a, n);
+}
+
+inline int AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    int total = 0;
+    for (size_t i = 0; i < n; ++i) total += PopcountWord(a[i] & ~b[i]);
+    return total;
+  }
+  return Active().and_not_popcount(a, b, n);
+}
+
+inline bool SubsetOf(const uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      if ((a[i] & ~b[i]) != 0) return false;
+    }
+    return true;
+  }
+  return Active().subset_of(a, b, n);
+}
+
+inline bool SubsetOfUnion(const uint64_t* a, const uint64_t* b,
+                          const uint64_t* c, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+    }
+    return true;
+  }
+  return Active().subset_of_union(a, b, c, n);
+}
+
+inline bool Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      if ((a[i] & b[i]) != 0) return true;
+    }
+    return false;
+  }
+  return Active().intersects(a, b, n);
+}
+
+inline void UnionInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) a[i] |= b[i];
+    return;
+  }
+  Active().union_inplace(a, b, n);
+}
+
+inline void UnionInto(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                      size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+    return;
+  }
+  Active().union_into(dst, a, b, n);
+}
+
+inline void IntersectInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) a[i] &= b[i];
+    return;
+  }
+  Active().intersect_inplace(a, b, n);
+}
+
+inline void SubtractInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) a[i] &= ~b[i];
+    return;
+  }
+  Active().subtract_inplace(a, b, n);
+}
+
+inline bool Equal(const uint64_t* a, const uint64_t* b, size_t n) {
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  return Active().equal(a, b, n);
+}
+
+inline int CountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
+                                    size_t stride, size_t num_clauses,
+                                    const uint64_t* completed) {
+  return Active().count_unsatisfied_literals(pos, neg, stride, num_clauses,
+                                             completed);
+}
+
+}  // namespace coursenav::simd
+
+#endif  // COURSENAV_UTIL_SIMD_SIMD_H_

@@ -1,0 +1,216 @@
+// AVX2 kernel table. This translation unit is compiled with -mavx2 (see
+// src/util/CMakeLists.txt); nothing here may run before the selector in
+// simd.cc has confirmed cpuid support, which is why the table is only
+// reachable through the Avx2KernelsOrNull() indirection.
+#include "util/simd/simd_internal.h"
+
+#if defined(__x86_64__) && defined(__AVX2__) && \
+    !defined(COURSENAV_FORCE_SCALAR)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coursenav::simd {
+namespace {
+
+// Positional popcount of a 256-bit lane via the vpshufb nibble-LUT trick
+// (Mula): split each byte into nibbles, table-look-up per-nibble popcounts,
+// then horizontally sum bytes with vpsadbw against zero.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+inline uint64_t HorizontalSum(__m256i byte_counts) {
+  __m256i sums = _mm256_sad_epu8(byte_counts, _mm256_setzero_si256());
+  return static_cast<uint64_t>(_mm256_extract_epi64(sums, 0)) +
+         static_cast<uint64_t>(_mm256_extract_epi64(sums, 1)) +
+         static_cast<uint64_t>(_mm256_extract_epi64(sums, 2)) +
+         static_cast<uint64_t>(_mm256_extract_epi64(sums, 3));
+}
+
+inline int ScalarTailPopcount(const uint64_t* a, size_t n) {
+  int total = 0;
+  for (size_t i = 0; i < n; ++i) total += PopcountWord(a[i]);
+  return total;
+}
+
+int Avx2Popcount(const uint64_t* a, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    total += HorizontalSum(PopcountBytes(v));
+  }
+  return static_cast<int>(total) + ScalarTailPopcount(a + i, n - i);
+}
+
+int Avx2AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // andnot computes ~first & second.
+    total += HorizontalSum(PopcountBytes(_mm256_andnot_si256(vb, va)));
+  }
+  int tail = 0;
+  for (; i < n; ++i) tail += PopcountWord(a[i] & ~b[i]);
+  return static_cast<int>(total) + tail;
+}
+
+bool Avx2SubsetOf(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // testc(b, a) == 1  <=>  (~b & a) == 0  <=>  a subset-of b.
+    if (!_mm256_testc_si256(vb, va)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Avx2SubsetOfUnion(const uint64_t* a, const uint64_t* b, const uint64_t* c,
+                       size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i vc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    if (!_mm256_testc_si256(_mm256_or_si256(vb, vc), va)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+
+bool Avx2Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (!_mm256_testz_si256(va, vb)) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+void Avx2UnionInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+void Avx2UnionInto(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                   size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+void Avx2IntersectInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+void Avx2SubtractInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_andnot_si256(vb, va));
+  }
+  for (; i < n; ++i) a[i] &= ~b[i];
+}
+
+bool Avx2Equal(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i diff = _mm256_xor_si256(va, vb);
+    if (!_mm256_testz_si256(diff, diff)) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+int Avx2CountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
+                                 size_t stride, size_t num_clauses,
+                                 const uint64_t* completed) {
+  int best = -1;
+  for (size_t c = 0; c < num_clauses; ++c) {
+    if (neg != nullptr &&
+        Avx2Intersects(neg + c * stride, completed, stride)) {
+      continue;
+    }
+    int missing = Avx2AndNotPopcount(pos + c * stride, completed, stride);
+    if (best < 0 || missing < best) best = missing;
+    if (best == 0) break;
+  }
+  return best;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",
+    Avx2Popcount,
+    Avx2AndNotPopcount,
+    Avx2SubsetOf,
+    Avx2SubsetOfUnion,
+    Avx2Intersects,
+    Avx2UnionInplace,
+    Avx2UnionInto,
+    Avx2IntersectInplace,
+    Avx2SubtractInplace,
+    Avx2Equal,
+    Avx2CountUnsatisfiedLiterals,
+};
+
+}  // namespace
+
+const Kernels* Avx2KernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace coursenav::simd
+
+#else  // unsupported target or forced-scalar build
+
+namespace coursenav::simd {
+
+const Kernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace coursenav::simd
+
+#endif

@@ -1,0 +1,17 @@
+#ifndef COURSENAV_UTIL_SIMD_SIMD_INTERNAL_H_
+#define COURSENAV_UTIL_SIMD_SIMD_INTERNAL_H_
+
+#include "util/simd/simd.h"
+
+namespace coursenav::simd {
+
+/// Vector kernel tables, one per translation unit so each can be compiled
+/// with its own target flags. Each returns null when the implementation is
+/// not compiled for this platform; runtime feature checks happen in the
+/// selector (simd.cc), never here.
+const Kernels* Avx2KernelsOrNull();
+const Kernels* NeonKernelsOrNull();
+
+}  // namespace coursenav::simd
+
+#endif  // COURSENAV_UTIL_SIMD_SIMD_INTERNAL_H_

@@ -1,0 +1,171 @@
+// NEON kernel table for AArch64. NEON is architecturally mandatory on
+// AArch64, so unlike AVX2 there is no runtime feature check — the selector
+// in simd.cc uses this table whenever it is compiled in.
+#include "util/simd/simd_internal.h"
+
+#if defined(__aarch64__) && !defined(COURSENAV_FORCE_SCALAR)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coursenav::simd {
+namespace {
+
+// Sum of set bits in a 128-bit register: per-byte popcount (vcntq_u8) then
+// a horizontal add across the 16 byte lanes.
+inline uint64_t PopcountU64x2(uint64x2_t v) {
+  return vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+}
+
+inline bool AnyBitSet(uint64x2_t v) {
+  return (vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0;
+}
+
+int NeonPopcount(const uint64_t* a, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) total += PopcountU64x2(vld1q_u64(a + i));
+  for (; i < n; ++i) total += static_cast<uint64_t>(PopcountWord(a[i]));
+  return static_cast<int>(total);
+}
+
+int NeonAndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // vbicq(a, b) = a & ~b.
+    total += PopcountU64x2(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(PopcountWord(a[i] & ~b[i]));
+  }
+  return static_cast<int>(total);
+}
+
+bool NeonSubsetOf(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (AnyBitSet(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool NeonSubsetOfUnion(const uint64_t* a, const uint64_t* b, const uint64_t* c,
+                       size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t cover = vorrq_u64(vld1q_u64(b + i), vld1q_u64(c + i));
+    if (AnyBitSet(vbicq_u64(vld1q_u64(a + i), cover))) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~(b[i] | c[i])) != 0) return false;
+  }
+  return true;
+}
+
+bool NeonIntersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (AnyBitSet(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+void NeonUnionInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(a + i, vorrq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) a[i] |= b[i];
+}
+
+void NeonUnionInto(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                   size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+void NeonIntersectInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(a + i, vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+void NeonSubtractInplace(uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(a + i, vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) a[i] &= ~b[i];
+}
+
+bool NeonEqual(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (AnyBitSet(veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)))) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+int NeonCountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
+                                 size_t stride, size_t num_clauses,
+                                 const uint64_t* completed) {
+  int best = -1;
+  for (size_t c = 0; c < num_clauses; ++c) {
+    if (neg != nullptr &&
+        NeonIntersects(neg + c * stride, completed, stride)) {
+      continue;
+    }
+    int missing = NeonAndNotPopcount(pos + c * stride, completed, stride);
+    if (best < 0 || missing < best) best = missing;
+    if (best == 0) break;
+  }
+  return best;
+}
+
+constexpr Kernels kNeonKernels = {
+    "neon",
+    NeonPopcount,
+    NeonAndNotPopcount,
+    NeonSubsetOf,
+    NeonSubsetOfUnion,
+    NeonIntersects,
+    NeonUnionInplace,
+    NeonUnionInto,
+    NeonIntersectInplace,
+    NeonSubtractInplace,
+    NeonEqual,
+    NeonCountUnsatisfiedLiterals,
+};
+
+}  // namespace
+
+const Kernels* NeonKernelsOrNull() { return &kNeonKernels; }
+
+}  // namespace coursenav::simd
+
+#else  // not AArch64 or forced-scalar build
+
+namespace coursenav::simd {
+
+const Kernels* NeonKernelsOrNull() { return nullptr; }
+
+}  // namespace coursenav::simd
+
+#endif

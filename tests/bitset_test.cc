@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -112,6 +113,53 @@ TEST(DynamicBitsetTest, MoveLeavesValueIntact) {
   DynamicBitset a = DynamicBitset::FromIndices(200, {5, 150});
   DynamicBitset b = std::move(a);
   EXPECT_EQ(b.ToIndices(), (std::vector<int>{5, 150}));
+}
+
+TEST(DynamicBitsetTest, CopyAssignAcrossStorageKinds) {
+  // Same-size heap assignment reuses the destination's words in place.
+  DynamicBitset heap_a = DynamicBitset::FromIndices(200, {5, 150});
+  DynamicBitset heap_b = DynamicBitset::FromIndices(200, {7, 199});
+  heap_b = heap_a;
+  EXPECT_EQ(heap_b.ToIndices(), (std::vector<int>{5, 150}));
+  // Mutating the copy must not alias the source.
+  heap_b.set(60);
+  EXPECT_EQ(heap_a.ToIndices(), (std::vector<int>{5, 150}));
+
+  // Inline -> heap and heap -> inline transitions.
+  DynamicBitset small = DynamicBitset::FromIndices(38, {3});
+  small = heap_a;
+  EXPECT_EQ(small.ToIndices(), (std::vector<int>{5, 150}));
+  DynamicBitset big = DynamicBitset::FromIndices(200, {150});
+  big = DynamicBitset::FromIndices(38, {3});
+  EXPECT_EQ(big.universe_size(), 38);
+  EXPECT_EQ(big.ToIndices(), (std::vector<int>{3}));
+
+  // Same-size inline assignment.
+  DynamicBitset in_a = DynamicBitset::FromIndices(100, {0, 99});
+  DynamicBitset in_b = DynamicBitset::FromIndices(100, {50});
+  in_b = in_a;
+  EXPECT_EQ(in_b.ToIndices(), (std::vector<int>{0, 99}));
+
+  // Self-assignment is a no-op.
+  DynamicBitset& self = heap_a;
+  heap_a = self;
+  EXPECT_EQ(heap_a.ToIndices(), (std::vector<int>{5, 150}));
+}
+
+TEST(DynamicBitsetTest, WordAccessAndAssignWords) {
+  for (int universe : {38, 130, 200}) {
+    DynamicBitset a = DynamicBitset::FromIndices(universe, {1, 36});
+    size_t words = a.word_count();
+    EXPECT_EQ(words, (static_cast<size_t>(universe) + 63) / 64);
+    EXPECT_EQ(a.word_data()[0], (uint64_t{1} << 1) | (uint64_t{1} << 36));
+
+    DynamicBitset b(universe);
+    b.AssignWords(a.word_data());
+    EXPECT_EQ(b, a);
+
+    DynamicBitset c = DynamicBitset::FromWords(universe, a.word_data());
+    EXPECT_EQ(c, a);
+  }
 }
 
 /// Property sweep: set algebra agrees with std::set reference across

@@ -127,5 +127,39 @@ TEST(CompiledExprTest, DeepExpressionUsesHeapStack) {
   EXPECT_FALSE(compiled->Eval(Bits({0})));
 }
 
+TEST(CompiledExprTest, WideBooleansStraddleBitStackCapacity) {
+  // An n-ary connective pushes all its operands before reducing, so width
+  // == peak stack depth: widths 63..65 straddle the 64-slot bit-stack /
+  // heap-stack boundary. Both evaluators must agree on the semantics.
+  for (int width : {63, 64, 65, 130}) {
+    std::vector<Expr> args;
+    for (int i = 0; i < width; ++i) {
+      args.push_back(Expr::Var(i % 2 != 0 ? "B" : "A"));
+    }
+    std::vector<Expr> or_args = args;
+    auto conj = CompiledExpr::Compile(Expr::And(std::move(args)),
+                                      TableResolver());
+    ASSERT_TRUE(conj.ok()) << width;
+    EXPECT_TRUE(conj->Eval(Bits({0, 1}))) << width;
+    EXPECT_FALSE(conj->Eval(Bits({0}))) << width;
+    EXPECT_FALSE(conj->Eval(Bits({}))) << width;
+    auto disj = CompiledExpr::Compile(Expr::Or(std::move(or_args)),
+                                      TableResolver());
+    ASSERT_TRUE(disj.ok()) << width;
+    EXPECT_TRUE(disj->Eval(Bits({1}))) << width;
+    EXPECT_FALSE(disj->Eval(Bits({2}))) << width;
+    // Negation flips in place at the top of either stack.
+    std::vector<Expr> neg_args;
+    for (int i = 0; i < width; ++i) {
+      neg_args.push_back(Expr::Not(Expr::Var(i % 2 != 0 ? "B" : "A")));
+    }
+    auto neg = CompiledExpr::Compile(Expr::And(std::move(neg_args)),
+                                     TableResolver());
+    ASSERT_TRUE(neg.ok()) << width;
+    EXPECT_TRUE(neg->Eval(Bits({2}))) << width;
+    EXPECT_FALSE(neg->Eval(Bits({0}))) << width;
+  }
+}
+
 }  // namespace
 }  // namespace coursenav::expr

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "expr/parser.h"
 #include "util/random.h"
 
@@ -190,6 +194,54 @@ TEST(DnfSoundnessTest, MinAdditionalIsLowerBound) {
       }
     }
   }
+}
+
+TEST(DnfBatchTest, BatchMethodsMatchScalarPerRow) {
+  Random rng(2468);
+  for (int iter = 0; iter < 20; ++iter) {
+    Expr tree = RandomExpr(rng, 3);
+    auto dnf = Dnf::FromExpr(tree, TableResolver(), 8, 1 << 14);
+    ASSERT_TRUE(dnf.ok());
+    const size_t stride = dnf->word_stride();
+    ASSERT_EQ(stride, 1u);  // 8-course universe packs into one word
+
+    // Every completed set over the 8-course universe, as one big batch.
+    std::vector<uint64_t> rows(256 * stride);
+    for (int x = 0; x < 256; ++x) rows[static_cast<size_t>(x)] = static_cast<uint64_t>(x);
+    DynamicBitset available = Bits({0, 2, 4, 6});
+
+    std::vector<int> batch_min(256);
+    dnf->MinAdditionalCoursesBatch(rows.data(), stride, 256,
+                                   batch_min.data());
+    std::vector<uint8_t> batch_ach(256);
+    {
+      auto out = std::make_unique<bool[]>(256);
+      dnf->AchievableWithBatch(rows.data(), stride, 256, available,
+                               out.get());
+      for (int x = 0; x < 256; ++x) {
+        batch_ach[static_cast<size_t>(x)] = out[x] ? 1 : 0;
+      }
+    }
+
+    for (int x = 0; x < 256; ++x) {
+      DynamicBitset bits_x(8);
+      for (int i = 0; i < 8; ++i) {
+        if ((x >> i) & 1) bits_x.set(i);
+      }
+      EXPECT_EQ(batch_min[static_cast<size_t>(x)],
+                dnf->MinAdditionalCourses(bits_x))
+          << tree.ToString() << " X=" << bits_x.ToString();
+      EXPECT_EQ(batch_ach[static_cast<size_t>(x)] != 0,
+                dnf->AchievableWith(bits_x, available))
+          << tree.ToString() << " X=" << bits_x.ToString();
+    }
+  }
+}
+
+TEST(DnfBatchTest, EmptyBatchIsANoOp) {
+  Dnf d = MakeDnf("A and B");
+  d.MinAdditionalCoursesBatch(nullptr, d.word_stride(), 0, nullptr);
+  d.AchievableWithBatch(nullptr, d.word_stride(), 0, Bits({0}), nullptr);
 }
 
 }  // namespace

@@ -197,6 +197,49 @@ TEST(RawNewRuleTest, CleanOnDeletedMembersAndMakeUnique) {
                   .empty());
 }
 
+TEST(SimdEncapsulationRuleTest, FlagsBuiltinsAndIntrinsicsOutsideSimd) {
+  EXPECT_EQ(Hits("src/util/bitset.cc",
+                 "int n = __builtin_popcountll(word);\n",
+                 "coursenav-simd-encapsulation")
+                .size(),
+            1u);
+  EXPECT_EQ(Hits("src/core/pruning.cc", "int t = __builtin_ctzll(w);\n",
+                 "coursenav-simd-encapsulation")
+                .size(),
+            1u);
+  EXPECT_EQ(Hits("src/graph/learning_graph.cc",
+                 "__m256i v = _mm256_loadu_si256(p);\n",
+                 "coursenav-simd-encapsulation")
+                .size(),
+            1u);
+  EXPECT_EQ(Hits("src/core/ranking.cc", "#include <immintrin.h>\n",
+                 "coursenav-simd-encapsulation")
+                .size(),
+            1u);
+}
+
+TEST(SimdEncapsulationRuleTest, CleanInsideSimdLayerAndOnWrappers) {
+  EXPECT_TRUE(Hits("src/util/simd/simd_avx2.cc",
+                   "__m256i v = _mm256_loadu_si256(p);\n"
+                   "int n = __builtin_popcountll(w);\n",
+                   "coursenav-simd-encapsulation")
+                  .empty());
+  EXPECT_TRUE(Hits("src/core/pruning.cc",
+                   "int n = simd::Popcount(words, stride);\n"
+                   "int t = simd::CountTrailingZeros(w);\n",
+                   "coursenav-simd-encapsulation")
+                  .empty());
+}
+
+TEST(SimdEncapsulationRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(
+      Hits("src/core/engine.cc",
+           "int n = __builtin_popcount(m);  "
+           "// NOLINT(coursenav-simd-encapsulation)\n",
+           "coursenav-simd-encapsulation")
+          .empty());
+}
+
 TEST(UnorderedIterRuleTest, FlagsRangeForInTaggedFile) {
   std::vector<std::string> hits =
       Hits("src/core/engine.cc",
@@ -383,7 +426,7 @@ TEST(LintDriverTest, AllRulesHaveUniqueIdsAndDescriptions) {
     EXPECT_TRUE(ids.insert(rule->id()).second)
         << "duplicate rule id " << rule->id();
   }
-  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_EQ(ids.size(), 8u);
 }
 
 TEST(LintDriverTest, FullScanAggregatesAndSortsFindings) {

@@ -16,6 +16,7 @@
 #include "data/synthetic.h"
 #include "requirements/expr_goal.h"
 #include "tests/test_util.h"
+#include "util/simd/simd.h"
 
 namespace coursenav {
 namespace {
@@ -90,7 +91,7 @@ class ReferenceEnumerator {
     bool expanded = false;
     // All non-empty subsets within the load limit, via bitmask sweep.
     for (uint32_t mask = 1; mask < (1u << options.size()); ++mask) {
-      if (__builtin_popcount(mask) > max_per_term_) continue;
+      if (simd::PopcountWord(mask) > max_per_term_) continue;
       std::vector<int> selection;
       std::set<int> next = completed;
       for (size_t i = 0; i < options.size(); ++i) {

@@ -1,0 +1,219 @@
+// Randomized differential tests for the set-algebra kernel dispatch layer:
+// every kernel must produce bit-identical results from the portable scalar
+// table and whatever table `Active()` selected on this machine, across the
+// inline->heap storage boundary (1, 2, 3 words) and both the vector-width
+// remainder (16 words) and the 10k-course scale (160 words).
+#include "util/simd/simd.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace coursenav::simd {
+namespace {
+
+constexpr size_t kWordCounts[] = {1, 2, 3, 16, 160};
+constexpr int kTrialsPerShape = 50;
+
+std::vector<uint64_t> RandomWords(std::mt19937_64& rng, size_t n,
+                                  int density_shift) {
+  // density_shift folds several uniform draws together, biasing toward
+  // sparse (AND of draws) or dense (OR of draws) sets so subset/intersect
+  // paths see both verdicts often.
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) {
+    uint64_t a = rng();
+    uint64_t b = rng();
+    if (density_shift < 0) {
+      w = a & b;
+    } else if (density_shift > 0) {
+      w = a | b;
+    } else {
+      w = a;
+    }
+  }
+  return words;
+}
+
+class SimdDifferentialTest : public ::testing::Test {
+ protected:
+  const Kernels& scalar_ = Scalar();
+  const Kernels& active_ = Active();
+};
+
+TEST_F(SimdDifferentialTest, ActiveTableIsWellFormed) {
+  EXPECT_NE(active_.name, nullptr);
+  EXPECT_NE(active_.popcount, nullptr);
+  EXPECT_NE(active_.and_not_popcount, nullptr);
+  EXPECT_NE(active_.subset_of, nullptr);
+  EXPECT_NE(active_.subset_of_union, nullptr);
+  EXPECT_NE(active_.intersects, nullptr);
+  EXPECT_NE(active_.union_inplace, nullptr);
+  EXPECT_NE(active_.union_into, nullptr);
+  EXPECT_NE(active_.intersect_inplace, nullptr);
+  EXPECT_NE(active_.subtract_inplace, nullptr);
+  EXPECT_NE(active_.equal, nullptr);
+  EXPECT_NE(active_.count_unsatisfied_literals, nullptr);
+#if defined(COURSENAV_FORCE_SCALAR)
+  EXPECT_STREQ(active_.name, "scalar");
+#endif
+}
+
+TEST_F(SimdDifferentialTest, PureKernelsMatchScalar) {
+  std::mt19937_64 rng(20260808);
+  for (size_t n : kWordCounts) {
+    for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+      int density = trial % 3 - 1;
+      std::vector<uint64_t> a = RandomWords(rng, n, density);
+      std::vector<uint64_t> b = RandomWords(rng, n, -density);
+      // Make subset verdicts frequently true, not just on empty sets.
+      if (trial % 4 == 0) {
+        for (size_t i = 0; i < n; ++i) a[i] &= b[i];
+      }
+      std::vector<uint64_t> c = RandomWords(rng, n, 0);
+
+      EXPECT_EQ(scalar_.popcount(a.data(), n), active_.popcount(a.data(), n))
+          << "popcount n=" << n << " trial=" << trial;
+      EXPECT_EQ(scalar_.and_not_popcount(a.data(), b.data(), n),
+                active_.and_not_popcount(a.data(), b.data(), n))
+          << "and_not_popcount n=" << n << " trial=" << trial;
+      EXPECT_EQ(scalar_.subset_of(a.data(), b.data(), n),
+                active_.subset_of(a.data(), b.data(), n))
+          << "subset_of n=" << n << " trial=" << trial;
+      EXPECT_EQ(scalar_.subset_of_union(a.data(), b.data(), c.data(), n),
+                active_.subset_of_union(a.data(), b.data(), c.data(), n))
+          << "subset_of_union n=" << n << " trial=" << trial;
+      EXPECT_EQ(scalar_.intersects(a.data(), b.data(), n),
+                active_.intersects(a.data(), b.data(), n))
+          << "intersects n=" << n << " trial=" << trial;
+      EXPECT_EQ(scalar_.equal(a.data(), b.data(), n),
+                active_.equal(a.data(), b.data(), n))
+          << "equal n=" << n << " trial=" << trial;
+      EXPECT_TRUE(scalar_.equal(a.data(), a.data(), n));
+      EXPECT_TRUE(active_.equal(a.data(), a.data(), n));
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, MutatingKernelsMatchScalar) {
+  std::mt19937_64 rng(8082026);
+  for (size_t n : kWordCounts) {
+    for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+      std::vector<uint64_t> a = RandomWords(rng, n, trial % 3 - 1);
+      std::vector<uint64_t> b = RandomWords(rng, n, 0);
+
+      std::vector<uint64_t> s = a;
+      std::vector<uint64_t> v = a;
+      scalar_.union_inplace(s.data(), b.data(), n);
+      active_.union_inplace(v.data(), b.data(), n);
+      EXPECT_EQ(s, v) << "union_inplace n=" << n << " trial=" << trial;
+
+      s = a;
+      v = a;
+      scalar_.intersect_inplace(s.data(), b.data(), n);
+      active_.intersect_inplace(v.data(), b.data(), n);
+      EXPECT_EQ(s, v) << "intersect_inplace n=" << n << " trial=" << trial;
+
+      s = a;
+      v = a;
+      scalar_.subtract_inplace(s.data(), b.data(), n);
+      active_.subtract_inplace(v.data(), b.data(), n);
+      EXPECT_EQ(s, v) << "subtract_inplace n=" << n << " trial=" << trial;
+
+      std::vector<uint64_t> s_out(n, 0xdeadbeefdeadbeefull);
+      std::vector<uint64_t> v_out(n, 0x1234567812345678ull);
+      scalar_.union_into(s_out.data(), a.data(), b.data(), n);
+      active_.union_into(v_out.data(), a.data(), b.data(), n);
+      EXPECT_EQ(s_out, v_out) << "union_into n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, CountUnsatisfiedLiteralsMatchesScalar) {
+  std::mt19937_64 rng(424242);
+  for (size_t stride : kWordCounts) {
+    for (size_t num_clauses : {size_t{1}, size_t{3}, size_t{17}}) {
+      for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+        std::vector<uint64_t> pos(stride * num_clauses);
+        std::vector<uint64_t> neg(stride * num_clauses);
+        for (size_t i = 0; i < pos.size(); ++i) {
+          pos[i] = rng() & rng();  // sparse positive literals
+          neg[i] = rng() & rng() & rng();
+        }
+        std::vector<uint64_t> completed = RandomWords(rng, stride, trial % 3 - 1);
+        // Shape A: positive-only matrices (the common monotone-goal case).
+        EXPECT_EQ(scalar_.count_unsatisfied_literals(pos.data(), nullptr,
+                                                     stride, num_clauses,
+                                                     completed.data()),
+                  active_.count_unsatisfied_literals(pos.data(), nullptr,
+                                                     stride, num_clauses,
+                                                     completed.data()))
+            << "pos-only stride=" << stride << " clauses=" << num_clauses
+            << " trial=" << trial;
+        // Shape B: with negative literals (clauses may be dead).
+        EXPECT_EQ(scalar_.count_unsatisfied_literals(pos.data(), neg.data(),
+                                                     stride, num_clauses,
+                                                     completed.data()),
+                  active_.count_unsatisfied_literals(pos.data(), neg.data(),
+                                                     stride, num_clauses,
+                                                     completed.data()))
+            << "with-neg stride=" << stride << " clauses=" << num_clauses
+            << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, CountUnsatisfiedLiteralsEdgeCases) {
+  // All clauses dead -> -1 from both tables.
+  std::vector<uint64_t> pos = {0x1, 0x2};
+  std::vector<uint64_t> neg = {0x8, 0x8};  // both clauses forbid bit 3
+  std::vector<uint64_t> completed = {0x8};
+  EXPECT_EQ(scalar_.count_unsatisfied_literals(pos.data(), neg.data(), 1, 2,
+                                               completed.data()),
+            -1);
+  EXPECT_EQ(active_.count_unsatisfied_literals(pos.data(), neg.data(), 1, 2,
+                                               completed.data()),
+            -1);
+  // A satisfied clause short-circuits to 0.
+  completed[0] = 0x1;
+  EXPECT_EQ(scalar_.count_unsatisfied_literals(pos.data(), nullptr, 1, 2,
+                                               completed.data()),
+            0);
+  EXPECT_EQ(active_.count_unsatisfied_literals(pos.data(), nullptr, 1, 2,
+                                               completed.data()),
+            0);
+}
+
+TEST_F(SimdDifferentialTest, WrapperFastPathMatchesKernels) {
+  // The inline wrappers take a scalar shortcut for n <= 2; make sure the
+  // shortcut and the dispatched kernel agree on both sides of the cut.
+  std::mt19937_64 rng(7);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}}) {
+    std::vector<uint64_t> a = RandomWords(rng, n, 0);
+    std::vector<uint64_t> b = RandomWords(rng, n, 0);
+    EXPECT_EQ(Popcount(a.data(), n), active_.popcount(a.data(), n));
+    EXPECT_EQ(AndNotPopcount(a.data(), b.data(), n),
+              active_.and_not_popcount(a.data(), b.data(), n));
+    EXPECT_EQ(SubsetOf(a.data(), b.data(), n),
+              active_.subset_of(a.data(), b.data(), n));
+    EXPECT_EQ(Intersects(a.data(), b.data(), n),
+              active_.intersects(a.data(), b.data(), n));
+    EXPECT_EQ(Equal(a.data(), b.data(), n),
+              active_.equal(a.data(), b.data(), n));
+  }
+}
+
+TEST_F(SimdDifferentialTest, SingleWordHelpers) {
+  EXPECT_EQ(PopcountWord(0), 0);
+  EXPECT_EQ(PopcountWord(~uint64_t{0}), 64);
+  EXPECT_EQ(PopcountWord(uint64_t{1} << 63), 1);
+  EXPECT_EQ(CountTrailingZeros(uint64_t{1}), 0);
+  EXPECT_EQ(CountTrailingZeros(uint64_t{1} << 63), 63);
+  EXPECT_EQ(CountTrailingZeros(uint64_t{0b101000}), 3);
+}
+
+}  // namespace
+}  // namespace coursenav::simd

@@ -471,6 +471,46 @@ class RawNewDeleteRule : public Rule {
 };
 
 // ---------------------------------------------------------------------------
+// coursenav-simd-encapsulation
+// ---------------------------------------------------------------------------
+
+class SimdEncapsulationRule : public Rule {
+ public:
+  std::string_view id() const override {
+    return "coursenav-simd-encapsulation";
+  }
+  std::string_view description() const override {
+    return "bans bit-manipulation builtins and vector intrinsics outside "
+           "src/util/simd/ (use the coursenav::simd dispatch layer)";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    // The dispatch layer is where the intrinsics are supposed to live.
+    if (file.path.find("util/simd/") != std::string::npos) return;
+    static constexpr std::string_view kBanned[] = {
+        "__builtin_popcount", "__builtin_ctz", "__builtin_clz",
+        "_mm_",               "_mm256_",       "_mm512_",
+        "immintrin.h",        "arm_neon.h",
+    };
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view token : kBanned) {
+        if (line.find(token) == std::string::npos) continue;
+        std::ostringstream os;
+        os << "'" << token
+           << "' outside src/util/simd/: route set algebra through the "
+              "coursenav::simd kernels (util/simd/simd.h) so every call "
+              "site honors the runtime dispatch and the forced-scalar "
+              "build";
+        findings->push_back({file.path, static_cast<int>(i) + 1,
+                             std::string(id()), os.str()});
+        break;  // one finding per line
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // coursenav-unordered-iter
 // ---------------------------------------------------------------------------
 
@@ -828,13 +868,14 @@ const std::vector<const Rule*>& AllRules() {
   static const LayeringRule layering;
   static const BannedSymbolRule banned_symbol;
   static const RawNewDeleteRule raw_new;
+  static const SimdEncapsulationRule simd_encapsulation;
   static const UnorderedIterationRule unordered_iter;
   static const EndlRule endl_rule;
   static const HeaderGuardRule header_guard;
   static const DirectGenerateRule direct_generate;
   static const std::vector<const Rule*> rules{
-      &layering,  &banned_symbol, &raw_new,        &unordered_iter,
-      &endl_rule, &header_guard,  &direct_generate,
+      &layering,    &banned_symbol, &raw_new,         &simd_encapsulation,
+      &unordered_iter, &endl_rule,  &header_guard,    &direct_generate,
   };
   return rules;
 }
