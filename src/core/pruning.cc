@@ -161,6 +161,9 @@ void PruningOracle::ClassifyBatch(const CandidateBatch& batch, Term child_term,
       goal_.MinCoursesRemainingBatch(batch.completed_view(),
                                      batch_bounds_.data());
     }
+    // coursenav:hot — the batched time-verdict loop; the bounds buffer is
+    // sized above and the availability phase (locks, cache inserts) is
+    // outside the region.
     for (size_t i = 0; i < count; ++i) {
       // Fast certain-prune: one semester reduces `left` by at most |W|.
       if (left_parent - batch.selection_size(i) > child_bound ||
@@ -169,6 +172,7 @@ void PruningOracle::ClassifyBatch(const CandidateBatch& batch, Term child_term,
         metrics_->pruned_time += 1;
       }
     }
+    // coursenav:hot-end
   }
 
   if (config_.enable_availability_pruning) {

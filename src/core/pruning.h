@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -18,6 +17,8 @@
 #include "obs/trace.h"
 #include "requirements/goal.h"
 #include "util/bitset.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav {
 
@@ -138,7 +139,7 @@ class SharedAvailabilityCache {
   bool Lookup(int term_index, const DynamicBitset& reachable,
               bool* achievable) const {
     const Stripe& stripe = StripeFor(term_index, reachable);
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     auto it = stripe.verdicts.find(Key{term_index, &reachable});
     if (it == stripe.verdicts.end()) return false;
     *achievable = it->second;
@@ -147,7 +148,7 @@ class SharedAvailabilityCache {
 
   void Insert(int term_index, DynamicBitset reachable, bool achievable) {
     Stripe& stripe = StripeFor(term_index, reachable);
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     auto it = stripe.verdicts.find(Key{term_index, &reachable});
     if (it != stripe.verdicts.end()) return;
     stripe.owned.push_back(
@@ -175,9 +176,9 @@ class SharedAvailabilityCache {
     }
   };
   struct Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<Key, bool, KeyHash> verdicts;
-    std::vector<std::unique_ptr<DynamicBitset>> owned;
+    mutable Mutex mu;
+    std::unordered_map<Key, bool, KeyHash> verdicts CN_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<DynamicBitset>> owned CN_GUARDED_BY(mu);
   };
 
   static constexpr size_t kNumStripes = 8;

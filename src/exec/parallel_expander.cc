@@ -6,7 +6,6 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -19,7 +18,9 @@
 #include "obs/metrics.h"
 #include "util/bitset.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::internal {
 
@@ -61,7 +62,7 @@ class BudgetSentinel {
 
   /// Records the first non-OK verdict; later trips are ignored.
   void Trip(Status status) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!status_.ok()) return;
     status_ = std::move(status);
     stopped_.store(true, std::memory_order_release);
@@ -69,7 +70,7 @@ class BudgetSentinel {
 
   /// The tripping verdict (OK while running).
   Status status() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return status_;
   }
 
@@ -107,8 +108,9 @@ class BudgetSentinel {
   std::atomic<int64_t> nodes_;
   std::atomic<int64_t> memory_;
   std::atomic<bool> stopped_{false};
-  mutable std::mutex mu_;  // guards status_; written once, read at unwind
-  Status status_;
+  mutable Mutex mu_;
+  /// Written once (first trip), read at unwind.
+  Status status_ CN_GUARDED_BY(mu_);
 };
 
 /// Per-worker state. Everything here is touched by exactly one worker

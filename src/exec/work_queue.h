@@ -3,9 +3,11 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::exec {
 
@@ -46,14 +48,14 @@ class WorkStealingQueues {
   /// Enqueues `item` at the back of `worker`'s deque.
   void Push(int worker, T item) {
     Deque& deque = *deques_[static_cast<size_t>(worker)];
-    std::lock_guard<std::mutex> lock(deque.mu);
+    MutexLock lock(deque.mu);
     deque.items.push_back(std::move(item));
   }
 
   /// Pops the most recently pushed item of `worker`'s own deque (LIFO).
   bool TryPopLocal(int worker, T* out) {
     Deque& deque = *deques_[static_cast<size_t>(worker)];
-    std::lock_guard<std::mutex> lock(deque.mu);
+    MutexLock lock(deque.mu);
     if (deque.items.empty()) return false;
     *out = std::move(deque.items.back());
     deque.items.pop_back();
@@ -71,7 +73,7 @@ class WorkStealingQueues {
       std::vector<T> loot;
       {
         Deque& deque = *deques_[static_cast<size_t>(victim)];
-        std::lock_guard<std::mutex> lock(deque.mu);
+        MutexLock lock(deque.mu);
         const size_t available = deque.items.size();
         if (available == 0) continue;
         const size_t take = (available + 1) / 2;  // steal-half, from the front
@@ -88,7 +90,7 @@ class WorkStealingQueues {
       *out = std::move(loot.front());
       if (loot.size() > 1) {
         Deque& own = *deques_[static_cast<size_t>(thief)];
-        std::lock_guard<std::mutex> lock(own.mu);
+        MutexLock lock(own.mu);
         for (size_t i = 1; i < loot.size(); ++i) {
           own.items.push_back(std::move(loot[i]));
         }
@@ -100,8 +102,8 @@ class WorkStealingQueues {
 
  private:
   struct Deque {
-    std::mutex mu;
-    std::deque<T> items;
+    Mutex mu;
+    std::deque<T> items CN_GUARDED_BY(mu);
   };
 
   /// unique_ptr: deques hold a mutex (immovable) and need stable addresses.

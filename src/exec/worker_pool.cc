@@ -14,15 +14,15 @@ WorkerPool::WorkerPool(int num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  round_start_.notify_all();
+  round_start_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void WorkerPool::Run(const std::function<void(int)>& body) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Not reentrant: a second Run while a round is live (from a worker body
   // or another orchestrator thread) would corrupt the round accounting.
   // The serving layer's dispatcher depends on this being loud, not racy.
@@ -31,8 +31,8 @@ void WorkerPool::Run(const std::function<void(int)>& body) {
   body_ = &body;
   remaining_ = size();
   ++round_;
-  round_start_.notify_all();
-  round_done_.wait(lock, [this] { return remaining_ == 0; });
+  round_start_.NotifyAll();
+  while (remaining_ != 0) round_done_.Wait(mu_);
   body_ = nullptr;
 }
 
@@ -41,17 +41,16 @@ void WorkerPool::WorkerMain(int index) {
   for (;;) {
     const std::function<void(int)>* body = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      round_start_.wait(
-          lock, [&] { return shutdown_ || round_ != seen_round; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && round_ == seen_round) round_start_.Wait(mu_);
       if (shutdown_) return;
       seen_round = round_;
       body = body_;
     }
     (*body)(index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--remaining_ == 0) round_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--remaining_ == 0) round_done_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,13 @@
 #ifndef COURSENAV_EXEC_WORKER_POOL_H_
 #define COURSENAV_EXEC_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::exec {
 
@@ -43,14 +44,17 @@ class WorkerPool {
  private:
   void WorkerMain(int index);
 
-  std::mutex mu_;
-  std::condition_variable round_start_;
-  std::condition_variable round_done_;
-  const std::function<void(int)>* body_ = nullptr;  // valid during a round
-  uint64_t round_ = 0;   // bumped by Run to release the workers
-  int remaining_ = 0;    // workers still inside the current round
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar round_start_;
+  CondVar round_done_;
+  /// Valid during a round.
+  const std::function<void(int)>* body_ CN_GUARDED_BY(mu_) = nullptr;
+  /// Bumped by Run to release the workers.
+  uint64_t round_ CN_GUARDED_BY(mu_) = 0;
+  /// Workers still inside the current round.
+  int remaining_ CN_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CN_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written in ctor/dtor only
 };
 
 }  // namespace coursenav::exec

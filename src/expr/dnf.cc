@@ -215,6 +215,8 @@ bool Dnf::AchievableWith(const DynamicBitset& completed,
   return false;
 }
 
+// coursenav:hot — the clause-major batch kernels below are the pruning
+// stage's inner loop; no allocation, blocking, or locking may enter them.
 void Dnf::MinAdditionalCoursesBatch(const uint64_t* completed, size_t stride,
                                     size_t count, int* out) const {
   assert(stride == stride_);
@@ -258,6 +260,7 @@ void Dnf::AchievableWithBatch(const uint64_t* completed, size_t stride,
     }
   }
 }
+// coursenav:hot-end
 
 bool Dnf::IsTrue() const {
   for (const DnfClause& clause : clauses_) {

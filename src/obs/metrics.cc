@@ -32,11 +32,15 @@ int Histogram::BucketIndex(int64_t value) {
 
 namespace {
 
+/// Interning body shared by the three kinds. The caller holds the
+/// registry's mutex and passes the guarded containers by reference — the
+/// lock lives in the member function so the thread-safety analysis sees
+/// the guarded accesses under the right capability.
 template <typename Slot>
-MetricId InternIn(std::mutex& mu, std::unordered_map<std::string, int>& ids,
-                  std::deque<Slot>& slots, std::deque<std::string>& names,
-                  MetricKind kind, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu);
+MetricId InternLocked(std::unordered_map<std::string, int>& ids,
+                      std::deque<Slot>& slots,
+                      std::deque<std::string>& names, MetricKind kind,
+                      std::string_view name) {
   auto it = ids.find(std::string(name));
   if (it != ids.end()) return {kind, it->second};
   int index = static_cast<int>(slots.size());
@@ -49,39 +53,42 @@ MetricId InternIn(std::mutex& mu, std::unordered_map<std::string, int>& ids,
 }  // namespace
 
 MetricId MetricRegistry::InternCounter(std::string_view name) {
-  return InternIn(mu_, counter_ids_, counters_, counter_names_,
-                  MetricKind::kCounter, name);
+  MutexLock lock(mu_);
+  return InternLocked(counter_ids_, counters_, counter_names_,
+                      MetricKind::kCounter, name);
 }
 
 MetricId MetricRegistry::InternGauge(std::string_view name) {
-  return InternIn(mu_, gauge_ids_, gauges_, gauge_names_, MetricKind::kGauge,
-                  name);
+  MutexLock lock(mu_);
+  return InternLocked(gauge_ids_, gauges_, gauge_names_, MetricKind::kGauge,
+                      name);
 }
 
 MetricId MetricRegistry::InternHistogram(std::string_view name) {
-  return InternIn(mu_, histogram_ids_, histograms_, histogram_names_,
-                  MetricKind::kHistogram, name);
+  MutexLock lock(mu_);
+  return InternLocked(histogram_ids_, histograms_, histogram_names_,
+                      MetricKind::kHistogram, name);
 }
 
 Counter* MetricRegistry::counter(MetricId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return &counters_[static_cast<size_t>(id.index)];
 }
 
 Gauge* MetricRegistry::gauge(MetricId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return &gauges_[static_cast<size_t>(id.index)];
 }
 
 Histogram* MetricRegistry::histogram(MetricId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return &histograms_[static_cast<size_t>(id.index)];
 }
 
 std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
   std::vector<MetricSnapshot> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.reserve(counters_.size() + gauges_.size() + histograms_.size());
     for (size_t i = 0; i < counters_.size(); ++i) {
       MetricSnapshot snap;
@@ -118,7 +125,7 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
 }
 
 size_t MetricRegistry::InternedNameCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

@@ -5,11 +5,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::obs {
 
@@ -169,17 +171,19 @@ class MetricRegistry {
   void AccumulateInto(MetricRegistry* target) const;
 
  private:
-  mutable std::mutex mu_;  // guards the name maps and deques' growth
-  std::unordered_map<std::string, int> counter_ids_;
-  std::unordered_map<std::string, int> gauge_ids_;
-  std::unordered_map<std::string, int> histogram_ids_;
-  /// Deques: stable element addresses across growth.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::deque<std::string> counter_names_;
-  std::deque<std::string> gauge_names_;
-  std::deque<std::string> histogram_names_;
+  /// Guards the name maps and the deques' growth; updates through the
+  /// returned Counter/Gauge/Histogram pointers are lock-free (the deques
+  /// give stable element addresses across growth).
+  mutable Mutex mu_;
+  std::unordered_map<std::string, int> counter_ids_ CN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int> gauge_ids_ CN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int> histogram_ids_ CN_GUARDED_BY(mu_);
+  std::deque<Counter> counters_ CN_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ CN_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ CN_GUARDED_BY(mu_);
+  std::deque<std::string> counter_names_ CN_GUARDED_BY(mu_);
+  std::deque<std::string> gauge_names_ CN_GUARDED_BY(mu_);
+  std::deque<std::string> histogram_names_ CN_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry the exporters snapshot. Never destroyed.

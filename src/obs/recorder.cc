@@ -34,7 +34,7 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config)
 
 void FlightRecorder::SetAutoDumpSink(
     std::function<void(const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sink_ = std::move(sink);
 }
 
@@ -42,7 +42,7 @@ void FlightRecorder::Record(RecordedRequest record) {
   std::function<void(const std::string&)> fire;
   std::string dump;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     record.age_seconds = epoch_.ElapsedSeconds();
     const bool bad = !record.is_ok();
     ring_.push_back(std::move(record));
@@ -69,13 +69,13 @@ void FlightRecorder::Record(RecordedRequest record) {
 }
 
 std::vector<RecordedRequest> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<RecordedRequest>(ring_.begin(), ring_.end());
 }
 
 std::string FlightRecorder::DumpJsonLines() const {
   std::string out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const RecordedRequest& record : ring_) {
     out += record.ToJson().Dump();
     out += "\n";
@@ -84,17 +84,17 @@ std::string FlightRecorder::DumpJsonLines() const {
 }
 
 int64_t FlightRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 int64_t FlightRecorder::non_ok_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return non_ok_;
 }
 
 int64_t FlightRecorder::auto_dumps() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return auto_dumps_;
 }
 

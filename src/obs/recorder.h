@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::obs {
 
@@ -86,14 +87,14 @@ class FlightRecorder {
   const FlightRecorderConfig config_;
   Stopwatch epoch_;
 
-  mutable std::mutex mu_;
-  std::deque<RecordedRequest> ring_;
-  std::function<void(const std::string&)> sink_;
-  int64_t total_ = 0;
-  int64_t non_ok_ = 0;
-  int64_t auto_dumps_ = 0;
+  mutable Mutex mu_;
+  std::deque<RecordedRequest> ring_ CN_GUARDED_BY(mu_);
+  std::function<void(const std::string&)> sink_ CN_GUARDED_BY(mu_);
+  int64_t total_ CN_GUARDED_BY(mu_) = 0;
+  int64_t non_ok_ CN_GUARDED_BY(mu_) = 0;
+  int64_t auto_dumps_ CN_GUARDED_BY(mu_) = 0;
   /// Epoch seconds of the last non-ok record; negative = never.
-  double last_non_ok_seconds_ = -1.0;
+  double last_non_ok_seconds_ CN_GUARDED_BY(mu_) = -1.0;
 };
 
 }  // namespace coursenav::obs

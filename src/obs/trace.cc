@@ -48,7 +48,7 @@ int64_t Tracer::NextSpanId() {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -70,17 +70,17 @@ void Tracer::EmitSpan(std::string_view name, int64_t start_us,
 }
 
 std::vector<SpanRecord> Tracer::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 size_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 

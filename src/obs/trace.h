@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// Compile-time kill-switch for span instrumentation. When 0, ScopedSpan,
 /// StageAccumulator, and the COURSENAV_TRACE_SPAN macro compile to empty
@@ -79,10 +81,10 @@ class Tracer {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  size_t max_spans_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
-  size_t dropped_ = 0;
+  size_t max_spans_;  // set in the constructor, read-only afterwards
+  mutable Mutex mu_;
+  std::vector<SpanRecord> spans_ CN_GUARDED_BY(mu_);
+  size_t dropped_ CN_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_id_{1};
 };
 

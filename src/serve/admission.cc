@@ -26,12 +26,12 @@ std::string_view AdmitVerdictName(AdmitVerdict verdict) {
 void CompleteTicket(const std::shared_ptr<Ticket>& ticket,
                     ResponseEnvelope response) {
   {
-    std::lock_guard<std::mutex> lock(ticket->mu);
+    MutexLock lock(ticket->mu);
     if (ticket->done) return;
     ticket->response = std::move(response);
     ticket->done = true;
   }
-  ticket->cv.notify_all();
+  ticket->cv.NotifyAll();
 }
 
 AdmissionQueue::AdmissionQueue(AdmissionConfig config)
@@ -39,7 +39,7 @@ AdmissionQueue::AdmissionQueue(AdmissionConfig config)
 
 AdmissionQueue::AdmitResult AdmissionQueue::Admit(
     const std::shared_ptr<Ticket>& ticket) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     return {AdmitVerdict::kNotServing, RetryAfterMsLocked()};
   }
@@ -71,13 +71,13 @@ AdmissionQueue::AdmitResult AdmissionQueue::Admit(
   ++tenant.admitted_total;
   queue_.emplace(std::make_pair(ticket->absolute_deadline, ticket->id),
                  ticket);
-  work_.notify_one();
+  work_.NotifyOne();
   return {AdmitVerdict::kAdmitted, 0.0};
 }
 
 std::shared_ptr<Ticket> AdmissionQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  work_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  MutexLock lock(mu_);
+  while (queue_.empty() && !closed_) work_.Wait(mu_);
   if (queue_.empty()) return nullptr;
   auto first = queue_.begin();
   std::shared_ptr<Ticket> ticket = std::move(first->second);
@@ -93,7 +93,7 @@ std::shared_ptr<Ticket> AdmissionQueue::Pop() {
 
 void AdmissionQueue::Complete(const std::shared_ptr<Ticket>& ticket,
                               double service_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inflight_.erase(ticket->id);
   auto tenant_it = tenants_.find(ticket->tenant);
   if (tenant_it != tenants_.end()) {
@@ -106,14 +106,14 @@ void AdmissionQueue::Complete(const std::shared_ptr<Ticket>& ticket,
 }
 
 void AdmissionQueue::CloseForAdmission() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  work_.notify_all();
+  work_.NotifyAll();
 }
 
 std::vector<std::shared_ptr<Ticket>> AdmissionQueue::Evict() {
   std::vector<std::shared_ptr<Ticket>> evicted;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   evicted.reserve(queue_.size());
   for (auto& [key, ticket] : queue_) {
     auto tenant_it = tenants_.find(ticket->tenant);
@@ -121,36 +121,36 @@ std::vector<std::shared_ptr<Ticket>> AdmissionQueue::Evict() {
     evicted.push_back(std::move(ticket));
   }
   queue_.clear();
-  work_.notify_all();
+  work_.NotifyAll();
   return evicted;
 }
 
 std::vector<std::shared_ptr<Ticket>> AdmissionQueue::InflightSnapshot()
     const {
   std::vector<std::shared_ptr<Ticket>> inflight;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   inflight.reserve(inflight_.size());
   for (const auto& [id, ticket] : inflight_) inflight.push_back(ticket);
   return inflight;
 }
 
 int AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(queue_.size());
 }
 
 int AdmissionQueue::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(inflight_.size());
 }
 
 bool AdmissionQueue::accepting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !closed_;
 }
 
 double AdmissionQueue::RetryAfterMsHint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return RetryAfterMsLocked();
 }
 
@@ -164,7 +164,7 @@ double AdmissionQueue::RetryAfterMsLocked() const {
 }
 
 std::map<std::string, TenantCounters> AdmissionQueue::TenantSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {tenants_.begin(), tenants_.end()};
 }
 

@@ -1,11 +1,9 @@
 #ifndef COURSENAV_SERVE_ADMISSION_H_
 #define COURSENAV_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,7 +12,9 @@
 #include "plan/request.h"
 #include "serve/protocol.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::serve {
 
@@ -94,10 +94,10 @@ struct Ticket {
   Stopwatch queued_at;
   CancellationToken cancel = CancellationToken::Cancellable();
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  ResponseEnvelope response;
+  Mutex mu;
+  CondVar cv;
+  bool done CN_GUARDED_BY(mu) = false;
+  ResponseEnvelope response CN_GUARDED_BY(mu);
 };
 
 /// Publishes `response` into the ticket and wakes its waiter. Idempotent:
@@ -161,23 +161,25 @@ class AdmissionQueue {
   std::map<std::string, TenantCounters> TenantSnapshot() const;
 
  private:
-  double RetryAfterMsLocked() const;
+  double RetryAfterMsLocked() const CN_REQUIRES(mu_);
 
   const AdmissionConfig config_;
   Stopwatch epoch_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar work_;
+  bool closed_ CN_GUARDED_BY(mu_) = false;
   /// EDF order: (absolute deadline, admission id) -> ticket.
-  std::map<std::pair<double, uint64_t>, std::shared_ptr<Ticket>> queue_;
-  std::map<uint64_t, std::shared_ptr<Ticket>> inflight_;
-  std::map<std::string, TenantCounters, std::less<>> tenants_;
-  uint64_t next_id_ = 0;
+  std::map<std::pair<double, uint64_t>, std::shared_ptr<Ticket>> queue_
+      CN_GUARDED_BY(mu_);
+  std::map<uint64_t, std::shared_ptr<Ticket>> inflight_ CN_GUARDED_BY(mu_);
+  std::map<std::string, TenantCounters, std::less<>> tenants_
+      CN_GUARDED_BY(mu_);
+  uint64_t next_id_ CN_GUARDED_BY(mu_) = 0;
   /// EWMA of per-request service seconds, seeded pessimistically so the
   /// first hints are conservative.
-  double ewma_service_seconds_ = 0.05;
-  int64_t completed_ = 0;
+  double ewma_service_seconds_ CN_GUARDED_BY(mu_) = 0.05;
+  int64_t completed_ CN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace coursenav::serve

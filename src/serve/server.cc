@@ -107,6 +107,7 @@ ExplorationServer::~ExplorationServer() {
 }
 
 void ExplorationServer::Start() {
+  MutexLock lifecycle_lock(lifecycle_mu_);
   CN_CHECK(state() == State::kIdle) << "Start() called twice";
   queue_ = std::make_unique<AdmissionQueue>(config_.admission);
   pool_ = std::make_unique<exec::WorkerPool>(std::max(1, config_.num_workers));
@@ -247,8 +248,8 @@ ResponseEnvelope ExplorationServer::HandleRequest(std::string_view payload) {
   admitted_.fetch_add(1, std::memory_order_relaxed);
   obs::GlobalMetrics().GetCounter(obs::kMetricServeAdmitted)->Increment();
 
-  std::unique_lock<std::mutex> lock(ticket->mu);
-  ticket->cv.wait(lock, [&ticket] { return ticket->done; });
+  MutexLock lock(ticket->mu);
+  while (!ticket->done) ticket->cv.Wait(ticket->mu);
   return ticket->response;
 }
 
@@ -520,7 +521,7 @@ void ExplorationServer::RecordOutcome(const ResponseEnvelope& response,
                           deadline_ms);
     bool tracked = false;
     {
-      std::lock_guard<std::mutex> lock(slo_mu_);
+      MutexLock lock(slo_mu_);
       auto it = slo_.find(response.tenant);
       if (it == slo_.end() &&
           slo_.size() < static_cast<size_t>(std::max(
@@ -574,7 +575,7 @@ void ExplorationServer::RecordOutcome(const ResponseEnvelope& response,
 }
 
 Status ExplorationServer::Drain(double timeout_seconds) {
-  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  MutexLock lifecycle_lock(lifecycle_mu_);
   State current = state();
   if (current == State::kIdle) {
     state_.store(State::kStopped, std::memory_order_release);
@@ -609,7 +610,7 @@ Status ExplorationServer::Drain(double timeout_seconds) {
 }
 
 void ExplorationServer::Shutdown() {
-  std::lock_guard<std::mutex> lifecycle_lock(lifecycle_mu_);
+  MutexLock lifecycle_lock(lifecycle_mu_);
   State current = state();
   if (current == State::kIdle || current == State::kStopped) {
     state_.store(State::kStopped, std::memory_order_release);
@@ -666,7 +667,7 @@ ServerStats ExplorationServer::Stats() const {
     stats.tenants = queue_->TenantSnapshot();
   }
   {
-    std::lock_guard<std::mutex> lock(slo_mu_);
+    MutexLock lock(slo_mu_);
     stats.slo.insert(slo_.begin(), slo_.end());
   }
   return stats;

@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -18,8 +17,10 @@
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "service/navigator.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::serve {
 
@@ -210,12 +211,13 @@ class ExplorationServer {
   CourseNavigator navigator_;
 
   std::atomic<State> state_{State::kIdle};
-  /// Serializes Drain/Shutdown (both join the dispatcher).
-  std::mutex lifecycle_mu_;
+  /// Serializes Start/Drain/Shutdown; guards the dispatcher thread handle
+  /// (spawned by Start, joined by Drain/Shutdown).
+  Mutex lifecycle_mu_;
   std::unique_ptr<AdmissionQueue> queue_;
   std::unique_ptr<exec::WorkerPool> pool_;
   /// Runs the pool's single long fork-join round so Start() can return.
-  std::thread dispatcher_;
+  std::thread dispatcher_ CN_GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> dispatcher_done_{false};
 
   std::atomic<int64_t> submitted_{0};
@@ -238,8 +240,8 @@ class ExplorationServer {
 
   /// Per-tenant deadline-attainment tallies (bounded by the admission
   /// queue's tenant-table cap, since only named tenants reach here).
-  mutable std::mutex slo_mu_;
-  std::map<std::string, SloCounters, std::less<>> slo_;
+  mutable Mutex slo_mu_;
+  std::map<std::string, SloCounters, std::less<>> slo_ CN_GUARDED_BY(slo_mu_);
 };
 
 }  // namespace coursenav::serve

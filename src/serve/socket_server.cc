@@ -141,7 +141,7 @@ void SocketServer::AcceptLoop() {
     connection->fd = fd;
     Connection* raw = connection.get();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       connections_.push_back(std::move(connection));
     }
     raw->thread = std::thread([this, raw] { ServeConnection(raw); });
@@ -184,7 +184,7 @@ void SocketServer::ServeConnection(Connection* connection) {
 }
 
 void SocketServer::ReapFinished() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->done.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
@@ -207,13 +207,13 @@ void SocketServer::Stop() {
   {
     // Threads never close their own fd, so shutdown() here always hits the
     // descriptor we opened, forcing any blocked recv()/send() to return.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& connection : connections_) {
       shutdown(connection->fd, SHUT_RDWR);
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& connection : connections_) {
     if (connection->thread.joinable()) connection->thread.join();
     close(connection->fd);

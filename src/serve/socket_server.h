@@ -5,13 +5,14 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav::serve {
 
@@ -90,8 +91,8 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::atomic<int> active_connections_{0};
-  std::mutex mu_;  // guards connections_
-  std::list<std::unique_ptr<Connection>> connections_;
+  Mutex mu_;
+  std::list<std::unique_ptr<Connection>> connections_ CN_GUARDED_BY(mu_);
 };
 
 }  // namespace coursenav::serve

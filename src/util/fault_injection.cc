@@ -36,7 +36,7 @@ uint64_t FaultInjector::Mix(std::string_view site, uint64_t counter) const {
 bool FaultInjector::ShouldInject(std::string_view site) {
   auto it = config_.site_probability.find(site);
   if (it == config_.site_probability.end() || it->second <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t counter = counters_[std::string(site)]++;
   // 53 uniform mantissa bits -> double in [0, 1).
   double u = static_cast<double>(Mix(site, counter) >> 11) * 0x1.0p-53;
@@ -46,19 +46,19 @@ bool FaultInjector::ShouldInject(std::string_view site) {
 }
 
 uint64_t FaultInjector::Draw(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t counter = counters_[std::string(site)]++;
   return Mix(site, counter);
 }
 
 int64_t FaultInjector::decisions(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(site);
   return it == counters_.end() ? 0 : static_cast<int64_t>(it->second);
 }
 
 int64_t FaultInjector::fired(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = fired_.find(site);
   return it == fired_.end() ? 0 : it->second;
 }

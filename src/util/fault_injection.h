@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coursenav {
 
@@ -70,9 +72,9 @@ class FaultInjector {
   uint64_t Mix(std::string_view site, uint64_t counter) const;
 
   FaultConfig config_;
-  mutable std::mutex mu_;  // guards counters_ and fired_
-  std::map<std::string, uint64_t, std::less<>> counters_;
-  std::map<std::string, int64_t, std::less<>> fired_;
+  mutable Mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_ CN_GUARDED_BY(mu_);
+  std::map<std::string, int64_t, std::less<>> fired_ CN_GUARDED_BY(mu_);
 };
 
 /// The injector the compiled-in seams consult, or nullptr when no fault

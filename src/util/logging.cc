@@ -1,7 +1,8 @@
 #include "util/logging.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace coursenav {
 
@@ -11,9 +12,9 @@ int g_min_level = static_cast<int>(LogLevel::kWarning);
 
 // Serializes emission and guards the sink. Never destroyed (leaked on
 // purpose) so logging from static destructors stays safe.
-std::mutex& SinkMutex() {
+Mutex& SinkMutex() {
   // Leaky singleton: logging must work from static destructors.
-  static std::mutex* mu = new std::mutex;  // NOLINT(coursenav-raw-new)
+  static Mutex* mu = new Mutex;  // NOLINT(coursenav-raw-new)
   return *mu;
 }
 
@@ -43,7 +44,7 @@ void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level); }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   CurrentSink() = std::move(sink);
 }
 
@@ -66,7 +67,7 @@ LogMessage::~LogMessage() {
   std::string message = stream_.str();
   // One lock per emitted message: concurrent loggers never interleave
   // bytes, and a custom sink observes whole messages one at a time.
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   LogSink& sink = CurrentSink();
   if (sink) {
     sink(level_, message);

@@ -1,0 +1,85 @@
+#ifndef COURSENAV_UTIL_MUTEX_H_
+#define COURSENAV_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+/// Annotated synchronization primitives.
+///
+/// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+/// so Clang's thread-safety analysis cannot see acquisitions through them.
+/// These thin wrappers add the attributes (and nothing else — each is a
+/// zero-overhead shim over the std type) so that `-Wthread-safety` can prove
+/// the lock discipline of the concurrent core. All mutex-owning types in
+/// src/ use coursenav::Mutex; raw std::mutex members are rejected by the
+/// coursenav-mutex-annotation lint rule.
+
+namespace coursenav {
+
+class CondVar;
+
+/// std::mutex with the CN_LOCKABLE capability attribute. Method names stay
+/// lowercase so the type satisfies the standard BasicLockable/Lockable
+/// concepts (std::scoped_lock, std::lock, ... all accept it).
+class CN_LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CN_ACQUIRE() { mu_.lock(); }
+  void unlock() CN_RELEASE() { mu_.unlock(); }
+  bool try_lock() CN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, annotated CN_SCOPED_LOCKABLE so the analysis
+/// tracks the critical section it delimits.
+class CN_SCOPED_LOCKABLE MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CN_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with coursenav::Mutex. Wait() is annotated
+/// CN_REQUIRES(mu): the analysis models the mutex as held across the wait,
+/// which matches the caller-visible contract — it is always reacquired
+/// before Wait() returns. Spurious wakeups apply as usual; always wait in
+/// an explicit predicate loop:
+///
+///     MutexLock lock(mu_);
+///     while (!done_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires `mu`.
+  void Wait(Mutex& mu) CN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace coursenav
+
+#endif  // COURSENAV_UTIL_MUTEX_H_

@@ -10,6 +10,7 @@ namespace {
 // match bit-for-bit (tests/simd_test.cc).
 // ---------------------------------------------------------------------------
 
+// coursenav:hot — set-algebra kernels; pure word loops only.
 int ScalarPopcount(const uint64_t* a, size_t n) {
   int total = 0;
   for (size_t i = 0; i < n; ++i) total += PopcountWord(a[i]);
@@ -84,6 +85,7 @@ int ScalarCountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
   }
   return best;
 }
+// coursenav:hot-end
 
 constexpr Kernels kScalarKernels = {
     "scalar",

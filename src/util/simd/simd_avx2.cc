@@ -15,6 +15,8 @@
 namespace coursenav::simd {
 namespace {
 
+// coursenav:hot — vector kernels; pure register/word loops only.
+
 // Positional popcount of a 256-bit lane via the vpshufb nibble-LUT trick
 // (Mula): split each byte into nibbles, table-look-up per-nibble popcounts,
 // then horizontally sum bytes with vpsadbw against zero.
@@ -183,6 +185,7 @@ int Avx2CountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
   }
   return best;
 }
+// coursenav:hot-end
 
 constexpr Kernels kAvx2Kernels = {
     "avx2",

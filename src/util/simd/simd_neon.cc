@@ -13,6 +13,8 @@
 namespace coursenav::simd {
 namespace {
 
+// coursenav:hot — vector kernels; pure register/word loops only.
+
 // Sum of set bits in a 128-bit register: per-byte popcount (vcntq_u8) then
 // a horizontal add across the 16 byte lanes.
 inline uint64_t PopcountU64x2(uint64x2_t v) {
@@ -138,6 +140,7 @@ int NeonCountUnsatisfiedLiterals(const uint64_t* pos, const uint64_t* neg,
   }
   return best;
 }
+// coursenav:hot-end
 
 constexpr Kernels kNeonKernels = {
     "neon",

@@ -1,0 +1,77 @@
+#ifndef COURSENAV_UTIL_THREAD_ANNOTATIONS_H_
+#define COURSENAV_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute wrappers.
+///
+/// Under Clang these expand to the `-Wthread-safety` capability attributes,
+/// turning the lock discipline of the concurrent core into a compile-time
+/// proof; under every other compiler they expand to nothing, so GCC builds
+/// are unaffected. The `thread-safety` CMake preset builds the tree with
+/// clang and `-Wthread-safety -Werror`; conventions and the escape-hatch
+/// policy live in docs/static-analysis.md.
+///
+/// Annotate data with the mutex that guards it:
+///
+///     coursenav::Mutex mu_;
+///     std::vector<Span> spans_ CN_GUARDED_BY(mu_);
+///
+/// and private helpers with the lock they expect held:
+///
+///     double RetryAfterMsLocked() const CN_REQUIRES(mu_);
+
+#if defined(__clang__)
+#define CN_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CN_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+/// Marks a class as a capability (a lockable type). `CN_LOCKABLE` is the
+/// spelling used on mutex-like types; see coursenav::Mutex in util/mutex.h.
+#define CN_CAPABILITY(x) CN_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define CN_LOCKABLE CN_CAPABILITY("mutex")
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (e.g. coursenav::MutexLock).
+#define CN_SCOPED_LOCKABLE CN_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated field may only be read or written while `x` is held.
+#define CN_GUARDED_BY(x) CN_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer is guarded by `x`; the
+/// pointer itself may be read freely.
+#define CN_PT_GUARDED_BY(x) CN_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The function may only be called while the listed capabilities are held;
+/// it neither acquires nor releases them.
+#define CN_REQUIRES(...) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define CN_REQUIRES_SHARED(...) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities.
+#define CN_ACQUIRE(...) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define CN_RELEASE(...) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability and returns `r` on
+/// success, e.g. `bool try_lock() CN_TRY_ACQUIRE(true)`.
+#define CN_TRY_ACQUIRE(...) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (non-reentrancy; the
+/// function acquires them internally).
+#define CN_EXCLUDES(...) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its class.
+#define CN_RETURN_CAPABILITY(x) \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry an adjacent `//` justification comment (same or previous line);
+/// coursenav-mutex-annotation enforces this.
+#define CN_NO_THREAD_SAFETY_ANALYSIS \
+  CN_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // COURSENAV_UTIL_THREAD_ANNOTATIONS_H_

@@ -11,6 +11,7 @@
 
 #include "catalog/term.h"
 #include "graph/learning_graph.h"
+#include "tests/test_util.h"
 #include "util/bitset.h"
 #include "util/check.h"
 
@@ -36,21 +37,15 @@ using lint::LintContent;
 
 // ---------------------------------------------------------------------------
 // Lint-rule fixtures. Each rule gets a firing fixture, a NOLINT-suppressed
-// fixture, and a clean fixture.
+// fixture, and a clean fixture. The fixture runner lives in
+// tests/test_util.h so other suites can lint generated sources too.
 // ---------------------------------------------------------------------------
 
-std::vector<std::string> Hits(std::string_view path, std::string_view content,
-                              std::string_view rule) {
-  std::vector<std::string> rendered;
-  for (const Finding& finding : LintContent(path, content, rule)) {
-    rendered.push_back(finding.ToString());
-  }
-  return rendered;
-}
+using testing_util::LintRuleHits;
 
 TEST(LayeringRuleTest, FlagsUpwardInclude) {
   std::vector<std::string> hits =
-      Hits("src/core/engine.cc", "#include \"service/navigator.h\"\n",
+      LintRuleHits("src/core/engine.cc", "#include \"service/navigator.h\"\n",
            "coursenav-layering");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].find("src/core/engine.cc:1:"), std::string::npos);
@@ -59,14 +54,14 @@ TEST(LayeringRuleTest, FlagsUpwardInclude) {
 }
 
 TEST(LayeringRuleTest, FlagsUtilIncludingAnything) {
-  EXPECT_EQ(Hits("src/util/result.h", "#include \"expr/expr.h\"\n",
+  EXPECT_EQ(LintRuleHits("src/util/result.h", "#include \"expr/expr.h\"\n",
                  "coursenav-layering")
                 .size(),
             1u);
 }
 
 TEST(LayeringRuleTest, SuppressedByNolint) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "#include \"service/navigator.h\"  "
                    "// NOLINT(coursenav-layering)\n",
                    "coursenav-layering")
@@ -74,7 +69,7 @@ TEST(LayeringRuleTest, SuppressedByNolint) {
 }
 
 TEST(LayeringRuleTest, AllowsDeclaredDeps) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "#include \"graph/learning_graph.h\"\n"
                    "#include \"requirements/goal.h\"\n"
                    "#include \"util/bitset.h\"\n",
@@ -84,20 +79,20 @@ TEST(LayeringRuleTest, AllowsDeclaredDeps) {
 
 TEST(LayeringRuleTest, CoreMustNotIncludePlan) {
   std::vector<std::string> hits =
-      Hits("src/core/engine.cc", "#include \"plan/request.h\"\n",
+      LintRuleHits("src/core/engine.cc", "#include \"plan/request.h\"\n",
            "coursenav-layering");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].find("'plan'"), std::string::npos);
 }
 
 TEST(LayeringRuleTest, PlanMayUseCoreAndExecButNotService) {
-  EXPECT_TRUE(Hits("src/plan/executor.cc",
+  EXPECT_TRUE(LintRuleHits("src/plan/executor.cc",
                    "#include \"core/engine.h\"\n"
                    "#include \"exec/parallel_expander.h\"\n"
                    "#include \"graph/learning_graph.h\"\n",
                    "coursenav-layering")
                   .empty());
-  EXPECT_EQ(Hits("src/plan/planner.cc",
+  EXPECT_EQ(LintRuleHits("src/plan/planner.cc",
                  "#include \"service/navigator.h\"\n",
                  "coursenav-layering")
                 .size(),
@@ -105,34 +100,34 @@ TEST(LayeringRuleTest, PlanMayUseCoreAndExecButNotService) {
 }
 
 TEST(LayeringRuleTest, ServiceMayIncludePlan) {
-  EXPECT_TRUE(Hits("src/service/navigator.h",
+  EXPECT_TRUE(LintRuleHits("src/service/navigator.h",
                    "#include \"plan/request.h\"\n",
                    "coursenav-layering")
                   .empty());
 }
 
 TEST(LayeringRuleTest, IgnoresFilesOutsideSrc) {
-  EXPECT_TRUE(Hits("tests/some_test.cc", "#include \"service/navigator.h\"\n",
+  EXPECT_TRUE(LintRuleHits("tests/some_test.cc", "#include \"service/navigator.h\"\n",
                    "coursenav-layering")
                   .empty());
 }
 
 TEST(LayeringRuleTest, IgnoresSystemAndUnknownIncludes) {
-  EXPECT_TRUE(Hits("src/util/result.h",
+  EXPECT_TRUE(LintRuleHits("src/util/result.h",
                    "#include <vector>\n#include \"gtest/gtest.h\"\n",
                    "coursenav-layering")
                   .empty());
 }
 
 TEST(BannedSymbolRuleTest, FlagsRandCall) {
-  std::vector<std::string> hits = Hits(
+  std::vector<std::string> hits = LintRuleHits(
       "src/core/engine.cc", "int x = rand();\n", "coursenav-banned-symbol");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].find("'rand'"), std::string::npos);
 }
 
 TEST(BannedSymbolRuleTest, FlagsSystemClockEverywhere) {
-  EXPECT_EQ(Hits("tests/some_test.cc",
+  EXPECT_EQ(LintRuleHits("tests/some_test.cc",
                  "auto t = std::chrono::system_clock::now();\n",
                  "coursenav-banned-symbol")
                 .size(),
@@ -142,24 +137,24 @@ TEST(BannedSymbolRuleTest, FlagsSystemClockEverywhere) {
 TEST(BannedSymbolRuleTest, SteadyClockScopedByModule) {
   const char* use = "auto t = std::chrono::steady_clock::now();\n";
   // Banned in the pure algorithmic layers...
-  EXPECT_EQ(Hits("src/core/engine.cc", use, "coursenav-banned-symbol").size(),
+  EXPECT_EQ(LintRuleHits("src/core/engine.cc", use, "coursenav-banned-symbol").size(),
             1u);
   // ...allowed in the timing substrate and outside src/.
   EXPECT_TRUE(
-      Hits("src/util/stopwatch.cc", use, "coursenav-banned-symbol").empty());
+      LintRuleHits("src/util/stopwatch.cc", use, "coursenav-banned-symbol").empty());
   EXPECT_TRUE(
-      Hits("bench/bench_util.h", use, "coursenav-banned-symbol").empty());
+      LintRuleHits("bench/bench_util.h", use, "coursenav-banned-symbol").empty());
 }
 
 TEST(BannedSymbolRuleTest, SuppressedByNolint) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "int x = rand();  // NOLINT(coursenav-banned-symbol)\n",
                    "coursenav-banned-symbol")
                   .empty());
 }
 
 TEST(BannedSymbolRuleTest, CleanOnQualifiedUsesAndWords) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "double time = 0;\n"            // plain word, not a call
                    "budget.time();\n"              // member call
                    "clock->time();\n"              // member call
@@ -172,23 +167,23 @@ TEST(BannedSymbolRuleTest, CleanOnQualifiedUsesAndWords) {
 
 TEST(RawNewRuleTest, FlagsNewAndDelete) {
   EXPECT_EQ(
-      Hits("src/core/engine.cc", "int* p = new int;\n", "coursenav-raw-new")
+      LintRuleHits("src/core/engine.cc", "int* p = new int;\n", "coursenav-raw-new")
           .size(),
       1u);
-  EXPECT_EQ(Hits("src/core/engine.cc", "delete ptr;\n", "coursenav-raw-new")
+  EXPECT_EQ(LintRuleHits("src/core/engine.cc", "delete ptr;\n", "coursenav-raw-new")
                 .size(),
             1u);
 }
 
 TEST(RawNewRuleTest, SuppressedByNolint) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "static Foo* f = new Foo;  // NOLINT(coursenav-raw-new)\n",
                    "coursenav-raw-new")
                   .empty());
 }
 
 TEST(RawNewRuleTest, CleanOnDeletedMembersAndMakeUnique) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "Foo(const Foo&) = delete;\n"
                    "void* operator new(size_t size);\n"
                    "auto p = std::make_unique<int>(7);\n"
@@ -198,33 +193,33 @@ TEST(RawNewRuleTest, CleanOnDeletedMembersAndMakeUnique) {
 }
 
 TEST(SimdEncapsulationRuleTest, FlagsBuiltinsAndIntrinsicsOutsideSimd) {
-  EXPECT_EQ(Hits("src/util/bitset.cc",
+  EXPECT_EQ(LintRuleHits("src/util/bitset.cc",
                  "int n = __builtin_popcountll(word);\n",
                  "coursenav-simd-encapsulation")
                 .size(),
             1u);
-  EXPECT_EQ(Hits("src/core/pruning.cc", "int t = __builtin_ctzll(w);\n",
+  EXPECT_EQ(LintRuleHits("src/core/pruning.cc", "int t = __builtin_ctzll(w);\n",
                  "coursenav-simd-encapsulation")
                 .size(),
             1u);
-  EXPECT_EQ(Hits("src/graph/learning_graph.cc",
+  EXPECT_EQ(LintRuleHits("src/graph/learning_graph.cc",
                  "__m256i v = _mm256_loadu_si256(p);\n",
                  "coursenav-simd-encapsulation")
                 .size(),
             1u);
-  EXPECT_EQ(Hits("src/core/ranking.cc", "#include <immintrin.h>\n",
+  EXPECT_EQ(LintRuleHits("src/core/ranking.cc", "#include <immintrin.h>\n",
                  "coursenav-simd-encapsulation")
                 .size(),
             1u);
 }
 
 TEST(SimdEncapsulationRuleTest, CleanInsideSimdLayerAndOnWrappers) {
-  EXPECT_TRUE(Hits("src/util/simd/simd_avx2.cc",
+  EXPECT_TRUE(LintRuleHits("src/util/simd/simd_avx2.cc",
                    "__m256i v = _mm256_loadu_si256(p);\n"
                    "int n = __builtin_popcountll(w);\n",
                    "coursenav-simd-encapsulation")
                   .empty());
-  EXPECT_TRUE(Hits("src/core/pruning.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/pruning.cc",
                    "int n = simd::Popcount(words, stride);\n"
                    "int t = simd::CountTrailingZeros(w);\n",
                    "coursenav-simd-encapsulation")
@@ -233,7 +228,7 @@ TEST(SimdEncapsulationRuleTest, CleanInsideSimdLayerAndOnWrappers) {
 
 TEST(SimdEncapsulationRuleTest, SuppressedByNolint) {
   EXPECT_TRUE(
-      Hits("src/core/engine.cc",
+      LintRuleHits("src/core/engine.cc",
            "int n = __builtin_popcount(m);  "
            "// NOLINT(coursenav-simd-encapsulation)\n",
            "coursenav-simd-encapsulation")
@@ -242,7 +237,7 @@ TEST(SimdEncapsulationRuleTest, SuppressedByNolint) {
 
 TEST(UnorderedIterRuleTest, FlagsRangeForInTaggedFile) {
   std::vector<std::string> hits =
-      Hits("src/core/engine.cc",
+      LintRuleHits("src/core/engine.cc",
            "// coursenav:deterministic\n"
            "std::unordered_map<int, int> cache_;\n"
            "void Dump() { for (const auto& kv : cache_) Use(kv); }\n",
@@ -253,7 +248,7 @@ TEST(UnorderedIterRuleTest, FlagsRangeForInTaggedFile) {
 }
 
 TEST(UnorderedIterRuleTest, FlagsManualBeginIteration) {
-  EXPECT_EQ(Hits("src/core/engine.cc",
+  EXPECT_EQ(LintRuleHits("src/core/engine.cc",
                  "// coursenav:deterministic\n"
                  "std::unordered_set<int> seen_;\n"
                  "auto it = seen_.begin();\n",
@@ -263,7 +258,7 @@ TEST(UnorderedIterRuleTest, FlagsManualBeginIteration) {
 }
 
 TEST(UnorderedIterRuleTest, UntaggedFileIsExempt) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "std::unordered_map<int, int> cache_;\n"
                    "void Dump() { for (const auto& kv : cache_) Use(kv); }\n",
                    "coursenav-unordered-iter")
@@ -272,7 +267,7 @@ TEST(UnorderedIterRuleTest, UntaggedFileIsExempt) {
 
 TEST(UnorderedIterRuleTest, SuppressedByNolint) {
   EXPECT_TRUE(
-      Hits("src/core/engine.cc",
+      LintRuleHits("src/core/engine.cc",
            "// coursenav:deterministic\n"
            "std::unordered_map<int, int> cache_;\n"
            "for (const auto& kv : cache_) {  // NOLINT(coursenav-unordered-iter)\n"
@@ -282,7 +277,7 @@ TEST(UnorderedIterRuleTest, SuppressedByNolint) {
 }
 
 TEST(UnorderedIterRuleTest, CleanOnLookupsAndOrderedIteration) {
-  EXPECT_TRUE(Hits("src/core/engine.cc",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc",
                    "// coursenav:deterministic\n"
                    "std::unordered_map<int, int> cache_;\n"
                    "std::map<int, int> sorted_;\n"
@@ -293,7 +288,7 @@ TEST(UnorderedIterRuleTest, CleanOnLookupsAndOrderedIteration) {
 }
 
 TEST(EndlRuleTest, FlagsEndl) {
-  EXPECT_EQ(Hits("src/service/navigator.cc", "os << \"done\" << std::endl;\n",
+  EXPECT_EQ(LintRuleHits("src/service/navigator.cc", "os << \"done\" << std::endl;\n",
                  "coursenav-endl")
                 .size(),
             1u);
@@ -301,14 +296,14 @@ TEST(EndlRuleTest, FlagsEndl) {
 
 TEST(EndlRuleTest, SuppressedByNolint) {
   EXPECT_TRUE(
-      Hits("src/service/navigator.cc",
+      LintRuleHits("src/service/navigator.cc",
            "os << \"done\" << std::endl;  // NOLINT(coursenav-endl)\n",
            "coursenav-endl")
           .empty());
 }
 
 TEST(EndlRuleTest, CleanOnNewlineAndMentionsInText) {
-  EXPECT_TRUE(Hits("src/service/navigator.cc",
+  EXPECT_TRUE(LintRuleHits("src/service/navigator.cc",
                    "os << \"done\\n\";\n"
                    "// std::endl is banned\n"
                    "Log(\"std::endl\");\n",
@@ -318,14 +313,14 @@ TEST(EndlRuleTest, CleanOnNewlineAndMentionsInText) {
 
 TEST(HeaderGuardRuleTest, FlagsMissingGuard) {
   std::vector<std::string> hits =
-      Hits("src/core/engine.h", "#include <vector>\nint x;\n",
+      LintRuleHits("src/core/engine.h", "#include <vector>\nint x;\n",
            "coursenav-header-guard");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].find("does not start with"), std::string::npos);
 }
 
 TEST(HeaderGuardRuleTest, FlagsMismatchedDefine) {
-  EXPECT_EQ(Hits("src/core/engine.h",
+  EXPECT_EQ(LintRuleHits("src/core/engine.h",
                  "#ifndef COURSENAV_CORE_ENGINE_H_\n#define WRONG_NAME\n",
                  "coursenav-header-guard")
                 .size(),
@@ -334,25 +329,25 @@ TEST(HeaderGuardRuleTest, FlagsMismatchedDefine) {
 
 TEST(HeaderGuardRuleTest, FlagsNonConventionalGuardUnderSrc) {
   std::vector<std::string> hits =
-      Hits("src/core/engine.h", "#ifndef ENGINE_H\n#define ENGINE_H\n",
+      LintRuleHits("src/core/engine.h", "#ifndef ENGINE_H\n#define ENGINE_H\n",
            "coursenav-header-guard");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].find("COURSENAV_CORE_ENGINE_H_"), std::string::npos);
 }
 
 TEST(HeaderGuardRuleTest, SuppressedByNolint) {
-  EXPECT_TRUE(Hits("src/core/engine.h",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.h",
                    "#include <vector>  // NOLINT(coursenav-header-guard)\n",
                    "coursenav-header-guard")
                   .empty());
 }
 
 TEST(HeaderGuardRuleTest, AcceptsPragmaOnceAndConventionalGuard) {
-  EXPECT_TRUE(Hits("src/core/engine.h", "#pragma once\nint x;\n",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.h", "#pragma once\nint x;\n",
                    "coursenav-header-guard")
                   .empty());
   EXPECT_TRUE(
-      Hits("src/core/engine.h",
+      LintRuleHits("src/core/engine.h",
            "// A leading comment is fine.\n"
            "#ifndef COURSENAV_CORE_ENGINE_H_\n"
            "#define COURSENAV_CORE_ENGINE_H_\n"
@@ -360,26 +355,26 @@ TEST(HeaderGuardRuleTest, AcceptsPragmaOnceAndConventionalGuard) {
            "coursenav-header-guard")
           .empty());
   // No path convention outside src/; any matching guard passes.
-  EXPECT_TRUE(Hits("tools/lint/lint.h",
+  EXPECT_TRUE(LintRuleHits("tools/lint/lint.h",
                    "#ifndef MY_GUARD_H_\n#define MY_GUARD_H_\n",
                    "coursenav-header-guard")
                   .empty());
   // Source files need no guard at all.
-  EXPECT_TRUE(Hits("src/core/engine.cc", "#include <vector>\n",
+  EXPECT_TRUE(LintRuleHits("src/core/engine.cc", "#include <vector>\n",
                    "coursenav-header-guard")
                   .empty());
 }
 
 TEST(DirectGenerateRuleTest, FlagsDirectCallInSrcModules) {
   std::vector<std::string> hits =
-      Hits("src/service/session.cc",
+      LintRuleHits("src/service/session.cc",
            "auto r = GenerateRankedPaths(catalog, schedule, start, end,\n"
            "                             goal, ranking, k, options);\n",
            "coursenav-direct-generate");
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].find("GenerateRankedPaths"), std::string::npos);
   EXPECT_NE(hits[0].find("ExplorationRequest"), std::string::npos);
-  EXPECT_EQ(Hits("src/exec/parallel_expander.cc",
+  EXPECT_EQ(LintRuleHits("src/exec/parallel_expander.cc",
                  "GenerateDeadlineDrivenPaths(catalog, schedule, s, e, o);\n",
                  "coursenav-direct-generate")
                 .size(),
@@ -387,11 +382,11 @@ TEST(DirectGenerateRuleTest, FlagsDirectCallInSrcModules) {
 }
 
 TEST(DirectGenerateRuleTest, PlanModuleAndFacadeHeadersExempt) {
-  EXPECT_TRUE(Hits("src/plan/facades.cc",
+  EXPECT_TRUE(LintRuleHits("src/plan/facades.cc",
                    "Result<RankedResult> GenerateRankedPaths(\n",
                    "coursenav-direct-generate")
                   .empty());
-  EXPECT_TRUE(Hits("src/core/ranked_generator.h",
+  EXPECT_TRUE(LintRuleHits("src/core/ranked_generator.h",
                    "Result<RankedResult> GenerateRankedPaths(\n",
                    "coursenav-direct-generate")
                   .empty());
@@ -399,19 +394,19 @@ TEST(DirectGenerateRuleTest, PlanModuleAndFacadeHeadersExempt) {
 
 TEST(DirectGenerateRuleTest, OutOfSrcCallersAndCommentsExempt) {
   // tools/tests/bench call the public facades legitimately.
-  EXPECT_TRUE(Hits("tests/plan_test.cc",
+  EXPECT_TRUE(LintRuleHits("tests/plan_test.cc",
                    "auto r = GenerateGoalDrivenPaths(c, s, st, e, g, o);\n",
                    "coursenav-direct-generate")
                   .empty());
   // Mentions in comments never fire (the scrubbed view is scanned).
-  EXPECT_TRUE(Hits("src/core/counting.h",
+  EXPECT_TRUE(LintRuleHits("src/core/counting.h",
                    "// same leaf set as GenerateDeadlineDrivenPaths\n",
                    "coursenav-direct-generate")
                   .empty());
 }
 
 TEST(DirectGenerateRuleTest, SuppressedByNolint) {
-  EXPECT_TRUE(Hits("src/service/session.cc",
+  EXPECT_TRUE(LintRuleHits("src/service/session.cc",
                    "auto r = GenerateRankedPaths(c, s, st, e, g, rk, k, o);"
                    "  // NOLINT(coursenav-direct-generate)\n",
                    "coursenav-direct-generate")
@@ -426,7 +421,7 @@ TEST(LintDriverTest, AllRulesHaveUniqueIdsAndDescriptions) {
     EXPECT_TRUE(ids.insert(rule->id()).second)
         << "duplicate rule id " << rule->id();
   }
-  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(ids.size(), 11u);
 }
 
 TEST(LintDriverTest, FullScanAggregatesAndSortsFindings) {
@@ -450,6 +445,289 @@ TEST(LintDriverTest, NolintListSuppressesOnlyNamedRules) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].line, 2);
   EXPECT_EQ(findings[0].rule, "coursenav-banned-symbol");
+}
+
+TEST(MutexAnnotationRuleTest, FlagsRawStdPrimitivesInSrc) {
+  std::vector<std::string> hits =
+      LintRuleHits("src/serve/widget.h",
+                   "#pragma once\n"
+                   "std::mutex mu_;\n"
+                   "std::condition_variable cv_;\n",
+                   "coursenav-mutex-annotation");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].find("std::mutex"), std::string::npos);
+  EXPECT_NE(hits[0].find("coursenav::Mutex"), std::string::npos);
+  EXPECT_NE(hits[1].find("std::condition_variable"), std::string::npos);
+}
+
+TEST(MutexAnnotationRuleTest, FlagsMutexMemberWithoutGuardedByConsumer) {
+  std::vector<std::string> hits =
+      LintRuleHits("src/exec/widget.h",
+                   "class W {\n"
+                   "  mutable Mutex mu_;\n"
+                   "  int count_ = 0;\n"
+                   "};\n",
+                   "coursenav-mutex-annotation");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find(":2:"), std::string::npos);
+  EXPECT_NE(hits[0].find("'mu_'"), std::string::npos);
+  EXPECT_NE(hits[0].find("CN_GUARDED_BY"), std::string::npos);
+}
+
+TEST(MutexAnnotationRuleTest, FlagsUnjustifiedEscapeHatch) {
+  EXPECT_EQ(LintRuleHits("src/obs/widget.cc",
+                         "void Tick() CN_NO_THREAD_SAFETY_ANALYSIS {\n"
+                         "}\n",
+                         "coursenav-mutex-annotation")
+                .size(),
+            1u);
+}
+
+TEST(MutexAnnotationRuleTest, AdjacentCommentJustifiesEscapeHatch) {
+  EXPECT_TRUE(
+      LintRuleHits("src/obs/widget.cc",
+                   "// Benign counter race: stats only, off the hot path.\n"
+                   "void Tick() CN_NO_THREAD_SAFETY_ANALYSIS {\n"
+                   "}\n",
+                   "coursenav-mutex-annotation")
+          .empty());
+}
+
+TEST(MutexAnnotationRuleTest, CleanOnGuardedMembersAndExemptFiles) {
+  // A consumed Mutex member passes; CN_REQUIRES counts as consumption too.
+  EXPECT_TRUE(
+      LintRuleHits("src/serve/widget.h",
+                   "class W {\n"
+                   "  void PokeLocked() CN_REQUIRES(mu_);\n"
+                   "  mutable Mutex mu_;\n"
+                   "  int hits_ CN_GUARDED_BY(mu_) = 0;\n"
+                   "};\n",
+                   "coursenav-mutex-annotation")
+          .empty());
+  // The wrapper's own implementation is the one home of std primitives.
+  EXPECT_TRUE(LintRuleHits("src/util/mutex.h", "std::mutex mu_;\n",
+                           "coursenav-mutex-annotation")
+                  .empty());
+  // Code outside src/ owns its own locking.
+  EXPECT_TRUE(LintRuleHits("tools/coursenav_cli.cc", "std::mutex mu;\n",
+                           "coursenav-mutex-annotation")
+                  .empty());
+}
+
+TEST(MutexAnnotationRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(LintRuleHits("src/exec/widget.h",
+                           "Mutex unused_;  // NOLINT(coursenav-mutex-annotation)\n",
+                           "coursenav-mutex-annotation")
+                  .empty());
+}
+
+TEST(LockOrderRuleTest, FlagsAcquisitionAgainstDeclaredOrder) {
+  // The default registry (tools/lint/lock_order.txt) is outermost-first:
+  // lifecycle_mu_, slo_mu_, mu_, mu.
+  std::vector<std::string> hits =
+      LintRuleHits("src/serve/widget.cc",
+                   "void F() {\n"
+                   "  MutexLock inner(mu_);\n"
+                   "  MutexLock outer(lifecycle_mu_);\n"
+                   "}\n",
+                   "coursenav-lock-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find(":3:"), std::string::npos);
+  EXPECT_NE(hits[0].find("lock-order violation"), std::string::npos);
+}
+
+TEST(LockOrderRuleTest, FlagsSelfReacquisitionThroughMemberSyntax) {
+  // `ticket->mu` normalizes to `mu`, colliding with the held `mu`.
+  std::vector<std::string> hits =
+      LintRuleHits("src/serve/widget.cc",
+                   "void F(Ticket* ticket) {\n"
+                   "  MutexLock a(mu);\n"
+                   "  MutexLock b(ticket->mu);\n"
+                   "}\n",
+                   "coursenav-lock-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("self-deadlock"), std::string::npos);
+}
+
+TEST(LockOrderRuleTest, FlagsCycleAcrossFunctionsInOneFile) {
+  // F takes alpha then beta; G takes beta then alpha: neither acquisition
+  // breaks the registry (unranked names), but together they deadlock.
+  std::vector<std::string> hits =
+      LintRuleHits("src/exec/widget.cc",
+                   "void F() {\n"
+                   "  MutexLock a(alpha_lock);\n"
+                   "  MutexLock b(beta_lock);\n"
+                   "}\n"
+                   "void G() {\n"
+                   "  MutexLock b(beta_lock);\n"
+                   "  MutexLock a(alpha_lock);\n"
+                   "}\n",
+                   "coursenav-lock-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(hits[0].find("alpha_lock"), std::string::npos);
+  EXPECT_NE(hits[0].find("beta_lock"), std::string::npos);
+}
+
+TEST(LockOrderRuleTest, CleanOnOrderedAndSequentialAcquisition) {
+  // Nested in declared order, and sequential (non-overlapping) scopes.
+  EXPECT_TRUE(
+      LintRuleHits("src/serve/widget.cc",
+                   "void F() {\n"
+                   "  MutexLock outer(lifecycle_mu_);\n"
+                   "  MutexLock inner(slo_mu_);\n"
+                   "}\n"
+                   "void G() {\n"
+                   "  { MutexLock a(mu_); }\n"
+                   "  { MutexLock b(lifecycle_mu_); }\n"
+                   "}\n",
+                   "coursenav-lock-order")
+          .empty());
+  // std scoped-lock shapes parse the same way.
+  EXPECT_TRUE(
+      LintRuleHits("tools/widget.cc",
+                   "void F() {\n"
+                   "  std::lock_guard<std::mutex> lock(tally.mu);\n"
+                   "}\n",
+                   "coursenav-lock-order")
+          .empty());
+}
+
+TEST(LockOrderRuleTest, RegistryIsReplaceable) {
+  std::vector<std::string> saved = lint::LockOrder();
+  lint::SetLockOrder({"outer_mu", "inner_mu"});
+  EXPECT_EQ(LintRuleHits("src/core/widget.cc",
+                         "void F() {\n"
+                         "  MutexLock a(inner_mu);\n"
+                         "  MutexLock b(outer_mu);\n"
+                         "}\n",
+                         "coursenav-lock-order")
+                .size(),
+            1u);
+  lint::SetLockOrder(saved);
+  EXPECT_TRUE(LintRuleHits("src/core/widget.cc",
+                           "void F() {\n"
+                           "  MutexLock a(inner_mu);\n"
+                           "  MutexLock b(outer_mu);\n"
+                           "}\n",
+                           "coursenav-lock-order")
+                  .empty());
+}
+
+TEST(LockOrderRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(
+      LintRuleHits("src/serve/widget.cc",
+                   "void F() {\n"
+                   "  MutexLock inner(mu_);\n"
+                   "  MutexLock outer(lifecycle_mu_);"
+                   "  // NOLINT(coursenav-lock-order)\n"
+                   "}\n",
+                   "coursenav-lock-order")
+          .empty());
+}
+
+TEST(HotPathRuleTest, FlagsAllocationBlockingAndLockingInRegion) {
+  std::vector<std::string> hits =
+      LintRuleHits("src/expr/widget.cc",
+                   "// coursenav:hot — kernel\n"
+                   "void K(std::vector<int>& v) {\n"
+                   "  v.push_back(1);\n"
+                   "  MutexLock lock(mu_);\n"
+                   "  printf(\"x\");\n"
+                   "}\n"
+                   "// coursenav:hot-end\n"
+                   "void Setup(std::vector<int>& v) { v.reserve(64); }\n",
+                   "coursenav-hot-path");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_NE(hits[0].find("'push_back' may allocate"), std::string::npos);
+  EXPECT_NE(hits[1].find("'MutexLock' acquires a lock"), std::string::npos);
+  EXPECT_NE(hits[2].find("'printf' blocks"), std::string::npos);
+}
+
+TEST(HotPathRuleTest, FlagsUnclosedAndDanglingMarkers) {
+  std::vector<std::string> unclosed =
+      LintRuleHits("src/expr/widget.cc",
+                   "// coursenav:hot\n"
+                   "int f();\n",
+                   "coursenav-hot-path");
+  ASSERT_EQ(unclosed.size(), 1u);
+  EXPECT_NE(unclosed[0].find("unclosed"), std::string::npos);
+  std::vector<std::string> dangling = LintRuleHits(
+      "src/expr/widget.cc", "// coursenav:hot-end\n", "coursenav-hot-path");
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_NE(dangling[0].find("without an open"), std::string::npos);
+}
+
+TEST(HotPathRuleTest, MarkerMustLeadItsOwnCommentLine) {
+  // Prose mentions and string literals never open a region.
+  EXPECT_TRUE(
+      LintRuleHits("src/expr/widget.cc",
+                   "// See the coursenav:hot region in dnf.cc for details.\n"
+                   "const char* tag = \"coursenav:hot\";\n"
+                   "void Setup(std::vector<int>& v) { v.reserve(64); }\n",
+                   "coursenav-hot-path")
+          .empty());
+}
+
+TEST(HotPathRuleTest, CleanOnPureKernels) {
+  EXPECT_TRUE(LintRuleHits("src/util/simd/widget.cc",
+                           "// coursenav:hot — word loops only\n"
+                           "int Popcount(const uint64_t* a, size_t n) {\n"
+                           "  int total = 0;\n"
+                           "  for (size_t i = 0; i < n; ++i) {\n"
+                           "    total += PopcountWord(a[i]);\n"
+                           "  }\n"
+                           "  return total;\n"
+                           "}\n"
+                           "// coursenav:hot-end\n",
+                           "coursenav-hot-path")
+                  .empty());
+}
+
+TEST(HotPathRuleTest, SuppressedByNolint) {
+  EXPECT_TRUE(
+      LintRuleHits("src/expr/widget.cc",
+                   "// coursenav:hot\n"
+                   "void K(Buf& b) { b.resize(1); }"
+                   "  // NOLINT(coursenav-hot-path)\n"
+                   "// coursenav:hot-end\n",
+                   "coursenav-hot-path")
+          .empty());
+}
+
+// NOLINT hygiene is a driver-level pass, so it is exercised through the
+// all-rules LintContent entry point.
+TEST(LintDriverTest, FlagsUnknownCoursenavRuleInNolint) {
+  std::vector<Finding> findings = LintContent(
+      "src/core/engine.cc",
+      "int x = 1;  // NOLINT(coursenav-nonexistent)\n");  // NOLINT(coursenav-nolint)
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "coursenav-nolint");
+  EXPECT_NE(findings[0].message.find("coursenav-nonexistent"),
+            std::string::npos);
+}
+
+TEST(LintDriverTest, UnknownNolintRuleDoesNotSuppress) {
+  std::vector<Finding> findings = LintContent(
+      "src/core/engine.cc",
+      "int x = rand();  // NOLINT(coursenav-band-symbol)\n");  // NOLINT(coursenav-nolint)
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "coursenav-banned-symbol");
+  EXPECT_EQ(findings[1].rule, "coursenav-nolint");
+}
+
+TEST(LintDriverTest, ClangTidyNolintIdsPassThrough) {
+  EXPECT_TRUE(LintContent("src/core/engine.cc",
+                          "int x = 1;  // NOLINT(bugprone-branch-clone)\n")
+                  .empty());
+}
+
+TEST(LintDriverTest, NolintFindingIsItselfSuppressible) {
+  EXPECT_TRUE(
+      LintContent(
+          "src/core/engine.cc",
+          "int x = 1;  // NOLINT(coursenav-legacy-rule, coursenav-nolint)\n")  // NOLINT(coursenav-nolint)
+          .empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -13,8 +13,22 @@
 #include "expr/parser.h"
 #include "graph/learning_graph.h"
 #include "graph/path.h"
+#include "tools/lint/lint.h"
 
 namespace coursenav::testing_util {
+
+/// Lints `content` as if it lived at `path`, with `rule` alone, and
+/// renders each finding to its stable `file:line: [rule-id] message` form
+/// — the fixture workhorse of tests/lint_test.cc.
+inline std::vector<std::string> LintRuleHits(std::string_view path,
+                                             std::string_view content,
+                                             std::string_view rule) {
+  std::vector<std::string> rendered;
+  for (const lint::Finding& finding : lint::LintContent(path, content, rule)) {
+    rendered.push_back(finding.ToString());
+  }
+  return rendered;
+}
 
 /// The paper's Figure 3 scenario: C = {11A, 29A, 21A}; 11A and 29A have no
 /// prerequisites, 21A requires 11A; 11A and 29A are offered Fall'11 and

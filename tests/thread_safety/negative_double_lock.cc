@@ -1,0 +1,13 @@
+// Must NOT compile under -Wthread-safety -Werror: acquires the same
+// non-recursive Mutex twice in one scope ("acquiring mutex 'mu' that is
+// already held").
+#include "util/mutex.h"
+
+int main() {
+  coursenav::Mutex mu;
+  coursenav::MutexLock outer(mu);
+  // The static analyzers agree this is a self-deadlock: coursenav-lint's
+  // lock-order rule flags it too, hence the suppression.
+  coursenav::MutexLock inner(mu);  // NOLINT(coursenav-lock-order)
+  return 0;
+}

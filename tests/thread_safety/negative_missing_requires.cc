@@ -1,0 +1,26 @@
+// Must NOT compile under -Wthread-safety -Werror: calls a CN_REQUIRES
+// method without holding the mutex it names ("calling function
+// 'DrainLocked' requires holding mutex 'mu_' exclusively").
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Drain() { DrainLocked(); }  // violation: mu_ not held
+
+ private:
+  void DrainLocked() CN_REQUIRES(mu_) { size_ = 0; }
+
+  coursenav::Mutex mu_;
+  int size_ CN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Drain();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Must NOT compile under -Wthread-safety -Werror: writes a CN_GUARDED_BY
+// member without holding its mutex ("writing variable 'hits_' requires
+// holding mutex 'mu_' exclusively").
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++hits_; }  // violation: mu_ not held
+
+ private:
+  coursenav::Mutex mu_;
+  int hits_ CN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

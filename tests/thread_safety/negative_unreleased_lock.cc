@@ -1,0 +1,20 @@
+// Must NOT compile under -Wthread-safety -Werror: a bare lock() with no
+// matching unlock() on some path ("mutex 'mu' is still held at the end of
+// function").
+#include "util/mutex.h"
+
+namespace {
+
+void LeakLock(coursenav::Mutex& mu, bool flaky) {
+  mu.lock();
+  if (flaky) return;  // violation: early return leaks the lock
+  mu.unlock();
+}
+
+}  // namespace
+
+int main() {
+  coursenav::Mutex mu;
+  LeakLock(mu, false);
+  return 0;
+}

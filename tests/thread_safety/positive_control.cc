@@ -1,0 +1,31 @@
+// MUST compile clean under -Wthread-safety -Werror: the same primitives the
+// negative_*.cc TUs misuse, used correctly. If this control fails, the
+// harness itself is broken (include paths, macro definitions, flags) and
+// the WILL_FAIL results of the negatives prove nothing.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    coursenav::MutexLock lock(mu_);
+    ++hits_;
+    DrainLocked();
+  }
+
+ private:
+  void DrainLocked() CN_REQUIRES(mu_) { hits_ = 0; }
+
+  coursenav::Mutex mu_;
+  int hits_ CN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace coursenav::lint {
@@ -813,39 +819,647 @@ class DirectGenerateRule : public Rule {
 };
 
 // ---------------------------------------------------------------------------
+// coursenav-mutex-annotation
+// ---------------------------------------------------------------------------
+
+/// The concurrent core runs under Clang's -Wthread-safety analysis, which
+/// can only track capabilities it can see: every mutex in src/ must be the
+/// annotated coursenav::Mutex, every Mutex member must have CN_GUARDED_BY
+/// (or CN_REQUIRES/CN_ACQUIRE) consumers naming it, and every use of the
+/// CN_NO_THREAD_SAFETY_ANALYSIS escape hatch needs an adjacent comment
+/// saying why the analysis is wrong there. The wrapper's own implementation
+/// (util/mutex.h, util/thread_annotations.h) is exempt — it is the one
+/// place the raw std primitives are allowed to live.
+class MutexAnnotationRule : public Rule {
+ public:
+  std::string_view id() const override {
+    return "coursenav-mutex-annotation";
+  }
+  std::string_view description() const override {
+    return "src/ must use the annotated coursenav::Mutex, keep CN_GUARDED_BY "
+           "consumers for every Mutex member, and justify every "
+           "CN_NO_THREAD_SAFETY_ANALYSIS";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    if (file.module.empty()) return;  // tools/tests/bench own their locking
+    if (file.path.find("util/mutex.h") != std::string::npos ||
+        file.path.find("util/thread_annotations.h") != std::string::npos) {
+      return;
+    }
+    CheckRawStdPrimitives(file, findings);
+    CheckGuardedByConsumers(file, findings);
+    CheckEscapeHatchJustified(file, findings);
+  }
+
+ private:
+  static void CheckRawStdPrimitives(const SourceFile& file,
+                                    std::vector<Finding>* findings) {
+    static constexpr std::string_view kRawPrimitives[] = {
+        "std::mutex",
+        "std::shared_mutex",
+        "std::recursive_mutex",
+        "std::condition_variable",
+        "std::condition_variable_any",
+    };
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      for (std::string_view token : kRawPrimitives) {
+        if (FindWholeWord(line, token) == std::string::npos) continue;
+        std::ostringstream os;
+        os << "raw '" << token
+           << "' in an annotated module: use coursenav::Mutex / MutexLock / "
+              "CondVar (util/mutex.h) so Clang's -Wthread-safety analysis "
+              "can track the capability";
+        findings->push_back({file.path, static_cast<int>(i) + 1,
+                             std::string(id_for_static()), os.str()});
+        break;  // one finding per line
+      }
+    }
+  }
+
+  /// Member-style declarations `Mutex name;` / `mutable Mutex name;` with
+  /// no CN_* consumer naming `name` anywhere in the file. A mutex nothing
+  /// is annotated against protects nothing the analysis can prove.
+  static void CheckGuardedByConsumers(const SourceFile& file,
+                                      std::vector<Finding>* findings) {
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      std::string name = DeclaredMutexName(file.code[i]);
+      if (name.empty()) continue;
+      bool consumed = false;
+      for (const std::string& line : file.code) {
+        for (std::string_view macro :
+             {"CN_GUARDED_BY(", "CN_PT_GUARDED_BY(", "CN_REQUIRES(",
+              "CN_REQUIRES_SHARED(", "CN_ACQUIRE(", "CN_RELEASE(",
+              "CN_EXCLUDES(", "CN_RETURN_CAPABILITY("}) {
+          if (line.find(std::string(macro) + name + ")") !=
+              std::string::npos) {
+            consumed = true;
+            break;
+          }
+        }
+        if (consumed) break;
+      }
+      if (consumed) continue;
+      findings->push_back(
+          {file.path, static_cast<int>(i) + 1, std::string(id_for_static()),
+           "Mutex '" + name +
+               "' has no CN_GUARDED_BY/CN_REQUIRES consumers in this file; "
+               "annotate the data it protects so -Wthread-safety can check "
+               "its discipline"});
+    }
+  }
+
+  static void CheckEscapeHatchJustified(const SourceFile& file,
+                                        std::vector<Finding>* findings) {
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      size_t pos =
+          FindWholeWord(file.code[i], "CN_NO_THREAD_SAFETY_ANALYSIS");
+      if (pos == std::string::npos) continue;
+      bool justified =
+          file.raw[i].find("//", pos) != std::string::npos ||
+          (i > 0 && file.raw[i - 1].find("//") != std::string::npos);
+      if (justified) continue;
+      findings->push_back(
+          {file.path, static_cast<int>(i) + 1, std::string(id_for_static()),
+           "CN_NO_THREAD_SAFETY_ANALYSIS without a justification comment on "
+           "this line or the line above; say why the analysis is wrong here "
+           "(see docs/static-analysis.md escape-hatch policy)"});
+    }
+  }
+
+  /// `[mutable] Mutex name;` at the start of a line — the member-declaration
+  /// shape. References, pointers, and function signatures never match.
+  static std::string DeclaredMutexName(const std::string& line) {
+    size_t pos = SkipSpaces(line, 0);
+    if (IsWholeWordAt(line, pos, "mutable")) {
+      pos = SkipSpaces(line, pos + 7);
+    }
+    if (!IsWholeWordAt(line, pos, "Mutex")) return "";
+    pos = SkipSpaces(line, pos + 5);
+    std::string name;
+    while (pos < line.size() && IsIdentChar(line[pos])) {
+      name.push_back(line[pos]);
+      ++pos;
+    }
+    if (name.empty()) return "";
+    pos = SkipSpaces(line, pos);
+    if (pos >= line.size() || line[pos] != ';') return "";
+    return name;
+  }
+
+  static std::string_view id_for_static() {
+    return "coursenav-mutex-annotation";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-lock-order
+// ---------------------------------------------------------------------------
+
+/// Flow-aware, per-file deadlock screening. The pass tracks brace depth
+/// through each file's scrubbed text, models every scoped-lock declaration
+/// (MutexLock, std::lock_guard/unique_lock/scoped_lock/shared_lock) as an
+/// acquisition that lives until its scope closes, and records the
+/// held-before-acquired edges. Three things fire:
+///   - acquiring a lock whose (normalized) name is already held;
+///   - acquiring against the declared global order (LockOrder(), loaded
+///     from tools/lint/lock_order.txt — outermost first);
+///   - a cycle among this file's acquisition edges.
+/// Names are normalized to the final member component (`ticket->mu` → mu),
+/// so the ordering is a discipline over name suffixes — which is exactly
+/// how the registry is written.
+class LockOrderRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-lock-order"; }
+  std::string_view description() const override {
+    return "derives each file's lock-acquisition graph from scoped-lock "
+           "sites and rejects self-reacquisition, declared-order "
+           "violations, and cycles";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    // The wrapper adopts an already-held std::mutex inside CondVar::Wait;
+    // that is a handoff, not a second acquisition.
+    if (file.path.find("util/mutex.h") != std::string::npos) return;
+
+    struct Held {
+      std::string name;
+      int depth;
+      int line;
+    };
+    struct Edge {
+      std::string from;
+      std::string to;
+      int line;
+    };
+    std::vector<Held> held;
+    std::vector<Edge> edges;
+    std::set<std::pair<std::string, std::string>> seen_edges;
+
+    // One pass over the joined scrubbed text so declarations spanning
+    // lines still parse and brace depth carries across lines.
+    std::string joined;
+    std::vector<size_t> line_starts;
+    for (const std::string& line : file.code) {
+      line_starts.push_back(joined.size());
+      joined += line;
+      joined += '\n';
+    }
+    auto line_of = [&line_starts](size_t offset) {
+      size_t lo = 0, hi = line_starts.size();
+      while (lo + 1 < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (line_starts[mid] <= offset) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return static_cast<int>(lo) + 1;
+    };
+
+    int depth = 0;
+    size_t pos = 0;
+    while (pos < joined.size()) {
+      std::string name;
+      size_t after = MatchAcquisition(joined, pos, &name);
+      if (after != 0) {
+        int line = line_of(pos);
+        for (const Held& h : held) {
+          if (h.name == name) {
+            findings->push_back(
+                {file.path, line, std::string(id()),
+                 "acquires '" + name + "' while a '" + name +
+                     "' acquired at line " + std::to_string(h.line) +
+                     " is still held (self-deadlock)"});
+            break;
+          }
+        }
+        if (!held.empty()) {
+          const Held& innermost = held.back();
+          int held_rank = RankOf(innermost.name);
+          int new_rank = RankOf(name);
+          if (held_rank >= 0 && new_rank >= 0 && new_rank < held_rank) {
+            findings->push_back(
+                {file.path, line, std::string(id()),
+                 "lock-order violation: acquires '" + name +
+                     "' while holding '" + innermost.name +
+                     "', against the declared order in "
+                     "tools/lint/lock_order.txt (outermost first)"});
+          }
+          if (innermost.name != name &&
+              seen_edges.emplace(innermost.name, name).second) {
+            edges.push_back({innermost.name, name, line});
+          }
+        }
+        held.push_back({std::move(name), depth, line});
+        pos = after;
+        continue;
+      }
+      char c = joined[pos];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      ++pos;
+    }
+
+    ReportCycles(file, edges, findings);
+  }
+
+ private:
+  /// When `text[pos...]` opens a scoped-lock declaration, returns the
+  /// offset just past its first constructor argument and stores the
+  /// normalized mutex name; returns 0 otherwise.
+  static size_t MatchAcquisition(const std::string& text, size_t pos,
+                                 std::string* name) {
+    static constexpr std::string_view kScopedLocks[] = {
+        "MutexLock", "lock_guard", "unique_lock", "scoped_lock",
+        "shared_lock"};
+    std::string_view matched;
+    for (std::string_view keyword : kScopedLocks) {
+      if (IsWholeWordAt(text, pos, keyword)) {
+        matched = keyword;
+        break;
+      }
+    }
+    if (matched.empty()) return 0;
+    size_t cursor = pos + matched.size();
+    // Optional template argument list: std::lock_guard<std::mutex>.
+    cursor = SkipSpaces(text, cursor);
+    if (cursor < text.size() && text[cursor] == '<') {
+      int angle = 0;
+      while (cursor < text.size()) {
+        if (text[cursor] == '<') ++angle;
+        if (text[cursor] == '>' && --angle == 0) {
+          ++cursor;
+          break;
+        }
+        ++cursor;
+      }
+    }
+    // Variable name, then the constructor's parenthesized argument list.
+    cursor = SkipSpaces(text, cursor);
+    size_t var_begin = cursor;
+    while (cursor < text.size() && IsIdentChar(text[cursor])) ++cursor;
+    if (cursor == var_begin) return 0;  // a type mention, not a declaration
+    cursor = SkipSpaces(text, cursor);
+    if (cursor >= text.size() || text[cursor] != '(') return 0;
+    size_t arg_begin = cursor + 1;
+    int paren = 0;
+    size_t arg_end = std::string::npos;
+    for (size_t i = cursor; i < text.size(); ++i) {
+      if (text[i] == '(') ++paren;
+      if (text[i] == ')' && --paren == 0) {
+        if (arg_end == std::string::npos) arg_end = i;
+        break;
+      }
+      if (text[i] == ',' && paren == 1 && arg_end == std::string::npos) {
+        arg_end = i;
+      }
+    }
+    if (arg_end == std::string::npos) return 0;
+    *name = NormalizeMutexExpr(text.substr(arg_begin, arg_end - arg_begin));
+    if (name->empty()) return 0;
+    return arg_end;
+  }
+
+  /// `ticket->mu` → "mu", `*stripe.mu` → "mu", `SinkMutex()` →
+  /// "SinkMutex": the final member component, dereference/call syntax
+  /// stripped.
+  static std::string NormalizeMutexExpr(std::string expr) {
+    std::string compact;
+    for (char c : expr) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        compact.push_back(c);
+      }
+    }
+    size_t dot = compact.find_last_of('.');
+    size_t arrow = compact.rfind("->");
+    size_t cut = std::string::npos;
+    if (dot != std::string::npos) cut = dot + 1;
+    if (arrow != std::string::npos &&
+        (cut == std::string::npos || arrow + 2 > cut)) {
+      cut = arrow + 2;
+    }
+    if (cut != std::string::npos) compact = compact.substr(cut);
+    while (!compact.empty() && (compact.front() == '*' ||
+                                compact.front() == '&')) {
+      compact.erase(compact.begin());
+    }
+    if (compact.size() >= 2 &&
+        compact.compare(compact.size() - 2, 2, "()") == 0) {
+      compact.resize(compact.size() - 2);
+    }
+    // Anything still carrying syntax is an expression the pass cannot
+    // name reliably; skip it rather than invent edges.
+    for (char c : compact) {
+      if (!IsIdentChar(c)) return "";
+    }
+    return compact;
+  }
+
+  static int RankOf(const std::string& name) {
+    const std::vector<std::string>& order = LockOrder();
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  template <typename EdgeVec>
+  static void ReportCycles(const SourceFile& file, const EdgeVec& edges,
+                           std::vector<Finding>* findings) {
+    // DFS over the (deduplicated) per-file edge graph; each back edge is a
+    // cycle and is reported at the back edge's acquisition site.
+    std::map<std::string, std::vector<size_t>> out;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      out[edges[i].from].push_back(i);
+    }
+    std::set<std::string> done;
+    for (const auto& [start, unused] : out) {
+      (void)unused;
+      if (done.count(start) != 0) continue;
+      std::vector<std::string> stack;
+      std::set<std::string> on_stack;
+      std::function<void(const std::string&)> visit =
+          [&](const std::string& node) {
+            stack.push_back(node);
+            on_stack.insert(node);
+            auto it = out.find(node);
+            if (it != out.end()) {
+              for (size_t edge_index : it->second) {
+                const auto& edge = edges[edge_index];
+                if (on_stack.count(edge.to) != 0) {
+                  std::ostringstream os;
+                  os << "lock-order cycle: ";
+                  bool in_cycle = false;
+                  for (const std::string& n : stack) {
+                    if (n == edge.to) in_cycle = true;
+                    if (in_cycle) os << "'" << n << "' -> ";
+                  }
+                  os << "'" << edge.to
+                     << "'; some thread interleaving deadlocks";
+                  findings->push_back({file.path, edge.line,
+                                       std::string("coursenav-lock-order"),
+                                       os.str()});
+                } else if (done.count(edge.to) == 0) {
+                  visit(edge.to);
+                }
+              }
+            }
+            on_stack.erase(node);
+            stack.pop_back();
+            done.insert(node);
+          };
+      visit(start);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// coursenav-hot-path
+// ---------------------------------------------------------------------------
+
+/// Regions bracketed by own-line `// coursenav:hot` ... `// coursenav:hot-end`
+/// comments are the measured inner loops (the SIMD kernels, the DNF batch
+/// evaluators, the batched pruning verdict loop). Inside them three token
+/// families are banned outright: allocation, blocking syscalls/streams, and
+/// lock acquisition — each is a latency cliff the benchmarks will not
+/// forgive. The markers must start their comment line so mentions inside
+/// string literals or trailing remarks never open a region.
+class HotPathRule : public Rule {
+ public:
+  std::string_view id() const override { return "coursenav-hot-path"; }
+  std::string_view description() const override {
+    return "bans allocation, blocking calls, and lock acquisition inside "
+           "// coursenav:hot regions";
+  }
+  void Check(const SourceFile& file,
+             std::vector<Finding>* findings) const override {
+    struct BannedToken {
+      std::string_view token;
+      std::string_view category;
+    };
+    static constexpr BannedToken kBanned[] = {
+        {"new", "allocates"},
+        {"malloc", "allocates"},
+        {"calloc", "allocates"},
+        {"realloc", "allocates"},
+        {"make_unique", "allocates"},
+        {"make_shared", "allocates"},
+        {"push_back", "may allocate"},
+        {"emplace_back", "may allocate"},
+        {"emplace", "may allocate"},
+        {"resize", "may allocate"},
+        {"reserve", "may allocate"},
+        {"sleep_for", "blocks"},
+        {"sleep_until", "blocks"},
+        {"usleep", "blocks"},
+        {"nanosleep", "blocks"},
+        {"recv", "blocks"},
+        {"send", "blocks"},
+        {"accept", "blocks"},
+        {"connect", "blocks"},
+        {"poll", "blocks"},
+        {"select", "blocks"},
+        {"fopen", "blocks"},
+        {"fread", "blocks"},
+        {"fwrite", "blocks"},
+        {"fprintf", "blocks"},
+        {"printf", "blocks"},
+        {"fsync", "blocks"},
+        {"cout", "blocks"},
+        {"cerr", "blocks"},
+        {"lock_guard", "acquires a lock"},
+        {"unique_lock", "acquires a lock"},
+        {"scoped_lock", "acquires a lock"},
+        {"shared_lock", "acquires a lock"},
+        {"MutexLock", "acquires a lock"},
+        {"CondVar", "acquires a lock"},
+    };
+    bool in_hot = false;
+    int open_line = 0;
+    for (size_t i = 0; i < file.raw.size(); ++i) {
+      int marker = MarkerOn(file.raw[i]);
+      if (marker == kMarkerEnd) {
+        if (!in_hot) {
+          findings->push_back(
+              {file.path, static_cast<int>(i) + 1, std::string(id()),
+               "coursenav:hot-end without an open coursenav:hot region"});
+        }
+        in_hot = false;
+        continue;
+      }
+      if (marker == kMarkerBegin) {
+        if (in_hot) {
+          findings->push_back(
+              {file.path, static_cast<int>(i) + 1, std::string(id()),
+               "coursenav:hot region opened inside the region from line " +
+                   std::to_string(open_line) + "; close it first"});
+        }
+        in_hot = true;
+        open_line = static_cast<int>(i) + 1;
+        continue;
+      }
+      if (!in_hot) continue;
+      const std::string& line = file.code[i];
+      for (const BannedToken& banned : kBanned) {
+        if (FindWholeWord(line, banned.token) == std::string::npos) continue;
+        std::ostringstream os;
+        os << "'" << banned.token << "' " << banned.category
+           << " inside the coursenav:hot region from line " << open_line
+           << "; hoist it out of the kernel or un-tag the region";
+        findings->push_back(
+            {file.path, static_cast<int>(i) + 1, std::string(id()), os.str()});
+        break;  // one finding per line
+      }
+    }
+    if (in_hot) {
+      findings->push_back(
+          {file.path, open_line, std::string(id()),
+           "unclosed coursenav:hot region: add // coursenav:hot-end where "
+           "the kernel ends"});
+    }
+  }
+
+ private:
+  static constexpr int kMarkerNone = 0;
+  static constexpr int kMarkerBegin = 1;
+  static constexpr int kMarkerEnd = 2;
+
+  /// Markers count only as own-line comments whose tag leads the comment
+  /// text: `// coursenav:hot — why`. A tag inside a string literal starts
+  /// with `"` and a prose mention mid-comment trails other words; neither
+  /// matches.
+  static int MarkerOn(const std::string& raw_line) {
+    size_t pos = SkipSpaces(raw_line, 0);
+    if (raw_line.compare(pos, 2, "//") != 0) return kMarkerNone;
+    pos += 2;
+    while (pos < raw_line.size() &&
+           (raw_line[pos] == '/' || raw_line[pos] == ' ')) {
+      ++pos;
+    }
+    if (raw_line.compare(pos, 17, "coursenav:hot-end") == 0) {
+      return kMarkerEnd;
+    }
+    if (raw_line.compare(pos, 13, "coursenav:hot") == 0) return kMarkerBegin;
+    return kMarkerNone;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
 /// True when `raw_line` carries `NOLINT(...)` naming `rule` (exact id in a
-/// comma-separated list).
+/// comma-separated list). Every NOLINT occurrence on the line is honored,
+/// so a trailing suppression still works on a line whose code or literals
+/// themselves mention NOLINT.
 bool IsSuppressed(const std::string& raw_line, const std::string& rule) {
-  size_t pos = raw_line.find("NOLINT(");
-  if (pos == std::string::npos) return false;
-  size_t close = raw_line.find(')', pos);
-  if (close == std::string::npos) return false;
-  std::string list = raw_line.substr(pos + 7, close - pos - 7);
-  size_t start = 0;
-  while (start <= list.size()) {
-    size_t comma = list.find(',', start);
-    std::string entry = list.substr(
-        start, comma == std::string::npos ? std::string::npos : comma - start);
-    size_t first = entry.find_first_not_of(" \t");
-    size_t last = entry.find_last_not_of(" \t");
-    if (first != std::string::npos &&
-        entry.substr(first, last - first + 1) == rule) {
-      return true;
+  for (size_t pos = raw_line.find("NOLINT("); pos != std::string::npos;
+       pos = raw_line.find("NOLINT(", pos + 1)) {
+    size_t close = raw_line.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string list = raw_line.substr(pos + 7, close - pos - 7);
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      std::string entry = list.substr(
+          start,
+          comma == std::string::npos ? std::string::npos : comma - start);
+      size_t first = entry.find_first_not_of(" \t");
+      size_t last = entry.find_last_not_of(" \t");
+      if (first != std::string::npos &&
+          entry.substr(first, last - first + 1) == rule) {
+        return true;
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
     }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
   }
   return false;
 }
 
+/// The synthesized rule id for NOLINT hygiene findings.
+constexpr std::string_view kNolintRuleId = "coursenav-nolint";
+
+/// Flags NOLINT suppressions naming rules this linter does not have: a
+/// typo in a suppression silently un-suppresses nothing and keeps shipping
+/// a stale marker. Only `coursenav*` entries are validated — clang-tidy
+/// ids share the NOLINT syntax and pass through untouched.
+void ValidateNolintRules(const SourceFile& file,
+                         std::vector<Finding>* findings) {
+  static const std::set<std::string>& known = *[] {
+    auto* ids = new std::set<std::string>;  // NOLINT(coursenav-raw-new)
+    for (const Rule* rule : AllRules()) ids->insert(std::string(rule->id()));
+    ids->insert(std::string(kNolintRuleId));
+    return ids;
+  }();
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& raw_line = file.raw[i];
+    for (size_t pos = raw_line.find("NOLINT("); pos != std::string::npos;
+         pos = raw_line.find("NOLINT(", pos + 1)) {
+      size_t close = raw_line.find(')', pos);
+      if (close == std::string::npos) continue;
+      std::string list = raw_line.substr(pos + 7, close - pos - 7);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string entry = list.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start);
+        size_t first = entry.find_first_not_of(" \t");
+        size_t last = entry.find_last_not_of(" \t");
+        if (first != std::string::npos) {
+          std::string name = entry.substr(first, last - first + 1);
+          if (name.rfind("coursenav", 0) == 0 && known.count(name) == 0) {
+            findings->push_back(
+                {file.path, static_cast<int>(i) + 1,
+                 std::string(kNolintRuleId),
+                 "NOLINT names unknown rule '" + name +
+                     "'; see coursenav-lint --list-rules"});
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+  }
+}
+
+/// Runs `rules` plus the driver-level NOLINT validation over a prepared
+/// file, applies suppression, and sorts. When `rule_nanos` is non-null it
+/// receives one per-rule duration (same indexing as `rules`, plus a final
+/// slot for the NOLINT validation pass).
 std::vector<Finding> CheckPrepared(const SourceFile& file,
-                                   const std::vector<const Rule*>& rules) {
+                                   const std::vector<const Rule*>& rules,
+                                   std::vector<int64_t>* rule_nanos = nullptr) {
   std::vector<Finding> findings;
-  for (const Rule* rule : rules) {
-    rule->Check(file, &findings);
+  if (rule_nanos != nullptr) rule_nanos->assign(rules.size() + 1, 0);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (rule_nanos == nullptr) {
+      rules[r]->Check(file, &findings);
+    } else {
+      auto begin = std::chrono::steady_clock::now();
+      rules[r]->Check(file, &findings);
+      (*rule_nanos)[r] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count();
+    }
+  }
+  {
+    auto begin = std::chrono::steady_clock::now();
+    ValidateNolintRules(file, &findings);
+    if (rule_nanos != nullptr) {
+      rule_nanos->back() =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count();
+    }
   }
   std::vector<Finding> kept;
   for (Finding& finding : findings) {
@@ -873,11 +1487,33 @@ const std::vector<const Rule*>& AllRules() {
   static const EndlRule endl_rule;
   static const HeaderGuardRule header_guard;
   static const DirectGenerateRule direct_generate;
+  static const MutexAnnotationRule mutex_annotation;
+  static const LockOrderRule lock_order;
+  static const HotPathRule hot_path;
   static const std::vector<const Rule*> rules{
       &layering,    &banned_symbol, &raw_new,         &simd_encapsulation,
       &unordered_iter, &endl_rule,  &header_guard,    &direct_generate,
+      &mutex_annotation, &lock_order, &hot_path,
   };
   return rules;
+}
+
+namespace {
+
+std::vector<std::string>& MutableLockOrder() {
+  // Outermost first; mirrors tools/lint/lock_order.txt, which RunLint
+  // reloads when scanning a tree that carries the file.
+  static std::vector<std::string> order{"lifecycle_mu_", "slo_mu_", "mu_",
+                                        "mu"};
+  return order;
+}
+
+}  // namespace
+
+const std::vector<std::string>& LockOrder() { return MutableLockOrder(); }
+
+void SetLockOrder(std::vector<std::string> order) {
+  MutableLockOrder() = std::move(order);
 }
 
 std::vector<Finding> LintContent(std::string_view path,
@@ -911,10 +1547,32 @@ bool IsSkippedDir(const std::filesystem::path& path) {
 
 }  // namespace
 
+namespace {
+
+/// Loads the lock-order registry from `<base>/tools/lint/lock_order.txt`
+/// when the scanned tree carries one (blank lines and `#` comments
+/// skipped), so out-of-tree checkouts lint against their own ordering.
+void MaybeReloadLockOrder(const std::filesystem::path& base) {
+  std::ifstream in(base / "tools" / "lint" / "lock_order.txt");
+  if (!in) return;
+  std::vector<std::string> order;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    size_t last = line.find_last_not_of(" \t\r");
+    order.push_back(line.substr(first, last - first + 1));
+  }
+  if (!order.empty()) SetLockOrder(std::move(order));
+}
+
+}  // namespace
+
 int RunLint(const std::string& root, const std::vector<std::string>& paths,
-            std::ostream& out, std::ostream& err) {
+            const RunOptions& options, std::ostream& out, std::ostream& err) {
   namespace fs = std::filesystem;
   fs::path base = root.empty() ? fs::current_path() : fs::path(root);
+  MaybeReloadLockOrder(base);
 
   std::vector<fs::path> files;
   for (const std::string& arg : paths) {
@@ -945,28 +1603,130 @@ int RunLint(const std::string& root, const std::vector<std::string>& paths,
   }
   std::sort(files.begin(), files.end());
 
+  const std::vector<const Rule*>& rules = AllRules();
+  // Stats row layout: one per rule, then NOLINT validation, then prepare.
+  const size_t kNolintRow = rules.size();
+  const size_t kPrepareRow = rules.size() + 1;
+  std::vector<std::atomic<int64_t>> row_nanos(rules.size() + 2);
+  std::vector<std::atomic<int64_t>> row_findings(rules.size() + 2);
+  for (auto& n : row_nanos) n.store(0);
+  for (auto& n : row_findings) n.store(0);
+
+  // Each worker claims file indices off a shared counter and buffers its
+  // per-file output, so findings print in the sorted-path order regardless
+  // of scheduling.
+  struct FileResult {
+    std::string findings_text;
+    std::string error_text;
+    int findings = 0;
+  };
+  std::vector<FileResult> results(files.size());
+  std::atomic<size_t> next_file{0};
+  auto scan_worker = [&]() {
+    std::vector<int64_t> rule_nanos;
+    for (size_t index = next_file.fetch_add(1); index < files.size();
+         index = next_file.fetch_add(1)) {
+      const fs::path& file = files[index];
+      FileResult& result = results[index];
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        result.error_text =
+            "coursenav-lint: cannot open " + file.string() + "\n";
+        result.findings = 1;
+        continue;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      // Report paths relative to the root for stable, clickable output.
+      std::error_code ec;
+      fs::path display = fs::relative(file, base, ec);
+      if (ec || display.empty()) display = file;
+
+      auto prepare_begin = std::chrono::steady_clock::now();
+      SourceFile prepared =
+          PrepareSource(display.generic_string(), content.str());
+      row_nanos[kPrepareRow].fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - prepare_begin)
+              .count(),
+          std::memory_order_relaxed);
+
+      std::vector<Finding> findings =
+          CheckPrepared(prepared, rules, options.stats ? &rule_nanos : nullptr);
+      if (options.stats) {
+        for (size_t r = 0; r < rules.size(); ++r) {
+          row_nanos[r].fetch_add(rule_nanos[r], std::memory_order_relaxed);
+        }
+        row_nanos[kNolintRow].fetch_add(rule_nanos.back(),
+                                        std::memory_order_relaxed);
+        for (const Finding& finding : findings) {
+          for (size_t r = 0; r < rules.size(); ++r) {
+            if (finding.rule == rules[r]->id()) {
+              row_findings[r].fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+          }
+          if (finding.rule == kNolintRuleId) {
+            row_findings[kNolintRow].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      std::string text;
+      for (const Finding& finding : findings) {
+        text += finding.ToString();
+        text += '\n';
+      }
+      result.findings_text = std::move(text);
+      result.findings = static_cast<int>(findings.size());
+    }
+  };
+
+  int jobs = std::clamp(options.jobs, 1, 64);
+  if (jobs > 1 && files.size() > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) workers.emplace_back(scan_worker);
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    scan_worker();
+  }
+
   int total = 0;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      err << "coursenav-lint: cannot open " << file.string() << "\n";
-      ++total;
-      continue;
+  for (const FileResult& result : results) {
+    if (!result.error_text.empty()) err << result.error_text;
+    if (!result.findings_text.empty()) out << result.findings_text;
+    total += result.findings;
+  }
+
+  if (options.stats) {
+    auto row = [&out](std::string_view label, int64_t nanos,
+                      int64_t findings) {
+      out << "  " << label;
+      for (size_t pad = label.size(); pad < 32; ++pad) out << ' ';
+      std::ostringstream ms;
+      ms.setf(std::ios::fixed);
+      ms.precision(2);
+      ms << static_cast<double>(nanos) / 1e6;
+      std::string ms_text = ms.str();
+      for (size_t pad = ms_text.size(); pad < 10; ++pad) out << ' ';
+      out << ms_text << " ms  " << findings << " finding"
+          << (findings == 1 ? "" : "s") << "\n";
+    };
+    out << "coursenav-lint --stats: " << files.size() << " files, " << jobs
+        << " job" << (jobs == 1 ? "" : "s") << "\n";
+    row("prepare", row_nanos[kPrepareRow].load(), 0);
+    for (size_t r = 0; r < rules.size(); ++r) {
+      row(rules[r]->id(), row_nanos[r].load(), row_findings[r].load());
     }
-    std::ostringstream content;
-    content << in.rdbuf();
-    // Report paths relative to the root for stable, clickable output.
-    std::error_code ec;
-    fs::path display = fs::relative(file, base, ec);
-    if (ec || display.empty()) display = file;
-    std::vector<Finding> findings =
-        LintContent(display.generic_string(), content.str());
-    for (const Finding& finding : findings) {
-      out << finding.ToString() << "\n";
-    }
-    total += static_cast<int>(findings.size());
+    row(kNolintRuleId, row_nanos[kNolintRow].load(),
+        row_findings[kNolintRow].load());
   }
   return total;
+}
+
+int RunLint(const std::string& root, const std::vector<std::string>& paths,
+            std::ostream& out, std::ostream& err) {
+  return RunLint(root, paths, RunOptions{}, out, err);
 }
 
 }  // namespace coursenav::lint

@@ -65,6 +65,16 @@ class Rule {
 /// registry and live for the process lifetime.
 const std::vector<const Rule*>& AllRules();
 
+/// The declared lock-acquisition order, outermost first: code holding the
+/// lock at index i may acquire locks at index > i, never the reverse. The
+/// compiled-in default mirrors tools/lint/lock_order.txt; RunLint reloads
+/// it from that file when present under the scan root.
+const std::vector<std::string>& LockOrder();
+
+/// Replaces the lock-order registry (tests and RunLint's registry reload).
+/// Not safe to call concurrently with a running scan.
+void SetLockOrder(std::vector<std::string> order);
+
 /// Lints in-memory content with every rule (NOLINT suppression applied).
 std::vector<Finding> LintContent(std::string_view path,
                                  std::string_view content);
@@ -75,6 +85,15 @@ std::vector<Finding> LintContent(std::string_view path,
                                  std::string_view content,
                                  std::string_view rule_id);
 
+/// Scan tuning for RunLint.
+struct RunOptions {
+  /// Worker threads scanning files. 1 = serial; findings print in the same
+  /// deterministic (sorted-path) order either way.
+  int jobs = 1;
+  /// Print a per-rule timing/finding table to `out` after the findings.
+  bool stats = false;
+};
+
 /// Recursively lints files (*.h, *.cc, *.cpp) under each of `paths`
 /// (files or directories, resolved against `root`), printing findings to
 /// `out`. Build directories and dotted directories are skipped. Returns
@@ -82,6 +101,10 @@ std::vector<Finding> LintContent(std::string_view path,
 /// finding each so the CLI exits nonzero.
 int RunLint(const std::string& root, const std::vector<std::string>& paths,
             std::ostream& out, std::ostream& err);
+
+/// RunLint with parallel scanning and optional per-rule stats.
+int RunLint(const std::string& root, const std::vector<std::string>& paths,
+            const RunOptions& options, std::ostream& out, std::ostream& err);
 
 }  // namespace coursenav::lint
 

@@ -1,12 +1,15 @@
 // coursenav-lint CLI. Usage:
 //
-//   coursenav-lint [--root=DIR] [--list-rules] PATH...
+//   coursenav-lint [--root=DIR] [--jobs=N] [--stats] [--list-rules] PATH...
 //
 // Each PATH (file or directory, resolved against --root, default cwd) is
 // scanned recursively for *.h/*.hpp/*.cc/*.cpp. Findings print to stdout
 // as `file:line: [rule-id] message`; the exit code is 0 when the tree is
-// clean, 1 when there are findings, 2 on usage errors.
+// clean, 1 when there are findings, 2 on usage errors. --jobs=N scans N
+// files concurrently (output order is unchanged); --stats appends a
+// per-rule timing table.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -17,7 +20,8 @@
 namespace {
 
 int Usage(std::ostream& out, int code) {
-  out << "usage: coursenav-lint [--root=DIR] [--list-rules] PATH...\n"
+  out << "usage: coursenav-lint [--root=DIR] [--jobs=N] [--stats] "
+         "[--list-rules] PATH...\n"
          "Project-specific static analysis for the CourseNavigator tree.\n"
          "Suppress a finding with // NOLINT(<rule-id>) on its line.\n";
   return code;
@@ -28,6 +32,7 @@ int Usage(std::ostream& out, int code) {
 int main(int argc, char** argv) {
   std::string root;
   std::vector<std::string> paths;
+  coursenav::lint::RunOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -47,6 +52,20 @@ int main(int argc, char** argv) {
       root = argv[++i];
       continue;
     }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      long jobs = std::strtol(arg.c_str() + std::strlen("--jobs="), &end, 10);
+      if (end == nullptr || *end != '\0' || jobs < 1 || jobs > 64) {
+        std::cerr << "coursenav-lint: --jobs wants an integer in [1, 64]\n";
+        return Usage(std::cerr, 2);
+      }
+      options.jobs = static_cast<int>(jobs);
+      continue;
+    }
+    if (arg == "--stats") {
+      options.stats = true;
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::cerr << "coursenav-lint: unknown flag " << arg << "\n";
       return Usage(std::cerr, 2);
@@ -57,7 +76,7 @@ int main(int argc, char** argv) {
     return Usage(std::cerr, 2);
   }
   int findings =
-      coursenav::lint::RunLint(root, paths, std::cout, std::cerr);
+      coursenav::lint::RunLint(root, paths, options, std::cout, std::cerr);
   if (findings > 0) {
     std::cerr << "coursenav-lint: " << findings << " finding"
               << (findings == 1 ? "" : "s") << "\n";
