@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/request_cache.h"
 #include "data/brandeis_cs.h"
 #include "plan/request.h"
 #include "serve/client.h"
@@ -39,6 +40,12 @@ struct SweepResult {
   /// Deadline-attainment tallies summed over the per-session tenants.
   int64_t slo_met = 0;
   int64_t slo_missed = 0;
+  /// Request-cache outcomes reported in the response envelopes: identical
+  /// asks repeat within and across sessions, so the warm share shows what
+  /// the process-wide cache absorbs under serving load.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_bypass = 0;
 
   double attainment() const {
     const int64_t total = slo_met + slo_missed;
@@ -90,6 +97,9 @@ std::string HeavyEnvelope(int session, int sequence) {
 SweepResult RunConfiguration(const data::BrandeisDataset& dataset,
                              int sessions, bool degrade,
                              int requests_per_session) {
+  // Each configuration starts cold so its warm share is self-contained
+  // (the cache is process-wide and would otherwise carry across rows).
+  cache::RequestCache::Global().Clear();
   serve::ServerConfig config;
   config.num_workers = 4;
   config.degrade_by_default = degrade;
@@ -114,6 +124,7 @@ SweepResult RunConfiguration(const data::BrandeisDataset& dataset,
       std::vector<double> latencies;
       int64_t ok = 0, degraded_count = 0, timeout = 0, overloaded = 0,
               other = 0;
+      int64_t hits = 0, misses = 0, bypass = 0;
       for (int sequence = 0; sequence < requests_per_session; ++sequence) {
         // Every 4th request is the heavy one — a 25% hostile mix.
         std::string payload = (sequence % 4 == 3)
@@ -126,6 +137,13 @@ SweepResult RunConfiguration(const data::BrandeisDataset& dataset,
         if (!reply.ok()) {
           ++other;
           continue;
+        }
+        if (reply->response.cache == "hit") {
+          ++hits;
+        } else if (reply->response.cache == "miss") {
+          ++misses;
+        } else if (reply->response.cache == "bypass") {
+          ++bypass;
         }
         switch (reply->response.outcome) {
           case serve::ResponseOutcome::kOk:
@@ -153,6 +171,9 @@ SweepResult RunConfiguration(const data::BrandeisDataset& dataset,
       result.timeout += timeout;
       result.overloaded += overloaded;
       result.other += other;
+      result.cache_hits += hits;
+      result.cache_misses += misses;
+      result.cache_bypass += bypass;
     });
   }
   for (std::thread& thread : threads) thread.join();
@@ -182,7 +203,7 @@ void Run(const bench::BenchArgs& args) {
 
   bench::TextTable table({"sessions", "degrade", "req/s", "p50 ms", "p99 ms",
                           "ok", "degraded", "timeout", "overloaded",
-                          "slo %"});
+                          "slo %", "warm %"});
   for (bool degrade : {true, false}) {
     for (int sessions : session_counts) {
       SweepResult result = RunConfiguration(dataset, sessions, degrade,
@@ -199,7 +220,10 @@ void Run(const bench::BenchArgs& args) {
                     std::to_string(result.degraded),
                     std::to_string(result.timeout),
                     std::to_string(result.overloaded),
-                    StrFormat("%.1f", result.attainment() * 100.0)});
+                    StrFormat("%.1f", result.attainment() * 100.0),
+                    StrFormat("%.1f",
+                              100.0 * static_cast<double>(result.cache_hits) /
+                                  std::max(total, 1.0))});
 
       JsonValue::Object row;
       row["sessions"] = sessions;
@@ -217,6 +241,11 @@ void Run(const bench::BenchArgs& args) {
       row["slo_met"] = result.slo_met;
       row["slo_missed"] = result.slo_missed;
       row["slo_attainment"] = result.attainment();
+      row["cache_hits"] = result.cache_hits;
+      row["cache_misses"] = result.cache_misses;
+      row["cache_bypass"] = result.cache_bypass;
+      row["warm_fraction"] =
+          static_cast<double>(result.cache_hits) / std::max(total, 1.0);
       report.AddRow(std::move(row));
     }
   }

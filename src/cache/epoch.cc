@@ -1,0 +1,116 @@
+#include "cache/epoch.h"
+
+#include <string_view>
+
+#include "catalog/term.h"
+#include "util/bitset.h"
+#include "util/fault_injection.h"
+
+namespace coursenav::cache {
+
+namespace {
+
+/// splitmix64 finalizer — the same full-avalanche mix the fault injector
+/// uses, giving the epoch token good bit dispersion from structured inputs.
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) { return Mix(h ^ v); }
+
+/// FNV-1a over a string; stable across platforms.
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The ambient fault-injection contribution to the epoch token: 0 with no
+/// active injector; otherwise a mix of the injector's process-unique
+/// activation id and how many schedule-churn faults it has fired so far.
+/// Folding the activation id in (not just the fired count) keeps epochs
+/// from colliding across injection scopes — a fresh scope at a reused
+/// stack address with fired==0 must not alias an earlier scope's epoch.
+uint64_t InjectorToken() {
+  FaultInjector* injector = ActiveFaultInjector();
+  if (injector == nullptr) return 0;
+  return Combine(Mix(injector->activation_id()),
+                 static_cast<uint64_t>(injector->fired(
+                     kFaultSiteScheduleChurn)));
+}
+
+}  // namespace
+
+uint64_t ContentHash(const Catalog& catalog,
+                     const OfferingSchedule& schedule) {
+  uint64_t h = Mix(static_cast<uint64_t>(catalog.size()));
+  for (CourseId id = 0; id < catalog.size(); ++id) {
+    const Course& course = catalog.course(id);
+    h = Combine(h, HashString(course.code));
+    uint64_t workload_bits;
+    static_assert(sizeof(workload_bits) == sizeof(course.workload_hours));
+    __builtin_memcpy(&workload_bits, &course.workload_hours,
+                     sizeof(workload_bits));
+    h = Combine(h, workload_bits);
+    h = Combine(h, HashString(course.prerequisites.ToString()));
+  }
+  if (!schedule.empty()) {
+    const int first = schedule.first_term().index();
+    const int last = schedule.last_term().index();
+    h = Combine(h, static_cast<uint64_t>(first));
+    h = Combine(h, static_cast<uint64_t>(last));
+    for (int t = first; t <= last; ++t) {
+      Term term = Term::FromIndex(t);
+      // OfferedInRange over a single term is the recorded offering set —
+      // unlike OfferedIn it never passes the schedule/churn fault seam, so
+      // the fingerprint reflects the registrar data, not a perturbed query.
+      DynamicBitset offered = schedule.OfferedInRange(term, term);
+      h = Combine(h, offered.Hash());
+    }
+  }
+  return h;
+}
+
+EpochRegistry& EpochRegistry::Global() {
+  // Leaky singleton: sessions may consult epochs during static
+  // destruction.
+  static EpochRegistry* registry =
+      new EpochRegistry();  // NOLINT(coursenav-raw-new)
+  return *registry;
+}
+
+CatalogEpoch EpochRegistry::Current(const Catalog& catalog,
+                                    const OfferingSchedule& schedule) const {
+  CatalogEpoch epoch;
+  epoch.content_hash = ContentHash(catalog, schedule);
+  uint64_t generation = 0;
+  {
+    MutexLock lock(epoch_mu_);
+    auto it = generations_.find(epoch.content_hash);
+    if (it != generations_.end()) generation = it->second;
+  }
+  epoch.token =
+      Combine(Combine(Mix(epoch.content_hash), generation), InjectorToken());
+  return epoch;
+}
+
+void EpochRegistry::Invalidate(const Catalog& catalog,
+                               const OfferingSchedule& schedule) {
+  uint64_t content = ContentHash(catalog, schedule);
+  MutexLock lock(epoch_mu_);
+  ++generations_[content];
+  ++invalidations_;
+}
+
+int64_t EpochRegistry::invalidations() const {
+  MutexLock lock(epoch_mu_);
+  return invalidations_;
+}
+
+}  // namespace coursenav::cache

@@ -1,0 +1,89 @@
+#ifndef COURSENAV_CACHE_EPOCH_H_
+#define COURSENAV_CACHE_EPOCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace coursenav::cache {
+
+/// Identity of one immutable (catalog, schedule) generation — the unit of
+/// validity for every process-wide cache tier (see docs/caching.md).
+///
+/// `content_hash` fingerprints what the dataset *says*: every course
+/// (code, workload, prerequisite expression) and every recorded offering.
+/// `token` additionally folds in the catalog's invalidation generation and
+/// the active fault-injection activation, so a cache keyed by `token`
+/// treats "same bytes, but an operator called Invalidate()" and "same
+/// bytes, but a churn-faulted process state" as distinct worlds.
+struct CatalogEpoch {
+  uint64_t token = 0;
+  uint64_t content_hash = 0;
+
+  bool operator==(const CatalogEpoch& other) const {
+    return token == other.token && content_hash == other.content_hash;
+  }
+};
+
+/// Content fingerprint of a dataset: a stable 64-bit hash over the
+/// catalog's interned courses (id order: code, workload, prerequisite
+/// expression text) and the schedule's per-term offering sets.
+///
+/// Deliberately recomputed per query rather than memoized by object
+/// address — a rebuilt catalog at a reused heap address must not inherit
+/// the old epoch (pointer-identity ABA). The scan reads offerings via
+/// `OfferedInRange`, which does NOT pass through the `schedule/churn`
+/// fault seam: churn perturbs individual `OfferedIn` *queries*, not the
+/// recorded schedule, and is accounted for in the epoch token instead.
+uint64_t ContentHash(const Catalog& catalog, const OfferingSchedule& schedule);
+
+/// Process-wide source of truth for catalog epochs.
+///
+/// The epoch token for a dataset changes when any of the following does:
+///   - the dataset's content hash (a different catalog or schedule);
+///   - its invalidation generation (`Invalidate()` — the explicit
+///     operator/test API for "drop everything derived from this dataset");
+///   - the ambient fault-injection state: with an active injector the
+///     token folds in the injector's unique activation id and the number
+///     of `schedule/churn` faults it has fired, so every churn event
+///     rotates the epoch and no two injection scopes ever share one.
+class EpochRegistry {
+ public:
+  EpochRegistry() = default;
+  EpochRegistry(const EpochRegistry&) = delete;
+  EpochRegistry& operator=(const EpochRegistry&) = delete;
+
+  /// The never-destroyed process-wide registry.
+  static EpochRegistry& Global();
+
+  /// The dataset's current epoch. Cheap relative to an exploration run
+  /// (one pass over the catalog and schedule), but not free — callers on a
+  /// hot path capture it once per request.
+  CatalogEpoch Current(const Catalog& catalog,
+                       const OfferingSchedule& schedule) const;
+
+  /// Bumps the dataset's invalidation generation: every epoch-keyed entry
+  /// derived from it is unreachable from the next `Current()` on. Safe to
+  /// call concurrently with readers — in-flight runs that captured the old
+  /// epoch finish against it and their insert attempts no-op.
+  void Invalidate(const Catalog& catalog, const OfferingSchedule& schedule);
+
+  /// Total `Invalidate()` calls, for the obs cache_* counters.
+  int64_t invalidations() const;
+
+ private:
+  /// Guards the generation map. Leaf lock: never held while any other
+  /// cache mutex is held (registered in tools/lint/lock_order.txt).
+  mutable Mutex epoch_mu_;
+  /// content hash -> explicit invalidation generation (absent = 0).
+  std::unordered_map<uint64_t, uint64_t> generations_ CN_GUARDED_BY(epoch_mu_);
+  int64_t invalidations_ CN_GUARDED_BY(epoch_mu_) = 0;
+};
+
+}  // namespace coursenav::cache
+
+#endif  // COURSENAV_CACHE_EPOCH_H_

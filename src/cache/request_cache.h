@@ -1,0 +1,220 @@
+#ifndef COURSENAV_CACHE_REQUEST_CACHE_H_
+#define COURSENAV_CACHE_REQUEST_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/epoch.h"
+#include "catalog/catalog.h"
+#include "catalog/schedule.h"
+#include "catalog/term.h"
+#include "core/counting.h"
+#include "core/enrollment.h"
+#include "core/options.h"
+#include "core/pruning.h"
+#include "obs/metrics.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "plan/request.h"
+#include "requirements/goal.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace coursenav::cache {
+
+/// How the cache participated in answering one request.
+enum class CacheOutcome {
+  /// Caching is off for this caller (server --cache=off, or no cache wired).
+  kDisabled,
+  /// The request is not cacheable (unserializable in-memory goal/ranking,
+  /// non-OK termination, count-only degradation rung, ...). Executed
+  /// directly.
+  kBypass,
+  /// Cacheable, but no prior result at the current epoch. Executed and
+  /// (when it completed) inserted.
+  kMiss,
+  /// Served from a prior run's canonical result, byte-identically.
+  kHit,
+};
+
+/// Wire and log name: "off", "bypass", "miss", "hit".
+std::string_view CacheOutcomeName(CacheOutcome outcome);
+
+/// Parses a CacheOutcomeName back to the enum.
+Result<CacheOutcome> ParseCacheOutcome(std::string_view name);
+
+/// Capacity bounds of the process-wide tiers. Every tier is LRU within its
+/// bound; the result tier is additionally byte-bounded (graphs dominate).
+struct CacheConfig {
+  size_t plan_capacity = 128;
+  size_t result_capacity = 64;
+  size_t result_max_bytes = 256u << 20;  // 256 MiB of cached graphs
+  size_t count_capacity = 1024;
+  /// Distinct epochs whose availability-verdict tiers are kept live; older
+  /// epochs' tiers are dropped wholesale (they are unreachable anyway).
+  size_t availability_epochs = 4;
+};
+
+/// Point-in-time counters, for /statusz and tests.
+struct CacheStats {
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
+  int64_t result_hits = 0;
+  int64_t result_misses = 0;
+  int64_t count_hits = 0;
+  int64_t count_misses = 0;
+  int64_t bypasses = 0;
+  int64_t evictions = 0;
+  int64_t epoch_invalidations = 0;
+  size_t result_bytes = 0;
+  size_t result_entries = 0;
+  size_t plan_entries = 0;
+  size_t count_entries = 0;
+};
+
+/// The process-wide epoch-keyed request cache: plan, canonical-result,
+/// goal-path-count, and availability-verdict reuse across sessions and
+/// serve workers (docs/caching.md).
+///
+/// Correctness rests on two rules:
+///   1. Every key includes the dataset's epoch token (cache/epoch.h), so a
+///      churn fault, an Invalidate() call, or a different dataset can never
+///      surface a stale entry.
+///   2. The epoch is captured before a run and re-read after; a result is
+///      inserted only when both observations agree. A run that raced an
+///      epoch rotation — and might have observed perturbed offerings — is
+///      returned to its caller but never cached.
+///
+/// Determinism: a result hit returns a deep copy of the stored canonical
+/// response, byte-identical to what the original (cold) run produced —
+/// graphs, path order, and stats alike. Only complete (termination-OK)
+/// runs are stored, which is what makes the thread-count- and
+/// wall-clock-budget-free result key sound (see docs/caching.md).
+///
+/// All methods are thread-safe. The tier mutexes (`plan_mu_`,
+/// `result_mu_`, `count_mu_`, `avail_mu_`) are leaf locks, never nested
+/// with each other or any other lock, and never held across an
+/// exploration run (tools/lint/lock_order.txt).
+class RequestCache {
+ public:
+  explicit RequestCache(CacheConfig config = {});
+  RequestCache(const RequestCache&) = delete;
+  RequestCache& operator=(const RequestCache&) = delete;
+
+  /// The never-destroyed process-wide instance the serving layer and
+  /// sessions share.
+  static RequestCache& Global();
+
+  /// Cache-aware replacement for plan::Execute: lowers and runs `request`
+  /// against (catalog, schedule), consulting the plan and result tiers and
+  /// threading the epoch's shared availability tier into the run.
+  /// `outcome` (optional) reports how the answer was produced.
+  Result<ExplorationResponse> Execute(const Catalog& catalog,
+                                      const OfferingSchedule& schedule,
+                                      const ExplorationRequest& request,
+                                      CacheOutcome* outcome = nullptr);
+
+  /// Cache-aware goal-path count (core/counting.h), shared across
+  /// sessions. `goal` is held by shared_ptr: each cached entry pins its
+  /// goal alive, so the pointer-identity part of the key can never alias a
+  /// recycled address.
+  Result<uint64_t> CountGoalPaths(const Catalog& catalog,
+                                  const OfferingSchedule& schedule,
+                                  const EnrollmentStatus& start, Term deadline,
+                                  std::shared_ptr<const Goal> goal,
+                                  const ExplorationOptions& options,
+                                  const GoalDrivenConfig& config = {},
+                                  CacheOutcome* outcome = nullptr);
+
+  /// Explicitly rotates the dataset's epoch (EpochRegistry::Invalidate):
+  /// every entry derived from it becomes unreachable.
+  void Invalidate(const Catalog& catalog, const OfferingSchedule& schedule);
+
+  /// Drops every entry in every tier (epochs are unaffected).
+  void Clear();
+
+  CacheStats Stats() const;
+
+ private:
+  struct ResultEntry {
+    std::shared_ptr<const ExplorationResponse> response;
+    size_t bytes = 0;
+  };
+  struct CountEntry {
+    uint64_t goal_paths = 0;
+    /// Keeps the goal object alive while the entry exists, so the raw
+    /// pointer embedded in the key stays unique (no address reuse).
+    std::shared_ptr<const Goal> pin;
+  };
+  /// One epoch's availability-verdict tiers, one per goal spec.
+  struct AvailabilityEpoch {
+    uint64_t epoch_token = 0;
+    std::unordered_map<std::string,
+                       std::shared_ptr<internal::SharedAvailabilityCache>>
+        by_goal;
+  };
+  template <typename Value>
+  struct LruMap {
+    std::list<std::pair<std::string, Value>> order;  // front = most recent
+    std::unordered_map<
+        std::string,
+        typename std::list<std::pair<std::string, Value>>::iterator>
+        index;
+  };
+
+  /// The epoch's shared availability tier for `goal_key`, created on first
+  /// use. The returned tier stays alive at least as long as the returned
+  /// shared_ptr (eviction drops the map's reference only).
+  std::shared_ptr<internal::SharedAvailabilityCache> AvailabilityTier(
+      uint64_t epoch_token, const std::string& goal_key);
+
+  const CacheConfig config_;
+
+  mutable Mutex plan_mu_;
+  LruMap<plan::ExplorationPlan> plans_ CN_GUARDED_BY(plan_mu_);
+
+  mutable Mutex result_mu_;
+  LruMap<ResultEntry> results_ CN_GUARDED_BY(result_mu_);
+  size_t result_bytes_ CN_GUARDED_BY(result_mu_) = 0;
+
+  mutable Mutex count_mu_;
+  LruMap<CountEntry> counts_ CN_GUARDED_BY(count_mu_);
+
+  mutable Mutex avail_mu_;
+  std::vector<AvailabilityEpoch> avail_epochs_ CN_GUARDED_BY(avail_mu_);
+
+  /// Per-instance tallies (lock-free), the source of truth for Stats().
+  /// Each bump also mirrors into the process-global obs registry's cache_*
+  /// series via the handles below, so a test-local cache instance still
+  /// reads its own numbers while /metrics aggregates everything.
+  struct Tallies {
+    obs::Counter plan_hits, plan_misses;
+    obs::Counter result_hits, result_misses;
+    obs::Counter count_hits, count_misses;
+    obs::Counter bypasses, evictions, epoch_invalidations;
+  };
+  Tallies tallies_;
+
+  // Interned once at construction from the process-global registry.
+  obs::Counter* plan_hits_;
+  obs::Counter* plan_misses_;
+  obs::Counter* result_hits_;
+  obs::Counter* result_misses_;
+  obs::Counter* count_hits_;
+  obs::Counter* count_misses_;
+  obs::Counter* bypasses_;
+  obs::Counter* evictions_;
+  obs::Counter* epoch_invalidations_;
+  obs::Gauge* result_bytes_gauge_;
+};
+
+}  // namespace coursenav::cache
+
+#endif  // COURSENAV_CACHE_REQUEST_CACHE_H_

@@ -37,6 +37,15 @@ struct ParallelExpandSpec {
   Term end_term;
   const Goal* goal = nullptr;
   const GoalDrivenConfig* config = nullptr;  // required when goal != null
+
+  /// Optional availability-pruning L3: a process-wide, epoch-scoped
+  /// `SharedAvailabilityCache` (src/cache/) every worker oracle consults
+  /// behind its private L1 in place of the run-local L2. Null (the
+  /// default) keeps the historical per-run cache, which dies at join.
+  /// Verdicts are a pure function of (term, reachable set) for the
+  /// monotone goals the oracle caches, so sharing across runs of the same
+  /// catalog epoch cannot change any verdict — only skip recomputing it.
+  SharedAvailabilityCache* shared_availability = nullptr;
 };
 
 /// Expands `graph`'s frontier across `num_workers` work-stealing workers,

@@ -363,7 +363,13 @@ Status ExpandFrontierParallel(ExplorationEngine& engine,
     per_worker_deadline = remaining > 0 ? remaining : 1e-9;
   }
 
-  SharedAvailabilityCache shared_cache;
+  // The workers' L2: the caller's epoch-scoped process tier when one is
+  // provided (src/cache/ promotes the verdicts across runs), a run-local
+  // cache otherwise.
+  SharedAvailabilityCache local_shared_cache;
+  SharedAvailabilityCache* shared_cache = spec.shared_availability != nullptr
+                                              ? spec.shared_availability
+                                              : &local_shared_cache;
   std::vector<std::unique_ptr<WorkerCtx>> ctxs;
   ctxs.reserve(static_cast<size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
@@ -371,7 +377,7 @@ Status ExpandFrontierParallel(ExplorationEngine& engine,
     // the run's tracer (sampling from workers is safe: each accumulator is
     // single-worker, and clock reads are const).
     ctxs.push_back(std::make_unique<WorkerCtx>(
-        w, spec, engine, per_worker_deadline, &shared_cache));
+        w, spec, engine, per_worker_deadline, shared_cache));
     ctxs[static_cast<size_t>(w)]->last_memory = graph->ShardMemoryUsage(w);
   }
 

@@ -222,6 +222,24 @@ void LearningGraph::CheckInvariants() const {
   }
 }
 
+LearningGraph LearningGraph::Clone() const {
+  LearningGraph out;
+  out.shards_.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& src = shards_[s];
+    Shard& dst = out.shards_[s];
+    for (size_t i = 0; i < src.nodes.size(); ++i) {
+      dst.nodes.push_back(src.nodes[i]);
+    }
+    for (size_t i = 0; i < src.edges.size(); ++i) {
+      dst.edges.push_back(src.edges[i]);
+    }
+    dst.memory_bytes = src.memory_bytes;
+    dst.allocation_failed = src.allocation_failed;
+  }
+  return out;
+}
+
 void LearningGraph::Canonicalize() {
   if (shards_.size() == 1) {
     // Serial runs are canonical already; still self-check in dcheck builds.

@@ -239,6 +239,15 @@ class LearningGraph {
   /// is already canonical).
   void Canonicalize();
 
+  /// Deep copy. The graph class is deliberately move-only (accidental
+  /// copies of million-node arenas are bugs), so the one legitimate
+  /// copy — the epoch-keyed result cache handing a cached canonical graph
+  /// to a new request — is explicit. Preserves shard structure, ids,
+  /// memory accounting, and the allocation-failure flags, so the clone is
+  /// byte-identical to the original under traversal, export, and
+  /// CheckInvariants.
+  LearningGraph Clone() const;
+
  private:
   /// Test-only backdoor (tests/lint_test.cc): hand-corrupts arenas to
   /// prove CheckInvariants rejects structurally invalid graphs.

@@ -294,6 +294,31 @@ inline constexpr std::string_view kMetricServeTenantDeadlineMet =
 inline constexpr std::string_view kMetricServeTenantDeadlineMissed =
     "serve_tenant_deadline_missed_total";
 
+// Process-wide epoch-keyed request cache (src/cache/): shared plan,
+// canonical-result, goal-path-count, and availability-verdict reuse
+// across sessions. Hits/misses are per tier; epoch_invalidations counts
+// explicit Invalidate() calls plus fault-driven epoch rotations observed.
+inline constexpr std::string_view kMetricCachePlanHits =
+    "cache_plan_hits_total";
+inline constexpr std::string_view kMetricCachePlanMisses =
+    "cache_plan_misses_total";
+inline constexpr std::string_view kMetricCacheResultHits =
+    "cache_result_hits_total";
+inline constexpr std::string_view kMetricCacheResultMisses =
+    "cache_result_misses_total";
+inline constexpr std::string_view kMetricCacheCountHits =
+    "cache_count_hits_total";
+inline constexpr std::string_view kMetricCacheCountMisses =
+    "cache_count_misses_total";
+inline constexpr std::string_view kMetricCacheBypass =
+    "cache_bypass_total";
+inline constexpr std::string_view kMetricCacheEvictions =
+    "cache_evictions_total";
+inline constexpr std::string_view kMetricCacheEpochInvalidations =
+    "cache_epoch_invalidations_total";
+inline constexpr std::string_view kMetricCacheResultBytes =
+    "cache_result_bytes";
+
 /// The per-run instrumentation bundle every generator increments: one
 /// plain int64 tally per legacy `ExplorationStats` counter (plus budget
 /// checks). A generation run is single-threaded, so a hot-path increment

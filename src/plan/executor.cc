@@ -181,7 +181,8 @@ Result<GenerationResult> RunDeadline(const ExplorationPlan& plan,
 /// The goal-driven pipeline: Source → Expand → Prune (§4.2).
 Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
                                  const Catalog& catalog,
-                                 const OfferingSchedule& schedule) {
+                                 const OfferingSchedule& schedule,
+                                 const ExecHooks& hooks) {
   const ExplorationRequest& request = plan.request;
   const ExplorationOptions& options = request.options;
   const GoalDrivenConfig& config = request.config;
@@ -216,6 +217,7 @@ Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
     spec.end_term = end_term;
     spec.goal = &goal;
     spec.config = &config;
+    spec.shared_availability = hooks.shared_availability;
     result.termination = internal::ExpandFrontierParallel(
         engine, spec, options.num_threads, &graph);
     expand_span.AddInt("nodes_expanded", metrics.nodes_expanded);
@@ -227,7 +229,9 @@ Result<GenerationResult> RunGoal(const ExplorationPlan& plan,
     return result;
   }
 
-  internal::PruningOracle oracle(goal, engine, options, config);
+  internal::PruningOracle oracle(goal, engine, options, config,
+                                 /*metrics=*/nullptr,
+                                 hooks.shared_availability);
   using Verdict = internal::PruningOracle::Verdict;
   {
     obs::ScopedSpan expand_span(obs::kSpanExpandLoop);
@@ -390,7 +394,8 @@ struct FrontierCompare {
 /// Always serial (see the planner's "ranked runs serial" note).
 Result<RankedResult> RunRanked(const ExplorationPlan& plan,
                                const Catalog& catalog,
-                               const OfferingSchedule& schedule) {
+                               const OfferingSchedule& schedule,
+                               const ExecHooks& hooks) {
   const ExplorationRequest& request = plan.request;
   const ExplorationOptions& options = request.options;
   const GoalDrivenConfig& config = request.config;
@@ -408,7 +413,9 @@ Result<RankedResult> RunRanked(const ExplorationPlan& plan,
   construct_span.emplace(obs::kSpanGraphConstruct);
   internal::ExplorationEngine engine(catalog, schedule, options,
                                      request.start.term, end_term);
-  internal::PruningOracle oracle(goal, engine, options, config);
+  internal::PruningOracle oracle(goal, engine, options, config,
+                                 /*metrics=*/nullptr,
+                                 hooks.shared_availability);
   using Verdict = internal::PruningOracle::Verdict;
   obs::ExplorationMetrics& metrics = engine.metrics();
   /// Aggregate wall time spent inside the ranking function (EdgeCost +
@@ -597,7 +604,8 @@ void ApplyFilterStage(const ExplorationRequest& request,
 
 }  // namespace
 
-Result<ExplorationResponse> Executor::Run(const ExplorationPlan& plan) const {
+Result<ExplorationResponse> Executor::Run(const ExplorationPlan& plan,
+                                          const ExecHooks& hooks) const {
   const ExplorationRequest& request = plan.request;
   ExplorationResponse response;
   switch (request.type) {
@@ -616,7 +624,7 @@ Result<ExplorationResponse> Executor::Run(const ExplorationPlan& plan) const {
             "goal-driven exploration requires a goal");
       }
       COURSENAV_ASSIGN_OR_RETURN(GenerationResult generation,
-                                 RunGoal(plan, *catalog_, *schedule_));
+                                 RunGoal(plan, *catalog_, *schedule_, hooks));
       response.generation = std::move(generation);
       return response;
     }
@@ -629,7 +637,7 @@ Result<ExplorationResponse> Executor::Run(const ExplorationPlan& plan) const {
             "ranked exploration requires a ranking function");
       }
       COURSENAV_ASSIGN_OR_RETURN(RankedResult ranked,
-                                 RunRanked(plan, *catalog_, *schedule_));
+                                 RunRanked(plan, *catalog_, *schedule_, hooks));
       response.ranked = std::move(ranked);
       ApplyFilterStage(request, *catalog_, response);
       return response;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/request_cache.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -367,6 +368,38 @@ AdminServer::HttpResponse AdminServer::Statusz(bool include_recorder) const {
   }
   slo["tenants"] = JsonValue(std::move(slo_tenants));
   root["slo"] = JsonValue(std::move(slo));
+
+  // The request-cache block: this server's view (hits/misses/bypass of
+  // executed requests) plus the process-wide tiers it shares with every
+  // other server and session in the process.
+  JsonValue::Object cache_info;
+  cache_info["enabled"] = JsonValue(config.enable_cache);
+  cache_info["hits"] = JsonValue(stats.cache_hits);
+  cache_info["misses"] = JsonValue(stats.cache_misses);
+  cache_info["bypass"] = JsonValue(stats.cache_bypass);
+  if (config.enable_cache) {
+    const cache::CacheStats shared = cache::RequestCache::Global().Stats();
+    JsonValue::Object process;
+    process["plan_hits"] = JsonValue(shared.plan_hits);
+    process["plan_misses"] = JsonValue(shared.plan_misses);
+    process["result_hits"] = JsonValue(shared.result_hits);
+    process["result_misses"] = JsonValue(shared.result_misses);
+    process["count_hits"] = JsonValue(shared.count_hits);
+    process["count_misses"] = JsonValue(shared.count_misses);
+    process["bypasses"] = JsonValue(shared.bypasses);
+    process["evictions"] = JsonValue(shared.evictions);
+    process["epoch_invalidations"] = JsonValue(shared.epoch_invalidations);
+    process["plan_entries"] =
+        JsonValue(static_cast<int64_t>(shared.plan_entries));
+    process["result_entries"] =
+        JsonValue(static_cast<int64_t>(shared.result_entries));
+    process["count_entries"] =
+        JsonValue(static_cast<int64_t>(shared.count_entries));
+    process["result_bytes"] =
+        JsonValue(static_cast<int64_t>(shared.result_bytes));
+    cache_info["process"] = JsonValue(std::move(process));
+  }
+  root["cache"] = JsonValue(std::move(cache_info));
 
   JsonValue::Object trace;
   trace["sample_every"] = JsonValue(config.trace_sample_every);

@@ -218,6 +218,7 @@ JsonValue ResponseEnvelope::ToJson() const {
   object["served_seq"] = JsonValue(served_seq);
   if (!trace_id.empty()) object["trace_id"] = JsonValue(trace_id);
   if (!trace.is_null()) object["trace"] = trace;
+  if (!cache.empty()) object["cache"] = JsonValue(cache);
   if (degradation.has_value()) {
     object["degradation"] = degradation->ToJson();
   }
@@ -263,6 +264,10 @@ Result<ResponseEnvelope> ResponseEnvelope::FromJson(const JsonValue& json) {
   }
   if (json.Has("trace")) {
     COURSENAV_ASSIGN_OR_RETURN(envelope.trace, json.Get("trace"));
+  }
+  if (json.Has("cache")) {
+    COURSENAV_ASSIGN_OR_RETURN(JsonValue cache_value, json.Get("cache"));
+    COURSENAV_ASSIGN_OR_RETURN(envelope.cache, cache_value.GetString());
   }
   if (json.Has("degradation")) {
     COURSENAV_ASSIGN_OR_RETURN(JsonValue report, json.Get("degradation"));

@@ -127,6 +127,11 @@ struct ResponseEnvelope {
   /// when the client opted in with "trace": true and the server was built
   /// with tracing compiled in.
   JsonValue trace;
+  /// How the process-wide request cache participated in serving this
+  /// request: "hit", "miss", "bypass", or "off" (cache disabled). Empty
+  /// for requests that never reached execution (shed, rejected,
+  /// cancelled-in-queue); omitted from the wire form then.
+  std::string cache;
   std::optional<DegradationReport> degradation;
   JsonValue result;
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/request_cache.h"
 #include "graph/export.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -100,7 +101,11 @@ ExplorationServer::ExplorationServer(const Catalog* catalog,
                                      ServerConfig config)
     : config_(std::move(config)),
       navigator_(catalog, schedule),
-      recorder_(config_.recorder) {}
+      recorder_(config_.recorder) {
+  if (config_.enable_cache) {
+    navigator_.EnableCache(&cache::RequestCache::Global());
+  }
+}
 
 ExplorationServer::~ExplorationServer() {
   if (state() != State::kStopped) Shutdown();
@@ -310,9 +315,10 @@ void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
     }
     ticket->request.options.cancel = ticket->cancel;
 
+    cache::CacheOutcome cache_outcome = cache::CacheOutcome::kDisabled;
     if (ticket->degrade) {
       Result<DegradedResponse> degraded =
-          ExploreWithDegradation(navigator_, ticket->request);
+          ExploreWithDegradation(navigator_, ticket->request, &cache_outcome);
       if (degraded.ok()) {
         const DegradedResponse& answer = *degraded;
         out.outcome = (answer.report.degraded || answer.report.exhausted)
@@ -330,7 +336,7 @@ void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
       }
     } else {
       Result<ExplorationResponse> response =
-          navigator_.Explore(ticket->request);
+          navigator_.Explore(ticket->request, &cache_outcome);
       if (response.ok()) {
         const Status& termination =
             response->generation.has_value()
@@ -349,6 +355,20 @@ void ExplorationServer::Execute(const std::shared_ptr<Ticket>& ticket) {
         out.outcome = OutcomeForStatus(response.status());
         out.status = response.status();
       }
+    }
+    out.cache = std::string(cache::CacheOutcomeName(cache_outcome));
+    switch (cache_outcome) {
+      case cache::CacheOutcome::kHit:
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case cache::CacheOutcome::kMiss:
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case cache::CacheOutcome::kBypass:
+        cache_bypass_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case cache::CacheOutcome::kDisabled:
+        break;
     }
   }
 
@@ -661,6 +681,9 @@ ServerStats ExplorationServer::Stats() const {
   stats.faults_injected = faults_injected_.load(std::memory_order_relaxed);
   stats.uptime_seconds = started_.ElapsedSeconds();
   stats.trace_dropped_spans = trace_dropped_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.cache_bypass = cache_bypass_.load(std::memory_order_relaxed);
   if (queue_ != nullptr) {
     stats.queue_depth = queue_->depth();
     stats.inflight = queue_->inflight();

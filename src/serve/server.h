@@ -64,6 +64,13 @@ struct ServerConfig {
   /// requests that should finish (ok or degraded) inside their deadline.
   /// /statusz flags tenants below it.
   double slo_deadline_target = 0.99;
+  /// Routes execution through the process-wide epoch-keyed request cache
+  /// (cache::RequestCache::Global()): plans and complete canonical results
+  /// are shared across workers, tenants, and any co-resident sessions of
+  /// the same catalog epoch. Warm answers are byte-identical to cold ones
+  /// (docs/caching.md), so this is purely an operational switch
+  /// (`--cache=off` on the CLI).
+  bool enable_cache = true;
 };
 
 /// A point-in-time snapshot of the server's counters. Every submitted
@@ -108,6 +115,14 @@ struct ServerStats {
   double uptime_seconds = 0.0;
   /// Spans discarded by request-scoped tracers, total across requests.
   int64_t trace_dropped_spans = 0;
+  /// How executed requests met the process-wide request cache: served from
+  /// a cached canonical result (`cache_hits`), executed and (when
+  /// complete) inserted (`cache_misses`), or unable to participate —
+  /// non-canonicalizable request or count-only degradation
+  /// (`cache_bypass`). All three stay 0 when the cache is disabled.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_bypass = 0;
   std::map<std::string, TenantCounters> tenants;
   std::map<std::string, SloCounters> slo;
 };
@@ -234,6 +249,9 @@ class ExplorationServer {
   std::atomic<int64_t> faults_injected_{0};
   std::atomic<int64_t> next_seq_{0};
   std::atomic<int64_t> trace_dropped_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> cache_bypass_{0};
 
   obs::FlightRecorder recorder_;
   Stopwatch started_;

@@ -178,7 +178,11 @@ std::vector<DegradationLevel> DefaultLadder(TaskType type) {
 
 Result<DegradedResponse> ExploreWithDegradation(
     const CourseNavigator& navigator, const ExplorationRequest& request,
-    const DegradationPolicy& policy) {
+    const DegradationPolicy& policy, cache::CacheOutcome* outcome) {
+  if (outcome != nullptr) {
+    *outcome = navigator.cache_enabled() ? cache::CacheOutcome::kBypass
+                                         : cache::CacheOutcome::kDisabled;
+  }
   std::vector<DegradationLevel> ladder =
       policy.ladder.empty() ? DefaultLadder(request.type) : policy.ladder;
   if (ladder.empty()) {
@@ -200,6 +204,7 @@ Result<DegradedResponse> ExploreWithDegradation(
   DegradedResponse best;  // best partial answer salvaged so far
   bool have_partial = false;
   DegradationLevel partial_level = DegradationLevel::kFull;
+  cache::CacheOutcome partial_outcome = cache::CacheOutcome::kDisabled;
   DegradationReport report;
 
   for (size_t i = 0; i < ladder.size(); ++i) {
@@ -292,7 +297,9 @@ Result<DegradedResponse> ExploreWithDegradation(
       continue;
     }
 
-    Result<ExplorationResponse> response = navigator.Explore(attempt);
+    cache::CacheOutcome rung_outcome = cache::CacheOutcome::kDisabled;
+    Result<ExplorationResponse> response =
+        navigator.Explore(attempt, &rung_outcome);
     rung.seconds_spent = overall.ElapsedSeconds() - started;
     if (!response.ok()) {
       if (response.status().IsCancelled() ||
@@ -315,6 +322,7 @@ Result<DegradedResponse> ExploreWithDegradation(
       best.response = std::move(response).value();
       best.count.reset();
       best.report = std::move(report);
+      if (outcome != nullptr) *outcome = rung_outcome;
       responses_served->Increment();
       return best;
     }
@@ -329,6 +337,7 @@ Result<DegradedResponse> ExploreWithDegradation(
       best.response = std::move(response).value();
       have_partial = true;
       partial_level = level;
+      partial_outcome = rung_outcome;
     }
   }
 
@@ -346,16 +355,20 @@ Result<DegradedResponse> ExploreWithDegradation(
     }
     return Status::ResourceExhausted("every degradation rung exhausted");
   }
+  if (outcome != nullptr) *outcome = partial_outcome;
   responses_served->Increment();
   return best;
 }
 
 Result<DegradedResponse> ExploreWithDegradation(
-    const CourseNavigator& navigator, const ExplorationRequest& request) {
+    const CourseNavigator& navigator, const ExplorationRequest& request,
+    cache::CacheOutcome* outcome) {
   if (request.degradation.has_value()) {
-    return ExploreWithDegradation(navigator, request, *request.degradation);
+    return ExploreWithDegradation(navigator, request, *request.degradation,
+                                  outcome);
   }
-  return ExploreWithDegradation(navigator, request, DegradationPolicy{});
+  return ExploreWithDegradation(navigator, request, DegradationPolicy{},
+                                outcome);
 }
 
 }  // namespace coursenav

@@ -84,16 +84,24 @@ std::vector<DegradationLevel> DefaultLadder(TaskType type);
 /// descent. Cancellation and request errors (bad goal, bad window...)
 /// propagate immediately as bare Status — degrading a cancelled or
 /// malformed request would answer a question nobody is asking.
+///
+/// `outcome` (optional) reports how the navigator's request cache
+/// participated in the rung that served the answer: kHit/kMiss from a
+/// materializing rung's Explore, kBypass when the count-only rung served
+/// (counting bypasses the result tier), kDisabled when the navigator has
+/// no cache wired.
 Result<DegradedResponse> ExploreWithDegradation(
     const CourseNavigator& navigator, const ExplorationRequest& request,
-    const DegradationPolicy& policy);
+    const DegradationPolicy& policy,
+    cache::CacheOutcome* outcome = nullptr);
 
 /// Policy-less overload: honors the request's own declarative
 /// `request.degradation` policy when one is set, and falls back to the
 /// default policy otherwise — so a JSON request file fully describes how
 /// its answer may degrade.
 Result<DegradedResponse> ExploreWithDegradation(
-    const CourseNavigator& navigator, const ExplorationRequest& request);
+    const CourseNavigator& navigator, const ExplorationRequest& request,
+    cache::CacheOutcome* outcome = nullptr);
 
 }  // namespace coursenav
 

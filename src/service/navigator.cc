@@ -21,8 +21,12 @@ std::shared_ptr<const T> Borrow(const T& object) {
 }  // namespace
 
 Result<ExplorationResponse> CourseNavigator::Explore(
-    const ExplorationRequest& request) const {
-  return plan::Execute(*catalog_, *schedule_, request);
+    const ExplorationRequest& request, cache::CacheOutcome* outcome) const {
+  if (cache_ == nullptr) {
+    if (outcome != nullptr) *outcome = cache::CacheOutcome::kDisabled;
+    return plan::Execute(*catalog_, *schedule_, request);
+  }
+  return cache_->Execute(*catalog_, *schedule_, request, outcome);
 }
 
 Result<GenerationResult> CourseNavigator::ExploreDeadline(

@@ -1,6 +1,7 @@
 #ifndef COURSENAV_SERVICE_NAVIGATOR_H_
 #define COURSENAV_SERVICE_NAVIGATOR_H_
 
+#include "cache/request_cache.h"
 #include "catalog/catalog.h"
 #include "catalog/schedule.h"
 #include "catalog/term.h"
@@ -29,9 +30,22 @@ class CourseNavigator {
   CourseNavigator(const Catalog* catalog, const OfferingSchedule* schedule)
       : catalog_(catalog), schedule_(schedule) {}
 
+  /// Routes Explore() through `cache` (typically
+  /// cache::RequestCache::Global()): plans and complete canonical results
+  /// are reused across requests, sessions, and serve workers of the same
+  /// catalog epoch. Pass nullptr to detach. The cached path returns
+  /// byte-identical responses (docs/caching.md), so enabling the cache is
+  /// purely an operational decision. The cache must outlive the navigator.
+  void EnableCache(cache::RequestCache* cache) { cache_ = cache; }
+  bool cache_enabled() const { return cache_ != nullptr; }
+
   /// Lowers `request` into a plan and executes it. Fails on inconsistent
   /// requests (missing goal/ranking, bad window, foreign course sets).
-  Result<ExplorationResponse> Explore(const ExplorationRequest& request) const;
+  /// `outcome` (optional) reports how the cache participated —
+  /// kDisabled when no cache is wired.
+  Result<ExplorationResponse> Explore(const ExplorationRequest& request,
+                                      cache::CacheOutcome* outcome = nullptr)
+      const;
 
   /// Convenience wrappers over Explore().
   Result<GenerationResult> ExploreDeadline(
@@ -64,6 +78,7 @@ class CourseNavigator {
  private:
   const Catalog* catalog_;
   const OfferingSchedule* schedule_;
+  cache::RequestCache* cache_ = nullptr;
 };
 
 }  // namespace coursenav

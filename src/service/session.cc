@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "cache/request_cache.h"
 #include "core/combinations.h"
 #include "plan/executor.h"
 #include "util/check.h"
@@ -82,7 +83,6 @@ Status ExplorationSession::Commit(const std::vector<std::string>& codes) {
   current_.completed |= selection;
   current_.term = current_.term.Next();
   commits_->Increment();
-  InvalidateCache();
   return Status::OK();
 }
 
@@ -95,7 +95,6 @@ Status ExplorationSession::Undo() {
   current_.completed.Subtract(last.selection);
   history_.pop_back();
   undos_->Increment();
-  InvalidateCache();
   return Status::OK();
 }
 
@@ -104,7 +103,6 @@ Status ExplorationSession::SetMaxLoad(int max_courses_per_term) {
     return Status::InvalidArgument("load limit must be >= 1");
   }
   options_.max_courses_per_term = max_courses_per_term;
-  InvalidateCache();
   return Status::OK();
 }
 
@@ -117,7 +115,6 @@ Status ExplorationSession::Avoid(const std::string& code) {
     options_.avoid_courses = catalog_->NewCourseSet();
   }
   options_.avoid_courses->set(id);
-  InvalidateCache();
   return Status::OK();
 }
 
@@ -126,7 +123,6 @@ Status ExplorationSession::Unavoid(const std::string& code) {
   if (options_.avoid_courses.has_value()) {
     options_.avoid_courses->reset(id);
   }
-  InvalidateCache();
   return Status::OK();
 }
 
@@ -136,13 +132,11 @@ Status ExplorationSession::SetDeadline(Term deadline) {
         "deadline must be after the current semester");
   }
   deadline_ = deadline;
-  InvalidateCache();
   return Status::OK();
 }
 
 void ExplorationSession::SetLimits(const ExplorationLimits& limits) {
   options_.limits = limits;
-  InvalidateCache();
 }
 
 bool ExplorationSession::GoalReached() const {
@@ -154,20 +148,26 @@ DynamicBitset ExplorationSession::CurrentOptions() const {
                         current_.term, options_);
 }
 
+Result<uint64_t> ExplorationSession::CountThroughCache(
+    const EnrollmentStatus& start) {
+  cache::CacheOutcome outcome = cache::CacheOutcome::kDisabled;
+  Result<uint64_t> counted = cache::RequestCache::Global().CountGoalPaths(
+      *catalog_, *schedule_, start, deadline_, goal_, options_,
+      GoalDrivenConfig{}, &outcome);
+  if (counted.ok()) {
+    if (outcome == cache::CacheOutcome::kHit) {
+      cache_hits_->Increment();
+    } else {
+      cache_misses_->Increment();
+    }
+  }
+  return counted;
+}
+
 Result<uint64_t> ExplorationSession::RemainingGoalPaths() {
   QueryScope scope(tracer_, queries_, "remaining_goal_paths");
   if (GoalReached()) return uint64_t{1};
-  if (cached_goal_paths_.has_value()) {
-    cache_hits_->Increment();
-    return *cached_goal_paths_;
-  }
-  cache_misses_->Increment();
-  COURSENAV_ASSIGN_OR_RETURN(
-      CountingResult counted,
-      CountGoalDrivenPaths(*catalog_, *schedule_, current_, deadline_, *goal_,
-                           options_));
-  cached_goal_paths_ = counted.goal_paths;
-  return counted.goal_paths;
+  return CountThroughCache(current_);
 }
 
 Result<RankedResult> ExplorationSession::TopK(const RankingFunction& ranking,
@@ -245,11 +245,9 @@ Result<std::vector<SelectionImpact>> ExplorationSession::EvaluateSelections(
     if (goal_->IsSatisfied(next.completed)) {
       impact.surviving_goal_paths = 1;
     } else if (next.term < deadline_) {
-      COURSENAV_ASSIGN_OR_RETURN(
-          CountingResult counted,
-          CountGoalDrivenPaths(*catalog_, *schedule_, next, deadline_, *goal_,
-                               options_));
-      impact.surviving_goal_paths = counted.goal_paths;
+      COURSENAV_ASSIGN_OR_RETURN(uint64_t surviving,
+                                 CountThroughCache(next));
+      impact.surviving_goal_paths = surviving;
     }
     impacts.push_back(std::move(impact));
   }

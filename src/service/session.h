@@ -33,7 +33,12 @@ struct SelectionImpact {
 /// semester selections, tweaks constraints, and re-asks "what are my
 /// options / how many futures remain / what are the best plans" after
 /// every move. Queries are answered from the same generators the batch
-/// API uses; goal-path counts are cached until the next mutation.
+/// API uses; goal-path counts are served from the process-wide
+/// epoch-keyed request cache (cache::RequestCache::Global()), so counts
+/// computed by one session — or by the serving layer — are reused by
+/// every other session of the same catalog epoch. Mutations need no
+/// explicit invalidation: they change the enrollment status, which is
+/// part of the cache key.
 ///
 /// The catalog, schedule and goal must outlive the session.
 class ExplorationSession {
@@ -71,7 +76,9 @@ class ExplorationSession {
 
   /// Per-session interaction metrics: `session_commits_total`,
   /// `session_undos_total`, `session_queries_total`, and the goal-path
-  /// cache hit/miss counters (see docs/observability.md).
+  /// cache hit/miss counters, now reporting this session's hits and
+  /// misses against the shared count cache (see docs/observability.md,
+  /// docs/caching.md).
   const obs::MetricRegistry& metrics() const { return registry_; }
 
   /// Semesters already committed in this session, oldest first.
@@ -137,7 +144,9 @@ class ExplorationSession {
       int max_candidates = 256);
 
  private:
-  void InvalidateCache() { cached_goal_paths_.reset(); }
+  /// Counts goal paths from `start` through the process-wide count cache
+  /// and folds the shared outcome into this session's hit/miss counters.
+  Result<uint64_t> CountThroughCache(const EnrollmentStatus& start);
 
   const Catalog* catalog_;
   const OfferingSchedule* schedule_;
@@ -146,7 +155,6 @@ class ExplorationSession {
   Term deadline_;
   ExplorationOptions options_;
   std::vector<PathStep> history_;
-  std::optional<uint64_t> cached_goal_paths_;
 
   obs::Tracer* tracer_ = nullptr;
   mutable obs::MetricRegistry registry_;

@@ -1,10 +1,14 @@
 #include "util/fault_injection.h"
 
+#include <atomic>
+
 namespace coursenav {
 
 namespace {
 
 FaultInjector* g_active_injector = nullptr;
+
+std::atomic<uint64_t> g_next_activation_id{1};
 
 /// FNV-1a over the site name; stable across platforms.
 uint64_t HashSite(std::string_view site) {
@@ -27,7 +31,9 @@ uint64_t Finalize(uint64_t z) {
 }  // namespace
 
 FaultInjector::FaultInjector(FaultConfig config)
-    : config_(std::move(config)) {}
+    : activation_id_(
+          g_next_activation_id.fetch_add(1, std::memory_order_relaxed)),
+      config_(std::move(config)) {}
 
 uint64_t FaultInjector::Mix(std::string_view site, uint64_t counter) const {
   return Finalize(Finalize(config_.seed ^ HashSite(site)) + counter);

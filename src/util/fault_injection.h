@@ -68,8 +68,18 @@ class FaultInjector {
   int64_t decisions(std::string_view site) const;
   int64_t fired(std::string_view site) const;
 
+  /// Process-unique id of this injector instance, assigned at construction
+  /// from a monotone counter. Two activations are never confused even when
+  /// stack reuse places them at the same address — the epoch-keyed request
+  /// cache folds this id (plus the churn fired-count) into its epoch token
+  /// so results computed under one chaos activation are never served under
+  /// another.
+  uint64_t activation_id() const { return activation_id_; }
+
  private:
   uint64_t Mix(std::string_view site, uint64_t counter) const;
+
+  const uint64_t activation_id_;
 
   FaultConfig config_;
   mutable Mutex mu_;

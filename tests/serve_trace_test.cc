@@ -348,6 +348,9 @@ TEST(ReconciliationTest, SpansAndHistogramsAgreeUnderConcurrency) {
   ServerConfig config;
   config.num_workers = 4;
   config.trace_sample_every = 1;
+  // Uncached: the law below asserts every request's span tree includes the
+  // plan-lowering stage, which a request-cache hit legitimately skips.
+  config.enable_cache = false;
   ExplorationServer server(&Dataset().catalog, &Dataset().schedule, config);
   server.Start();
 

@@ -120,6 +120,9 @@ serve flags:
   --max-request-nodes=<n>    per-request node cap (default 500000)
   --no-degrade         answer budget blow-ups with timeouts instead of the
                        degradation ladder
+  --cache=on|off       route execution through the process-wide epoch-keyed
+                       request cache (default on; warm answers are
+                       byte-identical to cold ones — see docs/caching.md)
   --serve-seconds=<s>  serve for s seconds, then drain and exit
                        (default 0: serve until stdin reaches EOF)
   --drain-seconds=<s>  drain budget before in-flight work is cancelled
@@ -699,6 +702,16 @@ Result<serve::ServerConfig> ServerConfigFromFlags(const FlagSet& flags) {
   COURSENAV_ASSIGN_OR_RETURN(int64_t trace_sample,
                              flags.GetInt("trace-sample", 16));
   config.trace_sample_every = static_cast<int>(trace_sample);
+  COURSENAV_ASSIGN_OR_RETURN(std::string cache_flag,
+                             flags.GetString("cache", "on"));
+  if (cache_flag == "on") {
+    config.enable_cache = true;
+  } else if (cache_flag == "off") {
+    config.enable_cache = false;
+  } else {
+    return Status::InvalidArgument("--cache must be 'on' or 'off', got '" +
+                                   cache_flag + "'");
+  }
   return config;
 }
 
@@ -715,6 +728,10 @@ void PrintServerStats(const serve::ServerStats& stats) {
       static_cast<long long>(stats.slow_client),
       static_cast<long long>(stats.failed),
       static_cast<long long>(stats.faults_injected));
+  std::printf("request cache: hits=%lld misses=%lld bypass=%lld\n",
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.cache_misses),
+              static_cast<long long>(stats.cache_bypass));
   for (const auto& [tenant, counters] : stats.tenants) {
     std::printf("  tenant %s: admitted=%lld shed=%lld completed=%lld\n",
                 tenant.c_str(), static_cast<long long>(counters.admitted_total),
@@ -827,6 +844,9 @@ struct ReplayTally {
   std::vector<double> latencies_ms;
   int64_t attempts = 0;
   int64_t transport_failures = 0;
+  /// Per-value tallies of the envelopes' `cache` field (hit/miss/bypass/
+  /// off); empty when the server predates the field or nothing executed.
+  std::map<std::string, int64_t> cache;
   /// Per-tenant (met, missed) deadline tallies; rejected requests count
   /// toward neither (mirrors the server's SLO accounting).
   std::map<std::string, std::pair<int64_t, int64_t>> slo;
@@ -959,6 +979,7 @@ Status RunReplay(const FlagSet& flags) {
           tally.attempts += result->attempts;
           tally.outcomes[std::string(
               serve::ResponseOutcomeName(response.outcome))]++;
+          if (!response.cache.empty()) tally.cache[response.cache]++;
           if (response.outcome != serve::ResponseOutcome::kRejected) {
             const bool met =
                 (response.outcome == serve::ResponseOutcome::kOk ||
@@ -1001,6 +1022,13 @@ Status RunReplay(const FlagSet& flags) {
   for (const auto& [outcome, count] : tally.outcomes) {
     std::printf("  %-16s %lld\n", outcome.c_str(),
                 static_cast<long long>(count));
+  }
+  if (!tally.cache.empty()) {
+    std::printf("cache:");
+    for (const auto& [kind, count] : tally.cache) {
+      std::printf(" %s=%lld", kind.c_str(), static_cast<long long>(count));
+    }
+    std::printf("\n");
   }
   if (!tally.slo.empty()) {
     std::printf("per-tenant SLO (deadline attainment):\n");

@@ -250,7 +250,8 @@ namespace {
 ///
 ///   util → {expr, obs, flow} → catalog → graph → parsers
 ///                            ↘ requirements → core → {exec, data}
-///                                                  → plan → service → serve
+///                                                  → plan → cache
+///                                                         → service → serve
 ///
 /// `plan` (the query planner/executor) sits between the engines and the
 /// service facade: it may use core and exec, and only service (plus the
@@ -281,12 +282,15 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"plan",
        {"util", "expr", "catalog", "graph", "flow", "obs", "requirements",
         "core", "exec"}},
+      {"cache",
+       {"util", "expr", "catalog", "graph", "flow", "obs", "requirements",
+        "core", "exec", "plan"}},
       {"service",
        {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
-        "requirements", "core", "exec", "data", "plan"}},
+        "requirements", "core", "exec", "data", "plan", "cache"}},
       {"serve",
        {"util", "expr", "catalog", "graph", "flow", "obs", "parsers",
-        "requirements", "core", "exec", "data", "plan", "service"}},
+        "requirements", "core", "exec", "data", "plan", "cache", "service"}},
   };
   return deps;
 }
